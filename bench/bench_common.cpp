@@ -1,0 +1,156 @@
+#include "bench_common.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "util/csv.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace mlc {
+namespace bench {
+
+namespace {
+const char kRule[] =
+    "==========================================================";
+} // namespace
+
+void
+printHeader(const std::string &figure,
+            const std::string &description,
+            const hier::HierarchyParams &base)
+{
+    std::cout << kRule << "\n"
+              << figure << ": " << description << "\n"
+              << "machine: " << base.summary() << "\n"
+              << "workload: synthetic multiprogramming suite "
+              << "(see DESIGN.md trace substitution)\n"
+              << kRule << "\n";
+}
+
+std::vector<std::vector<trace::MemRef>>
+materializeAll(const std::vector<expt::TraceSpec> &specs)
+{
+    std::vector<std::vector<trace::MemRef>> traces;
+    traces.reserve(specs.size());
+    for (const auto &spec : specs) {
+        std::cerr << "  generating trace " << spec.name << "...\n";
+        traces.push_back(expt::materialize(spec));
+    }
+    return traces;
+}
+
+expt::DesignSpaceGrid
+buildRelExecGrid(const hier::HierarchyParams &base,
+                 const std::vector<std::uint64_t> &sizes,
+                 const std::vector<std::uint32_t> &cycles,
+                 const std::vector<expt::TraceSpec> &specs,
+                 const std::vector<std::vector<trace::MemRef>>
+                     &traces)
+{
+    expt::DesignSpaceGrid grid(sizes, cycles);
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        std::cerr << "  L2 " << formatSize(sizes[s]) << "...\n";
+        for (std::size_t c = 0; c < cycles.size(); ++c) {
+            const hier::HierarchyParams p =
+                base.withL2(sizes[s], cycles[c]);
+            const expt::SuiteResults r =
+                expt::runSuite(p, specs, traces);
+            grid.set(s, c, r.relExecTime);
+        }
+    }
+    return grid;
+}
+
+void
+printRelExecGrid(const expt::DesignSpaceGrid &grid)
+{
+    Table t;
+    t.addColumn("L2 size", Align::Left);
+    for (auto c : grid.cycles())
+        t.addColumn(std::to_string(c) + "cyc");
+    for (std::size_t s = 0; s < grid.sizes().size(); ++s) {
+        t.newRow().cell(formatSize(grid.sizes()[s]));
+        for (std::size_t c = 0; c < grid.cycles().size(); ++c)
+            t.cell(grid.at(s, c), 3);
+    }
+    std::cout << "\nRelative execution time (vs all-hits ideal):\n";
+    t.print(std::cout);
+}
+
+void
+printConstantPerformance(const expt::DesignSpaceGrid &grid)
+{
+    std::cout << "\nLines of constant performance (L2 cycle time, "
+                 "in CPU cycles, achieving each level):\n";
+    Table t;
+    t.addColumn("level", Align::Left);
+    for (auto s : grid.sizes())
+        t.addColumn(formatSize(s));
+    for (double level : grid.contourLevels(0.1)) {
+        t.newRow();
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.1f", level);
+        t.cell(std::string(buf));
+        for (double v : grid.contour(level)) {
+            if (std::isnan(v))
+                t.cell(std::string("-"));
+            else
+                t.cell(v, 2);
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nSteepest contour slope per size interval "
+                 "(CPU cycles per L2 doubling) and the paper's "
+                 "region classification:\n";
+    Table r;
+    r.addColumn("interval", Align::Left);
+    r.addColumn("max slope");
+    r.addColumn("region", Align::Left);
+    const auto slopes = grid.maxSlopePerInterval();
+    for (std::size_t s = 0; s < slopes.size(); ++s) {
+        r.newRow().cell(formatSize(grid.sizes()[s]) + "->" +
+                        formatSize(grid.sizes()[s + 1]));
+        if (std::isnan(slopes[s]))
+            r.cell(std::string("-")).cell(std::string("-"));
+        else
+            r.cell(slopes[s], 2)
+                .cell(std::string(
+                    expt::slopeRegionName(slopes[s])));
+    }
+    r.print(std::cout);
+}
+
+void
+maybeDumpCsv(const expt::DesignSpaceGrid &grid,
+             const std::string &name)
+{
+    const char *dir = std::getenv("MLC_CSV_DIR");
+    if (!dir || dir[0] == '\0')
+        return;
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write " << path << "\n";
+        return;
+    }
+    CsvWriter csv(os);
+    csv.cell(std::string("l2_bytes"));
+    for (auto c : grid.cycles())
+        csv.cell(std::string("cyc") + std::to_string(c));
+    csv.endRow();
+    for (std::size_t s = 0; s < grid.sizes().size(); ++s) {
+        csv.cell(grid.sizes()[s]);
+        for (std::size_t c = 0; c < grid.cycles().size(); ++c)
+            csv.cell(grid.at(s, c));
+        csv.endRow();
+    }
+    std::cerr << "wrote " << path << "\n";
+}
+
+} // namespace bench
+} // namespace mlc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared plumbing for the figure-regeneration harness: every bench
+ * binary prints one of the paper's tables/figures as rows, using
+ * the same workload suite and the same presentation helpers.
+ */
+
+#ifndef MLC_BENCH_BENCH_COMMON_HH
+#define MLC_BENCH_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "expt/design_space.hh"
+#include "expt/runner.hh"
+#include "expt/workload_suite.hh"
+#include "hier/hierarchy_config.hh"
+
+namespace mlc {
+namespace bench {
+
+/** Banner naming the figure and the machine configuration. */
+void printHeader(const std::string &figure,
+                 const std::string &description,
+                 const hier::HierarchyParams &base);
+
+/** Materialize every trace of a suite once (progress to stderr). */
+std::vector<std::vector<trace::MemRef>>
+materializeAll(const std::vector<expt::TraceSpec> &specs);
+
+/**
+ * Build the (L2 size x L2 cycle) relative-execution-time grid for
+ * a base machine, averaged over the given traces.
+ */
+expt::DesignSpaceGrid
+buildRelExecGrid(const hier::HierarchyParams &base,
+                 const std::vector<std::uint64_t> &sizes,
+                 const std::vector<std::uint32_t> &cycles,
+                 const std::vector<expt::TraceSpec> &specs,
+                 const std::vector<std::vector<trace::MemRef>>
+                     &traces);
+
+/** Print the grid the way Figure 4-1 plots it: one column per L2
+ *  cycle time, one row per L2 size. */
+void printRelExecGrid(const expt::DesignSpaceGrid &grid);
+
+/** Print the lines of constant performance (Figures 4-2..4-4):
+ *  contour rows plus the slope-region classification. */
+void printConstantPerformance(const expt::DesignSpaceGrid &grid);
+
+/**
+ * If the MLC_CSV_DIR environment variable names a directory, write
+ * the grid there as <name>.csv (one row per L2 size, one column
+ * per cycle time) for external plotting; otherwise do nothing.
+ */
+void maybeDumpCsv(const expt::DesignSpaceGrid &grid,
+                  const std::string &name);
+
+} // namespace bench
+} // namespace mlc
+
+#endif // MLC_BENCH_BENCH_COMMON_HH

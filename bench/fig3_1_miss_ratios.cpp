@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 3-1: L2 local, global and solo read miss ratios as the L2
+ * size sweeps 4KB..4MB, with the base machine's 4KB (2K I + 2K D)
+ * first-level cache.
+ *
+ * The paper's claims to reproduce:
+ *  - the global miss ratio tracks the solo miss ratio once the L2
+ *    is much larger than the L1 (independence of layers);
+ *  - the local miss ratio is far larger than the global one (the
+ *    L1 filters ~10x the references but few of the misses);
+ *  - the solo curve falls by a roughly constant factor per
+ *    doubling (the paper's traces: ~0.69).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "model/miss_rate.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace mlc;
+
+int
+main()
+{
+    const hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+    bench::printHeader("Figure 3-1",
+                       "L2 miss ratios vs size, 4KB L1", base);
+
+    const auto specs = expt::paperSuite();
+    const auto traces = bench::materializeAll(specs);
+
+    Table t;
+    t.addColumn("L2 size", Align::Left);
+    t.addColumn("local");
+    t.addColumn("global");
+    t.addColumn("solo");
+    t.addColumn("solo +/-");
+    t.addColumn("global/solo");
+    t.addColumn("L1 miss");
+
+    std::vector<std::pair<std::uint64_t, double>> solo_points;
+    for (std::uint64_t size : expt::paperSizes()) {
+        std::cerr << "  L2 " << formatSize(size) << "...\n";
+        hier::HierarchyParams p = base.withL2(size, 3);
+        p.measureSolo = true;
+        const expt::SuiteResults r =
+            expt::runSuite(p, specs, traces);
+        t.newRow()
+            .cell(formatSize(size))
+            .cell(r.localMiss[0], 4)
+            .cell(r.globalMiss[0], 4)
+            .cell(r.soloMiss[0], 4)
+            .cell(r.soloMissStdDev[0], 4)
+            .cell(r.globalMiss[0] / r.soloMiss[0], 2)
+            .cell(r.l1LocalMiss, 4);
+        solo_points.emplace_back(size, r.soloMiss[0]);
+    }
+    t.print(std::cout);
+
+    // The paper's 0.69 describes the declining region; it also
+    // reports that "the miss rate reaches a plateau for very large
+    // caches". Fit the declining region (points still 1.3x above
+    // the plateau) and report the full-range fit alongside.
+    const double plateau = solo_points.back().second;
+    std::vector<std::pair<std::uint64_t, double>> declining;
+    for (const auto &pt : solo_points)
+        if (pt.second > 1.3 * plateau)
+            declining.push_back(pt);
+    const model::MissRateModel fit =
+        model::MissRateModel::fit(declining);
+    const model::MissRateModel full_fit =
+        model::MissRateModel::fit(solo_points);
+    std::cout << "\nsolo miss-ratio doubling factor, declining "
+                 "region: "
+              << fit.doublingFactor() << " (full range: "
+              << full_fit.doublingFactor()
+              << "; paper measured ~0.69 on its traces)\n"
+              << "shape checks: global~=solo for L2>>L1; "
+                 "local/global ~= 1/L1-global-miss\n";
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The paper's closing claim (Section 6): "as the L2 cycle time
+ * gets much above 4 CPU cycles, the optimal Ll cache size is
+ * significantly increased above its minimum" — and conversely, a
+ * fast L2 "helps reduce the optimal Ll speed and size, as
+ * desired".
+ *
+ * An L1's size sets the CPU cycle time (bigger first-level caches
+ * are slower to cycle), so the figure of merit is execution TIME,
+ * not cycles. This harness applies a simple technology rule —
+ * every doubling of the L1 beyond 4KB adds kL1CyclePenaltyNs to
+ * the CPU cycle — and reports, for each L2 cycle time, the
+ * time-per-instruction across L1 sizes and the optimum.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace mlc;
+
+namespace {
+
+/** CPU cycle-time cost of each L1-total doubling beyond 4KB. */
+constexpr double kL1CyclePenaltyNs = 1.5;
+
+double
+cpuCycleNsForL1(std::uint64_t l1_total)
+{
+    double ns = 10.0;
+    for (std::uint64_t s = 4096; s < l1_total; s *= 2)
+        ns += kL1CyclePenaltyNs;
+    return ns;
+}
+
+} // namespace
+
+int
+main()
+{
+    const hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+    bench::printHeader(
+        "Optimal-L1 table (Section 6 claim)",
+        "time per instruction vs L1 size and L2 cycle time", base);
+    std::cout << "technology rule: CPU cycle = 10ns + "
+              << kL1CyclePenaltyNs
+              << "ns per L1 doubling beyond 4KB; L2 fixed at "
+                 "512KB; L2 cycle time quoted in base (10ns) CPU "
+                 "cycles\n";
+
+    const auto specs = expt::gridSuite();
+    const auto traces = bench::materializeAll(specs);
+
+    const std::vector<std::uint64_t> l1_sizes = {
+        4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10};
+    const std::vector<std::uint32_t> l2_cycles = {2, 4, 6, 8, 10};
+
+    Table t;
+    t.addColumn("L2 cycle", Align::Left);
+    for (auto s : l1_sizes)
+        t.addColumn(formatSize(s));
+    t.addColumn("optimal L1", Align::Left);
+
+    for (std::uint32_t cyc : l2_cycles) {
+        t.newRow().cell(std::to_string(cyc) + " cyc");
+        double best_time = 0.0;
+        std::uint64_t best_l1 = 0;
+        for (std::uint64_t l1 : l1_sizes) {
+            hier::HierarchyParams p =
+                base.withL1Total(l1).withL2(512 << 10, 1);
+            // Quote L2 speed in *base* CPU cycles so a slower CPU
+            // doesn't quietly speed up the L2.
+            p.levels[0].cycleNs = 10.0 * cyc;
+            p.cpuCycleNs = cpuCycleNsForL1(l1);
+            p.l1i.cycleNs = p.cpuCycleNs;
+            p.l1d.cycleNs = p.cpuCycleNs;
+            std::cerr << "  L2 " << cyc << "cyc, L1 "
+                      << formatSize(l1) << "...\n";
+            const expt::SuiteResults r =
+                expt::runSuite(p, specs, traces);
+            const double ns_per_instr = r.cpi * p.cpuCycleNs;
+            t.cell(ns_per_instr, 2);
+            if (best_l1 == 0 || ns_per_instr < best_time) {
+                best_time = ns_per_instr;
+                best_l1 = l1;
+            }
+        }
+        t.cell(formatSize(best_l1));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nshape check: the optimal L1 column grows as "
+                 "the L2 slows (paper Section 6); with a fast L2 "
+                 "the small, short-cycle L1 wins.\n";
+    return 0;
+}

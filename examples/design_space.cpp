@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Design-space exploration: sweep the second-level cache's size and
+ * cycle time, print the relative-execution-time surface, and report
+ * the best configuration under a simple technology rule — the
+ * paper's Section 4 methodology as a reusable tool.
+ *
+ *   $ ./design_space [l1_total_bytes]
+ *
+ * Pass a different L1 budget (e.g. 32768) to watch the optimal L2
+ * design point move toward larger-and-slower, the paper's central
+ * observation.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "expt/design_space.hh"
+#include "expt/runner.hh"
+#include "model/miss_rate.hh"
+#include "model/tradeoff.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace mlc;
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t l1_total =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 4096;
+
+    hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine().withL1Total(l1_total);
+    std::cout << "machine: " << base.summary() << "\n";
+
+    // A compact sweep (one trace, reduced axes) to stay
+    // interactive; the bench binaries run the full grids.
+    std::vector<expt::TraceSpec> specs = {expt::paperSuite()[0]};
+    specs[0].warmupRefs = 200'000;
+    specs[0].measureRefs = 500'000;
+    const auto traces = std::vector<std::vector<trace::MemRef>>{
+        expt::materialize(specs[0])};
+
+    std::vector<std::uint64_t> sizes;
+    for (std::uint64_t s = 16 << 10; s <= (2 << 20); s *= 4)
+        sizes.push_back(s);
+    const std::vector<std::uint32_t> cycles = {1, 2, 3, 4,
+                                               5, 7, 10};
+
+    expt::DesignSpaceGrid grid(sizes, cycles);
+    std::vector<std::pair<std::uint64_t, double>> miss_points;
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        for (std::size_t c = 0; c < cycles.size(); ++c) {
+            hier::HierarchyParams p =
+                base.withL2(sizes[s], cycles[c]);
+            p.measureSolo = (c == 0);
+            const expt::SuiteResults r =
+                expt::runSuite(p, specs, traces);
+            grid.set(s, c, r.relExecTime);
+            if (c == 0)
+                miss_points.emplace_back(sizes[s],
+                                         r.soloMiss[0]);
+        }
+    }
+
+    Table t;
+    t.addColumn("L2 size", Align::Left);
+    for (auto c : cycles)
+        t.addColumn(std::to_string(c) + "cyc");
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        t.newRow().cell(formatSize(sizes[s]));
+        for (std::size_t c = 0; c < cycles.size(); ++c)
+            t.cell(grid.at(s, c), 3);
+    }
+    std::cout << "\nrelative execution time:\n";
+    t.print(std::cout);
+
+    // Best design under a toy technology rule: each quadrupling of
+    // SRAM costs one CPU cycle of access time starting from 2.
+    std::cout << "\nunder 'quadrupling costs +1 cycle from 2':\n";
+    double best = 1e9;
+    std::size_t best_s = 0, best_c = 0;
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        const auto tech_cycles =
+            static_cast<std::uint32_t>(2 + s);
+        for (std::size_t c = 0; c < cycles.size(); ++c) {
+            if (cycles[c] != tech_cycles)
+                continue;
+            if (grid.at(s, c) < best) {
+                best = grid.at(s, c);
+                best_s = s;
+                best_c = c;
+            }
+        }
+    }
+    std::cout << "  best realizable: "
+              << formatSize(sizes[best_s]) << " at "
+              << cycles[best_c] << " cycles (rel " << best
+              << ")\n";
+
+    // Compare with the analytic Equation-2 account.
+    const model::MissRateModel fit =
+        model::MissRateModel::fit(miss_points);
+    std::cout << "\nfitted solo miss curve: factor "
+              << fit.doublingFactor()
+              << " per doubling; Equation 2 predicts the allowed "
+                 "cycle-time slope per doubling at 64KB as "
+              << [&] {
+                     model::TwoLevelModel m;
+                     m.ml1 = 0.095;
+                     m.nMMread = 27.0;
+                     return model::SpeedSizeAnalysis(m, fit,
+                                                     model::RefMix{})
+                         .slopePerDoubling(64 << 10);
+                 }()
+              << " CPU cycles.\n";
+    return 0;
+}

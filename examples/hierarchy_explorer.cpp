@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The paper's simulator front end: "The simulation system reads a
+ * file that specifies the depth of the cache hierarchy and the
+ * configuration of each cache."
+ *
+ *   $ ./hierarchy_explorer <config.cfg> [trace-file] [refs]
+ *
+ * Without a trace file, the synthetic multiprogramming workload is
+ * used (pass "" to skip the argument). Set MLC_STATS=1 to append
+ * the full stats-package dump to the report. Sample configurations
+ * live in examples/configs/.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "hier/config_file.hh"
+#include "hier/hierarchy.hh"
+#include "hier/sim_stats.hh"
+#include "trace/binary.hh"
+#include "trace/compressed.hh"
+#include "trace/dinero.hh"
+#include "trace/interleave.hh"
+#include "util/str.hh"
+
+using namespace mlc;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: hierarchy_explorer <config.cfg> "
+                     "[trace] [refs]\n";
+        return 1;
+    }
+
+    const hier::HierarchyParams params =
+        hier::parseConfigFile(argv[1]);
+    std::cout << "machine: " << params.summary() << "\n";
+
+    std::unique_ptr<trace::TraceSource> source;
+    std::ifstream trace_file;
+    if (argc > 2 && argv[2][0] != '\0') {
+        const std::string path = argv[2];
+        const bool dinero = endsWith(path, ".din");
+        trace_file.open(path, dinero ? std::ios::in
+                                     : std::ios::in |
+                                           std::ios::binary);
+        if (!trace_file) {
+            std::cerr << "cannot open trace " << path << "\n";
+            return 1;
+        }
+        if (dinero)
+            source = std::make_unique<trace::DineroReader>(
+                trace_file);
+        else if (endsWith(path, ".mlcz"))
+            source = std::make_unique<trace::CompressedReader>(
+                trace_file);
+        else
+            source = std::make_unique<trace::BinaryReader>(
+                trace_file);
+        std::cout << "trace: " << path << "\n\n";
+    } else {
+        source = trace::makeMultiprogrammedWorkload(6, 12000, 0);
+        std::cout << "trace: built-in synthetic workload\n\n";
+    }
+
+    const std::uint64_t refs =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 1'500'000;
+
+    hier::HierarchySimulator sim(params);
+    sim.warmUp(*source, refs / 3);
+    sim.run(*source, refs);
+    sim.results().print(std::cout);
+
+    if (const char *flag = std::getenv("MLC_STATS");
+        flag && flag[0] == '1') {
+        std::cout << "\n";
+        hier::SimStats(sim).dump(std::cout);
+    }
+    return 0;
+}

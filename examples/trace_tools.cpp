@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Trace toolbox: generate, convert and analyze trace files in the
+ * library's two formats.
+ *
+ *   generate a trace:   trace_tools gen <out.trc> [refs] [procs]
+ *   convert formats:    trace_tools conv <in> <out>
+ *                       (.din = Dinero ASCII, .mlcz = compressed
+ *                       binary, anything else = MLCT binary;
+ *                       direction inferred per file)
+ *   analyze a trace:    trace_tools stat <in>
+ *                       (reference mix, footprint, LRU stack-
+ *                       distance profile, implied miss ratios)
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "trace/binary.hh"
+#include "trace/compressed.hh"
+#include "trace/dinero.hh"
+#include "trace/filter.hh"
+#include "trace/interleave.hh"
+#include "trace/stack_distance.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+using namespace mlc;
+using namespace mlc::trace;
+
+namespace {
+
+bool
+isDinero(const std::string &path)
+{
+    return endsWith(path, ".din") || endsWith(path, ".din.txt");
+}
+
+bool
+isCompressed(const std::string &path)
+{
+    return endsWith(path, ".mlcz");
+}
+
+std::unique_ptr<TraceSource>
+openTrace(const std::string &path, std::ifstream &file)
+{
+    file.open(path, isDinero(path) ? std::ios::in
+                                   : std::ios::in |
+                                         std::ios::binary);
+    if (!file) {
+        std::cerr << "cannot open " << path << "\n";
+        std::exit(1);
+    }
+    if (isDinero(path))
+        return std::make_unique<DineroReader>(file);
+    if (isCompressed(path))
+        return std::make_unique<CompressedReader>(file);
+    return std::make_unique<BinaryReader>(file);
+}
+
+int
+cmdGenerate(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::cerr << "usage: trace_tools gen <out> [refs] [procs]\n";
+        return 1;
+    }
+    const std::string path = argv[2];
+    const std::uint64_t refs =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 1'000'000;
+    const std::size_t procs =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 0) : 6;
+
+    auto src = makeMultiprogrammedWorkload(procs, 12000, 0);
+    std::ofstream out(path, isDinero(path)
+                                ? std::ios::out
+                                : std::ios::out | std::ios::binary);
+    if (!out) {
+        std::cerr << "cannot create " << path << "\n";
+        return 1;
+    }
+    MemRef ref;
+    if (isDinero(path)) {
+        DineroWriter writer(out, true);
+        for (std::uint64_t i = 0; i < refs && src->next(ref); ++i)
+            writer.put(ref);
+    } else if (isCompressed(path)) {
+        CompressedWriter writer(out);
+        for (std::uint64_t i = 0; i < refs && src->next(ref); ++i)
+            writer.put(ref);
+        writer.finish();
+    } else {
+        BinaryWriter writer(out);
+        for (std::uint64_t i = 0; i < refs && src->next(ref); ++i)
+            writer.put(ref);
+        writer.finish();
+    }
+    std::cout << "wrote " << refs << " refs to " << path << "\n";
+    return 0;
+}
+
+int
+cmdConvert(int argc, char **argv)
+{
+    if (argc < 4) {
+        std::cerr << "usage: trace_tools conv <in> <out>\n";
+        return 1;
+    }
+    std::ifstream in_file;
+    auto src = openTrace(argv[2], in_file);
+    const std::string out_path = argv[3];
+    std::ofstream out(out_path,
+                      isDinero(out_path)
+                          ? std::ios::out
+                          : std::ios::out | std::ios::binary);
+    if (!out) {
+        std::cerr << "cannot create " << out_path << "\n";
+        return 1;
+    }
+    std::uint64_t n = 0;
+    MemRef ref;
+    if (isDinero(out_path)) {
+        DineroWriter writer(out, true);
+        while (src->next(ref)) {
+            writer.put(ref);
+            ++n;
+        }
+    } else if (isCompressed(out_path)) {
+        CompressedWriter writer(out);
+        while (src->next(ref)) {
+            writer.put(ref);
+            ++n;
+        }
+        writer.finish();
+    } else {
+        BinaryWriter writer(out);
+        while (src->next(ref)) {
+            writer.put(ref);
+            ++n;
+        }
+        writer.finish();
+    }
+    std::cout << "converted " << n << " refs\n";
+    return 0;
+}
+
+int
+cmdStat(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::cerr << "usage: trace_tools stat <in>\n";
+        return 1;
+    }
+    std::ifstream in_file;
+    auto src = openTrace(argv[2], in_file);
+
+    RefCounts counts;
+    StackDistanceAnalyzer distances(16);
+    MemRef ref;
+    while (src->next(ref)) {
+        counts.observe(ref);
+        if (ref.isRead())
+            distances.access(ref.addr);
+    }
+
+    std::cout << "references: " << counts.total() << " ("
+              << counts.ifetches << " ifetch, " << counts.loads
+              << " load, " << counts.stores << " store)\n"
+              << "data refs per instruction: "
+              << static_cast<double>(counts.loads + counts.stores) /
+                     static_cast<double>(counts.ifetches)
+              << "\nstore fraction of data refs: "
+              << static_cast<double>(counts.stores) /
+                     static_cast<double>(counts.loads +
+                                         counts.stores)
+              << "\nread footprint: "
+              << formatSize(distances.distinctGranules() * 16)
+              << " (16B granules)\n";
+
+    Table t;
+    t.addColumn("fully-assoc LRU capacity", Align::Left);
+    t.addColumn("implied read miss ratio");
+    for (std::uint64_t kb = 4; kb <= 4096; kb *= 4) {
+        t.newRow()
+            .cell(formatSize(kb << 10))
+            .cell(distances.missRatio((kb << 10) / 16), 4);
+    }
+    std::cout << "\n";
+    t.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: trace_tools gen|conv|stat ...\n";
+        return 1;
+    }
+    if (std::strcmp(argv[1], "gen") == 0)
+        return cmdGenerate(argc, argv);
+    if (std::strcmp(argv[1], "conv") == 0)
+        return cmdConvert(argc, argv);
+    if (std::strcmp(argv[1], "stat") == 0)
+        return cmdStat(argc, argv);
+    std::cerr << "unknown command '" << argv[1] << "'\n";
+    return 1;
+}

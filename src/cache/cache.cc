@@ -1,0 +1,175 @@
+#include "cache/cache.hh"
+
+#include "util/logging.hh"
+
+namespace mlc {
+namespace cache {
+
+Cache::Cache(const CacheParams &params, std::uint64_t seed)
+    : params_(params),
+      tags_(params.geometry, params.replPolicy, seed,
+            params.isSubBlocked() ? params.fetchBytes : 0)
+{
+    if (params_.fetchBytes == 0)
+        mlc_panic("Cache built from unfinalized params (call "
+                  "CacheParams::finalize)");
+}
+
+void
+Cache::fillOne(Addr base, bool dirty, bool is_prefetch,
+               AccessOutcome &outcome)
+{
+    const Victim victim = params_.isSubBlocked()
+                              ? tags_.fillSub(base, dirty)
+                              : tags_.fill(base, dirty);
+    ++counts_.fills;
+    if (is_prefetch)
+        ++counts_.prefetchFills;
+    outcome.fills.push_back(base);
+    if (victim.valid && victim.dirty) {
+        ++counts_.writebacks;
+        outcome.writebacks.push_back(
+            {victim.blockBase, victim.dirtyBytes});
+    }
+}
+
+void
+Cache::fillGroup(Addr addr, bool demand_dirty, AccessOutcome &outcome)
+{
+    const auto &geom = params_.geometry;
+
+    if (params_.isSubBlocked()) {
+        // Sector cache: fetch only the missing sub-block (plus an
+        // optional next-sub-block prefetch).
+        const Addr demand_base =
+            addr & ~static_cast<Addr>(params_.fetchBytes - 1);
+        fillOne(demand_base, demand_dirty, false, outcome);
+        if (params_.prefetchNextBlock) {
+            const Addr next = demand_base + params_.fetchBytes;
+            if (!tags_.probe(next).hit)
+                fillOne(next, false, true, outcome);
+        }
+        return;
+    }
+
+    const Addr group_base =
+        addr & ~static_cast<Addr>(params_.fetchBytes - 1);
+    const Addr demand_base = geom.blockBase(addr);
+
+    // Demand block first so the requester's data leads the fill.
+    fillOne(demand_base, demand_dirty, false, outcome);
+    for (Addr base = group_base;
+         base < group_base + params_.fetchBytes;
+         base += geom.blockBytes) {
+        if (base == demand_base)
+            continue;
+        if (!tags_.probe(base).hit)
+            fillOne(base, false, false, outcome);
+    }
+
+    if (params_.prefetchNextBlock) {
+        const Addr next = group_base + params_.fetchBytes;
+        if (!tags_.probe(next).hit)
+            fillOne(next, false, true, outcome);
+    }
+}
+
+bool
+Cache::absorbWrite(Addr addr)
+{
+    const ProbeResult probe = tags_.probe(addr);
+    if (probe.tagHit && !probe.hit) {
+        // Sector cache, sub-block invalid: the incoming write
+        // provides the data, making the sub-block valid in place.
+        ++counts_.absorbedWrites;
+        tags_.fillSub(addr,
+                      params_.writePolicy == WritePolicy::WriteBack);
+        return true;
+    }
+    if (!probe.hit) {
+        ++counts_.bypassedWrites;
+        return false;
+    }
+    ++counts_.absorbedWrites;
+    tags_.touch(addr, probe.way);
+    if (params_.writePolicy == WritePolicy::WriteBack)
+        tags_.markDirty(addr, probe.way);
+    return true;
+}
+
+void
+Cache::absorbWriteAllocate(Addr addr, AccessOutcome &outcome)
+{
+    outcome.clear();
+    if (tags_.probe(addr).hit)
+        mlc_panic(params_.name,
+                  ": absorbWriteAllocate on a resident block");
+    const Addr base =
+        params_.isSubBlocked()
+            ? addr & ~static_cast<Addr>(params_.fetchBytes - 1)
+            : params_.geometry.blockBase(addr);
+    fillOne(base, true, false, outcome);
+    ++counts_.absorbedWrites;
+}
+
+void
+Cache::access(const trace::MemRef &ref, AccessOutcome &outcome)
+{
+    outcome.clear();
+    const auto &geom = params_.geometry;
+
+    if ((ref.addr & (geom.blockBytes - 1)) + ref.size >
+        geom.blockBytes)
+        mlc_panic(params_.name, ": access at 0x", ref.addr,
+                  " crosses a block boundary");
+
+    const ProbeResult probe = tags_.probe(ref.addr);
+
+    if (ref.isRead()) {
+        switch (ref.type) {
+          case trace::RefType::IFetch:
+            ++counts_.ifetchAccesses;
+            break;
+          default:
+            ++counts_.loadAccesses;
+            break;
+        }
+        if (probe.hit) {
+            outcome.hit = true;
+            tags_.touch(ref.addr, probe.way);
+            return;
+        }
+        if (ref.type == trace::RefType::IFetch)
+            ++counts_.ifetchMisses;
+        else
+            ++counts_.loadMisses;
+        fillGroup(ref.addr, false, outcome);
+        return;
+    }
+
+    // Write.
+    ++counts_.storeAccesses;
+    if (probe.hit) {
+        outcome.hit = true;
+        tags_.touch(ref.addr, probe.way);
+        if (params_.writePolicy == WritePolicy::WriteBack)
+            tags_.markDirty(ref.addr, probe.way);
+        else
+            outcome.forwardWrite = true;
+        return;
+    }
+
+    ++counts_.storeMisses;
+    if (params_.allocPolicy == AllocPolicy::WriteAllocate) {
+        const bool dirty =
+            params_.writePolicy == WritePolicy::WriteBack;
+        fillGroup(ref.addr, dirty, outcome);
+        if (params_.writePolicy == WritePolicy::WriteThrough)
+            outcome.forwardWrite = true;
+    } else {
+        outcome.forwardWrite = true;
+    }
+}
+
+} // namespace cache
+} // namespace mlc

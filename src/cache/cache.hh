@@ -1,0 +1,159 @@
+/**
+ * @file
+ * A single functional cache: applies the write policy, fetch size
+ * and optional prefetch to a TagArray and reports the resulting
+ * downstream actions (fills, write-backs, forwarded writes). The
+ * hierarchy simulator owns all timing; this layer decides *what*
+ * happens, not *when*.
+ */
+
+#ifndef MLC_CACHE_CACHE_HH
+#define MLC_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "cache/tag_array.hh"
+#include "trace/mem_ref.hh"
+
+namespace mlc {
+namespace cache {
+
+/** A dirty victim to be written downstream. */
+struct WritebackReq
+{
+    Addr base = 0;
+    /** Bytes to write: the whole block, or with sub-blocking only
+     *  the dirty sectors' worth. */
+    std::uint32_t bytes = 0;
+
+    bool
+    operator==(const WritebackReq &o) const
+    {
+        return base == o.base && bytes == o.bytes;
+    }
+};
+
+/** What an access did, for the timing layer to act on. */
+struct AccessOutcome
+{
+    bool hit = false;
+    /** Base addresses fetched from downstream (demand first, then
+     *  the rest of the fetch group / prefetch); each request is
+     *  params().fillRequestBytes() long. */
+    std::vector<Addr> fills;
+    /** Dirty victims that must be written downstream. */
+    std::vector<WritebackReq> writebacks;
+    /** The access itself must also be forwarded downstream
+     *  (write-through, or a write miss without allocation). */
+    bool forwardWrite = false;
+
+    void
+    clear()
+    {
+        hit = false;
+        fills.clear();
+        writebacks.clear();
+        forwardWrite = false;
+    }
+};
+
+/** Per-type access/miss counters, maintained by Cache. */
+struct CacheCounts
+{
+    std::uint64_t ifetchAccesses = 0;
+    std::uint64_t ifetchMisses = 0;
+    std::uint64_t loadAccesses = 0;
+    std::uint64_t loadMisses = 0;
+    std::uint64_t storeAccesses = 0;
+    std::uint64_t storeMisses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t prefetchFills = 0;
+    /** Downstream-bound writes that hit here (absorbWrite). */
+    std::uint64_t absorbedWrites = 0;
+    /** ... and that missed and were passed around this level. */
+    std::uint64_t bypassedWrites = 0;
+
+    std::uint64_t
+    readAccesses() const
+    {
+        return ifetchAccesses + loadAccesses;
+    }
+    std::uint64_t readMisses() const
+    {
+        return ifetchMisses + loadMisses;
+    }
+    double
+    readMissRatio() const
+    {
+        return readAccesses() == 0
+                   ? 0.0
+                   : static_cast<double>(readMisses()) /
+                         static_cast<double>(readAccesses());
+    }
+};
+
+/** One cache, functional behaviour only. */
+class Cache
+{
+  public:
+    /** @param params must already be finalized. */
+    explicit Cache(const CacheParams &params, std::uint64_t seed = 1);
+
+    /**
+     * Apply one access.
+     * @param outcome cleared and filled with downstream actions.
+     */
+    void access(const trace::MemRef &ref, AccessOutcome &outcome);
+
+    /**
+     * Apply a write travelling downstream (a victim write-back
+     * from above, or a forwarded store): on hit the line is
+     * touched and, for a write-back cache, marked dirty. Misses do
+     * NOT allocate — the hierarchy passes the write around this
+     * level (write-around).
+     * @return true on hit.
+     */
+    bool absorbWrite(Addr addr);
+
+    /**
+     * Install the block containing @p addr dirty, as the Allocate
+     * arm of DownstreamWriteMissPolicy after absorbWrite() missed.
+     * @param outcome cleared; fills gets the block to fetch from
+     *        downstream, writebacks any displaced dirty victim.
+     */
+    void absorbWriteAllocate(Addr addr, AccessOutcome &outcome);
+
+    /** Probe without updating state (tests, inclusion checks). */
+    bool contains(Addr addr) const
+    {
+        return tags_.probe(addr).hit;
+    }
+
+    const CacheParams &params() const { return params_; }
+    const CacheCounts &counts() const { return counts_; }
+    const TagArray &tags() const { return tags_; }
+
+    /** Zero the counters; tag state is retained (post-warm-up). */
+    void resetCounts() { counts_ = CacheCounts{}; }
+
+  private:
+    /** Fill every absent block of the aligned fetch group that
+     *  contains @p addr; the demand block is filled first. */
+    void fillGroup(Addr addr, bool demand_dirty,
+                   AccessOutcome &outcome);
+
+    void fillOne(Addr block_base, bool dirty, bool is_prefetch,
+                 AccessOutcome &outcome);
+
+    CacheParams params_;
+    TagArray tags_;
+    CacheCounts counts_;
+};
+
+} // namespace cache
+} // namespace mlc
+
+#endif // MLC_CACHE_CACHE_HH

@@ -1,0 +1,109 @@
+#include "cache/cache_config.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mlc {
+namespace cache {
+
+const char *
+writePolicyName(WritePolicy p)
+{
+    return p == WritePolicy::WriteBack ? "write-back"
+                                       : "write-through";
+}
+
+const char *
+allocPolicyName(AllocPolicy p)
+{
+    return p == AllocPolicy::WriteAllocate ? "write-allocate"
+                                           : "no-write-allocate";
+}
+
+const char *
+replPolicyName(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::LRU:
+        return "lru";
+      case ReplPolicy::FIFO:
+        return "fifo";
+      case ReplPolicy::Random:
+        return "random";
+    }
+    mlc_panic("bad ReplPolicy ", static_cast<int>(p));
+}
+
+const char *
+downstreamWriteMissPolicyName(DownstreamWriteMissPolicy p)
+{
+    return p == DownstreamWriteMissPolicy::Around ? "around"
+                                                  : "allocate";
+}
+
+void
+CacheGeometry::finalize(const std::string &name)
+{
+    if (sizeBytes == 0 || !isPowerOfTwo(sizeBytes))
+        mlc_fatal(name, ": cache size must be a power of two, got ",
+                  sizeBytes);
+    if (blockBytes == 0 || !isPowerOfTwo(blockBytes))
+        mlc_fatal(name, ": block size must be a power of two, got ",
+                  blockBytes);
+    if (blockBytes > sizeBytes)
+        mlc_fatal(name, ": block size ", blockBytes,
+                  " exceeds cache size ", sizeBytes);
+
+    const std::uint64_t blocks = sizeBytes / blockBytes;
+    ways = assoc == 0 ? static_cast<std::uint32_t>(blocks) : assoc;
+    if (ways > blocks)
+        mlc_fatal(name, ": associativity ", ways,
+                  " exceeds block count ", blocks);
+    if (blocks % ways != 0 || !isPowerOfTwo(ways))
+        mlc_fatal(name, ": associativity ", ways,
+                  " must be a power of two dividing ", blocks);
+
+    numSets = blocks / ways;
+    blockShift = exactLog2(blockBytes);
+    setMask = numSets - 1;
+}
+
+void
+CacheParams::finalize()
+{
+    geometry.finalize(name);
+    if (fetchBytes == 0)
+        fetchBytes = geometry.blockBytes;
+    if (!isPowerOfTwo(fetchBytes))
+        mlc_fatal(name, ": fetch size ", fetchBytes,
+                  " must be a power of two");
+    if (fetchBytes >= geometry.blockBytes) {
+        if (fetchBytes % geometry.blockBytes != 0)
+            mlc_fatal(name, ": fetch size ", fetchBytes,
+                      " must be a multiple of block size ",
+                      geometry.blockBytes);
+        if (fetchBytes > geometry.sizeBytes)
+            mlc_fatal(name, ": fetch size ", fetchBytes,
+                      " exceeds cache size");
+    } else {
+        // Sub-block (sector) mode.
+        if (fetchBytes < 4 ||
+            geometry.blockBytes % fetchBytes != 0)
+            mlc_fatal(name, ": sub-block fetch size ", fetchBytes,
+                      " must be a >=4-byte divisor of block size ",
+                      geometry.blockBytes);
+        if (geometry.blockBytes / fetchBytes > 32)
+            mlc_fatal(name, ": at most 32 sub-blocks per line");
+    }
+    if (cycleNs <= 0.0)
+        mlc_fatal(name, ": cycle time must be positive");
+    if (readCycles == 0 || writeCycles == 0)
+        mlc_fatal(name, ": access cycle counts must be non-zero");
+    if (writePolicy == WritePolicy::WriteThrough &&
+        allocPolicy == AllocPolicy::WriteAllocate)
+        warn(name, ": write-through with write-allocate is legal "
+                   "but unusual");
+}
+
+} // namespace cache
+} // namespace mlc

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cache organization parameters.
+ *
+ * Follows Smith's terminology as the paper does: a cache is
+ * described by total size, set size (associativity), block size and
+ * fetch size, plus its write strategy and timing. All byte
+ * quantities are powers of two.
+ */
+
+#ifndef MLC_CACHE_CACHE_CONFIG_HH
+#define MLC_CACHE_CACHE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "trace/mem_ref.hh"
+
+namespace mlc {
+namespace cache {
+
+/** How writes that hit are propagated downstream. */
+enum class WritePolicy : std::uint8_t {
+    WriteBack,    //!< dirty data written on eviction (paper default)
+    WriteThrough, //!< every write propagates immediately
+};
+
+/** How writes that miss are handled. */
+enum class AllocPolicy : std::uint8_t {
+    WriteAllocate,   //!< fetch the block, then write (paper default)
+    NoWriteAllocate, //!< forward the write downstream, no fill
+};
+
+/**
+ * How writes travelling *downstream* (victim write-backs from the
+ * level above, forwarded stores) that miss in this cache are
+ * handled. Around forwards them to the next level untouched;
+ * Allocate fetches the enclosing block from below and installs it
+ * dirty (more traffic now, possible reuse later).
+ */
+enum class DownstreamWriteMissPolicy : std::uint8_t {
+    Around,
+    Allocate,
+};
+
+/** Victim selection within a set. */
+enum class ReplPolicy : std::uint8_t {
+    LRU,
+    FIFO,
+    Random,
+};
+
+const char *writePolicyName(WritePolicy p);
+const char *allocPolicyName(AllocPolicy p);
+const char *replPolicyName(ReplPolicy p);
+const char *downstreamWriteMissPolicyName(DownstreamWriteMissPolicy p);
+
+/** Size/shape of a cache with derived indexing fields. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 0;  //!< total data capacity
+    std::uint32_t blockBytes = 0; //!< line size
+    /** Ways per set; 0 means fully associative. */
+    std::uint32_t assoc = 1;
+
+    /** Validate and compute the derived fields; fatal() on error. */
+    void finalize(const std::string &name);
+
+    /** @{ @name Derived (valid after finalize) */
+    std::uint32_t ways = 0;
+    std::uint64_t numSets = 0;
+    unsigned blockShift = 0;
+    std::uint64_t setMask = 0;
+    /** @} */
+
+    std::uint64_t numBlocks() const { return sizeBytes / blockBytes; }
+
+    Addr blockAddr(Addr a) const { return a >> blockShift; }
+    Addr blockBase(Addr a) const
+    {
+        return a & ~static_cast<Addr>(blockBytes - 1);
+    }
+    std::uint64_t setIndex(Addr a) const
+    {
+        return (a >> blockShift) & setMask;
+    }
+    Addr tagOf(Addr a) const
+    {
+        return (a >> blockShift) / numSets;
+    }
+};
+
+/** Full per-cache configuration. */
+struct CacheParams
+{
+    std::string name = "cache";
+    CacheGeometry geometry;
+
+    /**
+     * Bytes brought in per demand miss. A multiple of the block
+     * size fills adjacent blocks too; a power-of-two *divisor*
+     * (>= 4) selects sub-block (sector) caching: one tag per
+     * block, per-sub-block valid bits, fetches of fetchBytes.
+     * 0 = same as block size.
+     */
+    std::uint32_t fetchBytes = 0;
+
+    WritePolicy writePolicy = WritePolicy::WriteBack;
+    AllocPolicy allocPolicy = AllocPolicy::WriteAllocate;
+    ReplPolicy replPolicy = ReplPolicy::LRU;
+    DownstreamWriteMissPolicy downstreamWriteMiss =
+        DownstreamWriteMissPolicy::Around;
+
+    /** Fetch the next block on a demand miss if absent. */
+    bool prefetchNextBlock = false;
+
+    /** Basic array cycle time in nanoseconds; a read hit completes
+     *  in readCycles of these, a write hit in writeCycles (the
+     *  paper's caches use 1 and 2). */
+    double cycleNs = 10.0;
+    std::uint32_t readCycles = 1;
+    std::uint32_t writeCycles = 2;
+
+    /** Sub-block (sector) mode: fetch size below the block size. */
+    bool
+    isSubBlocked() const
+    {
+        return fetchBytes != 0 && fetchBytes < geometry.blockBytes;
+    }
+
+    /** Bytes per downstream fill request. */
+    std::uint32_t
+    fillRequestBytes() const
+    {
+        return isSubBlocked() ? fetchBytes : geometry.blockBytes;
+    }
+
+    /** Validate everything; fatal() on error. */
+    void finalize();
+};
+
+} // namespace cache
+} // namespace mlc
+
+#endif // MLC_CACHE_CACHE_CONFIG_HH

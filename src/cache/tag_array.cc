@@ -1,0 +1,266 @@
+#include "cache/tag_array.hh"
+
+#include <bit>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mlc {
+namespace cache {
+
+TagArray::TagArray(const CacheGeometry &geometry, ReplPolicy policy,
+                   std::uint64_t seed,
+                   std::uint32_t sub_block_bytes)
+    : geom_(geometry), policy_(policy),
+      subBytes_(sub_block_bytes == 0 ? geometry.blockBytes
+                                     : sub_block_bytes),
+      rng_(seed)
+{
+    if (geom_.ways == 0 || geom_.numSets == 0)
+        mlc_panic("TagArray built from an unfinalized geometry");
+    if (!isPowerOfTwo(subBytes_) || subBytes_ > geom_.blockBytes ||
+        geom_.blockBytes % subBytes_ != 0)
+        mlc_panic("sub-block size ", subBytes_,
+                  " must be a power-of-two divisor of block size ",
+                  geom_.blockBytes);
+    subCount_ = geom_.blockBytes / subBytes_;
+    if (subCount_ > 32)
+        mlc_panic("at most 32 sub-blocks per line, got ",
+                  subCount_);
+    lines_.resize(geom_.numSets * geom_.ways);
+}
+
+std::uint32_t
+TagArray::subIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>(
+        (addr & (geom_.blockBytes - 1)) / subBytes_);
+}
+
+std::uint32_t
+TagArray::fullMask() const
+{
+    return subCount_ >= 32
+               ? ~std::uint32_t{0}
+               : (std::uint32_t{1} << subCount_) - 1;
+}
+
+ProbeResult
+TagArray::probe(Addr addr) const
+{
+    const std::uint64_t set = geom_.setIndex(addr);
+    const Addr tag = geom_.tagOf(addr);
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        const Line &l = line(set, w);
+        if (l.anyValid() && l.tag == tag) {
+            ProbeResult r;
+            r.tagHit = true;
+            r.hit = (l.validMask >> subIndex(addr)) & 1;
+            r.way = w;
+            return r;
+        }
+    }
+    return {};
+}
+
+void
+TagArray::touch(Addr addr, std::uint32_t way)
+{
+    Line &l = line(geom_.setIndex(addr), way);
+    l.useStamp = ++stamp_;
+}
+
+void
+TagArray::markDirty(Addr addr, std::uint32_t way)
+{
+    Line &l = line(geom_.setIndex(addr), way);
+    const std::uint32_t bit = std::uint32_t{1} << subIndex(addr);
+    if (!(l.validMask & bit))
+        mlc_panic("markDirty on an invalid (sub-)block");
+    l.dirtyMask |= bit;
+}
+
+bool
+TagArray::isDirty(Addr addr, std::uint32_t way) const
+{
+    return line(geom_.setIndex(addr), way).anyDirty();
+}
+
+std::uint32_t
+TagArray::dirtyBytes(Addr addr, std::uint32_t way) const
+{
+    const Line &l = line(geom_.setIndex(addr), way);
+    return static_cast<std::uint32_t>(std::popcount(l.dirtyMask)) *
+           subBytes_;
+}
+
+std::uint32_t
+TagArray::chooseVictim(std::uint64_t set)
+{
+    // Invalid ways first, regardless of policy.
+    for (std::uint32_t w = 0; w < geom_.ways; ++w)
+        if (!line(set, w).anyValid())
+            return w;
+
+    switch (policy_) {
+      case ReplPolicy::LRU: {
+        std::uint32_t victim = 0;
+        std::uint64_t best = line(set, 0).useStamp;
+        for (std::uint32_t w = 1; w < geom_.ways; ++w) {
+            if (line(set, w).useStamp < best) {
+                best = line(set, w).useStamp;
+                victim = w;
+            }
+        }
+        return victim;
+      }
+      case ReplPolicy::FIFO: {
+        std::uint32_t victim = 0;
+        std::uint64_t best = line(set, 0).insertStamp;
+        for (std::uint32_t w = 1; w < geom_.ways; ++w) {
+            if (line(set, w).insertStamp < best) {
+                best = line(set, w).insertStamp;
+                victim = w;
+            }
+        }
+        return victim;
+      }
+      case ReplPolicy::Random:
+        return static_cast<std::uint32_t>(
+            rng_.nextBounded(geom_.ways));
+    }
+    mlc_panic("bad ReplPolicy ", static_cast<int>(policy_));
+}
+
+Addr
+TagArray::blockBaseOf(std::uint64_t set, Addr tag) const
+{
+    return ((tag * geom_.numSets) + set) << geom_.blockShift;
+}
+
+Victim
+TagArray::makeVictim(const Line &l, std::uint64_t set) const
+{
+    Victim victim;
+    if (l.anyValid()) {
+        victim.valid = true;
+        victim.dirty = l.anyDirty();
+        victim.blockBase = blockBaseOf(set, l.tag);
+        victim.dirtyBytes =
+            static_cast<std::uint32_t>(std::popcount(l.dirtyMask)) *
+            subBytes_;
+    }
+    return victim;
+}
+
+Victim
+TagArray::evictAndInstall(Addr addr, std::uint32_t valid_mask,
+                          std::uint32_t dirty_mask)
+{
+    const std::uint64_t set = geom_.setIndex(addr);
+    const std::uint32_t way = chooseVictim(set);
+    Line &l = line(set, way);
+    const Victim victim = makeVictim(l, set);
+
+    l.tag = geom_.tagOf(addr);
+    l.validMask = valid_mask;
+    l.dirtyMask = dirty_mask;
+    l.useStamp = ++stamp_;
+    l.insertStamp = stamp_;
+    return victim;
+}
+
+Victim
+TagArray::fill(Addr addr, bool dirty)
+{
+    const std::uint64_t set = geom_.setIndex(addr);
+    const Addr tag = geom_.tagOf(addr);
+
+    // Filling a resident block is a bug in the caller: probe first.
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        const Line &l = line(set, w);
+        if (l.anyValid() && l.tag == tag)
+            mlc_panic("fill of already-resident block 0x",
+                      geom_.blockBase(addr));
+    }
+
+    return evictAndInstall(addr, fullMask(),
+                           dirty ? fullMask() : 0);
+}
+
+Victim
+TagArray::fillSub(Addr addr, bool dirty)
+{
+    const std::uint64_t set = geom_.setIndex(addr);
+    const Addr tag = geom_.tagOf(addr);
+    const std::uint32_t bit = std::uint32_t{1} << subIndex(addr);
+
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        Line &l = line(set, w);
+        if (l.anyValid() && l.tag == tag) {
+            if (l.validMask & bit)
+                mlc_panic("fillSub of an already-valid sub-block "
+                          "at 0x", addr);
+            l.validMask |= bit;
+            if (dirty)
+                l.dirtyMask |= bit;
+            l.useStamp = ++stamp_;
+            return {};
+        }
+    }
+
+    return evictAndInstall(addr, bit, dirty ? bit : 0);
+}
+
+Victim
+TagArray::invalidate(Addr addr)
+{
+    const std::uint64_t set = geom_.setIndex(addr);
+    const Addr tag = geom_.tagOf(addr);
+    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+        Line &l = line(set, w);
+        if (l.anyValid() && l.tag == tag) {
+            const Victim victim = makeVictim(l, set);
+            l.validMask = 0;
+            l.dirtyMask = 0;
+            return victim;
+        }
+    }
+    return {};
+}
+
+std::uint64_t
+TagArray::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : lines_)
+        if (l.anyValid())
+            ++n;
+    return n;
+}
+
+std::vector<Addr>
+TagArray::dirtyBlocks() const
+{
+    std::vector<Addr> out;
+    for (std::uint64_t set = 0; set < geom_.numSets; ++set) {
+        for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+            const Line &l = line(set, w);
+            if (l.anyValid() && l.anyDirty())
+                out.push_back(blockBaseOf(set, l.tag));
+        }
+    }
+    return out;
+}
+
+void
+TagArray::clearAll()
+{
+    for (auto &l : lines_) {
+        l.validMask = 0;
+        l.dirtyMask = 0;
+    }
+}
+
+} // namespace cache
+} // namespace mlc

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Set-associative tag store with valid/dirty bits and pluggable
+ * victim selection (LRU / FIFO / Random).
+ *
+ * The tag array is purely functional — it answers hit/miss, tracks
+ * recency and dirtiness, and reports evicted victims; all timing
+ * lives in the hierarchy simulator. Keeping it functional is what
+ * makes the solo-miss-ratio co-simulation (Section 3's third miss
+ * ratio) cheap: a solo cache is just a second TagArray fed the CPU
+ * stream.
+ */
+
+#ifndef MLC_CACHE_TAG_ARRAY_HH
+#define MLC_CACHE_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "trace/mem_ref.hh"
+#include "util/random.hh"
+
+namespace mlc {
+namespace cache {
+
+/** Result of probing the array for a block. */
+struct ProbeResult
+{
+    /** Tag matched AND the addressed sub-block is valid. For
+     *  caches without sub-blocking this is the plain hit bit. */
+    bool hit = false;
+    /** Tag matched (the line is resident), regardless of
+     *  sub-block validity. */
+    bool tagHit = false;
+    std::uint32_t way = 0;
+};
+
+/** An evicted line, reported from fill(). */
+struct Victim
+{
+    bool valid = false; //!< a valid line was displaced
+    bool dirty = false; //!< ... and it was dirty (needs write-back)
+    Addr blockBase = 0; //!< byte address of the displaced block
+    /** Bytes actually dirty (== block size without sub-blocking;
+     *  the dirty sectors only, with it). */
+    std::uint32_t dirtyBytes = 0;
+};
+
+/**
+ * The tag store of one cache.
+ *
+ * Optional sub-blocking (sector caching): with a sub-block size
+ * smaller than the block, each line carries per-sub-block valid and
+ * dirty bits — one tag covers the whole block but data arrives and
+ * leaves in sub-block units (the paper's "fetch size" below the
+ * block size). A sub-block count of 1 degenerates to the classic
+ * organization.
+ */
+class TagArray
+{
+  public:
+    /**
+     * @param sub_block_bytes sector size; 0 or geometry.blockBytes
+     *        disables sub-blocking. Must divide the block size into
+     *        at most 32 sub-blocks.
+     */
+    TagArray(const CacheGeometry &geometry, ReplPolicy policy,
+             std::uint64_t seed = 1,
+             std::uint32_t sub_block_bytes = 0);
+
+    /** Look for the block containing @p addr ; no state change. */
+    ProbeResult probe(Addr addr) const;
+
+    /** Update replacement state after a hit. */
+    void touch(Addr addr, std::uint32_t way);
+
+    /** Mark a resident block dirty (after a write hit). */
+    void markDirty(Addr addr, std::uint32_t way);
+
+    bool isDirty(Addr addr, std::uint32_t way) const;
+
+    /**
+     * Install the block containing @p addr, evicting a victim if
+     * the set is full.
+     * @param dirty install already-dirty (write-allocate fill that
+     *        is immediately written).
+     * @return the displaced line, if any.
+     */
+    Victim fill(Addr addr, bool dirty);
+
+    /**
+     * Install only the sub-block containing @p addr: on a tag hit
+     * the sub-block's valid bit is set in place (no victim); on a
+     * tag miss a line is allocated with just that sub-block valid.
+     * @param dirty install the sub-block already-dirty.
+     */
+    Victim fillSub(Addr addr, bool dirty);
+
+    /** Sub-blocks per line (1 = no sub-blocking). */
+    std::uint32_t subBlockCount() const { return subCount_; }
+
+    /** Bytes of dirty sub-blocks in a resident line. */
+    std::uint32_t dirtyBytes(Addr addr, std::uint32_t way) const;
+
+    /**
+     * Drop the block containing @p addr if present.
+     * @return the line's state before invalidation.
+     */
+    Victim invalidate(Addr addr);
+
+    /** Number of valid lines (for occupancy checks in tests). */
+    std::uint64_t validCount() const;
+
+    /** Byte addresses of all dirty resident blocks. */
+    std::vector<Addr> dirtyBlocks() const;
+
+    /** Invalidate everything (loses dirty data; tests only). */
+    void clearAll();
+
+    const CacheGeometry &geometry() const { return geom_; }
+    ReplPolicy policy() const { return policy_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        std::uint32_t validMask = 0; //!< per-sub-block valid bits
+        std::uint32_t dirtyMask = 0; //!< per-sub-block dirty bits
+        std::uint64_t useStamp = 0;    //!< updated on touch (LRU)
+        std::uint64_t insertStamp = 0; //!< updated on fill (FIFO)
+
+        bool anyValid() const { return validMask != 0; }
+        bool anyDirty() const { return dirtyMask != 0; }
+    };
+
+    /** Bit index of the sub-block containing @p addr. */
+    std::uint32_t subIndex(Addr addr) const;
+    /** Mask with every sub-block bit set. */
+    std::uint32_t fullMask() const;
+    Victim makeVictim(const Line &line, std::uint64_t set) const;
+    Victim evictAndInstall(Addr addr, std::uint32_t valid_mask,
+                           std::uint32_t dirty_mask);
+
+    Line &line(std::uint64_t set, std::uint32_t way)
+    {
+        return lines_[set * geom_.ways + way];
+    }
+    const Line &line(std::uint64_t set, std::uint32_t way) const
+    {
+        return lines_[set * geom_.ways + way];
+    }
+
+    std::uint32_t chooseVictim(std::uint64_t set);
+
+    /** Reconstruct a block's byte address from set and tag. */
+    Addr blockBaseOf(std::uint64_t set, Addr tag) const;
+
+    CacheGeometry geom_;
+    ReplPolicy policy_;
+    std::uint32_t subBytes_;
+    std::uint32_t subCount_;
+    std::vector<Line> lines_;
+    std::uint64_t stamp_ = 0;
+    Rng rng_;
+};
+
+} // namespace cache
+} // namespace mlc
+
+#endif // MLC_CACHE_TAG_ARRAY_HH

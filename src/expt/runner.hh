@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Suite runner: simulate one hierarchy configuration over the
+ * workload suite and average the paper's metrics across traces,
+ * which is how the paper's figures aggregate their eight traces.
+ */
+
+#ifndef MLC_EXPT_RUNNER_HH
+#define MLC_EXPT_RUNNER_HH
+
+#include <vector>
+
+#include "expt/workload_suite.hh"
+#include "hier/hierarchy.hh"
+
+namespace mlc {
+namespace expt {
+
+/** Suite-averaged metrics for one configuration. */
+struct SuiteResults
+{
+    double relExecTime = 0.0;
+    double cpi = 0.0;
+    double l1LocalMiss = 0.0;  //!< == L1 global (requests = reads)
+    /** Per downstream level (L2 first). */
+    std::vector<double> localMiss;
+    std::vector<double> globalMiss;
+    std::vector<double> soloMiss; //!< empty unless measured
+    double meanL1MissPenaltyCycles = 0.0;
+    std::uint64_t traces = 0;
+
+    /** Across-trace sample standard deviations (0 for a single
+     *  trace): workload-to-workload spread, as the paper's eight
+     *  traces would have shown. */
+    double relExecTimeStdDev = 0.0;
+    std::vector<double> soloMissStdDev; //!< empty unless measured
+};
+
+/**
+ * Run @p params over one materialized trace: warm up on the first
+ * scaledWarmup(spec) references, measure on the rest.
+ */
+hier::SimResults runOnTrace(const hier::HierarchyParams &params,
+                            const std::vector<trace::MemRef> &refs,
+                            std::uint64_t warmup_refs);
+
+/**
+ * Run @p params over every trace in @p specs (materializing each)
+ * and average. Set params.measureSolo for solo curves.
+ */
+SuiteResults runSuite(const hier::HierarchyParams &params,
+                      const std::vector<TraceSpec> &specs);
+
+/**
+ * Run @p params over traces already materialized (grid sweeps
+ * materialize once and replay). specs[i] pairs with traces[i].
+ */
+SuiteResults
+runSuite(const hier::HierarchyParams &params,
+         const std::vector<TraceSpec> &specs,
+         const std::vector<std::vector<trace::MemRef>> &traces);
+
+} // namespace expt
+} // namespace mlc
+
+#endif // MLC_EXPT_RUNNER_HH

@@ -1,0 +1,85 @@
+#include "expt/workload_suite.hh"
+
+#include <cstdlib>
+
+#include "trace/interleave.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace mlc {
+namespace expt {
+
+std::vector<TraceSpec>
+paperSuite()
+{
+    std::vector<TraceSpec> suite;
+    // VAX-flavoured: heavier multiprogramming, OS-like churn.
+    for (std::uint64_t v = 0; v < 4; ++v) {
+        TraceSpec s;
+        s.name = (v < 3 ? "vms" : "ultrix") + std::to_string(v);
+        s.variant = v;
+        s.processes = 6 + v % 2;
+        s.switchInterval = 9000 + 2000 * v;
+        suite.push_back(s);
+    }
+    // MIPS-flavoured: interleaved user programs.
+    for (std::uint64_t v = 4; v < 8; ++v) {
+        TraceSpec s;
+        s.name = "mips" + std::to_string(v - 4);
+        s.variant = v;
+        s.processes = 4;
+        s.switchInterval = 15000 + 3000 * (v - 4);
+        suite.push_back(s);
+    }
+    return suite;
+}
+
+std::vector<TraceSpec>
+gridSuite()
+{
+    const auto full = paperSuite();
+    // Two of each flavour keeps the mix while quartering the cost
+    // of the (size x cycle-time) grid sweeps.
+    return {full[0], full[2], full[4], full[6]};
+}
+
+double
+suiteScale()
+{
+    const char *quick = std::getenv("MLC_QUICK");
+    if (!quick || quick[0] == '\0')
+        return 1.0;
+    double divisor = 0.0;
+    if (parseDouble(quick, divisor) && divisor > 1.0)
+        return 1.0 / divisor;
+    return 0.125; // MLC_QUICK=1 (or junk): 8x shorter
+}
+
+std::uint64_t
+scaledWarmup(const TraceSpec &spec)
+{
+    const auto scaled = static_cast<std::uint64_t>(
+        static_cast<double>(spec.warmupRefs) * suiteScale());
+    return scaled < 1000 ? 1000 : scaled;
+}
+
+std::uint64_t
+scaledMeasure(const TraceSpec &spec)
+{
+    const auto scaled = static_cast<std::uint64_t>(
+        static_cast<double>(spec.measureRefs) * suiteScale());
+    return scaled < 2000 ? 2000 : scaled;
+}
+
+std::vector<trace::MemRef>
+materialize(const TraceSpec &spec)
+{
+    auto source = trace::makeMultiprogrammedWorkload(
+        spec.processes, spec.switchInterval, spec.variant);
+    const std::uint64_t total =
+        scaledWarmup(spec) + scaledMeasure(spec);
+    return trace::collect(*source, total);
+}
+
+} // namespace expt
+} // namespace mlc

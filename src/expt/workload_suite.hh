@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The reproduction's stand-in for the paper's eight
+ * multiprogramming traces.
+ *
+ * The paper used four ATUM VAX 8200 traces (VMS/Ultrix, including
+ * operating-system references) and four traces built by randomly
+ * interleaving MIPS R2000 user traces at VAX-like context-switch
+ * intervals. This suite mirrors that structure with synthetic
+ * workloads: four "vax"-flavoured entries (more processes, shorter
+ * switch intervals — multiprogramming plus OS-like activity) and
+ * four "mips"-flavoured entries (fewer, longer-running user
+ * processes). Each entry is deterministic given its variant id.
+ *
+ * Traces are materialized into memory once so design-space sweeps
+ * replay the identical reference stream at every grid point, as
+ * trace-driven simulation requires.
+ */
+
+#ifndef MLC_EXPT_WORKLOAD_SUITE_HH
+#define MLC_EXPT_WORKLOAD_SUITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/mem_ref.hh"
+
+namespace mlc {
+namespace expt {
+
+/** One synthetic "trace" in the suite. */
+struct TraceSpec
+{
+    std::string name;
+    std::uint64_t variant = 0;       //!< generator seed selector
+    std::size_t processes = 6;       //!< multiprogramming degree
+    std::uint64_t switchInterval = 12000; //!< refs between switches
+    std::uint64_t warmupRefs = 400'000;
+    std::uint64_t measureRefs = 1'200'000;
+};
+
+/** The eight-entry suite described above. */
+std::vector<TraceSpec> paperSuite();
+
+/** A cheaper four-entry subset for wide grid sweeps. */
+std::vector<TraceSpec> gridSuite();
+
+/**
+ * Scale factor applied to warmup/measure lengths: reads the
+ * MLC_QUICK environment variable (set to 1 or a divisor) so smoke
+ * runs finish fast; returns 1.0 for full-length runs.
+ */
+double suiteScale();
+
+/** Generate the full reference stream (warmup + measure). */
+std::vector<trace::MemRef> materialize(const TraceSpec &spec);
+
+/** warmupRefs scaled by suiteScale(). */
+std::uint64_t scaledWarmup(const TraceSpec &spec);
+/** measureRefs scaled by suiteScale(). */
+std::uint64_t scaledMeasure(const TraceSpec &spec);
+
+} // namespace expt
+} // namespace mlc
+
+#endif // MLC_EXPT_WORKLOAD_SUITE_HH

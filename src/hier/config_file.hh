@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Text configuration front end.
+ *
+ * The paper: "The simulation system reads a file that specifies the
+ * depth of the cache hierarchy and the configuration of each
+ * cache." This parser accepts a simple key = value format:
+ *
+ *     # the base machine
+ *     cpu.cycle        = 10ns
+ *     l1.split         = true
+ *     l1i.size         = 2KB
+ *     l1i.block        = 16
+ *     l1i.assoc        = 1
+ *     l1d.size         = 2KB
+ *     l1d.write_policy = write-back
+ *     l2.size          = 512KB
+ *     l2.block         = 32
+ *     l2.cycle         = 30ns
+ *     bus.l2.words     = 4
+ *     bus.memory.words = 4
+ *     memory.read      = 180ns
+ *     memory.write     = 100ns
+ *     memory.gap       = 120ns
+ *     wbuffer.depth    = 4
+ *
+ * Deeper hierarchies add l3.*, l4.* ... sections (and matching
+ * bus.l3.words etc.). Unspecified keys keep the base-machine
+ * defaults; unknown keys are fatal so typos cannot silently
+ * configure the wrong machine.
+ */
+
+#ifndef MLC_HIER_CONFIG_FILE_HH
+#define MLC_HIER_CONFIG_FILE_HH
+
+#include <iosfwd>
+#include <istream>
+#include <string>
+
+#include "hier/hierarchy_config.hh"
+
+namespace mlc {
+namespace hier {
+
+/** Parse a configuration stream; fatal() on any error. */
+HierarchyParams parseConfig(std::istream &is);
+
+/** Parse a configuration file by path; fatal() on any error. */
+HierarchyParams parseConfigFile(const std::string &path);
+
+/** Emit @p params in the same format (round-trips via parse). */
+void writeConfig(std::ostream &os, const HierarchyParams &params);
+
+} // namespace hier
+} // namespace mlc
+
+#endif // MLC_HIER_CONFIG_FILE_HH

@@ -1,0 +1,504 @@
+#include "hier/hierarchy.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mlc {
+namespace hier {
+
+namespace {
+
+/** Seed offsets so each component's Random policy decorrelates. */
+constexpr std::uint64_t kCacheSeedBase = 0x1234abcdULL;
+
+HierarchyParams
+finalized(HierarchyParams p)
+{
+    p.finalize();
+    return p;
+}
+
+} // namespace
+
+HierarchySimulator::HierarchySimulator(HierarchyParams params)
+    : params_(finalized(std::move(params))),
+      cpuCycle_(nsToTicks(params_.cpuCycleNs)),
+      memory_(params_.memory)
+{
+
+    if (params_.splitL1) {
+        l1i_ = std::make_unique<cache::Cache>(params_.l1i,
+                                              kCacheSeedBase);
+        l1iCycle_ = nsToTicks(params_.l1i.cycleNs);
+    }
+    l1d_ = std::make_unique<cache::Cache>(params_.l1d,
+                                          kCacheSeedBase + 1);
+    l1dCycle_ = nsToTicks(params_.l1d.cycleNs);
+
+    for (std::size_t i = 0; i < params_.levels.size(); ++i) {
+        levels_.push_back(std::make_unique<cache::Cache>(
+            params_.levels[i], kCacheSeedBase + 2 + i));
+        if (params_.measureSolo)
+            solo_.push_back(std::make_unique<cache::Cache>(
+                params_.levels[i], kCacheSeedBase + 100 + i));
+    }
+
+    // Bus i feeds levels_[i] and cycles at that level's rate; the
+    // backplane cycles at the rate of the deepest cache (or the CPU
+    // when there are no downstream caches).
+    for (std::size_t i = 0; i < params_.levels.size(); ++i) {
+        buses_.emplace_back(params_.busWidthWords[i],
+                            nsToTicks(params_.levels[i].cycleNs));
+    }
+    const Tick backplane_cycle =
+        params_.backplaneCycleNs > 0.0
+            ? nsToTicks(params_.backplaneCycleNs)
+            : (params_.levels.empty()
+                   ? cpuCycle_
+                   : nsToTicks(params_.levels.back().cycleNs));
+    buses_.emplace_back(params_.busWidthWords.back(),
+                        backplane_cycle);
+
+    for (std::size_t i = 0; i <= params_.levels.size(); ++i)
+        wb_.push_back(std::make_unique<mem::WriteBuffer>(
+            params_.writeBufferDepth));
+
+    readReqs_.assign(levels_.size(), 0);
+    readMisses_.assign(levels_.size(), 0);
+    levelOutcomes_.resize(levels_.size());
+    victimOutcomes_.resize(levels_.size());
+}
+
+Tick
+HierarchySimulator::cacheCycleTicks(std::size_t i) const
+{
+    return nsToTicks(params_.levels[i].cycleNs);
+}
+
+Tick
+HierarchySimulator::tagCheckTicks(std::size_t i) const
+{
+    return params_.levels[i].readCycles * cacheCycleTicks(i);
+}
+
+Tick
+HierarchySimulator::readHitService(std::size_t i,
+                                   std::uint64_t up_bytes) const
+{
+    // The first bus beat overlaps the array read; wider upstream
+    // blocks add beats at the bus rate.
+    const std::uint64_t beats = buses_[i].beatsFor(up_bytes);
+    return tagCheckTicks(i) +
+           (beats - 1) * buses_[i].cycleTime();
+}
+
+Tick
+HierarchySimulator::writeService(std::size_t i,
+                                 std::uint64_t bytes) const
+{
+    const std::uint64_t beats = buses_[i].beatsFor(bytes);
+    return params_.levels[i].writeCycles * cacheCycleTicks(i) +
+           (beats - 1) * buses_[i].cycleTime();
+}
+
+Tick
+HierarchySimulator::downstreamRead(std::size_t i, Addr addr,
+                                   std::uint64_t bytes, Tick start,
+                                   bool count_read, bool timed)
+{
+    if (i == levels_.size()) {
+        ++memReads_;
+        if (!timed)
+            return start;
+        const Tick service =
+            memory_.readService(buses_.back(), bytes);
+        const mem::WriteBuffer::Op op{
+            service, memory_.occupancyFor(service)};
+        return wb_[i]->read(start, addr, bytes, op).done;
+    }
+
+    cache::Cache &c = *levels_[i];
+    cache::AccessOutcome &outcome = levelOutcomes_[i];
+    if (count_read)
+        ++readReqs_[i];
+
+    trace::MemRef req = trace::makeLoad(addr);
+    c.access(req, outcome);
+
+    if (outcome.hit) {
+        if (!timed)
+            return start;
+        const Tick service = readHitService(i, bytes);
+        const mem::WriteBuffer::Op op{service, service};
+        return wb_[i]->read(start, addr, bytes, op).done;
+    }
+
+    if (count_read)
+        ++readMisses_[i];
+
+    Tick miss_known = start;
+    if (timed) {
+        const Tick tag = tagCheckTicks(i);
+        const mem::WriteBuffer::Op op{tag, tag};
+        miss_known = wb_[i]->read(start, addr, bytes, op).done;
+    }
+    return fillFromBelow(i + 1, outcome,
+                         c.params().fillRequestBytes(), miss_known,
+                         count_read, timed);
+}
+
+Tick
+HierarchySimulator::fillFromBelow(std::size_t i,
+                                  const cache::AccessOutcome &outcome,
+                                  std::uint64_t up_block_bytes,
+                                  Tick start, bool count_read,
+                                  bool timed)
+{
+    // The demand block gates the requester; further fills of the
+    // fetch group (and prefetches) proceed afterwards without
+    // stalling it, but they do occupy the downstream timelines.
+    Tick demand_ready = start;
+    bool first = true;
+    for (Addr fill : outcome.fills) {
+        const Tick r = downstreamRead(i, fill, up_block_bytes,
+                                      first ? start : demand_ready,
+                                      count_read && first, timed);
+        if (first) {
+            demand_ready = r;
+            first = false;
+        }
+    }
+
+    Tick ready = demand_ready;
+    for (const cache::WritebackReq &victim : outcome.writebacks) {
+        const Tick proceed = queueDownstreamWrite(
+            i, victim.base, victim.bytes, demand_ready, timed);
+        ready = std::max(ready, proceed);
+    }
+    return ready;
+}
+
+Tick
+HierarchySimulator::queueDownstreamWrite(std::size_t i, Addr base,
+                                         std::uint64_t bytes,
+                                         Tick start, bool timed)
+{
+    if (i == levels_.size()) {
+        ++memWrites_;
+        if (!timed)
+            return start;
+        const Tick service =
+            memory_.writeService(buses_.back(), bytes);
+        const mem::WriteBuffer::Op op{
+            service, memory_.occupancyFor(service)};
+        return wb_[i]->queueWrite(start, base, bytes, op);
+    }
+
+    cache::Cache &c = *levels_[i];
+    const bool hit = c.absorbWrite(base);
+    if (!hit) {
+        if (c.params().downstreamWriteMiss ==
+            cache::DownstreamWriteMissPolicy::Around) {
+            return queueDownstreamWrite(i + 1, base, bytes, start,
+                                        timed);
+        }
+        // Allocate: fetch the enclosing block from below, install
+        // it dirty, then complete the write locally. The fetch is
+        // demand traffic on the lower timeline but does not stall
+        // the original requester beyond the local queueing.
+        cache::AccessOutcome &outcome = victimOutcomes_[i];
+        c.absorbWriteAllocate(base, outcome);
+        Tick fetched = start;
+        for (Addr fill : outcome.fills)
+            fetched = downstreamRead(
+                i + 1, fill, c.params().fillRequestBytes(), start,
+                false, timed);
+        Tick proceed = fetched;
+        if (timed) {
+            const Tick service = writeService(i, bytes);
+            const mem::WriteBuffer::Op op{service, service};
+            proceed = wb_[i]->queueWrite(fetched, base, bytes, op);
+        }
+        for (const cache::WritebackReq &victim :
+             outcome.writebacks)
+            proceed = std::max(proceed,
+                               queueDownstreamWrite(
+                                   i + 1, victim.base,
+                                   victim.bytes, fetched, timed));
+        return timed ? proceed : start;
+    }
+
+    Tick proceed = start;
+    if (timed) {
+        const Tick service = writeService(i, bytes);
+        const mem::WriteBuffer::Op op{service, service};
+        proceed = wb_[i]->queueWrite(start, base, bytes, op);
+    }
+    if (c.params().writePolicy == cache::WritePolicy::WriteThrough) {
+        proceed = std::max(
+            proceed,
+            queueDownstreamWrite(i + 1, base, bytes, start, timed));
+    }
+    return proceed;
+}
+
+void
+HierarchySimulator::handleRef(const trace::MemRef &ref, bool timed)
+{
+    cache::Cache *l1 = l1d_.get();
+    Tick l1_cycle = l1dCycle_;
+
+    if (ref.isInst()) {
+        ++instructions_;
+        ++ifetches_;
+        if (timed) {
+            now_ += cpuCycle_;
+            baseTicks_ += cpuCycle_;
+        }
+        if (params_.splitL1) {
+            l1 = l1i_.get();
+            l1_cycle = l1iCycle_;
+        }
+    } else if (ref.type == trace::RefType::Load) {
+        ++loads_;
+    } else {
+        ++stores_;
+    }
+
+    // Solo co-simulation sees the raw CPU stream.
+    for (auto &solo : solo_)
+        solo->access(ref, soloOutcome_);
+
+    l1->access(ref, l1Outcome_);
+    const std::uint64_t l1_block = l1->params().fillRequestBytes();
+
+    if (ref.isRead()) {
+        if (l1Outcome_.hit) {
+            if (timed) {
+                const Tick extra =
+                    (l1->params().readCycles - 1) * l1_cycle;
+                now_ += extra;
+                readStallCacheTicks_ += extra;
+            }
+            return;
+        }
+        ++l1ReadMissCount_;
+        const Tick miss_start = now_;
+        const std::uint64_t mem_reads_before = memReads_;
+        const Tick ready = fillFromBelow(0, l1Outcome_, l1_block,
+                                         now_, true, timed);
+        if (timed) {
+            l1ReadMissStallTicks_ += ready - miss_start;
+            missPenaltyHist_.sample(
+                static_cast<double>(ready - miss_start) /
+                static_cast<double>(cpuCycle_));
+            const Tick before = now_;
+            now_ = roundUpMultiple(ready, cpuCycle_);
+            // Attribute the whole stall (including rounding) to
+            // memory if the demand path reached main memory.
+            if (memReads_ > mem_reads_before)
+                readStallMemoryTicks_ += now_ - before;
+            else
+                readStallCacheTicks_ += now_ - before;
+        }
+        return;
+    }
+
+    // Store.
+    const Tick write_extra =
+        (l1->params().writeCycles - 1) * l1_cycle;
+    if (l1Outcome_.hit && !l1Outcome_.forwardWrite) {
+        if (timed) {
+            now_ += write_extra;
+            storeWriteHitTicks_ += write_extra;
+        }
+        return;
+    }
+
+    Tick ready = now_;
+    if (!l1Outcome_.fills.empty() || !l1Outcome_.writebacks.empty())
+        ready = fillFromBelow(0, l1Outcome_, l1_block, now_, false,
+                              timed);
+    if (l1Outcome_.forwardWrite) {
+        const Addr word_base = ref.addr & ~Addr{3};
+        const Tick proceed = queueDownstreamWrite(
+            0, word_base, ref.size, ready, timed);
+        ready = std::max(ready, proceed);
+    }
+    if (timed) {
+        const Tick before = now_;
+        now_ = roundUpMultiple(ready, cpuCycle_) + write_extra;
+        storeStallTicks_ += now_ - before - write_extra;
+        storeWriteHitTicks_ += write_extra;
+    }
+}
+
+std::uint64_t
+HierarchySimulator::warmUp(trace::TraceSource &source,
+                           std::uint64_t refs)
+{
+    trace::MemRef ref;
+    std::uint64_t n = 0;
+    while (n < refs && source.next(ref)) {
+        handleRef(ref, false);
+        ++n;
+    }
+    resetAllCounts();
+    return n;
+}
+
+std::uint64_t
+HierarchySimulator::run(trace::TraceSource &source,
+                        std::uint64_t max_refs)
+{
+    trace::MemRef ref;
+    std::uint64_t n = 0;
+    while (n < max_refs && source.next(ref)) {
+        handleRef(ref, true);
+        ++n;
+    }
+    refsRun_ += n;
+    return n;
+}
+
+void
+HierarchySimulator::resetAllCounts()
+{
+    instructions_ = 0;
+    ifetches_ = 0;
+    loads_ = 0;
+    stores_ = 0;
+    refsRun_ = 0;
+    std::fill(readReqs_.begin(), readReqs_.end(), 0);
+    std::fill(readMisses_.begin(), readMisses_.end(), 0);
+    memReads_ = 0;
+    memWrites_ = 0;
+    l1ReadMissStallTicks_ = 0;
+    l1ReadMissCount_ = 0;
+    missPenaltyHist_.reset();
+    baseTicks_ = 0;
+    storeWriteHitTicks_ = 0;
+    readStallCacheTicks_ = 0;
+    readStallMemoryTicks_ = 0;
+    storeStallTicks_ = 0;
+
+    if (l1i_)
+        l1i_->resetCounts();
+    l1d_->resetCounts();
+    for (auto &level : levels_)
+        level->resetCounts();
+    for (auto &solo : solo_)
+        solo->resetCounts();
+}
+
+SimResults
+HierarchySimulator::results() const
+{
+    SimResults r;
+    r.instructions = instructions_;
+    r.cpuReads = ifetches_ + loads_;
+    r.cpuWrites = stores_;
+    r.references = ifetches_ + loads_ + stores_;
+
+    r.totalCycles = divCeil(now_, cpuCycle_);
+    const Tick ideal_ticks =
+        instructions_ * cpuCycle_ +
+        stores_ * (l1d_->params().writeCycles - 1) * l1dCycle_;
+    r.idealCycles = divCeil(ideal_ticks, cpuCycle_);
+
+    r.cpi = instructions_ == 0
+                ? 0.0
+                : static_cast<double>(r.totalCycles) /
+                      static_cast<double>(instructions_);
+    r.relativeExecTime =
+        r.idealCycles == 0
+            ? 0.0
+            : static_cast<double>(r.totalCycles) /
+                  static_cast<double>(r.idealCycles);
+
+    const double cpu_reads = static_cast<double>(r.cpuReads);
+
+    // Combined first level.
+    LevelResults l1;
+    l1.name = params_.splitL1 ? "l1" : "l1 (unified)";
+    l1.readRequests = l1d_->counts().readAccesses() +
+                      (l1i_ ? l1i_->counts().readAccesses() : 0);
+    l1.readMisses = l1d_->counts().readMisses() +
+                    (l1i_ ? l1i_->counts().readMisses() : 0);
+    l1.writebacks = l1d_->counts().writebacks +
+                    (l1i_ ? l1i_->counts().writebacks : 0);
+    l1.localMissRatio =
+        l1.readRequests == 0
+            ? 0.0
+            : static_cast<double>(l1.readMisses) /
+                  static_cast<double>(l1.readRequests);
+    l1.globalMissRatio =
+        r.cpuReads == 0 ? 0.0
+                        : static_cast<double>(l1.readMisses) /
+                              cpu_reads;
+    r.levels.push_back(l1);
+
+    if (params_.splitL1) {
+        for (const cache::Cache *c : {l1i_.get(), l1d_.get()}) {
+            LevelResults d;
+            d.name = c->params().name;
+            d.readRequests = c->counts().readAccesses();
+            d.readMisses = c->counts().readMisses();
+            d.writebacks = c->counts().writebacks;
+            d.localMissRatio = c->counts().readMissRatio();
+            d.globalMissRatio =
+                r.cpuReads == 0
+                    ? 0.0
+                    : static_cast<double>(d.readMisses) / cpu_reads;
+            r.l1Detail.push_back(d);
+        }
+    }
+
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        LevelResults lvl;
+        lvl.name = levels_[i]->params().name;
+        lvl.readRequests = readReqs_[i];
+        lvl.readMisses = readMisses_[i];
+        lvl.writebacks = levels_[i]->counts().writebacks;
+        lvl.localMissRatio =
+            readReqs_[i] == 0
+                ? 0.0
+                : static_cast<double>(readMisses_[i]) /
+                      static_cast<double>(readReqs_[i]);
+        lvl.globalMissRatio =
+            r.cpuReads == 0
+                ? 0.0
+                : static_cast<double>(readMisses_[i]) / cpu_reads;
+        if (params_.measureSolo)
+            lvl.soloMissRatio = solo_[i]->counts().readMissRatio();
+        r.levels.push_back(lvl);
+    }
+
+    if (l1ReadMissCount_ > 0) {
+        r.meanL1MissPenaltyCycles =
+            static_cast<double>(l1ReadMissStallTicks_) /
+            static_cast<double>(cpuCycle_) /
+            static_cast<double>(l1ReadMissCount_);
+    }
+
+    const double cycle = static_cast<double>(cpuCycle_);
+    r.breakdown.base = static_cast<double>(baseTicks_) / cycle;
+    r.breakdown.storeWriteHit =
+        static_cast<double>(storeWriteHitTicks_) / cycle;
+    r.breakdown.readStallCacheHit =
+        static_cast<double>(readStallCacheTicks_) / cycle;
+    r.breakdown.readStallMemory =
+        static_cast<double>(readStallMemoryTicks_) / cycle;
+    r.breakdown.storeStall =
+        static_cast<double>(storeStallTicks_) / cycle;
+
+    for (const auto &wb : wb_)
+        r.writeBufferFullStalls += wb->fullStalls();
+
+    return r;
+}
+
+} // namespace hier
+} // namespace mlc

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The multi-level cache hierarchy timing simulator — the paper's
+ * measurement apparatus.
+ *
+ * Model (Section 2 of the paper):
+ *  - A RISC-like CPU issues one instruction fetch per cycle plus at
+ *    most one data reference in the same cycle. Read hits in L1 are
+ *    fully pipelined; an L1 write hit takes the L1's write time
+ *    (2 cycles in the base machine, i.e. one stall cycle).
+ *  - An L1 read miss stalls the CPU until the entire L1 block
+ *    arrives from the next level; a miss at the last cache level
+ *    stalls it until the whole block arrives from main memory.
+ *  - Between every pair of adjacent levels sits a write buffer
+ *    (default 4 entries) through which dirty victims and forwarded
+ *    stores drain; demand reads have priority over unstarted
+ *    buffered writes but wait for writes in progress and for
+ *    buffered writes that overlap the read.
+ *  - Main memory has read/write operation times and a refresh gap
+ *    between successive operations.
+ *
+ * Simplifications (documented in DESIGN.md): fills do not charge
+ * extra array occupancy at the level being filled, and victim
+ * write-backs / forwarded stores that miss in an intermediate level
+ * are passed around it (write-around) rather than allocating — the
+ * paper's write-back L1 with ample buffering makes write effects
+ * "mostly hidden" either way.
+ *
+ * Because reads block the CPU, the whole machine is exact under a
+ * busy-until schedule: there is no event queue, and simulation
+ * costs a few hundred instructions per reference.
+ */
+
+#ifndef MLC_HIER_HIERARCHY_HH
+#define MLC_HIER_HIERARCHY_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "hier/hierarchy_config.hh"
+#include "hier/results.hh"
+#include "mem/bus.hh"
+#include "mem/main_memory.hh"
+#include "mem/timing.hh"
+#include "mem/write_buffer.hh"
+#include "stats/stats.hh"
+#include "trace/source.hh"
+
+namespace mlc {
+namespace hier {
+
+/** Trace-driven, cycle-accounting hierarchy simulator. */
+class HierarchySimulator
+{
+  public:
+    /** @param params finalized (or finalizable) configuration. */
+    explicit HierarchySimulator(HierarchyParams params);
+
+    /**
+     * Run @p refs references functionally (tags update, no timing,
+     * no statistics kept afterwards) to take the caches out of the
+     * cold-start region, as the paper's methodology requires. Must
+     * precede run(); counters are zeroed on return.
+     */
+    std::uint64_t warmUp(trace::TraceSource &source,
+                         std::uint64_t refs);
+
+    /**
+     * Simulate with full timing.
+     * @return number of references consumed.
+     */
+    std::uint64_t
+    run(trace::TraceSource &source,
+        std::uint64_t max_refs =
+            std::numeric_limits<std::uint64_t>::max());
+
+    /** Measurements over everything run() has simulated. */
+    SimResults results() const;
+
+    /** @{ @name Component access (tests, stats reporting) */
+    const HierarchyParams &params() const { return params_; }
+    const cache::Cache &l1i() const { return *l1i_; }
+    const cache::Cache &l1d() const { return *l1d_; }
+    std::size_t levelCount() const { return levels_.size(); }
+    const cache::Cache &level(std::size_t i) const
+    {
+        return *levels_[i];
+    }
+    const mem::WriteBuffer &writeBuffer(std::size_t i) const
+    {
+        return *wb_[i];
+    }
+    Tick now() const { return now_; }
+    std::uint64_t memoryReads() const { return memReads_; }
+    std::uint64_t memoryWrites() const { return memWrites_; }
+
+    /** Distribution of L1 read-miss penalties in CPU cycles
+     *  (2-cycle linear buckets, 0..80, overflow beyond). */
+    const stats::Histogram &
+    missPenaltyHistogram() const
+    {
+        return missPenaltyHist_;
+    }
+    /** @} */
+
+  private:
+    /** Apply one CPU reference; advances now_ when timed. */
+    void handleRef(const trace::MemRef &ref, bool timed);
+
+    /**
+     * Read an upstream block from downstream level @p i (i ==
+     * levels_.size() addresses main memory).
+     * @return tick at which the block is fully delivered.
+     */
+    Tick downstreamRead(std::size_t i, Addr addr,
+                        std::uint64_t bytes, Tick start,
+                        bool count_read, bool timed);
+
+    /**
+     * Queue a write (victim write-back or forwarded store) toward
+     * level @p i, applying write-around at levels that miss.
+     * @return tick at which the requester may proceed.
+     */
+    Tick queueDownstreamWrite(std::size_t i, Addr base,
+                              std::uint64_t bytes, Tick start,
+                              bool timed);
+
+    /** Fan a miss outcome's fills and write-backs downstream. */
+    Tick fillFromBelow(std::size_t i,
+                       const cache::AccessOutcome &outcome,
+                       std::uint64_t up_block_bytes, Tick start,
+                       bool count_read, bool timed);
+
+    /** @{ @name Per-level timing helpers */
+    Tick cacheCycleTicks(std::size_t i) const;
+    Tick readHitService(std::size_t i,
+                        std::uint64_t up_bytes) const;
+    Tick tagCheckTicks(std::size_t i) const;
+    Tick writeService(std::size_t i, std::uint64_t bytes) const;
+    /** @} */
+
+    void resetAllCounts();
+
+    HierarchyParams params_;
+    Tick cpuCycle_;
+    Tick l1iCycle_ = 0;
+    Tick l1dCycle_ = 0;
+
+    std::unique_ptr<cache::Cache> l1i_;
+    std::unique_ptr<cache::Cache> l1d_; //!< unified L1 if !splitL1
+    std::vector<std::unique_ptr<cache::Cache>> levels_;
+    std::vector<std::unique_ptr<cache::Cache>> solo_;
+    std::vector<mem::Bus> buses_; //!< buses_[i] feeds levels_[i];
+                                  //!< back() is the backplane
+    std::vector<std::unique_ptr<mem::WriteBuffer>> wb_;
+    mem::MainMemory memory_;
+
+    Tick now_ = 0;
+    std::uint64_t instructions_ = 0;
+    std::uint64_t ifetches_ = 0;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t refsRun_ = 0;
+
+    std::vector<std::uint64_t> readReqs_;
+    std::vector<std::uint64_t> readMisses_;
+    std::uint64_t memReads_ = 0;
+    std::uint64_t memWrites_ = 0;
+
+    Tick l1ReadMissStallTicks_ = 0;
+    std::uint64_t l1ReadMissCount_ = 0;
+
+    /** @{ @name Cycle attribution (breakdown invariant: the five
+     *  buckets sum to now_). */
+    Tick baseTicks_ = 0;
+    Tick storeWriteHitTicks_ = 0;
+    Tick readStallCacheTicks_ = 0;
+    Tick readStallMemoryTicks_ = 0;
+    Tick storeStallTicks_ = 0;
+    /** @} */
+
+    stats::Group statsGroup_{"hier"};
+    stats::Histogram missPenaltyHist_ = stats::Histogram::linear(
+        &statsGroup_, "l1MissPenalty",
+        "L1 read-miss penalty (CPU cycles)", 0.0, 2.0, 40);
+
+    cache::AccessOutcome l1Outcome_; //!< reused per reference
+    /** One buffer per downstream level: the recursion at level i
+     *  iterates its own buffer while deeper calls use theirs. */
+    std::vector<cache::AccessOutcome> levelOutcomes_;
+    /** Separate buffers for the downstream-write Allocate path so
+     *  a victim allocation never clobbers a read in flight. */
+    std::vector<cache::AccessOutcome> victimOutcomes_;
+    cache::AccessOutcome soloOutcome_; //!< reused per solo access
+};
+
+} // namespace hier
+} // namespace mlc
+
+#endif // MLC_HIER_HIERARCHY_HH

@@ -1,0 +1,140 @@
+#include "hier/hierarchy_config.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace mlc {
+namespace hier {
+
+void
+HierarchyParams::finalize()
+{
+    if (cpuCycleNs <= 0.0)
+        mlc_fatal("CPU cycle time must be positive");
+
+    if (splitL1) {
+        l1i.finalize();
+        l1d.finalize();
+    } else {
+        l1d.finalize();
+    }
+    for (auto &level : levels)
+        level.finalize();
+
+    if (busWidthWords.size() != levels.size() + 1)
+        mlc_fatal("need ", levels.size() + 1,
+                  " bus widths (one per downstream level plus the "
+                  "memory backplane), got ",
+                  busWidthWords.size());
+    for (auto w : busWidthWords)
+        if (w == 0)
+            mlc_fatal("bus width must be non-zero");
+
+    if (writeBufferDepth == 0)
+        mlc_fatal("write buffer depth must be non-zero");
+    if (backplaneCycleNs < 0.0)
+        mlc_fatal("backplane cycle time must be non-negative");
+
+    // Block sizes must not shrink downstream: a level's fill
+    // request must fit within one block of the level below it.
+    std::uint32_t up_block = splitL1
+                                 ? std::max(l1i.geometry.blockBytes,
+                                            l1d.geometry.blockBytes)
+                                 : l1d.geometry.blockBytes;
+    for (const auto &level : levels) {
+        if (level.geometry.blockBytes < up_block)
+            mlc_fatal(level.name, ": block size ",
+                      level.geometry.blockBytes,
+                      " smaller than upstream block ", up_block);
+        up_block = level.geometry.blockBytes;
+    }
+}
+
+HierarchyParams
+HierarchyParams::baseMachine()
+{
+    HierarchyParams p;
+    p.cpuCycleNs = 10.0;
+    p.splitL1 = true;
+
+    p.l1i.name = "l1i";
+    p.l1i.geometry.sizeBytes = 2 * 1024;
+    p.l1i.geometry.blockBytes = 16;
+    p.l1i.geometry.assoc = 1;
+    p.l1i.cycleNs = 10.0;
+    p.l1i.readCycles = 1;
+    p.l1i.writeCycles = 2;
+
+    p.l1d = p.l1i;
+    p.l1d.name = "l1d";
+
+    cache::CacheParams l2;
+    l2.name = "l2";
+    l2.geometry.sizeBytes = 512 * 1024;
+    l2.geometry.blockBytes = 32;
+    l2.geometry.assoc = 1;
+    l2.cycleNs = 30.0;
+    l2.readCycles = 1;
+    l2.writeCycles = 2;
+    p.levels.push_back(l2);
+
+    p.busWidthWords = {4, 4};
+    p.memory = mem::MainMemoryParams{};
+    p.backplaneCycleNs = 30.0;
+    p.writeBufferDepth = 4;
+    return p;
+}
+
+HierarchyParams
+HierarchyParams::withL2(std::uint64_t size_bytes,
+                        std::uint32_t cpu_cycles,
+                        std::uint32_t assoc) const
+{
+    HierarchyParams p = *this;
+    if (p.levels.empty())
+        mlc_fatal("withL2 on a hierarchy without an L2");
+    p.levels[0].geometry.sizeBytes = size_bytes;
+    p.levels[0].geometry.assoc = assoc;
+    p.levels[0].cycleNs =
+        p.cpuCycleNs * static_cast<double>(cpu_cycles);
+    return p;
+}
+
+HierarchyParams
+HierarchyParams::withL1Total(std::uint64_t total_bytes) const
+{
+    HierarchyParams p = *this;
+    if (!p.splitL1)
+        mlc_fatal("withL1Total expects a split L1");
+    p.l1i.geometry.sizeBytes = total_bytes / 2;
+    p.l1d.geometry.sizeBytes = total_bytes / 2;
+    return p;
+}
+
+std::string
+HierarchyParams::summary() const
+{
+    std::ostringstream os;
+    os << "cpu " << cpuCycleNs << "ns";
+    if (splitL1) {
+        os << ", L1 " << formatSize(l1i.geometry.sizeBytes) << "I+"
+           << formatSize(l1d.geometry.sizeBytes) << "D";
+    } else {
+        os << ", L1 " << formatSize(l1d.geometry.sizeBytes)
+           << " unified";
+    }
+    int n = 2;
+    for (const auto &level : levels) {
+        os << ", L" << n++ << " "
+           << formatSize(level.geometry.sizeBytes) << "/"
+           << level.geometry.assoc << "-way/"
+           << level.cycleNs << "ns";
+    }
+    os << ", mem " << memory.readNs << "ns";
+    return os.str();
+}
+
+} // namespace hier
+} // namespace mlc

@@ -1,0 +1,47 @@
+#include "hier/results.hh"
+
+#include <iomanip>
+
+namespace mlc {
+namespace hier {
+
+void
+SimResults::print(std::ostream &os) const
+{
+    const auto flags = os.flags();
+    os << "instructions          " << instructions << '\n'
+       << "cpu reads             " << cpuReads << '\n'
+       << "cpu writes            " << cpuWrites << '\n'
+       << "total cycles          " << totalCycles << '\n'
+       << "ideal cycles          " << idealCycles << '\n'
+       << std::fixed << std::setprecision(4)
+       << "CPI                   " << cpi << '\n'
+       << "relative exec time    " << relativeExecTime << '\n'
+       << "mean L1 miss penalty  " << meanL1MissPenaltyCycles
+       << " cycles\n"
+       << "wbuf full stalls      " << writeBufferFullStalls << '\n'
+       << "cycle breakdown: base " << breakdown.base
+       << ", store-hit " << breakdown.storeWriteHit
+       << ", read-stall(cache) " << breakdown.readStallCacheHit
+       << ", read-stall(memory) " << breakdown.readStallMemory
+       << ", store-stall " << breakdown.storeStall << '\n';
+
+    for (const auto &lvl : levels) {
+        os << lvl.name << ": reads " << lvl.readRequests
+           << ", misses " << lvl.readMisses << ", local "
+           << std::setprecision(4) << lvl.localMissRatio
+           << ", global " << lvl.globalMissRatio;
+        if (lvl.hasSolo())
+            os << ", solo " << lvl.soloMissRatio;
+        os << ", writebacks " << lvl.writebacks << '\n';
+    }
+    for (const auto &lvl : l1Detail) {
+        os << "  " << lvl.name << ": reads " << lvl.readRequests
+           << ", misses " << lvl.readMisses << ", local "
+           << lvl.localMissRatio << '\n';
+    }
+    os.flags(flags);
+}
+
+} // namespace hier
+} // namespace mlc

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Simulation results: the quantities the paper reports.
+ *
+ * The three miss-ratio families follow Section 2/3 exactly and are
+ * computed over read requests (loads + instruction fetches) only:
+ *
+ *  - local  = level misses / read requests reaching the level,
+ *  - global = level misses / CPU read references,
+ *  - solo   = read miss ratio of an identical cache co-simulated
+ *             directly on the CPU reference stream.
+ *
+ * "Relative execution time" normalizes total cycles against an
+ * ideal machine in which every reference hits in L1 (stores still
+ * pay the L1 write-hit time); the paper's own normalization is not
+ * stated, and this choice reproduces its reported range.
+ */
+
+#ifndef MLC_HIER_RESULTS_HH
+#define MLC_HIER_RESULTS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mlc {
+namespace hier {
+
+/** Per-cache measurements. */
+struct LevelResults
+{
+    std::string name;
+
+    std::uint64_t readRequests = 0; //!< read-origin requests seen
+    std::uint64_t readMisses = 0;   //!< ... that missed
+    std::uint64_t writebacks = 0;   //!< dirty victims pushed down
+
+    double localMissRatio = 0.0;
+    double globalMissRatio = 0.0;
+    /** Solo read miss ratio; negative when not measured. */
+    double soloMissRatio = -1.0;
+
+    bool hasSolo() const { return soloMissRatio >= 0.0; }
+};
+
+/**
+ * Where the cycles went. The components sum exactly to totalCycles
+ * (up to the final cycle-rounding), which the tests assert: any
+ * stall the simulator models must be attributed somewhere.
+ */
+struct CycleBreakdown
+{
+    /** One cycle per instruction. */
+    double base = 0.0;
+    /** Extra cycles of L1 write hits (the 2-cycle store). */
+    double storeWriteHit = 0.0;
+    /** Read-miss stalls serviced without main memory. */
+    double readStallCacheHit = 0.0;
+    /** Read-miss stalls that reached main memory. */
+    double readStallMemory = 0.0;
+    /** Store-miss fetch and write-buffer back-pressure stalls. */
+    double storeStall = 0.0;
+
+    double
+    total() const
+    {
+        return base + storeWriteHit + readStallCacheHit +
+               readStallMemory + storeStall;
+    }
+};
+
+/** Whole-run measurements. */
+struct SimResults
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cpuReads = 0;  //!< ifetches + loads
+    std::uint64_t cpuWrites = 0; //!< stores
+    std::uint64_t references = 0;
+
+    std::uint64_t totalCycles = 0;
+    std::uint64_t idealCycles = 0;
+
+    double cpi = 0.0;
+    double relativeExecTime = 0.0;
+
+    /** Combined split-L1 view first (index 0), then L2, L3, ... */
+    std::vector<LevelResults> levels;
+    /** Split-L1 detail (empty for a unified L1). */
+    std::vector<LevelResults> l1Detail;
+
+    /** Mean CPU-cycles of read stall per L1 read miss. */
+    double meanL1MissPenaltyCycles = 0.0;
+
+    /** Attribution of every simulated cycle. */
+    CycleBreakdown breakdown;
+
+    std::uint64_t writeBufferFullStalls = 0;
+
+    /** Human-readable multi-line report. */
+    void print(std::ostream &os) const;
+};
+
+} // namespace hier
+} // namespace mlc
+
+#endif // MLC_HIER_RESULTS_HH

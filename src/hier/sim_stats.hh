@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Statistics binding: expose a HierarchySimulator's measurements as
+ * a stats::Group tree, giving the classic simulator experience of a
+ * flat "name value # description" dump (hierarchy_explorer's
+ * output format).
+ *
+ * The binding is pull-based: every stat is a Formula reading the
+ * simulator at dump time, so one SimStats can be dumped repeatedly
+ * as a run progresses without re-wiring.
+ */
+
+#ifndef MLC_HIER_SIM_STATS_HH
+#define MLC_HIER_SIM_STATS_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "hier/hierarchy.hh"
+#include "stats/stats.hh"
+
+namespace mlc {
+namespace hier {
+
+/** Stats-tree view over a simulator. */
+class SimStats
+{
+  public:
+    /**
+     * @param sim borrowed; must outlive this object.
+     * @param name root group name (default "sim").
+     */
+    explicit SimStats(const HierarchySimulator &sim,
+                      const std::string &name = "sim");
+
+    /** Dump every stat as "path value # description" lines. */
+    void dump(std::ostream &os) const;
+
+    stats::Group &root() { return root_; }
+
+  private:
+    void addCpuStats();
+    void addLevelStats();
+    void addWriteBufferStats();
+
+    const HierarchySimulator &sim_;
+    stats::Group root_;
+    std::vector<std::unique_ptr<stats::Group>> groups_;
+    std::vector<std::unique_ptr<stats::Formula>> formulas_;
+};
+
+} // namespace hier
+} // namespace mlc
+
+#endif // MLC_HIER_SIM_STATS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Inter-level bus model.
+ *
+ * The paper's buses are W words wide and cycle at the downstream
+ * device's rate; moving B bytes costs ceil(B / 4W) bus cycles. The
+ * Bus class computes those transfer times; occupancy is accounted
+ * by the busy-until ledgers of the devices at either end.
+ */
+
+#ifndef MLC_MEM_BUS_HH
+#define MLC_MEM_BUS_HH
+
+#include <cstdint>
+
+#include "mem/timing.hh"
+#include "util/bits.hh"
+
+namespace mlc {
+namespace mem {
+
+/** A W-word-wide bus cycling with period cycleTicks. */
+class Bus
+{
+  public:
+    /**
+     * @param width_words datapath width in 4-byte words.
+     * @param cycle bus cycle time in ticks.
+     */
+    Bus(std::uint32_t width_words, Tick cycle)
+        : widthBytes_(width_words * 4), cycle_(cycle)
+    {
+        if (width_words == 0)
+            mlc_panic("bus width must be non-zero");
+        if (cycle == 0)
+            mlc_panic("bus cycle time must be non-zero");
+    }
+
+    /** Bus cycles needed to move @p bytes. */
+    std::uint64_t
+    beatsFor(std::uint64_t bytes) const
+    {
+        return divCeil(bytes, widthBytes_);
+    }
+
+    /** Time to move @p bytes (full beats). */
+    Tick
+    transferTime(std::uint64_t bytes) const
+    {
+        return static_cast<Tick>(beatsFor(bytes)) * cycle_;
+    }
+
+    /** One bus cycle (e.g. an address beat). */
+    Tick cycleTime() const { return cycle_; }
+
+    std::uint64_t widthBytes() const { return widthBytes_; }
+
+  private:
+    std::uint64_t widthBytes_;
+    Tick cycle_;
+};
+
+} // namespace mem
+} // namespace mlc
+
+#endif // MLC_MEM_BUS_HH

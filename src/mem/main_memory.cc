@@ -1,0 +1,65 @@
+#include "mem/main_memory.hh"
+
+namespace mlc {
+namespace mem {
+
+MainMemory::MainMemory(const MainMemoryParams &params)
+    : params_(params),
+      readTicks_(nsToTicks(params.readNs)),
+      writeTicks_(nsToTicks(params.writeNs)),
+      gapTicks_(nsToTicks(params.interOpGapNs))
+{
+    if (readTicks_ == 0 || writeTicks_ == 0)
+        mlc_panic("main memory operation times must be non-zero");
+}
+
+Tick
+MainMemory::readService(const Bus &backplane,
+                        std::uint64_t block_bytes) const
+{
+    return backplane.cycleTime() + readTicks_ +
+           backplane.transferTime(block_bytes);
+}
+
+Tick
+MainMemory::writeService(const Bus &backplane,
+                         std::uint64_t block_bytes) const
+{
+    return backplane.cycleTime() +
+           backplane.transferTime(block_bytes) + writeTicks_;
+}
+
+Tick
+MainMemory::occupancyFor(Tick service) const
+{
+    return service + gapTicks_;
+}
+
+BusyResource::Grant
+MainMemory::read(Tick earliest, const Bus &backplane,
+                 std::uint64_t block_bytes)
+{
+    ++reads_;
+    const Tick service = readService(backplane, block_bytes);
+    return resource_.access(earliest, service, occupancyFor(service));
+}
+
+BusyResource::Grant
+MainMemory::write(Tick earliest, const Bus &backplane,
+                  std::uint64_t block_bytes)
+{
+    ++writes_;
+    const Tick service = writeService(backplane, block_bytes);
+    return resource_.access(earliest, service, occupancyFor(service));
+}
+
+void
+MainMemory::reset()
+{
+    resource_.reset();
+    reads_ = 0;
+    writes_ = 0;
+}
+
+} // namespace mem
+} // namespace mlc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Timing primitives for the blocking-read hierarchy simulator.
+ *
+ * Time is kept in integer picoseconds (Tick) so that CPU cycles,
+ * cache cycles and DRAM parameters compose without rounding drift;
+ * the paper's 10 ns CPU cycle is 10'000 ticks.
+ *
+ * The simulator is trace-ordered rather than event-driven: the CPU
+ * blocks on read misses, so the only concurrency is write-buffer
+ * drain, which is modelled with busy-until ledgers (BusyResource)
+ * instead of an event queue. This keeps the inner loop to a few
+ * arithmetic operations per reference.
+ */
+
+#ifndef MLC_MEM_TIMING_HH
+#define MLC_MEM_TIMING_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace mlc {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Ticks per nanosecond. */
+constexpr Tick kTicksPerNs = 1000;
+
+/** Convert nanoseconds (possibly fractional) to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(
+        ns * static_cast<double>(kTicksPerNs) + 0.5);
+}
+
+/** Convert ticks to nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+/** Whole cycles of length @p cycle covering duration @p t. */
+constexpr Tick
+cyclesCovering(Tick t, Tick cycle)
+{
+    return (t + cycle - 1) / cycle;
+}
+
+/**
+ * A resource that serves one operation at a time, tracked with a
+ * single busy-until register. Operations have a service time (when
+ * their result is available) and an occupancy (how long the
+ * resource stays unavailable — e.g. DRAM refresh/cycle time extends
+ * occupancy beyond data delivery).
+ */
+class BusyResource
+{
+  public:
+    /** Grant times for one operation. */
+    struct Grant
+    {
+        Tick start;  //!< when the operation begins
+        Tick done;   //!< when its result is available
+    };
+
+    /**
+     * Schedule an operation no earlier than @p earliest.
+     * @param service time from start to result.
+     * @param occupancy time from start until the resource frees;
+     *        must be >= service.
+     */
+    Grant
+    access(Tick earliest, Tick service, Tick occupancy)
+    {
+        if (occupancy < service)
+            mlc_panic("BusyResource occupancy ", occupancy,
+                      " shorter than service ", service);
+        const Tick start = earliest > freeAt_ ? earliest : freeAt_;
+        freeAt_ = start + occupancy;
+        return {start, start + service};
+    }
+
+    /** Shorthand for occupancy == service. */
+    Grant
+    access(Tick earliest, Tick service)
+    {
+        return access(earliest, service, service);
+    }
+
+    /** Earliest time a new operation could start. */
+    Tick freeAt() const { return freeAt_; }
+
+    void reset() { freeAt_ = 0; }
+
+  private:
+    Tick freeAt_ = 0;
+};
+
+} // namespace mlc
+
+#endif // MLC_MEM_TIMING_HH

@@ -1,0 +1,164 @@
+#include "mem/write_buffer.hh"
+
+#include <algorithm>
+
+namespace mlc {
+namespace mem {
+
+WriteBuffer::WriteBuffer(std::size_t depth) : depth_(depth)
+{
+    if (depth == 0)
+        mlc_panic("write buffer depth must be non-zero");
+}
+
+void
+WriteBuffer::expire(Tick now)
+{
+    while (!entries_.empty() && entries_.front().done <= now)
+        entries_.pop_front();
+}
+
+Tick
+WriteBuffer::resourceFreeAt() const
+{
+    Tick free_at = readFreeAt_;
+    if (!entries_.empty())
+        free_at = std::max(free_at, entries_.back().occupiedUntil);
+    else
+        free_at = std::max(free_at, lastEntryOccupied_);
+    return free_at;
+}
+
+namespace {
+
+bool
+overlaps(Addr a, std::uint64_t alen, Addr b, std::uint64_t blen)
+{
+    return a < b + blen && b < a + alen;
+}
+
+} // namespace
+
+Tick
+WriteBuffer::queueWrite(Tick now, Addr base, std::uint64_t bytes,
+                        Op op)
+{
+    expire(now);
+    ++writesQueued_;
+
+    // Coalesce with an unstarted entry for the same range: the new
+    // data simply replaces the old in place.
+    for (auto &entry : entries_) {
+        if (entry.base == base && entry.bytes == bytes &&
+            entry.start > now) {
+            ++writesCoalesced_;
+            return now;
+        }
+    }
+
+    Tick proceed = now;
+    if (entries_.size() >= depth_) {
+        // Full: the requester stalls until the oldest entry drains.
+        proceed = entries_.front().done;
+        ++fullStalls_;
+        fullStallTicks_ += proceed - now;
+        expire(proceed);
+    }
+
+    Entry entry;
+    entry.base = base;
+    entry.bytes = bytes;
+    entry.start = std::max(proceed, resourceFreeAt());
+    entry.done = entry.start + op.service;
+    entry.occupiedUntil = entry.start + op.occupancy;
+    lastEntryOccupied_ = entry.occupiedUntil;
+    entries_.push_back(entry);
+    return proceed;
+}
+
+BusyResource::Grant
+WriteBuffer::read(Tick now, Addr base, std::uint64_t bytes, Op op)
+{
+    expire(now);
+    ++reads_;
+
+    // A buffered write overlapping the read holds data newer than
+    // the downstream copy; it must drain before the read proceeds.
+    std::ptrdiff_t match = -1;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (overlaps(entries_[i].base, entries_[i].bytes, base,
+                     bytes))
+            match = static_cast<std::ptrdiff_t>(i);
+    }
+
+    Tick earliest = std::max(now, readFreeAt_);
+    if (match >= 0) {
+        ++readMatches_;
+        const auto &m = entries_[static_cast<std::size_t>(match)];
+        earliest = std::max(earliest, m.occupiedUntil);
+    } else {
+        // Wait only for an operation already in progress.
+        for (const auto &entry : entries_) {
+            if (entry.start <= now && entry.occupiedUntil > now)
+                earliest = std::max(earliest, entry.occupiedUntil);
+        }
+    }
+
+    BusyResource::Grant grant;
+    grant.start = earliest;
+    grant.done = earliest + op.service;
+    const Tick read_occupied = earliest + op.occupancy;
+    readFreeAt_ = read_occupied;
+
+    // Push unstarted entries (behind any forced match) back behind
+    // the read; they drain in order afterwards.
+    Tick chain = read_occupied;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        auto &entry = entries_[i];
+        if (static_cast<std::ptrdiff_t>(i) <= match)
+            continue;
+        if (entry.start <= now)
+            continue;
+        const Tick service = entry.done - entry.start;
+        const Tick occupancy = entry.occupiedUntil - entry.start;
+        entry.start = chain;
+        entry.done = entry.start + service;
+        entry.occupiedUntil = entry.start + occupancy;
+        chain = entry.occupiedUntil;
+        lastEntryOccupied_ = entry.occupiedUntil;
+    }
+    return grant;
+}
+
+std::size_t
+WriteBuffer::pendingAt(Tick now) const
+{
+    std::size_t n = 0;
+    for (const auto &entry : entries_)
+        if (entry.done > now)
+            ++n;
+    return n;
+}
+
+Tick
+WriteBuffer::quiesceAt() const
+{
+    return resourceFreeAt();
+}
+
+void
+WriteBuffer::reset()
+{
+    entries_.clear();
+    readFreeAt_ = 0;
+    lastEntryOccupied_ = 0;
+    writesQueued_ = 0;
+    writesCoalesced_ = 0;
+    fullStalls_ = 0;
+    fullStallTicks_ = 0;
+    readMatches_ = 0;
+    reads_ = 0;
+}
+
+} // namespace mem
+} // namespace mlc

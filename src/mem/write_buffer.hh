@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Write buffer between adjacent levels of the hierarchy.
+ *
+ * The paper places 4-entry write buffers between each pair of
+ * levels, each entry one upstream block wide; with write-back
+ * caches "the writes are mostly hidden between the read requests".
+ * This class models that: it owns the timeline of ONE downstream
+ * resource and schedules two kinds of traffic on it:
+ *
+ *  - queueWrite(): a buffered block write (victim write-back or
+ *    write-through store). The requester proceeds immediately
+ *    unless all entries are occupied, in which case it stalls until
+ *    the oldest entry drains.
+ *  - read(): a demand read with priority — it waits only for an
+ *    operation already in progress (and, if it matches a buffered
+ *    block, for that entry to drain first, since the buffered data
+ *    is newer than the downstream copy); unstarted buffered writes
+ *    are pushed back behind the read.
+ *
+ * Because the CPU blocks on read misses, reads through a given
+ * buffer are naturally serialized, which is what lets a busy-until
+ * schedule (rather than an event queue) be exact.
+ */
+
+#ifndef MLC_MEM_WRITE_BUFFER_HH
+#define MLC_MEM_WRITE_BUFFER_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "mem/timing.hh"
+#include "trace/mem_ref.hh"
+
+namespace mlc {
+namespace mem {
+
+/** Write buffer plus downstream-resource scheduler. */
+class WriteBuffer
+{
+  public:
+    /** Service/occupancy pair for one downstream operation. */
+    struct Op
+    {
+        Tick service;   //!< start to result available
+        Tick occupancy; //!< start to resource free (>= service)
+    };
+
+    /** @param depth number of block entries (the paper uses 4). */
+    explicit WriteBuffer(std::size_t depth);
+
+    /**
+     * Queue a block write.
+     * @return the tick at which the requester may proceed: @p now,
+     *         or later if the buffer was full.
+     */
+    Tick queueWrite(Tick now, Addr base, std::uint64_t bytes,
+                    Op op);
+
+    /**
+     * Perform a demand read with priority over unstarted writes.
+     * @return grant with the read's start and data-available times.
+     */
+    BusyResource::Grant read(Tick now, Addr base,
+                             std::uint64_t bytes, Op op);
+
+    /** Entries still draining at @p now. */
+    std::size_t pendingAt(Tick now) const;
+
+    /** Completion time of the last scheduled operation. */
+    Tick quiesceAt() const;
+
+    std::size_t depth() const { return depth_; }
+
+    /** @{ @name Statistics */
+    std::uint64_t writesQueued() const { return writesQueued_; }
+    std::uint64_t writesCoalesced() const { return writesCoalesced_; }
+    std::uint64_t fullStalls() const { return fullStalls_; }
+    Tick fullStallTicks() const { return fullStallTicks_; }
+    std::uint64_t readMatches() const { return readMatches_; }
+    std::uint64_t reads() const { return reads_; }
+    /** @} */
+
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Addr base;
+        std::uint64_t bytes;
+        Tick start;
+        Tick done;          //!< write completes, entry frees
+        Tick occupiedUntil; //!< downstream resource frees
+    };
+
+    /** Drop entries fully drained by @p now. */
+    void expire(Tick now);
+
+    /** Latest occupancy end over everything scheduled. */
+    Tick resourceFreeAt() const;
+
+    std::size_t depth_;
+    std::deque<Entry> entries_;
+    Tick readFreeAt_ = 0;       //!< occupancy end of the last read
+    Tick lastEntryOccupied_ = 0;
+
+    std::uint64_t writesQueued_ = 0;
+    std::uint64_t writesCoalesced_ = 0;
+    std::uint64_t fullStalls_ = 0;
+    Tick fullStallTicks_ = 0;
+    std::uint64_t readMatches_ = 0;
+    std::uint64_t reads_ = 0;
+};
+
+} // namespace mem
+} // namespace mlc
+
+#endif // MLC_MEM_WRITE_BUFFER_HH

@@ -1,0 +1,42 @@
+#include "model/associativity.hh"
+
+#include "util/logging.hh"
+
+namespace mlc {
+namespace model {
+
+double
+breakEvenNs(double delta_global_miss, double mem_read_ns,
+            double l1_global_miss)
+{
+    if (l1_global_miss <= 0.0)
+        mlc_panic("break-even time needs a positive L1 miss ratio");
+    return delta_global_miss * mem_read_ns / l1_global_miss;
+}
+
+double
+breakEvenGrowthPerL1Doubling(double l1_doubling_factor)
+{
+    if (l1_doubling_factor <= 0.0 || l1_doubling_factor >= 1.0)
+        mlc_panic("doubling factor must be in (0,1), got ",
+                  l1_doubling_factor);
+    return 1.0 / l1_doubling_factor;
+}
+
+std::vector<double>
+cumulativeBreakEvenNs(const std::vector<double> &global_miss_by_assoc,
+                      double mem_read_ns, double l1_global_miss)
+{
+    if (global_miss_by_assoc.empty())
+        mlc_panic("cumulativeBreakEvenNs with no miss ratios");
+    std::vector<double> out;
+    out.reserve(global_miss_by_assoc.size());
+    const double dm = global_miss_by_assoc.front();
+    for (double miss : global_miss_by_assoc)
+        out.push_back(
+            breakEvenNs(dm - miss, mem_read_ns, l1_global_miss));
+    return out;
+}
+
+} // namespace model
+} // namespace mlc

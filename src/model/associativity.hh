@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Section 5's set-size tradeoff (Equation 3).
+ *
+ * The incremental break-even implementation time for doubling the
+ * associativity — the cycle-time degradation that exactly cancels
+ * the miss-ratio improvement — is
+ *
+ *   dt_be = dM_global * t_MMread / M_L1
+ *
+ * (change in global miss ratio x mean main-memory access time x
+ * the inverse of the L1 miss ratio). Since each L1 doubling scales
+ * M_L1 by ~0.69, downstream break-even times grow by ~1.45x per L1
+ * doubling. The paper's realizability threshold is the 11 ns select
+ * time of a TTL 2:1 mux (Advanced Schottky), kMuxSelectNs.
+ */
+
+#ifndef MLC_MODEL_ASSOCIATIVITY_HH
+#define MLC_MODEL_ASSOCIATIVITY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mlc {
+namespace model {
+
+/** TTL 2:1 multiplexor select-to-data-out time (paper ref [14]). */
+constexpr double kMuxSelectNs = 11.0;
+
+/**
+ * Equation 3: incremental break-even time in nanoseconds.
+ * @param delta_global_miss M_global(assoc a) - M_global(assoc 2a),
+ *        a positive improvement.
+ * @param mem_read_ns mean main-memory read (block fetch) time.
+ * @param l1_global_miss the upstream cache's global miss ratio.
+ */
+double breakEvenNs(double delta_global_miss, double mem_read_ns,
+                   double l1_global_miss);
+
+/**
+ * Growth of break-even times per L1 doubling: 1 / f where f is the
+ * L1 miss-rate doubling factor (paper: 1/0.69 ~ 1.45).
+ */
+double breakEvenGrowthPerL1Doubling(double l1_doubling_factor);
+
+/**
+ * Cumulative break-even times from a direct-mapped baseline.
+ * @param global_miss_by_assoc global miss ratios indexed by
+ *        log2(associativity): [DM, 2-way, 4-way, 8-way, ...].
+ * @return cumulative break-even ns for each set size vs DM
+ *         (first entry, the DM-vs-DM case, is 0).
+ */
+std::vector<double>
+cumulativeBreakEvenNs(const std::vector<double> &global_miss_by_assoc,
+                      double mem_read_ns, double l1_global_miss);
+
+} // namespace model
+} // namespace mlc
+
+#endif // MLC_MODEL_ASSOCIATIVITY_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Equation 1: the execution-time model of a two-level hierarchy.
+ *
+ * For a program with N_read reads (loads + instruction fetches) and
+ * N_store stores, with negligible write effects beyond the L1 write
+ * time (write-back caches with deep write buffers):
+ *
+ *   N_total = N_read * (n_L1 + M_L1 * n_L2 + M_L2 * n_MMread)
+ *           + N_store * w_L1
+ *
+ * where n_L1 / n_L2 / n_MMread are the CPU-cycle costs of a read
+ * serviced at each layer, M_L1 / M_L2 are *global* read miss
+ * ratios, and w_L1 is the mean write(+stall) cycles per store.
+ *
+ * All quantities are in CPU cycles so the cycle count doubles as
+ * execution time at a fixed CPU clock (the paper varies only the
+ * memory system).
+ */
+
+#ifndef MLC_MODEL_EXEC_TIME_HH
+#define MLC_MODEL_EXEC_TIME_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mlc {
+namespace model {
+
+/** Reference mix of the modelled program. */
+struct RefMix
+{
+    double readsPerInstruction = 1.325;  //!< ifetch + ~0.325 loads
+    double storesPerInstruction = 0.175; //!< ~0.5 data refs, 35% st
+
+    /** Mix matching trace::WorkloadParams defaults. */
+    static RefMix
+    fromFractions(double data_ref_fraction, double store_fraction)
+    {
+        RefMix m;
+        m.storesPerInstruction = data_ref_fraction * store_fraction;
+        m.readsPerInstruction =
+            1.0 + data_ref_fraction * (1.0 - store_fraction);
+        return m;
+    }
+};
+
+/** Per-layer read costs and global miss ratios (Equation 1). */
+struct TwoLevelModel
+{
+    double nL1 = 1.0;      //!< cycles per L1 read (pipelined: 1)
+    double nL2 = 3.0;      //!< extra cycles per L1 read miss
+    double nMMread = 28.0; //!< extra cycles per L2 read miss
+    double ml1 = 0.10;     //!< L1 global read miss ratio
+    double ml2 = 0.01;     //!< L2 global read miss ratio
+    double wL1 = 2.0;      //!< cycles per store (write hit time)
+
+    /** Mean cycles per read reference. */
+    double
+    cyclesPerRead() const
+    {
+        return nL1 + ml1 * nL2 + ml2 * nMMread;
+    }
+
+    /** Total cycles for a program (Equation 1). */
+    double
+    totalCycles(double n_read, double n_store) const
+    {
+        return n_read * cyclesPerRead() + n_store * wL1;
+    }
+
+    /** Cycles per instruction for a reference mix. */
+    double
+    cpi(const RefMix &mix) const
+    {
+        return mix.readsPerInstruction * cyclesPerRead() +
+               mix.storesPerInstruction * wL1;
+    }
+
+    /**
+     * Execution time relative to an all-hits machine (the
+     * normalization used for Figure 4-1).
+     */
+    double
+    relativeExecTime(const RefMix &mix) const
+    {
+        const double ideal = mix.readsPerInstruction * nL1 +
+                             mix.storesPerInstruction * wL1;
+        return cpi(mix) / ideal;
+    }
+};
+
+/**
+ * N-level generalization of Equation 1: each downstream layer k
+ * contributes (global miss ratio of the layer above it) x (cycles
+ * to service a read at layer k). The last entry is main memory.
+ *
+ *   cycles/read = n_L1 + sum_k M_k * n_k
+ *
+ * A two-layer instance with layers {(M_L1, n_L2), (M_L2, n_MM)}
+ * reproduces TwoLevelModel exactly.
+ */
+class MultiLevelModel
+{
+  public:
+    /** One downstream layer. */
+    struct Layer
+    {
+        /** Global read miss ratio of the layer *above*: the
+         *  fraction of CPU reads that reach this layer. */
+        double feedRatio;
+        /** Extra CPU cycles to service a read here. */
+        double cycles;
+    };
+
+    MultiLevelModel(double n_l1, double w_l1,
+                    std::vector<Layer> layers)
+        : nL1_(n_l1), wL1_(w_l1), layers_(std::move(layers))
+    {
+    }
+
+    /** Equivalent of a TwoLevelModel. */
+    static MultiLevelModel
+    fromTwoLevel(const TwoLevelModel &m)
+    {
+        return MultiLevelModel(
+            m.nL1, m.wL1,
+            {{m.ml1, m.nL2}, {m.ml2, m.nMMread}});
+    }
+
+    double
+    cyclesPerRead() const
+    {
+        double cycles = nL1_;
+        for (const Layer &layer : layers_)
+            cycles += layer.feedRatio * layer.cycles;
+        return cycles;
+    }
+
+    double
+    cpi(const RefMix &mix) const
+    {
+        return mix.readsPerInstruction * cyclesPerRead() +
+               mix.storesPerInstruction * wL1_;
+    }
+
+    double
+    relativeExecTime(const RefMix &mix) const
+    {
+        const double ideal = mix.readsPerInstruction * nL1_ +
+                             mix.storesPerInstruction * wL1_;
+        return cpi(mix) / ideal;
+    }
+
+    std::size_t depth() const { return layers_.size(); }
+
+  private:
+    double nL1_;
+    double wL1_;
+    std::vector<Layer> layers_;
+};
+
+} // namespace model
+} // namespace mlc
+
+#endif // MLC_MODEL_EXEC_TIME_HH

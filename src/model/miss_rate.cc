@@ -1,0 +1,89 @@
+#include "model/miss_rate.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mlc {
+namespace model {
+
+MissRateModel::MissRateModel(double m0, std::uint64_t c0,
+                             double doubling_factor, double floor)
+    : m0_(m0), c0_(static_cast<double>(c0)),
+      factor_(doubling_factor),
+      exponent_(std::log2(doubling_factor)), floor_(floor)
+{
+    if (m0 <= 0.0 || m0 > 1.0)
+        mlc_panic("miss-rate anchor must be in (0,1], got ", m0);
+    if (c0 == 0)
+        mlc_panic("miss-rate anchor size must be non-zero");
+    if (doubling_factor <= 0.0 || doubling_factor >= 1.0)
+        mlc_panic("doubling factor must be in (0,1), got ",
+                  doubling_factor);
+    if (floor < 0.0)
+        mlc_panic("miss-rate floor must be non-negative");
+}
+
+double
+MissRateModel::at(std::uint64_t c) const
+{
+    const double ratio = static_cast<double>(c) / c0_;
+    const double m = m0_ * std::pow(ratio, exponent_);
+    return m < floor_ ? floor_ : (m > 1.0 ? 1.0 : m);
+}
+
+double
+MissRateModel::derivative(std::uint64_t c) const
+{
+    const double m = at(c);
+    if (m <= floor_ || m >= 1.0)
+        return 0.0;
+    // d/dC [m0 (C/C0)^e] = m(C) * e / C.
+    return m * exponent_ / static_cast<double>(c);
+}
+
+MissRateModel
+MissRateModel::fit(
+    const std::vector<std::pair<std::uint64_t, double>> &points,
+    double floor)
+{
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    std::size_t n = 0;
+    for (const auto &[size, miss] : points) {
+        if (miss <= 0.0 || size == 0)
+            continue;
+        const double x = std::log2(static_cast<double>(size));
+        const double y = std::log2(miss);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        ++n;
+    }
+    if (n < 2)
+        mlc_panic("MissRateModel::fit needs at least two valid "
+                  "points, got ", n);
+    const double dn = static_cast<double>(n);
+    const double slope = (dn * sxy - sx * sy) / (dn * sxx - sx * sx);
+    const double intercept = (sy - slope * sx) / dn;
+
+    // Anchor the fitted law at the first valid point's size.
+    std::uint64_t c0 = 0;
+    for (const auto &[size, miss] : points) {
+        if (miss > 0.0 && size != 0) {
+            c0 = size;
+            break;
+        }
+    }
+    const double m0 = std::exp2(
+        intercept + slope * std::log2(static_cast<double>(c0)));
+    double factor = std::exp2(slope);
+    if (factor >= 1.0)
+        factor = 0.999; // degenerate fit: effectively flat
+    if (factor <= 0.0)
+        factor = 1e-6;
+    return MissRateModel(m0 > 1.0 ? 1.0 : m0, c0, factor, floor);
+}
+
+} // namespace model
+} // namespace mlc

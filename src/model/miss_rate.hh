@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The empirical miss-ratio-vs-size law the paper leans on: "a
+ * doubling of the cache size decreases the solo miss rate by a
+ * constant factor ... about 0.69 for these traces", i.e.
+ *
+ *   m(C) = m0 * f ^ log2(C / C0)        (f ~ 0.69)
+ *        = m0 * (C / C0) ^ log2(f)      (a power law in C)
+ *
+ * with a plateau for very large caches where only compulsory /
+ * multiprogramming misses remain and "further increases in the
+ * cache size are never worthwhile".
+ */
+
+#ifndef MLC_MODEL_MISS_RATE_HH
+#define MLC_MODEL_MISS_RATE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mlc {
+namespace model {
+
+/** Power-law miss-rate model with optional floor. */
+class MissRateModel
+{
+  public:
+    /**
+     * @param m0 miss ratio at the anchor size.
+     * @param c0 anchor size in bytes.
+     * @param doubling_factor per-doubling multiplier (paper: 0.69).
+     * @param floor plateau miss ratio (0 disables the plateau).
+     */
+    MissRateModel(double m0, std::uint64_t c0,
+                  double doubling_factor, double floor = 0.0);
+
+    /** Miss ratio at size @p c bytes. */
+    double at(std::uint64_t c) const;
+
+    /** d(miss)/d(size) at @p c, from the power law. */
+    double derivative(std::uint64_t c) const;
+
+    double doublingFactor() const { return factor_; }
+    double exponent() const { return exponent_; }
+
+    /**
+     * Fit a power law to (size, miss-ratio) points by least squares
+     * in log-log space; the fitted doubling factor is what the
+     * benchmark harness reports against the paper's 0.69. Points
+     * with non-positive miss ratios are skipped.
+     * @param floor plateau passed through to the returned model.
+     */
+    static MissRateModel
+    fit(const std::vector<std::pair<std::uint64_t, double>> &points,
+        double floor = 0.0);
+
+  private:
+    double m0_;
+    double c0_;
+    double factor_;
+    double exponent_; //!< log2(factor): slope in log-log space
+    double floor_;
+};
+
+} // namespace model
+} // namespace mlc
+
+#endif // MLC_MODEL_MISS_RATE_HH

@@ -1,0 +1,85 @@
+#include "model/tradeoff.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mlc {
+namespace model {
+
+SpeedSizeAnalysis::SpeedSizeAnalysis(const TwoLevelModel &base,
+                                     const MissRateModel &l2_miss,
+                                     const RefMix &mix)
+    : base_(base), l2Miss_(l2_miss), mix_(mix)
+{
+}
+
+double
+SpeedSizeAnalysis::relExecTime(std::uint64_t c,
+                               double l2_cycle_cpu_cycles) const
+{
+    TwoLevelModel m = base_;
+    m.nL2 = l2_cycle_cpu_cycles;
+    m.ml2 = l2Miss_.at(c);
+    return m.relativeExecTime(mix_);
+}
+
+double
+SpeedSizeAnalysis::cycleTimeForPerformance(std::uint64_t c,
+                                           double target) const
+{
+    // relExec is affine in nL2: rel = (A + ml1 * t) / ideal.
+    const double ideal = mix_.readsPerInstruction * base_.nL1 +
+                         mix_.storesPerInstruction * base_.wL1;
+    const double fixed =
+        mix_.readsPerInstruction *
+            (base_.nL1 + l2Miss_.at(c) * base_.nMMread) +
+        mix_.storesPerInstruction * base_.wL1;
+    const double coef = mix_.readsPerInstruction * base_.ml1;
+    return (target * ideal - fixed) / coef;
+}
+
+double
+SpeedSizeAnalysis::slopePerDoubling(std::uint64_t c) const
+{
+    // Delta-t allowed per doubling at constant performance:
+    // ml1 * dt = nMM * (m(C) - m(2C)).
+    const double dm = l2Miss_.at(c) - l2Miss_.at(2 * c);
+    return base_.nMMread * dm / base_.ml1;
+}
+
+std::uint64_t
+SpeedSizeAnalysis::optimalSize(double t0, double cycles_per_doubling,
+                               std::uint64_t c_min,
+                               std::uint64_t c_max) const
+{
+    if (c_min == 0 || c_max < c_min)
+        mlc_panic("optimalSize with bad range [", c_min, ", ",
+                  c_max, "]");
+    std::uint64_t best_c = c_min;
+    double best_rel = 0.0;
+    unsigned doubling = 0;
+    for (std::uint64_t c = c_min; c <= c_max; c *= 2, ++doubling) {
+        const double t =
+            t0 + cycles_per_doubling * static_cast<double>(doubling);
+        const double rel = relExecTime(c, t);
+        if (doubling == 0 || rel < best_rel) {
+            best_rel = rel;
+            best_c = c;
+        }
+    }
+    return best_c;
+}
+
+double
+SpeedSizeAnalysis::shiftPerL1Doubling(double doubling_factor)
+{
+    if (doubling_factor <= 0.0 || doubling_factor >= 1.0)
+        mlc_panic("doubling factor must be in (0,1), got ",
+                  doubling_factor);
+    const double theta = -std::log2(doubling_factor);
+    return std::pow(1.0 / doubling_factor, 1.0 / (1.0 + theta));
+}
+
+} // namespace model
+} // namespace mlc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Section 4's analytical speed-size tradeoff (Equation 2).
+ *
+ * Setting dN_total/dC_L2 = 0 in Equation 1 balances the marginal
+ * cost of a slower L2 against the marginal benefit of a lower L2
+ * global miss ratio:
+ *
+ *   (1 / n_MMread) * dt_L2/dC  =  -(1 / M_L1) * dM_L2/dC
+ *
+ * The 1/M_L1 factor is the paper's headline: an upstream cache
+ * filters references but not misses, so the less often the L2 is
+ * accessed, the less its cycle time matters relative to its size.
+ * With the power-law miss model m(C) = m0 (C/C0)^log2(f), the
+ * predicted shift of the optimal L2 size per L1 doubling is
+ * (1/f)^(1/(1+theta)) with theta = -log2(f): ~1.27x for f = 0.69,
+ * i.e. 2.04x for the paper's 8x L1 growth (measured: 1.74x).
+ */
+
+#ifndef MLC_MODEL_TRADEOFF_HH
+#define MLC_MODEL_TRADEOFF_HH
+
+#include <cstdint>
+
+#include "model/exec_time.hh"
+#include "model/miss_rate.hh"
+
+namespace mlc {
+namespace model {
+
+/** Analytical L2 design-space explorer. */
+class SpeedSizeAnalysis
+{
+  public:
+    /**
+     * @param base costs with nL2/ml2 ignored (filled per query).
+     * @param l2_global_miss L2 *global* miss ratio vs size — by the
+     *        independence result this is the solo curve.
+     * @param mix program reference mix.
+     */
+    SpeedSizeAnalysis(const TwoLevelModel &base,
+                      const MissRateModel &l2_global_miss,
+                      const RefMix &mix);
+
+    /** Relative execution time at (size, L2 cycle in CPU cycles). */
+    double relExecTime(std::uint64_t c,
+                       double l2_cycle_cpu_cycles) const;
+
+    /**
+     * The L2 cycle time (CPU cycles) that hits a relative-
+     * execution-time target at size @p c; negative when the target
+     * is unreachable even at zero cycle time.
+     */
+    double cycleTimeForPerformance(std::uint64_t c,
+                                   double target) const;
+
+    /**
+     * Slope of the line of constant performance at size @p c: the
+     * cycle-time increase (CPU cycles) a doubling of the cache size
+     * buys (Equation 2 integrated over one doubling).
+     */
+    double slopePerDoubling(std::uint64_t c) const;
+
+    /**
+     * Best power-of-two size in [c_min, c_max] given a technology
+     * whose cycle time is t0 + cycles_per_doubling * log2(C/c_min).
+     */
+    std::uint64_t optimalSize(double t0, double cycles_per_doubling,
+                              std::uint64_t c_min,
+                              std::uint64_t c_max) const;
+
+    /**
+     * The model's predicted multiplicative shift of the optimal L2
+     * size per doubling of the L1 (see file comment).
+     */
+    static double shiftPerL1Doubling(double doubling_factor);
+
+  private:
+    TwoLevelModel base_;
+    MissRateModel l2Miss_;
+    RefMix mix_;
+};
+
+} // namespace model
+} // namespace mlc
+
+#endif // MLC_MODEL_TRADEOFF_HH

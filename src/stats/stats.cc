@@ -1,0 +1,264 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace mlc {
+namespace stats {
+
+namespace {
+
+std::string
+valueLine(const std::string &prefix, const std::string &name,
+          const std::string &value, const std::string &desc)
+{
+    std::string line = prefix.empty() ? name : prefix + "." + name;
+    line += ' ';
+    line += value;
+    if (!desc.empty()) {
+        line += "   # ";
+        line += desc;
+    }
+    line += '\n';
+    return line;
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+std::string
+fmtU64(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return buf;
+}
+
+} // namespace
+
+Stat::Stat(Group *parent, std::string name, std::string desc)
+    : parent_(parent), name_(std::move(name)), desc_(std::move(desc))
+{
+    if (!parent_)
+        mlc_panic("stat '", name_, "' created without a group");
+    parent_->addStat(this);
+}
+
+std::string
+Stat::fullName() const
+{
+    const std::string base = parent_->fullName();
+    return base.empty() ? name_ : base + "." + name_;
+}
+
+void
+Counter::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << valueLine(prefix, name(), fmtU64(value_), desc());
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << valueLine(prefix, name(), fmtDouble(value_), desc());
+}
+
+Formula::Formula(Group *parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : Stat(parent, std::move(name), std::move(desc)),
+      fn_(std::move(fn))
+{
+    if (!fn_)
+        mlc_panic("formula '", this->name(), "' with empty function");
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << valueLine(prefix, name(), fmtDouble(fn_()), desc());
+}
+
+Histogram::Histogram(Group *parent, std::string name, std::string desc,
+                     bool logarithmic, double lo, double width,
+                     std::size_t count)
+    : Stat(parent, std::move(name), std::move(desc)),
+      logarithmic_(logarithmic), lo_(lo), width_(width),
+      buckets_(count, 0)
+{
+    if (count == 0)
+        mlc_panic("histogram '", this->name(), "' with no buckets");
+    if (!logarithmic_ && width_ <= 0.0)
+        mlc_panic("histogram '", this->name(),
+                  "' with non-positive bucket width");
+}
+
+Histogram
+Histogram::linear(Group *parent, std::string name, std::string desc,
+                  double lo, double width, std::size_t count)
+{
+    return Histogram(parent, std::move(name), std::move(desc),
+                     false, lo, width, count);
+}
+
+Histogram
+Histogram::log2(Group *parent, std::string name, std::string desc,
+                std::size_t count)
+{
+    return Histogram(parent, std::move(name), std::move(desc),
+                     true, 1.0, 0.0, count);
+}
+
+void
+Histogram::sample(double v, std::uint64_t weight)
+{
+    samples_ += weight;
+    sum_ += v * static_cast<double>(weight);
+
+    if (logarithmic_) {
+        if (v < 1.0) {
+            underflow_ += weight;
+            return;
+        }
+        const auto idx =
+            static_cast<std::size_t>(std::floor(std::log2(v)));
+        if (idx >= buckets_.size())
+            overflow_ += weight;
+        else
+            buckets_[idx] += weight;
+        return;
+    }
+
+    if (v < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    const auto idx = static_cast<std::size_t>((v - lo_) / width_);
+    if (idx >= buckets_.size())
+        overflow_ += weight;
+    else
+        buckets_[idx] += weight;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ == 0 ? 0.0
+                         : sum_ / static_cast<double>(samples_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = samples_ = 0;
+    sum_ = 0.0;
+}
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << valueLine(prefix, name() + ".samples", fmtU64(samples_),
+                    desc());
+    os << valueLine(prefix, name() + ".mean", fmtDouble(mean()), "");
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        double b_lo, b_hi;
+        if (logarithmic_) {
+            b_lo = std::exp2(static_cast<double>(i));
+            b_hi = std::exp2(static_cast<double>(i + 1));
+        } else {
+            b_lo = lo_ + width_ * static_cast<double>(i);
+            b_hi = b_lo + width_;
+        }
+        char label[64];
+        std::snprintf(label, sizeof(label), "[%.6g,%.6g)", b_lo, b_hi);
+        os << valueLine(prefix, name() + ".bucket" + label,
+                        fmtU64(buckets_[i]), "");
+    }
+    if (underflow_)
+        os << valueLine(prefix, name() + ".underflow",
+                        fmtU64(underflow_), "");
+    if (overflow_)
+        os << valueLine(prefix, name() + ".overflow",
+                        fmtU64(overflow_), "");
+}
+
+Group::Group(std::string name, Group *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->addChild(this);
+}
+
+Group::~Group()
+{
+    if (parent_)
+        parent_->removeChild(this);
+}
+
+std::string
+Group::fullName() const
+{
+    if (!parent_)
+        return name_;
+    const std::string base = parent_->fullName();
+    return base.empty() ? name_ : base + "." + name_;
+}
+
+void
+Group::addStat(Stat *stat)
+{
+    statList.push_back(stat);
+}
+
+void
+Group::removeStat(Stat *stat)
+{
+    statList.erase(std::remove(statList.begin(), statList.end(), stat),
+                   statList.end());
+}
+
+void
+Group::addChild(Group *child)
+{
+    children.push_back(child);
+}
+
+void
+Group::removeChild(Group *child)
+{
+    children.erase(std::remove(children.begin(), children.end(), child),
+                   children.end());
+}
+
+void
+Group::resetAll()
+{
+    for (auto *s : statList)
+        s->reset();
+    for (auto *g : children)
+        g->resetAll();
+}
+
+void
+Group::dumpAll(std::ostream &os) const
+{
+    const std::string prefix = fullName();
+    for (const auto *s : statList)
+        s->dump(os, prefix);
+    for (const auto *g : children)
+        g->dumpAll(os);
+}
+
+} // namespace stats
+} // namespace mlc

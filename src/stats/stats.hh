@@ -1,0 +1,199 @@
+/**
+ * @file
+ * A small statistics package in the spirit of simulator stat
+ * systems: named scalars, ratio formulas and histograms registered
+ * into hierarchical groups, with a text dump.
+ *
+ * Simulation components own their stats as plain members and
+ * register them with a Group; the Group handles naming,
+ * description, reset and dumping so the components stay free of
+ * presentation logic.
+ */
+
+#ifndef MLC_STATS_STATS_HH
+#define MLC_STATS_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mlc {
+namespace stats {
+
+class Group;
+
+/** Base class for anything registrable with a Group. */
+class Stat
+{
+  public:
+    Stat(Group *parent, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Full dotted path including all ancestor group names. */
+    std::string fullName() const;
+
+    /** Reset the value to its initial state. */
+    virtual void reset() = 0;
+
+    /** Append "name value # desc" lines to the dump. */
+    virtual void dump(std::ostream &os,
+                      const std::string &prefix) const = 0;
+
+  private:
+    friend class Group;
+    Group *parent_;
+    std::string name_;
+    std::string desc_;
+};
+
+/** A monotonically accumulated 64-bit counter. */
+class Counter : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+
+    void reset() override { value_ = 0; }
+    void dump(std::ostream &os,
+              const std::string &prefix) const override;
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A scalar double (e.g. a configured latency echoed into stats). */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator=(double v) { value_ = v; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    double value() const { return value_; }
+
+    void reset() override { value_ = 0.0; }
+    void dump(std::ostream &os,
+              const std::string &prefix) const override;
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * A derived value computed on demand from other stats (e.g. a miss
+ * ratio = misses / accesses). Never needs resetting.
+ */
+class Formula : public Stat
+{
+  public:
+    Formula(Group *parent, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn_(); }
+
+    void reset() override {}
+    void dump(std::ostream &os,
+              const std::string &prefix) const override;
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A histogram over a fixed linear or log2 bucketing, with overflow
+ * and underflow buckets and mean/total tracking.
+ */
+class Histogram : public Stat
+{
+  public:
+    /** Linear buckets: [lo, lo+w), [lo+w, lo+2w), ... count buckets. */
+    static Histogram linear(Group *parent, std::string name,
+                            std::string desc, double lo, double width,
+                            std::size_t count);
+
+    /** Log2 buckets: [1,2), [2,4), [4,8), ... count buckets. */
+    static Histogram log2(Group *parent, std::string name,
+                          std::string desc, std::size_t count);
+
+    void sample(double v, std::uint64_t weight = 1);
+
+    std::uint64_t samples() const { return samples_; }
+    double mean() const;
+    std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+    std::size_t bucketCount() const { return buckets_.size(); }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    void reset() override;
+    void dump(std::ostream &os,
+              const std::string &prefix) const override;
+
+  private:
+    Histogram(Group *parent, std::string name, std::string desc,
+              bool logarithmic, double lo, double width,
+              std::size_t count);
+
+    bool logarithmic_;
+    double lo_;
+    double width_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named collection of stats and child groups. Groups do not own
+ * their stats (stats are members of the owning component); they keep
+ * non-owning registries used for dump/reset, so a Group must outlive
+ * registration but stats must outlive the last dump.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name, Group *parent = nullptr);
+    ~Group();
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return name_; }
+    std::string fullName() const;
+
+    /** Reset all stats in this group and children. */
+    void resetAll();
+
+    /** Dump all stats, depth first, as "path value # desc" lines. */
+    void dumpAll(std::ostream &os) const;
+
+  private:
+    friend class Stat;
+
+    void addStat(Stat *stat);
+    void removeStat(Stat *stat);
+    void addChild(Group *child);
+    void removeChild(Group *child);
+
+    std::string name_;
+    Group *parent_;
+    std::vector<Stat *> statList;
+    std::vector<Group *> children;
+};
+
+} // namespace stats
+} // namespace mlc
+
+#endif // MLC_STATS_STATS_HH

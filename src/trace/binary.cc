@@ -1,0 +1,104 @@
+#include "trace/binary.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace mlc {
+namespace trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'L', 'C', 'T'};
+
+struct Header
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint64_t count;
+};
+static_assert(sizeof(Header) == 16, "header must pack to 16 bytes");
+
+} // namespace
+
+BinaryReader::BinaryReader(std::istream &is) : is_(is)
+{
+    Header header{};
+    is_.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!is_ || std::memcmp(header.magic, kMagic, 4) != 0)
+        mlc_fatal("binary trace: bad magic (not an MLCT file)");
+    if (header.version != kBinaryTraceVersion)
+        mlc_fatal("binary trace: unsupported version ",
+                  header.version);
+    declared_ = header.count;
+}
+
+bool
+BinaryReader::next(MemRef &ref)
+{
+    BinaryRecord rec{};
+    is_.read(reinterpret_cast<char *>(&rec), sizeof(rec));
+    if (!is_) {
+        if (declared_ != kBinaryCountUnknown &&
+            delivered_ != declared_)
+            warn("binary trace: truncated; header promised ",
+                 declared_, " records, got ", delivered_);
+        return false;
+    }
+    if (rec.type > 2) {
+        warn("binary trace: bad record type ",
+             static_cast<int>(rec.type), "; stopping");
+        return false;
+    }
+    ref.addr = rec.addr;
+    ref.type = static_cast<RefType>(rec.type);
+    ref.size = rec.size;
+    ref.pid = rec.pid;
+    ++delivered_;
+    return true;
+}
+
+BinaryWriter::BinaryWriter(std::ostream &os) : os_(os)
+{
+    Header header{};
+    std::memcpy(header.magic, kMagic, 4);
+    header.version = kBinaryTraceVersion;
+    header.count = kBinaryCountUnknown;
+    os_.write(reinterpret_cast<const char *>(&header),
+              sizeof(header));
+}
+
+void
+BinaryWriter::put(const MemRef &ref)
+{
+    if (finished_)
+        mlc_panic("BinaryWriter::put after finish");
+    BinaryRecord rec{};
+    rec.addr = ref.addr;
+    rec.type = static_cast<std::uint8_t>(ref.type);
+    rec.size = ref.size;
+    rec.pid = ref.pid;
+    rec.reserved = 0;
+    os_.write(reinterpret_cast<const char *>(&rec), sizeof(rec));
+    ++written_;
+}
+
+void
+BinaryWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    const std::ostream::pos_type end = os_.tellp();
+    if (end == std::ostream::pos_type(-1)) {
+        // Not seekable (e.g. a pipe); leave count unknown.
+        return;
+    }
+    os_.seekp(8); // offset of Header::count
+    os_.write(reinterpret_cast<const char *>(&written_),
+              sizeof(written_));
+    os_.seekp(end);
+}
+
+} // namespace trace
+} // namespace mlc

@@ -1,0 +1,185 @@
+#include "trace/compressed.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace mlc {
+namespace trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'L', 'C', 'Z'};
+
+struct Header
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint64_t count;
+};
+static_assert(sizeof(Header) == 16, "header must pack to 16 bytes");
+
+constexpr std::uint64_t kCountUnknown = ~std::uint64_t{0};
+
+constexpr std::uint8_t kPidFollows = 1u << 2;
+constexpr std::uint8_t kSizeFollows = 1u << 3;
+
+} // namespace
+
+CompressedWriter::CompressedWriter(std::ostream &os) : os_(os)
+{
+    Header header{};
+    std::memcpy(header.magic, kMagic, 4);
+    header.version = kCompressedTraceVersion;
+    header.count = kCountUnknown;
+    os_.write(reinterpret_cast<const char *>(&header),
+              sizeof(header));
+}
+
+void
+CompressedWriter::writeVarint(std::uint64_t value)
+{
+    while (value >= 0x80) {
+        const auto byte =
+            static_cast<char>((value & 0x7f) | 0x80);
+        os_.put(byte);
+        value >>= 7;
+    }
+    os_.put(static_cast<char>(value));
+}
+
+void
+CompressedWriter::put(const MemRef &ref)
+{
+    if (finished_)
+        mlc_panic("CompressedWriter::put after finish");
+
+    std::uint8_t control = static_cast<std::uint8_t>(ref.type);
+    if (ref.pid != pid_)
+        control |= kPidFollows;
+    if (ref.size != 4)
+        control |= kSizeFollows;
+    os_.put(static_cast<char>(control));
+
+    if (control & kPidFollows) {
+        writeVarint(ref.pid);
+        pid_ = ref.pid;
+    }
+    if (control & kSizeFollows)
+        os_.put(static_cast<char>(ref.size));
+
+    const auto delta = static_cast<std::int64_t>(ref.addr) -
+                       static_cast<std::int64_t>(predicted_);
+    writeVarint(zigzagEncode(delta));
+    predicted_ = ref.addr + ref.size;
+    ++written_;
+}
+
+void
+CompressedWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    const std::ostream::pos_type end = os_.tellp();
+    if (end == std::ostream::pos_type(-1))
+        return; // not seekable: count stays unknown
+    os_.seekp(8); // offset of Header::count
+    os_.write(reinterpret_cast<const char *>(&written_),
+              sizeof(written_));
+    os_.seekp(end);
+}
+
+CompressedReader::CompressedReader(std::istream &is) : is_(is)
+{
+    Header header{};
+    is_.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!is_ || std::memcmp(header.magic, kMagic, 4) != 0)
+        mlc_fatal("compressed trace: bad magic (not an MLCZ file)");
+    if (header.version != kCompressedTraceVersion)
+        mlc_fatal("compressed trace: unsupported version ",
+                  header.version);
+    declared_ = header.count;
+}
+
+bool
+CompressedReader::readVarint(std::uint64_t &value)
+{
+    value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const int c = is_.get();
+        if (c == std::istream::traits_type::eof())
+            return false;
+        value |= (static_cast<std::uint64_t>(c) & 0x7f) << shift;
+        if (!(c & 0x80))
+            return true;
+        shift += 7;
+        if (shift >= 64) {
+            warn("compressed trace: varint overflow; stopping");
+            return false;
+        }
+    }
+}
+
+bool
+CompressedReader::next(MemRef &ref)
+{
+    if (failed_)
+        return false;
+
+    const int control = is_.get();
+    if (control == std::istream::traits_type::eof()) {
+        if (declared_ != kCountUnknown && delivered_ != declared_)
+            warn("compressed trace: truncated; header promised ",
+                 declared_, " records, got ", delivered_);
+        return false;
+    }
+    const auto type_bits =
+        static_cast<std::uint8_t>(control & 0x3);
+    if (type_bits > 2) {
+        warn("compressed trace: bad record type; stopping");
+        failed_ = true;
+        return false;
+    }
+
+    if (control & kPidFollows) {
+        std::uint64_t pid = 0;
+        if (!readVarint(pid) || pid > 0xffff) {
+            failed_ = true;
+            return false;
+        }
+        pid_ = static_cast<std::uint16_t>(pid);
+    }
+    std::uint8_t size = 4;
+    if (control & kSizeFollows) {
+        const int s = is_.get();
+        if (s == std::istream::traits_type::eof()) {
+            failed_ = true;
+            return false;
+        }
+        size = static_cast<std::uint8_t>(s);
+    }
+
+    std::uint64_t encoded = 0;
+    if (!readVarint(encoded)) {
+        failed_ = true;
+        if (declared_ != kCountUnknown && delivered_ != declared_)
+            warn("compressed trace: truncated mid-record at ",
+                 delivered_);
+        return false;
+    }
+
+    ref.addr = static_cast<Addr>(
+        static_cast<std::int64_t>(predicted_) +
+        zigzagDecode(encoded));
+    ref.type = static_cast<RefType>(type_bits);
+    ref.size = size;
+    ref.pid = pid_;
+    predicted_ = ref.addr + ref.size;
+    ++delivered_;
+    return true;
+}
+
+} // namespace trace
+} // namespace mlc

@@ -1,0 +1,112 @@
+#include "trace/dinero.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace mlc {
+namespace trace {
+
+bool
+parseDineroLine(const std::string &text, MemRef &ref)
+{
+    const auto fields = splitWhitespace(text);
+    if (fields.size() < 2 || fields.size() > 3)
+        return false;
+
+    unsigned long long label = 0;
+    if (!parseUnsigned(fields[0], label) || label > 2)
+        return false;
+
+    // Addresses are hex with or without an 0x prefix.
+    const std::string &addr_text = fields[1];
+    unsigned long long addr = 0;
+    {
+        const std::string with_prefix =
+            startsWith(addr_text, "0x") || startsWith(addr_text, "0X")
+                ? addr_text
+                : "0x" + addr_text;
+        if (!parseUnsigned(with_prefix, addr))
+            return false;
+    }
+
+    unsigned long long pid = 0;
+    if (fields.size() == 3) {
+        if (!parseUnsigned(fields[2], pid) || pid > 0xffff)
+            return false;
+    }
+
+    switch (label) {
+      case 0:
+        ref.type = RefType::Load;
+        break;
+      case 1:
+        ref.type = RefType::Store;
+        break;
+      default:
+        ref.type = RefType::IFetch;
+        break;
+    }
+    ref.addr = addr;
+    ref.size = 4;
+    ref.pid = static_cast<std::uint16_t>(pid);
+    return true;
+}
+
+std::string
+formatDineroLine(const MemRef &ref, bool emit_pid)
+{
+    int label = 0;
+    switch (ref.type) {
+      case RefType::Load:
+        label = 0;
+        break;
+      case RefType::Store:
+        label = 1;
+        break;
+      case RefType::IFetch:
+        label = 2;
+        break;
+    }
+    char buf[64];
+    if (emit_pid)
+        std::snprintf(buf, sizeof(buf), "%d %llx %u", label,
+                      static_cast<unsigned long long>(ref.addr),
+                      static_cast<unsigned>(ref.pid));
+    else
+        std::snprintf(buf, sizeof(buf), "%d %llx", label,
+                      static_cast<unsigned long long>(ref.addr));
+    return buf;
+}
+
+bool
+DineroReader::next(MemRef &ref)
+{
+    if (failed_)
+        return false;
+    std::string text;
+    while (std::getline(is_, text)) {
+        ++line_;
+        const std::string trimmed = trim(text);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        if (!parseDineroLine(trimmed, ref)) {
+            warn("dinero trace: malformed line ", line_, ": '",
+                 trimmed, "'");
+            failed_ = true;
+            return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+void
+DineroWriter::put(const MemRef &ref)
+{
+    os_ << formatDineroLine(ref, emitPid_) << '\n';
+}
+
+} // namespace trace
+} // namespace mlc

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Dinero-style ASCII trace format.
+ *
+ * Each line is "<label> <hex-address> [pid]" where label is
+ * 0 = data read, 1 = data write, 2 = instruction fetch — the "din"
+ * input format of the classic Dinero cache simulators. The optional
+ * third field is an extension carrying the process id for
+ * multiprogramming traces; readers default it to 0.
+ */
+
+#ifndef MLC_TRACE_DINERO_HH
+#define MLC_TRACE_DINERO_HH
+
+#include <iosfwd>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "trace/source.hh"
+
+namespace mlc {
+namespace trace {
+
+/** Reads "din" records from a text stream. */
+class DineroReader : public TraceSource
+{
+  public:
+    /** Does not own @p is ; it must outlive the reader. */
+    explicit DineroReader(std::istream &is) : is_(is) {}
+
+    /** Malformed lines terminate the stream with a warning. */
+    bool next(MemRef &ref) override;
+
+    /** Lines consumed so far (for error reporting). */
+    std::uint64_t line() const { return line_; }
+
+  private:
+    std::istream &is_;
+    std::uint64_t line_ = 0;
+    bool failed_ = false;
+};
+
+/** Writes "din" records to a text stream. */
+class DineroWriter : public TraceSink
+{
+  public:
+    /** Does not own @p os ; it must outlive the writer. */
+    explicit DineroWriter(std::ostream &os, bool emit_pid = false)
+        : os_(os), emitPid_(emit_pid)
+    {}
+
+    void put(const MemRef &ref) override;
+
+  private:
+    std::ostream &os_;
+    bool emitPid_;
+};
+
+/** Parse a single din line; returns false on malformed input. */
+bool parseDineroLine(const std::string &text, MemRef &ref);
+
+/** Format a single din line (no trailing newline). */
+std::string formatDineroLine(const MemRef &ref, bool emit_pid);
+
+} // namespace trace
+} // namespace mlc
+
+#endif // MLC_TRACE_DINERO_HH

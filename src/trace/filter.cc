@@ -1,0 +1,76 @@
+#include "trace/filter.hh"
+
+#include "util/logging.hh"
+
+namespace mlc {
+namespace trace {
+
+bool
+SkipSource::next(MemRef &ref)
+{
+    while (toSkip_ > 0) {
+        if (!inner_.next(ref))
+            return false;
+        --toSkip_;
+    }
+    return inner_.next(ref);
+}
+
+bool
+ReadsOnlySource::next(MemRef &ref)
+{
+    while (inner_.next(ref)) {
+        if (ref.isRead())
+            return true;
+    }
+    return false;
+}
+
+bool
+MaskSource::next(MemRef &ref)
+{
+    if (!inner_.next(ref))
+        return false;
+    ref.addr &= mask_;
+    return true;
+}
+
+SampleSource::SampleSource(TraceSource &inner,
+                           std::uint64_t window_refs,
+                           std::uint64_t gap_refs)
+    : inner_(inner), window_(window_refs), gap_(gap_refs)
+{
+    if (window_ == 0)
+        mlc_panic("SampleSource window must be non-zero");
+}
+
+bool
+SampleSource::next(MemRef &ref)
+{
+    if (inWindow_ >= window_) {
+        // Skip the gap.
+        for (std::uint64_t i = 0; i < gap_; ++i) {
+            if (!inner_.next(ref))
+                return false;
+            ++dropped_;
+        }
+        inWindow_ = 0;
+    }
+    if (!inner_.next(ref))
+        return false;
+    ++inWindow_;
+    ++passed_;
+    return true;
+}
+
+bool
+CountingSource::next(MemRef &ref)
+{
+    if (!inner_.next(ref))
+        return false;
+    counts_.observe(ref);
+    return true;
+}
+
+} // namespace trace
+} // namespace mlc

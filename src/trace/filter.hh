@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Stream adaptors over TraceSource: skipping a cold-start prefix,
+ * selecting reads, masking address bits, and counting by type.
+ * Each adaptor borrows (does not own) its inner source.
+ */
+
+#ifndef MLC_TRACE_FILTER_HH
+#define MLC_TRACE_FILTER_HH
+
+#include <cstdint>
+
+#include "trace/source.hh"
+
+namespace mlc {
+namespace trace {
+
+/** Drops the first N references (cold-start removal). */
+class SkipSource : public TraceSource
+{
+  public:
+    SkipSource(TraceSource &inner, std::uint64_t skip)
+        : inner_(inner), toSkip_(skip)
+    {}
+
+    bool next(MemRef &ref) override;
+
+  private:
+    TraceSource &inner_;
+    std::uint64_t toSkip_;
+};
+
+/** Passes only read references (loads + instruction fetches). */
+class ReadsOnlySource : public TraceSource
+{
+  public:
+    explicit ReadsOnlySource(TraceSource &inner) : inner_(inner) {}
+
+    bool next(MemRef &ref) override;
+
+  private:
+    TraceSource &inner_;
+};
+
+/** ANDs every address with a mask (e.g. to fold address spaces). */
+class MaskSource : public TraceSource
+{
+  public:
+    MaskSource(TraceSource &inner, Addr mask)
+        : inner_(inner), mask_(mask)
+    {}
+
+    bool next(MemRef &ref) override;
+
+  private:
+    TraceSource &inner_;
+    Addr mask_;
+};
+
+/**
+ * Windowed time sampling: pass @p window_refs references, then drop
+ * @p gap_refs, repeatedly — the classic trace-sampling technique
+ * for stretching limited trace storage (the sampled stream's miss
+ * ratios approximate the full stream's when windows comfortably
+ * exceed the cache's warm-up transient).
+ */
+class SampleSource : public TraceSource
+{
+  public:
+    SampleSource(TraceSource &inner, std::uint64_t window_refs,
+                 std::uint64_t gap_refs);
+
+    bool next(MemRef &ref) override;
+
+    std::uint64_t passed() const { return passed_; }
+    std::uint64_t dropped() const { return dropped_; }
+
+  private:
+    TraceSource &inner_;
+    std::uint64_t window_;
+    std::uint64_t gap_;
+    std::uint64_t inWindow_ = 0;
+    std::uint64_t passed_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+/** Per-type reference counts accumulated by observation. */
+struct RefCounts
+{
+    std::uint64_t ifetches = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+
+    std::uint64_t total() const { return ifetches + loads + stores; }
+    std::uint64_t reads() const { return ifetches + loads; }
+
+    void
+    observe(const MemRef &ref)
+    {
+        switch (ref.type) {
+          case RefType::IFetch:
+            ++ifetches;
+            break;
+          case RefType::Load:
+            ++loads;
+            break;
+          case RefType::Store:
+            ++stores;
+            break;
+        }
+    }
+};
+
+/** Pass-through source that tallies what flows past. */
+class CountingSource : public TraceSource
+{
+  public:
+    explicit CountingSource(TraceSource &inner) : inner_(inner) {}
+
+    bool next(MemRef &ref) override;
+
+    const RefCounts &counts() const { return counts_; }
+
+  private:
+    TraceSource &inner_;
+    RefCounts counts_;
+};
+
+} // namespace trace
+} // namespace mlc
+
+#endif // MLC_TRACE_FILTER_HH

@@ -1,0 +1,86 @@
+#include "trace/interleave.hh"
+
+#include "trace/synthetic.hh"
+#include "util/logging.hh"
+
+namespace mlc {
+namespace trace {
+
+Interleaver::Interleaver(
+        std::vector<std::unique_ptr<TraceSource>> processes,
+        std::uint64_t mean_switch_interval, std::uint64_t seed)
+    : processes_(std::move(processes)),
+      exhausted_(processes_.size(), false),
+      meanInterval_(mean_switch_interval),
+      rng_(seed),
+      liveCount_(processes_.size())
+{
+    if (processes_.empty())
+        mlc_panic("Interleaver needs at least one process");
+    if (meanInterval_ == 0)
+        mlc_panic("Interleaver switch interval must be non-zero");
+    for (const auto &p : processes_)
+        if (!p)
+            mlc_panic("Interleaver given a null process source");
+    newInterval();
+}
+
+void
+Interleaver::newInterval()
+{
+    intervalLeft_ =
+        1 + rng_.nextGeometric(1.0 / static_cast<double>(
+                                         meanInterval_));
+}
+
+bool
+Interleaver::next(MemRef &ref)
+{
+    while (liveCount_ > 0) {
+        if (exhausted_[current_] || intervalLeft_ == 0) {
+            // Advance round-robin to the next live process.
+            std::size_t tries = 0;
+            do {
+                current_ = (current_ + 1) % processes_.size();
+                ++tries;
+            } while (exhausted_[current_] &&
+                     tries <= processes_.size());
+            newInterval();
+            ++switches_;
+        }
+        if (exhausted_[current_])
+            return false;
+        if (processes_[current_]->next(ref)) {
+            --intervalLeft_;
+            return true;
+        }
+        exhausted_[current_] = true;
+        --liveCount_;
+        intervalLeft_ = 0;
+    }
+    return false;
+}
+
+std::unique_ptr<TraceSource>
+makeMultiprogrammedWorkload(std::size_t processes,
+                            std::uint64_t switch_interval,
+                            std::uint64_t variant)
+{
+    std::vector<std::unique_ptr<TraceSource>> procs;
+    procs.reserve(processes);
+    for (std::size_t i = 0; i < processes; ++i) {
+        const auto pid = static_cast<std::uint16_t>(i);
+        const WorkloadParams params =
+            makeProcessParams(pid, variant * 131 + i);
+        const std::uint64_t seed =
+            0x2545f4914f6cdd1dULL * (variant + 1) + 0x9e37 * i;
+        procs.push_back(
+            std::make_unique<WorkloadGenerator>(params, seed));
+    }
+    return std::make_unique<Interleaver>(
+        std::move(procs), switch_interval,
+        0xda3e39cb94b95bdbULL ^ variant);
+}
+
+} // namespace trace
+} // namespace mlc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Multiprogramming interleaver.
+ *
+ * The paper's MIPS traces were "randomly interleaved to match the
+ * context switch intervals seen in the VAX traces". This adaptor
+ * does the same for any set of per-process sources: it runs one
+ * process at a time and switches round-robin after a geometrically
+ * distributed number of references.
+ */
+
+#ifndef MLC_TRACE_INTERLEAVE_HH
+#define MLC_TRACE_INTERLEAVE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/source.hh"
+#include "util/random.hh"
+
+namespace mlc {
+namespace trace {
+
+/** Round-robin context-switching combinator over trace sources. */
+class Interleaver : public TraceSource
+{
+  public:
+    /**
+     * @param processes per-process sources (ownership transferred).
+     * @param mean_switch_interval mean references between context
+     *        switches (the VAX traces showed ~10-20k).
+     * @param seed RNG seed for the switch intervals.
+     */
+    Interleaver(std::vector<std::unique_ptr<TraceSource>> processes,
+                std::uint64_t mean_switch_interval,
+                std::uint64_t seed);
+
+    bool next(MemRef &ref) override;
+
+    /** Number of context switches performed so far. */
+    std::uint64_t switches() const { return switches_; }
+
+    std::size_t processCount() const { return processes_.size(); }
+
+  private:
+    void newInterval();
+
+    std::vector<std::unique_ptr<TraceSource>> processes_;
+    std::vector<bool> exhausted_;
+    std::uint64_t meanInterval_;
+    Rng rng_;
+    std::size_t current_ = 0;
+    std::uint64_t intervalLeft_ = 0;
+    std::uint64_t switches_ = 0;
+    std::size_t liveCount_;
+};
+
+/**
+ * Construct the paper-style multiprogramming workload: @p processes
+ * synthetic workloads with per-process parameter jitter, interleaved
+ * at @p switch_interval references. @p variant selects one of the
+ * reproducible "traces" in the suite (the paper used eight).
+ */
+std::unique_ptr<TraceSource>
+makeMultiprogrammedWorkload(std::size_t processes,
+                            std::uint64_t switch_interval,
+                            std::uint64_t variant);
+
+} // namespace trace
+} // namespace mlc
+
+#endif // MLC_TRACE_INTERLEAVE_HH

@@ -1,0 +1,37 @@
+#include "trace/mem_ref.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace mlc {
+namespace trace {
+
+const char *
+refTypeName(RefType type)
+{
+    switch (type) {
+      case RefType::IFetch:
+        return "ifetch";
+      case RefType::Load:
+        return "load";
+      case RefType::Store:
+        return "store";
+    }
+    mlc_panic("bad RefType ", static_cast<int>(type));
+}
+
+std::string
+MemRef::toString() const
+{
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "%s 0x%llx (%uB, pid %u)",
+                  refTypeName(type),
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned>(size),
+                  static_cast<unsigned>(pid));
+    return buf;
+}
+
+} // namespace trace
+} // namespace mlc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The memory-reference record that flows through every trace source,
+ * filter and simulator in the library.
+ *
+ * Following the paper, miss ratios are computed over *read* requests
+ * (loads and instruction fetches) only; MemRef::isRead captures that
+ * definition in one place.
+ */
+
+#ifndef MLC_TRACE_MEM_REF_HH
+#define MLC_TRACE_MEM_REF_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mlc {
+
+/** Byte address within the simulated physical address space. */
+using Addr = std::uint64_t;
+
+namespace trace {
+
+/** The three reference types the CPU model issues. */
+enum class RefType : std::uint8_t {
+    IFetch = 0, //!< instruction fetch (a read)
+    Load = 1,   //!< data read
+    Store = 2,  //!< data write
+};
+
+/** Printable name ("ifetch", "load", "store"). */
+const char *refTypeName(RefType type);
+
+/** One memory reference. */
+struct MemRef
+{
+    Addr addr = 0;
+    RefType type = RefType::IFetch;
+    /** Access size in bytes (the paper's machine is word = 4 B). */
+    std::uint8_t size = 4;
+    /** Originating process for multiprogramming traces. */
+    std::uint16_t pid = 0;
+
+    /** Reads are loads and instruction fetches (paper, Section 2). */
+    bool isRead() const { return type != RefType::Store; }
+    bool isWrite() const { return type == RefType::Store; }
+    bool isInst() const { return type == RefType::IFetch; }
+    bool isData() const { return type != RefType::IFetch; }
+
+    bool
+    operator==(const MemRef &o) const
+    {
+        return addr == o.addr && type == o.type && size == o.size &&
+               pid == o.pid;
+    }
+
+    /** Debug representation, e.g. "load 0x1f00 (4B, pid 2)". */
+    std::string toString() const;
+};
+
+/** Convenience constructors used heavily in tests. */
+inline MemRef
+makeLoad(Addr addr, std::uint16_t pid = 0)
+{
+    return MemRef{addr, RefType::Load, 4, pid};
+}
+
+inline MemRef
+makeStore(Addr addr, std::uint16_t pid = 0)
+{
+    return MemRef{addr, RefType::Store, 4, pid};
+}
+
+inline MemRef
+makeIFetch(Addr addr, std::uint16_t pid = 0)
+{
+    return MemRef{addr, RefType::IFetch, 4, pid};
+}
+
+} // namespace trace
+} // namespace mlc
+
+#endif // MLC_TRACE_MEM_REF_HH

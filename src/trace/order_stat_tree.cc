@@ -1,0 +1,174 @@
+#include "trace/order_stat_tree.hh"
+
+#include "util/logging.hh"
+
+namespace mlc {
+namespace trace {
+
+OrderStatTree::OrderStatTree(std::uint64_t seed) : rng_(seed) {}
+
+OrderStatTree::NodeId
+OrderStatTree::allocNode(std::uint64_t value)
+{
+    NodeId id;
+    if (!freeList_.empty()) {
+        id = freeList_.back();
+        freeList_.pop_back();
+    } else {
+        id = static_cast<NodeId>(nodes_.size());
+        nodes_.emplace_back();
+    }
+    Node &n = nodes_[id];
+    n.left = kNil;
+    n.right = kNil;
+    n.size = 1;
+    n.priority = rng_.next();
+    n.value = value;
+    return id;
+}
+
+void
+OrderStatTree::freeNode(NodeId id)
+{
+    freeList_.push_back(id);
+}
+
+std::uint32_t
+OrderStatTree::sizeOf(NodeId id) const
+{
+    return id == kNil ? 0 : nodes_[id].size;
+}
+
+void
+OrderStatTree::update(NodeId id)
+{
+    Node &n = nodes_[id];
+    n.size = 1 + sizeOf(n.left) + sizeOf(n.right);
+}
+
+void
+OrderStatTree::splitAt(NodeId root, std::size_t count, NodeId &left,
+                       NodeId &right)
+{
+    if (root == kNil) {
+        left = kNil;
+        right = kNil;
+        return;
+    }
+    Node &n = nodes_[root];
+    const std::size_t left_size = sizeOf(n.left);
+    if (count <= left_size) {
+        NodeId new_left;
+        splitAt(n.left, count, left, new_left);
+        n.left = new_left;
+        right = root;
+    } else {
+        NodeId new_right;
+        splitAt(n.right, count - left_size - 1, new_right, right);
+        n.right = new_right;
+        left = root;
+    }
+    update(root);
+}
+
+OrderStatTree::NodeId
+OrderStatTree::merge(NodeId a, NodeId b)
+{
+    if (a == kNil)
+        return b;
+    if (b == kNil)
+        return a;
+    if (nodes_[a].priority > nodes_[b].priority) {
+        nodes_[a].right = merge(nodes_[a].right, b);
+        update(a);
+        return a;
+    }
+    nodes_[b].left = merge(a, nodes_[b].left);
+    update(b);
+    return b;
+}
+
+void
+OrderStatTree::insertAt(std::size_t index, std::uint64_t value)
+{
+    if (index > count_)
+        mlc_panic("OrderStatTree::insertAt(", index,
+                  ") beyond size ", count_);
+    const NodeId id = allocNode(value);
+    NodeId left, right;
+    splitAt(root_, index, left, right);
+    root_ = merge(merge(left, id), right);
+    ++count_;
+}
+
+std::uint64_t
+OrderStatTree::at(std::size_t index) const
+{
+    if (index >= count_)
+        mlc_panic("OrderStatTree::at(", index, ") beyond size ",
+                  count_);
+    NodeId cur = root_;
+    std::size_t i = index;
+    for (;;) {
+        const Node &n = nodes_[cur];
+        const std::size_t left_size = sizeOf(n.left);
+        if (i < left_size) {
+            cur = n.left;
+        } else if (i == left_size) {
+            return n.value;
+        } else {
+            i -= left_size + 1;
+            cur = n.right;
+        }
+    }
+}
+
+std::uint64_t
+OrderStatTree::removeAt(std::size_t index)
+{
+    if (index >= count_)
+        mlc_panic("OrderStatTree::removeAt(", index,
+                  ") beyond size ", count_);
+    NodeId left, mid, right;
+    splitAt(root_, index, left, mid);
+    splitAt(mid, 1, mid, right);
+    const std::uint64_t value = nodes_[mid].value;
+    freeNode(mid);
+    root_ = merge(left, right);
+    --count_;
+    return value;
+}
+
+void
+OrderStatTree::clear()
+{
+    nodes_.clear();
+    freeList_.clear();
+    root_ = kNil;
+    count_ = 0;
+}
+
+std::vector<std::uint64_t>
+OrderStatTree::toVector() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(count_);
+    // Iterative in-order walk; the tree can be deep for adversarial
+    // priorities, so avoid recursion.
+    std::vector<NodeId> stack;
+    NodeId cur = root_;
+    while (cur != kNil || !stack.empty()) {
+        while (cur != kNil) {
+            stack.push_back(cur);
+            cur = nodes_[cur].left;
+        }
+        cur = stack.back();
+        stack.pop_back();
+        out.push_back(nodes_[cur].value);
+        cur = nodes_[cur].right;
+    }
+    return out;
+}
+
+} // namespace trace
+} // namespace mlc

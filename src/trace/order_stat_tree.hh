@@ -1,0 +1,93 @@
+/**
+ * @file
+ * An implicit-key order-statistic treap over 64-bit payloads.
+ *
+ * This is the engine of the LRU-stack trace generator: the treap
+ * holds the LRU stack (index 0 = most recently used), and both
+ * "reference the d-th most recent granule" (removeAt) and "move it
+ * to the top" (insertAt 0) are O(log n) expected. Nodes live in a
+ * pooled vector with a free list, so the structure is compact and
+ * allocation-free in steady state.
+ */
+
+#ifndef MLC_TRACE_ORDER_STAT_TREE_HH
+#define MLC_TRACE_ORDER_STAT_TREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace mlc {
+namespace trace {
+
+/** Sequence container with O(log n) positional insert/remove. */
+class OrderStatTree
+{
+  public:
+    /** @param seed seeds the internal priority generator. */
+    explicit OrderStatTree(std::uint64_t seed = 1);
+
+    /** Number of elements. */
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /** Insert @p value so that it becomes element @p index. */
+    void insertAt(std::size_t index, std::uint64_t value);
+
+    /** Shorthand for insertAt(0, value). */
+    void pushFront(std::uint64_t value) { insertAt(0, value); }
+
+    /** Shorthand for insertAt(size(), value). */
+    void pushBack(std::uint64_t value) { insertAt(count_, value); }
+
+    /** Read element @p index without modifying the sequence. */
+    std::uint64_t at(std::size_t index) const;
+
+    /** Remove and return element @p index. */
+    std::uint64_t removeAt(std::size_t index);
+
+    /** Remove everything. */
+    void clear();
+
+    /** In-order contents; O(n), for tests and tools. */
+    std::vector<std::uint64_t> toVector() const;
+
+  private:
+    using NodeId = std::uint32_t;
+    static constexpr NodeId kNil = 0xffffffffu;
+
+    struct Node
+    {
+        NodeId left;
+        NodeId right;
+        std::uint32_t size;
+        std::uint64_t priority;
+        std::uint64_t value;
+    };
+
+    NodeId allocNode(std::uint64_t value);
+    void freeNode(NodeId id);
+
+    std::uint32_t sizeOf(NodeId id) const;
+    void update(NodeId id);
+
+    /**
+     * Split @p root so that @p left keeps the first @p count
+     * elements and @p right the rest.
+     */
+    void splitAt(NodeId root, std::size_t count, NodeId &left,
+                 NodeId &right);
+    NodeId merge(NodeId a, NodeId b);
+
+    std::vector<Node> nodes_;
+    std::vector<NodeId> freeList_;
+    NodeId root_ = kNil;
+    std::size_t count_ = 0;
+    Rng rng_;
+};
+
+} // namespace trace
+} // namespace mlc
+
+#endif // MLC_TRACE_ORDER_STAT_TREE_HH

@@ -1,0 +1,30 @@
+#include "trace/source.hh"
+
+namespace mlc {
+namespace trace {
+
+std::uint64_t
+drain(TraceSource &source, TraceSink &sink)
+{
+    std::uint64_t n = 0;
+    MemRef ref;
+    while (source.next(ref)) {
+        sink.put(ref);
+        ++n;
+    }
+    return n;
+}
+
+std::vector<MemRef>
+collect(TraceSource &source, std::uint64_t limit)
+{
+    std::vector<MemRef> out;
+    out.reserve(static_cast<std::size_t>(limit));
+    MemRef ref;
+    while (out.size() < limit && source.next(ref))
+        out.push_back(ref);
+    return out;
+}
+
+} // namespace trace
+} // namespace mlc

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Trace source/sink interfaces and the small adaptors built on them.
+ *
+ * A TraceSource produces MemRefs one at a time; file readers are
+ * finite, synthetic generators are unbounded. A TraceSink consumes
+ * them (file writers, counters). The simulator pulls from whatever
+ * source it is given, so workloads, files and test vectors are
+ * interchangeable.
+ */
+
+#ifndef MLC_TRACE_SOURCE_HH
+#define MLC_TRACE_SOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/mem_ref.hh"
+
+namespace mlc {
+namespace trace {
+
+/** Pull-style producer of memory references. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next reference.
+     * @param ref receives the reference on success.
+     * @return false when the source is exhausted.
+     */
+    virtual bool next(MemRef &ref) = 0;
+};
+
+/** Push-style consumer of memory references. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Consume one reference. */
+    virtual void put(const MemRef &ref) = 0;
+};
+
+/** A source backed by an in-memory vector (tests, replay). */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<MemRef> refs)
+        : refs_(std::move(refs))
+    {}
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (pos_ >= refs_.size())
+            return false;
+        ref = refs_[pos_++];
+        return true;
+    }
+
+    /** Rewind to the beginning (replay for solo co-simulation). */
+    void rewind() { pos_ = 0; }
+
+  private:
+    std::vector<MemRef> refs_;
+    std::size_t pos_ = 0;
+};
+
+/** A sink that stores everything it sees. */
+class VectorSink : public TraceSink
+{
+  public:
+    void put(const MemRef &ref) override { refs_.push_back(ref); }
+
+    const std::vector<MemRef> &refs() const { return refs_; }
+    std::vector<MemRef> take() { return std::move(refs_); }
+
+  private:
+    std::vector<MemRef> refs_;
+};
+
+/** Caps an underlying source at a fixed number of references. */
+class LimitSource : public TraceSource
+{
+  public:
+    /** Does not own @p inner ; it must outlive this adaptor. */
+    LimitSource(TraceSource &inner, std::uint64_t limit)
+        : inner_(inner), remaining_(limit)
+    {}
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (remaining_ == 0)
+            return false;
+        if (!inner_.next(ref))
+            return false;
+        --remaining_;
+        return true;
+    }
+
+  private:
+    TraceSource &inner_;
+    std::uint64_t remaining_;
+};
+
+/** Drain @p source into @p sink ; returns the number transferred. */
+std::uint64_t drain(TraceSource &source, TraceSink &sink);
+
+/** Collect up to @p limit references into a vector. */
+std::vector<MemRef> collect(TraceSource &source, std::uint64_t limit);
+
+} // namespace trace
+} // namespace mlc
+
+#endif // MLC_TRACE_SOURCE_HH

@@ -1,0 +1,133 @@
+#include "trace/stack_distance.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mlc {
+namespace trace {
+
+StackDistanceAnalyzer::StackDistanceAnalyzer(std::uint64_t granule_bytes)
+    : granuleShift_(exactLog2(granule_bytes))
+{
+    fenwick_.assign(1, 0);
+}
+
+void
+StackDistanceAnalyzer::fenwickAdd(std::size_t pos, std::int64_t delta)
+{
+    for (std::size_t i = pos; i < fenwick_.size();
+         i += i & (~i + 1))
+        fenwick_[i] += delta;
+}
+
+std::int64_t
+StackDistanceAnalyzer::fenwickPrefix(std::size_t pos) const
+{
+    std::int64_t sum = 0;
+    for (std::size_t i = pos; i > 0; i -= i & (~i + 1))
+        sum += fenwick_[i];
+    return sum;
+}
+
+void
+StackDistanceAnalyzer::compact()
+{
+    // Renumber live granules by recency order so the time axis
+    // shrinks back to the footprint size.
+    std::vector<std::pair<std::size_t, Addr>> order;
+    order.reserve(last_.size());
+    for (const auto &[granule, when] : last_)
+        order.emplace_back(when, granule);
+    std::sort(order.begin(), order.end());
+
+    now_ = order.size();
+    fenwick_.assign(2 * now_ + 2, 0);
+    std::size_t t = 1;
+    for (auto &[when, granule] : order) {
+        last_[granule] = t;
+        fenwickAdd(t, 1);
+        ++t;
+    }
+}
+
+void
+StackDistanceAnalyzer::recordDistance(std::uint64_t distance)
+{
+    if (distance < kExactLimit) {
+        if (distance >= exact_.size())
+            exact_.resize(static_cast<std::size_t>(distance) + 1, 0);
+        ++exact_[static_cast<std::size_t>(distance)];
+    } else {
+        ++overLimit_;
+    }
+
+    const std::size_t bucket =
+        distance == 0 ? 0 : floorLog2(distance);
+    if (bucket >= profile_.size())
+        profile_.resize(bucket + 1, 0);
+    ++profile_[bucket];
+}
+
+std::uint64_t
+StackDistanceAnalyzer::access(Addr addr)
+{
+    const Addr granule = addr >> granuleShift_;
+    ++references_;
+
+    ++now_;
+    if (now_ >= fenwick_.size()) {
+        if (fenwick_.size() > 4 * (last_.size() + 1)) {
+            compact();
+            ++now_;
+        } else {
+            // A Fenwick tree cannot simply be zero-extended: the
+            // new high-index nodes must cover existing marks, so
+            // rebuild from the per-granule positions.
+            fenwick_.assign(2 * fenwick_.size() + 2, 0);
+            for (const auto &[live_granule, when] : last_) {
+                (void)live_granule;
+                fenwickAdd(when, 1);
+            }
+        }
+    }
+
+    auto it = last_.find(granule);
+    std::uint64_t distance;
+    if (it == last_.end()) {
+        distance = kInfinite;
+        ++infiniteCount_;
+    } else {
+        // Marks strictly after the previous access are exactly the
+        // distinct granules touched in between.
+        const std::int64_t between =
+            fenwickPrefix(now_ - 1) - fenwickPrefix(it->second);
+        distance = static_cast<std::uint64_t>(between);
+        fenwickAdd(it->second, -1);
+        recordDistance(distance);
+    }
+
+    fenwickAdd(now_, 1);
+    last_[granule] = now_;
+    return distance;
+}
+
+double
+StackDistanceAnalyzer::missRatio(std::uint64_t capacity_granules) const
+{
+    if (references_ == 0)
+        return 0.0;
+    std::uint64_t misses = infiniteCount_ + overLimit_;
+    for (std::size_t d = static_cast<std::size_t>(capacity_granules);
+         d < exact_.size(); ++d)
+        misses += exact_[d];
+    if (capacity_granules >= kExactLimit)
+        mlc_panic("StackDistanceAnalyzer::missRatio beyond exact "
+                  "tracking limit");
+    return static_cast<double>(misses) /
+           static_cast<double>(references_);
+}
+
+} // namespace trace
+} // namespace mlc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * LRU stack-distance analysis of a reference stream.
+ *
+ * The stack distance of a reference is the number of *distinct*
+ * granules referenced since the previous reference to the same
+ * granule (0 = immediate re-reference; first touches are
+ * "infinite"). The distance profile determines the miss ratio of a
+ * fully-associative LRU cache of any size in one pass, which is how
+ * the calibration tests check that the synthetic traces show the
+ * paper's miss-ratio-vs-size behaviour.
+ *
+ * Implementation: Fenwick tree over access times with one mark per
+ * granule at its most recent access; distance queries and updates
+ * are O(log T). The time axis is compacted when it grows far beyond
+ * the number of live granules, keeping memory proportional to the
+ * footprint rather than the trace length.
+ */
+
+#ifndef MLC_TRACE_STACK_DISTANCE_HH
+#define MLC_TRACE_STACK_DISTANCE_HH
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/mem_ref.hh"
+
+namespace mlc {
+namespace trace {
+
+/** Online LRU stack-distance profiler. */
+class StackDistanceAnalyzer
+{
+  public:
+    /** Distance reported for a granule's first reference. */
+    static constexpr std::uint64_t kInfinite =
+        std::numeric_limits<std::uint64_t>::max();
+
+    /**
+     * @param granule_bytes addresses are collapsed to granules of
+     *        this (power-of-two) size before analysis.
+     */
+    explicit StackDistanceAnalyzer(std::uint64_t granule_bytes = 16);
+
+    /**
+     * Record one reference.
+     * @return its stack distance, or kInfinite for a first touch.
+     */
+    std::uint64_t access(Addr addr);
+
+    /** Number of references recorded. */
+    std::uint64_t references() const { return references_; }
+
+    /** Number of distinct granules seen (compulsory misses). */
+    std::uint64_t distinctGranules() const { return last_.size(); }
+
+    /**
+     * Miss ratio of a fully-associative LRU cache holding
+     * @p capacity_granules granules, over the stream seen so far:
+     * references with distance >= capacity (plus first touches)
+     * divided by all references.
+     */
+    double missRatio(std::uint64_t capacity_granules) const;
+
+    /**
+     * Histogram of finite distances in log2 buckets:
+     * bucket i counts distances in [2^i, 2^(i+1)), bucket 0 also
+     * counts distance 0.
+     */
+    const std::vector<std::uint64_t> &log2Profile() const
+    {
+        return profile_;
+    }
+
+  private:
+    void fenwickAdd(std::size_t pos, std::int64_t delta);
+    std::int64_t fenwickPrefix(std::size_t pos) const;
+    void compact();
+    void recordDistance(std::uint64_t distance);
+
+    std::uint64_t granuleShift_;
+    std::uint64_t references_ = 0;
+    std::uint64_t infiniteCount_ = 0;
+
+    // Fenwick tree over time slots, 1-based positions.
+    std::vector<std::int64_t> fenwick_;
+    std::size_t now_ = 0;
+    std::unordered_map<Addr, std::size_t> last_;
+
+    std::vector<std::uint64_t> profile_;
+    // Exact counts per distance, grown on demand up to kExactLimit;
+    // distances beyond the limit are lumped into overLimit_. This
+    // makes missRatio() exact for any capacity below the limit.
+    std::vector<std::uint64_t> exact_;
+    std::uint64_t overLimit_ = 0;
+    static constexpr std::size_t kExactLimit = 1u << 22;
+};
+
+} // namespace trace
+} // namespace mlc
+
+#endif // MLC_TRACE_STACK_DISTANCE_HH

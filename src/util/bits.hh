@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the cache models.
+ * All sizes handled by the simulator are powers of two, so these
+ * are exact (checked) operations rather than approximations.
+ */
+
+#ifndef MLC_UTIL_BITS_HH
+#define MLC_UTIL_BITS_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace mlc {
+
+/** True iff @p v is a (positive) power of two. */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** floor(log2(v)); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** ceil(log2(v)); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** log2 of a value that must be an exact power of two. */
+inline unsigned
+exactLog2(std::uint64_t v)
+{
+    if (!isPowerOfTwo(v))
+        mlc_panic("exactLog2 of non-power-of-two value ", v);
+    return floorLog2(v);
+}
+
+/** A mask with the low @p bits bits set. */
+constexpr std::uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << bits) - 1;
+}
+
+/** Round @p v down to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Round @p v up to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p v up to a multiple of @p m (any non-zero m). */
+constexpr std::uint64_t
+roundUpMultiple(std::uint64_t v, std::uint64_t m)
+{
+    return divCeil(v, m) * m;
+}
+
+} // namespace mlc
+
+#endif // MLC_UTIL_BITS_HH

@@ -1,0 +1,66 @@
+#include "util/csv.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mlc {
+
+std::string
+CsvWriter::escape(const std::string &value)
+{
+    const bool needs_quotes =
+        value.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return value;
+    std::string out = "\"";
+    for (char c : value) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (const auto &c : cells)
+        cell(c);
+    endRow();
+}
+
+CsvWriter &
+CsvWriter::cell(const std::string &value)
+{
+    if (rowStarted_)
+        os_ << ',';
+    os_ << escape(value);
+    rowStarted_ = true;
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return cell(std::string(buf));
+}
+
+CsvWriter &
+CsvWriter::cell(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    return cell(std::string(buf));
+}
+
+void
+CsvWriter::endRow()
+{
+    os_ << '\n';
+    rowStarted_ = false;
+}
+
+} // namespace mlc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal CSV emission for experiment results. Fields containing
+ * commas, quotes or newlines are quoted per RFC 4180 so output can
+ * be loaded into any plotting tool.
+ */
+
+#ifndef MLC_UTIL_CSV_HH
+#define MLC_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mlc {
+
+/** Stream-backed CSV writer. */
+class CsvWriter
+{
+  public:
+    /** The writer does not own @p os ; it must outlive the writer. */
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Emit a header (or any) row of raw string cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Begin building a row cell by cell. */
+    CsvWriter &cell(const std::string &value);
+    CsvWriter &cell(double value);
+    CsvWriter &cell(std::uint64_t value);
+
+    /** Finish the in-progress row. */
+    void endRow();
+
+  private:
+    static std::string escape(const std::string &value);
+
+    std::ostream &os_;
+    bool rowStarted_ = false;
+};
+
+} // namespace mlc
+
+#endif // MLC_UTIL_CSV_HH

@@ -1,0 +1,146 @@
+#include "util/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mlc {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // splitmix64 expansion guarantees a non-degenerate state even
+    // for seed == 0.
+    std::uint64_t x = seed;
+    for (auto &word : s_)
+        word = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound == 0)
+        mlc_panic("Rng::nextBounded with zero bound");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        mlc_panic("Rng::nextRange with lo > hi: ", lo, " > ", hi);
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits into the mantissa.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    if (p <= 0.0 || p > 1.0)
+        mlc_panic("Rng::nextGeometric with p outside (0,1]: ", p);
+    if (p == 1.0)
+        return 0;
+    double u = nextDouble();
+    // Avoid log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return static_cast<std::uint64_t>(
+        std::floor(std::log(u) / std::log1p(-p)));
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double> &weights)
+    : total_(0.0)
+{
+    if (weights.empty())
+        mlc_panic("DiscreteSampler with no weights");
+    cumulative_.reserve(weights.size());
+    for (double w : weights) {
+        if (w < 0.0)
+            mlc_panic("DiscreteSampler with negative weight ", w);
+        total_ += w;
+        cumulative_.push_back(total_);
+    }
+    if (total_ <= 0.0)
+        mlc_panic("DiscreteSampler with zero total weight");
+}
+
+std::size_t
+DiscreteSampler::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble() * total_;
+    auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+    if (it == cumulative_.end())
+        return cumulative_.size() - 1;
+    return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+double
+DiscreteSampler::probability(std::size_t i) const
+{
+    if (i >= cumulative_.size())
+        mlc_panic("DiscreteSampler::probability index out of range");
+    const double prev = i == 0 ? 0.0 : cumulative_[i - 1];
+    return (cumulative_[i] - prev) / total_;
+}
+
+} // namespace mlc

@@ -1,0 +1,131 @@
+#include "util/str.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace mlc {
+
+namespace {
+
+bool
+isSpace(char c)
+{
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+} // namespace
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && isSpace(s[b]))
+        ++b;
+    while (e > b && isSpace(s[e - 1]))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && isSpace(s[i]))
+            ++i;
+        std::size_t start = i;
+        while (i < s.size() && !isSpace(s[i]))
+            ++i;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (auto &c : out)
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool
+parseInt(std::string_view s, long long &out)
+{
+    const std::string buf(s);
+    if (buf.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(buf.c_str(), &end, 0);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseUnsigned(std::string_view s, unsigned long long &out)
+{
+    const std::string buf(s);
+    if (buf.empty() || buf[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(buf.c_str(), &end, 0);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(std::string_view s, double &out)
+{
+    const std::string buf(s);
+    if (buf.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(buf.c_str(), &end);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace mlc

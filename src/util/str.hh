@@ -1,0 +1,42 @@
+/**
+ * @file
+ * String helpers shared by the config parser, trace formats and
+ * report formatting.
+ */
+
+#ifndef MLC_UTIL_STR_HH
+#define MLC_UTIL_STR_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlc {
+
+/** Strip leading and trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are preserved. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on runs of whitespace; empty fields are dropped. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** ASCII lower-casing. */
+std::string toLower(std::string_view s);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/**
+ * Parse a signed/unsigned integer or double with full-string
+ * validation; returns false (leaving @p out untouched) on any
+ * trailing garbage or range error.
+ */
+bool parseInt(std::string_view s, long long &out);
+bool parseUnsigned(std::string_view s, unsigned long long &out);
+bool parseDouble(std::string_view s, double &out);
+
+} // namespace mlc
+
+#endif // MLC_UTIL_STR_HH

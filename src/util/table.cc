@@ -1,0 +1,107 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace mlc {
+
+std::size_t
+Table::addColumn(const std::string &header, Align align)
+{
+    if (!rows_.empty())
+        mlc_panic("Table::addColumn after rows were added");
+    columns_.push_back({header, align});
+    return columns_.size() - 1;
+}
+
+Table &
+Table::newRow()
+{
+    if (!rows_.empty() && rows_.back().size() != columns_.size())
+        mlc_panic("Table row with ", rows_.back().size(),
+                  " cells; expected ", columns_.size());
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    if (rows_.empty())
+        mlc_panic("Table::cell before newRow");
+    if (rows_.back().size() >= columns_.size())
+        mlc_panic("Table row overflow: more cells than columns");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return cell(std::string(buf));
+}
+
+Table &
+Table::cell(std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    return cell(std::string(buf));
+}
+
+Table &
+Table::cell(int value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d", value);
+    return cell(std::string(buf));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    if (columns_.empty())
+        return;
+
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].header.size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::string &text, std::size_t c) {
+        const std::size_t pad = widths[c] - text.size();
+        if (columns_[c].align == Align::Right)
+            os << std::string(pad, ' ') << text;
+        else
+            os << text << std::string(pad, ' ');
+    };
+
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        if (c)
+            os << "  ";
+        emit(columns_[c].header, c);
+    }
+    os << '\n';
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        total += widths[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << "  ";
+            emit(row[c], c);
+        }
+        os << '\n';
+    }
+}
+
+} // namespace mlc

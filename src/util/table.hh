@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fixed-column ASCII table formatting for the benchmark harness and
+ * examples. The figure-regeneration binaries print the paper's data
+ * series as aligned tables; this keeps that presentation logic in
+ * one place.
+ */
+
+#ifndef MLC_UTIL_TABLE_HH
+#define MLC_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mlc {
+
+/** Column alignment inside a Table. */
+enum class Align { Left, Right };
+
+/**
+ * A simple table builder: declare columns, append rows, print.
+ * Column widths are computed from content.
+ */
+class Table
+{
+  public:
+    /** Add a column; returns its index. */
+    std::size_t addColumn(const std::string &header,
+                          Align align = Align::Right);
+
+    /** Start a new row. */
+    Table &newRow();
+
+    /** Append a cell to the current row. */
+    Table &cell(const std::string &value);
+    Table &cell(double value, int precision = 4);
+    Table &cell(std::uint64_t value);
+    Table &cell(int value);
+
+    /** Render with a header rule; a blank table prints nothing. */
+    void print(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    struct Column
+    {
+        std::string header;
+        Align align;
+    };
+
+    std::vector<Column> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mlc
+
+#endif // MLC_UTIL_TABLE_HH

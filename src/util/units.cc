@@ -1,0 +1,152 @@
+#include "util/units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace mlc {
+
+bool
+parseSize(std::string_view s, std::uint64_t &bytes)
+{
+    const std::string t = trim(s);
+    if (t.empty())
+        return false;
+
+    std::size_t pos = 0;
+    while (pos < t.size() &&
+           (std::isdigit(static_cast<unsigned char>(t[pos])) ||
+            t[pos] == '.'))
+        ++pos;
+
+    double value = 0.0;
+    if (!parseDouble(t.substr(0, pos), value) || value < 0.0)
+        return false;
+
+    const std::string unit = toLower(trim(t.substr(pos)));
+    std::uint64_t mult = 1;
+    if (unit.empty() || unit == "b") {
+        mult = 1;
+    } else if (unit == "k" || unit == "kb" || unit == "kib") {
+        mult = std::uint64_t{1} << 10;
+    } else if (unit == "m" || unit == "mb" || unit == "mib") {
+        mult = std::uint64_t{1} << 20;
+    } else if (unit == "g" || unit == "gb" || unit == "gib") {
+        mult = std::uint64_t{1} << 30;
+    } else {
+        return false;
+    }
+
+    const double scaled = value * static_cast<double>(mult);
+    if (scaled > 9.0e18)
+        return false;
+    bytes = static_cast<std::uint64_t>(std::llround(scaled));
+    return true;
+}
+
+std::uint64_t
+parseSizeOrFatal(std::string_view s, std::string_view what)
+{
+    std::uint64_t bytes = 0;
+    if (!parseSize(s, bytes))
+        mlc_fatal("bad size for ", std::string(what), ": '",
+                  std::string(s), "'");
+    return bytes;
+}
+
+bool
+parseDuration(std::string_view s, double &ns)
+{
+    const std::string t = trim(s);
+    if (t.empty())
+        return false;
+
+    std::size_t pos = 0;
+    while (pos < t.size() &&
+           (std::isdigit(static_cast<unsigned char>(t[pos])) ||
+            t[pos] == '.' || t[pos] == '-' || t[pos] == '+' ||
+            t[pos] == 'e' || t[pos] == 'E'))
+        ++pos;
+    // Backtrack if an exponent consumed the unit (e.g. "10ns": 'n'
+    // is not part of the number, but "1e3ns" works because strtod
+    // validation below rejects partial parses).
+    double value = 0.0;
+    std::string unit;
+    while (pos > 0) {
+        if (parseDouble(t.substr(0, pos), value)) {
+            unit = toLower(trim(t.substr(pos)));
+            break;
+        }
+        --pos;
+    }
+    if (pos == 0)
+        return false;
+
+    double mult = 1.0;
+    if (unit.empty() || unit == "ns") {
+        mult = 1.0;
+    } else if (unit == "ps") {
+        mult = 1.0e-3;
+    } else if (unit == "us") {
+        mult = 1.0e3;
+    } else if (unit == "ms") {
+        mult = 1.0e6;
+    } else if (unit == "s") {
+        mult = 1.0e9;
+    } else {
+        return false;
+    }
+    if (value < 0.0)
+        return false;
+    ns = value * mult;
+    return true;
+}
+
+double
+parseDurationOrFatal(std::string_view s, std::string_view what)
+{
+    double ns = 0.0;
+    if (!parseDuration(s, ns))
+        mlc_fatal("bad duration for ", std::string(what), ": '",
+                  std::string(s), "'");
+    return ns;
+}
+
+std::string
+formatSize(std::uint64_t bytes)
+{
+    char buf[32];
+    const std::uint64_t kb = std::uint64_t{1} << 10;
+    const std::uint64_t mb = std::uint64_t{1} << 20;
+    const std::uint64_t gb = std::uint64_t{1} << 30;
+    if (bytes >= gb && bytes % gb == 0)
+        std::snprintf(buf, sizeof(buf), "%lluGB",
+                      static_cast<unsigned long long>(bytes / gb));
+    else if (bytes >= mb && bytes % mb == 0)
+        std::snprintf(buf, sizeof(buf), "%lluMB",
+                      static_cast<unsigned long long>(bytes / mb));
+    else if (bytes >= kb && bytes % kb == 0)
+        std::snprintf(buf, sizeof(buf), "%lluKB",
+                      static_cast<unsigned long long>(bytes / kb));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+std::string
+formatNs(double ns)
+{
+    char buf[48];
+    if (ns >= 1.0e6)
+        std::snprintf(buf, sizeof(buf), "%.3gms", ns / 1.0e6);
+    else if (ns >= 1.0e3)
+        std::snprintf(buf, sizeof(buf), "%.3gus", ns / 1.0e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.4gns", ns);
+    return buf;
+}
+
+} // namespace mlc

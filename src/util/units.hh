@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Parsing and formatting of sizes ("512KB") and durations ("10ns"),
+ * used by the hierarchy config-file front end and by report output.
+ *
+ * Sizes use binary units: KB = 2^10, MB = 2^20, GB = 2^30 bytes,
+ * which matches the paper's usage (a "512KB" L2 is 2^19 bytes).
+ */
+
+#ifndef MLC_UTIL_UNITS_HH
+#define MLC_UTIL_UNITS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mlc {
+
+/**
+ * Parse a byte size such as "4096", "4KB", "4K", "512kB", "4MB".
+ * @return true on success.
+ */
+bool parseSize(std::string_view s, std::uint64_t &bytes);
+
+/** parseSize or fatal() with a message naming @p what. */
+std::uint64_t parseSizeOrFatal(std::string_view s,
+                               std::string_view what);
+
+/**
+ * Parse a duration such as "10ns", "1.5us", "120" (bare numbers are
+ * nanoseconds) into nanoseconds.
+ * @return true on success.
+ */
+bool parseDuration(std::string_view s, double &ns);
+
+/** parseDuration or fatal() with a message naming @p what. */
+double parseDurationOrFatal(std::string_view s, std::string_view what);
+
+/** "4096" -> "4KB"; non-multiples fall back to plain bytes. */
+std::string formatSize(std::uint64_t bytes);
+
+/** Format nanoseconds compactly ("30ns", "1.5us"). */
+std::string formatNs(double ns);
+
+} // namespace mlc
+
+#endif // MLC_UTIL_UNITS_HH

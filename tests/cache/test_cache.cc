@@ -1,0 +1,217 @@
+/** @file Tests for the functional cache's policy behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace mlc {
+namespace cache {
+namespace {
+
+using trace::makeIFetch;
+using trace::makeLoad;
+using trace::makeStore;
+
+CacheParams
+params(std::uint64_t size = 256, std::uint32_t block = 16,
+       std::uint32_t assoc = 1,
+       WritePolicy wp = WritePolicy::WriteBack,
+       AllocPolicy ap = AllocPolicy::WriteAllocate)
+{
+    CacheParams p;
+    p.name = "test";
+    p.geometry.sizeBytes = size;
+    p.geometry.blockBytes = block;
+    p.geometry.assoc = assoc;
+    p.writePolicy = wp;
+    p.allocPolicy = ap;
+    p.finalize();
+    return p;
+}
+
+TEST(Cache, ReadMissFillsAndCounts)
+{
+    Cache c(params());
+    AccessOutcome out;
+    c.access(makeLoad(0x100), out);
+    EXPECT_FALSE(out.hit);
+    ASSERT_EQ(out.fills.size(), 1u);
+    EXPECT_EQ(out.fills[0], 0x100ULL);
+    EXPECT_TRUE(out.writebacks.empty());
+
+    c.access(makeLoad(0x104), out);
+    EXPECT_TRUE(out.hit);
+    EXPECT_TRUE(out.fills.empty());
+
+    EXPECT_EQ(c.counts().loadAccesses, 2ULL);
+    EXPECT_EQ(c.counts().loadMisses, 1ULL);
+    EXPECT_DOUBLE_EQ(c.counts().readMissRatio(), 0.5);
+}
+
+TEST(Cache, IFetchCountedSeparately)
+{
+    Cache c(params());
+    AccessOutcome out;
+    c.access(makeIFetch(0x100), out);
+    c.access(makeIFetch(0x100), out);
+    EXPECT_EQ(c.counts().ifetchAccesses, 2ULL);
+    EXPECT_EQ(c.counts().ifetchMisses, 1ULL);
+    EXPECT_EQ(c.counts().loadAccesses, 0ULL);
+}
+
+TEST(Cache, WriteBackStoreHitDirtiesNoForward)
+{
+    Cache c(params());
+    AccessOutcome out;
+    c.access(makeLoad(0x100), out); // fill clean
+    c.access(makeStore(0x100), out);
+    EXPECT_TRUE(out.hit);
+    EXPECT_FALSE(out.forwardWrite);
+    // Evict: the dirty block must come back as a write-back.
+    c.access(makeLoad(0x200), out); // conflicting block
+    ASSERT_EQ(out.writebacks.size(), 1u);
+    EXPECT_EQ(out.writebacks[0].base, 0x100ULL);
+}
+
+TEST(Cache, WriteBackWriteAllocateStoreMiss)
+{
+    Cache c(params());
+    AccessOutcome out;
+    c.access(makeStore(0x100), out);
+    EXPECT_FALSE(out.hit);
+    ASSERT_EQ(out.fills.size(), 1u); // fetched block
+    EXPECT_FALSE(out.forwardWrite);
+    EXPECT_EQ(c.counts().storeMisses, 1ULL);
+    // The allocated block is dirty: evicting it writes back.
+    c.access(makeLoad(0x200), out);
+    ASSERT_EQ(out.writebacks.size(), 1u);
+    EXPECT_EQ(out.writebacks[0].base, 0x100ULL);
+}
+
+TEST(Cache, WriteThroughStoreHitForwards)
+{
+    Cache c(params(256, 16, 1, WritePolicy::WriteThrough,
+                   AllocPolicy::NoWriteAllocate));
+    AccessOutcome out;
+    c.access(makeLoad(0x100), out);
+    c.access(makeStore(0x100), out);
+    EXPECT_TRUE(out.hit);
+    EXPECT_TRUE(out.forwardWrite);
+    // Evictions from a write-through cache are never dirty.
+    c.access(makeLoad(0x200), out);
+    EXPECT_TRUE(out.writebacks.empty());
+}
+
+TEST(Cache, NoWriteAllocateStoreMissForwardsOnly)
+{
+    Cache c(params(256, 16, 1, WritePolicy::WriteBack,
+                   AllocPolicy::NoWriteAllocate));
+    AccessOutcome out;
+    c.access(makeStore(0x100), out);
+    EXPECT_FALSE(out.hit);
+    EXPECT_TRUE(out.fills.empty());
+    EXPECT_TRUE(out.forwardWrite);
+    EXPECT_FALSE(c.contains(0x100));
+}
+
+TEST(Cache, WideFetchFillsWholeGroup)
+{
+    CacheParams p = params(512, 16);
+    p.fetchBytes = 32; // two blocks per miss
+    p.finalize();
+    Cache c(p);
+    AccessOutcome out;
+    c.access(makeLoad(0x110), out); // group [0x100, 0x120)
+    ASSERT_EQ(out.fills.size(), 2u);
+    EXPECT_EQ(out.fills[0], 0x110ULL); // demand block first
+    EXPECT_EQ(out.fills[1], 0x100ULL);
+    EXPECT_TRUE(c.contains(0x100));
+    EXPECT_TRUE(c.contains(0x110));
+}
+
+TEST(Cache, PrefetchNextBlock)
+{
+    CacheParams p = params(512, 16);
+    p.prefetchNextBlock = true;
+    p.finalize();
+    Cache c(p);
+    AccessOutcome out;
+    c.access(makeLoad(0x100), out);
+    ASSERT_EQ(out.fills.size(), 2u);
+    EXPECT_EQ(out.fills[1], 0x110ULL);
+    EXPECT_EQ(c.counts().prefetchFills, 1ULL);
+    // The prefetched block hits without another fill.
+    c.access(makeLoad(0x110), out);
+    EXPECT_TRUE(out.hit);
+}
+
+TEST(Cache, AbsorbWriteHitsAndMisses)
+{
+    Cache c(params());
+    AccessOutcome out;
+    c.access(makeLoad(0x100), out);
+    EXPECT_TRUE(c.absorbWrite(0x100));
+    EXPECT_FALSE(c.absorbWrite(0x200));
+    EXPECT_EQ(c.counts().absorbedWrites, 1ULL);
+    EXPECT_EQ(c.counts().bypassedWrites, 1ULL);
+    // The absorbed write dirtied the line.
+    c.access(makeLoad(0x200), out); // evict 0x100
+    ASSERT_EQ(out.writebacks.size(), 1u);
+}
+
+TEST(Cache, AbsorbWriteAllocateInstallsDirty)
+{
+    Cache c(params());
+    AccessOutcome out;
+    c.absorbWriteAllocate(0x100, out);
+    ASSERT_EQ(out.fills.size(), 1u);
+    EXPECT_EQ(out.fills[0], 0x100ULL);
+    EXPECT_TRUE(c.contains(0x100));
+    // The installed block is dirty: a conflicting fill evicts it
+    // as a write-back.
+    c.access(trace::makeLoad(0x200), out);
+    ASSERT_EQ(out.writebacks.size(), 1u);
+    EXPECT_EQ(out.writebacks[0].base, 0x100ULL);
+}
+
+TEST(Cache, AbsorbWriteAllocateEvictsDirtyVictim)
+{
+    Cache c(params());
+    AccessOutcome out;
+    c.access(trace::makeStore(0x100), out); // dirty resident
+    c.absorbWriteAllocate(0x200, out);      // conflicts
+    ASSERT_EQ(out.writebacks.size(), 1u);
+    EXPECT_EQ(out.writebacks[0].base, 0x100ULL);
+}
+
+TEST(Cache, AbsorbWriteAllocateOnResidentBlockDies)
+{
+    Cache c(params());
+    AccessOutcome out;
+    c.access(trace::makeLoad(0x100), out);
+    EXPECT_DEATH(c.absorbWriteAllocate(0x100, out), "resident");
+}
+
+TEST(Cache, ResetCountsKeepsTags)
+{
+    Cache c(params());
+    AccessOutcome out;
+    c.access(makeLoad(0x100), out);
+    c.resetCounts();
+    EXPECT_EQ(c.counts().loadAccesses, 0ULL);
+    c.access(makeLoad(0x100), out);
+    EXPECT_TRUE(out.hit) << "tag state must survive resetCounts";
+}
+
+TEST(Cache, CrossBlockAccessDies)
+{
+    Cache c(params());
+    AccessOutcome out;
+    trace::MemRef bad = makeLoad(0x10e);
+    bad.size = 8; // 0x10e..0x116 crosses the 16B boundary
+    EXPECT_DEATH(c.access(bad, out), "crosses");
+}
+
+} // namespace
+} // namespace cache
+} // namespace mlc

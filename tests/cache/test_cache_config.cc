@@ -1,0 +1,135 @@
+/** @file Tests for cache configuration validation and geometry. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_config.hh"
+
+namespace mlc {
+namespace cache {
+namespace {
+
+CacheGeometry
+geom(std::uint64_t size, std::uint32_t block, std::uint32_t assoc)
+{
+    CacheGeometry g;
+    g.sizeBytes = size;
+    g.blockBytes = block;
+    g.assoc = assoc;
+    g.finalize("test");
+    return g;
+}
+
+TEST(CacheGeometry, DirectMappedDerivedFields)
+{
+    const CacheGeometry g = geom(2048, 16, 1);
+    EXPECT_EQ(g.numBlocks(), 128ULL);
+    EXPECT_EQ(g.numSets, 128ULL);
+    EXPECT_EQ(g.ways, 1u);
+    EXPECT_EQ(g.blockShift, 4u);
+}
+
+TEST(CacheGeometry, SetAssociativeDerivedFields)
+{
+    const CacheGeometry g = geom(512 * 1024, 32, 4);
+    EXPECT_EQ(g.numBlocks(), 16384ULL);
+    EXPECT_EQ(g.numSets, 4096ULL);
+    EXPECT_EQ(g.ways, 4u);
+}
+
+TEST(CacheGeometry, FullyAssociative)
+{
+    const CacheGeometry g = geom(1024, 16, 0);
+    EXPECT_EQ(g.ways, 64u);
+    EXPECT_EQ(g.numSets, 1ULL);
+}
+
+TEST(CacheGeometry, AddressDecomposition)
+{
+    const CacheGeometry g = geom(2048, 16, 1);
+    const Addr a = 0x12345;
+    EXPECT_EQ(g.blockBase(a), 0x12340ULL);
+    EXPECT_EQ(g.setIndex(a), (0x12345ULL >> 4) & 127);
+    // tag * numSets + set must reconstruct the block address.
+    EXPECT_EQ(g.tagOf(a) * g.numSets + g.setIndex(a),
+              g.blockAddr(a));
+}
+
+TEST(CacheGeometry, SetIndexCoversAllSets)
+{
+    const CacheGeometry g = geom(1024, 16, 2);
+    std::vector<bool> seen(g.numSets, false);
+    for (Addr a = 0; a < 4096; a += 16)
+        seen[g.setIndex(a)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(CacheGeometry, RejectsBadShapes)
+{
+    CacheGeometry g;
+    g.sizeBytes = 3000; // not a power of two
+    g.blockBytes = 16;
+    EXPECT_EXIT(g.finalize("bad"), testing::ExitedWithCode(1),
+                "power of two");
+
+    CacheGeometry g2;
+    g2.sizeBytes = 1024;
+    g2.blockBytes = 2048; // block > size
+    EXPECT_EXIT(g2.finalize("bad"), testing::ExitedWithCode(1),
+                "exceeds");
+
+    CacheGeometry g3;
+    g3.sizeBytes = 1024;
+    g3.blockBytes = 16;
+    g3.assoc = 128; // more ways than blocks
+    EXPECT_EXIT(g3.finalize("bad"), testing::ExitedWithCode(1),
+                "exceeds block count");
+}
+
+TEST(CacheParams, FinalizeFillsFetchSize)
+{
+    CacheParams p;
+    p.geometry.sizeBytes = 2048;
+    p.geometry.blockBytes = 16;
+    p.finalize();
+    EXPECT_EQ(p.fetchBytes, 16u);
+}
+
+TEST(CacheParams, FetchMustBeBlockMultiple)
+{
+    CacheParams p;
+    p.geometry.sizeBytes = 2048;
+    p.geometry.blockBytes = 16;
+    p.fetchBytes = 24;
+    EXPECT_EXIT(p.finalize(), testing::ExitedWithCode(1),
+                "fetch size");
+}
+
+TEST(CacheParams, RejectsZeroTimings)
+{
+    CacheParams p;
+    p.geometry.sizeBytes = 2048;
+    p.geometry.blockBytes = 16;
+    p.cycleNs = 0.0;
+    EXPECT_EXIT(p.finalize(), testing::ExitedWithCode(1),
+                "cycle time");
+}
+
+TEST(PolicyNames, AreStable)
+{
+    EXPECT_STREQ(writePolicyName(WritePolicy::WriteBack),
+                 "write-back");
+    EXPECT_STREQ(writePolicyName(WritePolicy::WriteThrough),
+                 "write-through");
+    EXPECT_STREQ(allocPolicyName(AllocPolicy::WriteAllocate),
+                 "write-allocate");
+    EXPECT_STREQ(allocPolicyName(AllocPolicy::NoWriteAllocate),
+                 "no-write-allocate");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::LRU), "lru");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::FIFO), "fifo");
+    EXPECT_STREQ(replPolicyName(ReplPolicy::Random), "random");
+}
+
+} // namespace
+} // namespace cache
+} // namespace mlc

@@ -1,0 +1,188 @@
+/** @file Tests for sub-block (sector) caching: fetch sizes below
+ *  the block size, per-sub-block valid/dirty bits. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace mlc {
+namespace cache {
+namespace {
+
+using trace::makeLoad;
+using trace::makeStore;
+
+/** 256B, 32B blocks, 8B sectors, direct-mapped. */
+CacheParams
+sectorParams()
+{
+    CacheParams p;
+    p.name = "sector";
+    p.geometry.sizeBytes = 256;
+    p.geometry.blockBytes = 32;
+    p.geometry.assoc = 1;
+    p.fetchBytes = 8;
+    p.finalize();
+    return p;
+}
+
+TEST(SectorConfig, DivisorFetchSelectsSubBlocking)
+{
+    const CacheParams p = sectorParams();
+    EXPECT_TRUE(p.isSubBlocked());
+    EXPECT_EQ(p.fillRequestBytes(), 8u);
+
+    CacheParams q;
+    q.geometry.sizeBytes = 256;
+    q.geometry.blockBytes = 32;
+    q.finalize();
+    EXPECT_FALSE(q.isSubBlocked());
+    EXPECT_EQ(q.fillRequestBytes(), 32u);
+}
+
+TEST(SectorConfig, RejectsBadSubBlockSizes)
+{
+    CacheParams p;
+    p.geometry.sizeBytes = 256;
+    p.geometry.blockBytes = 32;
+    p.fetchBytes = 2; // below the 4-byte word
+    EXPECT_EXIT(p.finalize(), testing::ExitedWithCode(1),
+                "sub-block");
+    CacheParams q;
+    q.geometry.sizeBytes = 4096;
+    q.geometry.blockBytes = 256;
+    q.fetchBytes = 4; // 64 sub-blocks: over the 32 limit
+    EXPECT_EXIT(q.finalize(), testing::ExitedWithCode(1),
+                "32 sub-blocks");
+}
+
+TEST(SectorTagArray, SubBlockValidity)
+{
+    const CacheParams p = sectorParams();
+    TagArray tags(p.geometry, ReplPolicy::LRU, 1, 8);
+    EXPECT_EQ(tags.subBlockCount(), 4u);
+
+    tags.fillSub(0x100, false); // sector [0x100,0x108)
+    EXPECT_TRUE(tags.probe(0x100).hit);
+    EXPECT_TRUE(tags.probe(0x104).hit) << "same sector";
+    const ProbeResult other = tags.probe(0x108);
+    EXPECT_TRUE(other.tagHit) << "same block";
+    EXPECT_FALSE(other.hit) << "different sector, invalid";
+}
+
+TEST(SectorTagArray, FillSubExtendsResidentLine)
+{
+    const CacheParams p = sectorParams();
+    TagArray tags(p.geometry, ReplPolicy::LRU, 1, 8);
+    tags.fillSub(0x100, false);
+    const Victim v = tags.fillSub(0x108, false);
+    EXPECT_FALSE(v.valid) << "no eviction on a tag hit";
+    EXPECT_TRUE(tags.probe(0x108).hit);
+    EXPECT_EQ(tags.validCount(), 1ULL) << "still one line";
+}
+
+TEST(SectorTagArray, DirtyBytesCountsDirtySectorsOnly)
+{
+    const CacheParams p = sectorParams();
+    TagArray tags(p.geometry, ReplPolicy::LRU, 1, 8);
+    tags.fillSub(0x100, true);
+    tags.fillSub(0x108, false);
+    tags.fillSub(0x110, true);
+    const ProbeResult pr = tags.probe(0x100);
+    EXPECT_EQ(tags.dirtyBytes(0x100, pr.way), 16u);
+    // Conflicting fill evicts; the victim reports 16 dirty bytes.
+    const Victim v = tags.fillSub(0x200, false);
+    EXPECT_TRUE(v.valid);
+    EXPECT_TRUE(v.dirty);
+    EXPECT_EQ(v.dirtyBytes, 16u);
+    EXPECT_EQ(v.blockBase, 0x100ULL);
+}
+
+TEST(SectorCache, MissFetchesOnlyTheSector)
+{
+    Cache c(sectorParams());
+    AccessOutcome out;
+    c.access(makeLoad(0x104), out);
+    EXPECT_FALSE(out.hit);
+    ASSERT_EQ(out.fills.size(), 1u);
+    EXPECT_EQ(out.fills[0], 0x100ULL) << "8B-aligned sector base";
+
+    // The neighbouring sector still misses (tag hit, invalid),
+    // and its fill does not evict anything.
+    c.access(makeLoad(0x108), out);
+    EXPECT_FALSE(out.hit);
+    ASSERT_EQ(out.fills.size(), 1u);
+    EXPECT_EQ(out.fills[0], 0x108ULL);
+    EXPECT_TRUE(out.writebacks.empty());
+    EXPECT_EQ(c.counts().loadMisses, 2ULL);
+
+    // Both sectors now hit.
+    c.access(makeLoad(0x100), out);
+    EXPECT_TRUE(out.hit);
+    c.access(makeLoad(0x10c), out);
+    EXPECT_TRUE(out.hit);
+}
+
+TEST(SectorCache, VictimWritebackSizedToDirtySectors)
+{
+    Cache c(sectorParams());
+    AccessOutcome out;
+    c.access(makeStore(0x100), out); // dirty sector
+    c.access(makeLoad(0x108), out);  // clean sector, same block
+    c.access(makeLoad(0x200), out);  // conflicting block: evict
+    ASSERT_EQ(out.writebacks.size(), 1u);
+    EXPECT_EQ(out.writebacks[0].base, 0x100ULL);
+    EXPECT_EQ(out.writebacks[0].bytes, 8u)
+        << "only the dirty sector travels";
+}
+
+TEST(SectorCache, AbsorbWriteValidatesInvalidSector)
+{
+    Cache c(sectorParams());
+    AccessOutcome out;
+    c.access(makeLoad(0x100), out); // sector 0 valid
+    // A victim write-back for sector 2 of the same block: the
+    // write supplies the data, so it is absorbed, not bypassed.
+    EXPECT_TRUE(c.absorbWrite(0x110));
+    EXPECT_TRUE(c.contains(0x110));
+    // ... and it is dirty now: eviction writes 8 bytes back.
+    c.access(makeLoad(0x200), out);
+    ASSERT_EQ(out.writebacks.size(), 1u);
+    EXPECT_EQ(out.writebacks[0].bytes, 8u);
+}
+
+TEST(SectorCache, SectorPrefetchFetchesNextSector)
+{
+    CacheParams p = sectorParams();
+    p.prefetchNextBlock = true;
+    p.finalize();
+    Cache c(p);
+    AccessOutcome out;
+    c.access(makeLoad(0x100), out);
+    ASSERT_EQ(out.fills.size(), 2u);
+    EXPECT_EQ(out.fills[1], 0x108ULL);
+    c.access(makeLoad(0x108), out);
+    EXPECT_TRUE(out.hit);
+}
+
+TEST(SectorCache, MoreMissesThanFullBlockFetchOnSequentialCode)
+{
+    // Sequential word touches: a sector cache pays one miss per
+    // sector, a whole-block cache one per block.
+    CacheParams whole;
+    whole.geometry.sizeBytes = 256;
+    whole.geometry.blockBytes = 32;
+    whole.finalize();
+    Cache sector(sectorParams()), block(whole);
+    AccessOutcome out;
+    for (Addr a = 0; a < 128; a += 4) {
+        sector.access(makeLoad(a), out);
+        block.access(makeLoad(a), out);
+    }
+    EXPECT_EQ(block.counts().loadMisses, 4ULL);
+    EXPECT_EQ(sector.counts().loadMisses, 16ULL);
+}
+
+} // namespace
+} // namespace cache
+} // namespace mlc

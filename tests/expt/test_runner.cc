@@ -1,0 +1,96 @@
+/** @file Tests for the suite runner. */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "expt/runner.hh"
+
+namespace mlc {
+namespace expt {
+namespace {
+
+std::vector<TraceSpec>
+tinySuite()
+{
+    auto suite = gridSuite();
+    suite.resize(2);
+    for (auto &spec : suite) {
+        spec.warmupRefs = 20000;
+        spec.measureRefs = 60000;
+    }
+    return suite;
+}
+
+TEST(Runner, RunOnTraceProducesResults)
+{
+    const auto suite = tinySuite();
+    const auto refs = materialize(suite[0]);
+    const hier::SimResults r =
+        runOnTrace(hier::HierarchyParams::baseMachine(), refs,
+                   scaledWarmup(suite[0]));
+    EXPECT_EQ(r.references, scaledMeasure(suite[0]));
+    EXPECT_GT(r.relativeExecTime, 1.0);
+    EXPECT_GT(r.levels[1].readRequests, 0ULL);
+}
+
+TEST(Runner, SuiteAveragesAcrossTraces)
+{
+    hier::HierarchyParams p = hier::HierarchyParams::baseMachine();
+    p.measureSolo = true;
+    const SuiteResults avg = runSuite(p, tinySuite());
+    EXPECT_EQ(avg.traces, 2ULL);
+    EXPECT_GT(avg.relExecTime, 1.0);
+    EXPECT_GT(avg.l1LocalMiss, 0.0);
+    ASSERT_EQ(avg.localMiss.size(), 1u);
+    EXPECT_GT(avg.localMiss[0], 0.0);
+    EXPECT_GT(avg.globalMiss[0], 0.0);
+    EXPECT_LT(avg.globalMiss[0], avg.localMiss[0]);
+    ASSERT_EQ(avg.soloMiss.size(), 1u);
+    EXPECT_GT(avg.soloMiss[0], 0.0);
+}
+
+TEST(Runner, PrematerializedPathMatchesMaterializing)
+{
+    const auto suite = tinySuite();
+    std::vector<std::vector<trace::MemRef>> traces;
+    for (const auto &spec : suite)
+        traces.push_back(materialize(spec));
+    const hier::HierarchyParams p =
+        hier::HierarchyParams::baseMachine();
+    const SuiteResults a = runSuite(p, suite, traces);
+    const SuiteResults b = runSuite(p, suite);
+    EXPECT_DOUBLE_EQ(a.relExecTime, b.relExecTime);
+    EXPECT_DOUBLE_EQ(a.localMiss[0], b.localMiss[0]);
+}
+
+TEST(Runner, StdDevReflectsTraceSpread)
+{
+    hier::HierarchyParams p = hier::HierarchyParams::baseMachine();
+    p.measureSolo = true;
+    const SuiteResults avg = runSuite(p, tinySuite());
+    // Two distinct traces: some spread, but far below the mean.
+    EXPECT_GT(avg.relExecTimeStdDev, 0.0);
+    EXPECT_LT(avg.relExecTimeStdDev, avg.relExecTime);
+    ASSERT_EQ(avg.soloMissStdDev.size(), 1u);
+    EXPECT_GT(avg.soloMissStdDev[0], 0.0);
+
+    // A single-trace suite has no spread.
+    auto one = tinySuite();
+    one.resize(1);
+    const SuiteResults single = runSuite(p, one);
+    EXPECT_DOUBLE_EQ(single.relExecTimeStdDev, 0.0);
+}
+
+TEST(Runner, MismatchedInputsDie)
+{
+    const auto suite = tinySuite();
+    std::vector<std::vector<trace::MemRef>> traces; // wrong size
+    EXPECT_DEATH(runSuite(hier::HierarchyParams::baseMachine(),
+                          suite, traces),
+                 "mismatch");
+}
+
+} // namespace
+} // namespace expt
+} // namespace mlc

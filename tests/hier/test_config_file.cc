@@ -1,0 +1,166 @@
+/** @file Tests for the hierarchy config-file front end. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "hier/config_file.hh"
+
+namespace mlc {
+namespace hier {
+namespace {
+
+TEST(ConfigFile, EmptyConfigIsBaseMachine)
+{
+    std::istringstream is("");
+    const HierarchyParams p = parseConfig(is);
+    EXPECT_EQ(p.levels[0].geometry.sizeBytes, 512ULL * 1024);
+    EXPECT_DOUBLE_EQ(p.cpuCycleNs, 10.0);
+}
+
+TEST(ConfigFile, ParsesFullDescription)
+{
+    std::istringstream is(R"(
+        # the paper's 32KB-L1 variant with a 4-way 1MB L2
+        cpu.cycle        = 10ns
+        l1i.size         = 16KB
+        l1d.size         = 16KB
+        l2.size          = 1MB
+        l2.assoc         = 4
+        l2.cycle         = 40ns
+        l2.repl          = fifo
+        bus.l2.words     = 8
+        bus.memory.words = 4
+        memory.read      = 360ns
+        memory.write     = 200ns
+        memory.gap       = 240ns
+        wbuffer.depth    = 8
+        measure.solo     = true
+    )");
+    const HierarchyParams p = parseConfig(is);
+    EXPECT_EQ(p.l1i.geometry.sizeBytes, 16ULL << 10);
+    EXPECT_EQ(p.l1d.geometry.sizeBytes, 16ULL << 10);
+    EXPECT_EQ(p.levels[0].geometry.sizeBytes, 1ULL << 20);
+    EXPECT_EQ(p.levels[0].geometry.assoc, 4u);
+    EXPECT_DOUBLE_EQ(p.levels[0].cycleNs, 40.0);
+    EXPECT_EQ(p.levels[0].replPolicy, cache::ReplPolicy::FIFO);
+    EXPECT_EQ(p.busWidthWords[0], 8u);
+    EXPECT_EQ(p.busWidthWords[1], 4u);
+    EXPECT_DOUBLE_EQ(p.memory.readNs, 360.0);
+    EXPECT_EQ(p.writeBufferDepth, 8u);
+    EXPECT_TRUE(p.measureSolo);
+}
+
+TEST(ConfigFile, ParsesThreeLevelHierarchy)
+{
+    std::istringstream is(R"(
+        l2.size       = 64KB
+        l3.size       = 2MB
+        l3.block      = 64
+        l3.cycle      = 60ns
+        bus.l3.words  = 8
+    )");
+    const HierarchyParams p = parseConfig(is);
+    ASSERT_EQ(p.levels.size(), 2u);
+    EXPECT_EQ(p.levels[1].name, "l3");
+    EXPECT_EQ(p.levels[1].geometry.sizeBytes, 2ULL << 20);
+    EXPECT_EQ(p.levels[1].geometry.blockBytes, 64u);
+    ASSERT_EQ(p.busWidthWords.size(), 3u);
+    EXPECT_EQ(p.busWidthWords[1], 8u);
+}
+
+TEST(ConfigFile, UnifiedL1)
+{
+    std::istringstream is(R"(
+        l1.split = false
+        l1.size  = 8KB
+    )");
+    const HierarchyParams p = parseConfig(is);
+    EXPECT_FALSE(p.splitL1);
+    EXPECT_EQ(p.l1d.geometry.sizeBytes, 8ULL << 10);
+}
+
+TEST(ConfigFile, WritePolicies)
+{
+    std::istringstream is(R"(
+        l1d.write_policy = wt
+        l1d.alloc_policy = no-allocate
+    )");
+    const HierarchyParams p = parseConfig(is);
+    EXPECT_EQ(p.l1d.writePolicy, cache::WritePolicy::WriteThrough);
+    EXPECT_EQ(p.l1d.allocPolicy,
+              cache::AllocPolicy::NoWriteAllocate);
+}
+
+TEST(ConfigFile, VictimMissPolicy)
+{
+    std::istringstream is("l2.victim_miss = allocate\n");
+    const HierarchyParams p = parseConfig(is);
+    EXPECT_EQ(p.levels[0].downstreamWriteMiss,
+              cache::DownstreamWriteMissPolicy::Allocate);
+    std::istringstream bad("l2.victim_miss = maybe\n");
+    EXPECT_EXIT(parseConfig(bad), testing::ExitedWithCode(1),
+                "victim-miss");
+}
+
+TEST(ConfigFile, UnknownKeyIsFatal)
+{
+    std::istringstream is("l2.sizzle = 4KB\n");
+    EXPECT_EXIT(parseConfig(is), testing::ExitedWithCode(1),
+                "unknown key");
+}
+
+TEST(ConfigFile, DuplicateKeyIsFatal)
+{
+    std::istringstream is("l2.size = 4KB\nl2.size = 8KB\n");
+    EXPECT_EXIT(parseConfig(is), testing::ExitedWithCode(1),
+                "duplicate");
+}
+
+TEST(ConfigFile, MalformedLineIsFatal)
+{
+    std::istringstream is("l2.size 4KB\n");
+    EXPECT_EXIT(parseConfig(is), testing::ExitedWithCode(1),
+                "key = value");
+}
+
+TEST(ConfigFile, BadValueIsFatal)
+{
+    std::istringstream is("l2.size = very big\n");
+    EXPECT_EXIT(parseConfig(is), testing::ExitedWithCode(1),
+                "l2.size");
+    std::istringstream is2("l1.split = perhaps\n");
+    EXPECT_EXIT(parseConfig(is2), testing::ExitedWithCode(1),
+                "boolean");
+}
+
+TEST(ConfigFile, RoundTripsThroughWriteConfig)
+{
+    HierarchyParams original = HierarchyParams::baseMachine();
+    original.levels[0].geometry.assoc = 2;
+    original.levels[0].replPolicy = cache::ReplPolicy::Random;
+    original.writeBufferDepth = 6;
+    original.finalize();
+
+    std::stringstream ss;
+    writeConfig(ss, original);
+    const HierarchyParams parsed = parseConfig(ss);
+
+    EXPECT_EQ(parsed.levels[0].geometry.assoc, 2u);
+    EXPECT_EQ(parsed.levels[0].replPolicy,
+              cache::ReplPolicy::Random);
+    EXPECT_EQ(parsed.writeBufferDepth, 6u);
+    EXPECT_EQ(parsed.l1i.geometry.sizeBytes,
+              original.l1i.geometry.sizeBytes);
+    EXPECT_DOUBLE_EQ(parsed.memory.readNs, original.memory.readNs);
+}
+
+TEST(ConfigFile, MissingFileIsFatal)
+{
+    EXPECT_EXIT(parseConfigFile("/nonexistent/path.cfg"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace hier
+} // namespace mlc

@@ -1,0 +1,279 @@
+/** @file Behavioural tests of the hierarchy simulator on synthetic
+ *  workloads: invariants, monotonicity, determinism. */
+
+#include <gtest/gtest.h>
+
+#include "hier/hierarchy.hh"
+#include "trace/interleave.hh"
+#include "trace/source.hh"
+
+namespace mlc {
+namespace hier {
+namespace {
+
+/** A small shared workload (module-static so it is built once). */
+const std::vector<trace::MemRef> &
+workload()
+{
+    static const std::vector<trace::MemRef> refs = [] {
+        auto src = trace::makeMultiprogrammedWorkload(4, 5000, 42);
+        return trace::collect(*src, 240000);
+    }();
+    return refs;
+}
+
+SimResults
+simulate(HierarchyParams params, std::uint64_t warmup = 80000)
+{
+    HierarchySimulator sim(std::move(params));
+    trace::VectorSource src(workload());
+    sim.warmUp(src, warmup);
+    sim.run(src);
+    return sim.results();
+}
+
+TEST(Hierarchy, DeterministicAcrossRuns)
+{
+    const SimResults a = simulate(HierarchyParams::baseMachine());
+    const SimResults b = simulate(HierarchyParams::baseMachine());
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.levels[1].readMisses, b.levels[1].readMisses);
+}
+
+TEST(Hierarchy, ReferenceAccounting)
+{
+    const SimResults r = simulate(HierarchyParams::baseMachine());
+    EXPECT_EQ(r.references, r.cpuReads + r.cpuWrites);
+    EXPECT_EQ(r.instructions,
+              r.l1Detail[0].readRequests); // every instr 1 ifetch
+    EXPECT_GT(r.cpuWrites, 0ULL);
+    EXPECT_GT(r.totalCycles, r.idealCycles);
+}
+
+TEST(Hierarchy, L2RequestsEqualL1ReadMisses)
+{
+    // Section 3: "the ratio of the number of L2 misses to the
+    // number of Ll misses" — read requests reaching L2 are exactly
+    // the L1 read misses (store-allocate fetches are tracked
+    // separately and not counted as read requests).
+    const SimResults r = simulate(HierarchyParams::baseMachine());
+    EXPECT_EQ(r.levels[1].readRequests, r.levels[0].readMisses);
+}
+
+TEST(Hierarchy, LocalTimesUpstreamGlobalIsGlobal)
+{
+    const SimResults r = simulate(HierarchyParams::baseMachine());
+    const double expected = r.levels[1].localMissRatio *
+                            r.levels[0].globalMissRatio;
+    EXPECT_NEAR(r.levels[1].globalMissRatio, expected, 1e-12);
+}
+
+TEST(Hierarchy, GlobalApproxSoloWhenL2MuchBigger)
+{
+    // The paper's independence-of-layers result (Figure 3-1): with
+    // a small L1 and L2 >> L1, global ~= solo.
+    HierarchyParams p = HierarchyParams::baseMachine();
+    p.measureSolo = true;
+    const SimResults r = simulate(std::move(p));
+    const double global = r.levels[1].globalMissRatio;
+    const double solo = r.levels[1].soloMissRatio;
+    ASSERT_GT(solo, 0.0);
+    EXPECT_NEAR(global / solo, 1.0, 0.25);
+}
+
+TEST(Hierarchy, L2MissesFallWithL2Size)
+{
+    std::uint64_t prev = ~0ULL;
+    for (std::uint64_t kb : {16ULL, 64ULL, 256ULL}) {
+        const SimResults r = simulate(
+            HierarchyParams::baseMachine().withL2(kb << 10, 3));
+        EXPECT_LT(r.levels[1].readMisses, prev) << kb << "KB";
+        prev = r.levels[1].readMisses;
+    }
+}
+
+TEST(Hierarchy, ExecTimeRisesWithL2CycleTime)
+{
+    std::uint64_t prev = 0;
+    for (std::uint32_t cycles : {1u, 3u, 6u, 10u}) {
+        const SimResults r = simulate(
+            HierarchyParams::baseMachine().withL2(512 << 10,
+                                                  cycles));
+        EXPECT_GT(r.totalCycles, prev) << cycles << " cycles";
+        prev = r.totalCycles;
+    }
+}
+
+TEST(Hierarchy, AssociativityReducesL2Misses)
+{
+    const SimResults dm = simulate(
+        HierarchyParams::baseMachine().withL2(64 << 10, 3, 1));
+    const SimResults sa = simulate(
+        HierarchyParams::baseMachine().withL2(64 << 10, 3, 4));
+    EXPECT_LT(sa.levels[1].readMisses, dm.levels[1].readMisses);
+}
+
+TEST(Hierarchy, BiggerL1CutsL2Requests)
+{
+    const SimResults small =
+        simulate(HierarchyParams::baseMachine());
+    const SimResults big = simulate(
+        HierarchyParams::baseMachine().withL1Total(32 << 10));
+    EXPECT_LT(big.levels[0].localMissRatio,
+              small.levels[0].localMissRatio);
+    EXPECT_LT(big.levels[1].readRequests,
+              small.levels[1].readRequests);
+}
+
+TEST(Hierarchy, UnifiedL1Works)
+{
+    HierarchyParams p = HierarchyParams::baseMachine();
+    p.splitL1 = false;
+    p.l1d.name = "l1";
+    p.l1d.geometry.sizeBytes = 4096;
+    const SimResults r = simulate(std::move(p));
+    EXPECT_TRUE(r.l1Detail.empty());
+    EXPECT_GT(r.levels[0].readMisses, 0ULL);
+}
+
+TEST(Hierarchy, ThreeLevelHierarchyRuns)
+{
+    HierarchyParams p = HierarchyParams::baseMachine();
+    p.levels[0].geometry.sizeBytes = 64 << 10;
+    cache::CacheParams l3;
+    l3.name = "l3";
+    l3.geometry.sizeBytes = 1 << 20;
+    l3.geometry.blockBytes = 64;
+    l3.cycleNs = 60.0;
+    p.levels.push_back(l3);
+    p.busWidthWords = {4, 4, 4};
+    const SimResults r = simulate(std::move(p));
+    ASSERT_EQ(r.levels.size(), 3u);
+    // Misses shrink going down the hierarchy.
+    EXPECT_GT(r.levels[1].readRequests, r.levels[2].readRequests);
+    EXPECT_GE(r.levels[2].readRequests, r.levels[2].readMisses);
+    EXPECT_GT(r.levels[2].readMisses, 0ULL);
+}
+
+TEST(Hierarchy, PrefetchReducesL1Misses)
+{
+    HierarchyParams base = HierarchyParams::baseMachine();
+    HierarchyParams pf = base;
+    pf.l1i.prefetchNextBlock = true;
+    const SimResults without = simulate(std::move(base));
+    const SimResults with = simulate(std::move(pf));
+    EXPECT_LT(with.l1Detail[0].readMisses,
+              without.l1Detail[0].readMisses);
+}
+
+TEST(Hierarchy, CycleBreakdownSumsToTotal)
+{
+    // Every simulated cycle must be attributed to exactly one
+    // bucket: base, store write hits, read stalls (split by
+    // whether memory was involved) or store stalls.
+    for (std::uint64_t kb : {16ULL, 512ULL}) {
+        const SimResults r = simulate(
+            HierarchyParams::baseMachine().withL2(kb << 10, 3));
+        EXPECT_NEAR(r.breakdown.total(),
+                    static_cast<double>(r.totalCycles), 1.5)
+            << kb << "KB";
+        EXPECT_DOUBLE_EQ(r.breakdown.base,
+                         static_cast<double>(r.instructions));
+        EXPECT_GT(r.breakdown.readStallMemory, 0.0);
+        EXPECT_GT(r.breakdown.readStallCacheHit, 0.0);
+        EXPECT_GT(r.breakdown.storeWriteHit, 0.0);
+    }
+}
+
+TEST(Hierarchy, MemoryStallShrinksWithBiggerL2)
+{
+    const SimResults small =
+        simulate(HierarchyParams::baseMachine().withL2(16 << 10,
+                                                       3));
+    const SimResults big = simulate(
+        HierarchyParams::baseMachine().withL2(1 << 20, 3));
+    EXPECT_LT(big.breakdown.readStallMemory,
+              small.breakdown.readStallMemory);
+    // The cache-serviced stall grows instead (more L2 hits).
+    EXPECT_GT(big.breakdown.readStallCacheHit,
+              small.breakdown.readStallCacheHit);
+}
+
+TEST(Hierarchy, VictimAllocatePolicyChangesTraffic)
+{
+    // Allocate on downstream-write misses fetches blocks that
+    // write-around would not, raising memory reads; the victims it
+    // installs can later hit, so L2 misses cannot rise.
+    HierarchyParams around =
+        HierarchyParams::baseMachine().withL2(32 << 10, 3);
+    HierarchyParams alloc = around;
+    alloc.levels[0].downstreamWriteMiss =
+        cache::DownstreamWriteMissPolicy::Allocate;
+
+    HierarchySimulator sim_around(around), sim_alloc(alloc);
+    trace::VectorSource a(workload()), b(workload());
+    sim_around.warmUp(a, 80000);
+    sim_alloc.warmUp(b, 80000);
+    sim_around.run(a);
+    sim_alloc.run(b);
+
+    EXPECT_GT(sim_alloc.memoryReads(), sim_around.memoryReads());
+    // Deterministic workload: identical CPU-side reference counts.
+    EXPECT_EQ(sim_alloc.results().cpuReads,
+              sim_around.results().cpuReads);
+}
+
+TEST(Hierarchy, MissPenaltyHistogramCoversAllMisses)
+{
+    HierarchySimulator sim(HierarchyParams::baseMachine());
+    trace::VectorSource src(workload());
+    sim.warmUp(src, 80000);
+    sim.run(src);
+    const SimResults r = sim.results();
+    const auto &hist = sim.missPenaltyHistogram();
+
+    // One sample per L1 read miss (store-path misses are not read
+    // misses).
+    EXPECT_EQ(hist.samples(), r.levels[0].readMisses);
+    EXPECT_NEAR(hist.mean(), r.meanL1MissPenaltyCycles, 0.05);
+    // The nominal 3-cycle L2-hit penalty bucket [2,4) dominates
+    // when most L1 misses hit the 512KB L2.
+    std::uint64_t max_bucket = 0;
+    std::size_t max_idx = 0;
+    for (std::size_t i = 0; i < hist.bucketCount(); ++i) {
+        if (hist.bucket(i) > max_bucket) {
+            max_bucket = hist.bucket(i);
+            max_idx = i;
+        }
+    }
+    EXPECT_EQ(max_idx, 1u) << "mode must be the [2,4)-cycle bucket";
+}
+
+TEST(Hierarchy, MemoryTrafficAccounted)
+{
+    HierarchySimulator sim(HierarchyParams::baseMachine());
+    trace::VectorSource src(workload());
+    sim.warmUp(src, 50000);
+    sim.run(src);
+    EXPECT_GT(sim.memoryReads(), 0ULL);
+    EXPECT_GT(sim.memoryWrites(), 0ULL) << "dirty L2 victims";
+    // Every L2 read miss fetches one L2 block from memory, plus
+    // possible write-around traffic; reads can't be fewer.
+    EXPECT_GE(sim.memoryReads(), sim.results().levels[1].readMisses);
+}
+
+TEST(Hierarchy, WarmUpResetsCountersButKeepsState)
+{
+    HierarchySimulator sim(HierarchyParams::baseMachine());
+    trace::VectorSource src(workload());
+    sim.warmUp(src, 100000);
+    const SimResults r0 = sim.results();
+    EXPECT_EQ(r0.references, 0ULL);
+    EXPECT_EQ(r0.totalCycles, 0ULL);
+    sim.run(src, 1000);
+    EXPECT_EQ(sim.results().references, 1000ULL);
+}
+
+} // namespace
+} // namespace hier
+} // namespace mlc

@@ -1,0 +1,104 @@
+/** @file Tests for hierarchy configuration and the base machine. */
+
+#include <gtest/gtest.h>
+
+#include "hier/hierarchy_config.hh"
+
+namespace mlc {
+namespace hier {
+namespace {
+
+TEST(HierarchyConfig, BaseMachineMatchesPaperSection2)
+{
+    HierarchyParams p = HierarchyParams::baseMachine();
+    p.finalize();
+
+    EXPECT_DOUBLE_EQ(p.cpuCycleNs, 10.0);
+    EXPECT_TRUE(p.splitL1);
+    EXPECT_EQ(p.l1i.geometry.sizeBytes, 2048ULL);
+    EXPECT_EQ(p.l1d.geometry.sizeBytes, 2048ULL);
+    EXPECT_EQ(p.l1i.geometry.blockBytes, 16u) << "4 words";
+    EXPECT_EQ(p.l1i.geometry.assoc, 1u) << "direct-mapped";
+    EXPECT_EQ(p.l1d.writePolicy, cache::WritePolicy::WriteBack);
+    EXPECT_EQ(p.l1d.writeCycles, 2u);
+
+    ASSERT_EQ(p.levels.size(), 1u);
+    EXPECT_EQ(p.levels[0].geometry.sizeBytes, 512ULL * 1024);
+    EXPECT_EQ(p.levels[0].geometry.blockBytes, 32u) << "8 words";
+    EXPECT_DOUBLE_EQ(p.levels[0].cycleNs, 30.0) << "3 CPU cycles";
+    EXPECT_EQ(p.levels[0].writePolicy,
+              cache::WritePolicy::WriteBack);
+
+    ASSERT_EQ(p.busWidthWords.size(), 2u);
+    EXPECT_EQ(p.busWidthWords[0], 4u);
+    EXPECT_EQ(p.busWidthWords[1], 4u);
+
+    EXPECT_DOUBLE_EQ(p.memory.readNs, 180.0);
+    EXPECT_DOUBLE_EQ(p.memory.writeNs, 100.0);
+    EXPECT_DOUBLE_EQ(p.memory.interOpGapNs, 120.0);
+    EXPECT_EQ(p.writeBufferDepth, 4u);
+}
+
+TEST(HierarchyConfig, WithL2RescalesSizeAndCycle)
+{
+    const HierarchyParams p =
+        HierarchyParams::baseMachine().withL2(64 * 1024, 5, 2);
+    EXPECT_EQ(p.levels[0].geometry.sizeBytes, 64ULL * 1024);
+    EXPECT_EQ(p.levels[0].geometry.assoc, 2u);
+    EXPECT_DOUBLE_EQ(p.levels[0].cycleNs, 50.0);
+}
+
+TEST(HierarchyConfig, WithL1TotalSplitsEvenly)
+{
+    const HierarchyParams p =
+        HierarchyParams::baseMachine().withL1Total(32 * 1024);
+    EXPECT_EQ(p.l1i.geometry.sizeBytes, 16ULL * 1024);
+    EXPECT_EQ(p.l1d.geometry.sizeBytes, 16ULL * 1024);
+}
+
+TEST(HierarchyConfig, RejectsShrinkingBlocks)
+{
+    HierarchyParams p = HierarchyParams::baseMachine();
+    p.levels[0].geometry.blockBytes = 8; // smaller than L1's 16
+    EXPECT_EXIT(p.finalize(), testing::ExitedWithCode(1),
+                "smaller than upstream");
+}
+
+TEST(HierarchyConfig, RejectsBusCountMismatch)
+{
+    HierarchyParams p = HierarchyParams::baseMachine();
+    p.busWidthWords = {4};
+    EXPECT_EXIT(p.finalize(), testing::ExitedWithCode(1),
+                "bus widths");
+}
+
+TEST(HierarchyConfig, RejectsZeroWriteBuffer)
+{
+    HierarchyParams p = HierarchyParams::baseMachine();
+    p.writeBufferDepth = 0;
+    EXPECT_EXIT(p.finalize(), testing::ExitedWithCode(1),
+                "write buffer");
+}
+
+TEST(HierarchyConfig, SingleLevelSystemIsLegal)
+{
+    HierarchyParams p = HierarchyParams::baseMachine();
+    p.levels.clear();
+    p.busWidthWords = {4};
+    p.finalize();
+    EXPECT_TRUE(p.levels.empty());
+}
+
+TEST(HierarchyConfig, SummaryMentionsKeyFacts)
+{
+    HierarchyParams p = HierarchyParams::baseMachine();
+    p.finalize();
+    const std::string s = p.summary();
+    EXPECT_NE(s.find("2KB"), std::string::npos);
+    EXPECT_NE(s.find("512KB"), std::string::npos);
+    EXPECT_NE(s.find("180"), std::string::npos);
+}
+
+} // namespace
+} // namespace hier
+} // namespace mlc

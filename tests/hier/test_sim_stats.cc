@@ -1,0 +1,86 @@
+/** @file Tests for the stats-package binding. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "hier/sim_stats.hh"
+#include "trace/interleave.hh"
+
+namespace mlc {
+namespace hier {
+namespace {
+
+TEST(SimStats, DumpMatchesResults)
+{
+    HierarchyParams p = HierarchyParams::baseMachine();
+    p.measureSolo = true;
+    HierarchySimulator sim(p);
+    auto src = trace::makeMultiprogrammedWorkload(3, 4000, 9);
+    sim.warmUp(*src, 30000);
+    sim.run(*src, 80000);
+
+    SimStats stats(sim);
+    std::ostringstream os;
+    stats.dump(os);
+    const std::string out = os.str();
+
+    const SimResults r = sim.results();
+    EXPECT_NE(out.find("sim.cpu.instructions " +
+                       std::to_string(r.instructions)),
+              std::string::npos);
+    EXPECT_NE(out.find("sim.cpu.cycles " +
+                       std::to_string(r.totalCycles)),
+              std::string::npos);
+    EXPECT_NE(out.find("sim.l1.readMisses " +
+                       std::to_string(r.levels[0].readMisses)),
+              std::string::npos);
+    EXPECT_NE(out.find("sim.l2.readRequests " +
+                       std::to_string(r.levels[1].readRequests)),
+              std::string::npos);
+    EXPECT_NE(out.find("sim.wbuf1.writesQueued"),
+              std::string::npos);
+    EXPECT_NE(out.find("# cycles per instruction"),
+              std::string::npos);
+}
+
+TEST(SimStats, DumpIsLive)
+{
+    HierarchySimulator sim(HierarchyParams::baseMachine());
+    SimStats stats(sim); // bound before any simulation
+    auto src = trace::makeMultiprogrammedWorkload(2, 4000, 10);
+
+    std::ostringstream before;
+    stats.dump(before);
+    EXPECT_NE(before.str().find("sim.cpu.instructions 0"),
+              std::string::npos);
+
+    sim.run(*src, 50000);
+    std::ostringstream after;
+    stats.dump(after);
+    EXPECT_EQ(after.str().find("sim.cpu.instructions 0"),
+              std::string::npos)
+        << "formulas must read the simulator at dump time";
+}
+
+TEST(SimStats, ThreeLevelGetsThreeGroups)
+{
+    HierarchyParams p = HierarchyParams::baseMachine();
+    cache::CacheParams l3 = p.levels[0];
+    l3.name = "l3";
+    l3.geometry.sizeBytes = 2 << 20;
+    l3.geometry.blockBytes = 64;
+    p.levels.push_back(l3);
+    p.busWidthWords = {4, 4, 4};
+    HierarchySimulator sim(p);
+    SimStats stats(sim);
+    std::ostringstream os;
+    stats.dump(os);
+    EXPECT_NE(os.str().find("sim.l2."), std::string::npos);
+    EXPECT_NE(os.str().find("sim.l3."), std::string::npos);
+    EXPECT_NE(os.str().find("sim.wbuf3."), std::string::npos);
+}
+
+} // namespace
+} // namespace hier
+} // namespace mlc

@@ -1,0 +1,208 @@
+/** @file Hand-computed cycle counts through the base machine.
+ *
+ * Every expectation here is derived by hand from the paper's
+ * Section 2 timing rules; see the per-test comments. These tests
+ * pin the simulator's arithmetic, so a change that breaks one is
+ * changing the machine being modelled.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hier/hierarchy.hh"
+#include "trace/source.hh"
+
+namespace mlc {
+namespace hier {
+namespace {
+
+using trace::makeIFetch;
+using trace::makeLoad;
+using trace::makeStore;
+using trace::MemRef;
+using trace::VectorSource;
+
+std::uint64_t
+cyclesFor(const std::vector<MemRef> &warm,
+          const std::vector<MemRef> &measured,
+          HierarchyParams params = HierarchyParams::baseMachine())
+{
+    HierarchySimulator sim(std::move(params));
+    VectorSource warm_src(warm);
+    sim.warmUp(warm_src, warm.size());
+    VectorSource src(measured);
+    sim.run(src);
+    return sim.results().totalCycles;
+}
+
+TEST(Timing, L1HitsAreFullyPipelined)
+{
+    // Warm one I-block, then fetch within it 4 times: 4 cycles.
+    const std::vector<MemRef> warm = {makeIFetch(0x100)};
+    const std::vector<MemRef> run = {
+        makeIFetch(0x100), makeIFetch(0x104), makeIFetch(0x108),
+        makeIFetch(0x10c)};
+    EXPECT_EQ(cyclesFor(warm, run), 4ULL);
+}
+
+TEST(Timing, LoadHitCostsNothingExtra)
+{
+    // An instruction with a data load that hits: still 1 cycle.
+    const std::vector<MemRef> warm = {makeIFetch(0x100),
+                                      makeLoad(0x40000000)};
+    const std::vector<MemRef> run = {makeIFetch(0x100),
+                                     makeLoad(0x40000000)};
+    EXPECT_EQ(cyclesFor(warm, run), 1ULL);
+}
+
+TEST(Timing, StoreHitTakesTwoCycles)
+{
+    // Paper: "write hits taking two cycles" in the L1 data cache.
+    const std::vector<MemRef> warm = {makeIFetch(0x100),
+                                      makeLoad(0x40000000)};
+    const std::vector<MemRef> run = {makeIFetch(0x100),
+                                     makeStore(0x40000000)};
+    EXPECT_EQ(cyclesFor(warm, run), 2ULL);
+}
+
+TEST(Timing, L1MissL2HitCostsNominalThreeCycles)
+{
+    // Paper: "a read request that misses in L1 but hits in L2
+    // suffers a nominal cache miss penalty of 3 CPU cycles."
+    // Warm 0x100 (whole 32B L2 block 0x100..0x120 becomes L2
+    // resident); then fetch 0x110: L1 miss (16B blocks), L2 hit.
+    const std::vector<MemRef> warm = {makeIFetch(0x100)};
+    const std::vector<MemRef> run = {makeIFetch(0x100),  // L1 hit
+                                     makeIFetch(0x110)}; // L2 hit
+    // 1 + (1 + 3) = 5 cycles.
+    EXPECT_EQ(cyclesFor(warm, run), 5ULL);
+}
+
+TEST(Timing, ColdMissPaysL2ProbePlusMemoryFetch)
+{
+    // Cold ifetch: 1 base cycle + 3 cycles L2 probe + 270ns memory
+    // fetch (30 addr beat + 180 read + 60 data beats) = 31 cycles.
+    EXPECT_EQ(cyclesFor({}, {makeIFetch(0x100)}), 31ULL);
+}
+
+TEST(Timing, BackToBackMissesWaitOutTheRefreshGap)
+{
+    // Two cold fetches to distinct L2 blocks. The second memory
+    // read arrives 40ns after the first completes but the memory
+    // is occupied until 120ns past completion: it waits 80ns.
+    // First: 31 cycles. Second: 1 + 3 + 8 (wait) + 27 = 39 cycles.
+    const std::vector<MemRef> run = {makeIFetch(0x1000),
+                                     makeIFetch(0x2000)};
+    EXPECT_EQ(cyclesFor({}, run), 31ULL + 39ULL);
+}
+
+TEST(Timing, SlowerL2LinearlyIncreasesHitPenalty)
+{
+    // Same L1-miss/L2-hit scenario with L2 at 5 CPU cycles.
+    HierarchyParams p = HierarchyParams::baseMachine().withL2(
+        512 * 1024, 5);
+    const std::vector<MemRef> warm = {makeIFetch(0x100)};
+    const std::vector<MemRef> run = {makeIFetch(0x110)};
+    // 1 base + 5 L2 = 6 cycles.
+    EXPECT_EQ(cyclesFor(warm, run, p), 6ULL);
+}
+
+TEST(Timing, SingleLevelSystemGoesStraightToMemory)
+{
+    HierarchyParams p = HierarchyParams::baseMachine();
+    p.levels.clear();
+    p.busWidthWords = {4};
+    p.backplaneCycleNs = 0.0; // track the CPU clock
+    // Cold ifetch: 1 base + (10 addr beat + 180 read + 10 one-beat
+    // 16B transfer) = 1 + 20 = 21 cycles.
+    EXPECT_EQ(cyclesFor({}, {makeIFetch(0x100)}, p), 21ULL);
+}
+
+TEST(Timing, DirtyVictimGoesThroughWriteBufferWithoutStalling)
+{
+    // Dirty a block, then load a conflicting block (same L1 set,
+    // L1 is 2KB direct-mapped). The victim write-back is buffered,
+    // so the stall is only the L2 fetch of the new block.
+    const std::vector<MemRef> warm = {
+        makeIFetch(0x100), makeLoad(0x40000810),
+        makeIFetch(0x104), makeLoad(0x40000000),
+        makeIFetch(0x108), makeStore(0x40000000)}; // dirty in L1
+    // The warm pass leaves 0x40000000 dirty in L1 set 0 and both
+    // data blocks' L2 blocks resident.
+    const std::vector<MemRef> run = {
+        makeIFetch(0x100), makeStore(0x40000000), // store hit: 2cyc
+        makeIFetch(0x104), makeLoad(0x40000800)}; // evict dirty
+    // Cycles 1-2: ifetch + store hit. Cycle 3: ifetch hit.
+    // Load 0x40000800: L1 miss (0x...800 conflicts with 0x...000
+    // in a 2KB L1); L2 hit: +3 cycles. Victim write-back queued,
+    // no stall. Total = 2 + 1 + 3 = 6 cycles.
+    HierarchySimulator sim(HierarchyParams::baseMachine());
+    VectorSource warm_src(warm);
+    sim.warmUp(warm_src, warm.size());
+    VectorSource src(run);
+    sim.run(src);
+    EXPECT_EQ(sim.results().totalCycles, 6ULL);
+    EXPECT_EQ(sim.writeBuffer(0).writesQueued(), 1ULL);
+    EXPECT_EQ(sim.results().writeBufferFullStalls, 0ULL);
+}
+
+TEST(Timing, WriteThroughL1ForwardsEveryStore)
+{
+    HierarchyParams p = HierarchyParams::baseMachine();
+    p.l1d.writePolicy = cache::WritePolicy::WriteThrough;
+    p.l1d.allocPolicy = cache::AllocPolicy::NoWriteAllocate;
+    HierarchySimulator sim(p);
+    const std::vector<MemRef> warm = {makeIFetch(0x100),
+                                      makeLoad(0x40000000)};
+    VectorSource warm_src(warm);
+    sim.warmUp(warm_src, warm.size());
+    const std::vector<MemRef> run = {
+        makeIFetch(0x100), makeStore(0x40000000),
+        makeIFetch(0x104), makeStore(0x40000000)};
+    VectorSource src(run);
+    sim.run(src);
+    // Both stores hit L1 but forward downstream through the
+    // write buffer (without stalling the CPU beyond the 2-cycle
+    // write hit).
+    EXPECT_EQ(sim.writeBuffer(0).writesQueued(), 2ULL);
+    EXPECT_EQ(sim.results().totalCycles, 4ULL);
+}
+
+TEST(Timing, MeanL1MissPenaltyNominal)
+{
+    // All L1 misses hitting in L2 => mean penalty == 3 cycles.
+    const std::vector<MemRef> warm = {makeIFetch(0x100),
+                                      makeIFetch(0x200)};
+    const std::vector<MemRef> run = {
+        makeIFetch(0x110), makeIFetch(0x210), makeIFetch(0x110),
+        makeIFetch(0x210)};
+    HierarchySimulator sim(HierarchyParams::baseMachine());
+    VectorSource warm_src(warm);
+    sim.warmUp(warm_src, warm.size());
+    VectorSource src(run);
+    sim.run(src);
+    // First two miss L1/hit L2; second two hit L1.
+    EXPECT_DOUBLE_EQ(sim.results().meanL1MissPenaltyCycles, 3.0);
+}
+
+TEST(Timing, IdealCyclesCountStoresAtWriteHitCost)
+{
+    const std::vector<MemRef> warm = {makeIFetch(0x100),
+                                      makeLoad(0x40000000)};
+    const std::vector<MemRef> run = {makeIFetch(0x100),
+                                     makeStore(0x40000000),
+                                     makeIFetch(0x104)};
+    HierarchySimulator sim(HierarchyParams::baseMachine());
+    VectorSource warm_src(warm);
+    sim.warmUp(warm_src, warm.size());
+    VectorSource src(run);
+    sim.run(src);
+    const SimResults r = sim.results();
+    // 2 instructions + 1 extra store cycle; everything hit.
+    EXPECT_EQ(r.idealCycles, 3ULL);
+    EXPECT_EQ(r.totalCycles, 3ULL);
+    EXPECT_DOUBLE_EQ(r.relativeExecTime, 1.0);
+}
+
+} // namespace
+} // namespace hier
+} // namespace mlc

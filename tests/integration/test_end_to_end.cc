@@ -1,0 +1,121 @@
+/** @file End-to-end flows: config file -> simulator -> results,
+ *  and trace file round trips through the simulator. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "hier/config_file.hh"
+#include "hier/hierarchy.hh"
+#include "trace/binary.hh"
+#include "trace/dinero.hh"
+#include "trace/interleave.hh"
+#include "trace/source.hh"
+
+namespace mlc {
+namespace {
+
+std::vector<trace::MemRef>
+smallWorkload()
+{
+    auto src = trace::makeMultiprogrammedWorkload(3, 4000, 5);
+    return trace::collect(*src, 120000);
+}
+
+TEST(EndToEnd, ConfigFileDrivesSimulation)
+{
+    std::istringstream cfg(R"(
+        l1i.size = 4KB
+        l1d.size = 4KB
+        l2.size  = 256KB
+        l2.cycle = 30ns
+        measure.solo = true
+    )");
+    const hier::HierarchyParams params = hier::parseConfig(cfg);
+    hier::HierarchySimulator sim(params);
+    const auto refs = smallWorkload();
+    trace::VectorSource src(refs);
+    sim.warmUp(src, 40000);
+    sim.run(src);
+    const hier::SimResults r = sim.results();
+    EXPECT_EQ(r.references, refs.size() - 40000);
+    EXPECT_GT(r.relativeExecTime, 1.0);
+    EXPECT_GE(r.levels[1].soloMissRatio, 0.0);
+    std::ostringstream report;
+    r.print(report);
+    EXPECT_NE(report.str().find("relative exec time"),
+              std::string::npos);
+    EXPECT_NE(report.str().find("l2"), std::string::npos);
+}
+
+TEST(EndToEnd, DineroFileFeedsSimulatorIdentically)
+{
+    const auto refs = smallWorkload();
+
+    // Simulate directly.
+    hier::HierarchySimulator direct(
+        hier::HierarchyParams::baseMachine());
+    trace::VectorSource direct_src(refs);
+    direct.run(direct_src);
+
+    // Simulate through an ASCII round trip.
+    std::stringstream file;
+    trace::DineroWriter writer(file, true);
+    for (const auto &r : refs)
+        writer.put(r);
+    hier::HierarchySimulator via_file(
+        hier::HierarchyParams::baseMachine());
+    trace::DineroReader reader(file);
+    via_file.run(reader);
+
+    EXPECT_EQ(direct.results().totalCycles,
+              via_file.results().totalCycles);
+    EXPECT_EQ(direct.results().levels[1].readMisses,
+              via_file.results().levels[1].readMisses);
+}
+
+TEST(EndToEnd, BinaryFileFeedsSimulatorIdentically)
+{
+    const auto refs = smallWorkload();
+
+    hier::HierarchySimulator direct(
+        hier::HierarchyParams::baseMachine());
+    trace::VectorSource direct_src(refs);
+    direct.run(direct_src);
+
+    std::stringstream file(std::ios::in | std::ios::out |
+                           std::ios::binary);
+    trace::BinaryWriter writer(file);
+    for (const auto &r : refs)
+        writer.put(r);
+    writer.finish();
+    hier::HierarchySimulator via_file(
+        hier::HierarchyParams::baseMachine());
+    trace::BinaryReader reader(file);
+    via_file.run(reader);
+
+    EXPECT_EQ(direct.results().totalCycles,
+              via_file.results().totalCycles);
+}
+
+TEST(EndToEnd, ConfigRoundTripPreservesSimulation)
+{
+    hier::HierarchyParams p =
+        hier::HierarchyParams::baseMachine().withL2(128 << 10, 4,
+                                                    2);
+    p.finalize();
+    std::stringstream cfg;
+    hier::writeConfig(cfg, p);
+    const hier::HierarchyParams q = hier::parseConfig(cfg);
+
+    const auto refs = smallWorkload();
+    hier::HierarchySimulator sim_p(p), sim_q(q);
+    trace::VectorSource src_p(refs), src_q(refs);
+    sim_p.run(src_p);
+    sim_q.run(src_q);
+    EXPECT_EQ(sim_p.results().totalCycles,
+              sim_q.results().totalCycles);
+}
+
+} // namespace
+} // namespace mlc

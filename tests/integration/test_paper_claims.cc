@@ -1,0 +1,196 @@
+/** @file Calibration tests: the paper's headline empirical claims
+ *  must hold (qualitatively, with stated tolerances) on our
+ *  synthetic workload suite. EXPERIMENTS.md quotes the measured
+ *  values these tests bound. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "expt/runner.hh"
+#include "model/miss_rate.hh"
+#include "trace/interleave.hh"
+
+namespace mlc {
+namespace {
+
+/** One mid-suite trace, shared across tests in this file. */
+const std::vector<trace::MemRef> &
+sharedTrace()
+{
+    static const std::vector<trace::MemRef> refs = [] {
+        auto src = trace::makeMultiprogrammedWorkload(6, 12000, 2);
+        return trace::collect(*src, 600000);
+    }();
+    return refs;
+}
+
+hier::SimResults
+runBase(hier::HierarchyParams p)
+{
+    return expt::runOnTrace(std::move(p), sharedTrace(), 200000);
+}
+
+/** Paper Section 2: the 4KB L1 has a miss ratio near 10%. */
+TEST(PaperClaims, FourKbL1MissRatioNearTenPercent)
+{
+    const hier::SimResults r =
+        runBase(hier::HierarchyParams::baseMachine());
+    EXPECT_GT(r.levels[0].localMissRatio, 0.06);
+    EXPECT_LT(r.levels[0].localMissRatio, 0.15);
+}
+
+/**
+ * Paper Section 3 / Figure 3-1: with L2 >> L1, the L2 global miss
+ * ratio is close to the solo miss ratio, and the local ratio is
+ * much larger than the global one (the L1 filters ~10x of the
+ * references but few of the misses).
+ */
+TEST(PaperClaims, GlobalEqualsSoloAndLocalIsInflated)
+{
+    hier::HierarchyParams p = hier::HierarchyParams::baseMachine();
+    p.measureSolo = true;
+    const hier::SimResults r = runBase(std::move(p));
+
+    const double global = r.levels[1].globalMissRatio;
+    const double solo = r.levels[1].soloMissRatio;
+    const double local = r.levels[1].localMissRatio;
+    ASSERT_GT(solo, 0.0);
+    EXPECT_NEAR(global / solo, 1.0, 0.3)
+        << "independence of layers";
+    EXPECT_GT(local / global, 5.0)
+        << "the L1 filter inflates the local ratio ~1/M_L1";
+}
+
+/**
+ * Paper Section 4: the solo miss ratio falls by a roughly constant
+ * factor per size doubling (they measure 0.69 on their traces);
+ * our suite must show a constant-factor decline in [0.60, 0.85]
+ * over the paper's main range with a log-log fit.
+ */
+TEST(PaperClaims, MissRatioDoublingFactorInRange)
+{
+    std::vector<std::pair<std::uint64_t, double>> points;
+    for (std::uint64_t kb = 16; kb <= 1024; kb *= 2) {
+        hier::HierarchyParams p =
+            hier::HierarchyParams::baseMachine().withL2(kb << 10,
+                                                        3);
+        p.measureSolo = true;
+        const hier::SimResults r = runBase(std::move(p));
+        points.emplace_back(kb << 10,
+                            r.levels[1].soloMissRatio);
+    }
+    const model::MissRateModel fit = model::MissRateModel::fit(points);
+    EXPECT_GT(fit.doublingFactor(), 0.60);
+    EXPECT_LT(fit.doublingFactor(), 0.85);
+    // And the decline is monotone across the fitted range.
+    for (std::size_t i = 1; i < points.size(); ++i)
+        EXPECT_LT(points[i].second, points[i - 1].second);
+}
+
+/**
+ * Paper Section 2: the nominal L1-miss/L2-hit penalty is 3 CPU
+ * cycles and the L2 miss penalty is 270-390ns on top of the L2
+ * probe; the measured mean penalty must sit between these bounds.
+ */
+TEST(PaperClaims, MeanMissPenaltyWithinPaperBounds)
+{
+    const hier::SimResults r =
+        runBase(hier::HierarchyParams::baseMachine());
+    EXPECT_GE(r.meanL1MissPenaltyCycles, 3.0);
+    // Upper bound: every L1 miss also missing in L2 with maximum
+    // memory wait: 3 + 39 cycles.
+    EXPECT_LE(r.meanL1MissPenaltyCycles, 42.0);
+}
+
+/** Paper Figure 4-1: performance improves with L2 size at fixed
+ *  cycle time, and degrades with cycle time at fixed size, with
+ *  diminishing returns for very large caches. */
+TEST(PaperClaims, SpeedSizeSurfaceShape)
+{
+    auto rel = [&](std::uint64_t kb, std::uint32_t cyc) {
+        return runBase(hier::HierarchyParams::baseMachine()
+                           .withL2(kb << 10, cyc))
+            .relativeExecTime;
+    };
+    const double small = rel(16, 3);
+    const double mid = rel(128, 3);
+    const double big = rel(1024, 3);
+    EXPECT_GT(small, mid);
+    EXPECT_GT(mid, big);
+    // Diminishing returns: the second jump buys less than the
+    // first.
+    EXPECT_GT(small - mid, mid - big);
+    // Cycle-time sensitivity at fixed size.
+    EXPECT_LT(rel(128, 1), rel(128, 5));
+    EXPECT_LT(rel(128, 5), rel(128, 9));
+}
+
+/**
+ * Paper Section 5: increased associativity lowers the L2 global
+ * miss ratio, and the Equation-3 break-even times grow as the L1
+ * gets bigger (factor ~1/f per doubling).
+ */
+TEST(PaperClaims, AssociativityBenefitAndBreakEvenGrowth)
+{
+    // A 256KB L2 keeps the independence result in force for both
+    // L1 sizes (L2 >> L1); smaller L2s are dominated by conflict
+    // noise in the DM baseline.
+    auto globalMiss = [&](std::uint64_t l1_total,
+                          std::uint32_t assoc) {
+        hier::HierarchyParams p =
+            hier::HierarchyParams::baseMachine()
+                .withL1Total(l1_total)
+                .withL2(256 << 10, 3, assoc);
+        return runBase(std::move(p));
+    };
+
+    const hier::SimResults dm4k = globalMiss(4 << 10, 1);
+    const hier::SimResults sa4k = globalMiss(4 << 10, 8);
+    EXPECT_LT(sa4k.levels[1].globalMissRatio,
+              dm4k.levels[1].globalMissRatio);
+
+    const double delta = dm4k.levels[1].globalMissRatio -
+                         sa4k.levels[1].globalMissRatio;
+    const double be_4k =
+        delta * 270.0 / dm4k.levels[0].globalMissRatio;
+
+    const hier::SimResults dm16k = globalMiss(16 << 10, 1);
+    const hier::SimResults sa16k = globalMiss(16 << 10, 8);
+    const double delta16 = dm16k.levels[1].globalMissRatio -
+                           sa16k.levels[1].globalMissRatio;
+    const double be_16k =
+        delta16 * 270.0 / dm16k.levels[0].globalMissRatio;
+
+    // Two L1 doublings: break-even should grow noticeably (the
+    // paper predicts ~1/f^2 ~ 2.1x; the miss-ratio delta also
+    // drifts, so assert direction and rough magnitude).
+    EXPECT_GT(be_16k, be_4k * 1.3);
+}
+
+/** Paper Figure 4-4 direction: slower memory pushes the optimum
+ *  toward larger caches — at fixed cycle time, the relative gain
+ *  of quadrupling the L2 is bigger when memory is slower. */
+TEST(PaperClaims, SlowerMemoryStrengthensSizePull)
+{
+    auto gain = [&](const mem::MainMemoryParams &mp) {
+        hier::HierarchyParams small =
+            hier::HierarchyParams::baseMachine().withL2(64 << 10,
+                                                        3);
+        small.memory = mp;
+        hier::HierarchyParams big =
+            hier::HierarchyParams::baseMachine().withL2(256 << 10,
+                                                        3);
+        big.memory = mp;
+        const double rel_small =
+            runBase(std::move(small)).relativeExecTime;
+        const double rel_big =
+            runBase(std::move(big)).relativeExecTime;
+        return rel_small - rel_big;
+    };
+    EXPECT_GT(gain(mem::MainMemoryParams::slow()),
+              gain(mem::MainMemoryParams{}));
+}
+
+} // namespace
+} // namespace mlc

@@ -1,0 +1,46 @@
+/** @file Tests for the bus model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+
+namespace mlc {
+namespace mem {
+namespace {
+
+TEST(Bus, BeatsForBytes)
+{
+    Bus bus(4, 30000); // 4 words = 16B wide, 30ns cycle
+    EXPECT_EQ(bus.beatsFor(0), 0ULL);
+    EXPECT_EQ(bus.beatsFor(1), 1ULL);
+    EXPECT_EQ(bus.beatsFor(16), 1ULL);
+    EXPECT_EQ(bus.beatsFor(17), 2ULL);
+    EXPECT_EQ(bus.beatsFor(32), 2ULL);
+}
+
+TEST(Bus, TransferTime)
+{
+    Bus bus(4, 30000);
+    // The paper's base machine: an 8-word (32B) block over the
+    // 4-word backplane takes 2 beats = 60ns.
+    EXPECT_EQ(bus.transferTime(32), 60000ULL);
+    EXPECT_EQ(bus.transferTime(16), 30000ULL);
+    EXPECT_EQ(bus.cycleTime(), 30000ULL);
+    EXPECT_EQ(bus.widthBytes(), 16ULL);
+}
+
+TEST(Bus, SingleWordBus)
+{
+    Bus bus(1, 10000);
+    EXPECT_EQ(bus.transferTime(16), 40000ULL);
+}
+
+TEST(Bus, RejectsBadParameters)
+{
+    EXPECT_DEATH(Bus(0, 1000), "width");
+    EXPECT_DEATH(Bus(4, 0), "cycle");
+}
+
+} // namespace
+} // namespace mem
+} // namespace mlc

@@ -1,0 +1,77 @@
+/** @file Tests for timing primitives and BusyResource. */
+
+#include <gtest/gtest.h>
+
+#include "mem/timing.hh"
+
+namespace mlc {
+namespace {
+
+TEST(Timing, NsTickConversions)
+{
+    EXPECT_EQ(nsToTicks(10.0), 10000ULL);
+    EXPECT_EQ(nsToTicks(0.5), 500ULL);
+    EXPECT_DOUBLE_EQ(ticksToNs(30000), 30.0);
+    EXPECT_EQ(nsToTicks(ticksToNs(12345)), 12345ULL);
+}
+
+TEST(Timing, CyclesCovering)
+{
+    EXPECT_EQ(cyclesCovering(0, 10000), 0ULL);
+    EXPECT_EQ(cyclesCovering(1, 10000), 1ULL);
+    EXPECT_EQ(cyclesCovering(10000, 10000), 1ULL);
+    EXPECT_EQ(cyclesCovering(10001, 10000), 2ULL);
+}
+
+TEST(BusyResource, IdleStartsImmediately)
+{
+    BusyResource r;
+    const auto g = r.access(100, 30);
+    EXPECT_EQ(g.start, 100ULL);
+    EXPECT_EQ(g.done, 130ULL);
+    EXPECT_EQ(r.freeAt(), 130ULL);
+}
+
+TEST(BusyResource, BackToBackSerializes)
+{
+    BusyResource r;
+    r.access(0, 50);
+    const auto g = r.access(10, 20);
+    EXPECT_EQ(g.start, 50ULL);
+    EXPECT_EQ(g.done, 70ULL);
+}
+
+TEST(BusyResource, OccupancyOutlastsService)
+{
+    BusyResource r;
+    const auto g = r.access(0, 180, 300);
+    EXPECT_EQ(g.done, 180ULL);
+    EXPECT_EQ(r.freeAt(), 300ULL);
+    const auto g2 = r.access(200, 10);
+    EXPECT_EQ(g2.start, 300ULL);
+}
+
+TEST(BusyResource, GapAfterBusyIsIdleTime)
+{
+    BusyResource r;
+    r.access(0, 10);
+    const auto g = r.access(1000, 10);
+    EXPECT_EQ(g.start, 1000ULL); // no carry-over of idle time
+}
+
+TEST(BusyResource, ResetClears)
+{
+    BusyResource r;
+    r.access(0, 100);
+    r.reset();
+    EXPECT_EQ(r.freeAt(), 0ULL);
+}
+
+TEST(BusyResource, OccupancyShorterThanServiceDies)
+{
+    BusyResource r;
+    EXPECT_DEATH(r.access(0, 100, 50), "occupancy");
+}
+
+} // namespace
+} // namespace mlc

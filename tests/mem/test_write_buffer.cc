@@ -1,0 +1,178 @@
+/** @file Tests for the write buffer's scheduling semantics. */
+
+#include <gtest/gtest.h>
+
+#include "mem/write_buffer.hh"
+
+namespace mlc {
+namespace mem {
+namespace {
+
+constexpr WriteBuffer::Op
+op(Tick service, Tick occupancy = 0)
+{
+    return {service, occupancy == 0 ? service : occupancy};
+}
+
+TEST(WriteBuffer, WritesDontStallWhenNotFull)
+{
+    WriteBuffer wb(4);
+    EXPECT_EQ(wb.queueWrite(100, 0x100, 16, op(60)), 100ULL);
+    EXPECT_EQ(wb.queueWrite(100, 0x200, 16, op(60)), 100ULL);
+    EXPECT_EQ(wb.pendingAt(100), 2u);
+    EXPECT_EQ(wb.fullStalls(), 0ULL);
+}
+
+TEST(WriteBuffer, EntriesDrainSequentially)
+{
+    WriteBuffer wb(4);
+    wb.queueWrite(0, 0x100, 16, op(60));
+    wb.queueWrite(0, 0x200, 16, op(60));
+    // First drains at 60, second at 120.
+    EXPECT_EQ(wb.pendingAt(59), 2u);
+    EXPECT_EQ(wb.pendingAt(60), 1u);
+    EXPECT_EQ(wb.pendingAt(120), 0u);
+    EXPECT_EQ(wb.quiesceAt(), 120ULL);
+}
+
+TEST(WriteBuffer, FullBufferStallsUntilOldestDrains)
+{
+    WriteBuffer wb(2);
+    wb.queueWrite(0, 0x100, 16, op(100));
+    wb.queueWrite(0, 0x200, 16, op(100));
+    // Buffer full; third write waits for the first to finish (100).
+    EXPECT_EQ(wb.queueWrite(10, 0x300, 16, op(100)), 100ULL);
+    EXPECT_EQ(wb.fullStalls(), 1ULL);
+    EXPECT_EQ(wb.fullStallTicks(), 90ULL);
+}
+
+TEST(WriteBuffer, CoalescesUnstartedSameRange)
+{
+    WriteBuffer wb(4);
+    wb.queueWrite(0, 0x100, 16, op(100));
+    wb.queueWrite(0, 0x200, 16, op(100)); // starts at 100
+    // 0x200 hasn't started at t=10: coalesce.
+    EXPECT_EQ(wb.queueWrite(10, 0x200, 16, op(100)), 10ULL);
+    EXPECT_EQ(wb.writesCoalesced(), 1ULL);
+    EXPECT_EQ(wb.pendingAt(10), 2u);
+}
+
+TEST(WriteBuffer, ReadOnIdleBufferIsImmediate)
+{
+    WriteBuffer wb(4);
+    const auto g = wb.read(500, 0x100, 16, op(30));
+    EXPECT_EQ(g.start, 500ULL);
+    EXPECT_EQ(g.done, 530ULL);
+}
+
+TEST(WriteBuffer, ReadWaitsForWriteInProgress)
+{
+    WriteBuffer wb(4);
+    wb.queueWrite(0, 0x100, 16, op(100));
+    // At t=50 the write is mid-flight; the read waits it out.
+    const auto g = wb.read(50, 0x900, 16, op(30));
+    EXPECT_EQ(g.start, 100ULL);
+    EXPECT_EQ(g.done, 130ULL);
+}
+
+TEST(WriteBuffer, ReadPreemptsUnstartedWrites)
+{
+    WriteBuffer wb(4);
+    wb.queueWrite(0, 0x100, 16, op(100)); // in progress at t=50
+    wb.queueWrite(0, 0x200, 16, op(100)); // would start at 100
+    wb.queueWrite(0, 0x300, 16, op(100)); // would start at 200
+    const auto g = wb.read(50, 0x900, 16, op(30));
+    // Read waits only for the first write.
+    EXPECT_EQ(g.start, 100ULL);
+    EXPECT_EQ(g.done, 130ULL);
+    // The preempted writes drain after the read: 130+100, +100.
+    EXPECT_EQ(wb.quiesceAt(), 330ULL);
+    EXPECT_EQ(wb.pendingAt(229), 2u);
+    EXPECT_EQ(wb.pendingAt(230), 1u);
+    EXPECT_EQ(wb.pendingAt(330), 0u);
+}
+
+TEST(WriteBuffer, ReadMatchingBufferedWriteWaitsForIt)
+{
+    WriteBuffer wb(4);
+    wb.queueWrite(0, 0x100, 16, op(100));
+    wb.queueWrite(0, 0x200, 16, op(100)); // drains at 200
+    // Read overlaps the *second* buffered block: both must drain.
+    const auto g = wb.read(10, 0x200, 16, op(30));
+    EXPECT_EQ(g.start, 200ULL);
+    EXPECT_EQ(wb.readMatches(), 1ULL);
+}
+
+TEST(WriteBuffer, ReadMatchUsesRangeOverlap)
+{
+    WriteBuffer wb(4);
+    // A 16B write at 0x100; a 32B read at 0x0f8 overlaps it.
+    wb.queueWrite(0, 0x100, 16, op(100));
+    const auto g = wb.read(0, 0x0f8, 32, op(30));
+    EXPECT_EQ(g.start, 100ULL);
+    // Adjacent but non-overlapping does not match.
+    WriteBuffer wb2(4);
+    wb2.queueWrite(0, 0x100, 16, op(100));
+    const auto g2 = wb2.read(0, 0x110, 16, op(30));
+    EXPECT_EQ(g2.start, 100ULL); // in-progress wait only
+    EXPECT_EQ(wb2.readMatches(), 0ULL);
+}
+
+TEST(WriteBuffer, ReadOccupancyDelaysNextRead)
+{
+    WriteBuffer wb(4);
+    // A read with occupancy beyond service (memory refresh gap).
+    wb.read(0, 0x100, 32, op(270, 390));
+    const auto g = wb.read(270, 0x200, 32, op(270, 390));
+    EXPECT_EQ(g.start, 390ULL);
+}
+
+TEST(WriteBuffer, WritesScheduleAfterReadOccupancy)
+{
+    WriteBuffer wb(4);
+    wb.read(0, 0x100, 32, op(270, 390));
+    wb.queueWrite(280, 0x200, 32, op(190, 310));
+    // The write starts when the memory rests from the read.
+    EXPECT_EQ(wb.quiesceAt(), 390 + 310ULL);
+}
+
+TEST(WriteBuffer, StatisticsAndReset)
+{
+    WriteBuffer wb(2);
+    wb.queueWrite(0, 0x100, 16, op(10));
+    wb.read(0, 0x100, 16, op(10));
+    EXPECT_EQ(wb.writesQueued(), 1ULL);
+    EXPECT_EQ(wb.reads(), 1ULL);
+    EXPECT_EQ(wb.readMatches(), 1ULL);
+    wb.reset();
+    EXPECT_EQ(wb.writesQueued(), 0ULL);
+    EXPECT_EQ(wb.reads(), 0ULL);
+    EXPECT_EQ(wb.quiesceAt(), 0ULL);
+    EXPECT_EQ(wb.pendingAt(0), 0u);
+}
+
+TEST(WriteBuffer, ZeroDepthDies)
+{
+    EXPECT_DEATH(WriteBuffer(0), "depth");
+}
+
+TEST(WriteBuffer, SequenceMixedTraffic)
+{
+    // A miniature L2<->memory timeline mixing demand reads and
+    // victim write-backs, checked end to end.
+    WriteBuffer wb(4);
+    // t=0: victim write (190 service).
+    wb.queueWrite(0, 0x1000, 32, op(190));
+    // t=10: demand read, different block: waits for in-progress
+    // write (190), then 270 service.
+    const auto r1 = wb.read(10, 0x2000, 32, op(270));
+    EXPECT_EQ(r1.start, 190ULL);
+    EXPECT_EQ(r1.done, 460ULL);
+    // t=470: another victim; resource free at 460, starts there.
+    EXPECT_EQ(wb.queueWrite(470, 0x3000, 32, op(190)), 470ULL);
+    EXPECT_EQ(wb.quiesceAt(), 470 + 190ULL);
+}
+
+} // namespace
+} // namespace mem
+} // namespace mlc

@@ -1,0 +1,73 @@
+/** @file Tests for the Equation 3 associativity break-even model. */
+
+#include <gtest/gtest.h>
+
+#include "model/associativity.hh"
+
+namespace mlc {
+namespace model {
+namespace {
+
+TEST(Associativity, EquationThree)
+{
+    // dM = 0.002, t_MM = 270ns, M_L1 = 0.10:
+    // break-even = 0.002 * 270 / 0.10 = 5.4ns.
+    EXPECT_DOUBLE_EQ(breakEvenNs(0.002, 270.0, 0.10), 5.4);
+}
+
+TEST(Associativity, ScalesInverselyWithL1Miss)
+{
+    // Halving the L1 miss ratio doubles the break-even time:
+    // the paper's "multiplied by the inverse of the previous
+    // cache's global cache miss ratio".
+    EXPECT_DOUBLE_EQ(breakEvenNs(0.002, 270.0, 0.05),
+                     2.0 * breakEvenNs(0.002, 270.0, 0.10));
+}
+
+TEST(Associativity, ScalesLinearlyWithMemoryTime)
+{
+    // "the break-even times increase linearly with the main
+    // memory access times."
+    EXPECT_DOUBLE_EQ(breakEvenNs(0.002, 540.0, 0.10),
+                     2.0 * breakEvenNs(0.002, 270.0, 0.10));
+}
+
+TEST(Associativity, GrowthPerL1DoublingIs145ForPaperFactor)
+{
+    // "with each doubling of the upstream cache size, the
+    // incremental and cumulative break-even times are multiplied
+    // by a factor of 1.45" (= 1/0.69).
+    EXPECT_NEAR(breakEvenGrowthPerL1Doubling(0.69), 1.449, 0.001);
+}
+
+TEST(Associativity, CumulativeBreakEven)
+{
+    // Global miss ratios for DM, 2-way, 4-way, 8-way.
+    const std::vector<double> miss = {0.0100, 0.0085, 0.0078,
+                                      0.0075};
+    const auto be = cumulativeBreakEvenNs(miss, 270.0, 0.10);
+    ASSERT_EQ(be.size(), 4u);
+    EXPECT_DOUBLE_EQ(be[0], 0.0);
+    EXPECT_NEAR(be[1], (0.0100 - 0.0085) * 270.0 / 0.10, 1e-12);
+    EXPECT_NEAR(be[3], (0.0100 - 0.0075) * 270.0 / 0.10, 1e-12);
+    // Cumulative times are monotone when associativity helps.
+    EXPECT_LT(be[1], be[2]);
+    EXPECT_LT(be[2], be[3]);
+}
+
+TEST(Associativity, MuxThresholdIsElevenNs)
+{
+    EXPECT_DOUBLE_EQ(kMuxSelectNs, 11.0);
+}
+
+TEST(Associativity, RejectsBadArguments)
+{
+    EXPECT_DEATH(breakEvenNs(0.01, 270.0, 0.0), "positive");
+    EXPECT_DEATH(breakEvenGrowthPerL1Doubling(1.0), "doubling");
+    EXPECT_DEATH(cumulativeBreakEvenNs({}, 270.0, 0.1),
+                 "no miss ratios");
+}
+
+} // namespace
+} // namespace model
+} // namespace mlc

@@ -1,0 +1,128 @@
+/** @file Tests for the Equation 1 execution-time model. */
+
+#include <gtest/gtest.h>
+
+#include "model/exec_time.hh"
+
+namespace mlc {
+namespace model {
+namespace {
+
+TEST(RefMix, FromFractionsMatchesWorkloadDefaults)
+{
+    const RefMix m = RefMix::fromFractions(0.5, 0.35);
+    EXPECT_DOUBLE_EQ(m.storesPerInstruction, 0.175);
+    EXPECT_DOUBLE_EQ(m.readsPerInstruction, 1.0 + 0.5 * 0.65);
+}
+
+TEST(TwoLevelModel, CyclesPerReadDecomposition)
+{
+    TwoLevelModel m;
+    m.nL1 = 1.0;
+    m.nL2 = 3.0;
+    m.nMMread = 27.0;
+    m.ml1 = 0.10;
+    m.ml2 = 0.01;
+    // 1 + 0.1*3 + 0.01*27 = 1.57.
+    EXPECT_DOUBLE_EQ(m.cyclesPerRead(), 1.57);
+}
+
+TEST(TwoLevelModel, TotalCyclesIsEquationOne)
+{
+    TwoLevelModel m;
+    m.nL1 = 1.0;
+    m.nL2 = 3.0;
+    m.nMMread = 27.0;
+    m.ml1 = 0.10;
+    m.ml2 = 0.01;
+    m.wL1 = 2.0;
+    EXPECT_DOUBLE_EQ(m.totalCycles(1000, 100),
+                     1000 * 1.57 + 100 * 2.0);
+}
+
+TEST(TwoLevelModel, PerfectCachesGiveIdealCpi)
+{
+    TwoLevelModel m;
+    m.ml1 = 0.0;
+    m.ml2 = 0.0;
+    m.wL1 = 2.0;
+    const RefMix mix = RefMix::fromFractions(0.5, 0.35);
+    EXPECT_DOUBLE_EQ(m.relativeExecTime(mix), 1.0);
+    EXPECT_DOUBLE_EQ(m.cpi(mix),
+                     mix.readsPerInstruction +
+                         2.0 * mix.storesPerInstruction);
+}
+
+TEST(TwoLevelModel, RelativeExecTimeScalesWithMissCosts)
+{
+    TwoLevelModel fast, slow;
+    fast.ml1 = slow.ml1 = 0.1;
+    fast.ml2 = slow.ml2 = 0.02;
+    fast.nL2 = 3.0;
+    slow.nL2 = 10.0;
+    const RefMix mix;
+    EXPECT_LT(fast.relativeExecTime(mix),
+              slow.relativeExecTime(mix));
+}
+
+TEST(TwoLevelModel, MissRatioImprovementHelpsMoreWhenMemorySlow)
+{
+    // The core of the paper's Section 4: the benefit of halving
+    // ml2 scales with nMMread.
+    TwoLevelModel m;
+    m.ml1 = 0.1;
+    const RefMix mix;
+    auto benefit = [&](double mm) {
+        TwoLevelModel a = m, b = m;
+        a.nMMread = b.nMMread = mm;
+        a.ml2 = 0.02;
+        b.ml2 = 0.01;
+        return a.cpi(mix) - b.cpi(mix);
+    };
+    EXPECT_NEAR(benefit(54.0), 2.0 * benefit(27.0), 1e-12);
+}
+
+TEST(MultiLevelModel, MatchesTwoLevelModel)
+{
+    TwoLevelModel two;
+    two.ml1 = 0.1;
+    two.ml2 = 0.02;
+    two.nL2 = 3.0;
+    two.nMMread = 27.0;
+    const MultiLevelModel multi =
+        MultiLevelModel::fromTwoLevel(two);
+    const RefMix mix;
+    EXPECT_DOUBLE_EQ(multi.cyclesPerRead(), two.cyclesPerRead());
+    EXPECT_DOUBLE_EQ(multi.cpi(mix), two.cpi(mix));
+    EXPECT_DOUBLE_EQ(multi.relativeExecTime(mix),
+                     two.relativeExecTime(mix));
+    EXPECT_EQ(multi.depth(), 2u);
+}
+
+TEST(MultiLevelModel, ThreeLevelDecomposition)
+{
+    // L1 misses 10% of reads; L2 (fast, small) passes 4% on to an
+    // L3; L3 passes 1% to memory.
+    const MultiLevelModel m(
+        1.0, 2.0, {{0.10, 2.0}, {0.04, 6.0}, {0.01, 30.0}});
+    EXPECT_DOUBLE_EQ(m.cyclesPerRead(),
+                     1.0 + 0.2 + 0.24 + 0.30);
+    EXPECT_EQ(m.depth(), 3u);
+}
+
+TEST(MultiLevelModel, InterposingALayerHelpsWhenItAbsorbsMisses)
+{
+    // 2-level: 10% of reads pay the 30-cycle memory penalty.
+    const MultiLevelModel shallow(1.0, 2.0,
+                                  {{0.10, 3.0}, {0.03, 30.0}});
+    // 3-level: a middle cache absorbs misses so only 1% reach
+    // memory, at 6 cycles for the 3% that reach it.
+    const MultiLevelModel deep(
+        1.0, 2.0, {{0.10, 3.0}, {0.03, 6.0}, {0.01, 30.0}});
+    const RefMix mix;
+    EXPECT_LT(deep.cpi(mix), shallow.cpi(mix));
+}
+
+} // namespace
+} // namespace model
+} // namespace mlc

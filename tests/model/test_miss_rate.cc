@@ -1,0 +1,97 @@
+/** @file Tests for the power-law miss-rate model. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/miss_rate.hh"
+
+namespace mlc {
+namespace model {
+namespace {
+
+TEST(MissRateModel, AnchorAndDoublingFactor)
+{
+    MissRateModel m(0.10, 4096, 0.69);
+    EXPECT_DOUBLE_EQ(m.at(4096), 0.10);
+    EXPECT_NEAR(m.at(8192), 0.069, 1e-12);
+    EXPECT_NEAR(m.at(16384), 0.10 * 0.69 * 0.69, 1e-12);
+    EXPECT_DOUBLE_EQ(m.doublingFactor(), 0.69);
+}
+
+TEST(MissRateModel, ClampsToOne)
+{
+    MissRateModel m(0.9, 4096, 0.5);
+    EXPECT_DOUBLE_EQ(m.at(1024), 1.0); // 0.9 * 4 clamped
+}
+
+TEST(MissRateModel, FloorCreatesPlateau)
+{
+    MissRateModel m(0.10, 4096, 0.5, 0.01);
+    EXPECT_DOUBLE_EQ(m.at(4096 << 10), 0.01);
+    EXPECT_DOUBLE_EQ(m.derivative(4096 << 10), 0.0)
+        << "on the plateau, size increases are never worthwhile";
+}
+
+TEST(MissRateModel, DerivativeMatchesFiniteDifference)
+{
+    MissRateModel m(0.10, 4096, 0.69);
+    const std::uint64_t c = 65536;
+    const double h = 64.0;
+    const double fd =
+        (m.at(static_cast<std::uint64_t>(c + h)) -
+         m.at(static_cast<std::uint64_t>(c - h))) /
+        (2 * h);
+    EXPECT_NEAR(m.derivative(c), fd, std::abs(fd) * 0.01);
+    EXPECT_LT(m.derivative(c), 0.0);
+}
+
+TEST(MissRateModel, FitRecoversExactPowerLaw)
+{
+    MissRateModel truth(0.08, 4096, 0.72);
+    std::vector<std::pair<std::uint64_t, double>> points;
+    for (std::uint64_t c = 4096; c <= (4 << 20); c *= 2)
+        points.emplace_back(c, truth.at(c));
+    const MissRateModel fitted = MissRateModel::fit(points);
+    EXPECT_NEAR(fitted.doublingFactor(), 0.72, 1e-6);
+    EXPECT_NEAR(fitted.at(65536), truth.at(65536), 1e-9);
+}
+
+TEST(MissRateModel, FitToleratesNoise)
+{
+    MissRateModel truth(0.08, 4096, 0.70);
+    std::vector<std::pair<std::uint64_t, double>> points;
+    int flip = 1;
+    for (std::uint64_t c = 4096; c <= (4 << 20); c *= 2) {
+        points.emplace_back(
+            c, truth.at(c) * (1.0 + 0.05 * flip));
+        flip = -flip;
+    }
+    const MissRateModel fitted = MissRateModel::fit(points);
+    EXPECT_NEAR(fitted.doublingFactor(), 0.70, 0.03);
+}
+
+TEST(MissRateModel, FitSkipsInvalidPoints)
+{
+    MissRateModel truth(0.08, 4096, 0.70);
+    std::vector<std::pair<std::uint64_t, double>> points = {
+        {4096, truth.at(4096)},
+        {8192, 0.0}, // skipped
+        {16384, truth.at(16384)},
+        {32768, truth.at(32768)},
+    };
+    const MissRateModel fitted = MissRateModel::fit(points);
+    EXPECT_NEAR(fitted.doublingFactor(), 0.70, 1e-6);
+}
+
+TEST(MissRateModel, RejectsBadParameters)
+{
+    EXPECT_DEATH(MissRateModel(0.0, 4096, 0.69), "anchor");
+    EXPECT_DEATH(MissRateModel(0.1, 0, 0.69), "anchor size");
+    EXPECT_DEATH(MissRateModel(0.1, 4096, 1.5), "doubling factor");
+    EXPECT_DEATH(MissRateModel::fit({{4096, 0.1}}), "two valid");
+}
+
+} // namespace
+} // namespace model
+} // namespace mlc

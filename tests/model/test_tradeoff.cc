@@ -1,0 +1,128 @@
+/** @file Tests for the Equation 2 speed-size tradeoff analysis. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/tradeoff.hh"
+
+namespace mlc {
+namespace model {
+namespace {
+
+SpeedSizeAnalysis
+analysis(double ml1 = 0.10, double factor = 0.69)
+{
+    TwoLevelModel base;
+    base.nL1 = 1.0;
+    base.nMMread = 27.0;
+    base.ml1 = ml1;
+    base.wL1 = 2.0;
+    MissRateModel l2(0.30, 4096, factor);
+    return SpeedSizeAnalysis(base, l2, RefMix{});
+}
+
+TEST(SpeedSize, RelExecTimeMonotone)
+{
+    const SpeedSizeAnalysis a = analysis();
+    // Better in size, worse in cycle time.
+    EXPECT_GT(a.relExecTime(4096, 3.0),
+              a.relExecTime(65536, 3.0));
+    EXPECT_LT(a.relExecTime(65536, 1.0),
+              a.relExecTime(65536, 8.0));
+}
+
+TEST(SpeedSize, CycleTimeForPerformanceInvertsRelExec)
+{
+    const SpeedSizeAnalysis a = analysis();
+    const double target = a.relExecTime(65536, 4.0);
+    EXPECT_NEAR(a.cycleTimeForPerformance(65536, target), 4.0,
+                1e-9);
+}
+
+TEST(SpeedSize, UnreachableTargetIsNegative)
+{
+    const SpeedSizeAnalysis a = analysis();
+    EXPECT_LT(a.cycleTimeForPerformance(4096, 1.0), 0.0);
+}
+
+TEST(SpeedSize, SlopeMatchesContourFiniteDifference)
+{
+    const SpeedSizeAnalysis a = analysis();
+    const std::uint64_t c = 65536;
+    // Pick a performance level passing through (c, 4 cycles).
+    const double level = a.relExecTime(c, 4.0);
+    const double t_here = a.cycleTimeForPerformance(c, level);
+    const double t_double = a.cycleTimeForPerformance(2 * c, level);
+    EXPECT_NEAR(a.slopePerDoubling(c), t_double - t_here, 1e-9);
+    EXPECT_GT(a.slopePerDoubling(c), 0.0);
+}
+
+TEST(SpeedSize, SmallerL1MissRatioFlattensSlopes)
+{
+    // Equation 2's 1/M_L1 factor: a better L1 makes the L2's
+    // cycle time matter less, so constant-performance lines
+    // steepen in proportion.
+    const SpeedSizeAnalysis small = analysis(0.10);
+    const SpeedSizeAnalysis big = analysis(0.05);
+    EXPECT_NEAR(big.slopePerDoubling(65536),
+                2.0 * small.slopePerDoubling(65536), 1e-9);
+}
+
+TEST(SpeedSize, SlowerMemorySteepensSlopes)
+{
+    TwoLevelModel base;
+    base.ml1 = 0.10;
+    MissRateModel l2(0.30, 4096, 0.69);
+    base.nMMread = 27.0;
+    const SpeedSizeAnalysis fast(base, l2, RefMix{});
+    base.nMMread = 54.0;
+    const SpeedSizeAnalysis slow(base, l2, RefMix{});
+    EXPECT_NEAR(slow.slopePerDoubling(65536),
+                2.0 * fast.slopePerDoubling(65536), 1e-9);
+}
+
+TEST(SpeedSize, OptimalSizeGrowsWithCheaperDoublings)
+{
+    const SpeedSizeAnalysis a = analysis();
+    const std::uint64_t cheap =
+        a.optimalSize(1.0, 0.05, 4096, 4 << 20);
+    const std::uint64_t pricey =
+        a.optimalSize(1.0, 2.0, 4096, 4 << 20);
+    EXPECT_GT(cheap, pricey);
+}
+
+TEST(SpeedSize, OptimalSizeGrowsWhenL1Improves)
+{
+    // The paper's conclusion: the presence of a better L1 moves
+    // the optimal L2 toward larger-and-slower.
+    const std::uint64_t with_small_l1 =
+        analysis(0.10).optimalSize(1.0, 2.0, 4096, 4 << 20);
+    const std::uint64_t with_big_l1 =
+        analysis(0.025).optimalSize(1.0, 2.0, 4096, 4 << 20);
+    EXPECT_GE(with_big_l1, with_small_l1);
+    EXPECT_GT(with_big_l1, with_small_l1)
+        << "a 4x better L1 must move the optimum";
+}
+
+TEST(SpeedSize, ShiftPerL1DoublingMatchesPaper)
+{
+    // f = 0.69: the paper predicts 2.04x for an 8x L1 growth,
+    // i.e. about 1.27x per doubling ("about a third of a binary
+    // order of magnitude").
+    const double per_doubling =
+        SpeedSizeAnalysis::shiftPerL1Doubling(0.69);
+    EXPECT_NEAR(per_doubling, 1.27, 0.01);
+    EXPECT_NEAR(std::pow(per_doubling, 3.0), 2.04, 0.04);
+}
+
+TEST(SpeedSize, OptimalSizeRejectsBadRange)
+{
+    const SpeedSizeAnalysis a = analysis();
+    EXPECT_DEATH(a.optimalSize(1.0, 1.0, 0, 4096), "bad range");
+    EXPECT_DEATH(a.optimalSize(1.0, 1.0, 8192, 4096), "bad range");
+}
+
+} // namespace
+} // namespace model
+} // namespace mlc

@@ -1,0 +1,138 @@
+/** @file Unit tests for the stats package. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stats/stats.hh"
+
+namespace mlc {
+namespace stats {
+namespace {
+
+TEST(Stats, CounterAccumulates)
+{
+    Group root("sim");
+    Counter c(&root, "hits", "number of hits");
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5ULL);
+    c.reset();
+    EXPECT_EQ(c.value(), 0ULL);
+}
+
+TEST(Stats, ScalarAssignsAndAdds)
+{
+    Group root("sim");
+    Scalar s(&root, "ratio", "");
+    s = 2.5;
+    s += 0.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+}
+
+TEST(Stats, FormulaComputesOnDemand)
+{
+    Group root("sim");
+    Counter misses(&root, "misses", "");
+    Counter accesses(&root, "accesses", "");
+    Formula ratio(&root, "missRatio", "miss ratio", [&]() {
+        return accesses.value() == 0
+                   ? 0.0
+                   : static_cast<double>(misses.value()) /
+                         static_cast<double>(accesses.value());
+    });
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.0);
+    accesses += 10;
+    misses += 3;
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.3);
+}
+
+TEST(Stats, FullNamesNest)
+{
+    Group root("sim");
+    Group l2(std::string("l2"), &root);
+    Counter c(&l2, "misses", "");
+    EXPECT_EQ(c.fullName(), "sim.l2.misses");
+}
+
+TEST(Stats, DumpContainsValuesAndDescriptions)
+{
+    Group root("sim");
+    Counter c(&root, "hits", "cache hits");
+    c += 7;
+    std::ostringstream os;
+    root.dumpAll(os);
+    EXPECT_NE(os.str().find("sim.hits 7"), std::string::npos);
+    EXPECT_NE(os.str().find("# cache hits"), std::string::npos);
+}
+
+TEST(Stats, ResetAllRecurses)
+{
+    Group root("sim");
+    Group child(std::string("l1"), &root);
+    Counter a(&root, "a", "");
+    Counter b(&child, "b", "");
+    a += 1;
+    b += 2;
+    root.resetAll();
+    EXPECT_EQ(a.value(), 0ULL);
+    EXPECT_EQ(b.value(), 0ULL);
+}
+
+TEST(Stats, LinearHistogramBuckets)
+{
+    Group root("sim");
+    Histogram h =
+        Histogram::linear(&root, "lat", "latencies", 0.0, 10.0, 4);
+    h.sample(5.0);   // bucket 0
+    h.sample(15.0);  // bucket 1
+    h.sample(39.9);  // bucket 3
+    h.sample(40.0);  // overflow
+    h.sample(-1.0);  // underflow
+    EXPECT_EQ(h.bucket(0), 1ULL);
+    EXPECT_EQ(h.bucket(1), 1ULL);
+    EXPECT_EQ(h.bucket(2), 0ULL);
+    EXPECT_EQ(h.bucket(3), 1ULL);
+    EXPECT_EQ(h.overflow(), 1ULL);
+    EXPECT_EQ(h.underflow(), 1ULL);
+    EXPECT_EQ(h.samples(), 5ULL);
+}
+
+TEST(Stats, Log2HistogramBuckets)
+{
+    Group root("sim");
+    Histogram h = Histogram::log2(&root, "dist", "", 6);
+    h.sample(1.0); // [1,2) -> bucket 0
+    h.sample(3.0); // [2,4) -> bucket 1
+    h.sample(32.0); // bucket 5
+    h.sample(64.0); // overflow
+    h.sample(0.5);  // underflow
+    EXPECT_EQ(h.bucket(0), 1ULL);
+    EXPECT_EQ(h.bucket(1), 1ULL);
+    EXPECT_EQ(h.bucket(5), 1ULL);
+    EXPECT_EQ(h.overflow(), 1ULL);
+    EXPECT_EQ(h.underflow(), 1ULL);
+}
+
+TEST(Stats, HistogramMeanAndWeights)
+{
+    Group root("sim");
+    Histogram h =
+        Histogram::linear(&root, "w", "", 0.0, 1.0, 10);
+    h.sample(2.0, 3); // weight 3
+    h.sample(8.0);
+    EXPECT_EQ(h.samples(), 4ULL);
+    EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 3 + 8.0) / 4.0);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0ULL);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Stats, StatWithoutGroupDies)
+{
+    EXPECT_DEATH(Counter(nullptr, "orphan", ""), "without a group");
+}
+
+} // namespace
+} // namespace stats
+} // namespace mlc

@@ -1,0 +1,115 @@
+/** @file Tests for the packed binary trace format. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/binary.hh"
+#include "util/logging.hh"
+
+namespace mlc {
+namespace trace {
+namespace {
+
+std::vector<MemRef>
+sampleRefs()
+{
+    return {makeIFetch(0x1000, 1), makeLoad(0xdeadbeefcafe, 2),
+            makeStore(0x10, 3)};
+}
+
+TEST(Binary, RoundTrip)
+{
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    BinaryWriter writer(ss);
+    for (const auto &r : sampleRefs())
+        writer.put(r);
+    writer.finish();
+    EXPECT_EQ(writer.written(), 3ULL);
+
+    BinaryReader reader(ss);
+    EXPECT_EQ(reader.declaredCount(), 3ULL);
+    MemRef ref;
+    for (const auto &expected : sampleRefs()) {
+        ASSERT_TRUE(reader.next(ref));
+        EXPECT_EQ(ref, expected);
+    }
+    EXPECT_FALSE(reader.next(ref));
+    EXPECT_EQ(reader.deliveredCount(), 3ULL);
+}
+
+TEST(Binary, RecordIs16Bytes)
+{
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    BinaryWriter writer(ss);
+    writer.put(makeLoad(0x1));
+    writer.put(makeLoad(0x2));
+    writer.finish();
+    // header + 2 records
+    EXPECT_EQ(ss.str().size(), 16u + 2 * 16u);
+}
+
+TEST(Binary, BadMagicIsFatal)
+{
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    ss << "this is not a trace file at all";
+    EXPECT_EXIT(BinaryReader reader(ss),
+                testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST(Binary, TruncatedStreamWarnsAndStops)
+{
+    setLogQuiet(true);
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    BinaryWriter writer(ss);
+    for (const auto &r : sampleRefs())
+        writer.put(r);
+    writer.finish();
+
+    // Chop the last record in half.
+    std::string data = ss.str();
+    data.resize(data.size() - 8);
+    std::stringstream truncated(data, std::ios::in |
+                                          std::ios::binary);
+
+    BinaryReader reader(truncated);
+    MemRef ref;
+    EXPECT_TRUE(reader.next(ref));
+    EXPECT_TRUE(reader.next(ref));
+    EXPECT_FALSE(reader.next(ref));
+    EXPECT_EQ(reader.deliveredCount(), 2ULL);
+    setLogQuiet(false);
+}
+
+TEST(Binary, UnfinishedWriterLeavesCountUnknown)
+{
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    {
+        BinaryWriter writer(ss);
+        writer.put(makeLoad(0x1));
+        // no finish()
+    }
+    BinaryReader reader(ss);
+    EXPECT_EQ(reader.declaredCount(), kBinaryCountUnknown);
+    MemRef ref;
+    EXPECT_TRUE(reader.next(ref));
+    EXPECT_FALSE(reader.next(ref));
+}
+
+TEST(Binary, PutAfterFinishDies)
+{
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    BinaryWriter writer(ss);
+    writer.finish();
+    EXPECT_DEATH(writer.put(makeLoad(0x1)), "after finish");
+}
+
+} // namespace
+} // namespace trace
+} // namespace mlc

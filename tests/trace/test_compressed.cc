@@ -1,0 +1,155 @@
+/** @file Tests for the compressed (MLCZ) trace format. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/binary.hh"
+#include "trace/compressed.hh"
+#include "trace/interleave.hh"
+#include "util/logging.hh"
+
+namespace mlc {
+namespace trace {
+namespace {
+
+std::stringstream
+binaryStream()
+{
+    return std::stringstream(std::ios::in | std::ios::out |
+                             std::ios::binary);
+}
+
+TEST(Zigzag, RoundTripsSignedValues)
+{
+    for (std::int64_t v :
+         {0LL, 1LL, -1LL, 4LL, -4LL, 1LL << 40, -(1LL << 40)}) {
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v);
+    }
+    // Small magnitudes map to small codes (what makes deltas
+    // cheap).
+    EXPECT_EQ(zigzagEncode(0), 0ULL);
+    EXPECT_EQ(zigzagEncode(-1), 1ULL);
+    EXPECT_EQ(zigzagEncode(1), 2ULL);
+}
+
+TEST(Compressed, RoundTripMixedRecords)
+{
+    const std::vector<MemRef> refs = {
+        makeIFetch(0x1000, 1),    makeIFetch(0x1004, 1),
+        makeLoad(0x40000000, 1),  makeIFetch(0x1008, 1),
+        makeStore(0x40000010, 2), makeIFetch(0xdeadbeef00, 2),
+    };
+    auto ss = binaryStream();
+    CompressedWriter writer(ss);
+    for (const auto &r : refs)
+        writer.put(r);
+    writer.finish();
+    EXPECT_EQ(writer.written(), refs.size());
+
+    CompressedReader reader(ss);
+    EXPECT_EQ(reader.declaredCount(), refs.size());
+    MemRef ref;
+    for (const auto &expected : refs) {
+        ASSERT_TRUE(reader.next(ref));
+        EXPECT_EQ(ref, expected);
+    }
+    EXPECT_FALSE(reader.next(ref));
+}
+
+TEST(Compressed, RoundTripsRealWorkload)
+{
+    auto src = makeMultiprogrammedWorkload(4, 3000, 6);
+    const auto refs = collect(*src, 50000);
+
+    auto ss = binaryStream();
+    CompressedWriter writer(ss);
+    for (const auto &r : refs)
+        writer.put(r);
+    writer.finish();
+
+    CompressedReader reader(ss);
+    MemRef ref;
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        ASSERT_TRUE(reader.next(ref)) << "record " << i;
+        ASSERT_EQ(ref, refs[i]) << "record " << i;
+    }
+    EXPECT_FALSE(reader.next(ref));
+}
+
+TEST(Compressed, MuchSmallerThanFixedRecordFormat)
+{
+    auto src = makeMultiprogrammedWorkload(4, 3000, 7);
+    const auto refs = collect(*src, 50000);
+
+    auto compressed = binaryStream();
+    CompressedWriter cw(compressed);
+    auto fixed = binaryStream();
+    BinaryWriter bw(fixed);
+    for (const auto &r : refs) {
+        cw.put(r);
+        bw.put(r);
+    }
+    cw.finish();
+    bw.finish();
+
+    const auto csize = compressed.str().size();
+    const auto bsize = fixed.str().size();
+    EXPECT_LT(csize * 3, bsize)
+        << "expected >3x compression, got " << csize << " vs "
+        << bsize;
+}
+
+TEST(Compressed, SequentialIFetchesCostTwoBytesEach)
+{
+    auto ss = binaryStream();
+    CompressedWriter writer(ss);
+    // After the first record, each sequential fetch is control +
+    // zero delta.
+    for (Addr a = 0x1000; a < 0x1000 + 400; a += 4)
+        writer.put(makeIFetch(a));
+    writer.finish();
+    // 16B header + first record (<=12B) + 99 * 2B.
+    EXPECT_LE(ss.str().size(), 16u + 12u + 99u * 2u);
+}
+
+TEST(Compressed, BadMagicIsFatal)
+{
+    auto ss = binaryStream();
+    ss << "MLCT____definitely not right";
+    EXPECT_EXIT(CompressedReader reader(ss),
+                testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST(Compressed, TruncationStopsCleanly)
+{
+    setLogQuiet(true);
+    auto ss = binaryStream();
+    CompressedWriter writer(ss);
+    writer.put(makeLoad(0x5000, 3));
+    writer.put(makeLoad(0x9000, 3));
+    writer.finish();
+
+    std::string data = ss.str();
+    data.resize(data.size() - 1); // chop the last varint byte
+    std::stringstream truncated(
+        data, std::ios::in | std::ios::binary);
+    CompressedReader reader(truncated);
+    MemRef ref;
+    EXPECT_TRUE(reader.next(ref));
+    EXPECT_FALSE(reader.next(ref));
+    EXPECT_EQ(reader.deliveredCount(), 1ULL);
+    setLogQuiet(false);
+}
+
+TEST(Compressed, PutAfterFinishDies)
+{
+    auto ss = binaryStream();
+    CompressedWriter writer(ss);
+    writer.finish();
+    EXPECT_DEATH(writer.put(makeLoad(0x1)), "after finish");
+}
+
+} // namespace
+} // namespace trace
+} // namespace mlc

@@ -1,0 +1,103 @@
+/** @file Tests for the Dinero ASCII trace format. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/dinero.hh"
+#include "util/logging.hh"
+
+namespace mlc {
+namespace trace {
+namespace {
+
+TEST(Dinero, ParseBasicLines)
+{
+    MemRef ref;
+    ASSERT_TRUE(parseDineroLine("0 1f00", ref));
+    EXPECT_EQ(ref.type, RefType::Load);
+    EXPECT_EQ(ref.addr, 0x1f00ULL);
+
+    ASSERT_TRUE(parseDineroLine("1 0x2000", ref));
+    EXPECT_EQ(ref.type, RefType::Store);
+    EXPECT_EQ(ref.addr, 0x2000ULL);
+
+    ASSERT_TRUE(parseDineroLine("2 abc", ref));
+    EXPECT_EQ(ref.type, RefType::IFetch);
+    EXPECT_EQ(ref.addr, 0xabcULL);
+    EXPECT_EQ(ref.pid, 0);
+}
+
+TEST(Dinero, ParsePidExtension)
+{
+    MemRef ref;
+    ASSERT_TRUE(parseDineroLine("0 100 7", ref));
+    EXPECT_EQ(ref.pid, 7);
+}
+
+TEST(Dinero, RejectsMalformedLines)
+{
+    MemRef ref;
+    EXPECT_FALSE(parseDineroLine("", ref));
+    EXPECT_FALSE(parseDineroLine("3 100", ref));    // bad label
+    EXPECT_FALSE(parseDineroLine("0", ref));        // missing addr
+    EXPECT_FALSE(parseDineroLine("0 xyz", ref));    // bad addr
+    EXPECT_FALSE(parseDineroLine("0 1 2 3", ref));  // extra field
+    EXPECT_FALSE(parseDineroLine("0 100 70000", ref)); // pid range
+}
+
+TEST(Dinero, FormatMatchesLabels)
+{
+    EXPECT_EQ(formatDineroLine(makeLoad(0x1f00), false), "0 1f00");
+    EXPECT_EQ(formatDineroLine(makeStore(0x20), false), "1 20");
+    EXPECT_EQ(formatDineroLine(makeIFetch(0x4), false), "2 4");
+    EXPECT_EQ(formatDineroLine(makeLoad(0x8, 3), true), "0 8 3");
+}
+
+TEST(Dinero, WriterReaderRoundTrip)
+{
+    const std::vector<MemRef> refs = {
+        makeIFetch(0x1000, 1), makeLoad(0x40000000, 1),
+        makeStore(0x40000010, 2), makeIFetch(0x1004, 1)};
+
+    std::stringstream ss;
+    DineroWriter writer(ss, true);
+    for (const auto &r : refs)
+        writer.put(r);
+
+    DineroReader reader(ss);
+    MemRef ref;
+    for (const auto &expected : refs) {
+        ASSERT_TRUE(reader.next(ref));
+        EXPECT_EQ(ref, expected);
+    }
+    EXPECT_FALSE(reader.next(ref));
+}
+
+TEST(Dinero, ReaderSkipsCommentsAndBlanks)
+{
+    std::stringstream ss("# header\n\n0 10\n   \n2 20\n");
+    DineroReader reader(ss);
+    MemRef ref;
+    ASSERT_TRUE(reader.next(ref));
+    EXPECT_EQ(ref.addr, 0x10ULL);
+    ASSERT_TRUE(reader.next(ref));
+    EXPECT_EQ(ref.addr, 0x20ULL);
+    EXPECT_FALSE(reader.next(ref));
+}
+
+TEST(Dinero, ReaderStopsAtMalformedLine)
+{
+    setLogQuiet(true);
+    std::stringstream ss("0 10\nnot a record\n0 20\n");
+    DineroReader reader(ss);
+    MemRef ref;
+    ASSERT_TRUE(reader.next(ref));
+    EXPECT_FALSE(reader.next(ref)); // malformed terminates
+    EXPECT_FALSE(reader.next(ref)); // and stays terminated
+    setLogQuiet(false);
+}
+
+} // namespace
+} // namespace trace
+} // namespace mlc

@@ -1,0 +1,154 @@
+/** @file Tests for trace stream adaptors. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "trace/filter.hh"
+#include "trace/interleave.hh"
+
+namespace mlc {
+namespace trace {
+namespace {
+
+std::vector<MemRef>
+mixedRefs()
+{
+    return {makeIFetch(0x00), makeLoad(0x10), makeStore(0x20),
+            makeIFetch(0x04), makeStore(0x30), makeLoad(0x40)};
+}
+
+TEST(SkipSource, DropsPrefix)
+{
+    VectorSource inner(mixedRefs());
+    SkipSource skip(inner, 2);
+    MemRef ref;
+    ASSERT_TRUE(skip.next(ref));
+    EXPECT_EQ(ref, makeStore(0x20));
+}
+
+TEST(SkipSource, SkipBeyondEndIsEmpty)
+{
+    VectorSource inner(mixedRefs());
+    SkipSource skip(inner, 100);
+    MemRef ref;
+    EXPECT_FALSE(skip.next(ref));
+}
+
+TEST(ReadsOnlySource, FiltersStores)
+{
+    VectorSource inner(mixedRefs());
+    ReadsOnlySource reads(inner);
+    MemRef ref;
+    int count = 0;
+    while (reads.next(ref)) {
+        EXPECT_TRUE(ref.isRead());
+        ++count;
+    }
+    EXPECT_EQ(count, 4);
+}
+
+TEST(MaskSource, MasksAddresses)
+{
+    VectorSource inner({makeLoad(0xdeadbeef)});
+    MaskSource masked(inner, 0xffff);
+    MemRef ref;
+    ASSERT_TRUE(masked.next(ref));
+    EXPECT_EQ(ref.addr, 0xbeefULL);
+}
+
+TEST(CountingSource, TalliesByType)
+{
+    VectorSource inner(mixedRefs());
+    CountingSource counting(inner);
+    MemRef ref;
+    while (counting.next(ref)) {
+    }
+    EXPECT_EQ(counting.counts().ifetches, 2ULL);
+    EXPECT_EQ(counting.counts().loads, 2ULL);
+    EXPECT_EQ(counting.counts().stores, 2ULL);
+    EXPECT_EQ(counting.counts().total(), 6ULL);
+    EXPECT_EQ(counting.counts().reads(), 4ULL);
+}
+
+TEST(SampleSource, AlternatesWindowAndGap)
+{
+    std::vector<MemRef> refs;
+    for (Addr a = 0; a < 10; ++a)
+        refs.push_back(makeLoad(a * 4));
+    VectorSource inner(refs);
+    SampleSource sampled(inner, 2, 3); // keep 2, drop 3, ...
+    MemRef ref;
+    std::vector<Addr> seen;
+    while (sampled.next(ref))
+        seen.push_back(ref.addr);
+    // Kept: 0,1 (window), skip 2,3,4, kept 5,6, skip 7,8,9.
+    EXPECT_EQ(seen, (std::vector<Addr>{0x0, 0x4, 0x14, 0x18}));
+    EXPECT_EQ(sampled.passed(), 4ULL);
+    EXPECT_EQ(sampled.dropped(), 6ULL);
+}
+
+TEST(SampleSource, ZeroGapPassesEverything)
+{
+    VectorSource inner(mixedRefs());
+    SampleSource sampled(inner, 2, 0);
+    MemRef ref;
+    int n = 0;
+    while (sampled.next(ref))
+        ++n;
+    EXPECT_EQ(n, 6);
+    EXPECT_EQ(sampled.dropped(), 0ULL);
+}
+
+TEST(SampleSource, ZeroWindowDies)
+{
+    VectorSource inner(mixedRefs());
+    EXPECT_DEATH(SampleSource(inner, 0, 5), "window");
+}
+
+TEST(SampleSource, SampledMissRatioApproximatesFull)
+{
+    // A long workload sampled 1-in-2 with generous windows should
+    // give similar L1 miss ratios (classic sampling validity).
+    auto make = [] {
+        return trace::makeMultiprogrammedWorkload(3, 4000, 55);
+    };
+    auto count_ratio = [](TraceSource &src) {
+        cache::CacheParams p;
+        p.geometry.sizeBytes = 4096;
+        p.geometry.blockBytes = 16;
+        p.finalize();
+        cache::Cache c(p, 1);
+        cache::AccessOutcome out;
+        MemRef ref;
+        for (int i = 0; i < 150000 && src.next(ref); ++i)
+            c.access(ref, out);
+        return c.counts().readMissRatio();
+    };
+    auto full_src = make();
+    const double full = count_ratio(*full_src);
+    auto sampled_inner = make();
+    SampleSource sampled(*sampled_inner, 20000, 20000);
+    const double approx = count_ratio(sampled);
+    EXPECT_NEAR(approx, full, full * 0.2);
+}
+
+TEST(Filters, Compose)
+{
+    VectorSource inner(mixedRefs());
+    SkipSource skipped(inner, 1);
+    ReadsOnlySource reads(skipped);
+    CountingSource counted(reads);
+    MemRef ref;
+    std::vector<MemRef> out;
+    while (counted.next(ref))
+        out.push_back(ref);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], makeLoad(0x10));
+    EXPECT_EQ(out[1], makeIFetch(0x04));
+    EXPECT_EQ(out[2], makeLoad(0x40));
+    EXPECT_EQ(counted.counts().stores, 0ULL);
+}
+
+} // namespace
+} // namespace trace
+} // namespace mlc

@@ -1,0 +1,159 @@
+/** @file Tests for the multiprogramming interleaver. */
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/interleave.hh"
+#include "trace/synthetic.hh"
+
+namespace mlc {
+namespace trace {
+namespace {
+
+/** An endless source producing loads tagged with its id. */
+class TaggedSource : public TraceSource
+{
+  public:
+    explicit TaggedSource(std::uint16_t pid, std::uint64_t limit =
+                                                 ~std::uint64_t{0})
+        : pid_(pid), limit_(limit)
+    {}
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (produced_ >= limit_)
+            return false;
+        ref = makeLoad(produced_ * 4, pid_);
+        ++produced_;
+        return true;
+    }
+
+  private:
+    std::uint16_t pid_;
+    std::uint64_t limit_;
+    std::uint64_t produced_ = 0;
+};
+
+std::vector<std::unique_ptr<TraceSource>>
+taggedSources(int n, std::uint64_t limit = ~std::uint64_t{0})
+{
+    std::vector<std::unique_ptr<TraceSource>> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(std::make_unique<TaggedSource>(
+            static_cast<std::uint16_t>(i), limit));
+    return out;
+}
+
+TEST(Interleaver, RunsInBursts)
+{
+    Interleaver il(taggedSources(3), 100, 7);
+    MemRef ref;
+    std::uint16_t current = 0xffff;
+    std::uint64_t switches = 0;
+    for (int i = 0; i < 30000; ++i) {
+        ASSERT_TRUE(il.next(ref));
+        if (ref.pid != current) {
+            ++switches;
+            current = ref.pid;
+        }
+    }
+    // Mean burst 100 refs -> about 300 switches; loose bounds.
+    EXPECT_GT(switches, 150ULL);
+    EXPECT_LT(switches, 600ULL);
+}
+
+TEST(Interleaver, AllProcessesGetTime)
+{
+    Interleaver il(taggedSources(4), 50, 3);
+    MemRef ref;
+    std::uint64_t counts[4] = {};
+    for (int i = 0; i < 40000; ++i) {
+        ASSERT_TRUE(il.next(ref));
+        ++counts[ref.pid];
+    }
+    for (auto c : counts) {
+        EXPECT_GT(c, 5000ULL);
+    }
+}
+
+TEST(Interleaver, PreservesPerProcessOrder)
+{
+    Interleaver il(taggedSources(2), 10, 1);
+    MemRef ref;
+    Addr last_addr[2] = {0, 0};
+    bool seen[2] = {false, false};
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(il.next(ref));
+        if (seen[ref.pid]) {
+            EXPECT_EQ(ref.addr, last_addr[ref.pid] + 4);
+        }
+        last_addr[ref.pid] = ref.addr;
+        seen[ref.pid] = true;
+    }
+}
+
+TEST(Interleaver, FiniteSourcesDrainCompletely)
+{
+    Interleaver il(taggedSources(3, 500), 64, 5);
+    MemRef ref;
+    std::uint64_t total = 0;
+    while (il.next(ref))
+        ++total;
+    EXPECT_EQ(total, 3 * 500ULL);
+    EXPECT_FALSE(il.next(ref));
+}
+
+TEST(Interleaver, DeterministicForSeed)
+{
+    Interleaver a(taggedSources(3), 100, 9);
+    Interleaver b(taggedSources(3), 100, 9);
+    MemRef ra, rb;
+    for (int i = 0; i < 10000; ++i) {
+        ASSERT_TRUE(a.next(ra));
+        ASSERT_TRUE(b.next(rb));
+        ASSERT_EQ(ra, rb);
+    }
+}
+
+TEST(Interleaver, RejectsBadConstruction)
+{
+    EXPECT_DEATH(
+        Interleaver(std::vector<std::unique_ptr<TraceSource>>{},
+                    100, 1),
+        "at least one");
+    EXPECT_DEATH(Interleaver(taggedSources(2), 0, 1), "interval");
+}
+
+TEST(MakeMultiprogrammedWorkload, ProducesAllPids)
+{
+    auto src = makeMultiprogrammedWorkload(5, 1000, 3);
+    MemRef ref;
+    std::set<std::uint16_t> pids;
+    for (int i = 0; i < 100000; ++i) {
+        ASSERT_TRUE(src->next(ref));
+        pids.insert(ref.pid);
+    }
+    EXPECT_EQ(pids.size(), 5u);
+}
+
+TEST(MakeMultiprogrammedWorkload, VariantsDiffer)
+{
+    auto a = makeMultiprogrammedWorkload(3, 1000, 0);
+    auto b = makeMultiprogrammedWorkload(3, 1000, 1);
+    MemRef ra, rb;
+    int same = 0;
+    for (int i = 0; i < 1000; ++i) {
+        a->next(ra);
+        b->next(rb);
+        if (ra == rb)
+            ++same;
+    }
+    EXPECT_LT(same, 100);
+}
+
+} // namespace
+} // namespace trace
+} // namespace mlc

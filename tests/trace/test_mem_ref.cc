@@ -1,0 +1,53 @@
+/** @file Unit tests for trace/mem_ref.hh. */
+
+#include <gtest/gtest.h>
+
+#include "trace/mem_ref.hh"
+
+namespace mlc {
+namespace trace {
+namespace {
+
+TEST(MemRef, ReadWriteClassification)
+{
+    EXPECT_TRUE(makeLoad(0x100).isRead());
+    EXPECT_TRUE(makeIFetch(0x100).isRead());
+    EXPECT_FALSE(makeStore(0x100).isRead());
+    EXPECT_TRUE(makeStore(0x100).isWrite());
+    EXPECT_FALSE(makeLoad(0x100).isWrite());
+}
+
+TEST(MemRef, InstDataClassification)
+{
+    EXPECT_TRUE(makeIFetch(0).isInst());
+    EXPECT_FALSE(makeIFetch(0).isData());
+    EXPECT_TRUE(makeLoad(0).isData());
+    EXPECT_TRUE(makeStore(0).isData());
+}
+
+TEST(MemRef, Equality)
+{
+    EXPECT_EQ(makeLoad(0x40, 2), makeLoad(0x40, 2));
+    EXPECT_FALSE(makeLoad(0x40) == makeStore(0x40));
+    EXPECT_FALSE(makeLoad(0x40, 1) == makeLoad(0x40, 2));
+    EXPECT_FALSE(makeLoad(0x40) == makeLoad(0x44));
+}
+
+TEST(MemRef, TypeNames)
+{
+    EXPECT_STREQ(refTypeName(RefType::IFetch), "ifetch");
+    EXPECT_STREQ(refTypeName(RefType::Load), "load");
+    EXPECT_STREQ(refTypeName(RefType::Store), "store");
+}
+
+TEST(MemRef, ToStringIsReadable)
+{
+    const std::string s = makeStore(0x1f00, 3).toString();
+    EXPECT_NE(s.find("store"), std::string::npos);
+    EXPECT_NE(s.find("1f00"), std::string::npos);
+    EXPECT_NE(s.find("pid 3"), std::string::npos);
+}
+
+} // namespace
+} // namespace trace
+} // namespace mlc

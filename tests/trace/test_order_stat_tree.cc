@@ -1,0 +1,145 @@
+/** @file Unit and property tests for the order-statistic treap. */
+
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "trace/order_stat_tree.hh"
+#include "util/random.hh"
+
+namespace mlc {
+namespace trace {
+namespace {
+
+TEST(OrderStatTree, StartsEmpty)
+{
+    OrderStatTree t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(OrderStatTree, PushFrontOrdering)
+{
+    OrderStatTree t;
+    t.pushFront(1);
+    t.pushFront(2);
+    t.pushFront(3);
+    EXPECT_EQ(t.at(0), 3ULL);
+    EXPECT_EQ(t.at(1), 2ULL);
+    EXPECT_EQ(t.at(2), 1ULL);
+}
+
+TEST(OrderStatTree, PushBackOrdering)
+{
+    OrderStatTree t;
+    t.pushBack(1);
+    t.pushBack(2);
+    t.pushBack(3);
+    EXPECT_EQ(t.toVector(), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(OrderStatTree, InsertAtMiddle)
+{
+    OrderStatTree t;
+    t.pushBack(1);
+    t.pushBack(3);
+    t.insertAt(1, 2);
+    EXPECT_EQ(t.toVector(), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(OrderStatTree, RemoveAtReturnsAndShifts)
+{
+    OrderStatTree t;
+    for (std::uint64_t v : {10u, 20u, 30u, 40u})
+        t.pushBack(v);
+    EXPECT_EQ(t.removeAt(1), 20ULL);
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_EQ(t.toVector(),
+              (std::vector<std::uint64_t>{10, 30, 40}));
+}
+
+TEST(OrderStatTree, MoveToFrontIdiom)
+{
+    OrderStatTree t;
+    for (std::uint64_t v : {1u, 2u, 3u, 4u, 5u})
+        t.pushBack(v);
+    // Reference the element at depth 3 (value 4), move to front.
+    const std::uint64_t v = t.removeAt(3);
+    t.pushFront(v);
+    EXPECT_EQ(t.toVector(),
+              (std::vector<std::uint64_t>{4, 1, 2, 3, 5}));
+}
+
+TEST(OrderStatTree, ClearResets)
+{
+    OrderStatTree t;
+    t.pushBack(1);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    t.pushBack(9);
+    EXPECT_EQ(t.at(0), 9ULL);
+}
+
+TEST(OrderStatTree, OutOfRangeDies)
+{
+    OrderStatTree t;
+    t.pushBack(1);
+    EXPECT_DEATH(t.at(1), "beyond size");
+    EXPECT_DEATH(t.removeAt(1), "beyond size");
+    EXPECT_DEATH(t.insertAt(2, 5), "beyond size");
+}
+
+/** Property: the treap must agree with std::deque under a random
+ *  op mix, including the generator's remove/push-front pattern. */
+TEST(OrderStatTree, MatchesReferenceDeque)
+{
+    OrderStatTree t(99);
+    std::deque<std::uint64_t> ref;
+    Rng rng(2024);
+    for (int step = 0; step < 20000; ++step) {
+        const double u = rng.nextDouble();
+        if (ref.empty() || u < 0.3) {
+            const std::uint64_t v = rng.next();
+            const std::size_t pos = ref.empty()
+                ? 0
+                : static_cast<std::size_t>(
+                      rng.nextBounded(ref.size() + 1));
+            t.insertAt(pos, v);
+            ref.insert(ref.begin() +
+                           static_cast<std::ptrdiff_t>(pos),
+                       v);
+        } else if (u < 0.6) {
+            const std::size_t pos = static_cast<std::size_t>(
+                rng.nextBounded(ref.size()));
+            EXPECT_EQ(t.removeAt(pos), ref[pos]);
+            ref.erase(ref.begin() +
+                      static_cast<std::ptrdiff_t>(pos));
+        } else {
+            const std::size_t pos = static_cast<std::size_t>(
+                rng.nextBounded(ref.size()));
+            EXPECT_EQ(t.at(pos), ref[pos]);
+        }
+        ASSERT_EQ(t.size(), ref.size());
+    }
+    EXPECT_EQ(t.toVector(),
+              std::vector<std::uint64_t>(ref.begin(), ref.end()));
+}
+
+TEST(OrderStatTree, NodePoolReusesFreedNodes)
+{
+    OrderStatTree t;
+    // Churn: repeated insert/remove should not grow memory per op;
+    // we can only observe behaviour, so verify correctness through
+    // heavy reuse.
+    for (int round = 0; round < 1000; ++round) {
+        t.pushFront(static_cast<std::uint64_t>(round));
+        if (t.size() > 8)
+            t.removeAt(t.size() - 1);
+    }
+    EXPECT_EQ(t.size(), 8u);
+    EXPECT_EQ(t.at(0), 999ULL);
+}
+
+} // namespace
+} // namespace trace
+} // namespace mlc

@@ -1,0 +1,87 @@
+/** @file Unit tests for trace sources, sinks and adaptors. */
+
+#include <gtest/gtest.h>
+
+#include "trace/source.hh"
+
+namespace mlc {
+namespace trace {
+namespace {
+
+std::vector<MemRef>
+threeRefs()
+{
+    return {makeIFetch(0x0), makeLoad(0x100), makeStore(0x200)};
+}
+
+TEST(VectorSource, DeliversInOrderThenEnds)
+{
+    VectorSource src(threeRefs());
+    MemRef ref;
+    ASSERT_TRUE(src.next(ref));
+    EXPECT_EQ(ref, makeIFetch(0x0));
+    ASSERT_TRUE(src.next(ref));
+    EXPECT_EQ(ref, makeLoad(0x100));
+    ASSERT_TRUE(src.next(ref));
+    EXPECT_EQ(ref, makeStore(0x200));
+    EXPECT_FALSE(src.next(ref));
+    EXPECT_FALSE(src.next(ref));
+}
+
+TEST(VectorSource, RewindReplays)
+{
+    VectorSource src(threeRefs());
+    MemRef ref;
+    while (src.next(ref)) {
+    }
+    src.rewind();
+    ASSERT_TRUE(src.next(ref));
+    EXPECT_EQ(ref, makeIFetch(0x0));
+}
+
+TEST(VectorSink, Collects)
+{
+    VectorSink sink;
+    sink.put(makeLoad(1));
+    sink.put(makeLoad(2));
+    ASSERT_EQ(sink.refs().size(), 2u);
+    EXPECT_EQ(sink.refs()[1].addr, 2ULL);
+}
+
+TEST(LimitSource, CapsOutput)
+{
+    VectorSource inner(threeRefs());
+    LimitSource limited(inner, 2);
+    MemRef ref;
+    EXPECT_TRUE(limited.next(ref));
+    EXPECT_TRUE(limited.next(ref));
+    EXPECT_FALSE(limited.next(ref));
+}
+
+TEST(LimitSource, ZeroLimitIsEmpty)
+{
+    VectorSource inner(threeRefs());
+    LimitSource limited(inner, 0);
+    MemRef ref;
+    EXPECT_FALSE(limited.next(ref));
+}
+
+TEST(Drain, MovesEverything)
+{
+    VectorSource src(threeRefs());
+    VectorSink sink;
+    EXPECT_EQ(drain(src, sink), 3ULL);
+    EXPECT_EQ(sink.refs().size(), 3u);
+}
+
+TEST(Collect, StopsAtLimitOrEnd)
+{
+    VectorSource src(threeRefs());
+    EXPECT_EQ(collect(src, 2).size(), 2u);
+    VectorSource src2(threeRefs());
+    EXPECT_EQ(collect(src2, 10).size(), 3u);
+}
+
+} // namespace
+} // namespace trace
+} // namespace mlc

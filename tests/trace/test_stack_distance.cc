@@ -1,0 +1,133 @@
+/** @file Unit and property tests for the stack-distance analyzer. */
+
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/stack_distance.hh"
+#include "util/random.hh"
+
+namespace mlc {
+namespace trace {
+namespace {
+
+TEST(StackDistance, FirstTouchIsInfinite)
+{
+    StackDistanceAnalyzer an(16);
+    EXPECT_EQ(an.access(0x100), StackDistanceAnalyzer::kInfinite);
+    EXPECT_EQ(an.access(0x200), StackDistanceAnalyzer::kInfinite);
+    EXPECT_EQ(an.distinctGranules(), 2ULL);
+}
+
+TEST(StackDistance, ImmediateReuseIsZero)
+{
+    StackDistanceAnalyzer an(16);
+    an.access(0x100);
+    EXPECT_EQ(an.access(0x100), 0ULL);
+    // Same granule, different word: still distance 0.
+    EXPECT_EQ(an.access(0x104), 0ULL);
+}
+
+TEST(StackDistance, CountsDistinctIntermediateGranules)
+{
+    StackDistanceAnalyzer an(16);
+    an.access(0x000);
+    an.access(0x010);
+    an.access(0x020);
+    an.access(0x010); // repeats do not add distinct granules
+    EXPECT_EQ(an.access(0x000), 2ULL);
+}
+
+TEST(StackDistance, ClassicSequence)
+{
+    // a b c b a: distances inf, inf, inf, 1, 2.
+    StackDistanceAnalyzer an(4);
+    EXPECT_EQ(an.access(0x0), StackDistanceAnalyzer::kInfinite);
+    EXPECT_EQ(an.access(0x4), StackDistanceAnalyzer::kInfinite);
+    EXPECT_EQ(an.access(0x8), StackDistanceAnalyzer::kInfinite);
+    EXPECT_EQ(an.access(0x4), 1ULL);
+    EXPECT_EQ(an.access(0x0), 2ULL);
+}
+
+TEST(StackDistance, MissRatioMatchesDefinition)
+{
+    StackDistanceAnalyzer an(4);
+    // Stream over 3 granules: a b c a b c ... distances 2.
+    for (int i = 0; i < 30; ++i)
+        an.access(static_cast<Addr>(i % 3) * 4);
+    // Cache of 2 granules misses everything; of 3+, only the
+    // compulsory misses.
+    EXPECT_DOUBLE_EQ(an.missRatio(2), 1.0);
+    EXPECT_DOUBLE_EQ(an.missRatio(3), 3.0 / 30.0);
+    EXPECT_DOUBLE_EQ(an.missRatio(8), 3.0 / 30.0);
+}
+
+TEST(StackDistance, MissRatioIsMonotoneInCapacity)
+{
+    StackDistanceAnalyzer an(16);
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i)
+        an.access(rng.nextBounded(500) * 16);
+    double prev = 1.1;
+    for (std::uint64_t cap = 1; cap <= 1024; cap *= 2) {
+        const double m = an.missRatio(cap);
+        EXPECT_LE(m, prev + 1e-12);
+        prev = m;
+    }
+}
+
+/** Property: matches a brute-force reference implementation. */
+TEST(StackDistance, MatchesBruteForce)
+{
+    StackDistanceAnalyzer an(16);
+    std::vector<Addr> lru; // front = most recent granule
+    Rng rng(77);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr granule = rng.nextBounded(300);
+        const Addr addr = granule * 16 + rng.nextBounded(4) * 4;
+
+        std::uint64_t expected = StackDistanceAnalyzer::kInfinite;
+        for (std::size_t d = 0; d < lru.size(); ++d) {
+            if (lru[d] == granule) {
+                expected = d;
+                lru.erase(lru.begin() +
+                          static_cast<std::ptrdiff_t>(d));
+                break;
+            }
+        }
+        lru.insert(lru.begin(), granule);
+
+        ASSERT_EQ(an.access(addr), expected) << "at step " << i;
+    }
+}
+
+TEST(StackDistance, CompactionPreservesAnswers)
+{
+    // Few live granules, long stream: forces periodic compaction.
+    StackDistanceAnalyzer an(16);
+    for (int i = 0; i < 100000; ++i) {
+        const Addr granule = static_cast<Addr>(i % 7);
+        const std::uint64_t d = an.access(granule * 16);
+        if (i >= 7) {
+            EXPECT_EQ(d, 6ULL);
+        }
+    }
+    EXPECT_EQ(an.distinctGranules(), 7ULL);
+}
+
+TEST(StackDistance, Log2ProfileBucketsDistances)
+{
+    StackDistanceAnalyzer an(16);
+    an.access(0x00);
+    an.access(0x10);
+    an.access(0x00); // distance 1 -> bucket 0
+    an.access(0x10); // distance 1 -> bucket 0
+    const auto &profile = an.log2Profile();
+    ASSERT_FALSE(profile.empty());
+    EXPECT_EQ(profile[0], 2ULL);
+}
+
+} // namespace
+} // namespace trace
+} // namespace mlc

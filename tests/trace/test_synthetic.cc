@@ -1,0 +1,238 @@
+/** @file Tests for the synthetic workload generators, including the
+ *  calibration properties the paper's reproduction rests on. */
+
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "trace/stack_distance.hh"
+#include "trace/synthetic.hh"
+
+namespace mlc {
+namespace trace {
+namespace {
+
+TEST(ParetoDepthSampler, TailFormula)
+{
+    ParetoDepthSampler s(0.5, 2.0);
+    EXPECT_DOUBLE_EQ(s.tail(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.tail(1), 1.0);
+    EXPECT_DOUBLE_EQ(s.tail(7), std::pow(4.0, -0.5));
+    EXPECT_NEAR(s.tail(199), std::pow(100.0, -0.5), 1e-12);
+}
+
+TEST(ParetoDepthSampler, EmpiricalTailMatchesFormula)
+{
+    ParetoDepthSampler s(0.535, 2.5);
+    Rng rng(404);
+    constexpr int kDraws = 400000;
+    const std::uint64_t thresholds[] = {16, 256, 4096};
+    int counts[3] = {};
+    for (int i = 0; i < kDraws; ++i) {
+        const std::uint64_t d = s.sample(rng);
+        for (int t = 0; t < 3; ++t)
+            if (d >= thresholds[t])
+                ++counts[t];
+    }
+    for (int t = 0; t < 3; ++t) {
+        const double expected = s.tail(thresholds[t]);
+        const double measured = counts[t] / double(kDraws);
+        EXPECT_NEAR(measured, expected, expected * 0.15 + 0.001)
+            << "threshold " << thresholds[t];
+    }
+}
+
+TEST(ParetoDepthSampler, RejectsBadParameters)
+{
+    EXPECT_DEATH(ParetoDepthSampler(0.0, 2.0), "theta");
+    EXPECT_DEATH(ParetoDepthSampler(0.5, 0.5), "s0");
+}
+
+TEST(StackDataGenerator, DeterministicForSeed)
+{
+    DataStreamParams p;
+    p.initialFootprintGranules = 1024;
+    p.footprintGranules = 2048;
+    StackDataGenerator a(p, 42), b(p, 42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(StackDataGenerator, AddressesStayInSegment)
+{
+    DataStreamParams p;
+    p.base = 0x40000000;
+    p.initialFootprintGranules = 512;
+    p.footprintGranules = 512;
+    StackDataGenerator gen(p, 7);
+    for (int i = 0; i < 10000; ++i) {
+        const Addr a = gen.next();
+        EXPECT_GE(a, p.base);
+        EXPECT_LT(a, p.base + p.footprintGranules * p.granuleBytes);
+        EXPECT_EQ(a % 4, 0ULL) << "word aligned";
+    }
+}
+
+TEST(StackDataGenerator, FootprintIsCapped)
+{
+    DataStreamParams p;
+    p.initialFootprintGranules = 16;
+    p.footprintGranules = 64;
+    StackDataGenerator gen(p, 3);
+    for (int i = 0; i < 50000; ++i)
+        gen.next();
+    EXPECT_LE(gen.footprint(), 64ULL);
+}
+
+/**
+ * The calibration property (paper Section 4): the realized LRU
+ * miss ratio at capacity S must match the drawn Pareto tail, which
+ * falls by 2^-theta per doubling.
+ */
+TEST(StackDataGenerator, RealizedMissRatioMatchesTheory)
+{
+    DataStreamParams p;
+    p.theta = 0.535;
+    p.localityScale = 2.5;
+    p.initialFootprintGranules = 1u << 16;
+    p.footprintGranules = 1u << 16;
+    StackDataGenerator gen(p, 11);
+    StackDistanceAnalyzer an(p.granuleBytes);
+    for (int i = 0; i < 300000; ++i)
+        an.access(gen.next());
+    ParetoDepthSampler s(p.theta, p.localityScale);
+    for (std::uint64_t cap : {64ULL, 256ULL, 1024ULL, 4096ULL}) {
+        const double measured = an.missRatio(cap);
+        const double theory = s.tail(cap);
+        // First-touch transient adds a little; allow 25% + eps.
+        EXPECT_NEAR(measured, theory, theory * 0.25 + 0.01)
+            << "capacity " << cap;
+    }
+}
+
+TEST(LoopInstructionGenerator, DeterministicForSeed)
+{
+    InstStreamParams p;
+    LoopInstructionGenerator a(p, 42), b(p, 42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(LoopInstructionGenerator, AddressesWithinText)
+{
+    InstStreamParams p;
+    p.base = 0x1000;
+    LoopInstructionGenerator gen(p, 5);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = gen.next();
+        EXPECT_GE(a, p.base);
+        EXPECT_LT(a, p.base + gen.textBytes());
+        EXPECT_EQ(a % p.instBytes, 0ULL);
+    }
+}
+
+TEST(LoopInstructionGenerator, MostlySequential)
+{
+    InstStreamParams p;
+    LoopInstructionGenerator gen(p, 9);
+    Addr prev = gen.next();
+    int sequential = 0;
+    constexpr int kFetches = 20000;
+    for (int i = 0; i < kFetches; ++i) {
+        const Addr a = gen.next();
+        if (a == prev + p.instBytes)
+            ++sequential;
+        prev = a;
+    }
+    // Instruction streams run sequentially most of the time.
+    EXPECT_GT(sequential, kFetches / 2);
+}
+
+TEST(LoopInstructionGenerator, RejectsBadParameters)
+{
+    InstStreamParams p;
+    p.numFunctions = 0;
+    EXPECT_DEATH(LoopInstructionGenerator(p, 1), "function");
+    InstStreamParams q;
+    q.loopBranchProb = 0.9;
+    q.callProb = 0.2;
+    EXPECT_DEATH(LoopInstructionGenerator(q, 1), "exceed");
+}
+
+TEST(WorkloadGenerator, StructureOfStream)
+{
+    WorkloadParams p;
+    p.dataRefFraction = 0.5;
+    p.storeFraction = 0.35;
+    p.pid = 4;
+    p.data.initialFootprintGranules = 4096;
+    p.data.footprintGranules = 4096;
+    WorkloadGenerator gen(p, 21);
+
+    std::uint64_t ifetches = 0, loads = 0, stores = 0;
+    MemRef ref;
+    MemRef prev = makeIFetch(0);
+    constexpr int kRefs = 200000;
+    for (int i = 0; i < kRefs; ++i) {
+        ASSERT_TRUE(gen.next(ref));
+        EXPECT_EQ(ref.pid, 4);
+        if (ref.isInst()) {
+            ++ifetches;
+        } else {
+            // Data refs always follow an instruction fetch.
+            EXPECT_TRUE(prev.isInst());
+            if (ref.type == RefType::Load)
+                ++loads;
+            else
+                ++stores;
+        }
+        prev = ref;
+    }
+    const double data_frac =
+        double(loads + stores) / double(ifetches);
+    EXPECT_NEAR(data_frac, 0.5, 0.02);
+    const double store_frac =
+        double(stores) / double(loads + stores);
+    EXPECT_NEAR(store_frac, 0.35, 0.02);
+}
+
+TEST(WorkloadGenerator, SegmentsDisjoint)
+{
+    WorkloadParams p = makeProcessParams(2, 0);
+    p.data.initialFootprintGranules = 4096;
+    p.data.footprintGranules = 4096;
+    WorkloadGenerator gen(p, 33);
+    MemRef ref;
+    for (int i = 0; i < 50000; ++i) {
+        ASSERT_TRUE(gen.next(ref));
+        if (ref.isInst())
+            EXPECT_LT(ref.addr, p.data.base);
+        else
+            EXPECT_GE(ref.addr, p.data.base);
+    }
+}
+
+TEST(MakeProcessParams, DistinctPidsGetDistinctSpaces)
+{
+    const WorkloadParams a = makeProcessParams(0, 0);
+    const WorkloadParams b = makeProcessParams(1, 0);
+    EXPECT_NE(a.inst.base >> 32, b.inst.base >> 32);
+    EXPECT_NE(a.data.base >> 32, b.data.base >> 32);
+    EXPECT_EQ(a.pid, 0);
+    EXPECT_EQ(b.pid, 1);
+}
+
+TEST(MakeProcessParams, VariantsJitterParameters)
+{
+    const WorkloadParams a = makeProcessParams(0, 0);
+    const WorkloadParams b = makeProcessParams(0, 1);
+    // At least one locality parameter must differ across variants.
+    EXPECT_TRUE(a.inst.numFunctions != b.inst.numFunctions ||
+                a.data.theta != b.data.theta ||
+                a.dataRefFraction != b.dataRefFraction);
+}
+
+} // namespace
+} // namespace trace
+} // namespace mlc

@@ -1,0 +1,86 @@
+/** @file Unit tests for util/bits.hh. */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hh"
+
+namespace mlc {
+namespace {
+
+TEST(Bits, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ULL << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ULL << 63) + 1));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~0ULL), 63u);
+}
+
+TEST(Bits, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bits, ExactLog2)
+{
+    EXPECT_EQ(exactLog2(16), 4u);
+    EXPECT_EQ(exactLog2(1ULL << 40), 40u);
+    EXPECT_DEATH(exactLog2(12), "exactLog2");
+    EXPECT_DEATH(exactLog2(0), "exactLog2");
+}
+
+TEST(Bits, Mask)
+{
+    EXPECT_EQ(mask(0), 0ULL);
+    EXPECT_EQ(mask(1), 1ULL);
+    EXPECT_EQ(mask(8), 0xffULL);
+    EXPECT_EQ(mask(64), ~0ULL);
+    EXPECT_EQ(mask(65), ~0ULL);
+}
+
+TEST(Bits, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(0x1234, 16), 0x1230ULL);
+    EXPECT_EQ(alignDown(0x1230, 16), 0x1230ULL);
+    EXPECT_EQ(alignUp(0x1234, 16), 0x1240ULL);
+    EXPECT_EQ(alignUp(0x1240, 16), 0x1240ULL);
+    EXPECT_EQ(alignUp(0, 64), 0ULL);
+}
+
+TEST(Bits, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0ULL);
+    EXPECT_EQ(divCeil(1, 4), 1ULL);
+    EXPECT_EQ(divCeil(4, 4), 1ULL);
+    EXPECT_EQ(divCeil(5, 4), 2ULL);
+}
+
+TEST(Bits, RoundUpMultiple)
+{
+    EXPECT_EQ(roundUpMultiple(0, 10000), 0ULL);
+    EXPECT_EQ(roundUpMultiple(1, 10000), 10000ULL);
+    EXPECT_EQ(roundUpMultiple(10000, 10000), 10000ULL);
+    EXPECT_EQ(roundUpMultiple(10001, 10000), 20000ULL);
+    // Non-power-of-two moduli, the reason this isn't alignUp.
+    EXPECT_EQ(roundUpMultiple(7, 3), 9ULL);
+}
+
+} // namespace
+} // namespace mlc

@@ -1,0 +1,49 @@
+/** @file Unit tests for util/csv.hh. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hh"
+
+namespace mlc {
+namespace {
+
+TEST(Csv, SimpleRows)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row({"a", "b", "c"});
+    w.cell(std::string("x")).cell(1.5).cell(std::uint64_t{42});
+    w.endRow();
+    EXPECT_EQ(os.str(), "a,b,c\nx,1.5,42\n");
+}
+
+TEST(Csv, QuotesSpecialCharacters)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+    EXPECT_EQ(os.str(),
+              "\"has,comma\",\"has\"\"quote\",\"has\nnewline\","
+              "plain\n");
+}
+
+TEST(Csv, EmptyRow)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.endRow();
+    EXPECT_EQ(os.str(), "\n");
+}
+
+TEST(Csv, NumericFormatting)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.cell(0.000125).cell(1234567.0).endRow();
+    EXPECT_EQ(os.str(), "0.000125,1234567\n");
+}
+
+} // namespace
+} // namespace mlc

@@ -1,0 +1,172 @@
+/** @file Unit tests for util/random.hh. */
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "util/random.hh"
+
+namespace mlc {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ZeroSeedIsNotDegenerate)
+{
+    Rng r(0);
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 16; ++i)
+        acc |= r.next();
+    EXPECT_NE(acc, 0ULL);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17ULL);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng r(11);
+    constexpr int kBuckets = 8;
+    constexpr int kDraws = 80000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[r.nextBounded(kBuckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, kDraws / kBuckets * 0.9);
+        EXPECT_LT(c, kDraws / kBuckets * 1.1);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = r.nextRange(3, 5);
+        EXPECT_GE(v, 3ULL);
+        EXPECT_LE(v, 5ULL);
+        saw_lo |= v == 3;
+        saw_hi |= v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = r.nextDouble();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i)
+        hits += r.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 50000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng r(17);
+    const double p = 0.2;
+    double sum = 0;
+    constexpr int kDraws = 50000;
+    for (int i = 0; i < kDraws; ++i)
+        sum += static_cast<double>(r.nextGeometric(p));
+    // Mean of failures-before-success is (1-p)/p = 4.
+    EXPECT_NEAR(sum / kDraws, 4.0, 0.2);
+}
+
+TEST(Rng, GeometricWithPOneIsZero)
+{
+    Rng r(19);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextGeometric(1.0), 0ULL);
+}
+
+TEST(Rng, SplitDecorrelates)
+{
+    Rng parent(23);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (parent.next() == child.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, PanicsOnBadArguments)
+{
+    Rng r(1);
+    EXPECT_DEATH(r.nextBounded(0), "nextBounded");
+    EXPECT_DEATH(r.nextRange(5, 3), "nextRange");
+    EXPECT_DEATH(r.nextGeometric(0.0), "nextGeometric");
+    EXPECT_DEATH(r.nextGeometric(1.5), "nextGeometric");
+}
+
+TEST(DiscreteSampler, RespectsWeights)
+{
+    DiscreteSampler sampler({1.0, 3.0, 6.0});
+    Rng r(31);
+    int counts[3] = {};
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[sampler.sample(r)];
+    EXPECT_NEAR(counts[0] / double(kDraws), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / double(kDraws), 0.3, 0.015);
+    EXPECT_NEAR(counts[2] / double(kDraws), 0.6, 0.015);
+}
+
+TEST(DiscreteSampler, ProbabilityAccessor)
+{
+    DiscreteSampler sampler({2.0, 2.0, 4.0});
+    EXPECT_DOUBLE_EQ(sampler.probability(0), 0.25);
+    EXPECT_DOUBLE_EQ(sampler.probability(1), 0.25);
+    EXPECT_DOUBLE_EQ(sampler.probability(2), 0.5);
+    EXPECT_EQ(sampler.size(), 3u);
+}
+
+TEST(DiscreteSampler, ZeroWeightNeverSampled)
+{
+    DiscreteSampler sampler({0.0, 1.0, 0.0});
+    Rng r(37);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(sampler.sample(r), 1u);
+}
+
+TEST(DiscreteSampler, RejectsBadWeights)
+{
+    EXPECT_DEATH(DiscreteSampler({}), "no weights");
+    EXPECT_DEATH(DiscreteSampler({1.0, -0.5}), "negative");
+    EXPECT_DEATH(DiscreteSampler({0.0, 0.0}), "zero total");
+}
+
+} // namespace
+} // namespace mlc

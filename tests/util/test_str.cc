@@ -1,0 +1,104 @@
+/** @file Unit tests for util/str.hh. */
+
+#include <gtest/gtest.h>
+
+#include "util/str.hh"
+
+namespace mlc {
+namespace {
+
+TEST(Str, Trim)
+{
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("\t a b \n"), "a b");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Str, SplitPreservesEmptyFields)
+{
+    const auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Str, SplitSingleField)
+{
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Str, SplitWhitespaceDropsEmpties)
+{
+    const auto parts = splitWhitespace("  a \t b\nc  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Str, ToLower)
+{
+    EXPECT_EQ(toLower("AbC123"), "abc123");
+    EXPECT_EQ(toLower(""), "");
+}
+
+TEST(Str, StartsEndsWith)
+{
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_FALSE(startsWith("hello", "el"));
+    EXPECT_TRUE(startsWith("x", ""));
+    EXPECT_FALSE(startsWith("", "x"));
+    EXPECT_TRUE(endsWith("hello", "lo"));
+    EXPECT_FALSE(endsWith("hello", "ll"));
+}
+
+TEST(Str, ParseInt)
+{
+    long long v = -1;
+    EXPECT_TRUE(parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_TRUE(parseInt("0x10", v));
+    EXPECT_EQ(v, 16);
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("12abc", v));
+    EXPECT_FALSE(parseInt("abc", v));
+}
+
+TEST(Str, ParseUnsigned)
+{
+    unsigned long long v = 0;
+    EXPECT_TRUE(parseUnsigned("1024", v));
+    EXPECT_EQ(v, 1024ULL);
+    EXPECT_FALSE(parseUnsigned("-3", v));
+    EXPECT_FALSE(parseUnsigned("4.5", v));
+}
+
+TEST(Str, ParseDouble)
+{
+    double v = 0;
+    EXPECT_TRUE(parseDouble("2.5", v));
+    EXPECT_DOUBLE_EQ(v, 2.5);
+    EXPECT_TRUE(parseDouble("1e3", v));
+    EXPECT_DOUBLE_EQ(v, 1000.0);
+    EXPECT_FALSE(parseDouble("1.2.3", v));
+    EXPECT_FALSE(parseDouble("", v));
+}
+
+TEST(Str, ParseFailureLeavesOutputUntouched)
+{
+    long long v = 99;
+    EXPECT_FALSE(parseInt("nope", v));
+    EXPECT_EQ(v, 99);
+}
+
+} // namespace
+} // namespace mlc

@@ -1,0 +1,67 @@
+/** @file Unit tests for util/table.hh. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace mlc {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t;
+    t.addColumn("name", Align::Left);
+    t.addColumn("value");
+    t.newRow().cell("x").cell(std::uint64_t{5});
+    t.newRow().cell("longer").cell(std::uint64_t{12345});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("x           5"), std::string::npos);
+    EXPECT_NE(out.find("longer  12345"), std::string::npos);
+}
+
+TEST(Table, DoubleFormatting)
+{
+    Table t;
+    t.addColumn("v");
+    t.newRow().cell(3.14159, 2);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("3.14"), std::string::npos);
+    EXPECT_EQ(os.str().find("3.142"), std::string::npos);
+}
+
+TEST(Table, EmptyTablePrintsNothing)
+{
+    Table t;
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Table, RowCount)
+{
+    Table t;
+    t.addColumn("a");
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.newRow().cell(1);
+    t.newRow().cell(2);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, MisuseDies)
+{
+    Table t;
+    t.addColumn("a");
+    EXPECT_DEATH(t.cell("x"), "before newRow");
+    t.newRow().cell(1);
+    EXPECT_DEATH(t.cell(2), "overflow");
+    EXPECT_DEATH(t.addColumn("late"), "after rows");
+}
+
+} // namespace
+} // namespace mlc

@@ -1,0 +1,107 @@
+/** @file Unit tests for util/units.hh. */
+
+#include <gtest/gtest.h>
+
+#include "util/units.hh"
+
+namespace mlc {
+namespace {
+
+TEST(Units, ParseSizePlainBytes)
+{
+    std::uint64_t b = 0;
+    EXPECT_TRUE(parseSize("4096", b));
+    EXPECT_EQ(b, 4096ULL);
+}
+
+TEST(Units, ParseSizeBinaryUnits)
+{
+    std::uint64_t b = 0;
+    EXPECT_TRUE(parseSize("4KB", b));
+    EXPECT_EQ(b, 4096ULL);
+    EXPECT_TRUE(parseSize("512kB", b));
+    EXPECT_EQ(b, 512ULL << 10);
+    EXPECT_TRUE(parseSize("4MB", b));
+    EXPECT_EQ(b, 4ULL << 20);
+    EXPECT_TRUE(parseSize("1g", b));
+    EXPECT_EQ(b, 1ULL << 30);
+    EXPECT_TRUE(parseSize("2KiB", b));
+    EXPECT_EQ(b, 2048ULL);
+}
+
+TEST(Units, ParseSizeFractional)
+{
+    std::uint64_t b = 0;
+    EXPECT_TRUE(parseSize("0.5KB", b));
+    EXPECT_EQ(b, 512ULL);
+}
+
+TEST(Units, ParseSizeRejectsGarbage)
+{
+    std::uint64_t b = 0;
+    EXPECT_FALSE(parseSize("", b));
+    EXPECT_FALSE(parseSize("KB", b));
+    EXPECT_FALSE(parseSize("12XB", b));
+    EXPECT_FALSE(parseSize("-4KB", b));
+}
+
+TEST(Units, ParseDurationUnits)
+{
+    double ns = 0;
+    EXPECT_TRUE(parseDuration("10ns", ns));
+    EXPECT_DOUBLE_EQ(ns, 10.0);
+    EXPECT_TRUE(parseDuration("1.5us", ns));
+    EXPECT_DOUBLE_EQ(ns, 1500.0);
+    EXPECT_TRUE(parseDuration("2ms", ns));
+    EXPECT_DOUBLE_EQ(ns, 2.0e6);
+    EXPECT_TRUE(parseDuration("500ps", ns));
+    EXPECT_DOUBLE_EQ(ns, 0.5);
+    EXPECT_TRUE(parseDuration("180", ns));
+    EXPECT_DOUBLE_EQ(ns, 180.0);
+}
+
+TEST(Units, ParseDurationRejectsGarbage)
+{
+    double ns = 0;
+    EXPECT_FALSE(parseDuration("", ns));
+    EXPECT_FALSE(parseDuration("fast", ns));
+    EXPECT_FALSE(parseDuration("10 parsecs", ns));
+    EXPECT_FALSE(parseDuration("-5ns", ns));
+}
+
+TEST(Units, FormatSize)
+{
+    EXPECT_EQ(formatSize(512), "512B");
+    EXPECT_EQ(formatSize(4096), "4KB");
+    EXPECT_EQ(formatSize(512ULL << 10), "512KB");
+    EXPECT_EQ(formatSize(4ULL << 20), "4MB");
+    EXPECT_EQ(formatSize(1ULL << 30), "1GB");
+    EXPECT_EQ(formatSize(4097), "4097B");
+}
+
+TEST(Units, FormatNs)
+{
+    EXPECT_EQ(formatNs(30.0), "30ns");
+    EXPECT_EQ(formatNs(1500.0), "1.5us");
+    EXPECT_EQ(formatNs(2.0e6), "2ms");
+}
+
+TEST(Units, SizeRoundTripsThroughFormat)
+{
+    for (std::uint64_t s = 1024; s <= (4ULL << 20); s *= 2) {
+        std::uint64_t parsed = 0;
+        ASSERT_TRUE(parseSize(formatSize(s), parsed));
+        EXPECT_EQ(parsed, s);
+    }
+}
+
+TEST(Units, OrFatalVariantsDieOnGarbage)
+{
+    EXPECT_EXIT(parseSizeOrFatal("junk", "l2.size"),
+                testing::ExitedWithCode(1), "l2.size");
+    EXPECT_EXIT(parseDurationOrFatal("junk", "cpu.cycle"),
+                testing::ExitedWithCode(1), "cpu.cycle");
+}
+
+} // namespace
+} // namespace mlc
