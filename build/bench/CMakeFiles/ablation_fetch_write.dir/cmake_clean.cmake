@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fetch_write.dir/ablation_fetch_write.cpp.o"
+  "CMakeFiles/ablation_fetch_write.dir/ablation_fetch_write.cpp.o.d"
+  "CMakeFiles/ablation_fetch_write.dir/bench_common.cpp.o"
+  "CMakeFiles/ablation_fetch_write.dir/bench_common.cpp.o.d"
+  "ablation_fetch_write"
+  "ablation_fetch_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fetch_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

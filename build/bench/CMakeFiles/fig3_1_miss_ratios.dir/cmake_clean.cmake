@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_1_miss_ratios.dir/bench_common.cpp.o"
+  "CMakeFiles/fig3_1_miss_ratios.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig3_1_miss_ratios.dir/fig3_1_miss_ratios.cpp.o"
+  "CMakeFiles/fig3_1_miss_ratios.dir/fig3_1_miss_ratios.cpp.o.d"
+  "fig3_1_miss_ratios"
+  "fig3_1_miss_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_1_miss_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

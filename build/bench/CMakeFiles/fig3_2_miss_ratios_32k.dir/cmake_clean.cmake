@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_2_miss_ratios_32k.dir/bench_common.cpp.o"
+  "CMakeFiles/fig3_2_miss_ratios_32k.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig3_2_miss_ratios_32k.dir/fig3_2_miss_ratios_32k.cpp.o"
+  "CMakeFiles/fig3_2_miss_ratios_32k.dir/fig3_2_miss_ratios_32k.cpp.o.d"
+  "fig3_2_miss_ratios_32k"
+  "fig3_2_miss_ratios_32k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_2_miss_ratios_32k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

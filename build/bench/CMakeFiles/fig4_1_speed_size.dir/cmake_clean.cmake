@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_1_speed_size.dir/bench_common.cpp.o"
+  "CMakeFiles/fig4_1_speed_size.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig4_1_speed_size.dir/fig4_1_speed_size.cpp.o"
+  "CMakeFiles/fig4_1_speed_size.dir/fig4_1_speed_size.cpp.o.d"
+  "fig4_1_speed_size"
+  "fig4_1_speed_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_1_speed_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_2_constant_perf.dir/bench_common.cpp.o"
+  "CMakeFiles/fig4_2_constant_perf.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig4_2_constant_perf.dir/fig4_2_constant_perf.cpp.o"
+  "CMakeFiles/fig4_2_constant_perf.dir/fig4_2_constant_perf.cpp.o.d"
+  "fig4_2_constant_perf"
+  "fig4_2_constant_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_2_constant_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_3_constant_perf_32k.dir/bench_common.cpp.o"
+  "CMakeFiles/fig4_3_constant_perf_32k.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig4_3_constant_perf_32k.dir/fig4_3_constant_perf_32k.cpp.o"
+  "CMakeFiles/fig4_3_constant_perf_32k.dir/fig4_3_constant_perf_32k.cpp.o.d"
+  "fig4_3_constant_perf_32k"
+  "fig4_3_constant_perf_32k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_3_constant_perf_32k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

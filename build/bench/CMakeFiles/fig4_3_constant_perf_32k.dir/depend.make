@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_3_constant_perf_32k.
+# This may be replaced when dependencies are built.

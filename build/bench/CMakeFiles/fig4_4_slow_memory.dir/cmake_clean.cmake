@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_4_slow_memory.dir/bench_common.cpp.o"
+  "CMakeFiles/fig4_4_slow_memory.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig4_4_slow_memory.dir/fig4_4_slow_memory.cpp.o"
+  "CMakeFiles/fig4_4_slow_memory.dir/fig4_4_slow_memory.cpp.o.d"
+  "fig4_4_slow_memory"
+  "fig4_4_slow_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_4_slow_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_assoc_breakeven.dir/bench_common.cpp.o"
+  "CMakeFiles/fig5_assoc_breakeven.dir/bench_common.cpp.o.d"
+  "CMakeFiles/fig5_assoc_breakeven.dir/fig5_assoc_breakeven.cpp.o"
+  "CMakeFiles/fig5_assoc_breakeven.dir/fig5_assoc_breakeven.cpp.o.d"
+  "fig5_assoc_breakeven"
+  "fig5_assoc_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_assoc_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_hierarchy_depth.dir/bench_common.cpp.o"
+  "CMakeFiles/table_hierarchy_depth.dir/bench_common.cpp.o.d"
+  "CMakeFiles/table_hierarchy_depth.dir/table_hierarchy_depth.cpp.o"
+  "CMakeFiles/table_hierarchy_depth.dir/table_hierarchy_depth.cpp.o.d"
+  "table_hierarchy_depth"
+  "table_hierarchy_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_hierarchy_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

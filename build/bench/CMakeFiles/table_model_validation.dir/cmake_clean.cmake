@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_model_validation.dir/bench_common.cpp.o"
+  "CMakeFiles/table_model_validation.dir/bench_common.cpp.o.d"
+  "CMakeFiles/table_model_validation.dir/table_model_validation.cpp.o"
+  "CMakeFiles/table_model_validation.dir/table_model_validation.cpp.o.d"
+  "table_model_validation"
+  "table_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_optimal_l1.dir/bench_common.cpp.o"
+  "CMakeFiles/table_optimal_l1.dir/bench_common.cpp.o.d"
+  "CMakeFiles/table_optimal_l1.dir/table_optimal_l1.cpp.o"
+  "CMakeFiles/table_optimal_l1.dir/table_optimal_l1.cpp.o.d"
+  "table_optimal_l1"
+  "table_optimal_l1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_optimal_l1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

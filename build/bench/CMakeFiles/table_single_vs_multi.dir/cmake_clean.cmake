@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_single_vs_multi.dir/bench_common.cpp.o"
+  "CMakeFiles/table_single_vs_multi.dir/bench_common.cpp.o.d"
+  "CMakeFiles/table_single_vs_multi.dir/table_single_vs_multi.cpp.o"
+  "CMakeFiles/table_single_vs_multi.dir/table_single_vs_multi.cpp.o.d"
+  "table_single_vs_multi"
+  "table_single_vs_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_single_vs_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/associativity_study.dir/associativity_study.cpp.o"
+  "CMakeFiles/associativity_study.dir/associativity_study.cpp.o.d"
+  "associativity_study"
+  "associativity_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/associativity_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

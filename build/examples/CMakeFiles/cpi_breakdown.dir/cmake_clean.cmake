@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpi_breakdown.dir/cpi_breakdown.cpp.o"
+  "CMakeFiles/cpi_breakdown.dir/cpi_breakdown.cpp.o.d"
+  "cpi_breakdown"
+  "cpi_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpi_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/hierarchy_explorer.cpp" "examples/CMakeFiles/hierarchy_explorer.dir/hierarchy_explorer.cpp.o" "gcc" "examples/CMakeFiles/hierarchy_explorer.dir/hierarchy_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expt/CMakeFiles/mlc_expt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/mlc_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mlc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mlc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mlc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlc_cache.dir/cache.cc.o"
+  "CMakeFiles/mlc_cache.dir/cache.cc.o.d"
+  "CMakeFiles/mlc_cache.dir/cache_config.cc.o"
+  "CMakeFiles/mlc_cache.dir/cache_config.cc.o.d"
+  "CMakeFiles/mlc_cache.dir/tag_array.cc.o"
+  "CMakeFiles/mlc_cache.dir/tag_array.cc.o.d"
+  "libmlc_cache.a"
+  "libmlc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlc_expt.dir/design_space.cc.o"
+  "CMakeFiles/mlc_expt.dir/design_space.cc.o.d"
+  "CMakeFiles/mlc_expt.dir/runner.cc.o"
+  "CMakeFiles/mlc_expt.dir/runner.cc.o.d"
+  "CMakeFiles/mlc_expt.dir/workload_suite.cc.o"
+  "CMakeFiles/mlc_expt.dir/workload_suite.cc.o.d"
+  "libmlc_expt.a"
+  "libmlc_expt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlc_expt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hier/config_file.cc" "src/hier/CMakeFiles/mlc_hier.dir/config_file.cc.o" "gcc" "src/hier/CMakeFiles/mlc_hier.dir/config_file.cc.o.d"
+  "/root/repo/src/hier/hierarchy.cc" "src/hier/CMakeFiles/mlc_hier.dir/hierarchy.cc.o" "gcc" "src/hier/CMakeFiles/mlc_hier.dir/hierarchy.cc.o.d"
+  "/root/repo/src/hier/hierarchy_config.cc" "src/hier/CMakeFiles/mlc_hier.dir/hierarchy_config.cc.o" "gcc" "src/hier/CMakeFiles/mlc_hier.dir/hierarchy_config.cc.o.d"
+  "/root/repo/src/hier/results.cc" "src/hier/CMakeFiles/mlc_hier.dir/results.cc.o" "gcc" "src/hier/CMakeFiles/mlc_hier.dir/results.cc.o.d"
+  "/root/repo/src/hier/sim_stats.cc" "src/hier/CMakeFiles/mlc_hier.dir/sim_stats.cc.o" "gcc" "src/hier/CMakeFiles/mlc_hier.dir/sim_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mlc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mlc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mlc_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlc_hier.dir/config_file.cc.o"
+  "CMakeFiles/mlc_hier.dir/config_file.cc.o.d"
+  "CMakeFiles/mlc_hier.dir/hierarchy.cc.o"
+  "CMakeFiles/mlc_hier.dir/hierarchy.cc.o.d"
+  "CMakeFiles/mlc_hier.dir/hierarchy_config.cc.o"
+  "CMakeFiles/mlc_hier.dir/hierarchy_config.cc.o.d"
+  "CMakeFiles/mlc_hier.dir/results.cc.o"
+  "CMakeFiles/mlc_hier.dir/results.cc.o.d"
+  "CMakeFiles/mlc_hier.dir/sim_stats.cc.o"
+  "CMakeFiles/mlc_hier.dir/sim_stats.cc.o.d"
+  "libmlc_hier.a"
+  "libmlc_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlc_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

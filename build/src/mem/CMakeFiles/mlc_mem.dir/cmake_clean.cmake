@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlc_mem.dir/main_memory.cc.o"
+  "CMakeFiles/mlc_mem.dir/main_memory.cc.o.d"
+  "CMakeFiles/mlc_mem.dir/write_buffer.cc.o"
+  "CMakeFiles/mlc_mem.dir/write_buffer.cc.o.d"
+  "libmlc_mem.a"
+  "libmlc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

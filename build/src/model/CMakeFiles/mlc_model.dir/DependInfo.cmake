@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/associativity.cc" "src/model/CMakeFiles/mlc_model.dir/associativity.cc.o" "gcc" "src/model/CMakeFiles/mlc_model.dir/associativity.cc.o.d"
+  "/root/repo/src/model/miss_rate.cc" "src/model/CMakeFiles/mlc_model.dir/miss_rate.cc.o" "gcc" "src/model/CMakeFiles/mlc_model.dir/miss_rate.cc.o.d"
+  "/root/repo/src/model/tradeoff.cc" "src/model/CMakeFiles/mlc_model.dir/tradeoff.cc.o" "gcc" "src/model/CMakeFiles/mlc_model.dir/tradeoff.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlc_model.dir/associativity.cc.o"
+  "CMakeFiles/mlc_model.dir/associativity.cc.o.d"
+  "CMakeFiles/mlc_model.dir/miss_rate.cc.o"
+  "CMakeFiles/mlc_model.dir/miss_rate.cc.o.d"
+  "CMakeFiles/mlc_model.dir/tradeoff.cc.o"
+  "CMakeFiles/mlc_model.dir/tradeoff.cc.o.d"
+  "libmlc_model.a"
+  "libmlc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlc_stats.dir/stats.cc.o"
+  "CMakeFiles/mlc_stats.dir/stats.cc.o.d"
+  "libmlc_stats.a"
+  "libmlc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/binary.cc" "src/trace/CMakeFiles/mlc_trace.dir/binary.cc.o" "gcc" "src/trace/CMakeFiles/mlc_trace.dir/binary.cc.o.d"
+  "/root/repo/src/trace/compressed.cc" "src/trace/CMakeFiles/mlc_trace.dir/compressed.cc.o" "gcc" "src/trace/CMakeFiles/mlc_trace.dir/compressed.cc.o.d"
+  "/root/repo/src/trace/dinero.cc" "src/trace/CMakeFiles/mlc_trace.dir/dinero.cc.o" "gcc" "src/trace/CMakeFiles/mlc_trace.dir/dinero.cc.o.d"
+  "/root/repo/src/trace/filter.cc" "src/trace/CMakeFiles/mlc_trace.dir/filter.cc.o" "gcc" "src/trace/CMakeFiles/mlc_trace.dir/filter.cc.o.d"
+  "/root/repo/src/trace/interleave.cc" "src/trace/CMakeFiles/mlc_trace.dir/interleave.cc.o" "gcc" "src/trace/CMakeFiles/mlc_trace.dir/interleave.cc.o.d"
+  "/root/repo/src/trace/mem_ref.cc" "src/trace/CMakeFiles/mlc_trace.dir/mem_ref.cc.o" "gcc" "src/trace/CMakeFiles/mlc_trace.dir/mem_ref.cc.o.d"
+  "/root/repo/src/trace/order_stat_tree.cc" "src/trace/CMakeFiles/mlc_trace.dir/order_stat_tree.cc.o" "gcc" "src/trace/CMakeFiles/mlc_trace.dir/order_stat_tree.cc.o.d"
+  "/root/repo/src/trace/source.cc" "src/trace/CMakeFiles/mlc_trace.dir/source.cc.o" "gcc" "src/trace/CMakeFiles/mlc_trace.dir/source.cc.o.d"
+  "/root/repo/src/trace/stack_distance.cc" "src/trace/CMakeFiles/mlc_trace.dir/stack_distance.cc.o" "gcc" "src/trace/CMakeFiles/mlc_trace.dir/stack_distance.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/trace/CMakeFiles/mlc_trace.dir/synthetic.cc.o" "gcc" "src/trace/CMakeFiles/mlc_trace.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlc_trace.dir/binary.cc.o"
+  "CMakeFiles/mlc_trace.dir/binary.cc.o.d"
+  "CMakeFiles/mlc_trace.dir/compressed.cc.o"
+  "CMakeFiles/mlc_trace.dir/compressed.cc.o.d"
+  "CMakeFiles/mlc_trace.dir/dinero.cc.o"
+  "CMakeFiles/mlc_trace.dir/dinero.cc.o.d"
+  "CMakeFiles/mlc_trace.dir/filter.cc.o"
+  "CMakeFiles/mlc_trace.dir/filter.cc.o.d"
+  "CMakeFiles/mlc_trace.dir/interleave.cc.o"
+  "CMakeFiles/mlc_trace.dir/interleave.cc.o.d"
+  "CMakeFiles/mlc_trace.dir/mem_ref.cc.o"
+  "CMakeFiles/mlc_trace.dir/mem_ref.cc.o.d"
+  "CMakeFiles/mlc_trace.dir/order_stat_tree.cc.o"
+  "CMakeFiles/mlc_trace.dir/order_stat_tree.cc.o.d"
+  "CMakeFiles/mlc_trace.dir/source.cc.o"
+  "CMakeFiles/mlc_trace.dir/source.cc.o.d"
+  "CMakeFiles/mlc_trace.dir/stack_distance.cc.o"
+  "CMakeFiles/mlc_trace.dir/stack_distance.cc.o.d"
+  "CMakeFiles/mlc_trace.dir/synthetic.cc.o"
+  "CMakeFiles/mlc_trace.dir/synthetic.cc.o.d"
+  "libmlc_trace.a"
+  "libmlc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

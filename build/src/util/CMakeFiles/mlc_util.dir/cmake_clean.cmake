@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlc_util.dir/csv.cc.o"
+  "CMakeFiles/mlc_util.dir/csv.cc.o.d"
+  "CMakeFiles/mlc_util.dir/logging.cc.o"
+  "CMakeFiles/mlc_util.dir/logging.cc.o.d"
+  "CMakeFiles/mlc_util.dir/random.cc.o"
+  "CMakeFiles/mlc_util.dir/random.cc.o.d"
+  "CMakeFiles/mlc_util.dir/str.cc.o"
+  "CMakeFiles/mlc_util.dir/str.cc.o.d"
+  "CMakeFiles/mlc_util.dir/table.cc.o"
+  "CMakeFiles/mlc_util.dir/table.cc.o.d"
+  "CMakeFiles/mlc_util.dir/units.cc.o"
+  "CMakeFiles/mlc_util.dir/units.cc.o.d"
+  "libmlc_util.a"
+  "libmlc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

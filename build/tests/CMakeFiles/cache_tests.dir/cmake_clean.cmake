@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_tests.dir/cache/test_cache.cc.o"
+  "CMakeFiles/cache_tests.dir/cache/test_cache.cc.o.d"
+  "CMakeFiles/cache_tests.dir/cache/test_cache_config.cc.o"
+  "CMakeFiles/cache_tests.dir/cache/test_cache_config.cc.o.d"
+  "CMakeFiles/cache_tests.dir/cache/test_reference_model.cc.o"
+  "CMakeFiles/cache_tests.dir/cache/test_reference_model.cc.o.d"
+  "CMakeFiles/cache_tests.dir/cache/test_sector.cc.o"
+  "CMakeFiles/cache_tests.dir/cache/test_sector.cc.o.d"
+  "CMakeFiles/cache_tests.dir/cache/test_tag_array.cc.o"
+  "CMakeFiles/cache_tests.dir/cache/test_tag_array.cc.o.d"
+  "cache_tests"
+  "cache_tests.pdb"
+  "cache_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

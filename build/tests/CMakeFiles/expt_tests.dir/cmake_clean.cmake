@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expt_tests.dir/expt/test_design_space.cc.o"
+  "CMakeFiles/expt_tests.dir/expt/test_design_space.cc.o.d"
+  "CMakeFiles/expt_tests.dir/expt/test_runner.cc.o"
+  "CMakeFiles/expt_tests.dir/expt/test_runner.cc.o.d"
+  "CMakeFiles/expt_tests.dir/expt/test_workload_suite.cc.o"
+  "CMakeFiles/expt_tests.dir/expt/test_workload_suite.cc.o.d"
+  "expt_tests"
+  "expt_tests.pdb"
+  "expt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hier/test_config_file.cc" "tests/CMakeFiles/hier_tests.dir/hier/test_config_file.cc.o" "gcc" "tests/CMakeFiles/hier_tests.dir/hier/test_config_file.cc.o.d"
+  "/root/repo/tests/hier/test_hierarchy.cc" "tests/CMakeFiles/hier_tests.dir/hier/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/hier_tests.dir/hier/test_hierarchy.cc.o.d"
+  "/root/repo/tests/hier/test_hierarchy_config.cc" "tests/CMakeFiles/hier_tests.dir/hier/test_hierarchy_config.cc.o" "gcc" "tests/CMakeFiles/hier_tests.dir/hier/test_hierarchy_config.cc.o.d"
+  "/root/repo/tests/hier/test_policy_sweep.cc" "tests/CMakeFiles/hier_tests.dir/hier/test_policy_sweep.cc.o" "gcc" "tests/CMakeFiles/hier_tests.dir/hier/test_policy_sweep.cc.o.d"
+  "/root/repo/tests/hier/test_sim_stats.cc" "tests/CMakeFiles/hier_tests.dir/hier/test_sim_stats.cc.o" "gcc" "tests/CMakeFiles/hier_tests.dir/hier/test_sim_stats.cc.o.d"
+  "/root/repo/tests/hier/test_timing.cc" "tests/CMakeFiles/hier_tests.dir/hier/test_timing.cc.o" "gcc" "tests/CMakeFiles/hier_tests.dir/hier/test_timing.cc.o.d"
+  "/root/repo/tests/hier/test_timing_extensions.cc" "tests/CMakeFiles/hier_tests.dir/hier/test_timing_extensions.cc.o" "gcc" "tests/CMakeFiles/hier_tests.dir/hier/test_timing_extensions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expt/CMakeFiles/mlc_expt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/mlc_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mlc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mlc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mlc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

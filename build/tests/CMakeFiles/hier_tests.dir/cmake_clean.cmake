@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hier_tests.dir/hier/test_config_file.cc.o"
+  "CMakeFiles/hier_tests.dir/hier/test_config_file.cc.o.d"
+  "CMakeFiles/hier_tests.dir/hier/test_hierarchy.cc.o"
+  "CMakeFiles/hier_tests.dir/hier/test_hierarchy.cc.o.d"
+  "CMakeFiles/hier_tests.dir/hier/test_hierarchy_config.cc.o"
+  "CMakeFiles/hier_tests.dir/hier/test_hierarchy_config.cc.o.d"
+  "CMakeFiles/hier_tests.dir/hier/test_policy_sweep.cc.o"
+  "CMakeFiles/hier_tests.dir/hier/test_policy_sweep.cc.o.d"
+  "CMakeFiles/hier_tests.dir/hier/test_sim_stats.cc.o"
+  "CMakeFiles/hier_tests.dir/hier/test_sim_stats.cc.o.d"
+  "CMakeFiles/hier_tests.dir/hier/test_timing.cc.o"
+  "CMakeFiles/hier_tests.dir/hier/test_timing.cc.o.d"
+  "CMakeFiles/hier_tests.dir/hier/test_timing_extensions.cc.o"
+  "CMakeFiles/hier_tests.dir/hier/test_timing_extensions.cc.o.d"
+  "hier_tests"
+  "hier_tests.pdb"
+  "hier_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hier_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_tests.dir/mem/test_bus.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/test_bus.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/test_main_memory.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/test_main_memory.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/test_timing.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/test_timing.cc.o.d"
+  "CMakeFiles/mem_tests.dir/mem/test_write_buffer.cc.o"
+  "CMakeFiles/mem_tests.dir/mem/test_write_buffer.cc.o.d"
+  "mem_tests"
+  "mem_tests.pdb"
+  "mem_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

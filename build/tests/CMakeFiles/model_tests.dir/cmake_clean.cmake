@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_tests.dir/model/test_associativity.cc.o"
+  "CMakeFiles/model_tests.dir/model/test_associativity.cc.o.d"
+  "CMakeFiles/model_tests.dir/model/test_exec_time.cc.o"
+  "CMakeFiles/model_tests.dir/model/test_exec_time.cc.o.d"
+  "CMakeFiles/model_tests.dir/model/test_miss_rate.cc.o"
+  "CMakeFiles/model_tests.dir/model/test_miss_rate.cc.o.d"
+  "CMakeFiles/model_tests.dir/model/test_tradeoff.cc.o"
+  "CMakeFiles/model_tests.dir/model/test_tradeoff.cc.o.d"
+  "model_tests"
+  "model_tests.pdb"
+  "model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_binary.cc" "tests/CMakeFiles/trace_tests.dir/trace/test_binary.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/test_binary.cc.o.d"
+  "/root/repo/tests/trace/test_compressed.cc" "tests/CMakeFiles/trace_tests.dir/trace/test_compressed.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/test_compressed.cc.o.d"
+  "/root/repo/tests/trace/test_dinero.cc" "tests/CMakeFiles/trace_tests.dir/trace/test_dinero.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/test_dinero.cc.o.d"
+  "/root/repo/tests/trace/test_filter.cc" "tests/CMakeFiles/trace_tests.dir/trace/test_filter.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/test_filter.cc.o.d"
+  "/root/repo/tests/trace/test_interleave.cc" "tests/CMakeFiles/trace_tests.dir/trace/test_interleave.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/test_interleave.cc.o.d"
+  "/root/repo/tests/trace/test_mem_ref.cc" "tests/CMakeFiles/trace_tests.dir/trace/test_mem_ref.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/test_mem_ref.cc.o.d"
+  "/root/repo/tests/trace/test_order_stat_tree.cc" "tests/CMakeFiles/trace_tests.dir/trace/test_order_stat_tree.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/test_order_stat_tree.cc.o.d"
+  "/root/repo/tests/trace/test_source.cc" "tests/CMakeFiles/trace_tests.dir/trace/test_source.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/test_source.cc.o.d"
+  "/root/repo/tests/trace/test_stack_distance.cc" "tests/CMakeFiles/trace_tests.dir/trace/test_stack_distance.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/test_stack_distance.cc.o.d"
+  "/root/repo/tests/trace/test_synthetic.cc" "tests/CMakeFiles/trace_tests.dir/trace/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/test_synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expt/CMakeFiles/mlc_expt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/mlc_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mlc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mlc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mlc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

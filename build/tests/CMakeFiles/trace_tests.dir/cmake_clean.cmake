@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_tests.dir/trace/test_binary.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/test_binary.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/test_compressed.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/test_compressed.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/test_dinero.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/test_dinero.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/test_filter.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/test_filter.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/test_interleave.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/test_interleave.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/test_mem_ref.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/test_mem_ref.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/test_order_stat_tree.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/test_order_stat_tree.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/test_source.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/test_source.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/test_stack_distance.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/test_stack_distance.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/test_synthetic.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/test_synthetic.cc.o.d"
+  "trace_tests"
+  "trace_tests.pdb"
+  "trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_bits.cc" "tests/CMakeFiles/util_tests.dir/util/test_bits.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_bits.cc.o.d"
+  "/root/repo/tests/util/test_csv.cc" "tests/CMakeFiles/util_tests.dir/util/test_csv.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_csv.cc.o.d"
+  "/root/repo/tests/util/test_logging.cc" "tests/CMakeFiles/util_tests.dir/util/test_logging.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_logging.cc.o.d"
+  "/root/repo/tests/util/test_random.cc" "tests/CMakeFiles/util_tests.dir/util/test_random.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_random.cc.o.d"
+  "/root/repo/tests/util/test_str.cc" "tests/CMakeFiles/util_tests.dir/util/test_str.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_str.cc.o.d"
+  "/root/repo/tests/util/test_table.cc" "tests/CMakeFiles/util_tests.dir/util/test_table.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_table.cc.o.d"
+  "/root/repo/tests/util/test_units.cc" "tests/CMakeFiles/util_tests.dir/util/test_units.cc.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/test_units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expt/CMakeFiles/mlc_expt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/mlc_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mlc_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/mlc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mlc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mlc_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/mlc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

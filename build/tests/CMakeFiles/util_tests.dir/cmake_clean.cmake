@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/test_bits.cc.o"
+  "CMakeFiles/util_tests.dir/util/test_bits.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/test_csv.cc.o"
+  "CMakeFiles/util_tests.dir/util/test_csv.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/test_logging.cc.o"
+  "CMakeFiles/util_tests.dir/util/test_logging.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/test_random.cc.o"
+  "CMakeFiles/util_tests.dir/util/test_random.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/test_str.cc.o"
+  "CMakeFiles/util_tests.dir/util/test_str.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/test_table.cc.o"
+  "CMakeFiles/util_tests.dir/util/test_table.cc.o.d"
+  "CMakeFiles/util_tests.dir/util/test_units.cc.o"
+  "CMakeFiles/util_tests.dir/util/test_units.cc.o.d"
+  "util_tests"
+  "util_tests.pdb"
+  "util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
