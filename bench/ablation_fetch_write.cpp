@@ -16,6 +16,7 @@
 
 #include "bench_common.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "util/units.hh"
 
 using namespace mlc;
@@ -25,23 +26,25 @@ namespace {
 expt::SuiteResults
 run(const hier::HierarchyParams &p,
     const std::vector<expt::TraceSpec> &specs,
-    const std::vector<std::vector<trace::MemRef>> &traces)
+    const std::vector<std::vector<trace::MemRef>> &traces,
+    std::size_t jobs)
 {
-    return expt::runSuite(p, specs, traces);
+    return expt::runSuite(p, specs, traces, jobs);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine();
     bench::printHeader("Ablations",
                        "fetch size and write buffering", base);
 
     const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs);
+    const auto traces = bench::materializeAll(specs, jobs);
 
     // --- 1. L1 fetch size. ---
     std::cout << "\n--- L1 fetch-size ablation (16B L1 blocks) ---\n";
@@ -71,7 +74,7 @@ main()
             c->prefetchNextBlock = fc.prefetch;
         }
         std::cerr << "  " << fc.name << "...\n";
-        const expt::SuiteResults r = run(p, specs, traces);
+        const expt::SuiteResults r = run(p, specs, traces, jobs);
         f.newRow()
             .cell(std::string(fc.name))
             .cell(r.l1LocalMiss, 4)
@@ -105,11 +108,15 @@ main()
             std::cerr << "  "
                       << (through ? "write-through" : "write-back")
                       << " depth " << depth << "...\n";
-            // Count stalls per instruction across the suite.
-            double rel = 0.0, stalls_per_k = 0.0;
-            for (std::size_t t = 0; t < specs.size(); ++t) {
-                const hier::SimResults r = expt::runOnTrace(
+            // Count stalls per instruction across the suite:
+            // per-trace slots, reduced in trace order.
+            std::vector<hier::SimResults> per(specs.size());
+            parallelFor(jobs, specs.size(), [&](std::size_t t) {
+                per[t] = expt::runOnTrace(
                     p, traces[t], expt::scaledWarmup(specs[t]));
+            });
+            double rel = 0.0, stalls_per_k = 0.0;
+            for (const hier::SimResults &r : per) {
                 rel += r.relativeExecTime;
                 stalls_per_k +=
                     1000.0 *

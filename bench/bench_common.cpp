@@ -7,7 +7,10 @@
 #include <iostream>
 
 #include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "util/units.hh"
 
 namespace mlc {
@@ -31,15 +34,37 @@ printHeader(const std::string &figure,
               << kRule << "\n";
 }
 
-std::vector<std::vector<trace::MemRef>>
-materializeAll(const std::vector<expt::TraceSpec> &specs)
+std::size_t
+jobsFromArgs(int argc, char **argv)
 {
-    std::vector<std::vector<trace::MemRef>> traces;
-    traces.reserve(specs.size());
-    for (const auto &spec : specs) {
-        std::cerr << "  generating trace " << spec.name << "...\n";
-        traces.push_back(expt::materialize(spec));
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        std::string value;
+        if (startsWith(arg, "--jobs="))
+            value = std::string(arg.substr(7));
+        else if (arg == "--jobs" && i + 1 < argc)
+            value = argv[i + 1];
+        else
+            continue;
+        unsigned long long jobs = 0;
+        if (!parseUnsigned(value, jobs) || jobs < 1)
+            mlc_fatal("bad --jobs value '", value, "'");
+        return static_cast<std::size_t>(jobs);
     }
+    return defaultJobs();
+}
+
+std::vector<std::vector<trace::MemRef>>
+materializeAll(const std::vector<expt::TraceSpec> &specs,
+               std::size_t jobs)
+{
+    // No job count in the progress line: output must stay
+    // byte-identical across --jobs values.
+    std::cerr << "  generating " << specs.size() << " traces...\n";
+    std::vector<std::vector<trace::MemRef>> traces(specs.size());
+    parallelFor(jobs, specs.size(), [&](std::size_t i) {
+        traces[i] = expt::materialize(specs[i]);
+    });
     return traces;
 }
 
@@ -49,20 +74,18 @@ buildRelExecGrid(const hier::HierarchyParams &base,
                  const std::vector<std::uint32_t> &cycles,
                  const std::vector<expt::TraceSpec> &specs,
                  const std::vector<std::vector<trace::MemRef>>
-                     &traces)
+                     &traces,
+                 std::size_t jobs)
 {
-    expt::DesignSpaceGrid grid(sizes, cycles);
-    for (std::size_t s = 0; s < sizes.size(); ++s) {
-        std::cerr << "  L2 " << formatSize(sizes[s]) << "...\n";
-        for (std::size_t c = 0; c < cycles.size(); ++c) {
-            const hier::HierarchyParams p =
-                base.withL2(sizes[s], cycles[c]);
-            const expt::SuiteResults r =
-                expt::runSuite(p, specs, traces);
-            grid.set(s, c, r.relExecTime);
-        }
-    }
-    return grid;
+    std::cerr << "  sweeping " << sizes.size() << "x"
+              << cycles.size() << " grid...\n";
+    return expt::parallelBuildGrid(
+        sizes, cycles,
+        [&](std::uint64_t size, std::uint32_t cyc) {
+            const hier::HierarchyParams p = base.withL2(size, cyc);
+            return expt::runSuite(p, specs, traces).relExecTime;
+        },
+        jobs);
 }
 
 void

@@ -24,13 +24,25 @@ void printHeader(const std::string &figure,
                  const std::string &description,
                  const hier::HierarchyParams &base);
 
-/** Materialize every trace of a suite once (progress to stderr). */
+/**
+ * Worker count for a bench binary: `--jobs=N` (or `--jobs N`) on
+ * the command line wins, then the MLC_JOBS environment variable,
+ * then hardware_concurrency(). Grids and stdout output are
+ * bit-identical for every N; only wall-clock changes.
+ */
+std::size_t jobsFromArgs(int argc, char **argv);
+
+/** Materialize every trace of a suite once (progress to stderr),
+ *  @p jobs traces at a time. */
 std::vector<std::vector<trace::MemRef>>
-materializeAll(const std::vector<expt::TraceSpec> &specs);
+materializeAll(const std::vector<expt::TraceSpec> &specs,
+               std::size_t jobs = 1);
 
 /**
  * Build the (L2 size x L2 cycle) relative-execution-time grid for
- * a base machine, averaged over the given traces.
+ * a base machine, averaged over the given traces, evaluating
+ * @p jobs grid cells concurrently (deterministic: see
+ * expt::parallelBuildGrid).
  */
 expt::DesignSpaceGrid
 buildRelExecGrid(const hier::HierarchyParams &base,
@@ -38,7 +50,8 @@ buildRelExecGrid(const hier::HierarchyParams &base,
                  const std::vector<std::uint32_t> &cycles,
                  const std::vector<expt::TraceSpec> &specs,
                  const std::vector<std::vector<trace::MemRef>>
-                     &traces);
+                     &traces,
+                 std::size_t jobs = 1);
 
 /** Print the grid the way Figure 4-1 plots it: one column per L2
  *  cycle time, one row per L2 size. */

@@ -23,15 +23,16 @@
 using namespace mlc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine();
     bench::printHeader("Figure 3-1",
                        "L2 miss ratios vs size, 4KB L1", base);
 
     const auto specs = expt::paperSuite();
-    const auto traces = bench::materializeAll(specs);
+    const auto traces = bench::materializeAll(specs, jobs);
 
     Table t;
     t.addColumn("L2 size", Align::Left);
@@ -48,7 +49,7 @@ main()
         hier::HierarchyParams p = base.withL2(size, 3);
         p.measureSolo = true;
         const expt::SuiteResults r =
-            expt::runSuite(p, specs, traces);
+            expt::runSuite(p, specs, traces, jobs);
         t.newRow()
             .cell(formatSize(size))
             .cell(r.localMiss[0], 4)

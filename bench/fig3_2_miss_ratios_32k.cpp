@@ -17,15 +17,16 @@
 using namespace mlc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine().withL1Total(32 << 10);
     bench::printHeader("Figure 3-2",
                        "L2 miss ratios vs size, 32KB L1", base);
 
     const auto specs = expt::paperSuite();
-    const auto traces = bench::materializeAll(specs);
+    const auto traces = bench::materializeAll(specs, jobs);
 
     Table t;
     t.addColumn("L2 size", Align::Left);
@@ -40,7 +41,7 @@ main()
         hier::HierarchyParams p = base.withL2(size, 3);
         p.measureSolo = true;
         const expt::SuiteResults r =
-            expt::runSuite(p, specs, traces);
+            expt::runSuite(p, specs, traces, jobs);
         t.newRow()
             .cell(formatSize(size))
             .cell(std::uint64_t{size / (32 << 10)})

@@ -17,8 +17,9 @@
 using namespace mlc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine();
     bench::printHeader(
@@ -27,10 +28,10 @@ main()
         base);
 
     const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs);
+    const auto traces = bench::materializeAll(specs, jobs);
     const expt::DesignSpaceGrid grid = bench::buildRelExecGrid(
         base, expt::paperSizes(), expt::paperCycles(), specs,
-        traces);
+        traces, jobs);
 
     bench::printRelExecGrid(grid);
     bench::maybeDumpCsv(grid, "fig4_1");

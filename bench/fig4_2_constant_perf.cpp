@@ -13,8 +13,9 @@
 using namespace mlc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine();
     bench::printHeader("Figure 4-2",
@@ -22,10 +23,10 @@ main()
                        base);
 
     const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs);
+    const auto traces = bench::materializeAll(specs, jobs);
     const expt::DesignSpaceGrid grid = bench::buildRelExecGrid(
         base, expt::paperSizes(), expt::paperCycles(), specs,
-        traces);
+        traces, jobs);
 
     bench::printConstantPerformance(grid);
     bench::maybeDumpCsv(grid, "fig4_2");

@@ -18,8 +18,9 @@
 using namespace mlc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const hier::HierarchyParams base4k =
         hier::HierarchyParams::baseMachine();
     const hier::HierarchyParams base32k =
@@ -29,16 +30,16 @@ main()
                        base32k);
 
     const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs);
+    const auto traces = bench::materializeAll(specs, jobs);
 
     std::cerr << "grid with 4KB L1 (reference)...\n";
     const expt::DesignSpaceGrid grid4k = bench::buildRelExecGrid(
         base4k, expt::paperSizes(), expt::paperCycles(), specs,
-        traces);
+        traces, jobs);
     std::cerr << "grid with 32KB L1...\n";
     const expt::DesignSpaceGrid grid32k = bench::buildRelExecGrid(
         base32k, expt::paperSizes(), expt::paperCycles(), specs,
-        traces);
+        traces, jobs);
 
     bench::printConstantPerformance(grid32k);
     bench::maybeDumpCsv(grid4k, "fig4_3_l1_4k");

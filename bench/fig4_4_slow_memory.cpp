@@ -18,8 +18,9 @@
 using namespace mlc;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     hier::HierarchyParams slow =
         hier::HierarchyParams::baseMachine();
     slow.memory = mem::MainMemoryParams::slow();
@@ -29,16 +30,16 @@ main()
         slow);
 
     const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs);
+    const auto traces = bench::materializeAll(specs, jobs);
 
     std::cerr << "grid with base memory (reference)...\n";
     const expt::DesignSpaceGrid base_grid = bench::buildRelExecGrid(
         hier::HierarchyParams::baseMachine(), expt::paperSizes(),
-        expt::paperCycles(), specs, traces);
+        expt::paperCycles(), specs, traces, jobs);
     std::cerr << "grid with slow memory...\n";
     const expt::DesignSpaceGrid slow_grid = bench::buildRelExecGrid(
         slow, expt::paperSizes(), expt::paperCycles(), specs,
-        traces);
+        traces, jobs);
 
     bench::printConstantPerformance(slow_grid);
     bench::maybeDumpCsv(base_grid, "fig4_4_base_memory");

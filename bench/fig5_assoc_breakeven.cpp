@@ -44,13 +44,14 @@ Point
 measure(const hier::HierarchyParams &base, std::uint64_t size,
         std::uint32_t assoc,
         const std::vector<expt::TraceSpec> &specs,
-        const std::vector<std::vector<trace::MemRef>> &traces)
+        const std::vector<std::vector<trace::MemRef>> &traces,
+        std::size_t jobs)
 {
     Point pt{};
-    const expt::SuiteResults r3 =
-        expt::runSuite(base.withL2(size, 3, assoc), specs, traces);
-    const expt::SuiteResults r4 =
-        expt::runSuite(base.withL2(size, 4, assoc), specs, traces);
+    const expt::SuiteResults r3 = expt::runSuite(
+        base.withL2(size, 3, assoc), specs, traces, jobs);
+    const expt::SuiteResults r4 = expt::runSuite(
+        base.withL2(size, 4, assoc), specs, traces, jobs);
     pt.relExec3 = r3.relExecTime;
     pt.relExec4 = r4.relExecTime;
     pt.globalMiss = r3.globalMiss[0];
@@ -61,8 +62,9 @@ measure(const hier::HierarchyParams &base, std::uint64_t size,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine();
     bench::printHeader("Figures 5-1..5-3",
@@ -70,7 +72,7 @@ main()
                        base);
 
     const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs);
+    const auto traces = bench::materializeAll(specs, jobs);
 
     // Mean main-memory read time for Equation 3 (the minimum
     // penalty; recency adds up to the refresh gap).
@@ -90,9 +92,9 @@ main()
             std::cerr << "  " << assoc << "-way "
                       << formatSize(size) << "...\n";
             const Point dm =
-                measure(base, size, 1, specs, traces);
+                measure(base, size, 1, specs, traces, jobs);
             const Point sa =
-                measure(base, size, assoc, specs, traces);
+                measure(base, size, assoc, specs, traces, jobs);
 
             const double dm_miss_delta =
                 dm.globalMiss - sa.globalMiss;

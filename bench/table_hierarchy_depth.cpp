@@ -61,14 +61,15 @@ threeLevel()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     bench::printHeader("Hierarchy-depth study (Section 1 premise)",
                        "1 vs 2 vs 3 levels as memory slows",
                        hier::HierarchyParams::baseMachine());
 
     const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs);
+    const auto traces = bench::materializeAll(specs, jobs);
 
     Table t;
     t.addColumn("memory", Align::Left);
@@ -91,7 +92,7 @@ main()
         for (auto machine : {oneLevel(), twoLevel(), threeLevel()}) {
             machine.memory = memory;
             cpis[idx++] =
-                expt::runSuite(machine, specs, traces).cpi;
+                expt::runSuite(machine, specs, traces, jobs).cpi;
         }
         char label[24];
         std::snprintf(label, sizeof(label), "%.0fns read",

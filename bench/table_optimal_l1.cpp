@@ -18,6 +18,7 @@
 
 #include "bench_common.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "util/units.hh"
 
 using namespace mlc;
@@ -39,8 +40,9 @@ cpuCycleNsForL1(std::uint64_t l1_total)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine();
     bench::printHeader(
@@ -53,11 +55,34 @@ main()
                  "cycles\n";
 
     const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs);
+    const auto traces = bench::materializeAll(specs, jobs);
 
     const std::vector<std::uint64_t> l1_sizes = {
         4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10};
     const std::vector<std::uint32_t> l2_cycles = {2, 4, 6, 8, 10};
+
+    // Evaluate the (L2 cycle x L1 size) cells in parallel, each
+    // into its own slot; the table below is assembled serially in
+    // row order, so output is identical for any --jobs.
+    const std::size_t cols = l1_sizes.size();
+    std::vector<double> ns_per_instr(l2_cycles.size() * cols, 0.0);
+    std::cerr << "  sweeping " << l2_cycles.size() << "x" << cols
+              << " L1/L2 table (" << jobs << " jobs)...\n";
+    parallelFor(jobs, ns_per_instr.size(), [&](std::size_t i) {
+        const std::uint32_t cyc = l2_cycles[i / cols];
+        const std::uint64_t l1 = l1_sizes[i % cols];
+        hier::HierarchyParams p =
+            base.withL1Total(l1).withL2(512 << 10, 1);
+        // Quote L2 speed in *base* CPU cycles so a slower CPU
+        // doesn't quietly speed up the L2.
+        p.levels[0].cycleNs = 10.0 * cyc;
+        p.cpuCycleNs = cpuCycleNsForL1(l1);
+        p.l1i.cycleNs = p.cpuCycleNs;
+        p.l1d.cycleNs = p.cpuCycleNs;
+        const expt::SuiteResults r =
+            expt::runSuite(p, specs, traces);
+        ns_per_instr[i] = r.cpi * p.cpuCycleNs;
+    });
 
     Table t;
     t.addColumn("L2 cycle", Align::Left);
@@ -65,28 +90,16 @@ main()
         t.addColumn(formatSize(s));
     t.addColumn("optimal L1", Align::Left);
 
-    for (std::uint32_t cyc : l2_cycles) {
-        t.newRow().cell(std::to_string(cyc) + " cyc");
+    for (std::size_t row = 0; row < l2_cycles.size(); ++row) {
+        t.newRow().cell(std::to_string(l2_cycles[row]) + " cyc");
         double best_time = 0.0;
         std::uint64_t best_l1 = 0;
-        for (std::uint64_t l1 : l1_sizes) {
-            hier::HierarchyParams p =
-                base.withL1Total(l1).withL2(512 << 10, 1);
-            // Quote L2 speed in *base* CPU cycles so a slower CPU
-            // doesn't quietly speed up the L2.
-            p.levels[0].cycleNs = 10.0 * cyc;
-            p.cpuCycleNs = cpuCycleNsForL1(l1);
-            p.l1i.cycleNs = p.cpuCycleNs;
-            p.l1d.cycleNs = p.cpuCycleNs;
-            std::cerr << "  L2 " << cyc << "cyc, L1 "
-                      << formatSize(l1) << "...\n";
-            const expt::SuiteResults r =
-                expt::runSuite(p, specs, traces);
-            const double ns_per_instr = r.cpi * p.cpuCycleNs;
-            t.cell(ns_per_instr, 2);
-            if (best_l1 == 0 || ns_per_instr < best_time) {
-                best_time = ns_per_instr;
-                best_l1 = l1;
+        for (std::size_t col = 0; col < cols; ++col) {
+            const double ns = ns_per_instr[row * cols + col];
+            t.cell(ns, 2);
+            if (best_l1 == 0 || ns < best_time) {
+                best_time = ns;
+                best_l1 = l1_sizes[col];
             }
         }
         t.cell(formatSize(best_l1));

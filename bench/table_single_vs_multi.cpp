@@ -39,8 +39,9 @@ cpuCycleNsForL1(std::uint64_t l1_total)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine();
     bench::printHeader(
@@ -53,7 +54,7 @@ main()
               << "ns per L1 doubling beyond 4KB\n";
 
     const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs);
+    const auto traces = bench::materializeAll(specs, jobs);
 
     Table t;
     t.addColumn("L1 total", Align::Left);
@@ -75,14 +76,16 @@ main()
         single.l1i.cycleNs = cycle_ns;
         single.l1d.cycleNs = cycle_ns;
         const double single_time =
-            expt::runSuite(single, specs, traces).cpi * cycle_ns;
+            expt::runSuite(single, specs, traces, jobs).cpi *
+            cycle_ns;
 
         hier::HierarchyParams multi = base.withL1Total(l1);
         multi.cpuCycleNs = cycle_ns;
         multi.l1i.cycleNs = cycle_ns;
         multi.l1d.cycleNs = cycle_ns;
         const double multi_time =
-            expt::runSuite(multi, specs, traces).cpi * cycle_ns;
+            expt::runSuite(multi, specs, traces, jobs).cpi *
+            cycle_ns;
 
         t.newRow()
             .cell(formatSize(l1))

@@ -5,22 +5,27 @@
  * the best configuration under a simple technology rule — the
  * paper's Section 4 methodology as a reusable tool.
  *
- *   $ ./design_space [l1_total_bytes]
+ *   $ ./design_space [l1_total_bytes] [--jobs=N]
  *
  * Pass a different L1 budget (e.g. 32768) to watch the optimal L2
  * design point move toward larger-and-slower, the paper's central
- * observation.
+ * observation. Cells are evaluated on N workers (default: MLC_JOBS
+ * or all cores); the output is identical for every N.
  */
 
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <string_view>
 
 #include "expt/design_space.hh"
 #include "expt/runner.hh"
 #include "model/miss_rate.hh"
 #include "model/tradeoff.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 #include "util/units.hh"
 
 using namespace mlc;
@@ -28,8 +33,19 @@ using namespace mlc;
 int
 main(int argc, char **argv)
 {
-    const std::uint64_t l1_total =
-        argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 4096;
+    std::uint64_t l1_total = 4096;
+    std::size_t jobs = defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (startsWith(arg, "--jobs=")) {
+            unsigned long long j = 0;
+            if (!parseUnsigned(arg.substr(7), j) || j < 1)
+                mlc_fatal("bad --jobs value in '", argv[i], "'");
+            jobs = static_cast<std::size_t>(j);
+        } else {
+            l1_total = std::strtoull(argv[i], nullptr, 0);
+        }
+    }
 
     hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine().withL1Total(l1_total);
@@ -40,8 +56,8 @@ main(int argc, char **argv)
     std::vector<expt::TraceSpec> specs = {expt::paperSuite()[0]};
     specs[0].warmupRefs = 200'000;
     specs[0].measureRefs = 500'000;
-    const auto traces = std::vector<std::vector<trace::MemRef>>{
-        expt::materialize(specs[0])};
+    const expt::TraceStore store =
+        expt::TraceStore::materialize(specs, jobs);
 
     std::vector<std::uint64_t> sizes;
     for (std::uint64_t s = 16 << 10; s <= (2 << 20); s *= 4)
@@ -49,19 +65,34 @@ main(int argc, char **argv)
     const std::vector<std::uint32_t> cycles = {1, 2, 3, 4,
                                                5, 7, 10};
 
+    // Evaluate every cell into its own slot (solo curves measured
+    // along the 1-cycle column), then assemble in fixed order:
+    // identical output for any --jobs.
+    struct Cell
+    {
+        double rel = 0.0;
+        double solo = 0.0;
+    };
+    const std::size_t cols = cycles.size();
+    std::vector<Cell> slots(sizes.size() * cols);
+    parallelFor(jobs, slots.size(), [&](std::size_t i) {
+        const std::size_t s = i / cols, c = i % cols;
+        hier::HierarchyParams p = base.withL2(sizes[s], cycles[c]);
+        p.measureSolo = (c == 0);
+        const expt::SuiteResults r = expt::runSuite(p, store);
+        slots[i].rel = r.relExecTime;
+        if (c == 0)
+            slots[i].solo = r.soloMiss[0];
+    });
+
     expt::DesignSpaceGrid grid(sizes, cycles);
     std::vector<std::pair<std::uint64_t, double>> miss_points;
     for (std::size_t s = 0; s < sizes.size(); ++s) {
-        for (std::size_t c = 0; c < cycles.size(); ++c) {
-            hier::HierarchyParams p =
-                base.withL2(sizes[s], cycles[c]);
-            p.measureSolo = (c == 0);
-            const expt::SuiteResults r =
-                expt::runSuite(p, specs, traces);
-            grid.set(s, c, r.relExecTime);
+        for (std::size_t c = 0; c < cols; ++c) {
+            grid.set(s, c, slots[s * cols + c].rel);
             if (c == 0)
                 miss_points.emplace_back(sizes[s],
-                                         r.soloMiss[0]);
+                                         slots[s * cols].solo);
         }
     }
 

@@ -4,11 +4,16 @@
  * file that specifies the depth of the cache hierarchy and the
  * configuration of each cache."
  *
- *   $ ./hierarchy_explorer <config.cfg> [trace-file] [refs]
+ *   $ ./hierarchy_explorer <config.cfg>... [trace-file] [refs]
+ *                          [--jobs=N]
  *
+ * Arguments ending in .cfg are hierarchy descriptions; passing
+ * several compares the machines over the same reference stream,
+ * simulated N configurations at a time (default: MLC_JOBS or all
+ * cores). Reports print in command-line order regardless of N.
  * Without a trace file, the synthetic multiprogramming workload is
  * used (pass "" to skip the argument). Set MLC_STATS=1 to append
- * the full stats-package dump to the report. Sample configurations
+ * the full stats-package dump to each report. Sample configurations
  * live in examples/configs/.
  */
 
@@ -16,6 +21,10 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "hier/config_file.hh"
 #include "hier/hierarchy.hh"
@@ -24,62 +33,119 @@
 #include "trace/compressed.hh"
 #include "trace/dinero.hh"
 #include "trace/interleave.hh"
+#include "util/logging.hh"
 #include "util/str.hh"
+#include "util/thread_pool.hh"
 
 using namespace mlc;
+
+namespace {
+
+/** Read a trace file in any of the three formats into memory. */
+std::vector<trace::MemRef>
+readTraceFile(const std::string &path, std::uint64_t limit)
+{
+    const bool dinero = endsWith(path, ".din");
+    std::ifstream file(path, dinero ? std::ios::in
+                                    : std::ios::in |
+                                          std::ios::binary);
+    if (!file)
+        mlc_fatal("cannot open trace ", path);
+    std::unique_ptr<trace::TraceSource> source;
+    if (dinero)
+        source = std::make_unique<trace::DineroReader>(file);
+    else if (endsWith(path, ".mlcz"))
+        source = std::make_unique<trace::CompressedReader>(file);
+    else
+        source = std::make_unique<trace::BinaryReader>(file);
+    return trace::collect(*source, limit);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::cerr << "usage: hierarchy_explorer <config.cfg> "
-                     "[trace] [refs]\n";
+    std::vector<std::string> config_paths;
+    std::string trace_path;
+    std::uint64_t refs = 1'500'000;
+    std::size_t jobs = defaultJobs();
+    bool refs_given = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (startsWith(arg, "--jobs=")) {
+            unsigned long long j = 0;
+            if (!parseUnsigned(arg.substr(7), j) || j < 1)
+                mlc_fatal("bad --jobs value in '", argv[i], "'");
+            jobs = static_cast<std::size_t>(j);
+        } else if (endsWith(arg, ".cfg")) {
+            config_paths.emplace_back(arg);
+        } else if (trace_path.empty() && !refs_given &&
+                   !arg.empty() &&
+                   (arg[0] < '0' || arg[0] > '9')) {
+            trace_path = std::string(arg);
+        } else if (!arg.empty()) {
+            refs = std::strtoull(argv[i], nullptr, 0);
+            refs_given = true;
+        }
+    }
+
+    if (config_paths.empty()) {
+        std::cerr << "usage: hierarchy_explorer <config.cfg>... "
+                     "[trace] [refs] [--jobs=N]\n";
         return 1;
     }
 
-    const hier::HierarchyParams params =
-        hier::parseConfigFile(argv[1]);
-    std::cout << "machine: " << params.summary() << "\n";
+    std::vector<hier::HierarchyParams> params;
+    params.reserve(config_paths.size());
+    for (const auto &path : config_paths)
+        params.push_back(hier::parseConfigFile(path));
 
-    std::unique_ptr<trace::TraceSource> source;
-    std::ifstream trace_file;
-    if (argc > 2 && argv[2][0] != '\0') {
-        const std::string path = argv[2];
-        const bool dinero = endsWith(path, ".din");
-        trace_file.open(path, dinero ? std::ios::in
-                                     : std::ios::in |
-                                           std::ios::binary);
-        if (!trace_file) {
-            std::cerr << "cannot open trace " << path << "\n";
-            return 1;
-        }
-        if (dinero)
-            source = std::make_unique<trace::DineroReader>(
-                trace_file);
-        else if (endsWith(path, ".mlcz"))
-            source = std::make_unique<trace::CompressedReader>(
-                trace_file);
-        else
-            source = std::make_unique<trace::BinaryReader>(
-                trace_file);
-        std::cout << "trace: " << path << "\n\n";
+    // Materialize the reference stream once (warmup + measure) and
+    // share it read-only across every configuration, so all
+    // machines see the identical stream.
+    const std::uint64_t warmup = refs / 3;
+    std::vector<trace::MemRef> stream;
+    std::string stream_name;
+    if (!trace_path.empty()) {
+        stream = readTraceFile(trace_path, warmup + refs);
+        stream_name = trace_path;
     } else {
-        source = trace::makeMultiprogrammedWorkload(6, 12000, 0);
-        std::cout << "trace: built-in synthetic workload\n\n";
+        auto source = trace::makeMultiprogrammedWorkload(6, 12000, 0);
+        stream = trace::collect(*source, warmup + refs);
+        stream_name = "built-in synthetic workload";
     }
 
-    const std::uint64_t refs =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 0) : 1'500'000;
+    const bool want_stats = [] {
+        const char *flag = std::getenv("MLC_STATS");
+        return flag && flag[0] == '1';
+    }();
 
-    hier::HierarchySimulator sim(params);
-    sim.warmUp(*source, refs / 3);
-    sim.run(*source, refs);
-    sim.results().print(std::cout);
+    // One buffered report per configuration, printed in
+    // command-line order below no matter how simulations finish.
+    std::vector<std::string> reports(params.size());
+    parallelFor(jobs, params.size(), [&](std::size_t i) {
+        std::ostringstream os;
+        os << "machine: " << params[i].summary() << "\n"
+           << "trace: " << stream_name << "\n\n";
+        hier::HierarchySimulator sim(params[i]);
+        trace::VectorSource source(stream);
+        sim.warmUp(source, warmup);
+        sim.run(source);
+        sim.results().print(os);
+        if (want_stats) {
+            os << "\n";
+            hier::SimStats(sim).dump(os);
+        }
+        reports[i] = os.str();
+    });
 
-    if (const char *flag = std::getenv("MLC_STATS");
-        flag && flag[0] == '1') {
-        std::cout << "\n";
-        hier::SimStats(sim).dump(std::cout);
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        if (i > 0)
+            std::cout << "\n========================================"
+                         "==================\n\n";
+        std::cout << reports[i];
     }
     return 0;
 }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace mlc {
 namespace expt {
@@ -30,6 +31,10 @@ void
 DesignSpaceGrid::set(std::size_t size_idx, std::size_t cycle_idx,
                      double rel_exec_time)
 {
+    if (size_idx >= sizes_.size() || cycle_idx >= cycles_.size())
+        mlc_panic("design-space cell (", size_idx, ",", cycle_idx,
+                  ") out of range for ", sizes_.size(), "x",
+                  cycles_.size(), " grid");
     const std::size_t i = size_idx * cycles_.size() + cycle_idx;
     values_[i] = rel_exec_time;
     filled_[i] = true;
@@ -39,6 +44,10 @@ double
 DesignSpaceGrid::at(std::size_t size_idx,
                     std::size_t cycle_idx) const
 {
+    if (size_idx >= sizes_.size() || cycle_idx >= cycles_.size())
+        mlc_panic("design-space cell (", size_idx, ",", cycle_idx,
+                  ") out of range for ", sizes_.size(), "x",
+                  cycles_.size(), " grid");
     const std::size_t i = size_idx * cycles_.size() + cycle_idx;
     if (!filled_[i])
         mlc_panic("design-space cell (", size_idx, ",", cycle_idx,
@@ -226,10 +235,28 @@ buildGrid(const std::vector<std::uint64_t> &sizes,
           const std::function<double(std::uint64_t, std::uint32_t)>
               &eval)
 {
+    return parallelBuildGrid(sizes, cycles, eval, 1);
+}
+
+DesignSpaceGrid
+parallelBuildGrid(
+    const std::vector<std::uint64_t> &sizes,
+    const std::vector<std::uint32_t> &cycles,
+    const std::function<double(std::uint64_t, std::uint32_t)> &eval,
+    std::size_t jobs)
+{
     DesignSpaceGrid grid(sizes, cycles);
+    const std::size_t cols = cycles.size();
+    const std::size_t cells = sizes.size() * cols;
+    // Each cell writes its own slot; the grid is then assembled in
+    // row-major order so jobs=1 and jobs=N agree bit for bit.
+    std::vector<double> slots(cells, 0.0);
+    parallelFor(jobs, cells, [&](std::size_t i) {
+        slots[i] = eval(sizes[i / cols], cycles[i % cols]);
+    });
     for (std::size_t s = 0; s < sizes.size(); ++s)
-        for (std::size_t c = 0; c < cycles.size(); ++c)
-            grid.set(s, c, eval(sizes[s], cycles[c]));
+        for (std::size_t c = 0; c < cols; ++c)
+            grid.set(s, c, slots[s * cols + c]);
     return grid;
 }
 

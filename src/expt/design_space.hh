@@ -131,6 +131,21 @@ buildGrid(const std::vector<std::uint64_t> &sizes,
           const std::function<double(std::uint64_t, std::uint32_t)>
               &eval);
 
+/**
+ * Build a grid by evaluating cells on @p jobs workers. @p eval must
+ * be safe to call concurrently from several threads (the sweep
+ * evaluators are: each call builds its own HierarchySimulator over
+ * shared immutable traces). Every cell's result is written into its
+ * own pre-sized slot and the grid is assembled in a fixed row-major
+ * order, so the result is bit-identical to buildGrid() regardless
+ * of @p jobs. jobs <= 1 degenerates to the serial path.
+ */
+DesignSpaceGrid parallelBuildGrid(
+    const std::vector<std::uint64_t> &sizes,
+    const std::vector<std::uint32_t> &cycles,
+    const std::function<double(std::uint64_t, std::uint32_t)> &eval,
+    std::size_t jobs);
+
 /** The paper's sweep axes: 4KB..4MB x 1..10 CPU cycles. */
 std::vector<std::uint64_t> paperSizes();
 std::vector<std::uint32_t> paperCycles();

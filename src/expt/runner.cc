@@ -4,6 +4,7 @@
 
 #include "trace/source.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace mlc {
 namespace expt {
@@ -34,11 +35,23 @@ runSuite(const hier::HierarchyParams &params,
 SuiteResults
 runSuite(const hier::HierarchyParams &params,
          const std::vector<TraceSpec> &specs,
-         const std::vector<std::vector<trace::MemRef>> &traces)
+         const std::vector<std::vector<trace::MemRef>> &traces,
+         std::size_t jobs)
 {
     if (specs.empty() || specs.size() != traces.size())
         mlc_panic("runSuite: specs/traces mismatch (", specs.size(),
                   " vs ", traces.size(), ")");
+
+    // Simulate every trace into its own slot. Each worker builds a
+    // private HierarchySimulator; the shared trace vectors are only
+    // read. Slot indexing (never completion order) plus the fixed
+    // trace-order reduction below keeps jobs=1 and jobs=N
+    // bit-identical.
+    std::vector<hier::SimResults> per_trace(specs.size());
+    parallelFor(jobs, specs.size(), [&](std::size_t t) {
+        per_trace[t] =
+            runOnTrace(params, traces[t], scaledWarmup(specs[t]));
+    });
 
     SuiteResults avg;
     const std::size_t depth = params.levels.size();
@@ -51,9 +64,8 @@ runSuite(const hier::HierarchyParams &params,
 
     std::vector<double> rel_samples;
     std::vector<std::vector<double>> solo_samples(depth);
-    for (std::size_t t = 0; t < specs.size(); ++t) {
-        const hier::SimResults r =
-            runOnTrace(params, traces[t], scaledWarmup(specs[t]));
+    for (std::size_t t = 0; t < per_trace.size(); ++t) {
+        const hier::SimResults &r = per_trace[t];
         avg.relExecTime += r.relativeExecTime;
         rel_samples.push_back(r.relativeExecTime);
         avg.cpi += r.cpi;
@@ -83,14 +95,17 @@ runSuite(const hier::HierarchyParams &params,
             avg.soloMiss[i] /= n;
     }
 
-    // Sample standard deviation across traces (n-1 denominator).
-    auto stddev = [n](const std::vector<double> &xs, double mean) {
+    // Sample standard deviation across traces. The denominator is
+    // the sample count itself, not the trace count: they are equal
+    // today, but a divergence must not silently skew the spread.
+    auto stddev = [](const std::vector<double> &xs, double mean) {
         if (xs.size() < 2)
             return 0.0;
         double acc = 0.0;
         for (double x : xs)
             acc += (x - mean) * (x - mean);
-        return std::sqrt(acc / (n - 1.0));
+        return std::sqrt(
+            acc / (static_cast<double>(xs.size()) - 1.0));
     };
     avg.relExecTimeStdDev = stddev(rel_samples, avg.relExecTime);
     for (std::size_t i = 0; i < depth; ++i)
@@ -98,6 +113,13 @@ runSuite(const hier::HierarchyParams &params,
             avg.soloMissStdDev[i] =
                 stddev(solo_samples[i], avg.soloMiss[i]);
     return avg;
+}
+
+SuiteResults
+runSuite(const hier::HierarchyParams &params,
+         const TraceStore &store, std::size_t jobs)
+{
+    return runSuite(params, store.specs(), store.traces(), jobs);
 }
 
 } // namespace expt

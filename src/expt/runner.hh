@@ -54,11 +54,23 @@ SuiteResults runSuite(const hier::HierarchyParams &params,
 /**
  * Run @p params over traces already materialized (grid sweeps
  * materialize once and replay). specs[i] pairs with traces[i].
+ *
+ * @p jobs > 1 simulates traces concurrently: every worker builds
+ * its own HierarchySimulator over the shared immutable trace data,
+ * per-trace results land in pre-sized slots indexed by trace, and
+ * the across-trace reduction always runs in trace order — so the
+ * returned SuiteResults is bit-identical for any @p jobs.
  */
 SuiteResults
 runSuite(const hier::HierarchyParams &params,
          const std::vector<TraceSpec> &specs,
-         const std::vector<std::vector<trace::MemRef>> &traces);
+         const std::vector<std::vector<trace::MemRef>> &traces,
+         std::size_t jobs = 1);
+
+/** Same, over a materialize-once shared TraceStore. */
+SuiteResults runSuite(const hier::HierarchyParams &params,
+                      const TraceStore &store,
+                      std::size_t jobs = 1);
 
 } // namespace expt
 } // namespace mlc

@@ -5,6 +5,7 @@
 #include "trace/interleave.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
+#include "util/thread_pool.hh"
 
 namespace mlc {
 namespace expt {
@@ -79,6 +80,17 @@ materialize(const TraceSpec &spec)
     const std::uint64_t total =
         scaledWarmup(spec) + scaledMeasure(spec);
     return trace::collect(*source, total);
+}
+
+TraceStore
+TraceStore::materialize(std::vector<TraceSpec> specs,
+                        std::size_t jobs)
+{
+    std::vector<std::vector<trace::MemRef>> traces(specs.size());
+    parallelFor(jobs, specs.size(), [&](std::size_t i) {
+        traces[i] = expt::materialize(specs[i]);
+    });
+    return TraceStore(std::move(specs), std::move(traces));
 }
 
 } // namespace expt

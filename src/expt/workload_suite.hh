@@ -56,6 +56,39 @@ double suiteScale();
 /** Generate the full reference stream (warmup + measure). */
 std::vector<trace::MemRef> materialize(const TraceSpec &spec);
 
+/**
+ * A suite materialized exactly once, then shared read-only by every
+ * configuration a sweep evaluates. Grid sweeps used to regenerate
+ * every trace per runSuite() call; a TraceStore hoists that work to
+ * one up-front pass (optionally parallel across traces) and hands
+ * out const references, which is also what makes concurrent sweep
+ * workers safe: they replay the same immutable streams.
+ */
+class TraceStore
+{
+  public:
+    /** Materialize every spec, @p jobs traces at a time. */
+    static TraceStore materialize(std::vector<TraceSpec> specs,
+                                  std::size_t jobs = 1);
+
+    const std::vector<TraceSpec> &specs() const { return specs_; }
+    const std::vector<std::vector<trace::MemRef>> &traces() const
+    {
+        return traces_;
+    }
+    std::size_t size() const { return specs_.size(); }
+
+  private:
+    TraceStore(std::vector<TraceSpec> specs,
+               std::vector<std::vector<trace::MemRef>> traces)
+        : specs_(std::move(specs)), traces_(std::move(traces))
+    {
+    }
+
+    std::vector<TraceSpec> specs_;
+    std::vector<std::vector<trace::MemRef>> traces_;
+};
+
 /** warmupRefs scaled by suiteScale(). */
 std::uint64_t scaledWarmup(const TraceSpec &spec);
 /** measureRefs scaled by suiteScale(). */

@@ -1,0 +1,140 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/str.hh"
+
+namespace mlc {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t extra = threads > 1 ? threads - 1 : 0;
+    workers_.reserve(extra);
+    for (std::size_t i = 0; i < extra; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty()) {
+        // Inline serial path: index order, exceptions propagate
+        // directly.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        fn_ = &fn;
+        n_ = n;
+        next_.store(0, std::memory_order_relaxed);
+        failed_.store(false, std::memory_order_relaxed);
+        error_ = nullptr;
+        errorIndex_ = n;
+        active_ = workers_.size();
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The calling thread works the batch alongside the pool.
+    runChunks();
+
+    std::unique_lock<std::mutex> lk(m_);
+    done_.wait(lk, [this] { return active_ == 0; });
+    fn_ = nullptr;
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::unique_lock<std::mutex> lk(m_);
+        wake_.wait(lk, [this, seen] {
+            return stop_ || generation_ != seen;
+        });
+        if (stop_)
+            return;
+        seen = generation_;
+        lk.unlock();
+
+        runChunks();
+
+        lk.lock();
+        if (--active_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::runChunks()
+{
+    for (;;) {
+        if (failed_.load(std::memory_order_relaxed))
+            return;
+        const std::size_t i =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n_)
+            return;
+        try {
+            (*fn_)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(m_);
+            // Keep the exception from the lowest failing index so
+            // the caller sees a deterministic error when several
+            // tasks fail in the same batch.
+            if (!error_ || i < errorIndex_) {
+                error_ = std::current_exception();
+                errorIndex_ = i;
+            }
+            failed_.store(true, std::memory_order_relaxed);
+        }
+    }
+}
+
+std::size_t
+defaultJobs()
+{
+    if (const char *env = std::getenv("MLC_JOBS");
+        env && env[0] != '\0') {
+        unsigned long long jobs = 0;
+        if (parseUnsigned(env, jobs) && jobs >= 1)
+            return static_cast<std::size_t>(jobs);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+void
+parallelFor(std::size_t jobs, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(std::min(jobs, n));
+    pool.parallelFor(n, fn);
+}
+
+} // namespace mlc

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A small chunked thread pool for design-space sweeps.
+ *
+ * The sweep engine's unit of work is one independent grid cell or
+ * trace simulation: coarse (milliseconds to minutes) and identical
+ * in kind, so a single shared atomic counter handing out indices is
+ * all the scheduling the workload needs — workers "steal" the next
+ * index the moment they finish their current one, which keeps the
+ * pool balanced even when cells differ wildly in cost (a 4MB L2
+ * simulates slower than a 4KB one).
+ *
+ * Determinism contract: parallelFor(n, fn) promises only that fn is
+ * called exactly once for every index in [0, n). Callers that need
+ * reproducible results write into pre-sized slots indexed by the
+ * task index and reduce in a fixed order afterwards — never in
+ * completion order. Under that discipline jobs=1 and jobs=N produce
+ * bit-identical output (see expt::parallelBuildGrid / runSuite).
+ */
+
+#ifndef MLC_UTIL_THREAD_POOL_HH
+#define MLC_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mlc {
+
+/**
+ * Fixed set of worker threads executing indexed batches. The
+ * calling thread participates too, so ThreadPool(1) spawns no
+ * threads at all and runs every batch inline, in index order.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total workers including the calling thread;
+     *        clamped to at least 1.
+     */
+    explicit ThreadPool(std::size_t threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total workers, including the calling thread. */
+    std::size_t threadCount() const { return workers_.size() + 1; }
+
+    /**
+     * Run fn(i) for every i in [0, n); blocks until all complete.
+     * If any invocation throws, remaining unstarted indices are
+     * abandoned and the exception thrown by the lowest index that
+     * failed is rethrown here. The pool stays usable afterwards.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop();
+    /** Pull indices until the batch is drained or cancelled. */
+    void runChunks();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex m_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    std::uint64_t generation_ = 0;
+    std::size_t active_ = 0; //!< workers still inside the batch
+    bool stop_ = false;
+
+    //! @{ @name Current batch (valid while a parallelFor runs)
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t n_ = 0;
+    std::atomic<std::size_t> next_{0};
+    std::atomic<bool> failed_{false};
+    std::exception_ptr error_;
+    std::size_t errorIndex_ = 0;
+    //! @}
+};
+
+/**
+ * Worker count to use when the user expressed no preference: the
+ * MLC_JOBS environment variable if it parses to a positive integer,
+ * else std::thread::hardware_concurrency() (at least 1).
+ */
+std::size_t defaultJobs();
+
+/**
+ * Convenience one-shot: run fn(i) for i in [0, n) on @p jobs
+ * workers. jobs <= 1 (or n <= 1) runs inline in index order
+ * without touching any threading machinery.
+ */
+void parallelFor(std::size_t jobs, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace mlc
+
+#endif // MLC_UTIL_THREAD_POOL_HH

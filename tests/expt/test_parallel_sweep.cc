@@ -1,0 +1,161 @@
+/** @file Determinism and equivalence coverage for the parallel
+ *  sweep engine: jobs=1 and jobs=N must produce bit-identical
+ *  grids and suite results, and the shared TraceStore must
+ *  materialize the same streams regardless of worker count. */
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "expt/design_space.hh"
+#include "expt/runner.hh"
+
+namespace mlc {
+namespace expt {
+namespace {
+
+std::vector<TraceSpec>
+tinySuite()
+{
+    auto suite = gridSuite();
+    suite.resize(3);
+    for (auto &spec : suite) {
+        spec.warmupRefs = 20000;
+        spec.measureRefs = 60000;
+    }
+    return suite;
+}
+
+/** Exact (bitwise) equality across two grids. */
+void
+expectGridsIdentical(const DesignSpaceGrid &a,
+                     const DesignSpaceGrid &b)
+{
+    ASSERT_EQ(a.sizes(), b.sizes());
+    ASSERT_EQ(a.cycles(), b.cycles());
+    for (std::size_t s = 0; s < a.sizes().size(); ++s)
+        for (std::size_t c = 0; c < a.cycles().size(); ++c)
+            EXPECT_EQ(a.at(s, c), b.at(s, c))
+                << "cell (" << s << "," << c << ")";
+}
+
+TEST(ParallelSweep, AnalyticGridBitIdenticalAcrossJobCounts)
+{
+    const auto eval = [](std::uint64_t size, std::uint32_t cyc) {
+        return 1.0 +
+               0.1 * static_cast<double>(cyc) /
+                   std::log2(static_cast<double>(size));
+    };
+    const auto sizes = paperSizes();
+    const auto cycles = paperCycles();
+    const DesignSpaceGrid serial =
+        parallelBuildGrid(sizes, cycles, eval, 1);
+    const DesignSpaceGrid parallel4 =
+        parallelBuildGrid(sizes, cycles, eval, 4);
+    const DesignSpaceGrid parallel7 =
+        parallelBuildGrid(sizes, cycles, eval, 7);
+    expectGridsIdentical(serial, parallel4);
+    expectGridsIdentical(serial, parallel7);
+}
+
+TEST(ParallelSweep, SimulatedGridBitIdenticalAcrossJobCounts)
+{
+    const auto specs = tinySuite();
+    const TraceStore store = TraceStore::materialize(specs);
+    const hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+    const auto eval = [&](std::uint64_t size, std::uint32_t cyc) {
+        return runSuite(base.withL2(size, cyc), store).relExecTime;
+    };
+    const std::vector<std::uint64_t> sizes = {16 << 10, 64 << 10,
+                                              256 << 10};
+    const std::vector<std::uint32_t> cycles = {1, 3, 5};
+    const DesignSpaceGrid serial =
+        parallelBuildGrid(sizes, cycles, eval, 1);
+    const DesignSpaceGrid parallel =
+        parallelBuildGrid(sizes, cycles, eval, 4);
+    expectGridsIdentical(serial, parallel);
+}
+
+TEST(ParallelSweep, ParallelRunSuiteMatchesSerialBitForBit)
+{
+    const auto specs = tinySuite();
+    const TraceStore store = TraceStore::materialize(specs);
+    hier::HierarchyParams p = hier::HierarchyParams::baseMachine();
+    p.measureSolo = true;
+
+    const SuiteResults serial = runSuite(p, store, 1);
+    const SuiteResults parallel = runSuite(p, store, 4);
+
+    EXPECT_EQ(serial.traces, parallel.traces);
+    EXPECT_EQ(serial.relExecTime, parallel.relExecTime);
+    EXPECT_EQ(serial.cpi, parallel.cpi);
+    EXPECT_EQ(serial.l1LocalMiss, parallel.l1LocalMiss);
+    EXPECT_EQ(serial.meanL1MissPenaltyCycles,
+              parallel.meanL1MissPenaltyCycles);
+    EXPECT_EQ(serial.relExecTimeStdDev, parallel.relExecTimeStdDev);
+    EXPECT_EQ(serial.localMiss, parallel.localMiss);
+    EXPECT_EQ(serial.globalMiss, parallel.globalMiss);
+    EXPECT_EQ(serial.soloMiss, parallel.soloMiss);
+    EXPECT_EQ(serial.soloMissStdDev, parallel.soloMissStdDev);
+}
+
+TEST(ParallelSweep, ParallelRunSuiteMatchesLegacySerialOverload)
+{
+    const auto specs = tinySuite();
+    const TraceStore store = TraceStore::materialize(specs);
+    const hier::HierarchyParams p =
+        hier::HierarchyParams::baseMachine();
+    // The pre-materialized overload with default jobs must agree
+    // with the TraceStore path.
+    const SuiteResults legacy =
+        runSuite(p, store.specs(), store.traces());
+    const SuiteResults parallel = runSuite(p, store, 4);
+    EXPECT_EQ(legacy.relExecTime, parallel.relExecTime);
+    EXPECT_EQ(legacy.cpi, parallel.cpi);
+    EXPECT_EQ(legacy.localMiss, parallel.localMiss);
+}
+
+TEST(ParallelSweep, TraceStoreMaterializeIdenticalAcrossJobCounts)
+{
+    const auto specs = tinySuite();
+    const TraceStore serial = TraceStore::materialize(specs, 1);
+    const TraceStore parallel = TraceStore::materialize(specs, 3);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial.specs()[i].name, parallel.specs()[i].name);
+        EXPECT_EQ(serial.traces()[i], parallel.traces()[i])
+            << "trace " << i;
+    }
+}
+
+TEST(ParallelSweep, GridIndexOutOfRangeDies)
+{
+    DesignSpaceGrid g({4096, 8192}, {1, 2});
+    g.set(0, 0, 1.0);
+    EXPECT_DEATH(g.at(2, 0), "out of range");
+    EXPECT_DEATH(g.at(0, 2), "out of range");
+    EXPECT_DEATH(g.set(2, 0, 1.0), "out of range");
+    EXPECT_DEATH(g.set(0, 2, 1.0), "out of range");
+}
+
+TEST(ParallelSweep, BuildGridSurfacesEvalExceptions)
+{
+    const auto sizes = paperSizes();
+    const auto cycles = paperCycles();
+    const auto eval = [](std::uint64_t size,
+                         std::uint32_t) -> double {
+        if (size == (64 << 10))
+            throw std::runtime_error("bad cell");
+        return 1.0;
+    };
+    EXPECT_THROW(parallelBuildGrid(sizes, cycles, eval, 4),
+                 std::runtime_error);
+    EXPECT_THROW(parallelBuildGrid(sizes, cycles, eval, 1),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace expt
+} // namespace mlc

@@ -1,0 +1,135 @@
+/** @file Tests for the sweep engine's thread pool: full coverage of
+ *  the index space, serial in-order degeneration, exception
+ *  propagation, and the MLC_JOBS default. */
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hh"
+
+namespace mlc {
+namespace {
+
+TEST(ThreadPool, EmptyTaskSetIsANoOp)
+{
+    ThreadPool pool(4);
+    bool called = false;
+    pool.parallelFor(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+    parallelFor(4, 0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> counts(n);
+    ThreadPool pool(4);
+    pool.parallelFor(n, [&](std::size_t i) {
+        counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SingleWorkerRunsInlineInIndexOrder)
+{
+    ThreadPool pool(1);
+    std::vector<std::size_t> order;
+    pool.parallelFor(64, [&](std::size_t i) {
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), 64u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    for (std::size_t round = 0; round < 20; ++round) {
+        std::atomic<std::size_t> sum{0};
+        const std::size_t n = 10 + round;
+        pool.parallelFor(n, [&](std::size_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+    }
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(100,
+                         [&](std::size_t i) {
+                             if (i == 37)
+                                 throw std::runtime_error("cell 37");
+                         }),
+        std::runtime_error);
+
+    // The pool must remain fully usable after a failed batch.
+    std::atomic<std::size_t> done{0};
+    pool.parallelFor(50, [&](std::size_t) {
+        done.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(done.load(), 50u);
+}
+
+TEST(ThreadPool, SerialExceptionReportsLowestFailingIndex)
+{
+    // With one worker the batch runs in index order, so the first
+    // failing index is deterministic.
+    ThreadPool pool(1);
+    try {
+        pool.parallelFor(100, [&](std::size_t i) {
+            if (i == 12 || i == 90)
+                throw std::runtime_error("cell " +
+                                         std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "cell 12");
+    }
+}
+
+TEST(ThreadPool, FreeFunctionMatchesPoolResults)
+{
+    std::vector<int> serial(256, 0), parallel(256, 0);
+    parallelFor(1, serial.size(), [&](std::size_t i) {
+        serial[i] = static_cast<int>(i * 3);
+    });
+    parallelFor(4, parallel.size(), [&](std::size_t i) {
+        parallel[i] = static_cast<int>(i * 3);
+    });
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, DefaultJobsHonorsEnvironment)
+{
+    const char *saved = std::getenv("MLC_JOBS");
+    const std::string saved_value = saved ? saved : "";
+
+    ::setenv("MLC_JOBS", "3", 1);
+    EXPECT_EQ(defaultJobs(), 3u);
+
+    ::setenv("MLC_JOBS", "junk", 1);
+    EXPECT_GE(defaultJobs(), 1u); // falls back to the hardware
+
+    ::setenv("MLC_JOBS", "0", 1);
+    EXPECT_GE(defaultJobs(), 1u);
+
+    ::unsetenv("MLC_JOBS");
+    EXPECT_GE(defaultJobs(), 1u);
+
+    if (saved)
+        ::setenv("MLC_JOBS", saved_value.c_str(), 1);
+}
+
+} // namespace
+} // namespace mlc
