@@ -24,12 +24,10 @@ using namespace mlc;
 namespace {
 
 expt::SuiteResults
-run(const hier::HierarchyParams &p,
-    const std::vector<expt::TraceSpec> &specs,
-    const std::vector<std::vector<trace::MemRef>> &traces,
+run(const hier::HierarchyParams &p, const expt::TraceStore &store,
     std::size_t jobs)
 {
-    return expt::runSuite(p, specs, traces, jobs);
+    return expt::runSuite(p, store, jobs);
 }
 
 } // namespace
@@ -43,8 +41,8 @@ main(int argc, char **argv)
     bench::printHeader("Ablations",
                        "fetch size and write buffering", base);
 
-    const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs, jobs);
+    const auto store =
+        bench::materializeAll(expt::gridSuite(), jobs);
 
     // --- 1. L1 fetch size. ---
     std::cout << "\n--- L1 fetch-size ablation (16B L1 blocks) ---\n";
@@ -74,7 +72,7 @@ main(int argc, char **argv)
             c->prefetchNextBlock = fc.prefetch;
         }
         std::cerr << "  " << fc.name << "...\n";
-        const expt::SuiteResults r = run(p, specs, traces, jobs);
+        const expt::SuiteResults r = run(p, store, jobs);
         f.newRow()
             .cell(std::string(fc.name))
             .cell(r.l1LocalMiss, 4)
@@ -110,10 +108,11 @@ main(int argc, char **argv)
                       << " depth " << depth << "...\n";
             // Count stalls per instruction across the suite:
             // per-trace slots, reduced in trace order.
-            std::vector<hier::SimResults> per(specs.size());
-            parallelFor(jobs, specs.size(), [&](std::size_t t) {
+            std::vector<hier::SimResults> per(store.size());
+            parallelFor(jobs, store.size(), [&](std::size_t t) {
                 per[t] = expt::runOnTrace(
-                    p, traces[t], expt::scaledWarmup(specs[t]));
+                    p, store.traces()[t],
+                    expt::scaledWarmup(store.specs()[t]));
             });
             double rel = 0.0, stalls_per_k = 0.0;
             for (const hier::SimResults &r : per) {
@@ -123,7 +122,7 @@ main(int argc, char **argv)
                     static_cast<double>(r.writeBufferFullStalls) /
                     static_cast<double>(r.instructions);
             }
-            const double n = static_cast<double>(specs.size());
+            const double n = static_cast<double>(store.size());
             w.newRow()
                 .cell(std::string(through ? "write-through"
                                           : "write-back"))

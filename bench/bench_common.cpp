@@ -6,6 +6,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "onepass/grid.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
@@ -54,36 +55,60 @@ jobsFromArgs(int argc, char **argv)
     return defaultJobs();
 }
 
-std::vector<std::vector<trace::MemRef>>
-materializeAll(const std::vector<expt::TraceSpec> &specs,
-               std::size_t jobs)
+Engine
+engineFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        std::string value;
+        if (startsWith(arg, "--engine="))
+            value = std::string(arg.substr(9));
+        else if (arg == "--engine" && i + 1 < argc)
+            value = argv[i + 1];
+        else
+            continue;
+        if (value == "timing")
+            return Engine::Timing;
+        if (value == "onepass")
+            return Engine::OnePass;
+        mlc_fatal("bad --engine value '", value,
+                  "' (expected 'timing' or 'onepass')");
+    }
+    return Engine::Timing;
+}
+
+const char *
+engineName(Engine engine)
+{
+    return engine == Engine::Timing ? "timing" : "onepass";
+}
+
+expt::TraceStore
+materializeAll(std::vector<expt::TraceSpec> specs, std::size_t jobs)
 {
     // No job count in the progress line: output must stay
     // byte-identical across --jobs values.
     std::cerr << "  generating " << specs.size() << " traces...\n";
-    std::vector<std::vector<trace::MemRef>> traces(specs.size());
-    parallelFor(jobs, specs.size(), [&](std::size_t i) {
-        traces[i] = expt::materialize(specs[i]);
-    });
-    return traces;
+    return expt::TraceStore::materialize(std::move(specs), jobs);
 }
 
 expt::DesignSpaceGrid
-buildRelExecGrid(const hier::HierarchyParams &base,
+buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
                  const std::vector<std::uint64_t> &sizes,
                  const std::vector<std::uint32_t> &cycles,
-                 const std::vector<expt::TraceSpec> &specs,
-                 const std::vector<std::vector<trace::MemRef>>
-                     &traces,
-                 std::size_t jobs)
+                 const expt::TraceStore &store, std::size_t jobs)
 {
+    // Engine choice goes to stderr: stdout must stay byte-identical
+    // between a default run and an explicit --engine=timing run.
     std::cerr << "  sweeping " << sizes.size() << "x"
-              << cycles.size() << " grid...\n";
+              << cycles.size() << " grid (" << engineName(engine)
+              << " engine)...\n";
+    if (engine == Engine::OnePass)
+        return onepass::buildGrid(base, sizes, cycles, store, jobs);
     return expt::parallelBuildGrid(
-        sizes, cycles,
+        sizes, cycles, store,
         [&](std::uint64_t size, std::uint32_t cyc) {
-            const hier::HierarchyParams p = base.withL2(size, cyc);
-            return expt::runSuite(p, specs, traces).relExecTime;
+            return base.withL2(size, cyc);
         },
         jobs);
 }

@@ -32,25 +32,46 @@ void printHeader(const std::string &figure,
  */
 std::size_t jobsFromArgs(int argc, char **argv);
 
+/**
+ * How a grid gets its relative execution times.
+ *
+ * Timing simulates every grid cell in full (write buffers, bus
+ * contention, the lot). OnePass computes exact read miss ratios
+ * for all sizes in one pass per trace and prices the cells with
+ * the Equation 1-3 analytical model — same miss ratios, modelled
+ * (not simulated) timing, orders of magnitude faster on wide
+ * grids. See DESIGN.md's one-pass section for the exact/approx
+ * boundary.
+ */
+enum class Engine
+{
+    Timing,
+    OnePass,
+};
+
+/** `--engine=onepass|timing` (default Timing). */
+Engine engineFromArgs(int argc, char **argv);
+
+const char *engineName(Engine engine);
+
 /** Materialize every trace of a suite once (progress to stderr),
- *  @p jobs traces at a time. */
-std::vector<std::vector<trace::MemRef>>
-materializeAll(const std::vector<expt::TraceSpec> &specs,
+ *  @p jobs traces at a time. The store is shared by every grid and
+ *  engine the binary builds — no trace is ever decoded twice. */
+expt::TraceStore
+materializeAll(std::vector<expt::TraceSpec> specs,
                std::size_t jobs = 1);
 
 /**
  * Build the (L2 size x L2 cycle) relative-execution-time grid for
- * a base machine, averaged over the given traces, evaluating
- * @p jobs grid cells concurrently (deterministic: see
- * expt::parallelBuildGrid).
+ * a base machine over a shared trace store with the chosen engine,
+ * using @p jobs workers (deterministic for any value: see
+ * expt::parallelBuildGrid / onepass::buildGrid).
  */
 expt::DesignSpaceGrid
-buildRelExecGrid(const hier::HierarchyParams &base,
+buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
                  const std::vector<std::uint64_t> &sizes,
                  const std::vector<std::uint32_t> &cycles,
-                 const std::vector<expt::TraceSpec> &specs,
-                 const std::vector<std::vector<trace::MemRef>>
-                     &traces,
+                 const expt::TraceStore &store,
                  std::size_t jobs = 1);
 
 /** Print the grid the way Figure 4-1 plots it: one column per L2

@@ -25,8 +25,8 @@ main(int argc, char **argv)
     bench::printHeader("Figure 3-2",
                        "L2 miss ratios vs size, 32KB L1", base);
 
-    const auto specs = expt::paperSuite();
-    const auto traces = bench::materializeAll(specs, jobs);
+    const auto store =
+        bench::materializeAll(expt::paperSuite(), jobs);
 
     Table t;
     t.addColumn("L2 size", Align::Left);
@@ -41,7 +41,7 @@ main(int argc, char **argv)
         hier::HierarchyParams p = base.withL2(size, 3);
         p.measureSolo = true;
         const expt::SuiteResults r =
-            expt::runSuite(p, specs, traces, jobs);
+            expt::runSuite(p, store, jobs);
         t.newRow()
             .cell(formatSize(size))
             .cell(std::uint64_t{size / (32 << 10)})

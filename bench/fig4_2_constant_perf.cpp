@@ -16,17 +16,18 @@ int
 main(int argc, char **argv)
 {
     const std::size_t jobs = bench::jobsFromArgs(argc, argv);
+    const bench::Engine engine = bench::engineFromArgs(argc, argv);
     const hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine();
     bench::printHeader("Figure 4-2",
                        "lines of constant performance, 4KB L1",
                        base);
 
-    const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs, jobs);
+    const auto store =
+        bench::materializeAll(expt::gridSuite(), jobs);
     const expt::DesignSpaceGrid grid = bench::buildRelExecGrid(
-        base, expt::paperSizes(), expt::paperCycles(), specs,
-        traces, jobs);
+        engine, base, expt::paperSizes(), expt::paperCycles(),
+        store, jobs);
 
     bench::printConstantPerformance(grid);
     bench::maybeDumpCsv(grid, "fig4_2");

@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     const std::size_t jobs = bench::jobsFromArgs(argc, argv);
+    const bench::Engine engine = bench::engineFromArgs(argc, argv);
     const hier::HierarchyParams base4k =
         hier::HierarchyParams::baseMachine();
     const hier::HierarchyParams base32k =
@@ -29,17 +30,17 @@ main(int argc, char **argv)
                        "lines of constant performance, 32KB L1",
                        base32k);
 
-    const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs, jobs);
+    const auto store =
+        bench::materializeAll(expt::gridSuite(), jobs);
 
     std::cerr << "grid with 4KB L1 (reference)...\n";
     const expt::DesignSpaceGrid grid4k = bench::buildRelExecGrid(
-        base4k, expt::paperSizes(), expt::paperCycles(), specs,
-        traces, jobs);
+        engine, base4k, expt::paperSizes(), expt::paperCycles(),
+        store, jobs);
     std::cerr << "grid with 32KB L1...\n";
     const expt::DesignSpaceGrid grid32k = bench::buildRelExecGrid(
-        base32k, expt::paperSizes(), expt::paperCycles(), specs,
-        traces, jobs);
+        engine, base32k, expt::paperSizes(), expt::paperCycles(),
+        store, jobs);
 
     bench::printConstantPerformance(grid32k);
     bench::maybeDumpCsv(grid4k, "fig4_3_l1_4k");

@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     const std::size_t jobs = bench::jobsFromArgs(argc, argv);
+    const bench::Engine engine = bench::engineFromArgs(argc, argv);
     hier::HierarchyParams slow =
         hier::HierarchyParams::baseMachine();
     slow.memory = mem::MainMemoryParams::slow();
@@ -29,17 +30,17 @@ main(int argc, char **argv)
         "lines of constant performance, 2x slower main memory",
         slow);
 
-    const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs, jobs);
+    const auto store =
+        bench::materializeAll(expt::gridSuite(), jobs);
 
     std::cerr << "grid with base memory (reference)...\n";
     const expt::DesignSpaceGrid base_grid = bench::buildRelExecGrid(
-        hier::HierarchyParams::baseMachine(), expt::paperSizes(),
-        expt::paperCycles(), specs, traces, jobs);
+        engine, hier::HierarchyParams::baseMachine(),
+        expt::paperSizes(), expt::paperCycles(), store, jobs);
     std::cerr << "grid with slow memory...\n";
     const expt::DesignSpaceGrid slow_grid = bench::buildRelExecGrid(
-        slow, expt::paperSizes(), expt::paperCycles(), specs,
-        traces, jobs);
+        engine, slow, expt::paperSizes(), expt::paperCycles(),
+        store, jobs);
 
     bench::printConstantPerformance(slow_grid);
     bench::maybeDumpCsv(base_grid, "fig4_4_base_memory");

@@ -42,16 +42,14 @@ struct Point
 
 Point
 measure(const hier::HierarchyParams &base, std::uint64_t size,
-        std::uint32_t assoc,
-        const std::vector<expt::TraceSpec> &specs,
-        const std::vector<std::vector<trace::MemRef>> &traces,
+        std::uint32_t assoc, const expt::TraceStore &store,
         std::size_t jobs)
 {
     Point pt{};
     const expt::SuiteResults r3 = expt::runSuite(
-        base.withL2(size, 3, assoc), specs, traces, jobs);
+        base.withL2(size, 3, assoc), store, jobs);
     const expt::SuiteResults r4 = expt::runSuite(
-        base.withL2(size, 4, assoc), specs, traces, jobs);
+        base.withL2(size, 4, assoc), store, jobs);
     pt.relExec3 = r3.relExecTime;
     pt.relExec4 = r4.relExecTime;
     pt.globalMiss = r3.globalMiss[0];
@@ -71,8 +69,8 @@ main(int argc, char **argv)
                        "set-associativity break-even times, 4KB L1",
                        base);
 
-    const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs, jobs);
+    const auto store =
+        bench::materializeAll(expt::gridSuite(), jobs);
 
     // Mean main-memory read time for Equation 3 (the minimum
     // penalty; recency adds up to the refresh gap).
@@ -92,9 +90,9 @@ main(int argc, char **argv)
             std::cerr << "  " << assoc << "-way "
                       << formatSize(size) << "...\n";
             const Point dm =
-                measure(base, size, 1, specs, traces, jobs);
+                measure(base, size, 1, store, jobs);
             const Point sa =
-                measure(base, size, assoc, specs, traces, jobs);
+                measure(base, size, assoc, store, jobs);
 
             const double dm_miss_delta =
                 dm.globalMiss - sa.globalMiss;

@@ -68,8 +68,8 @@ main(int argc, char **argv)
                        "1 vs 2 vs 3 levels as memory slows",
                        hier::HierarchyParams::baseMachine());
 
-    const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs, jobs);
+    const auto store =
+        bench::materializeAll(expt::gridSuite(), jobs);
 
     Table t;
     t.addColumn("memory", Align::Left);
@@ -92,7 +92,7 @@ main(int argc, char **argv)
         for (auto machine : {oneLevel(), twoLevel(), threeLevel()}) {
             machine.memory = memory;
             cpis[idx++] =
-                expt::runSuite(machine, specs, traces, jobs).cpi;
+                expt::runSuite(machine, store, jobs).cpi;
         }
         char label[24];
         std::snprintf(label, sizeof(label), "%.0fns read",

@@ -39,8 +39,8 @@ main(int argc, char **argv)
                        "reproduction",
                        base);
 
-    const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs, jobs);
+    const auto store =
+        bench::materializeAll(expt::gridSuite(), jobs);
 
     Table t;
     t.addColumn("claim", Align::Left);
@@ -55,7 +55,7 @@ main(int argc, char **argv)
         hier::HierarchyParams p = base.withL2(kb << 10, 3);
         p.measureSolo = true;
         const expt::SuiteResults r =
-            expt::runSuite(p, specs, traces, jobs);
+            expt::runSuite(p, store, jobs);
         solo_points.emplace_back(kb << 10, r.soloMiss[0]);
         if (kb == 512) {
             l1_global = r.l1LocalMiss;
@@ -85,11 +85,11 @@ main(int argc, char **argv)
     // --- 3. Equation 2 slope check at 64KB. ---
     {
         const expt::SuiteResults r64 = expt::runSuite(
-            base.withL2(64 << 10, 3), specs, traces, jobs);
+            base.withL2(64 << 10, 3), store, jobs);
         const expt::SuiteResults r64s = expt::runSuite(
-            base.withL2(64 << 10, 4), specs, traces, jobs);
+            base.withL2(64 << 10, 4), store, jobs);
         const expt::SuiteResults r128 = expt::runSuite(
-            base.withL2(128 << 10, 3), specs, traces, jobs);
+            base.withL2(128 << 10, 3), store, jobs);
         // Simulated slope: cycle-time increase a doubling buys.
         const double drel_per_cycle =
             r64s.relExecTime - r64.relExecTime;
@@ -128,10 +128,10 @@ main(int argc, char **argv)
         auto delta = [&](std::uint64_t l1_total, double &l1g) {
             const expt::SuiteResults dm = expt::runSuite(
                 base.withL1Total(l1_total).withL2(256 << 10, 3, 1),
-                specs, traces, jobs);
+                store, jobs);
             const expt::SuiteResults sa = expt::runSuite(
                 base.withL1Total(l1_total).withL2(256 << 10, 3, 8),
-                specs, traces, jobs);
+                store, jobs);
             l1g = dm.l1LocalMiss;
             return dm.globalMiss[0] - sa.globalMiss[0];
         };

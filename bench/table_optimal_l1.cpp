@@ -17,6 +17,8 @@
 #include <iostream>
 
 #include "bench_common.hh"
+#include "onepass/engine.hh"
+#include "onepass/model_timing.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 #include "util/units.hh"
@@ -37,12 +39,29 @@ cpuCycleNsForL1(std::uint64_t l1_total)
     return ns;
 }
 
+/** The machine of one (L2 cycle, L1 size) cell. */
+hier::HierarchyParams
+cellMachine(const hier::HierarchyParams &base, std::uint64_t l1,
+            std::uint32_t cyc)
+{
+    hier::HierarchyParams p =
+        base.withL1Total(l1).withL2(512 << 10, 1);
+    // Quote L2 speed in *base* CPU cycles so a slower CPU
+    // doesn't quietly speed up the L2.
+    p.levels[0].cycleNs = 10.0 * cyc;
+    p.cpuCycleNs = cpuCycleNsForL1(l1);
+    p.l1i.cycleNs = p.cpuCycleNs;
+    p.l1d.cycleNs = p.cpuCycleNs;
+    return p;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const std::size_t jobs = bench::jobsFromArgs(argc, argv);
+    const bench::Engine engine = bench::engineFromArgs(argc, argv);
     const hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine();
     bench::printHeader(
@@ -54,35 +73,56 @@ main(int argc, char **argv)
                  "512KB; L2 cycle time quoted in base (10ns) CPU "
                  "cycles\n";
 
-    const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs, jobs);
+    const auto store =
+        bench::materializeAll(expt::gridSuite(), jobs);
 
     const std::vector<std::uint64_t> l1_sizes = {
         4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10};
     const std::vector<std::uint32_t> l2_cycles = {2, 4, 6, 8, 10};
 
-    // Evaluate the (L2 cycle x L1 size) cells in parallel, each
-    // into its own slot; the table below is assembled serially in
-    // row order, so output is identical for any --jobs.
     const std::size_t cols = l1_sizes.size();
     std::vector<double> ns_per_instr(l2_cycles.size() * cols, 0.0);
     std::cerr << "  sweeping " << l2_cycles.size() << "x" << cols
-              << " L1/L2 table (" << jobs << " jobs)...\n";
-    parallelFor(jobs, ns_per_instr.size(), [&](std::size_t i) {
-        const std::uint32_t cyc = l2_cycles[i / cols];
-        const std::uint64_t l1 = l1_sizes[i % cols];
-        hier::HierarchyParams p =
-            base.withL1Total(l1).withL2(512 << 10, 1);
-        // Quote L2 speed in *base* CPU cycles so a slower CPU
-        // doesn't quietly speed up the L2.
-        p.levels[0].cycleNs = 10.0 * cyc;
-        p.cpuCycleNs = cpuCycleNsForL1(l1);
-        p.l1i.cycleNs = p.cpuCycleNs;
-        p.l1d.cycleNs = p.cpuCycleNs;
-        const expt::SuiteResults r =
-            expt::runSuite(p, specs, traces);
-        ns_per_instr[i] = r.cpi * p.cpuCycleNs;
-    });
+              << " L1/L2 table (" << bench::engineName(engine)
+              << " engine)...\n";
+    if (engine == bench::Engine::OnePass) {
+        // The L2 cycle axis changes timing only, so one profiling
+        // pass per L1 size covers the whole row set; cells are then
+        // priced analytically. Serial fill keeps output identical
+        // for any --jobs (parallelism lives inside profileSuite).
+        for (std::size_t col = 0; col < cols; ++col) {
+            const hier::HierarchyParams p =
+                cellMachine(base, l1_sizes[col], l2_cycles[0]);
+            const onepass::FamilySpec family =
+                onepass::FamilySpec::l2Grid(p, {512 << 10});
+            const auto profiles =
+                onepass::profileSuite(p, family, store, jobs);
+            for (std::size_t row = 0; row < l2_cycles.size();
+                 ++row) {
+                const hier::HierarchyParams cell = cellMachine(
+                    base, l1_sizes[col], l2_cycles[row]);
+                const onepass::EqTimingModel model =
+                    onepass::EqTimingModel::forMachine(cell);
+                double cpi = 0.0;
+                for (const onepass::TraceProfile &prof : profiles)
+                    cpi += model.cpi(prof, 0);
+                cpi /= static_cast<double>(profiles.size());
+                ns_per_instr[row * cols + col] =
+                    cpi * cell.cpuCycleNs;
+            }
+        }
+    } else {
+        // Evaluate the (L2 cycle x L1 size) cells in parallel,
+        // each into its own slot; the table below is assembled
+        // serially in row order, so output is identical for any
+        // --jobs.
+        parallelFor(jobs, ns_per_instr.size(), [&](std::size_t i) {
+            const hier::HierarchyParams p = cellMachine(
+                base, l1_sizes[i % cols], l2_cycles[i / cols]);
+            const expt::SuiteResults r = expt::runSuite(p, store);
+            ns_per_instr[i] = r.cpi * p.cpuCycleNs;
+        });
+    }
 
     Table t;
     t.addColumn("L2 cycle", Align::Left);

@@ -53,8 +53,8 @@ main(int argc, char **argv)
               << kL1CyclePenaltyNs
               << "ns per L1 doubling beyond 4KB\n";
 
-    const auto specs = expt::gridSuite();
-    const auto traces = bench::materializeAll(specs, jobs);
+    const auto store =
+        bench::materializeAll(expt::gridSuite(), jobs);
 
     Table t;
     t.addColumn("L1 total", Align::Left);
@@ -76,7 +76,7 @@ main(int argc, char **argv)
         single.l1i.cycleNs = cycle_ns;
         single.l1d.cycleNs = cycle_ns;
         const double single_time =
-            expt::runSuite(single, specs, traces, jobs).cpi *
+            expt::runSuite(single, store, jobs).cpi *
             cycle_ns;
 
         hier::HierarchyParams multi = base.withL1Total(l1);
@@ -84,7 +84,7 @@ main(int argc, char **argv)
         multi.l1i.cycleNs = cycle_ns;
         multi.l1d.cycleNs = cycle_ns;
         const double multi_time =
-            expt::runSuite(multi, specs, traces, jobs).cpi *
+            expt::runSuite(multi, store, jobs).cpi *
             cycle_ns;
 
         t.newRow()

@@ -6,11 +6,19 @@
  * paper's Section 4 methodology as a reusable tool.
  *
  *   $ ./design_space [l1_total_bytes] [--jobs=N]
+ *                    [--engine=timing|onepass]
  *
  * Pass a different L1 budget (e.g. 32768) to watch the optimal L2
  * design point move toward larger-and-slower, the paper's central
  * observation. Cells are evaluated on N workers (default: MLC_JOBS
  * or all cores); the output is identical for every N.
+ *
+ * --engine=onepass profiles every L2 size in a single pass over
+ * the trace (exact read miss ratios, including the solo curve) and
+ * prices the cells with the Equation 1-3 analytical model instead
+ * of simulating each one — the same table shape, slightly
+ * different values (modelled rather than simulated timing), and a
+ * large speedup on wide sweeps.
  */
 
 #include <cmath>
@@ -21,6 +29,8 @@
 #include "expt/design_space.hh"
 #include "expt/runner.hh"
 #include "model/miss_rate.hh"
+#include "onepass/engine.hh"
+#include "onepass/model_timing.hh"
 #include "model/tradeoff.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
@@ -35,6 +45,7 @@ main(int argc, char **argv)
 {
     std::uint64_t l1_total = 4096;
     std::size_t jobs = defaultJobs();
+    bool use_onepass = false;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (startsWith(arg, "--jobs=")) {
@@ -42,6 +53,13 @@ main(int argc, char **argv)
             if (!parseUnsigned(arg.substr(7), j) || j < 1)
                 mlc_fatal("bad --jobs value in '", argv[i], "'");
             jobs = static_cast<std::size_t>(j);
+        } else if (startsWith(arg, "--engine=")) {
+            const std::string_view engine = arg.substr(9);
+            if (engine == "onepass")
+                use_onepass = true;
+            else if (engine != "timing")
+                mlc_fatal("bad --engine value in '", argv[i],
+                          "' (expected 'timing' or 'onepass')");
         } else {
             l1_total = std::strtoull(argv[i], nullptr, 0);
         }
@@ -75,15 +93,44 @@ main(int argc, char **argv)
     };
     const std::size_t cols = cycles.size();
     std::vector<Cell> slots(sizes.size() * cols);
-    parallelFor(jobs, slots.size(), [&](std::size_t i) {
-        const std::size_t s = i / cols, c = i % cols;
-        hier::HierarchyParams p = base.withL2(sizes[s], cycles[c]);
-        p.measureSolo = (c == 0);
-        const expt::SuiteResults r = expt::runSuite(p, store);
-        slots[i].rel = r.relExecTime;
-        if (c == 0)
-            slots[i].solo = r.soloMiss[0];
-    });
+    if (use_onepass) {
+        // One profiling pass covers every size (the cycle axis is
+        // timing-only); cells are then priced analytically and the
+        // solo miss curve comes from the same pass.
+        onepass::ProfileOptions popts;
+        popts.solo = true;
+        const onepass::FamilySpec family =
+            onepass::FamilySpec::l2Grid(base, sizes);
+        const auto profiles =
+            onepass::profileSuite(base, family, store, jobs, popts);
+        const double n = static_cast<double>(profiles.size());
+        for (std::size_t c = 0; c < cols; ++c) {
+            const onepass::EqTimingModel model =
+                onepass::EqTimingModel::forMachine(
+                    base.withL2(sizes[0], cycles[c]));
+            for (std::size_t s = 0; s < sizes.size(); ++s) {
+                Cell &cell = slots[s * cols + c];
+                for (const onepass::TraceProfile &prof : profiles) {
+                    cell.rel += model.relExec(prof, s) / n;
+                    if (c == 0)
+                        cell.solo += prof.configs[s]
+                                         .solo.localMissRatio() /
+                                     n;
+                }
+            }
+        }
+    } else {
+        parallelFor(jobs, slots.size(), [&](std::size_t i) {
+            const std::size_t s = i / cols, c = i % cols;
+            hier::HierarchyParams p =
+                base.withL2(sizes[s], cycles[c]);
+            p.measureSolo = (c == 0);
+            const expt::SuiteResults r = expt::runSuite(p, store);
+            slots[i].rel = r.relExecTime;
+            if (c == 0)
+                slots[i].solo = r.soloMiss[0];
+        });
+    }
 
     expt::DesignSpaceGrid grid(sizes, cycles);
     std::vector<std::pair<std::uint64_t, double>> miss_points;

@@ -5,7 +5,7 @@
  * configuration of each cache."
  *
  *   $ ./hierarchy_explorer <config.cfg>... [trace-file] [refs]
- *                          [--jobs=N]
+ *                          [--jobs=N] [--engine=timing|onepass]
  *
  * Arguments ending in .cfg are hierarchy descriptions; passing
  * several compares the machines over the same reference stream,
@@ -15,6 +15,13 @@
  * used (pass "" to skip the argument). Set MLC_STATS=1 to append
  * the full stats-package dump to each report. Sample configurations
  * live in examples/configs/.
+ *
+ * --engine=onepass replays each machine's reference stream through
+ * the one-pass miss-ratio engine instead of the timing simulator:
+ * the reported miss ratios are exact (bit-identical to the
+ * simulator's) while the timing numbers come from the Equation 1-3
+ * analytical model. Two-level (L1 + one downstream cache)
+ * configurations only.
  */
 
 #include <cstdlib>
@@ -29,6 +36,8 @@
 #include "hier/config_file.hh"
 #include "hier/hierarchy.hh"
 #include "hier/sim_stats.hh"
+#include "onepass/engine.hh"
+#include "onepass/model_timing.hh"
 #include "trace/binary.hh"
 #include "trace/compressed.hh"
 #include "trace/dinero.hh"
@@ -71,6 +80,7 @@ main(int argc, char **argv)
     std::uint64_t refs = 1'500'000;
     std::size_t jobs = defaultJobs();
     bool refs_given = false;
+    bool use_onepass = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -79,6 +89,13 @@ main(int argc, char **argv)
             if (!parseUnsigned(arg.substr(7), j) || j < 1)
                 mlc_fatal("bad --jobs value in '", argv[i], "'");
             jobs = static_cast<std::size_t>(j);
+        } else if (startsWith(arg, "--engine=")) {
+            const std::string_view engine = arg.substr(9);
+            if (engine == "onepass")
+                use_onepass = true;
+            else if (engine != "timing")
+                mlc_fatal("bad --engine value in '", argv[i],
+                          "' (expected 'timing' or 'onepass')");
         } else if (endsWith(arg, ".cfg")) {
             config_paths.emplace_back(arg);
         } else if (trace_path.empty() && !refs_given &&
@@ -101,6 +118,19 @@ main(int argc, char **argv)
     params.reserve(config_paths.size());
     for (const auto &path : config_paths)
         params.push_back(hier::parseConfigFile(path));
+
+    if (use_onepass) {
+        for (std::size_t i = 0; i < params.size(); ++i) {
+            if (params[i].levels.size() != 1)
+                mlc_fatal("--engine=onepass prices two-level "
+                          "(L1 + one downstream cache) hierarchies "
+                          "only; ",
+                          config_paths[i], " has ",
+                          params[i].levels.size(),
+                          " downstream levels — use the timing "
+                          "engine for deeper machines");
+        }
+    }
 
     // Materialize the reference stream once (warmup + measure) and
     // share it read-only across every configuration, so all
@@ -129,14 +159,53 @@ main(int argc, char **argv)
         std::ostringstream os;
         os << "machine: " << params[i].summary() << "\n"
            << "trace: " << stream_name << "\n\n";
-        hier::HierarchySimulator sim(params[i]);
-        trace::VectorSource source(stream);
-        sim.warmUp(source, warmup);
-        sim.run(source);
-        sim.results().print(os);
-        if (want_stats) {
-            os << "\n";
-            hier::SimStats(sim).dump(os);
+        if (use_onepass) {
+            const onepass::FamilySpec family =
+                onepass::FamilySpec::l2Grid(
+                    params[i],
+                    {params[i].levels[0].geometry.sizeBytes});
+            onepass::ProfileOptions popts;
+            popts.solo = params[i].measureSolo;
+            const onepass::TraceProfile prof = onepass::profileTrace(
+                params[i], family, stream, warmup, popts);
+            const onepass::EqTimingModel model =
+                onepass::EqTimingModel::forMachine(params[i]);
+            const onepass::ConfigProfile &cfg = prof.configs[0];
+            os << "one-pass engine: exact miss ratios; timing from "
+                  "the Equation 1-3 model\n"
+               << "  instructions        " << prof.instructions
+               << "\n"
+               << "  reads / writes      " << prof.cpuReads()
+               << " / " << prof.stores << "\n"
+               << "  L1 read misses      " << prof.l1ReadMisses
+               << " of " << prof.l1ReadRequests << " (ratio "
+               << prof.l1GlobalMissRatio() << ")\n"
+               << "  L2 read misses      " << cfg.filtered.readMisses
+               << " of " << cfg.filtered.reads << " (local "
+               << cfg.filtered.localMissRatio() << ", global "
+               << cfg.filtered.globalMissRatio(prof.cpuReads())
+               << ")\n";
+            if (params[i].measureSolo)
+                os << "  L2 solo miss ratio  "
+                   << cfg.solo.localMissRatio() << "\n";
+            os << "  model latencies     nL2 " << model.nL2()
+               << " cyc, nMMread " << model.nMMread()
+               << " cyc, write extra " << model.writeExtra()
+               << " cyc\n"
+               << "  modelled CPI        " << model.cpi(prof, 0)
+               << "\n"
+               << "  modelled rel exec   " << model.relExec(prof, 0)
+               << "\n";
+        } else {
+            hier::HierarchySimulator sim(params[i]);
+            trace::VectorSource source(stream);
+            sim.warmUp(source, warmup);
+            sim.run(source);
+            sim.results().print(os);
+            if (want_stats) {
+                os << "\n";
+                hier::SimStats(sim).dump(os);
+            }
         }
         reports[i] = os.str();
     });

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "expt/runner.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -258,6 +259,28 @@ parallelBuildGrid(
         for (std::size_t c = 0; c < cols; ++c)
             grid.set(s, c, slots[s * cols + c]);
     return grid;
+}
+
+DesignSpaceGrid
+parallelBuildGrid(
+    const std::vector<std::uint64_t> &sizes,
+    const std::vector<std::uint32_t> &cycles,
+    const TraceStore &store,
+    const std::function<hier::HierarchyParams(std::uint64_t,
+                                              std::uint32_t)>
+        &machineFor,
+    std::size_t jobs)
+{
+    // Parallelism lives at the cell level; each cell's runSuite is
+    // serial (jobs=1) so a (cells x traces) oversubscription never
+    // happens and the per-cell reduction order stays fixed.
+    return parallelBuildGrid(
+        sizes, cycles,
+        [&](std::uint64_t size, std::uint32_t cyc) {
+            return runSuite(machineFor(size, cyc), store, 1)
+                .relExecTime;
+        },
+        jobs);
 }
 
 std::vector<std::uint64_t>

@@ -23,6 +23,9 @@
 #include <functional>
 #include <vector>
 
+#include "expt/workload_suite.hh"
+#include "hier/hierarchy_config.hh"
+
 namespace mlc {
 namespace expt {
 
@@ -144,6 +147,24 @@ DesignSpaceGrid parallelBuildGrid(
     const std::vector<std::uint64_t> &sizes,
     const std::vector<std::uint32_t> &cycles,
     const std::function<double(std::uint64_t, std::uint32_t)> &eval,
+    std::size_t jobs);
+
+/**
+ * Timing-engine grid over a materialize-once TraceStore: each cell
+ * simulates machineFor(size, cycle) over every stored trace and
+ * records the suite-mean relative execution time. The store is
+ * decoded exactly once per trace no matter how many grids or
+ * engines consume it — cells parallelize across @p jobs while each
+ * cell's runSuite stays serial, so no reference stream is ever
+ * re-materialized. Deterministic for any @p jobs.
+ */
+DesignSpaceGrid parallelBuildGrid(
+    const std::vector<std::uint64_t> &sizes,
+    const std::vector<std::uint32_t> &cycles,
+    const TraceStore &store,
+    const std::function<hier::HierarchyParams(std::uint64_t,
+                                              std::uint32_t)>
+        &machineFor,
     std::size_t jobs);
 
 /** The paper's sweep axes: 4KB..4MB x 1..10 CPU cycles. */

@@ -1,0 +1,259 @@
+#include "onepass/engine.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "onepass/l1_filter.hh"
+#include "trace/stack_distance.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace mlc {
+namespace onepass {
+
+namespace {
+
+/** Routes L1Filter events into a GhostTagForest. */
+struct ForestSink
+{
+    GhostTagForest &forest;
+
+    void
+    onRead(Addr addr, bool counted)
+    {
+        forest.read(addr, counted);
+    }
+    void
+    onWrite(Addr addr)
+    {
+        forest.write(addr);
+    }
+};
+
+std::uint32_t
+maxAssoc(const std::vector<GhostCacheSpec> &configs)
+{
+    std::uint32_t m = 1;
+    for (const GhostCacheSpec &spec : configs)
+        m = std::max(m, spec.assoc);
+    return m;
+}
+
+/** Distinct block sizes in first-appearance order, with the member
+ *  indices using each. */
+struct BlockGroup
+{
+    std::uint32_t blockBytes;
+    std::vector<std::size_t> members;
+};
+
+std::vector<BlockGroup>
+blockGroups(const std::vector<GhostCacheSpec> &configs)
+{
+    std::vector<BlockGroup> groups;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        BlockGroup *g = nullptr;
+        for (BlockGroup &cand : groups)
+            if (cand.blockBytes == configs[i].blockBytes)
+                g = &cand;
+        if (!g) {
+            groups.push_back({configs[i].blockBytes, {}});
+            g = &groups.back();
+        }
+        g->members.push_back(i);
+    }
+    return groups;
+}
+
+} // namespace
+
+FamilySpec
+FamilySpec::l2Grid(const hier::HierarchyParams &base,
+                   const std::vector<std::uint64_t> &sizes)
+{
+    if (base.levels.empty())
+        mlc_panic("FamilySpec::l2Grid: base machine has no "
+                  "downstream cache level to vary");
+    const cache::CacheGeometry &g = base.levels[0].geometry;
+    FamilySpec family;
+    family.configs.reserve(sizes.size());
+    for (std::uint64_t size : sizes)
+        family.configs.push_back({size, g.assoc, g.blockBytes});
+    return family;
+}
+
+FamilySpec
+FamilySpec::crossProduct(const std::vector<std::uint64_t> &sizes,
+                         const std::vector<std::uint32_t> &assocs,
+                         const std::vector<std::uint32_t> &blocks)
+{
+    FamilySpec family;
+    family.configs.reserve(sizes.size() * assocs.size() *
+                           blocks.size());
+    for (std::uint64_t size : sizes)
+        for (std::uint32_t assoc : assocs)
+            for (std::uint32_t block : blocks)
+                family.configs.push_back({size, assoc, block});
+    return family;
+}
+
+double
+TraceProfile::l1GlobalMissRatio() const
+{
+    return cpuReads() == 0 ? 0.0
+                           : static_cast<double>(l1ReadMisses) /
+                                 static_cast<double>(cpuReads());
+}
+
+TraceProfile
+profileTrace(const hier::HierarchyParams &base,
+             const FamilySpec &family,
+             const std::vector<trace::MemRef> &refs,
+             std::uint64_t warmup_refs, const ProfileOptions &opts)
+{
+    if (family.configs.empty())
+        mlc_panic("profileTrace: empty cache family");
+
+    L1Filter filter(base);
+    const hier::HierarchyParams &params = filter.params();
+    if (params.levels.empty())
+        mlc_panic("profileTrace: the base machine has no downstream "
+                  "level for the family to stand in for");
+
+    const std::uint32_t l1_block = std::max(
+        params.l1d.geometry.blockBytes,
+        params.splitL1 ? params.l1i.geometry.blockBytes : 0u);
+    for (const GhostCacheSpec &spec : family.configs)
+        if (spec.blockBytes < l1_block)
+            mlc_panic("profileTrace: family member ", spec.toString(),
+                      " has a smaller block than the ", l1_block,
+                      "B first-level block, which the hierarchy "
+                      "disallows");
+
+    const GhostPolicies policies = GhostPolicies::fromLevel(
+        params.levels[0], maxAssoc(family.configs));
+    GhostTagForest filtered(family.configs, policies);
+    ForestSink sink{filtered};
+
+    std::unique_ptr<GhostTagForest> solo;
+    if (opts.solo)
+        solo = std::make_unique<GhostTagForest>(family.configs,
+                                                policies);
+
+    // One fully-associative profiler per distinct block size.
+    std::vector<BlockGroup> fa_groups;
+    std::vector<trace::StackDistanceAnalyzer> fa;
+    std::vector<std::size_t> fa_of_config(family.configs.size());
+    if (opts.faBound) {
+        fa_groups = blockGroups(family.configs);
+        fa.reserve(fa_groups.size());
+        for (std::size_t g = 0; g < fa_groups.size(); ++g) {
+            fa.emplace_back(fa_groups[g].blockBytes);
+            for (std::size_t m : fa_groups[g].members)
+                fa_of_config[m] = g;
+        }
+    }
+
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        if (i == warmup_refs) {
+            filter.resetCounts();
+            filtered.resetCounts();
+            if (solo)
+                solo->resetCounts();
+            // The FA analyzers deliberately keep counting across
+            // the boundary: a stack-distance profile has no tag
+            // state to warm, and missRatio() is documented as a
+            // whole-stream diagnostic.
+        }
+        const trace::MemRef &ref = refs[i];
+        filter.step(ref, sink);
+        if (solo)
+            solo->soloAccess(ref);
+        for (trace::StackDistanceAnalyzer &a : fa)
+            a.access(ref.addr);
+    }
+
+    TraceProfile out;
+    out.instructions = filter.instructions();
+    out.ifetches = filter.ifetches();
+    out.loads = filter.loads();
+    out.stores = filter.stores();
+    out.l1ReadRequests = filter.l1ReadRequests();
+    out.l1ReadMisses = filter.l1ReadMisses();
+    out.configs.resize(family.configs.size());
+    for (std::size_t i = 0; i < family.configs.size(); ++i) {
+        ConfigProfile &cp = out.configs[i];
+        cp.spec = family.configs[i];
+        cp.filtered = filtered.counts(i);
+        if (solo)
+            cp.solo = solo->counts(i);
+        if (opts.faBound) {
+            const trace::StackDistanceAnalyzer &a =
+                fa[fa_of_config[i]];
+            cp.faMissRatio = a.missRatio(cp.spec.sizeBytes /
+                                         cp.spec.blockBytes);
+            cp.faCompulsory = a.infiniteCount();
+        }
+    }
+    return out;
+}
+
+std::vector<TraceProfile>
+profileSuite(const hier::HierarchyParams &base,
+             const FamilySpec &family, const expt::TraceStore &store,
+             std::size_t jobs, const ProfileOptions &opts)
+{
+    if (family.configs.empty())
+        mlc_panic("profileSuite: empty cache family");
+
+    // Parallel grain: (trace x block-size group). Configs sharing a
+    // block size already share one decode pass inside the forest, so
+    // splitting them further would redo the L1 replay for nothing;
+    // configs with different block sizes replay the L1 anyway (the
+    // forest would decode per group), so giving each group its own
+    // task buys parallelism at no extra total work.
+    const std::vector<BlockGroup> groups =
+        blockGroups(family.configs);
+    std::vector<FamilySpec> sub_families(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g)
+        for (std::size_t m : groups[g].members)
+            sub_families[g].configs.push_back(family.configs[m]);
+
+    const std::size_t n_traces = store.size();
+    std::vector<TraceProfile> sub(n_traces * groups.size());
+    parallelFor(jobs, sub.size(), [&](std::size_t task) {
+        const std::size_t t = task / groups.size();
+        const std::size_t g = task % groups.size();
+        sub[task] = profileTrace(
+            base, sub_families[g], store.traces()[t],
+            expt::scaledWarmup(store.specs()[t]), opts);
+    });
+
+    // Fixed-order merge back into family order: bit-identical for
+    // any jobs value.
+    std::vector<TraceProfile> out(n_traces);
+    for (std::size_t t = 0; t < n_traces; ++t) {
+        TraceProfile &dst = out[t];
+        const TraceProfile &first = sub[t * groups.size()];
+        dst = first;
+        dst.traceName = store.specs()[t].name;
+        dst.configs.assign(family.configs.size(), ConfigProfile{});
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            const TraceProfile &part = sub[t * groups.size() + g];
+            if (part.instructions != first.instructions ||
+                part.stores != first.stores ||
+                part.l1ReadMisses != first.l1ReadMisses)
+                mlc_panic("profileSuite: block-size groups of trace "
+                          "'", store.specs()[t].name,
+                          "' disagree on the L1 replay — the filter "
+                          "is not deterministic");
+            for (std::size_t k = 0; k < groups[g].members.size();
+                 ++k)
+                dst.configs[groups[g].members[k]] = part.configs[k];
+        }
+    }
+    return out;
+}
+
+} // namespace onepass
+} // namespace mlc

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * One-pass multi-configuration profiling: read miss ratios for an
+ * entire family of second-level caches from a single replay of the
+ * reference stream.
+ *
+ * The timing sweep re-simulates the whole machine at every (L2
+ * size x cycle time) grid cell, so grid cost grows with cell count.
+ * The paper itself separates the concerns: miss ratios are a
+ * property of the cache family (Section 3), and execution time
+ * follows from them analytically (Equations 1-3). profileTrace()
+ * computes the miss-ratio half of that split exactly: one pass
+ * replays the L1s (L1Filter), fans the departing request stream
+ * into a GhostTagForest with one member per candidate L2, and
+ * reports per-config counts for all three of the paper's read
+ * miss-ratio definitions — local, global (both from the filtered
+ * stream) and solo (from a second forest fed the raw CPU stream).
+ *
+ * Exact versus approximate: the per-config read request and miss
+ * counts equal a full hier::HierarchySimulator run bit for bit
+ * (onepass::crossCheck verifies this), because functional cache
+ * state is timing-independent and write-around levels never feed
+ * back upstream. What one pass cannot reproduce is the timing
+ * texture — write-buffer drain, bus contention, cycle rounding —
+ * so execution time is *modelled* from the exact miss ratios
+ * (EqTimingModel), not measured.
+ */
+
+#ifndef MLC_ONEPASS_ENGINE_HH
+#define MLC_ONEPASS_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "expt/workload_suite.hh"
+#include "hier/hierarchy_config.hh"
+#include "onepass/ghost_tags.hh"
+
+namespace mlc {
+namespace onepass {
+
+/** The family of candidate caches profiled in one pass. */
+struct FamilySpec
+{
+    std::vector<GhostCacheSpec> configs;
+
+    /**
+     * The design-space grid family: every size in @p sizes at the
+     * base machine's L2 associativity and block size (the cycle
+     * axis changes timing only, so it needs no extra configs).
+     */
+    static FamilySpec l2Grid(const hier::HierarchyParams &base,
+                             const std::vector<std::uint64_t> &sizes);
+
+    /** Every (size x associativity x block size) combination. */
+    static FamilySpec
+    crossProduct(const std::vector<std::uint64_t> &sizes,
+                 const std::vector<std::uint32_t> &assocs,
+                 const std::vector<std::uint32_t> &blocks);
+};
+
+/** What to compute beyond the filtered-stream counts. */
+struct ProfileOptions
+{
+    /** Co-profile a solo forest on the raw CPU stream (Section 3's
+     *  third miss-ratio definition). */
+    bool solo = false;
+    /**
+     * Also run a trace::StackDistanceAnalyzer per distinct block
+     * size over the raw stream for the fully-associative LRU bound
+     * and compulsory-miss counts. Diagnostic: it spans the whole
+     * stream (warm-up included), unlike the counters, which reset
+     * at the warm-up boundary.
+     */
+    bool faBound = false;
+};
+
+/** Per-config results of one profiled trace. */
+struct ConfigProfile
+{
+    GhostCacheSpec spec;
+    /** Demand traffic at the level's position in the hierarchy:
+     *  reads/readMisses are the paper's L2 read requests/misses. */
+    GhostCounts filtered;
+    /** Raw-CPU-stream counts (zero unless ProfileOptions::solo). */
+    GhostCounts solo;
+    /** Fully-associative LRU miss ratio at this capacity over the
+     *  whole stream; negative unless ProfileOptions::faBound. */
+    double faMissRatio = -1.0;
+    /** Distinct blocks of this config's block size in the stream
+     *  (compulsory misses); 0 unless ProfileOptions::faBound. */
+    std::uint64_t faCompulsory = 0;
+};
+
+/** Everything one pass learns about one trace. */
+struct TraceProfile
+{
+    std::string traceName;
+
+    /** @{ @name Measured reference mix (post-warm-up) */
+    std::uint64_t instructions = 0;
+    std::uint64_t ifetches = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t cpuReads() const { return ifetches + loads; }
+    /** @} */
+
+    /** @{ @name Combined L1 read traffic (split I+D summed) */
+    std::uint64_t l1ReadRequests = 0;
+    std::uint64_t l1ReadMisses = 0;
+    double l1GlobalMissRatio() const;
+    /** @} */
+
+    /** Parallel to the FamilySpec that produced this profile. */
+    std::vector<ConfigProfile> configs;
+};
+
+/**
+ * Profile @p family at the position of base.levels[0]: replay the
+ * first warmup_refs references without counting, then count over
+ * the rest. Panics when the family cannot be modelled exactly
+ * (see GhostPolicies::fromLevel) or when a member's block size is
+ * smaller than the L1 fill size.
+ */
+TraceProfile profileTrace(const hier::HierarchyParams &base,
+                          const FamilySpec &family,
+                          const std::vector<trace::MemRef> &refs,
+                          std::uint64_t warmup_refs,
+                          const ProfileOptions &opts = {});
+
+/**
+ * Profile every trace of @p store, parallel across (trace x
+ * block-size group) tasks. Each task writes into its own pre-sized
+ * slot and results are merged in trace-then-family order, so the
+ * output is bit-identical for any @p jobs.
+ */
+std::vector<TraceProfile>
+profileSuite(const hier::HierarchyParams &base,
+             const FamilySpec &family, const expt::TraceStore &store,
+             std::size_t jobs = 1, const ProfileOptions &opts = {});
+
+} // namespace onepass
+} // namespace mlc
+
+#endif // MLC_ONEPASS_ENGINE_HH

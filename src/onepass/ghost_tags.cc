@@ -1,0 +1,246 @@
+#include "onepass/ghost_tags.hh"
+
+#include <sstream>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace mlc {
+namespace onepass {
+
+std::string
+GhostCacheSpec::toString() const
+{
+    std::ostringstream os;
+    os << formatSize(sizeBytes) << "/" << assoc << "-way/"
+       << blockBytes << "B";
+    return os.str();
+}
+
+double
+GhostCounts::localMissRatio() const
+{
+    return reads == 0 ? 0.0
+                      : static_cast<double>(readMisses) /
+                            static_cast<double>(reads);
+}
+
+double
+GhostCounts::globalMissRatio(std::uint64_t cpu_reads) const
+{
+    return cpu_reads == 0 ? 0.0
+                          : static_cast<double>(readMisses) /
+                                static_cast<double>(cpu_reads);
+}
+
+GhostTagArray::GhostTagArray(const GhostCacheSpec &spec)
+{
+    if (!isPowerOfTwo(spec.sizeBytes) ||
+        !isPowerOfTwo(spec.blockBytes) || !isPowerOfTwo(spec.assoc))
+        mlc_panic("ghost cache ", spec.toString(),
+                  ": size, associativity and block size must all "
+                  "be powers of two");
+    const std::uint64_t way_bytes =
+        static_cast<std::uint64_t>(spec.assoc) * spec.blockBytes;
+    if (way_bytes > spec.sizeBytes)
+        mlc_panic("ghost cache ", spec.toString(),
+                  ": fewer than one set");
+    const std::uint64_t sets = spec.sizeBytes / way_bytes;
+    setMask_ = sets - 1;
+    ways_ = spec.assoc;
+    lines_.resize(sets * ways_);
+}
+
+bool
+GhostTagArray::touchOrInstall(std::uint64_t block)
+{
+    Line *set = &lines_[(block & setMask_) * ways_];
+    Line *victim = set;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].stamp != 0 && set[w].tag == block) {
+            set[w].stamp = ++stamp_;
+            return true;
+        }
+        // Strict < keeps the lowest-index minimum, and stamp 0
+        // (invalid) always loses to any valid stamp — the same
+        // victim TagArray::chooseVictim picks.
+        if (set[w].stamp < victim->stamp)
+            victim = &set[w];
+    }
+    victim->tag = block;
+    victim->stamp = ++stamp_;
+    return false;
+}
+
+bool
+GhostTagArray::touchOnly(std::uint64_t block)
+{
+    Line *set = &lines_[(block & setMask_) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (set[w].stamp != 0 && set[w].tag == block) {
+            set[w].stamp = ++stamp_;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+GhostTagArray::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const Line &l : lines_)
+        if (l.stamp != 0)
+            ++n;
+    return n;
+}
+
+GhostPolicies
+GhostPolicies::fromLevel(const cache::CacheParams &level,
+                         std::uint32_t max_assoc)
+{
+    if (level.isSubBlocked())
+        mlc_panic("one-pass engine: level '", level.name,
+                  "' uses sub-blocking, which ghost tag arrays "
+                  "cannot model exactly; use the timing engine");
+    if (level.prefetchNextBlock)
+        mlc_panic("one-pass engine: level '", level.name,
+                  "' prefetches, which ghost tag arrays cannot "
+                  "model exactly; use the timing engine");
+    if (level.fetchBytes != 0 &&
+        level.fetchBytes != level.geometry.blockBytes)
+        mlc_panic("one-pass engine: level '", level.name,
+                  "' fetch size ", level.fetchBytes,
+                  " differs from its block size ",
+                  level.geometry.blockBytes,
+                  "; multi-block fetch groups are not modelled");
+    if (max_assoc > 1 && level.replPolicy != cache::ReplPolicy::LRU)
+        mlc_panic("one-pass engine: level '", level.name, "' uses ",
+                  cache::replPolicyName(level.replPolicy),
+                  " replacement; only LRU (or direct-mapped, where "
+                  "the policy is moot) is exact in one pass");
+
+    GhostPolicies p;
+    p.alloc = level.allocPolicy;
+    p.downstreamWriteMiss = level.downstreamWriteMiss;
+    return p;
+}
+
+GhostTagForest::GhostTagForest(std::vector<GhostCacheSpec> specs,
+                               GhostPolicies policies)
+    : specs_(std::move(specs)), policies_(policies)
+{
+    if (specs_.empty())
+        mlc_panic("GhostTagForest needs at least one config");
+    arrays_.reserve(specs_.size());
+    counts_.resize(specs_.size());
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const GhostCacheSpec &spec = specs_[i];
+        arrays_.emplace_back(spec);
+        const unsigned shift = exactLog2(spec.blockBytes);
+        Group *group = nullptr;
+        for (Group &g : groups_)
+            if (g.blockShift == shift)
+                group = &g;
+        if (!group) {
+            groups_.push_back({shift, {}});
+            group = &groups_.back();
+        }
+        group->members.push_back(i);
+    }
+}
+
+void
+GhostTagForest::read(Addr addr, bool counted)
+{
+    for (const Group &g : groups_) {
+        const std::uint64_t block = addr >> g.blockShift;
+        for (std::size_t m : g.members) {
+            const bool hit = arrays_[m].touchOrInstall(block);
+            GhostCounts &c = counts_[m];
+            if (counted) {
+                ++c.reads;
+                if (!hit)
+                    ++c.readMisses;
+            } else {
+                ++c.extraAccesses;
+                if (!hit)
+                    ++c.extraMisses;
+            }
+        }
+    }
+}
+
+void
+GhostTagForest::fill(Addr addr)
+{
+    read(addr, false);
+}
+
+void
+GhostTagForest::write(Addr addr)
+{
+    const bool allocate =
+        policies_.downstreamWriteMiss ==
+        cache::DownstreamWriteMissPolicy::Allocate;
+    for (const Group &g : groups_) {
+        const std::uint64_t block = addr >> g.blockShift;
+        for (std::size_t m : g.members) {
+            if (allocate)
+                arrays_[m].touchOrInstall(block);
+            else
+                arrays_[m].touchOnly(block);
+        }
+    }
+}
+
+void
+GhostTagForest::soloAccess(const trace::MemRef &ref)
+{
+    const bool store_allocates =
+        policies_.alloc == cache::AllocPolicy::WriteAllocate;
+    for (const Group &g : groups_) {
+        const std::uint64_t block = ref.addr >> g.blockShift;
+        for (std::size_t m : g.members) {
+            GhostCounts &c = counts_[m];
+            if (ref.isRead()) {
+                const bool hit = arrays_[m].touchOrInstall(block);
+                ++c.reads;
+                if (!hit)
+                    ++c.readMisses;
+            } else {
+                // A store hit touches the line either way; a miss
+                // allocates only under write-allocate (a
+                // no-write-allocate miss forwards downstream and
+                // leaves the tags alone) — cache::Cache::access.
+                const bool hit =
+                    store_allocates
+                        ? arrays_[m].touchOrInstall(block)
+                        : arrays_[m].touchOnly(block);
+                ++c.extraAccesses;
+                if (!hit)
+                    ++c.extraMisses;
+            }
+        }
+    }
+}
+
+void
+GhostTagForest::resetCounts()
+{
+    for (GhostCounts &c : counts_)
+        c = GhostCounts{};
+}
+
+const GhostCounts &
+GhostTagForest::counts(std::size_t config) const
+{
+    if (config >= counts_.size())
+        mlc_panic("GhostTagForest::counts index ", config,
+                  " out of range (", counts_.size(), " configs)");
+    return counts_[config];
+}
+
+} // namespace onepass
+} // namespace mlc

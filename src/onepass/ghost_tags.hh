@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Ghost tag arrays: exact functional miss counting for a *family*
+ * of caches over one shared address stream.
+ *
+ * A GhostTagArray is the minimal state needed to answer "would this
+ * access hit?" for one set-associative LRU cache — tags and recency
+ * stamps, no data, no dirty bits, no timing. A GhostTagForest holds
+ * one array per member of a cache family (size x associativity x
+ * block size) and applies every incoming event to all of them,
+ * decoding the address into a block number once per distinct block
+ * size rather than once per configuration.
+ *
+ * Exactness contract: for LRU (any associativity) and for
+ * direct-mapped caches (any nominal policy — a 1-way set has no
+ * choice), a GhostTagArray's hit/miss sequence is identical to
+ * cache::Cache / cache::TagArray fed the same accesses: recency
+ * stamps advance on exactly the same events (touch on hit, install
+ * on miss) and the victim scan prefers invalid ways in way order,
+ * then the minimum stamp — the same tie-breaking TagArray uses.
+ * tests/onepass/test_ghost_tags.cc holds a randomized property test
+ * of this equivalence. Random/FIFO replacement above 1 way,
+ * sub-blocking and prefetch are out of scope and rejected at
+ * construction.
+ */
+
+#ifndef MLC_ONEPASS_GHOST_TAGS_HH
+#define MLC_ONEPASS_GHOST_TAGS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "trace/mem_ref.hh"
+
+namespace mlc {
+namespace onepass {
+
+/** Geometry of one family member. */
+struct GhostCacheSpec
+{
+    std::uint64_t sizeBytes = 0;
+    std::uint32_t assoc = 1; //!< ways per set (1 = direct-mapped)
+    std::uint32_t blockBytes = 32;
+
+    bool
+    operator==(const GhostCacheSpec &o) const
+    {
+        return sizeBytes == o.sizeBytes && assoc == o.assoc &&
+               blockBytes == o.blockBytes;
+    }
+
+    std::string toString() const;
+};
+
+/** Per-configuration access/miss counters. */
+struct GhostCounts
+{
+    /**
+     * Paper-visible read requests and misses: for a second-level
+     * family these are the *demand* requests of read origin (the
+     * quantities behind the local and global read miss ratios);
+     * for a solo family they are the CPU's reads.
+     */
+    std::uint64_t reads = 0;
+    std::uint64_t readMisses = 0;
+
+    /** State-changing accesses outside the ratio: store-origin
+     *  demand fills and non-demand group fills (filtered family),
+     *  stores (solo family). */
+    std::uint64_t extraAccesses = 0;
+    std::uint64_t extraMisses = 0;
+
+    /** Misses / reads (the local read miss ratio). */
+    double localMissRatio() const;
+    /** Misses / @p cpu_reads (the global read miss ratio). */
+    double globalMissRatio(std::uint64_t cpu_reads) const;
+};
+
+/** Tags + LRU stamps of one ghost cache. Addresses are *block
+ *  numbers* (byte address >> log2(blockBytes)); the forest does
+ *  that shift once per block-size group. */
+class GhostTagArray
+{
+  public:
+    explicit GhostTagArray(const GhostCacheSpec &spec);
+
+    /** Access with allocation (a read, or a write-allocate store):
+     *  touch on hit, install-evicting-LRU on miss.
+     *  @return true on hit. */
+    bool touchOrInstall(std::uint64_t block);
+
+    /** Access without allocation (an absorbed downstream write
+     *  under write-around): touch on hit, no change on miss.
+     *  @return true on hit. */
+    bool touchOnly(std::uint64_t block);
+
+    std::uint64_t validCount() const;
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        /** 0 = invalid; valid lines carry distinct stamps, so the
+         *  victim scan's strict-min naturally prefers the lowest
+         *  invalid way, exactly as TagArray::chooseVictim does. */
+        std::uint64_t stamp = 0;
+    };
+
+    std::uint64_t setMask_;
+    std::uint32_t ways_;
+    std::uint64_t stamp_ = 0;
+    std::vector<Line> lines_;
+};
+
+/** How the family treats state-changing events, mirrored from the
+ *  cache::CacheParams of the level being modelled. */
+struct GhostPolicies
+{
+    /** Stores that miss allocate (solo family only). */
+    cache::AllocPolicy alloc = cache::AllocPolicy::WriteAllocate;
+    /** Downstream writes that miss allocate (filtered family). */
+    cache::DownstreamWriteMissPolicy downstreamWriteMiss =
+        cache::DownstreamWriteMissPolicy::Around;
+
+    /** Mirror the relevant policies of @p level; panics when the
+     *  level uses features the ghost model cannot reproduce
+     *  exactly (sub-blocking, prefetch, fetch != block, or a
+     *  non-LRU policy with @p max_assoc > 1). */
+    static GhostPolicies fromLevel(const cache::CacheParams &level,
+                                   std::uint32_t max_assoc);
+};
+
+/** A family of ghost arrays sharing one decode pass. */
+class GhostTagForest
+{
+  public:
+    /**
+     * @param specs family members; every sizeBytes/assoc/blockBytes
+     *        must be a power of two with at least one set.
+     */
+    GhostTagForest(std::vector<GhostCacheSpec> specs,
+                   GhostPolicies policies);
+
+    /**
+     * A demand read request reaching this level (filtered stream).
+     * @param counted it is of read origin, i.e. it enters the
+     *        local/global read miss ratios; store-origin fills
+     *        update state through the extra counters instead.
+     */
+    void read(Addr addr, bool counted);
+
+    /** A non-demand fill (fetch group / prefetch of the level
+     *  above): allocates but never enters the read ratios. */
+    void fill(Addr addr);
+
+    /** A downstream write (victim write-back or forwarded store):
+     *  touch on hit; on miss, allocate or pass around per the
+     *  forest's DownstreamWriteMissPolicy. */
+    void write(Addr addr);
+
+    /** One raw CPU reference (solo families — Section 3's third
+     *  miss-ratio definition). */
+    void soloAccess(const trace::MemRef &ref);
+
+    /** Zero all counters, keeping tag state (post-warm-up). */
+    void resetCounts();
+
+    const std::vector<GhostCacheSpec> &specs() const
+    {
+        return specs_;
+    }
+    const GhostCounts &counts(std::size_t config) const;
+
+  private:
+    /** Configs sharing one block size, so the byte-address shift
+     *  happens once per group per event. */
+    struct Group
+    {
+        unsigned blockShift;
+        std::vector<std::size_t> members;
+    };
+
+    std::vector<GhostCacheSpec> specs_;
+    GhostPolicies policies_;
+    std::vector<GhostTagArray> arrays_;
+    std::vector<GhostCounts> counts_;
+    std::vector<Group> groups_;
+};
+
+} // namespace onepass
+} // namespace mlc
+
+#endif // MLC_ONEPASS_GHOST_TAGS_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * One-pass fill of the Section 4 design-space grid.
+ *
+ * The timing engine prices a (sizes x cycles) grid with
+ * sizes*cycles full hierarchy simulations per trace. buildGrid()
+ * replaces that with one profiling pass per trace (all sizes at
+ * once — the cycle axis changes timing only, so it needs no extra
+ * cache state) followed by a closed-form evaluation of every cell
+ * from the exact miss counts. Grid values are analytical
+ * (EqTimingModel), not simulated; miss ratios underneath are exact.
+ */
+
+#ifndef MLC_ONEPASS_GRID_HH
+#define MLC_ONEPASS_GRID_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "expt/design_space.hh"
+#include "expt/workload_suite.hh"
+#include "hier/hierarchy_config.hh"
+#include "onepass/engine.hh"
+
+namespace mlc {
+namespace onepass {
+
+/**
+ * Profile the L2 family of @p sizes once over @p store, then fill
+ * every (size, cycle) cell with the suite-mean relative execution
+ * time of base.withL2(size, cycle) under EqTimingModel. The result
+ * is bit-identical for any @p jobs.
+ */
+expt::DesignSpaceGrid
+buildGrid(const hier::HierarchyParams &base,
+          const std::vector<std::uint64_t> &sizes,
+          const std::vector<std::uint32_t> &cycles,
+          const expt::TraceStore &store, std::size_t jobs = 1);
+
+/**
+ * The same grid from profiles already computed (parallel to
+ * @p store's traces and to the FamilySpec::l2Grid of @p sizes),
+ * serial and deterministic. Exposed so callers that need the
+ * profiles for other outputs too (solo curves, miss tables) pay
+ * for profiling once.
+ */
+expt::DesignSpaceGrid
+gridFromProfiles(const hier::HierarchyParams &base,
+                 const std::vector<std::uint64_t> &sizes,
+                 const std::vector<std::uint32_t> &cycles,
+                 const std::vector<TraceProfile> &profiles);
+
+} // namespace onepass
+} // namespace mlc
+
+#endif // MLC_ONEPASS_GRID_HH

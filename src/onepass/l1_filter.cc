@@ -1,0 +1,63 @@
+#include "onepass/l1_filter.hh"
+
+#include <utility>
+
+namespace mlc {
+namespace onepass {
+
+namespace {
+
+/**
+ * Seed base for the replica L1s. Must stay equal to hierarchy.cc's
+ * kCacheSeedBase: a Random-replacement L1 only replays identically
+ * when its Rng stream matches the timing simulator's, seed and all.
+ */
+constexpr std::uint64_t kHierCacheSeedBase = 0x1234abcdULL;
+
+hier::HierarchyParams
+finalized(hier::HierarchyParams p)
+{
+    p.finalize();
+    return p;
+}
+
+} // namespace
+
+L1Filter::L1Filter(hier::HierarchyParams params)
+    : params_(finalized(std::move(params)))
+{
+    if (params_.splitL1)
+        l1i_ = std::make_unique<cache::Cache>(params_.l1i,
+                                              kHierCacheSeedBase);
+    l1d_ = std::make_unique<cache::Cache>(params_.l1d,
+                                          kHierCacheSeedBase + 1);
+}
+
+void
+L1Filter::resetCounts()
+{
+    instructions_ = 0;
+    ifetches_ = 0;
+    loads_ = 0;
+    stores_ = 0;
+    if (l1i_)
+        l1i_->resetCounts();
+    l1d_->resetCounts();
+}
+
+std::uint64_t
+L1Filter::l1ReadRequests() const
+{
+    return l1d_->counts().readAccesses() +
+           (l1i_ ? l1i_->counts().readAccesses() : 0);
+}
+
+std::uint64_t
+L1Filter::l1ReadMisses() const
+{
+    return l1d_->counts().readMisses() +
+           (l1i_ ? l1i_->counts().readMisses() : 0);
+}
+
+} // namespace onepass
+} // namespace mlc

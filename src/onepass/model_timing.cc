@@ -1,0 +1,116 @@
+#include "onepass/model_timing.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "mem/bus.hh"
+#include "mem/main_memory.hh"
+#include "mem/timing.hh"
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mlc {
+namespace onepass {
+
+EqTimingModel
+EqTimingModel::forMachine(hier::HierarchyParams params)
+{
+    params.finalize();
+    if (params.levels.empty())
+        mlc_panic("EqTimingModel: no downstream cache level");
+    if (params.levels.size() > 1)
+        mlc_panic("EqTimingModel prices a two-level hierarchy; ",
+                  params.levels.size(),
+                  " downstream levels need the timing engine");
+
+    const cache::CacheParams &l2 = params.levels[0];
+
+    // n_L2: the L2 array read plus the fill transfer back to L1.
+    // The CPU-L2 bus cycles at the L2 rate and the first beat
+    // overlaps the array read, so only the residual beats add time.
+    const std::uint32_t l1_fill = std::max(
+        params.l1d.fillRequestBytes(),
+        params.splitL1 ? params.l1i.fillRequestBytes() : 0u);
+    const std::uint64_t fill_beats =
+        divCeil(l1_fill, params.busWidthWords[0] * 4u);
+    const double l2_read_ns =
+        l2.readCycles * l2.cycleNs +
+        static_cast<double>(fill_beats - 1) * l2.cycleNs;
+
+    // n_MMread: the DRAM read service including backplane beats.
+    // The Section 4 sweeps hold this constant while the L2 cycle
+    // time varies, hence the independent backplane clock.
+    const double backplane_ns = params.backplaneCycleNs > 0.0
+                                    ? params.backplaneCycleNs
+                                    : params.levels.back().cycleNs;
+    const mem::Bus backplane(params.busWidthWords.back(),
+                             nsToTicks(backplane_ns));
+    const mem::MainMemory memory(params.memory);
+    const double mm_read_ns = ticksToNs(
+        memory.readService(backplane, l2.fillRequestBytes()));
+
+    EqTimingModel m;
+    m.nL2_ = l2_read_ns / params.cpuCycleNs;
+    m.nMMread_ = mm_read_ns / params.cpuCycleNs;
+    m.writeExtra_ = (params.l1d.writeCycles - 1) *
+                    params.l1d.cycleNs / params.cpuCycleNs;
+    return m;
+}
+
+model::RefMix
+EqTimingModel::mixOf(const TraceProfile &t)
+{
+    if (t.instructions == 0)
+        mlc_panic("EqTimingModel: profile has no instructions "
+                  "(empty measurement window?)");
+    model::RefMix mix;
+    mix.readsPerInstruction =
+        static_cast<double>(t.cpuReads()) /
+        static_cast<double>(t.instructions);
+    mix.storesPerInstruction =
+        static_cast<double>(t.stores) /
+        static_cast<double>(t.instructions);
+    return mix;
+}
+
+model::MultiLevelModel
+EqTimingModel::modelFor(const TraceProfile &t,
+                        std::size_t config) const
+{
+    if (config >= t.configs.size())
+        mlc_panic("EqTimingModel: config index ", config,
+                  " out of range (", t.configs.size(), ")");
+    const double reads = static_cast<double>(t.cpuReads());
+    if (reads == 0.0)
+        mlc_panic("EqTimingModel: profile has no reads");
+
+    // Reads ride the pipeline at one cycle per *instruction*, so
+    // per-read the base cost is instructions/reads; with the mix's
+    // reads-per-instruction this contributes exactly 1 cycle per
+    // instruction, matching the simulator's ideal-cycles baseline.
+    const double n_l1 =
+        static_cast<double>(t.instructions) / reads;
+    const double m_l1 =
+        static_cast<double>(t.l1ReadMisses) / reads;
+    const double m_l2 =
+        static_cast<double>(t.configs[config].filtered.readMisses) /
+        reads;
+    return model::MultiLevelModel(
+        n_l1, writeExtra_, {{m_l1, nL2_}, {m_l2, nMMread_}});
+}
+
+double
+EqTimingModel::relExec(const TraceProfile &t,
+                       std::size_t config) const
+{
+    return modelFor(t, config).relativeExecTime(mixOf(t));
+}
+
+double
+EqTimingModel::cpi(const TraceProfile &t, std::size_t config) const
+{
+    return modelFor(t, config).cpi(mixOf(t));
+}
+
+} // namespace onepass
+} // namespace mlc

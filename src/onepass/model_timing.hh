@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Analytical execution time from one-pass miss ratios.
+ *
+ * EqTimingModel derives the per-layer read costs of Equation 1
+ * (n_L2, n_MMread, w_L1) from a HierarchyParams the way the paper's
+ * Section 2 machine description implies — L2 array read plus the
+ * residual fill-transfer beats for n_L2, the DRAM read service
+ * including backplane beats for n_MMread — and combines them with a
+ * TraceProfile's *measured* mix and *exact* miss counts through
+ * model::MultiLevelModel.
+ *
+ * Scope: this is the modelled half of the one-pass engine. The miss
+ * ratios feeding it are bit-exact versus the timing simulator; the
+ * cycle translation is analytical and deliberately ignores
+ * write-buffer stalls, bus/memory contention and cycle
+ * quantization, which is precisely the approximation Equation 1
+ * makes in the paper.
+ */
+
+#ifndef MLC_ONEPASS_MODEL_TIMING_HH
+#define MLC_ONEPASS_MODEL_TIMING_HH
+
+#include <cstddef>
+
+#include "hier/hierarchy_config.hh"
+#include "model/exec_time.hh"
+#include "onepass/engine.hh"
+
+namespace mlc {
+namespace onepass {
+
+/** Equation-1 layer costs of one machine configuration. */
+class EqTimingModel
+{
+  public:
+    /**
+     * Derive the costs from @p params (finalized internally).
+     * Panics on hierarchies deeper than two cache levels: Equation
+     * 1 as instantiated here prices exactly one level between the
+     * L1 and main memory.
+     */
+    static EqTimingModel forMachine(hier::HierarchyParams params);
+
+    /** @{ @name Layer costs in CPU cycles */
+    double nL2() const { return nL2_; }
+    double nMMread() const { return nMMread_; }
+    /** Extra cycles per store beyond the 1-cycle pipeline slot. */
+    double writeExtra() const { return writeExtra_; }
+    /** @} */
+
+    /**
+     * Execution time of @p t on this machine relative to an
+     * all-hits machine, using the exact miss counts of family
+     * member @p config.
+     */
+    double relExec(const TraceProfile &t, std::size_t config) const;
+
+    /** Cycles per instruction, same inputs. */
+    double cpi(const TraceProfile &t, std::size_t config) const;
+
+  private:
+    model::MultiLevelModel modelFor(const TraceProfile &t,
+                                    std::size_t config) const;
+    static model::RefMix mixOf(const TraceProfile &t);
+
+    double nL2_ = 0.0;
+    double nMMread_ = 0.0;
+    double writeExtra_ = 0.0;
+};
+
+} // namespace onepass
+} // namespace mlc
+
+#endif // MLC_ONEPASS_MODEL_TIMING_HH

@@ -1,0 +1,113 @@
+#include "onepass/validate.hh"
+
+#include "expt/runner.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace mlc {
+namespace onepass {
+
+bool
+CrossCheckReport::allMatch() const
+{
+    return mismatchCount() == 0;
+}
+
+std::size_t
+CrossCheckReport::mismatchCount() const
+{
+    std::size_t n = 0;
+    for (const CrossCheckRow &row : rows)
+        if (!row.match())
+            ++n;
+    return n;
+}
+
+void
+CrossCheckReport::print(std::ostream &os) const
+{
+    if (allMatch()) {
+        os << "cross-check: all " << rows.size()
+           << " (trace, config) pairs match exactly\n";
+        return;
+    }
+    for (const CrossCheckRow &row : rows) {
+        if (row.match())
+            continue;
+        os << "MISMATCH " << row.traceName << " "
+           << row.spec.toString() << ": onepass "
+           << row.onepassMisses << "/" << row.onepassReads
+           << " vs timing " << row.timingMisses << "/"
+           << row.timingReads;
+        if (row.onepassSolo >= 0.0 || row.timingSolo >= 0.0)
+            os << ", solo " << row.onepassSolo << " vs "
+               << row.timingSolo;
+        if (!row.l1Match)
+            os << " (L1 counts differ)";
+        os << "\n";
+    }
+    os << "cross-check: " << mismatchCount() << " of "
+       << rows.size() << " pairs mismatch\n";
+}
+
+CrossCheckReport
+crossCheck(const hier::HierarchyParams &base,
+           const FamilySpec &family, const expt::TraceStore &store,
+           std::size_t jobs, bool solo)
+{
+    ProfileOptions opts;
+    opts.solo = solo;
+    const std::vector<TraceProfile> profiles =
+        profileSuite(base, family, store, jobs, opts);
+
+    const std::size_t n_configs = family.configs.size();
+    const std::size_t n_rows = store.size() * n_configs;
+    CrossCheckReport report;
+    report.rows.resize(n_rows);
+
+    parallelFor(jobs, n_rows, [&](std::size_t i) {
+        const std::size_t t = i / n_configs;
+        const std::size_t c = i % n_configs;
+        const GhostCacheSpec &spec = family.configs[c];
+
+        hier::HierarchyParams p = base;
+        if (p.levels.empty())
+            mlc_panic("crossCheck: base machine has no downstream "
+                      "level");
+        p.levels[0].geometry.sizeBytes = spec.sizeBytes;
+        p.levels[0].geometry.assoc = spec.assoc;
+        p.levels[0].geometry.blockBytes = spec.blockBytes;
+        // Keep fetch == block when the family varies block size so
+        // finalize() never sees a stale sub-block/fetch-group ratio.
+        p.levels[0].fetchBytes = spec.blockBytes;
+        p.measureSolo = solo;
+
+        const hier::SimResults r = expt::runOnTrace(
+            p, store.traces()[t],
+            expt::scaledWarmup(store.specs()[t]));
+
+        const TraceProfile &prof = profiles[t];
+        const ConfigProfile &cp = prof.configs[c];
+        CrossCheckRow row;
+        row.traceName = store.specs()[t].name;
+        row.spec = spec;
+        row.onepassReads = cp.filtered.reads;
+        row.onepassMisses = cp.filtered.readMisses;
+        row.timingReads = r.levels[1].readRequests;
+        row.timingMisses = r.levels[1].readMisses;
+        row.l1Match =
+            r.levels[0].readRequests == prof.l1ReadRequests &&
+            r.levels[0].readMisses == prof.l1ReadMisses;
+        if (solo) {
+            // Identical integer divisions on both sides, so the
+            // doubles compare bitwise-equal when the counts agree.
+            row.onepassSolo = cp.solo.localMissRatio();
+            row.timingSolo = r.levels[1].soloMissRatio;
+        }
+        report.rows[i] = row;
+    });
+    return report;
+}
+
+} // namespace onepass
+} // namespace mlc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cross-check harness: one-pass counts versus the timing simulator.
+ *
+ * The one-pass engine's claim is that its per-config read request
+ * and miss counts are *bit-exact* against a full
+ * hier::HierarchySimulator run of the same machine — integer
+ * equality, not tolerance. crossCheck() earns that claim the
+ * expensive way: it profiles the family once, then simulates every
+ * (trace, config) pair individually and compares the integers (and,
+ * when requested, the solo read miss ratios, whose doubles come
+ * from identical integer divisions on both sides and must therefore
+ * match bitwise too).
+ *
+ * Execution *time* is outside the comparison by design: the
+ * one-pass side models it analytically (see model_timing.hh), so
+ * the two engines agree on miss ratios exactly and on timing only
+ * approximately.
+ */
+
+#ifndef MLC_ONEPASS_VALIDATE_HH
+#define MLC_ONEPASS_VALIDATE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "expt/workload_suite.hh"
+#include "hier/hierarchy_config.hh"
+#include "onepass/engine.hh"
+
+namespace mlc {
+namespace onepass {
+
+/** One (trace, config) comparison. */
+struct CrossCheckRow
+{
+    std::string traceName;
+    GhostCacheSpec spec;
+
+    /** @{ @name One-pass side */
+    std::uint64_t onepassReads = 0;
+    std::uint64_t onepassMisses = 0;
+    double onepassSolo = -1.0;
+    /** @} */
+
+    /** @{ @name Timing-simulator side */
+    std::uint64_t timingReads = 0;
+    std::uint64_t timingMisses = 0;
+    double timingSolo = -1.0;
+    /** @} */
+
+    bool l1Match = true; //!< L1 requests/misses agreed too
+
+    bool
+    match() const
+    {
+        return l1Match && onepassReads == timingReads &&
+               onepassMisses == timingMisses &&
+               onepassSolo == timingSolo;
+    }
+};
+
+/** All comparisons of one harness run. */
+struct CrossCheckReport
+{
+    std::vector<CrossCheckRow> rows;
+
+    bool allMatch() const;
+    std::size_t mismatchCount() const;
+
+    /** One line per mismatch (or a single all-match line). */
+    void print(std::ostream &os) const;
+};
+
+/**
+ * Compare @p family's one-pass counts against per-config timing
+ * simulation over every trace of @p store. The timing side runs
+ * base with its first downstream level reshaped to each family
+ * member; @p jobs parallelizes the (trace x config) simulations.
+ * @param solo also compare solo read miss ratios.
+ */
+CrossCheckReport crossCheck(const hier::HierarchyParams &base,
+                            const FamilySpec &family,
+                            const expt::TraceStore &store,
+                            std::size_t jobs = 1, bool solo = false);
+
+} // namespace onepass
+} // namespace mlc
+
+#endif // MLC_ONEPASS_VALIDATE_HH

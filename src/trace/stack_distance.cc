@@ -9,8 +9,12 @@ namespace mlc {
 namespace trace {
 
 StackDistanceAnalyzer::StackDistanceAnalyzer(std::uint64_t granule_bytes)
-    : granuleShift_(exactLog2(granule_bytes))
 {
+    if (granule_bytes == 0 || !isPowerOfTwo(granule_bytes))
+        mlc_panic("StackDistanceAnalyzer: granule size must be a "
+                  "power of two, got ",
+                  granule_bytes, " bytes");
+    granuleShift_ = exactLog2(granule_bytes);
     fenwick_.assign(1, 0);
 }
 

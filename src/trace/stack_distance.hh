@@ -56,6 +56,13 @@ class StackDistanceAnalyzer
     /** Number of distinct granules seen (compulsory misses). */
     std::uint64_t distinctGranules() const { return last_.size(); }
 
+    /** Number of first-touch ("infinite distance") references.
+     *  Granules are never forgotten, so this always equals
+     *  distinctGranules(); both spellings exist because callers ask
+     *  the question from different directions (footprint vs miss
+     *  accounting). */
+    std::uint64_t infiniteCount() const { return infiniteCount_; }
+
     /**
      * Miss ratio of a fully-associative LRU cache holding
      * @p capacity_granules granules, over the stream seen so far:

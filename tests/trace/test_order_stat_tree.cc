@@ -125,6 +125,47 @@ TEST(OrderStatTree, MatchesReferenceDeque)
               std::vector<std::uint64_t>(ref.begin(), ref.end()));
 }
 
+/** Edge churn: repeated drain-to-empty and refill, with every
+ *  mutation at a boundary position (index 0 or size), where rotation
+ *  bookkeeping bugs like to hide. */
+TEST(OrderStatTree, DrainAndRefillAtBoundariesMatchesDeque)
+{
+    OrderStatTree t(7);
+    std::deque<std::uint64_t> ref;
+    Rng rng(4242);
+    for (int round = 0; round < 50; ++round) {
+        // Refill to 64 using only the two boundary inserts.
+        while (ref.size() < 64) {
+            const std::uint64_t v = rng.next();
+            if (rng.nextBool(0.5)) {
+                t.insertAt(0, v);
+                ref.push_front(v);
+            } else {
+                t.insertAt(ref.size(), v);
+                ref.push_back(v);
+            }
+        }
+        ASSERT_EQ(t.at(0), ref.front()) << "round " << round;
+        ASSERT_EQ(t.at(ref.size() - 1), ref.back())
+            << "round " << round;
+        // Drain completely using only the two boundary removals.
+        while (!ref.empty()) {
+            if (rng.nextBool(0.5)) {
+                ASSERT_EQ(t.removeAt(0), ref.front());
+                ref.pop_front();
+            } else {
+                ASSERT_EQ(t.removeAt(ref.size() - 1), ref.back());
+                ref.pop_back();
+            }
+        }
+        ASSERT_TRUE(t.empty()) << "round " << round;
+    }
+    // The drained tree must be fully reusable.
+    t.pushBack(17);
+    EXPECT_EQ(t.at(0), 17ULL);
+    EXPECT_EQ(t.size(), 1u);
+}
+
 TEST(OrderStatTree, NodePoolReusesFreedNodes)
 {
     OrderStatTree t;

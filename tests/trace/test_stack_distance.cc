@@ -116,6 +116,53 @@ TEST(StackDistance, CompactionPreservesAnswers)
     EXPECT_EQ(an.distinctGranules(), 7ULL);
 }
 
+TEST(StackDistance, InfiniteCountEqualsDistinctGranules)
+{
+    StackDistanceAnalyzer an(16);
+    EXPECT_EQ(an.infiniteCount(), 0ULL);
+    Rng rng(31);
+    for (int i = 0; i < 10000; ++i)
+        an.access(rng.nextBounded(400) * 16);
+    // Granules are never forgotten, so every first touch is an
+    // infinite-distance reference and vice versa.
+    EXPECT_EQ(an.infiniteCount(), an.distinctGranules());
+    EXPECT_GT(an.infiniteCount(), 0ULL);
+}
+
+TEST(StackDistance, ExactAcrossCompactionBoundaries)
+{
+    // Small footprint, long random stream: the time axis compacts
+    // many times, and every answer must still match the brute-force
+    // LRU stack at every step (not just in aggregate).
+    StackDistanceAnalyzer an(16);
+    std::vector<Addr> lru;
+    Rng rng(1234);
+    for (int i = 0; i < 60000; ++i) {
+        const Addr granule = rng.nextBounded(11);
+
+        std::uint64_t expected = StackDistanceAnalyzer::kInfinite;
+        for (std::size_t d = 0; d < lru.size(); ++d) {
+            if (lru[d] == granule) {
+                expected = d;
+                lru.erase(lru.begin() +
+                          static_cast<std::ptrdiff_t>(d));
+                break;
+            }
+        }
+        lru.insert(lru.begin(), granule);
+
+        ASSERT_EQ(an.access(granule * 16), expected)
+            << "at step " << i;
+    }
+    EXPECT_EQ(an.distinctGranules(), 11ULL);
+}
+
+TEST(StackDistanceDeathTest, RejectsNonPowerOfTwoGranule)
+{
+    EXPECT_DEATH(StackDistanceAnalyzer(24), "power of two");
+    EXPECT_DEATH(StackDistanceAnalyzer(0), "power of two");
+}
+
 TEST(StackDistance, Log2ProfileBucketsDistances)
 {
     StackDistanceAnalyzer an(16);
