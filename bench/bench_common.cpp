@@ -1,10 +1,16 @@
 #include "bench_common.hh"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MLC_HAVE_GETRUSAGE 1
+#include <sys/resource.h>
+#endif
 
 #include "onepass/grid.hh"
 #include "util/csv.hh"
@@ -90,6 +96,42 @@ materializeAll(std::vector<expt::TraceSpec> specs, std::size_t jobs)
     // byte-identical across --jobs values.
     std::cerr << "  generating " << specs.size() << " traces...\n";
     return expt::TraceStore::materialize(std::move(specs), jobs);
+}
+
+expt::TraceStore
+materializeAll(std::vector<expt::TraceSpec> specs, std::size_t jobs,
+               double &out_ms)
+{
+    const auto start = std::chrono::steady_clock::now();
+    expt::TraceStore store = materializeAll(std::move(specs), jobs);
+    const std::chrono::duration<double, std::milli> ms =
+        std::chrono::steady_clock::now() - start;
+    out_ms = ms.count();
+    return store;
+}
+
+long
+maxRssKb()
+{
+#if MLC_HAVE_GETRUSAGE
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return -1;
+#if defined(__APPLE__)
+    return static_cast<long>(usage.ru_maxrss / 1024); // bytes -> KB
+#else
+    return usage.ru_maxrss; // already KB on Linux
+#endif
+#else
+    return -1;
+#endif
+}
+
+std::string
+maxRssJson()
+{
+    const long kb = maxRssKb();
+    return kb < 0 ? std::string("null") : std::to_string(kb);
 }
 
 expt::DesignSpaceGrid

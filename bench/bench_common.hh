@@ -61,6 +61,26 @@ expt::TraceStore
 materializeAll(std::vector<expt::TraceSpec> specs,
                std::size_t jobs = 1);
 
+/** As above, also reporting the wall-clock milliseconds spent
+ *  materializing in @p out_ms, so benches can report trace
+ *  preparation and simulation as separate JSON fields. */
+expt::TraceStore
+materializeAll(std::vector<expt::TraceSpec> specs, std::size_t jobs,
+               double &out_ms);
+
+/**
+ * Process-lifetime maximum resident set size in KB, or -1 where the
+ * platform has no getrusage (the value is a high-water mark: a
+ * second measurement includes everything the process peaked at
+ * earlier).
+ */
+long maxRssKb();
+
+/** maxRssKb() formatted as a JSON value: the KB count, or "null"
+ *  on platforms where sampling is unavailable — never a garbage
+ *  number. */
+std::string maxRssJson();
+
 /**
  * Build the (L2 size x L2 cycle) relative-execution-time grid for
  * a base machine over a shared trace store with the chosen engine,

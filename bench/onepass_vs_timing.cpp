@@ -4,10 +4,11 @@
  * on the Figure 4-1 design-space grid (11 L2 sizes x 10 cycle
  * times), same traces, same machine.
  *
- * Prints one JSON object per measurement (wall-clock seconds and
- * process max RSS) plus a summary line with the jobs=1 speedup and
- * the largest per-cell difference between the two grids — the
- * engines agree on miss ratios exactly, so the delta is purely the
+ * Prints one JSON object per measurement (trace-materialization and
+ * simulation milliseconds reported separately, plus process max
+ * RSS) and a summary line with the jobs=1 speedup and the largest
+ * per-cell difference between the two grids — the engines agree on
+ * miss ratios exactly, so the delta is purely the
  * modelled-vs-simulated timing gap.
  *
  *   $ ./onepass_vs_timing [--jobs=N]
@@ -15,13 +16,12 @@
  * Note on RSS: ru_maxrss is a process-lifetime high-water mark, so
  * the one-pass engine runs first — its reading is its own, while
  * the timing engine's includes whatever the one-pass run peaked at.
+ * On platforms without getrusage the field is null, never garbage.
  */
 
 #include <chrono>
 #include <cmath>
 #include <iostream>
-
-#include <sys/resource.h>
 
 #include "bench_common.hh"
 #include "onepass/grid.hh"
@@ -30,14 +30,9 @@ using namespace mlc;
 
 namespace {
 
-long
-maxRssKb()
-{
-    struct rusage usage;
-    if (getrusage(RUSAGE_SELF, &usage) != 0)
-        return -1;
-    return usage.ru_maxrss;
-}
+/** Materialization cost, shared by every record (the store is
+ *  built once and reused by both engines). */
+double g_materialize_ms = 0.0;
 
 /** Time one grid build and emit its JSON record. */
 template <typename Fn>
@@ -49,8 +44,10 @@ timed(const char *engine, std::size_t jobs, Fn &&build)
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - start;
     std::cout << "{\"engine\":\"" << engine << "\",\"jobs\":" << jobs
+              << ",\"materialize_ms\":" << g_materialize_ms
+              << ",\"simulate_ms\":" << wall.count() * 1000.0
               << ",\"wall_s\":" << wall.count()
-              << ",\"max_rss_kb\":" << maxRssKb() << "}\n";
+              << ",\"max_rss_kb\":" << bench::maxRssJson() << "}\n";
     return grid;
 }
 
@@ -67,8 +64,8 @@ main(int argc, char **argv)
     std::cerr << "onepass vs timing on the " << sizes.size() << "x"
               << cycles.size() << " Figure 4-1 grid\n";
 
-    const auto store =
-        bench::materializeAll(expt::gridSuite(), jobs);
+    const auto store = bench::materializeAll(expt::gridSuite(), jobs,
+                                             g_materialize_ms);
     const auto machineFor = [&](std::uint64_t size,
                                 std::uint32_t cyc) {
         return base.withL2(size, cyc);

@@ -119,13 +119,10 @@ BM_HierarchyPerReference(benchmark::State &state)
     const auto refs = trace::collect(*gen, 200000);
     hier::HierarchySimulator sim(
         hier::HierarchyParams::baseMachine());
-    trace::VectorSource warm(refs);
-    sim.warmUp(warm, 100000);
+    sim.warmUp(trace::RefSpan{refs.data(), 100000});
     std::size_t i = 0;
     for (auto _ : state) {
-        trace::VectorSource one(
-            std::vector<trace::MemRef>{refs[i]});
-        sim.run(one, 1);
+        sim.run(trace::RefSpan{&refs[i], 1});
         if (++i == refs.size())
             i = 0;
     }
@@ -142,8 +139,7 @@ BM_HierarchyThroughput(benchmark::State &state)
     for (auto _ : state) {
         hier::HierarchySimulator sim(
             hier::HierarchyParams::baseMachine());
-        trace::VectorSource src(refs);
-        sim.run(src);
+        sim.run(trace::RefSpan{refs.data(), refs.size()});
         benchmark::DoNotOptimize(sim.results().totalCycles);
     }
     state.SetItemsProcessed(

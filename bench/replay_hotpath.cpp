@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Replay-throughput micro-benchmark for the timing simulator's hot
+ * path: references per second through the Figure 4-1 base machine
+ * over the synthetic multiprogramming workload, replayed four ways:
+ *
+ *   mode=scalar  — one virtual next() call (and one MemRef copy)
+ *                  per reference, the pull path the batched API
+ *                  replaced;
+ *   mode=span    — zero-copy batched replay over the materialized
+ *                  trace (run(RefSpan): no virtual call at all);
+ *
+ * each with the inline L1 read-hit fast path off (the generic
+ * AccessOutcome path for every reference, the pre-overhaul
+ * behaviour) and on (SoA probe + recency touch for the ~95% hit
+ * case). scalar+off is the pre-overhaul-equivalent baseline;
+ * span+on is the production configuration.
+ *
+ * Prints one JSON object per mode (refs/sec, materialization and
+ * simulation milliseconds as separate fields, max RSS or null where
+ * unavailable) plus a summary line with the combined speedup. All
+ * four replays must produce integer-identical results — the bench
+ * aborts on any divergence, mirroring the golden tests.
+ *
+ *   $ ./replay_hotpath [refs]
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "hier/hierarchy.hh"
+#include "trace/interleave.hh"
+#include "trace/source.hh"
+#include "util/logging.hh"
+
+using namespace mlc;
+
+namespace {
+
+/**
+ * A deliberately scalar source: only next() is implemented, so the
+ * simulator's drain loop pays the inherited per-reference virtual
+ * call — the cost profile of the pre-batch replay path.
+ */
+class ScalarSource final : public trace::TraceSource
+{
+  public:
+    explicit ScalarSource(trace::RefSpan refs) : refs_(refs) {}
+
+    bool
+    next(trace::MemRef &ref) override
+    {
+        if (pos_ >= refs_.size)
+            return false;
+        ref = refs_[pos_++];
+        return true;
+    }
+
+    void rewind() { pos_ = 0; }
+
+  private:
+    trace::RefSpan refs_;
+    std::size_t pos_ = 0;
+};
+
+/** The integer results every mode must agree on, bit for bit. */
+struct Fingerprint
+{
+    std::uint64_t totalCycles = 0;
+    std::uint64_t references = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+
+    bool
+    operator==(const Fingerprint &o) const
+    {
+        return totalCycles == o.totalCycles &&
+               references == o.references &&
+               instructions == o.instructions &&
+               memReads == o.memReads && memWrites == o.memWrites;
+    }
+};
+
+struct Measurement
+{
+    double wall_s = 0.0;
+    Fingerprint fp;
+};
+
+Measurement
+replay(const hier::HierarchyParams &params, trace::RefSpan warm,
+       trace::RefSpan measure, bool scalar, bool fast_path)
+{
+    hier::HierarchySimulator sim(params);
+    sim.setReadHitFastPath(fast_path);
+
+    Measurement m;
+    if (scalar) {
+        ScalarSource warm_src(warm);
+        sim.warmUp(warm_src, warm.size);
+        ScalarSource src(measure);
+        const auto start = std::chrono::steady_clock::now();
+        sim.run(src);
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        m.wall_s = wall.count();
+    } else {
+        sim.warmUp(warm);
+        const auto start = std::chrono::steady_clock::now();
+        sim.run(measure);
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        m.wall_s = wall.count();
+    }
+
+    const hier::SimResults r = sim.results();
+    m.fp.totalCycles = r.totalCycles;
+    m.fp.references = r.references;
+    m.fp.instructions = r.instructions;
+    m.fp.memReads = sim.memoryReads();
+    m.fp.memWrites = sim.memoryWrites();
+    return m;
+}
+
+void
+printRecord(const char *mode, bool fast_path, std::uint64_t refs,
+            const Measurement &m, double materialize_ms)
+{
+    std::cout << "{\"mode\":\"" << mode << "\",\"hit_fast_path\":"
+              << (fast_path ? "true" : "false")
+              << ",\"refs\":" << refs
+              << ",\"wall_s\":" << m.wall_s << ",\"refs_per_sec\":"
+              << static_cast<double>(refs) / m.wall_s
+              << ",\"materialize_ms\":" << materialize_ms
+              << ",\"simulate_ms\":" << m.wall_s * 1000.0
+              << ",\"max_rss_kb\":" << bench::maxRssJson() << "}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t refs = 2'000'000;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (arg[0] >= '0' && arg[0] <= '9')
+            refs = std::strtoull(arg, nullptr, 0);
+    }
+    const std::uint64_t warmup = refs / 4;
+
+    std::cerr << "replay hot path: " << refs
+              << " measured refs through the base machine\n";
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto workload = trace::makeMultiprogrammedWorkload(6, 12000, 0);
+    const std::vector<trace::MemRef> stream =
+        trace::collect(*workload, warmup + refs);
+    const std::chrono::duration<double, std::milli> mat =
+        std::chrono::steady_clock::now() - t0;
+
+    const trace::RefSpan all{stream.data(), stream.size()};
+    const trace::RefSpan warm = all.first(warmup);
+    const trace::RefSpan measure = all.dropFirst(warmup);
+    const hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+
+    // scalar+off is the pre-overhaul-equivalent baseline; run it
+    // first so its RSS reading is its own (high-water mark).
+    const Measurement scalar_off =
+        replay(base, warm, measure, true, false);
+    printRecord("scalar", false, refs, scalar_off, mat.count());
+    const Measurement scalar_on =
+        replay(base, warm, measure, true, true);
+    printRecord("scalar", true, refs, scalar_on, mat.count());
+    const Measurement span_off =
+        replay(base, warm, measure, false, false);
+    printRecord("span", false, refs, span_off, mat.count());
+    const Measurement span_on =
+        replay(base, warm, measure, false, true);
+    printRecord("span", true, refs, span_on, mat.count());
+
+    // The four replays simulate the same machine over the same
+    // stream: any divergence is a hot-path correctness bug.
+    if (!(scalar_off.fp == scalar_on.fp) ||
+        !(scalar_off.fp == span_off.fp) ||
+        !(scalar_off.fp == span_on.fp))
+        mlc_fatal("replay modes disagree: the fast path or batched "
+                  "replay broke bit-exactness");
+
+    const double rps_base =
+        static_cast<double>(refs) / scalar_off.wall_s;
+    const double rps_best =
+        static_cast<double>(refs) / span_on.wall_s;
+    const double rps_span_off =
+        static_cast<double>(refs) / span_off.wall_s;
+    std::cout << "{\"speedup\":" << rps_best / rps_base
+              << ",\"speedup_fast_path\":"
+              << rps_best / rps_span_off
+              << ",\"speedup_zero_copy\":" << rps_span_off / rps_base
+              << "}\n";
+    return 0;
+}

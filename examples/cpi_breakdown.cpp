@@ -70,11 +70,12 @@ main(int argc, char **argv)
     t.addColumn("stall: store");
     t.addColumn("mean miss pen.");
 
+    const trace::RefSpan stream{trace_refs.data(),
+                                trace_refs.size()};
     for (const Machine &m : machines()) {
         hier::HierarchySimulator sim(m.params);
-        trace::VectorSource src(trace_refs);
-        sim.warmUp(src, refs / 3);
-        sim.run(src);
+        sim.warmUp(stream.first(refs / 3));
+        sim.run(stream.dropFirst(refs / 3));
         const hier::SimResults r = sim.results();
         const double instr = static_cast<double>(r.instructions);
         t.newRow()
@@ -93,9 +94,8 @@ main(int argc, char **argv)
     // Penalty distribution of the base machine.
     hier::HierarchySimulator base(
         hier::HierarchyParams::baseMachine());
-    trace::VectorSource src(trace_refs);
-    base.warmUp(src, refs / 3);
-    base.run(src);
+    base.warmUp(stream.first(refs / 3));
+    base.run(stream.dropFirst(refs / 3));
     const auto &hist = base.missPenaltyHistogram();
     std::cout << "\nL1 read-miss penalty distribution (base "
                  "machine, 2-cycle buckets):\n";

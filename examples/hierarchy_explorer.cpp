@@ -137,14 +137,26 @@ main(int argc, char **argv)
     // machines see the identical stream.
     const std::uint64_t warmup = refs / 3;
     std::vector<trace::MemRef> stream;
+    std::unique_ptr<trace::MappedBinaryTrace> mapped;
+    trace::RefSpan replay_all;
     std::string stream_name;
     if (!trace_path.empty()) {
-        stream = readTraceFile(trace_path, warmup + refs);
         stream_name = trace_path;
+        if (!endsWith(trace_path, ".din") &&
+            !endsWith(trace_path, ".mlcz")) {
+            // MLCT binary: map the file and replay it in place.
+            mapped =
+                std::make_unique<trace::MappedBinaryTrace>(trace_path);
+            replay_all = mapped->span().first(warmup + refs);
+        } else {
+            stream = readTraceFile(trace_path, warmup + refs);
+            replay_all = {stream.data(), stream.size()};
+        }
     } else {
         auto source = trace::makeMultiprogrammedWorkload(6, 12000, 0);
         stream = trace::collect(*source, warmup + refs);
         stream_name = "built-in synthetic workload";
+        replay_all = {stream.data(), stream.size()};
     }
 
     const bool want_stats = [] {
@@ -167,7 +179,7 @@ main(int argc, char **argv)
             onepass::ProfileOptions popts;
             popts.solo = params[i].measureSolo;
             const onepass::TraceProfile prof = onepass::profileTrace(
-                params[i], family, stream, warmup, popts);
+                params[i], family, replay_all, warmup, popts);
             const onepass::EqTimingModel model =
                 onepass::EqTimingModel::forMachine(params[i]);
             const onepass::ConfigProfile &cfg = prof.configs[0];
@@ -197,10 +209,11 @@ main(int argc, char **argv)
                << "  modelled rel exec   " << model.relExec(prof, 0)
                << "\n";
         } else {
+            // Zero-copy replay: VectorSource would copy the whole
+            // stream once per configuration.
             hier::HierarchySimulator sim(params[i]);
-            trace::VectorSource source(stream);
-            sim.warmUp(source, warmup);
-            sim.run(source);
+            sim.warmUp(replay_all.first(warmup));
+            sim.run(replay_all.dropFirst(warmup));
             sim.results().print(os);
             if (want_stats) {
                 os << "\n";

@@ -109,6 +109,57 @@ class Cache
     void access(const trace::MemRef &ref, AccessOutcome &outcome);
 
     /**
+     * Hot path for the ~95% case: a read that hits.
+     *
+     * Performs exactly the state updates access() performs for a
+     * read hit (access counter, recency touch) without going near
+     * an AccessOutcome; returns false with NO state change on a
+     * miss (or a boundary-crossing access) so the caller falls back
+     * to access(), which re-probes and does the full bookkeeping.
+     * Counter/tag evolution is therefore bit-identical to always
+     * calling access(). Must only be called with ref.isRead().
+     */
+    bool
+    tryReadHit(const trace::MemRef &ref)
+    {
+        const auto &geom = params_.geometry;
+        if ((ref.addr & (geom.blockBytes - 1)) + ref.size >
+            geom.blockBytes)
+            return false; // access() panics with the full message
+        if (!tags_.readTouch(ref.addr))
+            return false;
+        if (ref.type == trace::RefType::IFetch)
+            ++counts_.ifetchAccesses;
+        else
+            ++counts_.loadAccesses;
+        return true;
+    }
+
+    /**
+     * Hot path for a store that hits a write-back cache: exactly
+     * the state updates access() performs for that case (access
+     * counter, recency touch, dirty bit) with no AccessOutcome.
+     * Returns false with NO state change on a miss, a
+     * boundary-crossing access, or a write-through cache (whose
+     * store hits must forward the write downstream), so the caller
+     * falls back to access(). Must only be called with a write ref.
+     */
+    bool
+    tryStoreHit(const trace::MemRef &ref)
+    {
+        const auto &geom = params_.geometry;
+        if ((ref.addr & (geom.blockBytes - 1)) + ref.size >
+            geom.blockBytes)
+            return false; // access() panics with the full message
+        if (params_.writePolicy != WritePolicy::WriteBack)
+            return false;
+        if (!tags_.writeTouchDirty(ref.addr))
+            return false;
+        ++counts_.storeAccesses;
+        return true;
+    }
+
+    /**
      * Apply a write travelling downstream (a victim write-back
      * from above, or a forwarded store): on hit the line is
      * touched and, for a write-back cache, marked dirty. Misses do

@@ -66,6 +66,7 @@ CacheGeometry::finalize(const std::string &name)
     numSets = blocks / ways;
     blockShift = exactLog2(blockBytes);
     setMask = numSets - 1;
+    tagShift = blockShift + exactLog2(numSets);
 }
 
 void

@@ -71,6 +71,9 @@ struct CacheGeometry
     std::uint64_t numSets = 0;
     unsigned blockShift = 0;
     std::uint64_t setMask = 0;
+    /** blockShift + log2(numSets): tag extraction is a single
+     *  shift, not a division — numSets is always a power of two. */
+    unsigned tagShift = 0;
     /** @} */
 
     std::uint64_t numBlocks() const { return sizeBytes / blockBytes; }
@@ -84,10 +87,7 @@ struct CacheGeometry
     {
         return (a >> blockShift) & setMask;
     }
-    Addr tagOf(Addr a) const
-    {
-        return (a >> blockShift) / numSets;
-    }
+    Addr tagOf(Addr a) const { return a >> tagShift; }
 };
 
 /** Full per-cache configuration. */

@@ -1,5 +1,6 @@
 #include "cache/tag_array.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/bits.hh"
@@ -27,14 +28,17 @@ TagArray::TagArray(const CacheGeometry &geometry, ReplPolicy policy,
     if (subCount_ > 32)
         mlc_panic("at most 32 sub-blocks per line, got ",
                   subCount_);
-    lines_.resize(geom_.numSets * geom_.ways);
-}
+    subShift_ = exactLog2(subBytes_);
 
-std::uint32_t
-TagArray::subIndex(Addr addr) const
-{
-    return static_cast<std::uint32_t>(
-        (addr & (geom_.blockBytes - 1)) / subBytes_);
+    if (geom_.tagShift == 0)
+        mlc_panic("tag shift of zero would allow an all-ones tag");
+
+    const std::size_t lines = geom_.numSets * geom_.ways;
+    tags_.assign(lines, kInvalidTag);
+    validMask_.assign(lines, 0);
+    dirtyMask_.assign(lines, 0);
+    useStamp_.assign(lines, 0);
+    insertStamp_.assign(lines, 0);
 }
 
 std::uint32_t
@@ -45,70 +49,48 @@ TagArray::fullMask() const
                : (std::uint32_t{1} << subCount_) - 1;
 }
 
-ProbeResult
-TagArray::probe(Addr addr) const
-{
-    const std::uint64_t set = geom_.setIndex(addr);
-    const Addr tag = geom_.tagOf(addr);
-    for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        const Line &l = line(set, w);
-        if (l.anyValid() && l.tag == tag) {
-            ProbeResult r;
-            r.tagHit = true;
-            r.hit = (l.validMask >> subIndex(addr)) & 1;
-            r.way = w;
-            return r;
-        }
-    }
-    return {};
-}
-
-void
-TagArray::touch(Addr addr, std::uint32_t way)
-{
-    Line &l = line(geom_.setIndex(addr), way);
-    l.useStamp = ++stamp_;
-}
-
 void
 TagArray::markDirty(Addr addr, std::uint32_t way)
 {
-    Line &l = line(geom_.setIndex(addr), way);
+    const std::size_t i = lineIndex(geom_.setIndex(addr), way);
     const std::uint32_t bit = std::uint32_t{1} << subIndex(addr);
-    if (!(l.validMask & bit))
+    if (!(validMask_[i] & bit))
         mlc_panic("markDirty on an invalid (sub-)block");
-    l.dirtyMask |= bit;
+    dirtyMask_[i] |= bit;
 }
 
 bool
 TagArray::isDirty(Addr addr, std::uint32_t way) const
 {
-    return line(geom_.setIndex(addr), way).anyDirty();
+    return dirtyMask_[lineIndex(geom_.setIndex(addr), way)] != 0;
 }
 
 std::uint32_t
 TagArray::dirtyBytes(Addr addr, std::uint32_t way) const
 {
-    const Line &l = line(geom_.setIndex(addr), way);
-    return static_cast<std::uint32_t>(std::popcount(l.dirtyMask)) *
+    const std::size_t i = lineIndex(geom_.setIndex(addr), way);
+    return static_cast<std::uint32_t>(
+               std::popcount(dirtyMask_[i])) *
            subBytes_;
 }
 
 std::uint32_t
 TagArray::chooseVictim(std::uint64_t set)
 {
+    const std::size_t base = lineIndex(set, 0);
+
     // Invalid ways first, regardless of policy.
     for (std::uint32_t w = 0; w < geom_.ways; ++w)
-        if (!line(set, w).anyValid())
+        if (validMask_[base + w] == 0)
             return w;
 
     switch (policy_) {
       case ReplPolicy::LRU: {
         std::uint32_t victim = 0;
-        std::uint64_t best = line(set, 0).useStamp;
+        std::uint64_t best = useStamp_[base];
         for (std::uint32_t w = 1; w < geom_.ways; ++w) {
-            if (line(set, w).useStamp < best) {
-                best = line(set, w).useStamp;
+            if (useStamp_[base + w] < best) {
+                best = useStamp_[base + w];
                 victim = w;
             }
         }
@@ -116,10 +98,10 @@ TagArray::chooseVictim(std::uint64_t set)
       }
       case ReplPolicy::FIFO: {
         std::uint32_t victim = 0;
-        std::uint64_t best = line(set, 0).insertStamp;
+        std::uint64_t best = insertStamp_[base];
         for (std::uint32_t w = 1; w < geom_.ways; ++w) {
-            if (line(set, w).insertStamp < best) {
-                best = line(set, w).insertStamp;
+            if (insertStamp_[base + w] < best) {
+                best = insertStamp_[base + w];
                 victim = w;
             }
         }
@@ -139,15 +121,16 @@ TagArray::blockBaseOf(std::uint64_t set, Addr tag) const
 }
 
 Victim
-TagArray::makeVictim(const Line &l, std::uint64_t set) const
+TagArray::makeVictim(std::size_t idx, std::uint64_t set) const
 {
     Victim victim;
-    if (l.anyValid()) {
+    if (validMask_[idx] != 0) {
         victim.valid = true;
-        victim.dirty = l.anyDirty();
-        victim.blockBase = blockBaseOf(set, l.tag);
+        victim.dirty = dirtyMask_[idx] != 0;
+        victim.blockBase = blockBaseOf(set, tags_[idx]);
         victim.dirtyBytes =
-            static_cast<std::uint32_t>(std::popcount(l.dirtyMask)) *
+            static_cast<std::uint32_t>(
+                std::popcount(dirtyMask_[idx])) *
             subBytes_;
     }
     return victim;
@@ -159,14 +142,14 @@ TagArray::evictAndInstall(Addr addr, std::uint32_t valid_mask,
 {
     const std::uint64_t set = geom_.setIndex(addr);
     const std::uint32_t way = chooseVictim(set);
-    Line &l = line(set, way);
-    const Victim victim = makeVictim(l, set);
+    const std::size_t i = lineIndex(set, way);
+    const Victim victim = makeVictim(i, set);
 
-    l.tag = geom_.tagOf(addr);
-    l.validMask = valid_mask;
-    l.dirtyMask = dirty_mask;
-    l.useStamp = ++stamp_;
-    l.insertStamp = stamp_;
+    tags_[i] = geom_.tagOf(addr);
+    validMask_[i] = valid_mask;
+    dirtyMask_[i] = dirty_mask;
+    useStamp_[i] = ++stamp_;
+    insertStamp_[i] = stamp_;
     return victim;
 }
 
@@ -175,11 +158,12 @@ TagArray::fill(Addr addr, bool dirty)
 {
     const std::uint64_t set = geom_.setIndex(addr);
     const Addr tag = geom_.tagOf(addr);
+    const std::size_t base = lineIndex(set, 0);
 
     // Filling a resident block is a bug in the caller: probe first.
     for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        const Line &l = line(set, w);
-        if (l.anyValid() && l.tag == tag)
+        const std::size_t i = base + w;
+        if (tags_[i] == tag)
             mlc_panic("fill of already-resident block 0x",
                       geom_.blockBase(addr));
     }
@@ -194,17 +178,18 @@ TagArray::fillSub(Addr addr, bool dirty)
     const std::uint64_t set = geom_.setIndex(addr);
     const Addr tag = geom_.tagOf(addr);
     const std::uint32_t bit = std::uint32_t{1} << subIndex(addr);
+    const std::size_t base = lineIndex(set, 0);
 
     for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        Line &l = line(set, w);
-        if (l.anyValid() && l.tag == tag) {
-            if (l.validMask & bit)
+        const std::size_t i = base + w;
+        if (tags_[i] == tag) {
+            if (validMask_[i] & bit)
                 mlc_panic("fillSub of an already-valid sub-block "
                           "at 0x", addr);
-            l.validMask |= bit;
+            validMask_[i] |= bit;
             if (dirty)
-                l.dirtyMask |= bit;
-            l.useStamp = ++stamp_;
+                dirtyMask_[i] |= bit;
+            useStamp_[i] = ++stamp_;
             return {};
         }
     }
@@ -217,12 +202,14 @@ TagArray::invalidate(Addr addr)
 {
     const std::uint64_t set = geom_.setIndex(addr);
     const Addr tag = geom_.tagOf(addr);
+    const std::size_t base = lineIndex(set, 0);
     for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-        Line &l = line(set, w);
-        if (l.anyValid() && l.tag == tag) {
-            const Victim victim = makeVictim(l, set);
-            l.validMask = 0;
-            l.dirtyMask = 0;
+        const std::size_t i = base + w;
+        if (tags_[i] == tag) {
+            const Victim victim = makeVictim(i, set);
+            tags_[i] = kInvalidTag;
+            validMask_[i] = 0;
+            dirtyMask_[i] = 0;
             return victim;
         }
     }
@@ -233,8 +220,8 @@ std::uint64_t
 TagArray::validCount() const
 {
     std::uint64_t n = 0;
-    for (const auto &l : lines_)
-        if (l.anyValid())
+    for (const std::uint32_t v : validMask_)
+        if (v != 0)
             ++n;
     return n;
 }
@@ -245,9 +232,9 @@ TagArray::dirtyBlocks() const
     std::vector<Addr> out;
     for (std::uint64_t set = 0; set < geom_.numSets; ++set) {
         for (std::uint32_t w = 0; w < geom_.ways; ++w) {
-            const Line &l = line(set, w);
-            if (l.anyValid() && l.anyDirty())
-                out.push_back(blockBaseOf(set, l.tag));
+            const std::size_t i = lineIndex(set, w);
+            if (validMask_[i] != 0 && dirtyMask_[i] != 0)
+                out.push_back(blockBaseOf(set, tags_[i]));
         }
     }
     return out;
@@ -256,10 +243,9 @@ TagArray::dirtyBlocks() const
 void
 TagArray::clearAll()
 {
-    for (auto &l : lines_) {
-        l.validMask = 0;
-        l.dirtyMask = 0;
-    }
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(validMask_.begin(), validMask_.end(), 0);
+    std::fill(dirtyMask_.begin(), dirtyMask_.end(), 0);
 }
 
 } // namespace cache

@@ -9,6 +9,12 @@
  * makes the solo-miss-ratio co-simulation (Section 3's third miss
  * ratio) cheap: a solo cache is just a second TagArray fed the CPU
  * stream.
+ *
+ * Storage is structure-of-arrays: the probe loop (the simulator's
+ * innermost operation) walks only the tag and valid-mask arrays,
+ * and index/tag extraction is pure shift-and-mask work — set
+ * index, tag and sub-block shifts are all precomputed when the
+ * array is built.
  */
 
 #ifndef MLC_CACHE_TAG_ARRAY_HH
@@ -69,11 +75,90 @@ class TagArray
              std::uint64_t seed = 1,
              std::uint32_t sub_block_bytes = 0);
 
-    /** Look for the block containing @p addr ; no state change. */
-    ProbeResult probe(Addr addr) const;
+    /**
+     * Look for the block containing @p addr ; no state change.
+     *
+     * Defined inline: this is the single hottest operation in the
+     * whole simulator (every reference probes at least one tag
+     * array), and the SoA storage below keeps the loop to two
+     * narrow sequential arrays.
+     */
+    ProbeResult
+    probe(Addr addr) const
+    {
+        const std::size_t base =
+            lineIndex(geom_.setIndex(addr), 0);
+        const Addr tag = geom_.tagOf(addr);
+        ProbeResult r;
+        for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+            const std::size_t i = base + w;
+            if (tags_[i] == tag) {
+                r.tagHit = true;
+                r.hit = (validMask_[i] >> subIndex(addr)) & 1;
+                r.way = w;
+                return r;
+            }
+        }
+        return r;
+    }
 
     /** Update replacement state after a hit. */
-    void touch(Addr addr, std::uint32_t way);
+    void
+    touch(Addr addr, std::uint32_t way)
+    {
+        useStamp_[lineIndex(geom_.setIndex(addr), way)] = ++stamp_;
+    }
+
+    /**
+     * Fused probe + touch for the read-hit fast path: if the
+     * addressed (sub-)block is resident and valid, update recency
+     * and return true; otherwise return false with no state change.
+     * Exactly probe() followed by touch() on a hit, with the index
+     * arithmetic done once.
+     */
+    bool
+    readTouch(Addr addr)
+    {
+        const std::size_t base =
+            lineIndex(geom_.setIndex(addr), 0);
+        const Addr tag = geom_.tagOf(addr);
+        for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+            const std::size_t i = base + w;
+            if (tags_[i] == tag) {
+                if (!((validMask_[i] >> subIndex(addr)) & 1))
+                    return false;
+                useStamp_[i] = ++stamp_;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /**
+     * Fused probe + touch + markDirty for the write-back store-hit
+     * fast path: same contract as readTouch(), additionally setting
+     * the sub-block's dirty bit on a hit.
+     */
+    bool
+    writeTouchDirty(Addr addr)
+    {
+        const std::size_t base =
+            lineIndex(geom_.setIndex(addr), 0);
+        const Addr tag = geom_.tagOf(addr);
+        for (std::uint32_t w = 0; w < geom_.ways; ++w) {
+            const std::size_t i = base + w;
+            if (tags_[i] == tag) {
+                const std::uint32_t bit = std::uint32_t{1}
+                                          << subIndex(addr);
+                if (!(validMask_[i] & bit))
+                    return false;
+                dirtyMask_[i] |= bit;
+                useStamp_[i] = ++stamp_;
+                return true;
+            }
+        }
+        return false;
+    }
 
     /** Mark a resident block dirty (after a write hit). */
     void markDirty(Addr addr, std::uint32_t way);
@@ -122,34 +207,27 @@ class TagArray
     ReplPolicy policy() const { return policy_; }
 
   private:
-    struct Line
+    /** Flat index of (set, way) into the SoA arrays. */
+    std::size_t
+    lineIndex(std::uint64_t set, std::uint32_t way) const
     {
-        Addr tag = 0;
-        std::uint32_t validMask = 0; //!< per-sub-block valid bits
-        std::uint32_t dirtyMask = 0; //!< per-sub-block dirty bits
-        std::uint64_t useStamp = 0;    //!< updated on touch (LRU)
-        std::uint64_t insertStamp = 0; //!< updated on fill (FIFO)
+        return static_cast<std::size_t>(set * geom_.ways + way);
+    }
 
-        bool anyValid() const { return validMask != 0; }
-        bool anyDirty() const { return dirtyMask != 0; }
-    };
+    /** Bit index of the sub-block containing @p addr — a shift,
+     *  not a division (subShift_ precomputed at construction). */
+    std::uint32_t
+    subIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(
+            (addr & (geom_.blockBytes - 1)) >> subShift_);
+    }
 
-    /** Bit index of the sub-block containing @p addr. */
-    std::uint32_t subIndex(Addr addr) const;
     /** Mask with every sub-block bit set. */
     std::uint32_t fullMask() const;
-    Victim makeVictim(const Line &line, std::uint64_t set) const;
+    Victim makeVictim(std::size_t idx, std::uint64_t set) const;
     Victim evictAndInstall(Addr addr, std::uint32_t valid_mask,
                            std::uint32_t dirty_mask);
-
-    Line &line(std::uint64_t set, std::uint32_t way)
-    {
-        return lines_[set * geom_.ways + way];
-    }
-    const Line &line(std::uint64_t set, std::uint32_t way) const
-    {
-        return lines_[set * geom_.ways + way];
-    }
 
     std::uint32_t chooseVictim(std::uint64_t set);
 
@@ -160,7 +238,31 @@ class TagArray
     ReplPolicy policy_;
     std::uint32_t subBytes_;
     std::uint32_t subCount_;
-    std::vector<Line> lines_;
+    unsigned subShift_ = 0;
+
+    /** Tag value stored for invalid lines. No real tag can be
+     *  all-ones (tags are addr >> tagShift with tagShift >= 2), so
+     *  the probe loop tests tags_ alone — validMask_ is only read
+     *  to resolve sub-block validity after a tag match. The
+     *  invariant validMask_[i] == 0 <=> tags_[i] == kInvalidTag is
+     *  maintained by every install/invalidate path. */
+    static constexpr Addr kInvalidTag = ~Addr{0};
+
+    /**
+     * Line state in structure-of-arrays form, indexed by
+     * lineIndex(). The old array-of-struct layout pulled a 32-byte
+     * Line (tag + masks + both stamps) into cache for every way
+     * probed; splitting the arrays means the probe loop touches
+     * only tags_ and validMask_, and the replacement stamps stay
+     * out of the way until a hit or an eviction actually needs
+     * them.
+     */
+    std::vector<Addr> tags_;
+    std::vector<std::uint32_t> validMask_; //!< per-sub-block bits
+    std::vector<std::uint32_t> dirtyMask_; //!< per-sub-block bits
+    std::vector<std::uint64_t> useStamp_;    //!< touch (LRU)
+    std::vector<std::uint64_t> insertStamp_; //!< fill (FIFO)
+
     std::uint64_t stamp_ = 0;
     Rng rng_;
 };

@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "trace/source.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -11,14 +10,22 @@ namespace expt {
 
 hier::SimResults
 runOnTrace(const hier::HierarchyParams &params,
+           trace::RefSpan refs, std::uint64_t warmup_refs)
+{
+    hier::HierarchySimulator sim(params);
+    sim.warmUp(refs.first(warmup_refs));
+    sim.run(refs.dropFirst(warmup_refs));
+    return sim.results();
+}
+
+hier::SimResults
+runOnTrace(const hier::HierarchyParams &params,
            const std::vector<trace::MemRef> &refs,
            std::uint64_t warmup_refs)
 {
-    hier::HierarchySimulator sim(params);
-    trace::VectorSource source(refs);
-    sim.warmUp(source, warmup_refs);
-    sim.run(source);
-    return sim.results();
+    return runOnTrace(
+        params, trace::RefSpan{refs.data(), refs.size()},
+        warmup_refs);
 }
 
 SuiteResults

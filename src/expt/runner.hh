@@ -38,8 +38,14 @@ struct SuiteResults
 
 /**
  * Run @p params over one materialized trace: warm up on the first
- * scaledWarmup(spec) references, measure on the rest.
+ * @p warmup_refs references, measure on the rest. The span is
+ * replayed zero-copy (no per-reference virtual dispatch).
  */
+hier::SimResults runOnTrace(const hier::HierarchyParams &params,
+                            trace::RefSpan refs,
+                            std::uint64_t warmup_refs);
+
+/** Vector convenience overload of the span version above. */
 hier::SimResults runOnTrace(const hier::HierarchyParams &params,
                             const std::vector<trace::MemRef> &refs,
                             std::uint64_t warmup_refs);

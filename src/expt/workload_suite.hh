@@ -78,6 +78,15 @@ class TraceStore
     }
     std::size_t size() const { return specs_.size(); }
 
+    /** Trace @p i as a contiguous zero-copy view — the form every
+     *  replay consumer (timing simulator, one-pass engine, benches)
+     *  should iterate. */
+    trace::RefSpan
+    span(std::size_t i) const
+    {
+        return {traces_[i].data(), traces_[i].size()};
+    }
+
   private:
     TraceStore(std::vector<TraceSpec> specs,
                std::vector<std::vector<trace::MemRef>> traces)

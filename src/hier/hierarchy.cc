@@ -69,18 +69,32 @@ HierarchySimulator::HierarchySimulator(HierarchyParams params)
     readMisses_.assign(levels_.size(), 0);
     levelOutcomes_.resize(levels_.size());
     victimOutcomes_.resize(levels_.size());
+
+    cpuCycleDiv_ = FixedDivisor(cpuCycle_);
+    if (params_.splitL1)
+        l1iReadExtra_ = (params_.l1i.readCycles - 1) * l1iCycle_;
+    l1dReadExtra_ = (params_.l1d.readCycles - 1) * l1dCycle_;
+    l1dWriteExtra_ = (params_.l1d.writeCycles - 1) * l1dCycle_;
+    for (std::size_t i = 0; i < params_.levels.size(); ++i) {
+        const Tick cycle = nsToTicks(params_.levels[i].cycleNs);
+        levelCycleTicks_.push_back(cycle);
+        levelTagCheckTicks_.push_back(
+            params_.levels[i].readCycles * cycle);
+        levelWriteTicks_.push_back(
+            params_.levels[i].writeCycles * cycle);
+    }
 }
 
 Tick
 HierarchySimulator::cacheCycleTicks(std::size_t i) const
 {
-    return nsToTicks(params_.levels[i].cycleNs);
+    return levelCycleTicks_[i];
 }
 
 Tick
 HierarchySimulator::tagCheckTicks(std::size_t i) const
 {
-    return params_.levels[i].readCycles * cacheCycleTicks(i);
+    return levelTagCheckTicks_[i];
 }
 
 Tick
@@ -99,7 +113,7 @@ HierarchySimulator::writeService(std::size_t i,
                                  std::uint64_t bytes) const
 {
     const std::uint64_t beats = buses_[i].beatsFor(bytes);
-    return params_.levels[i].writeCycles * cacheCycleTicks(i) +
+    return levelWriteTicks_[i] +
            (beats - 1) * buses_[i].cycleTime();
 }
 
@@ -245,32 +259,17 @@ HierarchySimulator::queueDownstreamWrite(std::size_t i, Addr base,
 }
 
 void
-HierarchySimulator::handleRef(const trace::MemRef &ref, bool timed)
+HierarchySimulator::soloReplay(const trace::MemRef &ref)
 {
-    cache::Cache *l1 = l1d_.get();
-    Tick l1_cycle = l1dCycle_;
-
-    if (ref.isInst()) {
-        ++instructions_;
-        ++ifetches_;
-        if (timed) {
-            now_ += cpuCycle_;
-            baseTicks_ += cpuCycle_;
-        }
-        if (params_.splitL1) {
-            l1 = l1i_.get();
-            l1_cycle = l1iCycle_;
-        }
-    } else if (ref.type == trace::RefType::Load) {
-        ++loads_;
-    } else {
-        ++stores_;
-    }
-
-    // Solo co-simulation sees the raw CPU stream.
     for (auto &solo : solo_)
         solo->access(ref, soloOutcome_);
+}
 
+void
+HierarchySimulator::handleRefSlow(const trace::MemRef &ref,
+                                  bool timed, cache::Cache *l1,
+                                  Tick l1_cycle)
+{
     l1->access(ref, l1Outcome_);
     const std::uint64_t l1_block = l1->params().fillRequestBytes();
 
@@ -295,7 +294,7 @@ HierarchySimulator::handleRef(const trace::MemRef &ref, bool timed)
                 static_cast<double>(ready - miss_start) /
                 static_cast<double>(cpuCycle_));
             const Tick before = now_;
-            now_ = roundUpMultiple(ready, cpuCycle_);
+            now_ = cpuCycleDiv_.roundUp(ready);
             // Attribute the whole stall (including rounding) to
             // memory if the demand path reached main memory.
             if (memReads_ > mem_reads_before)
@@ -329,7 +328,7 @@ HierarchySimulator::handleRef(const trace::MemRef &ref, bool timed)
     }
     if (timed) {
         const Tick before = now_;
-        now_ = roundUpMultiple(ready, cpuCycle_) + write_extra;
+        now_ = cpuCycleDiv_.roundUp(ready) + write_extra;
         storeStallTicks_ += now_ - before - write_extra;
         storeWriteHitTicks_ += write_extra;
     }
@@ -339,28 +338,58 @@ std::uint64_t
 HierarchySimulator::warmUp(trace::TraceSource &source,
                            std::uint64_t refs)
 {
-    trace::MemRef ref;
+    trace::MemRef buf[kReplayBatch];
     std::uint64_t n = 0;
-    while (n < refs && source.next(ref)) {
-        handleRef(ref, false);
-        ++n;
+    while (n < refs) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kReplayBatch, refs - n));
+        const std::size_t got = source.nextBatch(buf, want);
+        if (got == 0)
+            break;
+        for (std::size_t i = 0; i < got; ++i)
+            handleRef(buf[i], false);
+        n += got;
     }
     resetAllCounts();
     return n;
 }
 
 std::uint64_t
+HierarchySimulator::warmUp(trace::RefSpan refs)
+{
+    for (const trace::MemRef &ref : refs)
+        handleRef(ref, false);
+    resetAllCounts();
+    return refs.size;
+}
+
+std::uint64_t
 HierarchySimulator::run(trace::TraceSource &source,
                         std::uint64_t max_refs)
 {
-    trace::MemRef ref;
+    trace::MemRef buf[kReplayBatch];
     std::uint64_t n = 0;
-    while (n < max_refs && source.next(ref)) {
-        handleRef(ref, true);
-        ++n;
+    while (n < max_refs) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(kReplayBatch, max_refs - n));
+        const std::size_t got = source.nextBatch(buf, want);
+        if (got == 0)
+            break;
+        for (std::size_t i = 0; i < got; ++i)
+            handleRef(buf[i], true);
+        n += got;
     }
     refsRun_ += n;
     return n;
+}
+
+std::uint64_t
+HierarchySimulator::run(trace::RefSpan refs)
+{
+    for (const trace::MemRef &ref : refs)
+        handleRef(ref, true);
+    refsRun_ += refs.size;
+    return refs.size;
 }
 
 void

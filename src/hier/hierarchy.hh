@@ -48,6 +48,7 @@
 #include "mem/write_buffer.hh"
 #include "stats/stats.hh"
 #include "trace/source.hh"
+#include "util/bits.hh"
 
 namespace mlc {
 namespace hier {
@@ -68,14 +69,37 @@ class HierarchySimulator
     std::uint64_t warmUp(trace::TraceSource &source,
                          std::uint64_t refs);
 
+    /** Warm up over a contiguous span (zero-copy replay). */
+    std::uint64_t warmUp(trace::RefSpan refs);
+
     /**
      * Simulate with full timing.
+     *
+     * The source is drained in batches through nextBatch(), so the
+     * per-reference cost carries no virtual call; contiguous
+     * sources are consumed with one copy per few hundred
+     * references. Results are bit-identical to feeding the same
+     * references through run(RefSpan).
+     *
      * @return number of references consumed.
      */
     std::uint64_t
     run(trace::TraceSource &source,
         std::uint64_t max_refs =
             std::numeric_limits<std::uint64_t>::max());
+
+    /** Simulate a contiguous span with full timing (zero-copy). */
+    std::uint64_t run(trace::RefSpan refs);
+
+    /**
+     * Disable/re-enable the inline L1 read-hit fast path.
+     *
+     * The fast path is bit-exact (enforced by the batched-vs-scalar
+     * golden tests), so this toggle exists only so benches can
+     * measure the generic path against it; simulation results do
+     * not depend on the setting.
+     */
+    void setReadHitFastPath(bool enabled) { fastHit_ = enabled; }
 
     /** Measurements over everything run() has simulated. */
     SimResults results() const;
@@ -107,8 +131,24 @@ class HierarchySimulator
     /** @} */
 
   private:
-    /** Apply one CPU reference; advances now_ when timed. */
+    /**
+     * Apply one CPU reference; advances now_ when timed.
+     *
+     * Defined inline below the class: the counter updates and the
+     * L1 hit fast paths then inline straight into the replay loops,
+     * so the ~90% of references that hit in L1 never leave the
+     * loop body. Misses and policy corner cases fall through to the
+     * out-of-line handleRefSlow().
+     */
     void handleRef(const trace::MemRef &ref, bool timed);
+
+    /** Everything past the L1 fast paths (miss machinery, stores
+     *  that leave L1, timing of both). */
+    void handleRefSlow(const trace::MemRef &ref, bool timed,
+                       cache::Cache *l1, Tick l1_cycle);
+
+    /** Feed the solo co-simulation arrays (out of the hot path). */
+    void soloReplay(const trace::MemRef &ref);
 
     /**
      * Read an upstream block from downstream level @p i (i ==
@@ -144,10 +184,31 @@ class HierarchySimulator
 
     void resetAllCounts();
 
+    /** References pulled per nextBatch() call when draining a
+     *  TraceSource (an 8 KB stack buffer — big enough to amortize
+     *  the virtual call, small enough to stay cache-resident). */
+    static constexpr std::size_t kReplayBatch = 512;
+
     HierarchyParams params_;
     Tick cpuCycle_;
     Tick l1iCycle_ = 0;
     Tick l1dCycle_ = 0;
+    bool fastHit_ = true;
+    /** @{ @name Hit-path tick constants: the cycles an L1 hit adds
+     *  beyond the base instruction cycle, precomputed so the inline
+     *  fast paths never touch CacheParams. */
+    Tick l1iReadExtra_ = 0; //!< (readCycles-1) * cycle, I-side
+    Tick l1dReadExtra_ = 0; //!< (readCycles-1) * cycle, D-side
+    Tick l1dWriteExtra_ = 0; //!< (writeCycles-1) * cycle, D-side
+    /** @} */
+    /** Exact cpuCycle_ rounding without a divide per miss/store. */
+    FixedDivisor cpuCycleDiv_;
+    /** @{ @name Per-level tick constants, precomputed so the miss
+     *  path never converts cycleNs (a double) at access time. */
+    std::vector<Tick> levelCycleTicks_;
+    std::vector<Tick> levelTagCheckTicks_;
+    std::vector<Tick> levelWriteTicks_; //!< writeCycles * cycle
+    /** @} */
 
     std::unique_ptr<cache::Cache> l1i_;
     std::unique_ptr<cache::Cache> l1d_; //!< unified L1 if !splitL1
@@ -196,6 +257,64 @@ class HierarchySimulator
     std::vector<cache::AccessOutcome> victimOutcomes_;
     cache::AccessOutcome soloOutcome_; //!< reused per solo access
 };
+
+inline void
+HierarchySimulator::handleRef(const trace::MemRef &ref, bool timed)
+{
+    cache::Cache *l1 = l1d_.get();
+    Tick l1_cycle = l1dCycle_;
+    Tick read_extra = l1dReadExtra_;
+
+    if (ref.isInst()) {
+        ++instructions_;
+        ++ifetches_;
+        if (timed) {
+            now_ += cpuCycle_;
+            baseTicks_ += cpuCycle_;
+        }
+        if (params_.splitL1) {
+            l1 = l1i_.get();
+            l1_cycle = l1iCycle_;
+            read_extra = l1iReadExtra_;
+        }
+    } else if (ref.type == trace::RefType::Load) {
+        ++loads_;
+    } else {
+        ++stores_;
+    }
+
+    // Solo co-simulation sees the raw CPU stream.
+    if (!solo_.empty())
+        soloReplay(ref);
+
+    // The hot path: an L1 hit (the ~95% case at the paper's base
+    // miss ratios) is one inline SoA probe plus a recency touch —
+    // no AccessOutcome, no downstream machinery. Bit-exact with the
+    // generic path (golden-tested); misses, write-through stores
+    // and boundary cases fall through unchanged.
+    if (fastHit_) {
+        if (ref.isRead()) {
+            if (l1->tryReadHit(ref)) {
+                if (timed) {
+                    now_ += read_extra;
+                    readStallCacheTicks_ += read_extra;
+                }
+                return;
+            }
+        } else if (l1->tryStoreHit(ref)) {
+            // A write-back store hit completes locally (stores
+            // always address the D-side): same timing as the
+            // generic hit-and-no-forward arm.
+            if (timed) {
+                now_ += l1dWriteExtra_;
+                storeWriteHitTicks_ += l1dWriteExtra_;
+            }
+            return;
+        }
+    }
+
+    handleRefSlow(ref, timed, l1, l1_cycle);
+}
 
 } // namespace hier
 } // namespace mlc

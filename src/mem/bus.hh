@@ -28,7 +28,10 @@ class Bus
      * @param cycle bus cycle time in ticks.
      */
     Bus(std::uint32_t width_words, Tick cycle)
-        : widthBytes_(width_words * 4), cycle_(cycle)
+        : widthBytes_(width_words * 4), cycle_(cycle),
+          widthShift_(isPowerOfTwo(widthBytes_)
+                          ? floorLog2(widthBytes_)
+                          : 0)
     {
         if (width_words == 0)
             mlc_panic("bus width must be non-zero");
@@ -36,10 +39,14 @@ class Bus
             mlc_panic("bus cycle time must be non-zero");
     }
 
-    /** Bus cycles needed to move @p bytes. */
+    /** Bus cycles needed to move @p bytes. Transfer times sit on
+     *  the miss path of every level, so the (universal) power-of-
+     *  two width turns the division into a shift. */
     std::uint64_t
     beatsFor(std::uint64_t bytes) const
     {
+        if (widthShift_ != 0)
+            return (bytes + widthBytes_ - 1) >> widthShift_;
         return divCeil(bytes, widthBytes_);
     }
 
@@ -58,6 +65,7 @@ class Bus
   private:
     std::uint64_t widthBytes_;
     Tick cycle_;
+    unsigned widthShift_; //!< log2(widthBytes_), 0 if not pow2
 };
 
 } // namespace mem

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/bits.hh"
+
 namespace mlc {
 namespace mem {
 
@@ -9,21 +11,27 @@ WriteBuffer::WriteBuffer(std::size_t depth) : depth_(depth)
 {
     if (depth == 0)
         mlc_panic("write buffer depth must be non-zero");
+    // queueWrite() drains at least one entry before inserting into
+    // a full buffer, so occupancy never exceeds depth_; a
+    // power-of-two ring of at least that size can never overflow.
+    const std::size_t cap = std::size_t{1} << ceilLog2(depth);
+    ring_.resize(cap);
+    mask_ = cap - 1;
 }
 
 void
 WriteBuffer::expire(Tick now)
 {
-    while (!entries_.empty() && entries_.front().done <= now)
-        entries_.pop_front();
+    while (size_ != 0 && front().done <= now)
+        popFront();
 }
 
 Tick
 WriteBuffer::resourceFreeAt() const
 {
     Tick free_at = readFreeAt_;
-    if (!entries_.empty())
-        free_at = std::max(free_at, entries_.back().occupiedUntil);
+    if (size_ != 0)
+        free_at = std::max(free_at, at(size_ - 1).occupiedUntil);
     else
         free_at = std::max(free_at, lastEntryOccupied_);
     return free_at;
@@ -48,7 +56,8 @@ WriteBuffer::queueWrite(Tick now, Addr base, std::uint64_t bytes,
 
     // Coalesce with an unstarted entry for the same range: the new
     // data simply replaces the old in place.
-    for (auto &entry : entries_) {
+    for (std::size_t i = 0; i < size_; ++i) {
+        const Entry &entry = at(i);
         if (entry.base == base && entry.bytes == bytes &&
             entry.start > now) {
             ++writesCoalesced_;
@@ -57,9 +66,9 @@ WriteBuffer::queueWrite(Tick now, Addr base, std::uint64_t bytes,
     }
 
     Tick proceed = now;
-    if (entries_.size() >= depth_) {
+    if (size_ >= depth_) {
         // Full: the requester stalls until the oldest entry drains.
-        proceed = entries_.front().done;
+        proceed = front().done;
         ++fullStalls_;
         fullStallTicks_ += proceed - now;
         expire(proceed);
@@ -72,7 +81,7 @@ WriteBuffer::queueWrite(Tick now, Addr base, std::uint64_t bytes,
     entry.done = entry.start + op.service;
     entry.occupiedUntil = entry.start + op.occupancy;
     lastEntryOccupied_ = entry.occupiedUntil;
-    entries_.push_back(entry);
+    pushBack(entry);
     return proceed;
 }
 
@@ -85,20 +94,20 @@ WriteBuffer::read(Tick now, Addr base, std::uint64_t bytes, Op op)
     // A buffered write overlapping the read holds data newer than
     // the downstream copy; it must drain before the read proceeds.
     std::ptrdiff_t match = -1;
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        if (overlaps(entries_[i].base, entries_[i].bytes, base,
-                     bytes))
+    for (std::size_t i = 0; i < size_; ++i) {
+        if (overlaps(at(i).base, at(i).bytes, base, bytes))
             match = static_cast<std::ptrdiff_t>(i);
     }
 
     Tick earliest = std::max(now, readFreeAt_);
     if (match >= 0) {
         ++readMatches_;
-        const auto &m = entries_[static_cast<std::size_t>(match)];
+        const Entry &m = at(static_cast<std::size_t>(match));
         earliest = std::max(earliest, m.occupiedUntil);
     } else {
         // Wait only for an operation already in progress.
-        for (const auto &entry : entries_) {
+        for (std::size_t i = 0; i < size_; ++i) {
+            const Entry &entry = at(i);
             if (entry.start <= now && entry.occupiedUntil > now)
                 earliest = std::max(earliest, entry.occupiedUntil);
         }
@@ -113,8 +122,8 @@ WriteBuffer::read(Tick now, Addr base, std::uint64_t bytes, Op op)
     // Push unstarted entries (behind any forced match) back behind
     // the read; they drain in order afterwards.
     Tick chain = read_occupied;
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        auto &entry = entries_[i];
+    for (std::size_t i = 0; i < size_; ++i) {
+        Entry &entry = at(i);
         if (static_cast<std::ptrdiff_t>(i) <= match)
             continue;
         if (entry.start <= now)
@@ -134,8 +143,8 @@ std::size_t
 WriteBuffer::pendingAt(Tick now) const
 {
     std::size_t n = 0;
-    for (const auto &entry : entries_)
-        if (entry.done > now)
+    for (std::size_t i = 0; i < size_; ++i)
+        if (at(i).done > now)
             ++n;
     return n;
 }
@@ -149,7 +158,8 @@ WriteBuffer::quiesceAt() const
 void
 WriteBuffer::reset()
 {
-    entries_.clear();
+    head_ = 0;
+    size_ = 0;
     readFreeAt_ = 0;
     lastEntryOccupied_ = 0;
     writesQueued_ = 0;

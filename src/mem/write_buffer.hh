@@ -27,7 +27,7 @@
 #define MLC_MEM_WRITE_BUFFER_HH
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "mem/timing.hh"
 #include "trace/mem_ref.hh"
@@ -99,8 +99,37 @@ class WriteBuffer
     /** Latest occupancy end over everything scheduled. */
     Tick resourceFreeAt() const;
 
+    /** @{ @name Fixed ring of at most depth_ entries. The buffer
+     *  is tiny (the paper uses 4 entries) and exercised on every
+     *  miss, so it lives in a flat power-of-two array instead of a
+     *  deque: no allocation after construction, index arithmetic
+     *  is a mask, and the whole ring shares a cache line or two. */
+    Entry &at(std::size_t i) { return ring_[(head_ + i) & mask_]; }
+    const Entry &
+    at(std::size_t i) const
+    {
+        return ring_[(head_ + i) & mask_];
+    }
+    Entry &front() { return ring_[head_]; }
+    void
+    popFront()
+    {
+        head_ = (head_ + 1) & mask_;
+        --size_;
+    }
+    void
+    pushBack(const Entry &e)
+    {
+        ring_[(head_ + size_) & mask_] = e;
+        ++size_;
+    }
+    /** @} */
+
     std::size_t depth_;
-    std::deque<Entry> entries_;
+    std::vector<Entry> ring_; //!< capacity: depth_ rounded to pow2
+    std::size_t mask_ = 0;    //!< ring_.size() - 1
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
     Tick readFreeAt_ = 0;       //!< occupancy end of the last read
     Tick lastEntryOccupied_ = 0;
 

@@ -111,6 +111,16 @@ profileTrace(const hier::HierarchyParams &base,
              const std::vector<trace::MemRef> &refs,
              std::uint64_t warmup_refs, const ProfileOptions &opts)
 {
+    return profileTrace(base, family,
+                        trace::RefSpan{refs.data(), refs.size()},
+                        warmup_refs, opts);
+}
+
+TraceProfile
+profileTrace(const hier::HierarchyParams &base,
+             const FamilySpec &family, trace::RefSpan refs,
+             std::uint64_t warmup_refs, const ProfileOptions &opts)
+{
     if (family.configs.empty())
         mlc_panic("profileTrace: empty cache family");
 
@@ -154,7 +164,7 @@ profileTrace(const hier::HierarchyParams &base,
         }
     }
 
-    for (std::size_t i = 0; i < refs.size(); ++i) {
+    for (std::size_t i = 0; i < refs.size; ++i) {
         if (i == warmup_refs) {
             filter.resetCounts();
             filtered.resetCounts();

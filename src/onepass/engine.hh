@@ -125,6 +125,13 @@ struct TraceProfile
  */
 TraceProfile profileTrace(const hier::HierarchyParams &base,
                           const FamilySpec &family,
+                          trace::RefSpan refs,
+                          std::uint64_t warmup_refs,
+                          const ProfileOptions &opts = {});
+
+/** Convenience overload for materialized vectors. */
+TraceProfile profileTrace(const hier::HierarchyParams &base,
+                          const FamilySpec &family,
                           const std::vector<trace::MemRef> &refs,
                           std::uint64_t warmup_refs,
                           const ProfileOptions &opts = {});

@@ -67,17 +67,25 @@ class L1Filter
             ++stores_;
         }
 
-        l1->access(ref, outcome_);
-
         if (ref.isRead()) {
+            // Same inline fast path as the timing simulator: a read
+            // hit updates counters and recency without touching an
+            // AccessOutcome.
+            if (l1->tryReadHit(ref))
+                return;
+            l1->access(ref, outcome_);
             if (outcome_.hit)
                 return;
             emit(outcome_, true, sink);
             return;
         }
 
-        // Store: a clean hit stays local; everything else sends
+        // Store: a write-back hit stays local (fast path, same
+        // contract as the read one); everything else sends
         // fills/write-backs and possibly the store itself down.
+        if (l1->tryStoreHit(ref))
+            return;
+        l1->access(ref, outcome_);
         if (outcome_.hit && !outcome_.forwardWrite)
             return;
         if (!outcome_.fills.empty() || !outcome_.writebacks.empty())

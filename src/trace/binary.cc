@@ -1,6 +1,16 @@
 #include "trace/binary.hh"
 
 #include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MLC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "util/logging.hh"
 
@@ -56,6 +66,140 @@ BinaryReader::next(MemRef &ref)
     ref.pid = rec.pid;
     ++delivered_;
     return true;
+}
+
+namespace {
+
+/** Validate a raw header; fatal() on anything unexpected. */
+std::uint64_t
+checkHeader(const Header &header, const std::string &path)
+{
+    if (std::memcmp(header.magic, kMagic, 4) != 0)
+        mlc_fatal(path, ": bad magic (not an MLCT file)");
+    if (header.version != kBinaryTraceVersion)
+        mlc_fatal(path, ": unsupported binary trace version ",
+                  header.version);
+    return header.count;
+}
+
+} // namespace
+
+MappedBinaryTrace::MappedBinaryTrace(const std::string &path,
+                                     Backing backing)
+{
+#if MLC_HAVE_MMAP
+    if (backing == Backing::Auto) {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            mlc_fatal(path, ": cannot open binary trace");
+        struct stat st{};
+        if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+            ::close(fd);
+            mlc_fatal(path, ": cannot stat binary trace");
+        }
+        const std::size_t bytes =
+            static_cast<std::size_t>(st.st_size);
+        if (bytes < sizeof(Header)) {
+            ::close(fd);
+            mlc_fatal(path, ": truncated binary trace header");
+        }
+        void *base =
+            ::mmap(nullptr, bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+        // The descriptor is not needed once mapped (POSIX keeps
+        // the mapping alive); on mmap failure fall through to the
+        // buffered loader rather than failing the run.
+        ::close(fd);
+        if (base != MAP_FAILED) {
+            mapBase_ = base;
+            mapBytes_ = bytes;
+            Header header{};
+            std::memcpy(&header, base, sizeof(header));
+            declared_ = checkHeader(header, path);
+            data_ = reinterpret_cast<const MemRef *>(
+                static_cast<const char *>(base) + sizeof(Header));
+            count_ = (bytes - sizeof(Header)) / sizeof(MemRef);
+            validateRecords(path);
+            return;
+        }
+        warn(path, ": mmap failed; falling back to buffered read");
+    }
+#else
+    (void)backing;
+#endif
+    loadBuffered(path);
+    validateRecords(path);
+}
+
+void
+MappedBinaryTrace::loadBuffered(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        mlc_fatal(path, ": cannot open binary trace");
+    Header header{};
+    is.read(reinterpret_cast<char *>(&header), sizeof(header));
+    if (!is)
+        mlc_fatal(path, ": truncated binary trace header");
+    declared_ = checkHeader(header, path);
+
+    // Records shadow MemRef bit-for-bit (static_asserts in the
+    // header), so the file body can be read straight into MemRef
+    // storage — one copy total.
+    is.seekg(0, std::ios::end);
+    const std::streamoff end = is.tellg();
+    is.seekg(static_cast<std::streamoff>(sizeof(Header)));
+    const std::size_t bytes = end < 0
+                                  ? 0
+                                  : static_cast<std::size_t>(end) -
+                                        sizeof(Header);
+    buffer_.resize(bytes / sizeof(MemRef));
+    if (!buffer_.empty())
+        is.read(reinterpret_cast<char *>(buffer_.data()),
+                static_cast<std::streamsize>(buffer_.size() *
+                                             sizeof(MemRef)));
+    if (!is)
+        mlc_fatal(path, ": short read of binary trace body");
+    data_ = buffer_.data();
+    count_ = buffer_.size();
+}
+
+void
+MappedBinaryTrace::validateRecords(const std::string &path)
+{
+    for (std::size_t i = 0; i < count_; ++i) {
+        if (static_cast<std::uint8_t>(data_[i].type) > 2) {
+            warn(path, ": bad record type at record ", i,
+                 "; dropping the remaining ", count_ - i,
+                 " records");
+            count_ = i;
+            break;
+        }
+    }
+    if (declared_ != kBinaryCountUnknown && count_ != declared_)
+        warn(path, ": header promised ", declared_,
+             " records, file holds ", count_);
+}
+
+MappedBinaryTrace::MappedBinaryTrace(
+    MappedBinaryTrace &&other) noexcept
+    : data_(other.data_), count_(other.count_),
+      declared_(other.declared_), mapBase_(other.mapBase_),
+      mapBytes_(other.mapBytes_), buffer_(std::move(other.buffer_))
+{
+    other.mapBase_ = nullptr;
+    other.mapBytes_ = 0;
+    other.data_ = nullptr;
+    other.count_ = 0;
+    if (!buffer_.empty())
+        data_ = buffer_.data();
+}
+
+MappedBinaryTrace::~MappedBinaryTrace()
+{
+#if MLC_HAVE_MMAP
+    if (mapBase_)
+        ::munmap(mapBase_, mapBytes_);
+#endif
 }
 
 BinaryWriter::BinaryWriter(std::ostream &os) : os_(os)

@@ -15,10 +15,14 @@
 #ifndef MLC_TRACE_BINARY_HH
 #define MLC_TRACE_BINARY_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <istream>
 #include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
 
 #include "trace/source.hh"
 
@@ -36,6 +40,25 @@ struct BinaryRecord
 };
 static_assert(sizeof(BinaryRecord) == 16,
               "binary trace record must pack to 16 bytes");
+
+// The on-disk record was laid out to shadow MemRef exactly (the
+// reserved word covers MemRef's tail padding), which is what lets a
+// mapped file be served as a RefSpan with zero per-record work.
+// These asserts are the contract: if MemRef ever changes shape, the
+// zero-copy path must be revisited, not silently misread.
+static_assert(sizeof(MemRef) == sizeof(BinaryRecord),
+              "MemRef must stay layout-compatible with the binary "
+              "trace record");
+static_assert(offsetof(BinaryRecord, addr) == offsetof(MemRef, addr) &&
+                  offsetof(BinaryRecord, type) ==
+                      offsetof(MemRef, type) &&
+                  offsetof(BinaryRecord, size) ==
+                      offsetof(MemRef, size) &&
+                  offsetof(BinaryRecord, pid) == offsetof(MemRef, pid),
+              "MemRef field offsets must match the binary record");
+static_assert(std::is_trivially_copyable_v<MemRef>,
+              "zero-copy trace mapping requires a trivially "
+              "copyable MemRef");
 
 constexpr std::uint32_t kBinaryTraceVersion = 1;
 constexpr std::uint64_t kBinaryCountUnknown = ~std::uint64_t{0};
@@ -62,6 +85,64 @@ class BinaryReader : public TraceSource
     std::istream &is_;
     std::uint64_t declared_ = 0;
     std::uint64_t delivered_ = 0;
+};
+
+/**
+ * A whole binary trace file materialized with O(1) copies.
+ *
+ * On POSIX systems the file is mmap()ed read-only and the records
+ * are served in place as a RefSpan — materialization cost is one
+ * header validation plus one O(n) record-type scan over pages the
+ * replay was going to touch anyway; no heap allocation proportional
+ * to the trace. Where mmap is unavailable (or refused, e.g. on a
+ * pipe-backed filesystem) the file is pread/ifstream-read into an
+ * owned buffer instead — same span() result, one copy.
+ *
+ * Records after the first malformed one (type > 2) are dropped with
+ * a warning, mirroring BinaryReader's stop-at-bad-record behaviour.
+ */
+class MappedBinaryTrace
+{
+  public:
+    /** How to back the span. */
+    enum class Backing {
+        Auto,   //!< mmap where possible, buffered otherwise
+        Buffer, //!< force the portable read-into-memory fallback
+    };
+
+    /** Map (or read) @p path; fatal() on missing/corrupt header. */
+    explicit MappedBinaryTrace(const std::string &path,
+                               Backing backing = Backing::Auto);
+    ~MappedBinaryTrace();
+
+    MappedBinaryTrace(MappedBinaryTrace &&other) noexcept;
+    MappedBinaryTrace &operator=(MappedBinaryTrace &&) = delete;
+    MappedBinaryTrace(const MappedBinaryTrace &) = delete;
+    MappedBinaryTrace &operator=(const MappedBinaryTrace &) = delete;
+
+    /** All (valid) records, zero-copy when mapped. */
+    RefSpan span() const { return {data_, count_}; }
+
+    std::size_t size() const { return count_; }
+
+    /** Record count promised by the header. */
+    std::uint64_t declaredCount() const { return declared_; }
+
+    /** True when span() points into the mapped file (no copy). */
+    bool isMapped() const { return mapBase_ != nullptr; }
+
+  private:
+    void loadBuffered(const std::string &path);
+    /** Truncate count_ at the first malformed record. */
+    void validateRecords(const std::string &path);
+
+    const MemRef *data_ = nullptr;
+    std::size_t count_ = 0;
+    std::uint64_t declared_ = 0;
+
+    void *mapBase_ = nullptr;  //!< non-null iff mmap backing
+    std::size_t mapBytes_ = 0; //!< full mapping length
+    std::vector<MemRef> buffer_; //!< fallback storage
 };
 
 /**

@@ -11,6 +11,7 @@
 #ifndef MLC_TRACE_MEM_REF_HH
 #define MLC_TRACE_MEM_REF_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -56,6 +57,42 @@ struct MemRef
 
     /** Debug representation, e.g. "load 0x1f00 (4B, pid 2)". */
     std::string toString() const;
+};
+
+/**
+ * A non-owning view over a contiguous run of references — the
+ * zero-copy replay currency. Materialized traces, mapped binary
+ * files and batch buffers all hand out RefSpans so the simulators
+ * iterate plain arrays with no virtual dispatch per reference.
+ *
+ * (Deliberately a minimal aggregate rather than std::span: the two
+ * fields keep aggregate initialization from raw pointer + count
+ * trivial at every call site.)
+ */
+struct RefSpan
+{
+    const MemRef *data = nullptr;
+    std::size_t size = 0;
+
+    RefSpan() = default;
+    RefSpan(const MemRef *d, std::size_t n) : data(d), size(n) {}
+
+    const MemRef *begin() const { return data; }
+    const MemRef *end() const { return data + size; }
+    bool empty() const { return size == 0; }
+    const MemRef &operator[](std::size_t i) const { return data[i]; }
+
+    /** The first @p n references (clamped to the span). */
+    RefSpan first(std::size_t n) const
+    {
+        return {data, n < size ? n : size};
+    }
+    /** Everything after the first @p n references (clamped). */
+    RefSpan dropFirst(std::size_t n) const
+    {
+        return n < size ? RefSpan{data + n, size - n}
+                        : RefSpan{data + size, 0};
+    }
 };
 
 /** Convenience constructors used heavily in tests. */

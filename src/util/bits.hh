@@ -83,6 +83,75 @@ roundUpMultiple(std::uint64_t v, std::uint64_t m)
     return divCeil(v, m) * m;
 }
 
+/**
+ * Exact division by a divisor fixed at construction, computed with
+ * a 128-bit multiply by a precomputed reciprocal instead of a
+ * divide instruction (Granlund-Montgomery style). The quotient is
+ * identical to `x / d` for every 64-bit x: with
+ * magic = floor(2^(64+s) / d) and 2^s <= d, the estimate
+ * floor(x * magic / 2^(64+s)) is at most one below the true
+ * quotient, which the single correction step repairs.
+ *
+ * The simulator rounds a tick up to the next CPU-cycle boundary on
+ * every L1 miss and every store; the CPU cycle is fixed for a
+ * simulation but not a power of two (10 ns = 10000 ticks), which
+ * is exactly this class's case.
+ */
+class FixedDivisor
+{
+  public:
+    FixedDivisor() = default;
+
+    explicit FixedDivisor(std::uint64_t d)
+        : d_(d), shift_(floorLog2(d)), pow2_(isPowerOfTwo(d))
+    {
+        if (d == 0)
+            mlc_panic("FixedDivisor by zero");
+        if (!pow2_) {
+            const unsigned __int128 num =
+                static_cast<unsigned __int128>(1)
+                << (64 + shift_);
+            magic_ = static_cast<std::uint64_t>(num / d_);
+        }
+    }
+
+    std::uint64_t divisor() const { return d_; }
+
+    /** floor(x / d), exactly. */
+    std::uint64_t
+    div(std::uint64_t x) const
+    {
+        if (pow2_)
+            return x >> shift_;
+        std::uint64_t q = static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(x) * magic_ >> 64) >>
+            shift_);
+        if (x - q * d_ >= d_)
+            ++q;
+        return q;
+    }
+
+    /** ceil(x / d); x + d - 1 must not overflow. */
+    std::uint64_t
+    divCeil(std::uint64_t x) const
+    {
+        return div(x + d_ - 1);
+    }
+
+    /** x rounded up to a multiple of d; same overflow caveat. */
+    std::uint64_t
+    roundUp(std::uint64_t x) const
+    {
+        return divCeil(x) * d_;
+    }
+
+  private:
+    std::uint64_t d_ = 1;
+    std::uint64_t magic_ = 0;
+    unsigned shift_ = 0;
+    bool pow2_ = true;
+};
+
 } // namespace mlc
 
 #endif // MLC_UTIL_BITS_HH

@@ -1,0 +1,172 @@
+/** @file Tests for the mmap-backed binary trace materializer. */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/binary.hh"
+#include "util/logging.hh"
+
+namespace mlc {
+namespace trace {
+namespace {
+
+/** A scratch file deleted when the test ends. */
+class TempTrace
+{
+  public:
+    explicit TempTrace(const std::string &tag)
+        : path_((std::filesystem::temp_directory_path() /
+                 ("mlc_mapped_test_" + tag + ".mlct"))
+                    .string())
+    {}
+    ~TempTrace() { std::remove(path_.c_str()); }
+
+    const std::string &path() const { return path_; }
+
+    /** Write @p refs as a finalized binary trace. */
+    void
+    write(const std::vector<MemRef> &refs) const
+    {
+        std::ofstream os(path_, std::ios::binary);
+        BinaryWriter writer(os);
+        for (const auto &r : refs)
+            writer.put(r);
+        writer.finish();
+    }
+
+    /** Raw bytes, for corruption tests. */
+    std::string
+    bytes() const
+    {
+        std::ifstream is(path_, std::ios::binary);
+        return {std::istreambuf_iterator<char>(is),
+                std::istreambuf_iterator<char>()};
+    }
+
+    void
+    writeBytes(const std::string &data) const
+    {
+        std::ofstream os(path_, std::ios::binary);
+        os.write(data.data(),
+                 static_cast<std::streamsize>(data.size()));
+    }
+
+  private:
+    std::string path_;
+};
+
+std::vector<MemRef>
+sampleRefs()
+{
+    std::vector<MemRef> refs;
+    for (unsigned i = 0; i < 100; ++i) {
+        refs.push_back(makeIFetch(0x1000 + 4u * i, 1));
+        refs.push_back(makeLoad(0xdead0000 + 16u * i, 2));
+        refs.push_back(makeStore(0xbeef0000 + 16u * i, 3));
+    }
+    return refs;
+}
+
+TEST(MappedBinary, RoundTripsThroughTheFile)
+{
+    TempTrace file("roundtrip");
+    const auto refs = sampleRefs();
+    file.write(refs);
+
+    MappedBinaryTrace trace(file.path());
+    ASSERT_EQ(trace.size(), refs.size());
+    EXPECT_EQ(trace.declaredCount(), refs.size());
+    const RefSpan span = trace.span();
+    for (std::size_t i = 0; i < refs.size(); ++i)
+        EXPECT_EQ(span[i], refs[i]);
+}
+
+TEST(MappedBinary, MappedAndBufferedBackingsAgree)
+{
+    TempTrace file("backing");
+    const auto refs = sampleRefs();
+    file.write(refs);
+
+    MappedBinaryTrace mapped(file.path(),
+                             MappedBinaryTrace::Backing::Auto);
+    MappedBinaryTrace buffered(file.path(),
+                               MappedBinaryTrace::Backing::Buffer);
+    EXPECT_FALSE(buffered.isMapped());
+#if defined(__linux__)
+    EXPECT_TRUE(mapped.isMapped());
+#endif
+    ASSERT_EQ(mapped.size(), buffered.size());
+    for (std::size_t i = 0; i < mapped.size(); ++i)
+        EXPECT_EQ(mapped.span()[i], buffered.span()[i]);
+}
+
+TEST(MappedBinary, AgreesWithStreamingReader)
+{
+    TempTrace file("stream");
+    file.write(sampleRefs());
+
+    MappedBinaryTrace trace(file.path());
+    std::ifstream is(file.path(), std::ios::binary);
+    BinaryReader reader(is);
+    MemRef ref;
+    std::size_t i = 0;
+    while (reader.next(ref)) {
+        ASSERT_LT(i, trace.size());
+        EXPECT_EQ(trace.span()[i], ref);
+        ++i;
+    }
+    EXPECT_EQ(i, trace.size());
+}
+
+TEST(MappedBinary, TruncatedFileStopsAtLastWholeRecord)
+{
+    setLogQuiet(true);
+    TempTrace file("truncated");
+    file.write(sampleRefs());
+    std::string data = file.bytes();
+    data.resize(data.size() - 8); // chop the last record in half
+    file.writeBytes(data);
+
+    MappedBinaryTrace trace(file.path());
+    EXPECT_EQ(trace.size(), sampleRefs().size() - 1);
+    setLogQuiet(false);
+}
+
+TEST(MappedBinary, MalformedRecordTypeTruncatesTail)
+{
+    setLogQuiet(true);
+    TempTrace file("badtype");
+    file.write(sampleRefs());
+    std::string data = file.bytes();
+    // Corrupt the type byte of record 10 (header is 16 bytes;
+    // type sits at offset 8 within the 16-byte record).
+    data[16 + 10 * 16 + 8] = 0x7f;
+    file.writeBytes(data);
+
+    MappedBinaryTrace trace(file.path());
+    EXPECT_EQ(trace.size(), 10u);
+    setLogQuiet(false);
+}
+
+TEST(MappedBinary, BadMagicIsFatal)
+{
+    TempTrace file("badmagic");
+    file.writeBytes("certainly not a binary trace file");
+    EXPECT_EXIT(MappedBinaryTrace trace(file.path()),
+                testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST(MappedBinary, MissingFileIsFatal)
+{
+    EXPECT_EXIT(MappedBinaryTrace trace("/nonexistent/trace.mlct"),
+                testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace trace
+} // namespace mlc

@@ -82,5 +82,48 @@ TEST(Bits, RoundUpMultiple)
     EXPECT_EQ(roundUpMultiple(7, 3), 9ULL);
 }
 
+TEST(FixedDivisor, MatchesHardwareDivideOnEdgeValues)
+{
+    // The divisors the simulator actually uses (tick-per-cycle
+    // values) plus adversarial ones for the reciprocal math.
+    const std::uint64_t divisors[] = {
+        1,    2,     3,     5,    7,    10,     1000,
+        9999, 10000, 10001, 30000, 1u << 20, (1u << 20) + 1,
+        0x7fffffffffffffffULL, ~std::uint64_t{0}};
+    const std::uint64_t values[] = {
+        0, 1, 2, 3, 9999, 10000, 10001, 123456789,
+        0xffffffffULL, 0x100000000ULL,
+        0x7fffffffffffffffULL, ~std::uint64_t{0}};
+    for (const std::uint64_t d : divisors) {
+        const FixedDivisor fd(d);
+        for (const std::uint64_t x : values) {
+            EXPECT_EQ(fd.div(x), x / d) << x << " / " << d;
+            // divCeil/roundUp documented only where x + d - 1
+            // does not overflow.
+            if (x <= ~std::uint64_t{0} - (d - 1)) {
+                EXPECT_EQ(fd.divCeil(x), divCeil(x, d))
+                    << x << " ceil/ " << d;
+                EXPECT_EQ(fd.roundUp(x), roundUpMultiple(x, d))
+                    << x << " roundUp " << d;
+            }
+        }
+        // Dense sweep around every multiple boundary.
+        for (std::uint64_t k = 0; k < 4; ++k) {
+            if (d > (~std::uint64_t{0} >> 2))
+                break;
+            const std::uint64_t base = k * d;
+            for (std::uint64_t off = 0; off < 3; ++off) {
+                const std::uint64_t x = base + off;
+                EXPECT_EQ(fd.div(x), x / d);
+            }
+        }
+    }
+}
+
+TEST(FixedDivisor, ZeroDivisorDies)
+{
+    EXPECT_DEATH(FixedDivisor d(0), "zero");
+}
+
 } // namespace
 } // namespace mlc
