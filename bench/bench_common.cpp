@@ -13,12 +13,25 @@
 #endif
 
 #include "onepass/grid.hh"
+#include "sample/engine.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 #include "util/units.hh"
+
+// Normally injected by bench/CMakeLists.txt; the fallbacks keep the
+// file compilable standalone.
+#ifndef MLC_BENCH_GIT_SHA
+#define MLC_BENCH_GIT_SHA "unknown"
+#endif
+#ifndef MLC_BENCH_BUILD_TYPE
+#define MLC_BENCH_BUILD_TYPE "unknown"
+#endif
+#ifndef MLC_BENCH_COMPILER
+#define MLC_BENCH_COMPILER "unknown"
+#endif
 
 namespace mlc {
 namespace bench {
@@ -77,8 +90,10 @@ engineFromArgs(int argc, char **argv)
             return Engine::Timing;
         if (value == "onepass")
             return Engine::OnePass;
+        if (value == "sampled")
+            return Engine::Sampled;
         mlc_fatal("bad --engine value '", value,
-                  "' (expected 'timing' or 'onepass')");
+                  "' (expected 'timing', 'onepass' or 'sampled')");
     }
     return Engine::Timing;
 }
@@ -86,7 +101,23 @@ engineFromArgs(int argc, char **argv)
 const char *
 engineName(Engine engine)
 {
-    return engine == Engine::Timing ? "timing" : "onepass";
+    switch (engine) {
+    case Engine::Timing:
+        return "timing";
+    case Engine::OnePass:
+        return "onepass";
+    case Engine::Sampled:
+        return "sampled";
+    }
+    return "?";
+}
+
+std::string
+provenanceJson()
+{
+    return std::string("\"git_sha\":\"") + MLC_BENCH_GIT_SHA +
+           "\",\"build_type\":\"" + MLC_BENCH_BUILD_TYPE +
+           "\",\"compiler\":\"" + MLC_BENCH_COMPILER + "\"";
 }
 
 expt::TraceStore
@@ -138,7 +169,8 @@ expt::DesignSpaceGrid
 buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
                  const std::vector<std::uint64_t> &sizes,
                  const std::vector<std::uint32_t> &cycles,
-                 const expt::TraceStore &store, std::size_t jobs)
+                 const expt::TraceStore &store, std::size_t jobs,
+                 const sample::SampledOptions &sampled_opts)
 {
     // Engine choice goes to stderr: stdout must stay byte-identical
     // between a default run and an explicit --engine=timing run.
@@ -147,6 +179,9 @@ buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
               << " engine)...\n";
     if (engine == Engine::OnePass)
         return onepass::buildGrid(base, sizes, cycles, store, jobs);
+    if (engine == Engine::Sampled)
+        return sample::buildGrid(base, sizes, cycles, store,
+                                 sampled_opts, jobs);
     return expt::parallelBuildGrid(
         sizes, cycles, store,
         [&](std::uint64_t size, std::uint32_t cyc) {

@@ -15,6 +15,7 @@
 #include "expt/runner.hh"
 #include "expt/workload_suite.hh"
 #include "hier/hierarchy_config.hh"
+#include "sample/scheduler.hh"
 
 namespace mlc {
 namespace bench {
@@ -40,19 +41,30 @@ std::size_t jobsFromArgs(int argc, char **argv);
  * for all sizes in one pass per trace and prices the cells with
  * the Equation 1-3 analytical model — same miss ratios, modelled
  * (not simulated) timing, orders of magnitude faster on wide
- * grids. See DESIGN.md's one-pass section for the exact/approx
- * boundary.
+ * grids. Sampled keeps the full timing model but replays only a
+ * scheduled subset of each trace, reporting CPI with a confidence
+ * interval (DESIGN.md §5d). See DESIGN.md's one-pass section for
+ * the exact/approx boundary.
  */
 enum class Engine
 {
     Timing,
     OnePass,
+    Sampled,
 };
 
-/** `--engine=onepass|timing` (default Timing). */
+/** `--engine=onepass|timing|sampled` (default Timing). */
 Engine engineFromArgs(int argc, char **argv);
 
 const char *engineName(Engine engine);
+
+/**
+ * Build-provenance fields for bench JSON records, as a fragment to
+ * splice into an object: `"git_sha":"...","build_type":"...",
+ * "compiler":"..."` (no braces, no trailing comma). The SHA is the
+ * configure-time HEAD — reconfigure after committing if it matters.
+ */
+std::string provenanceJson();
 
 /** Materialize every trace of a suite once (progress to stderr),
  *  @p jobs traces at a time. The store is shared by every grid and
@@ -85,14 +97,17 @@ std::string maxRssJson();
  * Build the (L2 size x L2 cycle) relative-execution-time grid for
  * a base machine over a shared trace store with the chosen engine,
  * using @p jobs workers (deterministic for any value: see
- * expt::parallelBuildGrid / onepass::buildGrid).
+ * expt::parallelBuildGrid / onepass::buildGrid / sample::buildGrid).
+ * @p sampled_opts is consulted by Engine::Sampled only; the default
+ * (auto period, ~200 windows) suits the bench-suite traces.
  */
 expt::DesignSpaceGrid
 buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
                  const std::vector<std::uint64_t> &sizes,
                  const std::vector<std::uint32_t> &cycles,
                  const expt::TraceStore &store,
-                 std::size_t jobs = 1);
+                 std::size_t jobs = 1,
+                 const sample::SampledOptions &sampled_opts = {});
 
 /** Print the grid the way Figure 4-1 plots it: one column per L2
  *  cycle time, one row per L2 size. */

@@ -47,7 +47,8 @@ timed(const char *engine, std::size_t jobs, Fn &&build)
               << ",\"materialize_ms\":" << g_materialize_ms
               << ",\"simulate_ms\":" << wall.count() * 1000.0
               << ",\"wall_s\":" << wall.count()
-              << ",\"max_rss_kb\":" << bench::maxRssJson() << "}\n";
+              << ",\"max_rss_kb\":" << bench::maxRssJson() << ","
+              << bench::provenanceJson() << "}\n";
     return grid;
 }
 
@@ -114,6 +115,7 @@ main(int argc, char **argv)
 
     std::cout << "{\"speedup_jobs1\":"
               << timing_wall.count() / onepass_wall.count()
-              << ",\"max_cell_delta\":" << max_delta << "}\n";
+              << ",\"max_cell_delta\":" << max_delta << ","
+              << bench::provenanceJson() << "}\n";
     return 0;
 }

@@ -137,7 +137,8 @@ printRecord(const char *mode, bool fast_path, std::uint64_t refs,
               << static_cast<double>(refs) / m.wall_s
               << ",\"materialize_ms\":" << materialize_ms
               << ",\"simulate_ms\":" << m.wall_s * 1000.0
-              << ",\"max_rss_kb\":" << bench::maxRssJson() << "}\n";
+              << ",\"max_rss_kb\":" << bench::maxRssJson() << ","
+              << bench::provenanceJson() << "}\n";
 }
 
 } // namespace
@@ -202,6 +203,6 @@ main(int argc, char **argv)
               << ",\"speedup_fast_path\":"
               << rps_best / rps_span_off
               << ",\"speedup_zero_copy\":" << rps_span_off / rps_base
-              << "}\n";
+              << "," << bench::provenanceJson() << "}\n";
     return 0;
 }

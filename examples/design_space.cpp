@@ -6,7 +6,7 @@
  * paper's Section 4 methodology as a reusable tool.
  *
  *   $ ./design_space [l1_total_bytes] [--jobs=N]
- *                    [--engine=timing|onepass]
+ *                    [--engine=timing|onepass|sampled]
  *
  * Pass a different L1 budget (e.g. 32768) to watch the optimal L2
  * design point move toward larger-and-slower, the paper's central
@@ -19,6 +19,14 @@
  * of simulating each one — the same table shape, slightly
  * different values (modelled rather than simulated timing), and a
  * large speedup on wide sweeps.
+ *
+ * --engine=sampled keeps the full timing model but replays only a
+ * scheduled subset of the trace per cell (statistical sampling,
+ * DESIGN.md §5d): estimated CPI with a confidence interval, solo
+ * miss ratios measured exactly over the replayed subset. On this
+ * deliberately small interactive trace it exists to demonstrate
+ * the plumbing; the speedup case is long traces (see
+ * bench/sampled_vs_full).
  */
 
 #include <cmath>
@@ -32,6 +40,7 @@
 #include "onepass/engine.hh"
 #include "onepass/model_timing.hh"
 #include "model/tradeoff.hh"
+#include "sample/engine.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 #include "util/table.hh"
@@ -46,6 +55,7 @@ main(int argc, char **argv)
     std::uint64_t l1_total = 4096;
     std::size_t jobs = defaultJobs();
     bool use_onepass = false;
+    bool use_sampled = false;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (startsWith(arg, "--jobs=")) {
@@ -57,9 +67,12 @@ main(int argc, char **argv)
             const std::string_view engine = arg.substr(9);
             if (engine == "onepass")
                 use_onepass = true;
+            else if (engine == "sampled")
+                use_sampled = true;
             else if (engine != "timing")
                 mlc_fatal("bad --engine value in '", argv[i],
-                          "' (expected 'timing' or 'onepass')");
+                          "' (expected 'timing', 'onepass' or "
+                          "'sampled')");
         } else {
             l1_total = std::strtoull(argv[i], nullptr, 0);
         }
@@ -119,6 +132,33 @@ main(int argc, char **argv)
                 }
             }
         }
+    } else if (use_sampled) {
+        // A schedule proportioned to the interactive trace: ~40
+        // windows with high warming coverage, so the containment
+        // contract holds even at this small scale (DESIGN.md §5d).
+        sample::SampledOptions sopts;
+        sopts.period = store.span(0).size / 40;
+        sopts.measureRefs = sopts.period / 5;
+        sopts.detailWarmRefs = 2'000;
+        sopts.functionalWarmRefs = (sopts.period * 3) / 5;
+        parallelFor(jobs, slots.size(), [&](std::size_t i) {
+            const std::size_t s = i / cols, c = i % cols;
+            hier::HierarchyParams p =
+                base.withL2(sizes[s], cycles[c]);
+            p.measureSolo = (c == 0);
+            const sample::SampledSuiteResults r =
+                sample::runSuiteSampled(p, store, sopts);
+            slots[i].rel = r.relExecTime;
+            // Solo ratio over the replayed subset: exact for those
+            // references, sampled with respect to the whole trace.
+            if (c == 0) {
+                double solo = 0.0;
+                for (const sample::SampledResult &t : r.perTrace)
+                    solo += t.functional.levels[1].soloMissRatio /
+                            static_cast<double>(r.perTrace.size());
+                slots[i].solo = solo;
+            }
+        });
     } else {
         parallelFor(jobs, slots.size(), [&](std::size_t i) {
             const std::size_t s = i / cols, c = i % cols;

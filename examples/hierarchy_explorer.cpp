@@ -5,7 +5,8 @@
  * configuration of each cache."
  *
  *   $ ./hierarchy_explorer <config.cfg>... [trace-file] [refs]
- *                          [--jobs=N] [--engine=timing|onepass]
+ *                          [--jobs=N]
+ *                          [--engine=timing|onepass|sampled]
  *
  * Arguments ending in .cfg are hierarchy descriptions; passing
  * several compares the machines over the same reference stream,
@@ -22,6 +23,12 @@
  * simulator's) while the timing numbers come from the Equation 1-3
  * analytical model. Two-level (L1 + one downstream cache)
  * configurations only.
+ *
+ * --engine=sampled replays a scheduled subset of the stream through
+ * the full timing simulator (statistical sampling, DESIGN.md §5d):
+ * CPI is reported as an estimate with a 95% confidence interval,
+ * miss ratios are exact over the replayed subset. Works for any
+ * hierarchy depth; pays off on long traces.
  */
 
 #include <cstdlib>
@@ -38,6 +45,7 @@
 #include "hier/sim_stats.hh"
 #include "onepass/engine.hh"
 #include "onepass/model_timing.hh"
+#include "sample/engine.hh"
 #include "trace/binary.hh"
 #include "trace/compressed.hh"
 #include "trace/dinero.hh"
@@ -81,6 +89,7 @@ main(int argc, char **argv)
     std::size_t jobs = defaultJobs();
     bool refs_given = false;
     bool use_onepass = false;
+    bool use_sampled = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -93,9 +102,12 @@ main(int argc, char **argv)
             const std::string_view engine = arg.substr(9);
             if (engine == "onepass")
                 use_onepass = true;
+            else if (engine == "sampled")
+                use_sampled = true;
             else if (engine != "timing")
                 mlc_fatal("bad --engine value in '", argv[i],
-                          "' (expected 'timing' or 'onepass')");
+                          "' (expected 'timing', 'onepass' or "
+                          "'sampled')");
         } else if (endsWith(arg, ".cfg")) {
             config_paths.emplace_back(arg);
         } else if (trace_path.empty() && !refs_given &&
@@ -208,6 +220,37 @@ main(int argc, char **argv)
                << "\n"
                << "  modelled rel exec   " << model.relExec(prof, 0)
                << "\n";
+        } else if (use_sampled) {
+            // The sampled engine schedules its own warming, so it
+            // takes the whole stream (warmup included) and the
+            // explicit warmUp() of the timing path is not needed.
+            sample::SampledOptions sopts;
+            sopts.period = replay_all.size / 40;
+            sopts.measureRefs = sopts.period / 5;
+            sopts.detailWarmRefs = 2'000;
+            sopts.functionalWarmRefs = (sopts.period * 3) / 5;
+            const sample::SampledResult r =
+                sample::runSampled(params[i], replay_all, sopts);
+            os << "sampled engine: estimated timing, exact miss "
+                  "ratios over the replayed subset\n"
+               << "  CPI estimate        " << r.estCpi << " in ["
+               << r.cpiInterval.lo() << ", " << r.cpiInterval.hi()
+               << "] (95% CI, " << r.windowCpi.count()
+               << " windows)\n"
+               << "  rel exec estimate   " << r.estRelExecTime
+               << "\n"
+               << "  replayed            "
+               << r.refsTotal - r.refsSkipped << " of "
+               << r.refsTotal << " refs\n";
+            for (const hier::LevelResults &lvl :
+                 r.functional.levels) {
+                os << "  " << lvl.name << " read miss ratio  local "
+                   << lvl.localMissRatio << ", global "
+                   << lvl.globalMissRatio;
+                if (lvl.hasSolo())
+                    os << ", solo " << lvl.soloMissRatio;
+                os << "\n";
+            }
         } else {
             // Zero-copy replay: VectorSource would copy the whole
             // stream once per configuration.

@@ -364,6 +364,15 @@ HierarchySimulator::warmUp(trace::RefSpan refs)
 }
 
 std::uint64_t
+HierarchySimulator::runFunctional(trace::RefSpan refs)
+{
+    for (const trace::MemRef &ref : refs)
+        handleRef(ref, false);
+    refsRun_ += refs.size;
+    return refs.size;
+}
+
+std::uint64_t
 HierarchySimulator::run(trace::TraceSource &source,
                         std::uint64_t max_refs)
 {

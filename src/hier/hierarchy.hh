@@ -92,6 +92,18 @@ class HierarchySimulator
     std::uint64_t run(trace::RefSpan refs);
 
     /**
+     * Replay @p refs functionally *without* resetting counters:
+     * tags, dirty bits and reference/miss counters advance, timing
+     * state does not. This is the sampled engine's between-window
+     * warming primitive — unlike warmUp() it may be freely
+     * interleaved with timed run() calls; CPI windows are delimited
+     * by snapshotting now() and instructionCount() around the timed
+     * segments, so the untimed references in between never enter a
+     * window's cycle arithmetic.
+     */
+    std::uint64_t runFunctional(trace::RefSpan refs);
+
+    /**
      * Disable/re-enable the inline L1 read-hit fast path.
      *
      * The fast path is bit-exact (enforced by the batched-vs-scalar
@@ -118,6 +130,8 @@ class HierarchySimulator
         return *wb_[i];
     }
     Tick now() const { return now_; }
+    std::uint64_t instructionCount() const { return instructions_; }
+    Tick cpuCycleTicks() const { return cpuCycle_; }
     std::uint64_t memoryReads() const { return memReads_; }
     std::uint64_t memoryWrites() const { return memWrites_; }
 

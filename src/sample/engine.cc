@@ -1,0 +1,154 @@
+#include "sample/engine.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace mlc {
+namespace sample {
+
+SampledResult
+runSampled(const hier::HierarchyParams &params, trace::RefSpan refs,
+           const SampledOptions &opts)
+{
+    SampleScheduler sched(refs.size, opts);
+    hier::HierarchySimulator sim(params);
+
+    SampledResult out;
+    out.refsTotal = refs.size;
+
+    const bool adaptive = opts.targetRelHalfWidth > 0.0;
+    for (const Segment &seg : sched.segments()) {
+        const trace::RefSpan span =
+            refs.dropFirst(seg.begin).first(seg.len);
+        switch (seg.kind) {
+        case SegmentKind::Skip:
+            out.refsSkipped += seg.len;
+            break;
+        case SegmentKind::Warm:
+            sim.runFunctional(span);
+            out.refsFunctionalWarmed += seg.len;
+            break;
+        case SegmentKind::Detail:
+            sim.run(span);
+            out.refsDetailWarmed += seg.len;
+            break;
+        case SegmentKind::Measure: {
+            const Tick ticks0 = sim.now();
+            const std::uint64_t instr0 = sim.instructionCount();
+            sim.run(span);
+            out.refsMeasured += seg.len;
+            const std::uint64_t instr =
+                sim.instructionCount() - instr0;
+            // A window with no instruction fetches has no CPI (it
+            // cannot happen with the suite generators, but a
+            // pathological trace must not divide by zero).
+            if (instr > 0) {
+                const Tick dticks = sim.now() - ticks0;
+                const double cycles =
+                    static_cast<double>(dticks) /
+                    static_cast<double>(sim.cpuCycleTicks());
+                out.windowCpi.push(cycles /
+                                   static_cast<double>(instr));
+                out.cyclesMeasured += divCeil(
+                    dticks, sim.cpuCycleTicks());
+                out.instructionsMeasured += instr;
+            }
+            if (adaptive &&
+                out.windowCpi.count() >= opts.minWindows) {
+                const auto ci =
+                    out.windowCpi.interval(opts.confidence);
+                if (ci.relativeHalfWidth() <=
+                    opts.targetRelHalfWidth) {
+                    out.stoppedEarly = true;
+                }
+            }
+            break;
+        }
+        }
+        if (out.stoppedEarly)
+            break;
+    }
+    // An early stop leaves the tail of the schedule untouched; it
+    // is skipped work as far as accounting goes.
+    out.refsSkipped = out.refsTotal - out.refsMeasured -
+                      out.refsDetailWarmed -
+                      out.refsFunctionalWarmed;
+
+    if (out.windowCpi.count() == 0)
+        mlc_panic("sample: no window produced a CPI sample");
+    // Ratio estimate (see SampledResult::estCpi); the interval is
+    // re-centred on it, keeping the window-spread half-width — the
+    // usual large-sample approximation for a ratio estimator whose
+    // denominators are near-equal.
+    out.estCpi = static_cast<double>(out.cyclesMeasured) /
+                 static_cast<double>(out.instructionsMeasured);
+    out.cpiInterval = out.windowCpi.interval(opts.confidence);
+    out.cpiInterval.mean = out.estCpi;
+    out.functional = sim.results();
+    // Ideal CPI from the replayed subset's instruction/store mix;
+    // see SimResults for the normalization this mirrors.
+    const double ideal_cpi =
+        out.functional.instructions == 0
+            ? 1.0
+            : static_cast<double>(out.functional.idealCycles) /
+                  static_cast<double>(out.functional.instructions);
+    out.estRelExecTime = ideal_cpi == 0.0 ? 0.0
+                                          : out.estCpi / ideal_cpi;
+    return out;
+}
+
+SampledSuiteResults
+runSuiteSampled(const hier::HierarchyParams &params,
+                const expt::TraceStore &store,
+                const SampledOptions &opts, std::size_t jobs)
+{
+    if (store.size() == 0)
+        mlc_panic("runSuiteSampled: empty trace store");
+
+    // Slot indexing plus the fixed trace-order reduction below
+    // keeps jobs=1 and jobs=N bit-identical (the expt::runSuite
+    // contract).
+    std::vector<SampledResult> per_trace(store.size());
+    parallelFor(jobs, store.size(), [&](std::size_t t) {
+        per_trace[t] = runSampled(params, store.span(t), opts);
+    });
+
+    SampledSuiteResults suite;
+    for (const SampledResult &r : per_trace) {
+        suite.relExecTime += r.estRelExecTime;
+        suite.cpi += r.estCpi;
+        suite.maxRelHalfWidth =
+            std::max(suite.maxRelHalfWidth,
+                     r.cpiInterval.relativeHalfWidth());
+        ++suite.traces;
+    }
+    const double n = static_cast<double>(suite.traces);
+    suite.relExecTime /= n;
+    suite.cpi /= n;
+    suite.perTrace = std::move(per_trace);
+    return suite;
+}
+
+expt::DesignSpaceGrid
+buildGrid(const hier::HierarchyParams &base,
+          const std::vector<std::uint64_t> &sizes,
+          const std::vector<std::uint32_t> &cycles,
+          const expt::TraceStore &store, const SampledOptions &opts,
+          std::size_t jobs)
+{
+    // Cells parallelize; each cell's suite run stays serial, so
+    // every cell value is independent of the jobs count and the
+    // grid inherits parallelBuildGrid's determinism.
+    return expt::parallelBuildGrid(
+        sizes, cycles,
+        [&](std::uint64_t size, std::uint32_t cycle) {
+            return runSuiteSampled(base.withL2(size, cycle), store,
+                                   opts)
+                .relExecTime;
+        },
+        jobs);
+}
+
+} // namespace sample
+} // namespace mlc

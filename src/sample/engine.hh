@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The sampled replay engine: confidence-interval-bounded CPI from
+ * a scheduled subset of a trace.
+ *
+ * Where the timing engine replays every reference and the one-pass
+ * engine trades the timing model for an analytical one, the sampled
+ * engine keeps the exact timing simulator but points it at a few
+ * hundred short windows (see sample/scheduler.hh for the schedule
+ * anatomy). Each window yields one CPI sample; the estimate is the
+ * sample mean with a Student-t confidence interval, and an optional
+ * adaptive stopping rule ends the run once the interval is tight
+ * enough. Skipped references cost nothing on a materialized span,
+ * which is where the order-of-magnitude speedup over full replay
+ * comes from; bench/sampled_vs_full measures it and checks the
+ * ground-truth CPI against the reported interval.
+ *
+ * Determinism: for fixed options (including seed) the schedule, the
+ * replayed references and therefore every output bit are identical
+ * run to run, and runSuiteSampled() is bit-identical for any jobs
+ * count (slot-indexed workers, fixed-order reduction — the same
+ * contract as expt::runSuite).
+ */
+
+#ifndef MLC_SAMPLE_ENGINE_HH
+#define MLC_SAMPLE_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "expt/design_space.hh"
+#include "expt/workload_suite.hh"
+#include "hier/hierarchy.hh"
+#include "sample/scheduler.hh"
+#include "stats/streaming_stats.hh"
+
+namespace mlc {
+namespace sample {
+
+/** What one sampled run of one trace produces. */
+struct SampledResult
+{
+    /**
+     * The headline CPI estimate: total measured cycles over total
+     * measured instructions (the ratio estimator). Windows are
+     * equal-length in references, not instructions, so the plain
+     * mean of per-window CPIs overweights instruction-poor (and
+     * typically slower) windows; the ratio form removes that bias.
+     */
+    double estCpi = 0.0;
+    /** estCpi normalized by the ideal-machine CPI computed from
+     *  the functional counters (the sampled analogue of
+     *  SimResults::relativeExecTime). */
+    double estRelExecTime = 0.0;
+    /** Student-t interval on CPI at the requested confidence. */
+    stats::ConfidenceInterval cpiInterval{};
+    /** The raw per-window CPI accumulator (mean/variance/extrema;
+     *  mergeable across shards). */
+    stats::StreamingStats windowCpi;
+
+    /** True when the adaptive rule stopped before the schedule
+     *  was exhausted. */
+    bool stoppedEarly = false;
+
+    /** @{ @name Measured-window totals (the ratio estimator's
+     *  numerator and denominator) */
+    std::uint64_t cyclesMeasured = 0;
+    std::uint64_t instructionsMeasured = 0;
+    /** @} */
+
+    /** @{ @name Reference accounting (sums to refsTotal) */
+    std::uint64_t refsMeasured = 0;
+    std::uint64_t refsDetailWarmed = 0;
+    std::uint64_t refsFunctionalWarmed = 0;
+    std::uint64_t refsSkipped = 0;
+    std::uint64_t refsTotal = 0;
+    /** @} */
+
+    /**
+     * Counter-level results over every reference the simulator
+     * actually replayed (warm + detail + measure). Miss ratios here
+     * are exact for that subset; the timing fields only reflect the
+     * timed segments and should be ignored in favour of estCpi.
+     */
+    hier::SimResults functional;
+};
+
+/**
+ * Sample @p refs under @p params. The span is replayed zero-copy;
+ * skipped segments are never touched.
+ */
+SampledResult runSampled(const hier::HierarchyParams &params,
+                         trace::RefSpan refs,
+                         const SampledOptions &opts);
+
+/** Suite-level aggregate, mirroring expt::SuiteResults. */
+struct SampledSuiteResults
+{
+    double relExecTime = 0.0; //!< mean of per-trace estimates
+    double cpi = 0.0;         //!< mean of per-trace estimates
+    /** Widest per-trace relative half-width — the suite's
+     *  worst-case sampling uncertainty. */
+    double maxRelHalfWidth = 0.0;
+    std::uint64_t traces = 0;
+    std::vector<SampledResult> perTrace;
+};
+
+/**
+ * runSampled() over every trace in @p store, @p jobs at a time.
+ * Bit-identical for any @p jobs.
+ */
+SampledSuiteResults
+runSuiteSampled(const hier::HierarchyParams &params,
+                const expt::TraceStore &store,
+                const SampledOptions &opts, std::size_t jobs = 1);
+
+/**
+ * The Section 4 design-space grid priced with the sampled engine:
+ * every (size, cycle) cell holds the suite-mean sampled relative
+ * execution time of base.withL2(size, cycle). Mirrors
+ * onepass::buildGrid; deterministic for any @p jobs.
+ */
+expt::DesignSpaceGrid
+buildGrid(const hier::HierarchyParams &base,
+          const std::vector<std::uint64_t> &sizes,
+          const std::vector<std::uint32_t> &cycles,
+          const expt::TraceStore &store, const SampledOptions &opts,
+          std::size_t jobs = 1);
+
+} // namespace sample
+} // namespace mlc
+
+#endif // MLC_SAMPLE_ENGINE_HH

@@ -1,0 +1,79 @@
+#include "sample/scheduler.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace mlc {
+namespace sample {
+
+SampleScheduler::SampleScheduler(std::uint64_t total_refs,
+                                 const SampledOptions &opts)
+{
+    if (opts.measureRefs == 0)
+        mlc_panic("sample: measured window length must be "
+                  "non-zero");
+    const std::uint64_t detail = opts.detailWarmRefs;
+    const std::uint64_t measure = opts.measureRefs;
+    if (total_refs < detail + measure)
+        mlc_panic("sample: trace of ", total_refs,
+                  " refs cannot hold one ", detail, "+", measure,
+                  "-ref window");
+
+    // Clip the functional warm to what the trace can actually hold
+    // in front of a window, then resolve the period. The block is
+    // everything the simulator touches per period.
+    const std::uint64_t warm = std::min(
+        opts.functionalWarmRefs, total_refs - detail - measure);
+    const std::uint64_t block = warm + detail + measure;
+
+    std::uint64_t period = opts.period;
+    if (period == 0)
+        period = std::max<std::uint64_t>(
+            block, total_refs / SampledOptions::kAutoWindows);
+    period = std::max(period, block);
+
+    plan_.totalRefs = total_refs;
+    plan_.period = period;
+    plan_.measureRefs = measure;
+    plan_.detailWarmRefs = detail;
+    plan_.functionalWarmRefs = warm;
+    plan_.windows = total_refs / period;
+    if (plan_.windows == 0)
+        mlc_panic("sample: period ", period, " exceeds trace (",
+                  total_refs, " refs)");
+
+    Rng rng(opts.seed ^ 0x5a3c9e1fULL);
+    segments_.reserve(plan_.windows * 4 + 1);
+    std::uint64_t pos = 0;
+    for (std::uint64_t w = 0; w < plan_.windows; ++w) {
+        const std::uint64_t p0 = w * period;
+        const std::uint64_t slack = period - block;
+        const std::uint64_t offset =
+            opts.mode == SampleMode::Systematic
+                ? slack
+                : (slack == 0 ? 0 : rng.nextBounded(slack + 1));
+        const std::uint64_t start = p0 + offset;
+        if (start > pos)
+            segments_.push_back(
+                {SegmentKind::Skip, pos, start - pos});
+        pos = start;
+        if (warm > 0) {
+            segments_.push_back({SegmentKind::Warm, pos, warm});
+            pos += warm;
+        }
+        if (detail > 0) {
+            segments_.push_back({SegmentKind::Detail, pos, detail});
+            pos += detail;
+        }
+        segments_.push_back({SegmentKind::Measure, pos, measure});
+        pos += measure;
+    }
+    if (pos < total_refs)
+        segments_.push_back(
+            {SegmentKind::Skip, pos, total_refs - pos});
+}
+
+} // namespace sample
+} // namespace mlc

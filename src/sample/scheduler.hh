@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Sampling schedule over a reference stream.
+ *
+ * The sampled engine (SMARTS-style, see DESIGN.md section 5d)
+ * replays only a scheduled subset of a trace with the timing
+ * simulator and estimates whole-trace CPI from the measured
+ * windows. The schedule partitions [0, totalRefs) into four kinds
+ * of segment, repeating with period P:
+ *
+ *   Skip     references never presented to the simulator (free on
+ *            a materialized span — this is where the speedup lives)
+ *   Warm     functional replay (tags and dirty bits evolve, no
+ *            timing) to rebuild cache state before a measurement
+ *   Detail   timed replay whose cycles are discarded — fills write
+ *            buffers and other clock-relative state so the window
+ *            does not start from an artificially idle machine
+ *   Measure  timed replay bracketed by counter snapshots; each
+ *            window contributes one CPI sample
+ *
+ * Window placement within a period is either systematic (always at
+ * the end of the period) or seeded-random (uniform over the legal
+ * offsets, deterministic for a fixed seed). Random placement guards
+ * against pathological alignment between the period and any
+ * periodicity in the workload.
+ */
+
+#ifndef MLC_SAMPLE_SCHEDULER_HH
+#define MLC_SAMPLE_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mlc {
+namespace sample {
+
+/** How measurement windows are placed within each period. */
+enum class SampleMode
+{
+    Systematic, //!< at the end of every period
+    Random      //!< uniform within the period, seeded
+};
+
+/** User-facing knobs of the sampled engine. */
+struct SampledOptions
+{
+    SampleMode mode = SampleMode::Systematic;
+    /** Placement seed (Random mode only). */
+    std::uint64_t seed = 1;
+    /** Sampling period P in references; 0 derives it from the
+     *  trace length (about kAutoWindows windows). */
+    std::uint64_t period = 0;
+    /** Measured window length U. */
+    std::uint64_t measureRefs = 2'000;
+    /** Timed-but-discarded warm D directly before each window. */
+    std::uint64_t detailWarmRefs = 1'000;
+    /** Functional warm W before the detail warm (clipped to the
+     *  gap actually available before the window). */
+    std::uint64_t functionalWarmRefs = 30'000;
+    /** Never stop adaptively before this many windows. */
+    std::uint64_t minWindows = 30;
+    /**
+     * Adaptive stopping: stop once the CPI interval's half-width
+     * falls below this fraction of the mean (e.g. 0.01 for "CPI
+     * known to 1%") at #confidence. 0 runs the whole schedule.
+     */
+    double targetRelHalfWidth = 0.0;
+    /** Confidence level for the interval and the stopping rule. */
+    double confidence = 0.95;
+
+    /** Auto-period target window count. */
+    static constexpr std::uint64_t kAutoWindows = 200;
+};
+
+/** One contiguous piece of the schedule. */
+enum class SegmentKind
+{
+    Skip,
+    Warm,
+    Detail,
+    Measure
+};
+
+struct Segment
+{
+    SegmentKind kind;
+    std::uint64_t begin; //!< first reference index
+    std::uint64_t len;   //!< references
+};
+
+/** The options resolved against a concrete trace length. */
+struct SamplePlan
+{
+    std::uint64_t totalRefs = 0;
+    std::uint64_t period = 0;
+    std::uint64_t measureRefs = 0;
+    std::uint64_t detailWarmRefs = 0;
+    std::uint64_t functionalWarmRefs = 0;
+    std::uint64_t windows = 0; //!< full windows the schedule holds
+};
+
+/**
+ * Builds and owns the segment list for one trace. Segments are
+ * contiguous, non-overlapping, and cover [0, totalRefs) exactly
+ * (asserted by tests); the engine simply walks them in order.
+ */
+class SampleScheduler
+{
+  public:
+    /** Panics if @p total_refs cannot hold even one window. */
+    SampleScheduler(std::uint64_t total_refs,
+                    const SampledOptions &opts);
+
+    const SamplePlan &plan() const { return plan_; }
+    const std::vector<Segment> &segments() const
+    {
+        return segments_;
+    }
+    std::uint64_t windowCount() const { return plan_.windows; }
+
+  private:
+    SamplePlan plan_;
+    std::vector<Segment> segments_;
+};
+
+} // namespace sample
+} // namespace mlc
+
+#endif // MLC_SAMPLE_SCHEDULER_HH

@@ -1,0 +1,194 @@
+#include "stats/streaming_stats.hh"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/logging.hh"
+
+namespace mlc {
+namespace stats {
+
+namespace {
+
+/**
+ * Two-sided critical values t_{(1+c)/2, df} for df = 1..30, from
+ * the standard tables (e.g. Abramowitz & Stegun Table 26.10);
+ * these are the constants the golden tests pin.
+ */
+constexpr double kT90[30] = {
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860,
+    1.833, 1.812, 1.796, 1.782, 1.771, 1.761, 1.753, 1.746,
+    1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711,
+    1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+constexpr double kT95[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+    2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+    2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+    2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+constexpr double kT99[30] = {
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355,
+    3.250,  3.169, 3.106, 3.055, 3.012, 2.977, 2.947, 2.921,
+    2.898,  2.878, 2.861, 2.845, 2.831, 2.819, 2.807, 2.797,
+    2.787,  2.779, 2.771, 2.763, 2.756, 2.750};
+
+/**
+ * Cornish-Fisher expansion of the t quantile around the normal
+ * quantile z (A&S 26.7.5), in powers of 1/df.
+ */
+double
+tFromNormal(double z, double df)
+{
+    const double z2 = z * z;
+    const double g1 = (z2 + 1.0) * z / 4.0;
+    const double g2 = ((5.0 * z2 + 16.0) * z2 + 3.0) * z / 96.0;
+    const double g3 =
+        (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) * z / 384.0;
+    const double g4 =
+        ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2 -
+         945.0) *
+        z / 92160.0;
+    const double inv = 1.0 / df;
+    return z +
+           inv * (g1 + inv * (g2 + inv * (g3 + inv * g4)));
+}
+
+} // namespace
+
+double
+normalQuantile(double p)
+{
+    if (!(p > 0.0 && p < 1.0))
+        mlc_panic("normalQuantile: p must be in (0,1), got ", p);
+
+    // Acklam's rational approximation with the standard
+    // central/tail split at 0.02425.
+    static const double a[6] = {
+        -3.969683028665376e+01, 2.209460984245205e+02,
+        -2.759285104469687e+02, 1.383577518672690e+02,
+        -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[5] = {
+        -5.447609879822406e+01, 1.615858368580409e+02,
+        -1.556989798598866e+02, 6.680131188771972e+01,
+        -1.328068155288572e+01};
+    static const double c[6] = {
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e+00, -2.549732539343734e+00,
+        4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[4] = {
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e+00, 3.754408661907416e+00};
+    constexpr double p_low = 0.02425;
+
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) *
+                    q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q +
+                1.0);
+    }
+    if (p > 1.0 - p_low)
+        return -normalQuantile(1.0 - p);
+
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r +
+             a[4]) *
+                r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r +
+             b[4]) *
+                r +
+            1.0);
+}
+
+double
+tCritical(std::uint64_t df, double confidence)
+{
+    if (!(confidence > 0.0 && confidence < 1.0))
+        mlc_panic("tCritical: confidence must be in (0,1), got ",
+                  confidence);
+    if (df == 0)
+        return std::numeric_limits<double>::infinity();
+
+    if (df <= 30) {
+        const std::size_t i = static_cast<std::size_t>(df - 1);
+        if (confidence == 0.90)
+            return kT90[i];
+        if (confidence == 0.95)
+            return kT95[i];
+        if (confidence == 0.99)
+            return kT99[i];
+    }
+    const double z = normalQuantile(0.5 * (1.0 + confidence));
+    return tFromNormal(z, static_cast<double>(df));
+}
+
+double
+ConfidenceInterval::relativeHalfWidth() const
+{
+    if (mean == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return halfWidth / std::fabs(mean);
+}
+
+void
+StreamingStats::merge(const StreamingStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double nab = na + nb;
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / nab;
+    m2_ += other.m2_ + delta * delta * na * nb / nab;
+    n_ += other.n_;
+    if (other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+}
+
+double
+StreamingStats::sampleVariance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+StreamingStats::sampleStdDev() const
+{
+    return std::sqrt(sampleVariance());
+}
+
+double
+StreamingStats::standardError() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return sampleStdDev() / std::sqrt(static_cast<double>(n_));
+}
+
+ConfidenceInterval
+StreamingStats::interval(double confidence) const
+{
+    ConfidenceInterval ci;
+    ci.mean = mean_;
+    ci.confidence = confidence;
+    if (n_ < 2)
+        return ci; // halfWidth stays +inf
+    ci.halfWidth = tCritical(n_ - 1, confidence) * standardError();
+    return ci;
+}
+
+} // namespace stats
+} // namespace mlc

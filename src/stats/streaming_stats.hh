@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Single-pass (streaming) summary statistics with mergeable state
+ * and t-distribution confidence intervals — the measurement layer
+ * of the sampled-replay engine.
+ *
+ * StreamingStats accumulates count/mean/M2 with Welford's update,
+ * which is numerically stable over millions of samples where the
+ * naive sum-of-squares cancels catastrophically. Two accumulators
+ * merge exactly (Chan et al.'s pairwise update), so per-shard
+ * statistics combine into suite statistics without a second pass
+ * and independently of merge order up to floating-point rounding.
+ *
+ * The confidence machinery is what SMARTS-style sampling needs: a
+ * two-sided Student-t critical value for the across-window CPI
+ * sample, a CLT half-width t * s / sqrt(n), and the derived
+ * relative half-width that drives the adaptive stopping rule
+ * ("keep sampling until the 95% interval is within X% of the
+ * mean").
+ */
+
+#ifndef MLC_STATS_STREAMING_STATS_HH
+#define MLC_STATS_STREAMING_STATS_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mlc {
+namespace stats {
+
+/**
+ * Two-sided Student-t critical value t_{(1+c)/2, df}.
+ *
+ * Exact (tabulated to 3-4 significant digits) for the three
+ * standard confidence levels 0.90 / 0.95 / 0.99 at df <= 30; other
+ * degrees of freedom and levels use the normal quantile plus the
+ * Cornish-Fisher expansion in 1/df (Abramowitz & Stegun 26.7.5),
+ * accurate to ~1e-3 for df >= 5. df == 0 returns +inf (no spread
+ * information from a single sample).
+ *
+ * @param df degrees of freedom (sample count - 1).
+ * @param confidence two-sided coverage in (0, 1), default 0.95.
+ */
+double tCritical(std::uint64_t df, double confidence = 0.95);
+
+/** Standard normal quantile Phi^-1(p), p in (0, 1) (Acklam's
+ *  rational approximation, |error| < 1.2e-9). */
+double normalQuantile(double p);
+
+/** A symmetric interval around a sample mean. */
+struct ConfidenceInterval
+{
+    double mean = 0.0;
+    double halfWidth = std::numeric_limits<double>::infinity();
+    double confidence = 0.95;
+
+    double lo() const { return mean - halfWidth; }
+    double hi() const { return mean + halfWidth; }
+
+    /** halfWidth / |mean| — the adaptive stopping rule's metric
+     *  (inf when the mean is zero). */
+    double relativeHalfWidth() const;
+
+    bool
+    contains(double x) const
+    {
+        return x >= lo() && x <= hi();
+    }
+};
+
+/**
+ * Welford mean/variance accumulator with exact merge.
+ *
+ * Deliberately a plain value type (copyable, no Group
+ * registration): sampled-replay windows create one per
+ * (configuration, trace) and merge across traces, which the
+ * registry-based stats::Stat hierarchy is not shaped for.
+ */
+class StreamingStats
+{
+  public:
+    StreamingStats() = default;
+
+    /** Accumulate one observation. */
+    void
+    push(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    /** Fold another accumulator's samples into this one, exactly
+     *  as if its observations had been push()ed here. */
+    void merge(const StreamingStats &other);
+
+    std::uint64_t count() const { return n_; }
+    /** Sample mean (0 with no samples). */
+    double mean() const { return mean_; }
+    /** Unbiased sample variance (0 for n < 2). */
+    double sampleVariance() const;
+    /** sqrt(sampleVariance()). */
+    double sampleStdDev() const;
+    /** Standard error of the mean, s / sqrt(n) (0 for n < 2). */
+    double standardError() const;
+    /** Smallest/largest observation (+/-inf with no samples). */
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    /**
+     * CLT interval for the population mean: mean +/- t * s/sqrt(n).
+     * With n < 2 the half-width is +inf — a single window bounds
+     * nothing.
+     */
+    ConfidenceInterval interval(double confidence = 0.95) const;
+
+    void reset() { *this = StreamingStats{}; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace stats
+} // namespace mlc
+
+#endif // MLC_STATS_STREAMING_STATS_HH

@@ -274,6 +274,50 @@ TEST(Hierarchy, WarmUpResetsCountersButKeepsState)
     EXPECT_EQ(sim.results().references, 1000ULL);
 }
 
+TEST(Hierarchy, FunctionalReplayIsExactAndUntimed)
+{
+    // runFunctional() must evolve tags and counters exactly as a
+    // timed run over the same references (functional state never
+    // depends on timing), while leaving the clock alone. Replay the
+    // workload alternating functional and timed segments and
+    // compare counters against an all-timed reference simulation.
+    const std::vector<trace::MemRef> &refs = workload();
+    const trace::RefSpan all{refs.data(), refs.size()};
+
+    HierarchySimulator timed(HierarchyParams::baseMachine());
+    timed.run(all);
+
+    HierarchySimulator mixed(HierarchyParams::baseMachine());
+    std::size_t pos = 0;
+    bool functional = true;
+    while (pos < all.size) {
+        const trace::RefSpan seg = all.dropFirst(pos).first(7'001);
+        const Tick before = mixed.now();
+        if (functional) {
+            mixed.runFunctional(seg);
+            EXPECT_EQ(mixed.now(), before);
+        } else {
+            mixed.run(seg);
+            EXPECT_GT(mixed.now(), before);
+        }
+        pos += seg.size;
+        functional = !functional;
+    }
+
+    const SimResults t = timed.results();
+    const SimResults m = mixed.results();
+    EXPECT_EQ(m.references, t.references);
+    EXPECT_EQ(m.instructions, t.instructions);
+    ASSERT_EQ(m.levels.size(), t.levels.size());
+    for (std::size_t i = 0; i < t.levels.size(); ++i) {
+        EXPECT_EQ(m.levels[i].readRequests,
+                  t.levels[i].readRequests);
+        EXPECT_EQ(m.levels[i].readMisses, t.levels[i].readMisses);
+    }
+    EXPECT_EQ(mixed.memoryReads(), timed.memoryReads());
+    EXPECT_LT(mixed.now(), timed.now());
+}
+
 } // namespace
 } // namespace hier
 } // namespace mlc

@@ -1,0 +1,129 @@
+/** @file Schedule-construction invariants. */
+
+#include <gtest/gtest.h>
+
+#include "sample/scheduler.hh"
+
+namespace mlc {
+namespace sample {
+namespace {
+
+/** Segments must partition [0, totalRefs) in order. */
+void
+expectPartition(const SampleScheduler &sched)
+{
+    std::uint64_t pos = 0;
+    for (const Segment &seg : sched.segments()) {
+        EXPECT_EQ(seg.begin, pos);
+        EXPECT_GT(seg.len, 0u);
+        pos += seg.len;
+    }
+    EXPECT_EQ(pos, sched.plan().totalRefs);
+}
+
+SampledOptions
+options(std::uint64_t period = 100'000)
+{
+    SampledOptions o;
+    o.period = period;
+    o.measureRefs = 2'000;
+    o.detailWarmRefs = 1'000;
+    o.functionalWarmRefs = 20'000;
+    return o;
+}
+
+TEST(SampleScheduler, SystematicPartitionsTheTrace)
+{
+    SampleScheduler sched(1'000'000, options());
+    expectPartition(sched);
+    EXPECT_EQ(sched.windowCount(), 10u);
+
+    std::uint64_t measured = 0, warmed = 0, detail = 0;
+    for (const Segment &seg : sched.segments()) {
+        if (seg.kind == SegmentKind::Measure)
+            measured += seg.len;
+        if (seg.kind == SegmentKind::Warm)
+            warmed += seg.len;
+        if (seg.kind == SegmentKind::Detail)
+            detail += seg.len;
+    }
+    EXPECT_EQ(measured, 10u * 2'000u);
+    EXPECT_EQ(warmed, 10u * 20'000u);
+    EXPECT_EQ(detail, 10u * 1'000u);
+}
+
+TEST(SampleScheduler, SegmentOrderWithinEachWindow)
+{
+    SampleScheduler sched(500'000, options());
+    SegmentKind prev = SegmentKind::Measure;
+    for (const Segment &seg : sched.segments()) {
+        if (seg.kind == SegmentKind::Warm) {
+            EXPECT_TRUE(prev == SegmentKind::Skip ||
+                        prev == SegmentKind::Measure);
+        }
+        if (seg.kind == SegmentKind::Detail) {
+            EXPECT_EQ(static_cast<int>(prev),
+                      static_cast<int>(SegmentKind::Warm));
+        }
+        if (seg.kind == SegmentKind::Measure) {
+            EXPECT_EQ(static_cast<int>(prev),
+                      static_cast<int>(SegmentKind::Detail));
+        }
+        prev = seg.kind;
+    }
+}
+
+TEST(SampleScheduler, RandomModeIsSeededAndLegal)
+{
+    SampledOptions o = options();
+    o.mode = SampleMode::Random;
+    o.seed = 99;
+    SampleScheduler a(1'000'000, o);
+    SampleScheduler b(1'000'000, o);
+    expectPartition(a);
+    ASSERT_EQ(a.segments().size(), b.segments().size());
+    for (std::size_t i = 0; i < a.segments().size(); ++i) {
+        EXPECT_EQ(a.segments()[i].begin, b.segments()[i].begin);
+        EXPECT_EQ(static_cast<int>(a.segments()[i].kind),
+                  static_cast<int>(b.segments()[i].kind));
+    }
+
+    o.seed = 100;
+    SampleScheduler c(1'000'000, o);
+    expectPartition(c);
+    bool differs = false;
+    for (std::size_t i = 0;
+         i < std::min(a.segments().size(), c.segments().size());
+         ++i)
+        if (a.segments()[i].begin != c.segments()[i].begin)
+            differs = true;
+    EXPECT_TRUE(differs) << "different seed, same placement";
+}
+
+TEST(SampleScheduler, AutoPeriodTargetsWindowCount)
+{
+    SampledOptions o = options(0);
+    SampleScheduler sched(100'000'000, o);
+    expectPartition(sched);
+    EXPECT_EQ(sched.windowCount(), SampledOptions::kAutoWindows);
+}
+
+TEST(SampleScheduler, ClipsWarmOnShortTraces)
+{
+    // 10k refs cannot hold the 20k functional warm; it must be
+    // clipped, not rejected.
+    SampledOptions o = options(0);
+    SampleScheduler sched(10'000, o);
+    expectPartition(sched);
+    EXPECT_GE(sched.windowCount(), 1u);
+    EXPECT_EQ(sched.plan().functionalWarmRefs, 7'000u);
+}
+
+TEST(SampleScheduler, PanicsWhenNoWindowFits)
+{
+    EXPECT_DEATH(SampleScheduler(1'000, options()), "window");
+}
+
+} // namespace
+} // namespace sample
+} // namespace mlc

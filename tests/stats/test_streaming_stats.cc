@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Golden tests for stats::StreamingStats: the Welford accumulator
+ * against a two-pass reference, merge exactness and associativity,
+ * and the t / normal-quantile constants against precomputed values
+ * (scipy.stats.t.ppf / norm.ppf).
+ */
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/streaming_stats.hh"
+#include "util/random.hh"
+
+namespace mlc {
+namespace stats {
+namespace {
+
+/** Two-pass textbook mean / unbiased variance. */
+std::pair<double, double>
+twoPass(const std::vector<double> &xs)
+{
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(xs.size());
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - mean) * (x - mean);
+    return {mean, acc / static_cast<double>(xs.size() - 1)};
+}
+
+std::vector<double>
+randomSamples(std::uint64_t seed, std::size_t n, double offset)
+{
+    Rng rng(seed);
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        xs.push_back(offset + rng.nextDouble());
+    return xs;
+}
+
+TEST(StreamingStats, MatchesTwoPassReference)
+{
+    // A large offset is the classic catastrophic-cancellation
+    // stress: naive sum-of-squares loses all variance digits here,
+    // Welford must not.
+    const auto xs = randomSamples(7, 10'000, 1.0e9);
+    StreamingStats s;
+    for (double x : xs)
+        s.push(x);
+
+    const auto [mean, var] = twoPass(xs);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_NEAR(s.mean(), mean, std::fabs(mean) * 1e-12);
+    EXPECT_NEAR(s.sampleVariance(), var, var * 1e-8);
+}
+
+TEST(StreamingStats, KnownSmallSample)
+{
+    // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population var 4, sample
+    // var 32/7.
+    StreamingStats s;
+    for (double x : {2, 4, 4, 4, 5, 5, 7, 9})
+        s.push(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.sampleVariance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.standardError(),
+                std::sqrt(32.0 / 7.0 / 8.0), 1e-12);
+}
+
+TEST(StreamingStats, MergeEqualsSequentialPush)
+{
+    const auto xs = randomSamples(11, 5'000, 3.0);
+    const auto ys = randomSamples(13, 2'345, -2.0);
+
+    StreamingStats all;
+    for (double x : xs)
+        all.push(x);
+    for (double y : ys)
+        all.push(y);
+
+    StreamingStats a, b;
+    for (double x : xs)
+        a.push(x);
+    for (double y : ys)
+        b.push(y);
+    a.merge(b);
+
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.sampleVariance(), all.sampleVariance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeIsAssociative)
+{
+    const auto xs = randomSamples(17, 999, 0.0);
+    const auto ys = randomSamples(19, 1'001, 5.0);
+    const auto zs = randomSamples(23, 500, -7.0);
+
+    auto fill = [](const std::vector<double> &v) {
+        StreamingStats s;
+        for (double x : v)
+            s.push(x);
+        return s;
+    };
+
+    // (x + y) + z
+    StreamingStats left = fill(xs);
+    left.merge(fill(ys));
+    left.merge(fill(zs));
+    // x + (y + z)
+    StreamingStats right_tail = fill(ys);
+    right_tail.merge(fill(zs));
+    StreamingStats right = fill(xs);
+    right.merge(right_tail);
+
+    EXPECT_EQ(left.count(), right.count());
+    EXPECT_NEAR(left.mean(), right.mean(), 1e-12);
+    EXPECT_NEAR(left.sampleVariance(), right.sampleVariance(),
+                1e-9);
+}
+
+TEST(StreamingStats, MergeWithEmptySides)
+{
+    StreamingStats empty, s;
+    s.push(1.0);
+    s.push(3.0);
+
+    StreamingStats a = s;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    StreamingStats b = empty;
+    b.merge(s);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(b.sampleVariance(), 2.0);
+}
+
+TEST(StreamingStats, TCriticalMatchesTables)
+{
+    // scipy.stats.t.ppf(0.975, df) etc.; the df <= 30 values are
+    // tabulated, so these must match to the table's precision.
+    EXPECT_NEAR(tCritical(1, 0.95), 12.706, 5e-4);
+    EXPECT_NEAR(tCritical(4, 0.95), 2.776, 5e-4);
+    EXPECT_NEAR(tCritical(9, 0.95), 2.262, 5e-4);
+    EXPECT_NEAR(tCritical(30, 0.95), 2.042, 5e-4);
+    EXPECT_NEAR(tCritical(10, 0.90), 1.812, 5e-4);
+    EXPECT_NEAR(tCritical(10, 0.99), 3.169, 5e-4);
+
+    // Beyond the table the Cornish-Fisher expansion takes over:
+    // scipy gives t.ppf(0.975, 60) = 2.000298, t.ppf(0.975, 120)
+    // = 1.979930, t.ppf(0.995, 100) = 2.625891.
+    EXPECT_NEAR(tCritical(60, 0.95), 2.000298, 2e-3);
+    EXPECT_NEAR(tCritical(120, 0.95), 1.979930, 1e-3);
+    EXPECT_NEAR(tCritical(100, 0.99), 2.625891, 2e-3);
+
+    // Large df converges to the normal quantile.
+    EXPECT_NEAR(tCritical(1'000'000, 0.95), 1.959964, 1e-4);
+
+    // df == 0: no spread information.
+    EXPECT_TRUE(std::isinf(tCritical(0, 0.95)));
+}
+
+TEST(StreamingStats, NormalQuantileMatchesTables)
+{
+    // scipy.stats.norm.ppf.
+    EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-6);
+    EXPECT_NEAR(normalQuantile(0.95), 1.644854, 1e-6);
+    EXPECT_NEAR(normalQuantile(0.995), 2.575829, 1e-6);
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.025), -1.959964, 1e-6);
+    // Tail branch.
+    EXPECT_NEAR(normalQuantile(0.001), -3.090232, 1e-5);
+}
+
+TEST(StreamingStats, ConfidenceIntervalKnownCase)
+{
+    // n = 10 samples 1..10: mean 5.5, s = sqrt(55/6), hw =
+    // t_{.975,9} * s / sqrt(10) = 2.262 * 3.02765/3.16228.
+    StreamingStats s;
+    for (int i = 1; i <= 10; ++i)
+        s.push(i);
+    const ConfidenceInterval ci = s.interval(0.95);
+    EXPECT_DOUBLE_EQ(ci.mean, 5.5);
+    EXPECT_NEAR(ci.halfWidth, 2.262 * std::sqrt(55.0 / 6.0) /
+                                  std::sqrt(10.0),
+                1e-3);
+    EXPECT_TRUE(ci.contains(5.5));
+    EXPECT_TRUE(ci.contains(ci.lo()));
+    EXPECT_FALSE(ci.contains(ci.hi() + 1e-9));
+    EXPECT_NEAR(ci.relativeHalfWidth(), ci.halfWidth / 5.5, 1e-12);
+}
+
+TEST(StreamingStats, IntervalDegenerateCases)
+{
+    StreamingStats s;
+    ConfidenceInterval ci = s.interval();
+    EXPECT_TRUE(std::isinf(ci.halfWidth));
+
+    s.push(4.2);
+    ci = s.interval();
+    EXPECT_DOUBLE_EQ(ci.mean, 4.2);
+    EXPECT_TRUE(std::isinf(ci.halfWidth));
+    EXPECT_TRUE(std::isinf(ci.relativeHalfWidth()) ||
+                ci.relativeHalfWidth() > 0.0);
+
+    s.push(4.2); // two identical samples: zero-width interval
+    ci = s.interval();
+    EXPECT_DOUBLE_EQ(ci.halfWidth, 0.0);
+    EXPECT_TRUE(ci.contains(4.2));
+}
+
+TEST(StreamingStats, ResetClears)
+{
+    StreamingStats s;
+    s.push(1.0);
+    s.push(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 0.0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace mlc
