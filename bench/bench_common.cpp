@@ -14,6 +14,7 @@
 
 #include "onepass/grid.hh"
 #include "sample/engine.hh"
+#include "sample/sweep.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
@@ -180,8 +181,11 @@ buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
     if (engine == Engine::OnePass)
         return onepass::buildGrid(base, sizes, cycles, store, jobs);
     if (engine == Engine::Sampled)
-        return sample::buildGrid(base, sizes, cycles, store,
-                                 sampled_opts, jobs);
+        // Checkpointed: all cells of a trace share each window's
+        // warming pass (bit-identical to sample::buildGrid, which
+        // the sweep tests assert).
+        return sample::buildGridCheckpointed(
+            base, sizes, cycles, store, sampled_opts, jobs);
     return expt::parallelBuildGrid(
         sizes, cycles, store,
         [&](std::uint64_t size, std::uint32_t cyc) {

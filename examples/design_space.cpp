@@ -23,10 +23,18 @@
  * --engine=sampled keeps the full timing model but replays only a
  * scheduled subset of the trace per cell (statistical sampling,
  * DESIGN.md §5d): estimated CPI with a confidence interval, solo
- * miss ratios measured exactly over the replayed subset. On this
- * deliberately small interactive trace it exists to demonstrate
- * the plumbing; the speedup case is long traces (see
- * bench/sampled_vs_full).
+ * miss ratios measured exactly over the replayed subset. The grid
+ * itself is swept checkpoint-and-branch style (DESIGN.md §5e): all
+ * cells share one warming pass per window, bit-identical to
+ * warming each cell separately. On this deliberately small
+ * interactive trace it exists to demonstrate the plumbing; the
+ * speedup case is long traces (see bench/checkpoint_sweep).
+ *
+ * --paired=SIZEA,SIZEB (sampled engine only) additionally compares
+ * the two L2 sizes (in bytes, at the 3-cycle row) with the
+ * matched-pair estimator: both machines measure the same windows
+ * from the same warm state, so the CPI-delta interval is much
+ * narrower than either absolute interval.
  */
 
 #include <cmath>
@@ -41,6 +49,7 @@
 #include "onepass/model_timing.hh"
 #include "model/tradeoff.hh"
 #include "sample/engine.hh"
+#include "sample/sweep.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 #include "util/table.hh"
@@ -56,6 +65,7 @@ main(int argc, char **argv)
     std::size_t jobs = defaultJobs();
     bool use_onepass = false;
     bool use_sampled = false;
+    std::uint64_t paired_a = 0, paired_b = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (startsWith(arg, "--jobs=")) {
@@ -63,6 +73,19 @@ main(int argc, char **argv)
             if (!parseUnsigned(arg.substr(7), j) || j < 1)
                 mlc_fatal("bad --jobs value in '", argv[i], "'");
             jobs = static_cast<std::size_t>(j);
+        } else if (startsWith(arg, "--paired=")) {
+            const std::string value(arg.substr(9));
+            const std::size_t comma = value.find(',');
+            unsigned long long a = 0, b = 0;
+            if (comma == std::string::npos ||
+                !parseUnsigned(value.substr(0, comma), a) ||
+                !parseUnsigned(value.substr(comma + 1), b) ||
+                a == 0 || b == 0)
+                mlc_fatal("bad --paired value in '", argv[i],
+                          "' (expected two L2 byte sizes, e.g. "
+                          "--paired=65536,131072)");
+            paired_a = a;
+            paired_b = b;
         } else if (startsWith(arg, "--engine=")) {
             const std::string_view engine = arg.substr(9);
             if (engine == "onepass")
@@ -141,23 +164,30 @@ main(int argc, char **argv)
         sopts.measureRefs = sopts.period / 5;
         sopts.detailWarmRefs = 2'000;
         sopts.functionalWarmRefs = (sopts.period * 3) / 5;
-        parallelFor(jobs, slots.size(), [&](std::size_t i) {
-            const std::size_t s = i / cols, c = i % cols;
+        // The whole grid shares one warming pass per window
+        // (checkpoint-and-branch, DESIGN.md §5e) — bit-identical to
+        // warming each cell on its own.
+        const expt::DesignSpaceGrid rel_grid =
+            sample::buildGridCheckpointed(base, sizes, cycles, store,
+                                          sopts, jobs);
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            slots[i].rel = rel_grid.at(i / cols, i % cols);
+        // Solo curves need observation caches, which the shared
+        // warm state cannot carry (warmCompatible rejects them), so
+        // the 1-cycle column reruns straight-line for the ratios.
+        // Solo ratios are exact over the replayed subset, sampled
+        // with respect to the whole trace.
+        parallelFor(jobs, sizes.size(), [&](std::size_t s) {
             hier::HierarchyParams p =
-                base.withL2(sizes[s], cycles[c]);
-            p.measureSolo = (c == 0);
+                base.withL2(sizes[s], cycles[0]);
+            p.measureSolo = true;
             const sample::SampledSuiteResults r =
                 sample::runSuiteSampled(p, store, sopts);
-            slots[i].rel = r.relExecTime;
-            // Solo ratio over the replayed subset: exact for those
-            // references, sampled with respect to the whole trace.
-            if (c == 0) {
-                double solo = 0.0;
-                for (const sample::SampledResult &t : r.perTrace)
-                    solo += t.functional.levels[1].soloMissRatio /
-                            static_cast<double>(r.perTrace.size());
-                slots[i].solo = solo;
-            }
+            double solo = 0.0;
+            for (const sample::SampledResult &t : r.perTrace)
+                solo += t.functional.levels[1].soloMissRatio /
+                        static_cast<double>(r.perTrace.size());
+            slots[s * cols].solo = solo;
         });
     } else {
         parallelFor(jobs, slots.size(), [&](std::size_t i) {
@@ -194,6 +224,35 @@ main(int argc, char **argv)
     }
     std::cout << "\nrelative execution time:\n";
     t.print(std::cout);
+
+    if (paired_a != 0) {
+        if (!use_sampled)
+            mlc_fatal("--paired requires --engine=sampled");
+        // Same windows, same warm state, two machines: the delta
+        // interval shows what matched pairs buy over differencing
+        // two absolute estimates.
+        sample::SampledOptions sopts;
+        sopts.period = store.span(0).size / 40;
+        sopts.measureRefs = sopts.period / 5;
+        sopts.detailWarmRefs = 2'000;
+        sopts.functionalWarmRefs = (sopts.period * 3) / 5;
+        const sample::PairedResult pr = sample::runPaired(
+            base.withL2(paired_a, 3), base.withL2(paired_b, 3),
+            store.span(0), sopts, jobs);
+        std::cout << "\nmatched-pair " << formatSize(paired_a)
+                  << " vs " << formatSize(paired_b)
+                  << " (3-cycle L2, " << pr.windowsPaired
+                  << " paired windows):\n"
+                  << "  CPI A               " << pr.a.estCpi
+                  << " +- " << pr.a.cpiInterval.halfWidth << "\n"
+                  << "  CPI B               " << pr.b.estCpi
+                  << " +- " << pr.b.cpiInterval.halfWidth << "\n"
+                  << "  delta (B-A)         " << pr.deltaInterval.mean
+                  << " +- " << pr.deltaInterval.halfWidth
+                  << " (95% CI)\n"
+                  << "  window correlation  "
+                  << pr.pairs.correlation() << "\n";
+    }
 
     // Best design under a toy technology rule: each quadrupling of
     // SRAM costs one CPU cycle of access time starting from 2.

@@ -28,7 +28,17 @@
  * the full timing simulator (statistical sampling, DESIGN.md §5d):
  * CPI is reported as an estimate with a 95% confidence interval,
  * miss ratios are exact over the replayed subset. Works for any
- * hierarchy depth; pays off on long traces.
+ * hierarchy depth; pays off on long traces. MLCT binary traces are
+ * mapped with lazy validation so skipped windows never fault their
+ * pages in, and the per-window warming length is derived from the
+ * trace's measured stack-depth tail by default (each report logs
+ * which path was taken); --warm=N forces a fixed length instead.
+ *
+ * --engine=sampled --paired (exactly two .cfg files) additionally
+ * runs the matched-pair comparison: both machines measure the same
+ * windows from checkpointed warm state (DESIGN.md §5e), and the
+ * CPI-delta confidence interval — typically far narrower than
+ * either absolute interval — is reported alongside them.
  */
 
 #include <cstdlib>
@@ -46,6 +56,7 @@
 #include "onepass/engine.hh"
 #include "onepass/model_timing.hh"
 #include "sample/engine.hh"
+#include "sample/sweep.hh"
 #include "trace/binary.hh"
 #include "trace/compressed.hh"
 #include "trace/dinero.hh"
@@ -90,6 +101,9 @@ main(int argc, char **argv)
     bool refs_given = false;
     bool use_onepass = false;
     bool use_sampled = false;
+    bool paired = false;
+    std::uint64_t fixed_warm = 0;
+    bool warm_given = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -98,6 +112,14 @@ main(int argc, char **argv)
             if (!parseUnsigned(arg.substr(7), j) || j < 1)
                 mlc_fatal("bad --jobs value in '", argv[i], "'");
             jobs = static_cast<std::size_t>(j);
+        } else if (arg == "--paired") {
+            paired = true;
+        } else if (startsWith(arg, "--warm=")) {
+            unsigned long long w = 0;
+            if (!parseUnsigned(arg.substr(7), w))
+                mlc_fatal("bad --warm value in '", argv[i], "'");
+            fixed_warm = w;
+            warm_given = true;
         } else if (startsWith(arg, "--engine=")) {
             const std::string_view engine = arg.substr(9);
             if (engine == "onepass")
@@ -125,6 +147,9 @@ main(int argc, char **argv)
                      "[trace] [refs] [--jobs=N]\n";
         return 1;
     }
+    if (paired && (!use_sampled || config_paths.size() != 2))
+        mlc_fatal("--paired requires --engine=sampled and exactly "
+                  "two .cfg files (got ", config_paths.size(), ")");
 
     std::vector<hier::HierarchyParams> params;
     params.reserve(config_paths.size());
@@ -157,8 +182,15 @@ main(int argc, char **argv)
         if (!endsWith(trace_path, ".din") &&
             !endsWith(trace_path, ".mlcz")) {
             // MLCT binary: map the file and replay it in place.
-            mapped =
-                std::make_unique<trace::MappedBinaryTrace>(trace_path);
+            // The sampled engine validates only the ranges it
+            // replays, so skipped windows never touch their pages;
+            // the other engines replay everything and keep the
+            // eager construction-time scan.
+            mapped = std::make_unique<trace::MappedBinaryTrace>(
+                trace_path, trace::MappedBinaryTrace::Backing::Auto,
+                use_sampled
+                    ? trace::MappedBinaryTrace::Validation::Lazy
+                    : trace::MappedBinaryTrace::Validation::Eager);
             replay_all = mapped->span().first(warmup + refs);
         } else {
             stream = readTraceFile(trace_path, warmup + refs);
@@ -175,6 +207,22 @@ main(int argc, char **argv)
         const char *flag = std::getenv("MLC_STATS");
         return flag && flag[0] == '1';
     }();
+
+    // One sampling schedule shared by every configuration (and the
+    // paired comparison): ~40 windows, warming either fixed via
+    // --warm=N or derived per machine from the measured stack-depth
+    // tail of the trace prefix.
+    sample::SampledOptions sopts;
+    if (use_sampled) {
+        sopts.period = replay_all.size / 40;
+        sopts.measureRefs = sopts.period / 5;
+        sopts.detailWarmRefs = 2'000;
+        sopts.functionalWarmRefs = (sopts.period * 3) / 5;
+        if (warm_given)
+            sopts.functionalWarmRefs = fixed_warm;
+        else
+            sopts.adaptiveWarm = true;
+    }
 
     // One buffered report per configuration, printed in
     // command-line order below no matter how simulations finish.
@@ -224,19 +272,18 @@ main(int argc, char **argv)
             // The sampled engine schedules its own warming, so it
             // takes the whole stream (warmup included) and the
             // explicit warmUp() of the timing path is not needed.
-            sample::SampledOptions sopts;
-            sopts.period = replay_all.size / 40;
-            sopts.measureRefs = sopts.period / 5;
-            sopts.detailWarmRefs = 2'000;
-            sopts.functionalWarmRefs = (sopts.period * 3) / 5;
-            const sample::SampledResult r =
-                sample::runSampled(params[i], replay_all, sopts);
+            const sample::SampledResult r = sample::runSampled(
+                params[i], replay_all, sopts, mapped.get());
             os << "sampled engine: estimated timing, exact miss "
                   "ratios over the replayed subset\n"
                << "  CPI estimate        " << r.estCpi << " in ["
                << r.cpiInterval.lo() << ", " << r.cpiInterval.hi()
                << "] (95% CI, " << r.windowCpi.count()
                << " windows)\n"
+               << "  warming             "
+               << (r.adaptiveWarmUsed ? "adaptive" : "fixed")
+               << " (" << r.warmRefsPerWindow
+               << " refs/window)\n"
                << "  rel exec estimate   " << r.estRelExecTime
                << "\n"
                << "  replayed            "
@@ -271,6 +318,32 @@ main(int argc, char **argv)
             std::cout << "\n========================================"
                          "==================\n\n";
         std::cout << reports[i];
+    }
+
+    if (paired) {
+        // Both machines measure the same windows from checkpointed
+        // warm state; report the CPI delta with its own (much
+        // narrower) interval.
+        const sample::PairedResult pr =
+            sample::runPaired(params[0], params[1], replay_all,
+                              sopts, jobs, mapped.get());
+        std::cout << "\n========================================"
+                     "==================\n\n"
+                  << "matched-pair comparison ("
+                  << pr.windowsPaired << " paired windows, "
+                  << (pr.a.adaptiveWarmUsed ? "adaptive" : "fixed")
+                  << " warming, " << pr.a.warmRefsPerWindow
+                  << " refs/window):\n"
+                  << "  A " << config_paths[0] << ": CPI "
+                  << pr.a.estCpi << " +- "
+                  << pr.a.cpiInterval.halfWidth << "\n"
+                  << "  B " << config_paths[1] << ": CPI "
+                  << pr.b.estCpi << " +- "
+                  << pr.b.cpiInterval.halfWidth << "\n"
+                  << "  delta (B-A): " << pr.deltaInterval.mean
+                  << " +- " << pr.deltaInterval.halfWidth
+                  << " (95% CI), window correlation "
+                  << pr.pairs.correlation() << "\n";
     }
     return 0;
 }

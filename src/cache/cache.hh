@@ -95,6 +95,16 @@ struct CacheCounts
     }
 };
 
+/**
+ * Checkpoint of a Cache: its tag-array snapshot plus a plain copy
+ * of the counters (CacheCounts is a small POD; no arena needed).
+ */
+struct CacheSnapshot
+{
+    TagArraySnapshot tags;
+    CacheCounts counts;
+};
+
 /** One cache, functional behaviour only. */
 class Cache
 {
@@ -189,6 +199,23 @@ class Cache
 
     /** Zero the counters; tag state is retained (post-warm-up). */
     void resetCounts() { counts_ = CacheCounts{}; }
+
+    /** Checkpoint tag state + counters into @p arena. */
+    void
+    captureState(SnapshotArena &arena, CacheSnapshot &snap) const
+    {
+        tags_.captureState(arena, snap.tags);
+        snap.counts = counts_;
+    }
+
+    /** Restore a checkpoint; panics on geometry mismatch. */
+    void
+    restoreState(const SnapshotArena &arena,
+                 const CacheSnapshot &snap)
+    {
+        tags_.restoreState(arena, snap.tags);
+        counts_ = snap.counts;
+    }
 
   private:
     /** Fill every absent block of the aligned fetch group that

@@ -139,6 +139,27 @@ struct CacheParams
     void finalize();
 };
 
+/**
+ * True when two caches evolve identical functional state (tags,
+ * valid/dirty bits, counters) when fed the same access stream.
+ * Compares everything that shapes behaviour; deliberately ignores
+ * cycleNs/readCycles/writeCycles (timing only) and the name. This
+ * is the per-level test behind warm-state snapshot compatibility.
+ */
+inline bool
+functionallyEqual(const CacheParams &a, const CacheParams &b)
+{
+    return a.geometry.sizeBytes == b.geometry.sizeBytes &&
+           a.geometry.blockBytes == b.geometry.blockBytes &&
+           a.geometry.assoc == b.geometry.assoc &&
+           a.fetchBytes == b.fetchBytes &&
+           a.writePolicy == b.writePolicy &&
+           a.allocPolicy == b.allocPolicy &&
+           a.replPolicy == b.replPolicy &&
+           a.downstreamWriteMiss == b.downstreamWriteMiss &&
+           a.prefetchNextBlock == b.prefetchNextBlock;
+}
+
 } // namespace cache
 } // namespace mlc
 

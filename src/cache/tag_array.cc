@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "util/bits.hh"
 #include "util/logging.hh"
@@ -246,6 +247,68 @@ TagArray::clearAll()
     std::fill(tags_.begin(), tags_.end(), kInvalidTag);
     std::fill(validMask_.begin(), validMask_.end(), 0);
     std::fill(dirtyMask_.begin(), dirtyMask_.end(), 0);
+}
+
+namespace {
+
+template <typename T>
+std::size_t
+copyOut(SnapshotArena &arena, const std::vector<T> &v)
+{
+    const std::size_t off = arena.alloc(v.size() * sizeof(T));
+    std::memcpy(arena.at(off), v.data(), v.size() * sizeof(T));
+    return off;
+}
+
+template <typename T>
+void
+copyIn(const SnapshotArena &arena, std::size_t off,
+       std::vector<T> &v)
+{
+    std::memcpy(v.data(), arena.at(off), v.size() * sizeof(T));
+}
+
+} // namespace
+
+void
+TagArray::captureState(SnapshotArena &arena,
+                       TagArraySnapshot &snap) const
+{
+    snap.numSets = geom_.numSets;
+    snap.ways = geom_.ways;
+    snap.blockBytes = geom_.blockBytes;
+    snap.subCount = subCount_;
+    snap.policy = policy_;
+    snap.lines = tags_.size();
+    snap.stamp = stamp_;
+    snap.rngState = rng_.state();
+    snap.tagsOff = copyOut(arena, tags_);
+    snap.validOff = copyOut(arena, validMask_);
+    snap.dirtyOff = copyOut(arena, dirtyMask_);
+    snap.useOff = copyOut(arena, useStamp_);
+    snap.insertOff = copyOut(arena, insertStamp_);
+}
+
+void
+TagArray::restoreState(const SnapshotArena &arena,
+                       const TagArraySnapshot &snap)
+{
+    if (snap.numSets != geom_.numSets || snap.ways != geom_.ways ||
+        snap.blockBytes != geom_.blockBytes ||
+        snap.subCount != subCount_ || snap.policy != policy_ ||
+        snap.lines != tags_.size())
+        mlc_panic("TagArray::restoreState geometry mismatch: "
+                  "snapshot is ", snap.numSets, "x", snap.ways,
+                  " block=", snap.blockBytes, " sub=", snap.subCount,
+                  ", array is ", geom_.numSets, "x", geom_.ways,
+                  " block=", geom_.blockBytes, " sub=", subCount_);
+    stamp_ = snap.stamp;
+    rng_.setState(snap.rngState);
+    copyIn(arena, snap.tagsOff, tags_);
+    copyIn(arena, snap.validOff, validMask_);
+    copyIn(arena, snap.dirtyOff, dirtyMask_);
+    copyIn(arena, snap.useOff, useStamp_);
+    copyIn(arena, snap.insertOff, insertStamp_);
 }
 
 } // namespace cache

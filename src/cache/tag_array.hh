@@ -20,12 +20,15 @@
 #ifndef MLC_CACHE_TAG_ARRAY_HH
 #define MLC_CACHE_TAG_ARRAY_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "cache/cache_config.hh"
 #include "trace/mem_ref.hh"
 #include "util/random.hh"
+#include "util/snapshot_arena.hh"
 
 namespace mlc {
 namespace cache {
@@ -51,6 +54,38 @@ struct Victim
     /** Bytes actually dirty (== block size without sub-blocking;
      *  the dirty sectors only, with it). */
     std::uint32_t dirtyBytes = 0;
+};
+
+/**
+ * Checkpoint of a TagArray, parked in a SnapshotArena.
+ *
+ * The five SoA line arrays live in the arena as raw memcpy'd blocks
+ * addressed by offset (offsets survive arena growth; pointers would
+ * not). The geometry fingerprint pins the snapshot to arrays of the
+ * exact same shape — restoring into anything else is a hard panic,
+ * not a silent reinterpretation of bytes.
+ */
+struct TagArraySnapshot
+{
+    /** @{ @name Geometry/policy fingerprint (restore-compat check) */
+    std::uint64_t numSets = 0;
+    std::uint32_t ways = 0;
+    std::uint32_t blockBytes = 0;
+    std::uint32_t subCount = 0;
+    ReplPolicy policy = ReplPolicy::LRU;
+    /** @} */
+
+    std::size_t lines = 0;
+    std::uint64_t stamp = 0;
+    std::array<std::uint64_t, 4> rngState{};
+
+    /** @{ @name Arena offsets of the copied SoA arrays */
+    std::size_t tagsOff = 0;
+    std::size_t validOff = 0;
+    std::size_t dirtyOff = 0;
+    std::size_t useOff = 0;
+    std::size_t insertOff = 0;
+    /** @} */
 };
 
 /**
@@ -202,6 +237,21 @@ class TagArray
 
     /** Invalidate everything (loses dirty data; tests only). */
     void clearAll();
+
+    /**
+     * Copy the full line state (tags, valid/dirty masks, both
+     * replacement stamps, stamp counter, RNG state) into @p arena
+     * and describe it in @p snap. Five memcpys — no per-line work.
+     */
+    void captureState(SnapshotArena &arena,
+                      TagArraySnapshot &snap) const;
+
+    /**
+     * Overwrite this array's state from a snapshot. Panics if the
+     * snapshot's geometry fingerprint does not match this array.
+     */
+    void restoreState(const SnapshotArena &arena,
+                      const TagArraySnapshot &snap);
 
     const CacheGeometry &geometry() const { return geom_; }
     ReplPolicy policy() const { return policy_; }

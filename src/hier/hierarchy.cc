@@ -123,6 +123,10 @@ HierarchySimulator::downstreamRead(std::size_t i, Addr addr,
                                    bool count_read, bool timed)
 {
     if (i == levels_.size()) {
+        if (boundaryRec_)
+            boundaryRec_->push_back(
+                {addr, static_cast<std::uint32_t>(bytes),
+                 BoundaryOp::Kind::Read, count_read});
         ++memReads_;
         if (!timed)
             return start;
@@ -200,6 +204,10 @@ HierarchySimulator::queueDownstreamWrite(std::size_t i, Addr base,
                                          Tick start, bool timed)
 {
     if (i == levels_.size()) {
+        if (boundaryRec_)
+            boundaryRec_->push_back(
+                {base, static_cast<std::uint32_t>(bytes),
+                 BoundaryOp::Kind::Write, false});
         ++memWrites_;
         if (!timed)
             return start;
@@ -429,6 +437,119 @@ HierarchySimulator::resetAllCounts()
         level->resetCounts();
     for (auto &solo : solo_)
         solo->resetCounts();
+}
+
+void
+HierarchySimulator::captureWarmState(SnapshotArena &arena,
+                                     WarmSnapshot &snap,
+                                     std::size_t prefix_levels) const
+{
+    if (prefix_levels > levels_.size())
+        mlc_panic("captureWarmState prefix depth ", prefix_levels,
+                  " exceeds hierarchy depth ", levels_.size());
+    if (!solo_.empty())
+        mlc_panic("captureWarmState with solo co-simulation "
+                  "active: solo arrays replay the raw CPU stream "
+                  "and cannot be rebuilt from boundary traffic");
+    snap.splitL1 = params_.splitL1;
+    snap.prefixLevels = prefix_levels;
+    if (l1i_)
+        l1i_->captureState(arena, snap.l1i);
+    l1d_->captureState(arena, snap.l1d);
+    snap.levels.resize(prefix_levels);
+    for (std::size_t i = 0; i < prefix_levels; ++i)
+        levels_[i]->captureState(arena, snap.levels[i]);
+    snap.instructions = instructions_;
+    snap.ifetches = ifetches_;
+    snap.loads = loads_;
+    snap.stores = stores_;
+    snap.refsRun = refsRun_;
+    snap.l1ReadMissCount = l1ReadMissCount_;
+    snap.readReqs.assign(readReqs_.begin(),
+                         readReqs_.begin() +
+                             static_cast<std::ptrdiff_t>(
+                                 prefix_levels));
+    snap.readMisses.assign(readMisses_.begin(),
+                           readMisses_.begin() +
+                               static_cast<std::ptrdiff_t>(
+                                   prefix_levels));
+}
+
+void
+HierarchySimulator::restoreWarmState(const SnapshotArena &arena,
+                                     const WarmSnapshot &snap)
+{
+    if (snap.splitL1 != params_.splitL1)
+        mlc_panic("restoreWarmState split-L1 mismatch: snapshot ",
+                  snap.splitL1 ? "split" : "unified",
+                  ", simulator ",
+                  params_.splitL1 ? "split" : "unified");
+    if (snap.prefixLevels > levels_.size())
+        mlc_panic("restoreWarmState snapshot prefix depth ",
+                  snap.prefixLevels, " exceeds hierarchy depth ",
+                  levels_.size());
+    if (!solo_.empty())
+        mlc_panic("restoreWarmState with solo co-simulation "
+                  "active");
+    if (l1i_)
+        l1i_->restoreState(arena, snap.l1i);
+    l1d_->restoreState(arena, snap.l1d);
+    for (std::size_t i = 0; i < snap.prefixLevels; ++i)
+        levels_[i]->restoreState(arena, snap.levels[i]);
+    instructions_ = snap.instructions;
+    ifetches_ = snap.ifetches;
+    loads_ = snap.loads;
+    stores_ = snap.stores;
+    refsRun_ = snap.refsRun;
+    l1ReadMissCount_ = snap.l1ReadMissCount;
+    for (std::size_t i = 0; i < snap.prefixLevels; ++i) {
+        readReqs_[i] = snap.readReqs[i];
+        readMisses_[i] = snap.readMisses[i];
+    }
+}
+
+std::uint64_t
+HierarchySimulator::replayBoundary(std::size_t level,
+                                   const std::vector<BoundaryOp> &ops)
+{
+    if (level > levels_.size())
+        mlc_panic("replayBoundary at level ", level,
+                  " of a hierarchy with ", levels_.size(),
+                  " downstream levels");
+    for (const BoundaryOp &op : ops) {
+        if (op.kind == BoundaryOp::Kind::Read)
+            downstreamRead(level, op.addr, op.bytes, 0,
+                           op.countRead, false);
+        else
+            queueDownstreamWrite(level, op.addr, op.bytes, 0,
+                                 false);
+    }
+    return ops.size();
+}
+
+std::size_t
+sharedFunctionalPrefix(const HierarchyParams &a,
+                       const HierarchyParams &b)
+{
+    const std::size_t depth =
+        std::min(a.levels.size(), b.levels.size());
+    std::size_t k = 0;
+    while (k < depth &&
+           cache::functionallyEqual(a.levels[k], b.levels[k]))
+        ++k;
+    return k;
+}
+
+bool
+warmCompatible(const HierarchyParams &a, const HierarchyParams &b)
+{
+    if (a.splitL1 != b.splitL1)
+        return false;
+    if (a.measureSolo || b.measureSolo)
+        return false;
+    if (a.splitL1 && !cache::functionallyEqual(a.l1i, b.l1i))
+        return false;
+    return cache::functionallyEqual(a.l1d, b.l1d);
 }
 
 SimResults

@@ -53,6 +53,59 @@
 namespace mlc {
 namespace hier {
 
+/**
+ * One operation crossing the warm-snapshot boundary.
+ *
+ * During checkpointed warming a recorder captures every read/write
+ * that leaves the shared hierarchy prefix (see
+ * setBoundaryRecorder()); replaying the recorded stream into
+ * another simulator's levels at and below the boundary evolves
+ * their functional state exactly as straight-line warming would —
+ * the traffic entering the boundary depends only on the prefix,
+ * which compatible configurations share.
+ */
+struct BoundaryOp
+{
+    enum class Kind : std::uint8_t { Read, Write };
+
+    Addr addr = 0;
+    std::uint32_t bytes = 0;
+    Kind kind = Kind::Read;
+    /** The read was demand traffic (counts in readReqs_). */
+    bool countRead = false;
+};
+
+/**
+ * Checkpoint of the warm (functional) state above a boundary:
+ * L1 caches, the shared prefix of downstream levels, and every
+ * counter that advances during untimed replay. Timing state (now_,
+ * write buffers, stall buckets) is deliberately absent — it only
+ * advances during timed segments, which checkpointed sweeps run
+ * per configuration anyway.
+ */
+struct WarmSnapshot
+{
+    /** @{ @name Shape fingerprint (restore-compat check) */
+    bool splitL1 = false;
+    std::size_t prefixLevels = 0;
+    /** @} */
+
+    cache::CacheSnapshot l1i; //!< meaningful only when splitL1
+    cache::CacheSnapshot l1d;
+    std::vector<cache::CacheSnapshot> levels; //!< [0, prefixLevels)
+
+    /** @{ @name Counters that advance during untimed replay */
+    std::uint64_t instructions = 0;
+    std::uint64_t ifetches = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t refsRun = 0;
+    std::uint64_t l1ReadMissCount = 0;
+    std::vector<std::uint64_t> readReqs;   //!< [0, prefixLevels)
+    std::vector<std::uint64_t> readMisses; //!< [0, prefixLevels)
+    /** @} */
+};
+
 /** Trace-driven, cycle-accounting hierarchy simulator. */
 class HierarchySimulator
 {
@@ -115,6 +168,47 @@ class HierarchySimulator
 
     /** Measurements over everything run() has simulated. */
     SimResults results() const;
+
+    /**
+     * @{ @name Warm-state checkpointing
+     *
+     * captureWarmState() copies the functional state above the
+     * boundary — L1s, levels [0, prefix_levels), untimed-path
+     * counters — into the arena; restoreWarmState() copies it back.
+     * Both panic when a solo co-simulation is active (solo arrays
+     * see the raw CPU stream and cannot be reconstructed from
+     * boundary traffic), and restore panics when the snapshot's
+     * shape does not match this simulator (different splitL1, a
+     * deeper prefix than this hierarchy, or per-level geometry
+     * mismatch via TagArray::restoreState).
+     */
+    void captureWarmState(SnapshotArena &arena, WarmSnapshot &snap,
+                          std::size_t prefix_levels) const;
+    void restoreWarmState(const SnapshotArena &arena,
+                          const WarmSnapshot &snap);
+    /** @} */
+
+    /**
+     * Record every operation that reaches main memory (the
+     * boundary of a truncated warming hierarchy) into @p sink;
+     * nullptr disables recording. A sweep's warmer simulator is
+     * built with only the shared prefix of levels, so "main
+     * memory" there is exactly the boundary into the first
+     * divergent level of the full configurations.
+     */
+    void setBoundaryRecorder(std::vector<BoundaryOp> *sink)
+    {
+        boundaryRec_ = sink;
+    }
+
+    /**
+     * Replay recorded boundary traffic, untimed, into this
+     * hierarchy starting at @p level (levels_.size() = main
+     * memory). Evolves levels >= level exactly as the straight-line
+     * untimed recursion would.
+     */
+    std::uint64_t replayBoundary(std::size_t level,
+                                 const std::vector<BoundaryOp> &ops);
 
     /** @{ @name Component access (tests, stats reporting) */
     const HierarchyParams &params() const { return params_; }
@@ -262,6 +356,9 @@ class HierarchySimulator
         &statsGroup_, "l1MissPenalty",
         "L1 read-miss penalty (CPU cycles)", 0.0, 2.0, 40);
 
+    /** Boundary-traffic sink; nullptr when not recording. */
+    std::vector<BoundaryOp> *boundaryRec_ = nullptr;
+
     cache::AccessOutcome l1Outcome_; //!< reused per reference
     /** One buffer per downstream level: the recursion at level i
      *  iterates its own buffer while deeper calls use theirs. */
@@ -329,6 +426,24 @@ HierarchySimulator::handleRef(const trace::MemRef &ref, bool timed)
 
     handleRefSlow(ref, timed, l1, l1_cycle);
 }
+
+/**
+ * Number of leading downstream levels of @p a and @p b that evolve
+ * identical functional state under the same boundary traffic
+ * (timing-only fields — cycle times, bus widths, write-buffer
+ * depth — are ignored).
+ */
+std::size_t sharedFunctionalPrefix(const HierarchyParams &a,
+                                   const HierarchyParams &b);
+
+/**
+ * True when a warm snapshot taken on a machine shaped like @p a is
+ * reusable by one shaped like @p b: same L1 organization (split
+ * and per-side functional parameters) and no solo co-simulation on
+ * either side. The reusable depth is sharedFunctionalPrefix().
+ */
+bool warmCompatible(const HierarchyParams &a,
+                    const HierarchyParams &b);
 
 } // namespace hier
 } // namespace mlc

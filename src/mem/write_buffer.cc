@@ -1,6 +1,7 @@
 #include "mem/write_buffer.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/bits.hh"
 
@@ -168,6 +169,48 @@ WriteBuffer::reset()
     fullStallTicks_ = 0;
     readMatches_ = 0;
     reads_ = 0;
+}
+
+void
+WriteBuffer::captureState(SnapshotArena &arena,
+                          WriteBufferSnapshot &snap) const
+{
+    snap.ringSize = ring_.size();
+    snap.head = head_;
+    snap.size = size_;
+    snap.readFreeAt = readFreeAt_;
+    snap.lastEntryOccupied = lastEntryOccupied_;
+    snap.writesQueued = writesQueued_;
+    snap.writesCoalesced = writesCoalesced_;
+    snap.fullStalls = fullStalls_;
+    snap.fullStallTicks = fullStallTicks_;
+    snap.readMatches = readMatches_;
+    snap.reads = reads_;
+    const std::size_t bytes = ring_.size() * sizeof(Entry);
+    snap.ringOff = arena.alloc(bytes);
+    std::memcpy(arena.at(snap.ringOff), ring_.data(), bytes);
+}
+
+void
+WriteBuffer::restoreState(const SnapshotArena &arena,
+                          const WriteBufferSnapshot &snap)
+{
+    if (snap.ringSize != ring_.size())
+        mlc_panic("WriteBuffer::restoreState ring capacity "
+                  "mismatch: snapshot ", snap.ringSize,
+                  ", buffer ", ring_.size());
+    head_ = snap.head;
+    size_ = snap.size;
+    readFreeAt_ = snap.readFreeAt;
+    lastEntryOccupied_ = snap.lastEntryOccupied;
+    writesQueued_ = snap.writesQueued;
+    writesCoalesced_ = snap.writesCoalesced;
+    fullStalls_ = snap.fullStalls;
+    fullStallTicks_ = snap.fullStallTicks;
+    readMatches_ = snap.readMatches;
+    reads_ = snap.reads;
+    std::memcpy(ring_.data(), arena.at(snap.ringOff),
+                ring_.size() * sizeof(Entry));
 }
 
 } // namespace mem

@@ -26,14 +26,37 @@
 #ifndef MLC_MEM_WRITE_BUFFER_HH
 #define MLC_MEM_WRITE_BUFFER_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "mem/timing.hh"
 #include "trace/mem_ref.hh"
+#include "util/snapshot_arena.hh"
 
 namespace mlc {
 namespace mem {
+
+/**
+ * Checkpoint of a WriteBuffer: ring contents (memcpy'd into the
+ * arena; Entry is POD), cursor state and statistics. The ring
+ * capacity is the restore-compatibility fingerprint.
+ */
+struct WriteBufferSnapshot
+{
+    std::size_t ringSize = 0; //!< compat fingerprint
+    std::size_t head = 0;
+    std::size_t size = 0;
+    Tick readFreeAt = 0;
+    Tick lastEntryOccupied = 0;
+    std::uint64_t writesQueued = 0;
+    std::uint64_t writesCoalesced = 0;
+    std::uint64_t fullStalls = 0;
+    Tick fullStallTicks = 0;
+    std::uint64_t readMatches = 0;
+    std::uint64_t reads = 0;
+    std::size_t ringOff = 0; //!< arena offset of the entry array
+};
 
 /** Write buffer plus downstream-resource scheduler. */
 class WriteBuffer
@@ -82,6 +105,14 @@ class WriteBuffer
     /** @} */
 
     void reset();
+
+    /** Checkpoint the full buffer state into @p arena. */
+    void captureState(SnapshotArena &arena,
+                      WriteBufferSnapshot &snap) const;
+
+    /** Restore a checkpoint; panics if ring capacity differs. */
+    void restoreState(const SnapshotArena &arena,
+                      const WriteBufferSnapshot &snap);
 
   private:
     struct Entry

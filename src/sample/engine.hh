@@ -33,8 +33,13 @@
 #include "hier/hierarchy.hh"
 #include "sample/scheduler.hh"
 #include "stats/streaming_stats.hh"
+#include "util/bits.hh"
 
 namespace mlc {
+namespace trace {
+class MappedBinaryTrace;
+} // namespace trace
+
 namespace sample {
 
 /** What one sampled run of one trace produces. */
@@ -57,10 +62,20 @@ struct SampledResult
     /** The raw per-window CPI accumulator (mean/variance/extrema;
      *  mergeable across shards). */
     stats::StreamingStats windowCpi;
+    /** Per-window CPI samples in schedule order — what matched-pair
+     *  comparison aligns across two configurations. */
+    std::vector<double> windowCpiValues;
 
     /** True when the adaptive rule stopped before the schedule
      *  was exhausted. */
     bool stoppedEarly = false;
+
+    /** Functional warm length per window the schedule actually
+     *  used (after clipping, fixed or adaptively derived). */
+    std::uint64_t warmRefsPerWindow = 0;
+    /** True when warmRefsPerWindow came from the stack-distance
+     *  probe rather than SampledOptions::functionalWarmRefs. */
+    bool adaptiveWarmUsed = false;
 
     /** @{ @name Measured-window totals (the ratio estimator's
      *  numerator and denominator) */
@@ -88,10 +103,83 @@ struct SampledResult
 /**
  * Sample @p refs under @p params. The span is replayed zero-copy;
  * skipped segments are never touched.
+ *
+ * @param mapped when @p refs is a prefix of a lazily validated
+ *        MappedBinaryTrace's span, pass the trace here: each
+ *        non-Skip segment is validated just before replay and Skip
+ *        segments never fault their pages in — the streaming-skip
+ *        path for >RAM traces. nullptr replays @p refs as-is.
  */
-SampledResult runSampled(const hier::HierarchyParams &params,
-                         trace::RefSpan refs,
+SampledResult runSampled(
+    const hier::HierarchyParams &params, trace::RefSpan refs,
+    const SampledOptions &opts,
+    const trace::MappedBinaryTrace *mapped = nullptr);
+
+/**
+ * Resolve the per-window functional warm length for @p refs under
+ * adaptive warming: probe the leading
+ * min(adaptiveWarmProbeRefs, size) references with a
+ * stack-distance analyzer at the deepest cache's block
+ * granularity, read off the miss ratio at its capacity, and size
+ * the warm so expected fills cover the cache about twice over
+ * (W = 2 C / (readFraction * missRatio(C)) references), clamped to
+ * [measureRefs, size/2]. Degenerate probes (no reads, zero tail
+ * miss ratio) fall back to the fixed length or the high clamp.
+ */
+std::uint64_t
+deriveFunctionalWarmRefs(trace::RefSpan refs,
+                         const hier::HierarchyParams &params,
                          const SampledOptions &opts);
+
+namespace detail {
+
+/**
+ * One Measure window, shared verbatim between runSampled() and the
+ * checkpointed sweep so the two are bit-identical by construction:
+ * bracket the timed run with tick/instruction snapshots, push the
+ * window CPI, accumulate the ratio-estimator totals, and apply the
+ * adaptive stopping rule.
+ */
+inline void
+measureWindow(hier::HierarchySimulator &sim, trace::RefSpan span,
+              const SampledOptions &opts, SampledResult &out)
+{
+    const Tick ticks0 = sim.now();
+    const std::uint64_t instr0 = sim.instructionCount();
+    sim.run(span);
+    out.refsMeasured += span.size;
+    const std::uint64_t instr = sim.instructionCount() - instr0;
+    // A window with no instruction fetches has no CPI (it cannot
+    // happen with the suite generators, but a pathological trace
+    // must not divide by zero).
+    if (instr > 0) {
+        const Tick dticks = sim.now() - ticks0;
+        const double cycles =
+            static_cast<double>(dticks) /
+            static_cast<double>(sim.cpuCycleTicks());
+        const double cpi = cycles / static_cast<double>(instr);
+        out.windowCpi.push(cpi);
+        out.windowCpiValues.push_back(cpi);
+        out.cyclesMeasured += divCeil(dticks, sim.cpuCycleTicks());
+        out.instructionsMeasured += instr;
+    }
+    if (opts.targetRelHalfWidth > 0.0 &&
+        out.windowCpi.count() >= opts.minWindows) {
+        const auto ci = out.windowCpi.interval(opts.confidence);
+        if (ci.relativeHalfWidth() <= opts.targetRelHalfWidth)
+            out.stoppedEarly = true;
+    }
+}
+
+/**
+ * Shared epilogue: close the reference accounting, form the ratio
+ * estimate and its re-centred interval, and collect the functional
+ * counters. Panics when no window produced a CPI sample.
+ */
+void finishSampled(hier::HierarchySimulator &sim,
+                   const SampledOptions &opts, SampledResult &out);
+
+} // namespace detail
 
 /** Suite-level aggregate, mirroring expt::SuiteResults. */
 struct SampledSuiteResults

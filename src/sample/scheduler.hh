@@ -57,6 +57,19 @@ struct SampledOptions
     /** Functional warm W before the detail warm (clipped to the
      *  gap actually available before the window). */
     std::uint64_t functionalWarmRefs = 30'000;
+    /**
+     * Adaptive warming: derive the functional warm length from the
+     * trace's measured stack-distance tail at the deepest cache's
+     * capacity (DESIGN.md section 5d shows W is the accuracy knob
+     * and its right value is workload-dependent) instead of the
+     * fixed functionalWarmRefs above, which then acts only as the
+     * fallback when the probe is degenerate. The engine records
+     * which path produced the warm length in
+     * SampledResult::adaptiveWarmUsed.
+     */
+    bool adaptiveWarm = false;
+    /** Prefix of the trace the adaptive-warm probe measures. */
+    std::uint64_t adaptiveWarmProbeRefs = 2'000'000;
     /** Never stop adaptively before this many windows. */
     std::uint64_t minWindows = 30;
     /**

@@ -1,0 +1,291 @@
+#include "sample/sweep.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "trace/binary.hh"
+#include "util/logging.hh"
+#include "util/snapshot_arena.hh"
+#include "util/thread_pool.hh"
+
+namespace mlc {
+namespace sample {
+
+namespace {
+
+/**
+ * Resolve the sweep-wide options: adaptive warming is derived once,
+ * against the configuration with the largest deepest cache (its
+ * warm requirement dominates the grid's), and then pinned as a
+ * fixed length so every configuration gets the same schedule.
+ */
+SampledOptions
+resolveSweepOptions(const std::vector<hier::HierarchyParams> &configs,
+                    trace::RefSpan refs, const SampledOptions &opts)
+{
+    SampledOptions resolved = opts;
+    if (!opts.adaptiveWarm)
+        return resolved;
+    const hier::HierarchyParams *largest = &configs.front();
+    auto deepestBytes = [](const hier::HierarchyParams &p) {
+        return p.levels.empty() ? p.l1d.geometry.sizeBytes
+                                : p.levels.back().geometry.sizeBytes;
+    };
+    for (const hier::HierarchyParams &p : configs)
+        if (deepestBytes(p) > deepestBytes(*largest))
+            largest = &p;
+    resolved.functionalWarmRefs =
+        deriveFunctionalWarmRefs(refs, *largest, opts);
+    resolved.adaptiveWarm = false;
+    return resolved;
+}
+
+/** The segments of one schedule window, in schedule order. */
+struct Window
+{
+    Segment warm{SegmentKind::Warm, 0, 0};
+    Segment detail{SegmentKind::Detail, 0, 0};
+    Segment measure{SegmentKind::Measure, 0, 0};
+};
+
+trace::RefSpan
+spanOf(trace::RefSpan refs, const Segment &seg)
+{
+    return refs.dropFirst(seg.begin).first(seg.len);
+}
+
+} // namespace
+
+SweepResult
+runSweepCheckpointed(const std::vector<hier::HierarchyParams> &configs,
+                     trace::RefSpan refs, const SampledOptions &opts,
+                     std::size_t jobs,
+                     const trace::MappedBinaryTrace *mapped)
+{
+    if (configs.empty())
+        mlc_panic("runSweepCheckpointed: no configurations");
+
+    const SampledOptions resolved =
+        resolveSweepOptions(configs, refs, opts);
+
+    SweepResult sweep;
+
+    bool compatible = configs.size() > 1;
+    for (std::size_t c = 1; compatible && c < configs.size(); ++c)
+        compatible = hier::warmCompatible(configs[0], configs[c]);
+
+    if (!compatible) {
+        // Straight-line fallback: nothing shared, so just run every
+        // configuration independently (still slot-indexed for
+        // jobs-count determinism).
+        sweep.perConfig.resize(configs.size());
+        parallelFor(jobs, configs.size(), [&](std::size_t c) {
+            sweep.perConfig[c] =
+                runSampled(configs[c], refs, resolved, mapped);
+            sweep.perConfig[c].adaptiveWarmUsed = opts.adaptiveWarm;
+        });
+        return sweep;
+    }
+
+    std::size_t prefix = configs[0].levels.size();
+    for (std::size_t c = 1; c < configs.size(); ++c)
+        prefix = std::min(
+            prefix, hier::sharedFunctionalPrefix(configs[0],
+                                                 configs[c]));
+    sweep.checkpointed = true;
+    sweep.prefixLevels = prefix;
+
+    // The warmer: configs[0] cut down to the shared prefix. Its
+    // "main memory" boundary is then exactly the entry into the
+    // first divergent level of every full configuration, and the
+    // per-level tag seeds (positional) line up with the prefix.
+    hier::HierarchyParams warmer_params = configs[0];
+    warmer_params.levels.resize(prefix);
+    warmer_params.busWidthWords.resize(prefix + 1);
+    warmer_params.measureSolo = false;
+    hier::HierarchySimulator warmer(warmer_params);
+
+    SampleScheduler sched(refs.size, resolved);
+
+    std::vector<std::unique_ptr<hier::HierarchySimulator>> sims;
+    sims.reserve(configs.size());
+    for (const hier::HierarchyParams &p : configs)
+        sims.push_back(
+            std::make_unique<hier::HierarchySimulator>(p));
+
+    sweep.perConfig.resize(configs.size());
+    for (SampledResult &r : sweep.perConfig) {
+        r.refsTotal = refs.size;
+        r.warmRefsPerWindow = sched.plan().functionalWarmRefs;
+        r.adaptiveWarmUsed = opts.adaptiveWarm;
+    }
+
+    // Configurations still sampling (adaptive stopping retires them
+    // one by one; the sweep ends when none are left).
+    std::vector<std::uint8_t> active(configs.size(), 1);
+    auto anyActive = [&] {
+        return std::any_of(active.begin(), active.end(),
+                           [](std::uint8_t a) { return a != 0; });
+    };
+
+    SnapshotArena arena;
+    hier::WarmSnapshot snap;
+    std::vector<hier::BoundaryOp> ops;
+
+    Window win;
+    for (const Segment &seg : sched.segments()) {
+        switch (seg.kind) {
+        case SegmentKind::Skip:
+            continue; // pages stay untouched (streaming skip)
+        case SegmentKind::Warm:
+            win.warm = seg;
+            continue;
+        case SegmentKind::Detail:
+            win.detail = seg;
+            continue;
+        case SegmentKind::Measure:
+            win.measure = seg;
+            break;
+        }
+
+        if (mapped) {
+            // Validate exactly what this window replays, just
+            // before replaying it (lazy traces only).
+            if (win.warm.len)
+                mapped->validateRange(win.warm.begin, win.warm.len);
+            if (win.detail.len)
+                mapped->validateRange(win.detail.begin,
+                                      win.detail.len);
+            mapped->validateRange(win.measure.begin,
+                                  win.measure.len);
+        }
+
+        const trace::RefSpan warm_span = spanOf(refs, win.warm);
+        const trace::RefSpan detail_span = spanOf(refs, win.detail);
+        const trace::RefSpan measure_span =
+            spanOf(refs, win.measure);
+
+        // One warming pass for everyone: replay the warm segment on
+        // the truncated machine, recording the traffic that crosses
+        // its memory boundary.
+        ops.clear();
+        warmer.setBoundaryRecorder(&ops);
+        warmer.runFunctional(warm_span);
+        warmer.setBoundaryRecorder(nullptr);
+        arena.reset();
+        warmer.captureWarmState(arena, snap, prefix);
+
+        // Branch: each configuration rebuilds this window's warm
+        // state (boundary replay first — it touches only the
+        // divergent levels — then the prefix restore) and runs its
+        // own timed Detail+Measure. Slot-indexed per-config state
+        // keeps any jobs count bit-identical.
+        parallelFor(jobs, configs.size(), [&](std::size_t c) {
+            if (!active[c])
+                return;
+            hier::HierarchySimulator &sim = *sims[c];
+            SampledResult &out = sweep.perConfig[c];
+            sim.replayBoundary(prefix, ops);
+            sim.restoreWarmState(arena, snap);
+            out.refsFunctionalWarmed += win.warm.len;
+            if (win.detail.len) {
+                sim.run(detail_span);
+                out.refsDetailWarmed += win.detail.len;
+            }
+            detail::measureWindow(sim, measure_span, resolved, out);
+            if (out.stoppedEarly)
+                active[c] = 0;
+        });
+
+        if (!anyActive())
+            break;
+
+        // Keep the warmer functionally in step with a straight-line
+        // run: the references the configurations just replayed
+        // timed must evolve the warmer's tags too, or the next
+        // window's shared warm state would drift.
+        warmer.runFunctional(detail_span);
+        warmer.runFunctional(measure_span);
+        win = Window{};
+    }
+
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        detail::finishSampled(*sims[c], resolved,
+                              sweep.perConfig[c]);
+    return sweep;
+}
+
+PairedResult
+runPaired(const hier::HierarchyParams &a,
+          const hier::HierarchyParams &b, trace::RefSpan refs,
+          const SampledOptions &opts, std::size_t jobs,
+          const trace::MappedBinaryTrace *mapped)
+{
+    // Window alignment needs both machines to cover the identical
+    // schedule, so the pair always runs to completion; adaptive
+    // stopping would retire the faster-converging machine early.
+    SampledOptions full = opts;
+    full.targetRelHalfWidth = 0.0;
+
+    SweepResult sweep = runSweepCheckpointed({a, b}, refs, full,
+                                             jobs, mapped);
+
+    PairedResult out;
+    out.a = std::move(sweep.perConfig[0]);
+    out.b = std::move(sweep.perConfig[1]);
+
+    // Windows are placed by reference index, and a window's
+    // instruction count is a property of the trace alone — so a
+    // window yields a CPI sample on machine A iff it does on B and
+    // the two vectors align index-for-index.
+    if (out.a.windowCpiValues.size() != out.b.windowCpiValues.size())
+        mlc_panic("runPaired: misaligned window CPI samples (",
+                  out.a.windowCpiValues.size(), " vs ",
+                  out.b.windowCpiValues.size(), ")");
+    for (std::size_t i = 0; i < out.a.windowCpiValues.size(); ++i)
+        out.pairs.push(out.a.windowCpiValues[i],
+                       out.b.windowCpiValues[i]);
+    out.windowsPaired = out.pairs.count();
+    out.deltaInterval = out.pairs.deltaInterval(opts.confidence);
+    return out;
+}
+
+expt::DesignSpaceGrid
+buildGridCheckpointed(const hier::HierarchyParams &base,
+                      const std::vector<std::uint64_t> &sizes,
+                      const std::vector<std::uint32_t> &cycles,
+                      const expt::TraceStore &store,
+                      const SampledOptions &opts, std::size_t jobs)
+{
+    if (store.size() == 0)
+        mlc_panic("buildGridCheckpointed: empty trace store");
+
+    // Row-major (size, cycle) flattening, matching
+    // DesignSpaceGrid's own layout.
+    std::vector<hier::HierarchyParams> configs;
+    configs.reserve(sizes.size() * cycles.size());
+    for (std::uint64_t size : sizes)
+        for (std::uint32_t cycle : cycles)
+            configs.push_back(base.withL2(size, cycle));
+
+    // Traces run serially — each trace's sweep already spreads its
+    // configurations over the jobs — and the accumulation order is
+    // fixed, so the grid is bit-identical for any jobs count.
+    std::vector<double> acc(configs.size(), 0.0);
+    for (std::size_t t = 0; t < store.size(); ++t) {
+        const SweepResult sweep = runSweepCheckpointed(
+            configs, store.span(t), opts, jobs);
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            acc[c] += sweep.perConfig[c].estRelExecTime;
+    }
+
+    expt::DesignSpaceGrid grid(sizes, cycles);
+    const double n = static_cast<double>(store.size());
+    for (std::size_t si = 0; si < sizes.size(); ++si)
+        for (std::size_t ci = 0; ci < cycles.size(); ++ci)
+            grid.set(si, ci, acc[si * cycles.size() + ci] / n);
+    return grid;
+}
+
+} // namespace sample
+} // namespace mlc

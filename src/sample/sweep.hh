@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Checkpoint-and-branch sampled design-space sweeps: one warming
+ * pass per window for an entire grid of configurations.
+ *
+ * A sampled sweep over N configurations repeats the same functional
+ * warming N times — and warming dominates the schedule (W is 10-30x
+ * the measured window). But untimed replay evolves only functional
+ * state (tags, dirty bits, reference counters), and configurations
+ * that share their L1 organization and a prefix of downstream
+ * levels evolve *identical* functional state above the first
+ * divergent level: the traffic entering that level during warming
+ * depends only on the shared prefix. So the sweep warms once on a
+ * truncated "warmer" machine (the shared prefix only), records the
+ * traffic crossing its memory boundary, and for each configuration
+ * branches: replay the recorded boundary traffic into the divergent
+ * levels, restore the prefix snapshot, then run the timed
+ * Detail+Measure window as usual. The result is bit-identical to
+ * warming every configuration straight-line (golden-tested), at
+ * roughly 1/N of the warming cost.
+ *
+ * The canonical L2-size sweep shares *zero* downstream levels (the
+ * L2 itself differs), so the snapshot covers just the L1s and the
+ * boundary traffic is the L1 miss stream — still the bulk of the
+ * warming work avoided, since the warmer replays W references once
+ * while each configuration replays only the recorded misses.
+ *
+ * See DESIGN.md section 5e for the full compatibility rule and the
+ * bit-exactness argument.
+ */
+
+#ifndef MLC_SAMPLE_SWEEP_HH
+#define MLC_SAMPLE_SWEEP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sample/engine.hh"
+#include "stats/streaming_stats.hh"
+
+namespace mlc {
+namespace sample {
+
+/** What runSweepCheckpointed() produces. */
+struct SweepResult
+{
+    /** One SampledResult per input configuration, in input order —
+     *  bit-identical to runSampled() on that configuration with the
+     *  sweep's resolved options. */
+    std::vector<SampledResult> perConfig;
+    /** False when the configurations were not warm-compatible and
+     *  the sweep fell back to independent straight-line runs. */
+    bool checkpointed = false;
+    /** Downstream levels covered by the shared snapshot (0 for the
+     *  canonical L2 sweep: only the L1s are shared). */
+    std::size_t prefixLevels = 0;
+};
+
+/**
+ * Sample every configuration in @p configs over @p refs with one
+ * shared warming pass per window.
+ *
+ * Requirements for the checkpointed path: all configurations
+ * warm-compatible with configs[0] (same split/L1 organization, no
+ * solo co-simulation — see hier::warmCompatible()). Otherwise the
+ * sweep silently falls back to independent runSampled() calls and
+ * reports checkpointed = false.
+ *
+ * Adaptive warming (opts.adaptiveWarm) is resolved *once* for the
+ * whole sweep — against the configuration with the largest deepest
+ * cache, so the warm length covers every machine in the grid — and
+ * the resolved fixed length is used for all configurations; per-
+ * config derivation would give each machine a different schedule
+ * and break both window alignment and the shared warming.
+ *
+ * Determinism: bit-identical for any @p jobs (slot-indexed results,
+ * per-window barrier, fixed-order reduction), and bit-identical to
+ * straight-line runSampled() per configuration.
+ *
+ * @param jobs configurations branched concurrently per window.
+ * @param mapped see runSampled(); enables lazy range validation.
+ */
+SweepResult runSweepCheckpointed(
+    const std::vector<hier::HierarchyParams> &configs,
+    trace::RefSpan refs, const SampledOptions &opts,
+    std::size_t jobs = 1,
+    const trace::MappedBinaryTrace *mapped = nullptr);
+
+/** What runPaired() produces. */
+struct PairedResult
+{
+    SampledResult a;
+    SampledResult b;
+    /** Per-window CPI pairs (covariance, correlation, delta). */
+    stats::PairedStats pairs;
+    /** Student-t interval on mean per-window CPI(b) - CPI(a). The
+     *  half-width shrinks by the (typically large) window-to-window
+     *  correlation the two runs share, so a paired comparison
+     *  resolves differences far smaller than either absolute
+     *  interval could. */
+    stats::ConfidenceInterval deltaInterval{};
+    std::uint64_t windowsPaired = 0;
+};
+
+/**
+ * Matched-pair comparison of two configurations: one shared
+ * SampleSchedule, both machines measured over the *same* windows
+ * via the checkpointed sweep, and a confidence interval on the
+ * per-window CPI difference. Adaptive stopping is disabled (both
+ * runs must cover the full schedule so windows align one-to-one).
+ */
+PairedResult runPaired(const hier::HierarchyParams &a,
+                       const hier::HierarchyParams &b,
+                       trace::RefSpan refs,
+                       const SampledOptions &opts,
+                       std::size_t jobs = 1,
+                       const trace::MappedBinaryTrace *mapped =
+                           nullptr);
+
+/**
+ * The Section 4 design-space grid priced with checkpointed sampled
+ * sweeps: every (size, cycle) cell holds the suite-mean sampled
+ * relative execution time of base.withL2(size, cycle), exactly as
+ * sample::buildGrid() — but all cells of a trace share each
+ * window's warming pass instead of repeating it per cell.
+ * Deterministic for any @p jobs.
+ */
+expt::DesignSpaceGrid buildGridCheckpointed(
+    const hier::HierarchyParams &base,
+    const std::vector<std::uint64_t> &sizes,
+    const std::vector<std::uint32_t> &cycles,
+    const expt::TraceStore &store, const SampledOptions &opts,
+    std::size_t jobs = 1);
+
+} // namespace sample
+} // namespace mlc
+
+#endif // MLC_SAMPLE_SWEEP_HH

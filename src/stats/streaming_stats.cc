@@ -190,5 +190,64 @@ StreamingStats::interval(double confidence) const
     return ci;
 }
 
+void
+PairedStats::push(double a, double b)
+{
+    ++n_;
+    const double inv = 1.0 / static_cast<double>(n_);
+    const double da = a - meanA_;
+    meanA_ += da * inv;
+    meanB_ += (b - meanB_) * inv;
+    // Updating c2_ with the pre-update da and post-update meanB_
+    // is the standard stable one-pass comoment (the covariance
+    // analogue of Welford's M2 update).
+    c2_ += da * (b - meanB_);
+    a_.push(a);
+    b_.push(b);
+    delta_.push(b - a);
+}
+
+void
+PairedStats::merge(const PairedStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double nab = na + nb;
+    const double dA = other.meanA_ - meanA_;
+    const double dB = other.meanB_ - meanB_;
+    // Chan et al.'s pairwise comoment combination.
+    c2_ += other.c2_ + dA * dB * na * nb / nab;
+    meanA_ += dA * nb / nab;
+    meanB_ += dB * nb / nab;
+    n_ += other.n_;
+    a_.merge(other.a_);
+    b_.merge(other.b_);
+    delta_.merge(other.delta_);
+}
+
+double
+PairedStats::sampleCovariance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return c2_ / static_cast<double>(n_ - 1);
+}
+
+double
+PairedStats::correlation() const
+{
+    const double sa = a_.sampleStdDev();
+    const double sb = b_.sampleStdDev();
+    if (n_ < 2 || sa == 0.0 || sb == 0.0)
+        return 0.0;
+    return sampleCovariance() / (sa * sb);
+}
+
 } // namespace stats
 } // namespace mlc

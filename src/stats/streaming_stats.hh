@@ -129,6 +129,62 @@ class StreamingStats
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/**
+ * Accumulator for matched-pair (A, B) observations.
+ *
+ * Matched-pair sampling runs two machine configurations over the
+ * SAME sample windows; per-window CPIs are then strongly
+ * positively correlated (both see the same workload phase), so the
+ * variance of the difference B - A,
+ *
+ *     Var(d) = Var(a) + Var(b) - 2 Cov(a, b),
+ *
+ * is far smaller than either absolute variance and the Student-t
+ * interval on the mean difference is correspondingly tighter than
+ * either absolute interval. This class tracks the two marginal
+ * accumulators, the delta accumulator, and the streaming comoment
+ * (pairwise-mergeable like Welford's M2), so both the tight delta
+ * interval and the observed correlation can be reported.
+ */
+class PairedStats
+{
+  public:
+    /** Accumulate one matched pair of observations. */
+    void push(double a, double b);
+
+    /** Fold another accumulator's pairs into this one. */
+    void merge(const PairedStats &other);
+
+    std::uint64_t count() const { return n_; }
+    const StreamingStats &a() const { return a_; }
+    const StreamingStats &b() const { return b_; }
+    /** Accumulator over the per-pair differences b - a. */
+    const StreamingStats &delta() const { return delta_; }
+
+    /** Unbiased sample covariance of (a, b) (0 for n < 2). */
+    double sampleCovariance() const;
+    /** Pearson correlation of (a, b) (0 when degenerate). */
+    double correlation() const;
+
+    /** Paired-t interval on the mean difference b - a. */
+    ConfidenceInterval
+    deltaInterval(double confidence = 0.95) const
+    {
+        return delta_.interval(confidence);
+    }
+
+    void reset() { *this = PairedStats{}; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double meanA_ = 0.0;
+    double meanB_ = 0.0;
+    double c2_ = 0.0; //!< comoment sum((a-meanA)(b-meanB))
+    StreamingStats a_;
+    StreamingStats b_;
+    StreamingStats delta_;
+};
+
 } // namespace stats
 } // namespace mlc
 

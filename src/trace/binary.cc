@@ -85,7 +85,9 @@ checkHeader(const Header &header, const std::string &path)
 } // namespace
 
 MappedBinaryTrace::MappedBinaryTrace(const std::string &path,
-                                     Backing backing)
+                                     Backing backing,
+                                     Validation validation)
+    : lazy_(validation == Validation::Lazy)
 {
 #if MLC_HAVE_MMAP
     if (backing == Backing::Auto) {
@@ -118,7 +120,8 @@ MappedBinaryTrace::MappedBinaryTrace(const std::string &path,
             data_ = reinterpret_cast<const MemRef *>(
                 static_cast<const char *>(base) + sizeof(Header));
             count_ = (bytes - sizeof(Header)) / sizeof(MemRef);
-            validateRecords(path);
+            if (!lazy_)
+                validateRecords(path);
             return;
         }
         warn(path, ": mmap failed; falling back to buffered read");
@@ -127,7 +130,11 @@ MappedBinaryTrace::MappedBinaryTrace(const std::string &path,
     (void)backing;
 #endif
     loadBuffered(path);
-    validateRecords(path);
+    // The buffered loader already touched every byte, so the
+    // eager scan costs nothing extra; lazy mode still skips it to
+    // keep the two backings behaviourally identical.
+    if (!lazy_)
+        validateRecords(path);
 }
 
 void
@@ -180,11 +187,30 @@ MappedBinaryTrace::validateRecords(const std::string &path)
              " records, file holds ", count_);
 }
 
+void
+MappedBinaryTrace::validateRange(std::size_t begin,
+                                 std::size_t n) const
+{
+    if (!lazy_)
+        return; // the constructor's scan already vetted everything
+    if (begin > count_ || n > count_ - begin)
+        mlc_fatal("validateRange [", begin, ", ", begin + n,
+                  ") outside trace of ", count_, " records");
+    for (std::size_t i = begin; i < begin + n; ++i) {
+        if (static_cast<std::uint8_t>(data_[i].type) > 2)
+            mlc_fatal("bad record type ",
+                      static_cast<int>(data_[i].type),
+                      " at record ", i,
+                      " of a lazily validated trace");
+    }
+}
+
 MappedBinaryTrace::MappedBinaryTrace(
     MappedBinaryTrace &&other) noexcept
     : data_(other.data_), count_(other.count_),
-      declared_(other.declared_), mapBase_(other.mapBase_),
-      mapBytes_(other.mapBytes_), buffer_(std::move(other.buffer_))
+      declared_(other.declared_), lazy_(other.lazy_),
+      mapBase_(other.mapBase_), mapBytes_(other.mapBytes_),
+      buffer_(std::move(other.buffer_))
 {
     other.mapBase_ = nullptr;
     other.mapBytes_ = 0;

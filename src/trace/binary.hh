@@ -110,9 +110,23 @@ class MappedBinaryTrace
         Buffer, //!< force the portable read-into-memory fallback
     };
 
+    /** When to scan records for malformed types. */
+    enum class Validation {
+        /** Full O(n) scan at construction (touches every page;
+         *  truncates at the first bad record with a warning). */
+        Eager,
+        /** Header-only at construction; callers validate just the
+         *  ranges they replay via validateRange(). This is what
+         *  lets a sampled run over a >RAM trace skip whole windows
+         *  without faulting their pages in. */
+        Lazy,
+    };
+
     /** Map (or read) @p path; fatal() on missing/corrupt header. */
     explicit MappedBinaryTrace(const std::string &path,
-                               Backing backing = Backing::Auto);
+                               Backing backing = Backing::Auto,
+                               Validation validation =
+                                   Validation::Eager);
     ~MappedBinaryTrace();
 
     MappedBinaryTrace(MappedBinaryTrace &&other) noexcept;
@@ -131,6 +145,19 @@ class MappedBinaryTrace
     /** True when span() points into the mapped file (no copy). */
     bool isMapped() const { return mapBase_ != nullptr; }
 
+    /** True when construction skipped the record scan. */
+    bool isLazy() const { return lazy_; }
+
+    /**
+     * Validate records [begin, begin + n): under lazy validation a
+     * malformed record (type > 2) is fatal() — a lazily validated
+     * replay has no way to truncate-and-continue, because earlier
+     * skipped ranges were never checked either. No-op when the
+     * trace was eagerly validated (the constructor already
+     * truncated at the first bad record).
+     */
+    void validateRange(std::size_t begin, std::size_t n) const;
+
   private:
     void loadBuffered(const std::string &path);
     /** Truncate count_ at the first malformed record. */
@@ -139,6 +166,7 @@ class MappedBinaryTrace
     const MemRef *data_ = nullptr;
     std::size_t count_ = 0;
     std::uint64_t declared_ = 0;
+    bool lazy_ = false;
 
     void *mapBase_ = nullptr;  //!< non-null iff mmap backing
     std::size_t mapBytes_ = 0; //!< full mapping length

@@ -108,6 +108,23 @@ Rng::split()
     return Rng(next());
 }
 
+std::array<std::uint64_t, 4>
+Rng::state() const
+{
+    return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void
+Rng::setState(const std::array<std::uint64_t, 4> &s)
+{
+    // An all-zero state is the one fixed point of xoshiro256**; a
+    // snapshot of a properly seeded generator can never contain it.
+    if (s[0] == 0 && s[1] == 0 && s[2] == 0 && s[3] == 0)
+        mlc_panic("Rng::setState with degenerate all-zero state");
+    for (std::size_t i = 0; i < 4; ++i)
+        s_[i] = s[i];
+}
+
 DiscreteSampler::DiscreteSampler(const std::vector<double> &weights)
     : total_(0.0)
 {

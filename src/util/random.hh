@@ -13,6 +13,7 @@
 #ifndef MLC_UTIL_RANDOM_HH
 #define MLC_UTIL_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -50,6 +51,16 @@ class Rng
      * draws of this stream remain decorrelated.
      */
     Rng split();
+
+    /**
+     * @{ @name Generator state snapshot/restore
+     * Warm-state checkpointing needs these: a restored
+     * Random-policy tag array must draw exactly the victim
+     * sequence it would have drawn had it warmed in place.
+     */
+    std::array<std::uint64_t, 4> state() const;
+    void setState(const std::array<std::uint64_t, 4> &s);
+    /** @} */
 
   private:
     std::uint64_t s_[4];

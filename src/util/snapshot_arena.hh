@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pooled byte arena for warm-state snapshots.
+ *
+ * Checkpoint-and-branch sweeps capture cache tag/valid/dirty state
+ * once per sample window and restore it once per configuration.
+ * Doing that with per-line (or even per-array) heap allocation would
+ * put malloc on the sweep's critical path, so snapshots instead
+ * bump-allocate out of one reusable arena: `reset()` rewinds the
+ * write cursor without releasing capacity, and after the first
+ * window the arena never allocates again. Blocks are addressed by
+ * *offset*, not pointer, so snapshots stay valid across the vector
+ * growth that may happen while the first window is being captured.
+ */
+
+#ifndef MLC_UTIL_SNAPSHOT_ARENA_HH
+#define MLC_UTIL_SNAPSHOT_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace mlc {
+
+/** Bump allocator over one contiguous, reusable byte buffer. */
+class SnapshotArena
+{
+  public:
+    /** Rewind the cursor; existing capacity is kept for reuse. */
+    void reset() { used_ = 0; }
+
+    /**
+     * Reserve @p bytes and return the block's offset. Blocks are
+     * 8-byte aligned so snapshot readers can memcpy whole
+     * std::uint64_t words without straddling.
+     */
+    std::size_t alloc(std::size_t bytes)
+    {
+        const std::size_t offset = (used_ + 7) & ~std::size_t{7};
+        const std::size_t end = offset + bytes;
+        if (end > bytes_.size()) {
+            // Amortized doubling: one window's captures size the
+            // arena for the rest of the sweep.
+            std::size_t grown = bytes_.size() < 64 ? 64 : bytes_.size();
+            while (grown < end)
+                grown *= 2;
+            bytes_.resize(grown);
+        }
+        used_ = end;
+        return offset;
+    }
+
+    /** Writable view of a block previously handed out by alloc(). */
+    std::uint8_t *at(std::size_t offset)
+    {
+        if (offset > used_)
+            mlc_panic("SnapshotArena::at offset ", offset,
+                      " past used size ", used_);
+        return bytes_.data() + offset;
+    }
+
+    const std::uint8_t *at(std::size_t offset) const
+    {
+        if (offset > used_)
+            mlc_panic("SnapshotArena::at offset ", offset,
+                      " past used size ", used_);
+        return bytes_.data() + offset;
+    }
+
+    std::size_t bytesUsed() const { return used_; }
+    std::size_t capacity() const { return bytes_.size(); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::size_t used_ = 0;
+};
+
+} // namespace mlc
+
+#endif // MLC_UTIL_SNAPSHOT_ARENA_HH

@@ -1,0 +1,423 @@
+/** @file Golden bit-exactness and statistics tests for the
+ *  checkpoint-and-branch sweep (sample/sweep.hh).
+ *
+ *  The sweep's whole claim is that one shared warming pass per
+ *  window plus a snapshot restore is *bit-identical* to warming
+ *  every configuration straight-line. These tests assert exactly
+ *  that — every estimator field, every window CPI sample, every
+ *  functional counter — across configuration families derived from
+ *  the golden-replay configurations (write policies, sub-blocking,
+ *  unified L1, replacement policies, three-level machines), plus
+ *  the incompatible-restore panics and the matched-pair estimator's
+ *  variance-reduction guarantees.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hier/hierarchy.hh"
+#include "sample/sweep.hh"
+#include "trace/synthetic_source.hh"
+#include "util/snapshot_arena.hh"
+
+namespace mlc {
+namespace sample {
+namespace {
+
+const std::vector<trace::MemRef> &
+workload()
+{
+    static const std::vector<trace::MemRef> refs = [] {
+        trace::SyntheticTraceParams p;
+        p.totalRefs = 1'000'000;
+        p.processes = 4;
+        p.switchInterval = 8'000;
+        p.profile =
+            trace::StackDepthProfile::pareto(0.60, 4.0, 1u << 12);
+        trace::SyntheticTraceSource src(p, 7);
+        std::vector<trace::MemRef> out(p.totalRefs);
+        src.nextBatch(out.data(), out.size());
+        return out;
+    }();
+    return refs;
+}
+
+trace::RefSpan
+span()
+{
+    return {workload().data(), workload().size()};
+}
+
+/** Skip-heavy schedule, as in production sweeps. */
+SampledOptions
+options()
+{
+    SampledOptions o;
+    o.period = 100'000;
+    o.measureRefs = 5'000;
+    o.detailWarmRefs = 2'000;
+    o.functionalWarmRefs = 20'000;
+    return o;
+}
+
+/** Every field the estimator and the functional counters produce
+ *  must match exactly — no tolerance anywhere. */
+void
+expectBitIdentical(const SampledResult &a, const SampledResult &b)
+{
+    EXPECT_EQ(a.estCpi, b.estCpi);
+    EXPECT_EQ(a.estRelExecTime, b.estRelExecTime);
+    EXPECT_EQ(a.cpiInterval.mean, b.cpiInterval.mean);
+    EXPECT_EQ(a.cpiInterval.halfWidth, b.cpiInterval.halfWidth);
+    EXPECT_EQ(a.windowCpiValues, b.windowCpiValues);
+    EXPECT_EQ(a.stoppedEarly, b.stoppedEarly);
+    EXPECT_EQ(a.cyclesMeasured, b.cyclesMeasured);
+    EXPECT_EQ(a.instructionsMeasured, b.instructionsMeasured);
+    EXPECT_EQ(a.refsMeasured, b.refsMeasured);
+    EXPECT_EQ(a.refsDetailWarmed, b.refsDetailWarmed);
+    EXPECT_EQ(a.refsFunctionalWarmed, b.refsFunctionalWarmed);
+    EXPECT_EQ(a.refsSkipped, b.refsSkipped);
+
+    const hier::SimResults &fa = a.functional;
+    const hier::SimResults &fb = b.functional;
+    EXPECT_EQ(fa.instructions, fb.instructions);
+    EXPECT_EQ(fa.cpuReads, fb.cpuReads);
+    EXPECT_EQ(fa.cpuWrites, fb.cpuWrites);
+    EXPECT_EQ(fa.references, fb.references);
+    EXPECT_EQ(fa.totalCycles, fb.totalCycles);
+    EXPECT_EQ(fa.idealCycles, fb.idealCycles);
+    ASSERT_EQ(fa.levels.size(), fb.levels.size());
+    for (std::size_t i = 0; i < fa.levels.size(); ++i) {
+        EXPECT_EQ(fa.levels[i].readRequests,
+                  fb.levels[i].readRequests);
+        EXPECT_EQ(fa.levels[i].readMisses,
+                  fb.levels[i].readMisses);
+        EXPECT_EQ(fa.levels[i].localMissRatio,
+                  fb.levels[i].localMissRatio);
+        EXPECT_EQ(fa.levels[i].globalMissRatio,
+                  fb.levels[i].globalMissRatio);
+    }
+}
+
+/** Checkpointed sweep vs per-config straight-line runs. */
+void
+expectSweepMatchesStraightLine(
+    const std::vector<hier::HierarchyParams> &configs,
+    const SampledOptions &opts, bool expect_checkpointed,
+    std::size_t expect_prefix = 0)
+{
+    const SweepResult sweep =
+        runSweepCheckpointed(configs, span(), opts);
+    EXPECT_EQ(sweep.checkpointed, expect_checkpointed);
+    if (expect_checkpointed) {
+        EXPECT_EQ(sweep.prefixLevels, expect_prefix);
+    }
+    ASSERT_EQ(sweep.perConfig.size(), configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        SCOPED_TRACE("config " + std::to_string(c));
+        const SampledResult straight =
+            runSampled(configs[c], span(), opts);
+        expectBitIdentical(sweep.perConfig[c], straight);
+    }
+}
+
+/** The canonical sweep: vary the L2, share the L1s (prefix 0). */
+std::vector<hier::HierarchyParams>
+l2SizeFamily(const hier::HierarchyParams &base)
+{
+    std::vector<hier::HierarchyParams> configs;
+    for (const std::uint64_t kb : {64u, 128u, 256u, 512u})
+        configs.push_back(base.withL2(kb * 1024, 3));
+    return configs;
+}
+
+TEST(CheckpointSweep, L2SizeSweepMatchesStraightLine)
+{
+    expectSweepMatchesStraightLine(
+        l2SizeFamily(hier::HierarchyParams::baseMachine()),
+        options(), true, 0);
+}
+
+TEST(CheckpointSweep, WriteThroughL1Family)
+{
+    hier::HierarchyParams p = hier::HierarchyParams::baseMachine();
+    p.l1i.writePolicy = cache::WritePolicy::WriteThrough;
+    p.l1d.writePolicy = cache::WritePolicy::WriteThrough;
+    expectSweepMatchesStraightLine(l2SizeFamily(p), options(), true,
+                                   0);
+}
+
+TEST(CheckpointSweep, WriteThroughNoAllocateFamily)
+{
+    hier::HierarchyParams p = hier::HierarchyParams::baseMachine();
+    p.l1d.writePolicy = cache::WritePolicy::WriteThrough;
+    p.l1d.allocPolicy = cache::AllocPolicy::NoWriteAllocate;
+    expectSweepMatchesStraightLine(l2SizeFamily(p), options(), true,
+                                   0);
+}
+
+TEST(CheckpointSweep, SubBlockedL1Family)
+{
+    hier::HierarchyParams p = hier::HierarchyParams::baseMachine();
+    p.l1i.fetchBytes = 4;
+    p.l1d.fetchBytes = 4;
+    expectSweepMatchesStraightLine(l2SizeFamily(p), options(), true,
+                                   0);
+}
+
+TEST(CheckpointSweep, UnifiedL1Family)
+{
+    hier::HierarchyParams p = hier::HierarchyParams::baseMachine();
+    p.splitL1 = false;
+    p.l1d.geometry.sizeBytes = 4096;
+    expectSweepMatchesStraightLine(l2SizeFamily(p), options(), true,
+                                   0);
+}
+
+TEST(CheckpointSweep, VictimOrderFamilies)
+{
+    for (const cache::ReplPolicy policy :
+         {cache::ReplPolicy::LRU, cache::ReplPolicy::FIFO,
+          cache::ReplPolicy::Random}) {
+        SCOPED_TRACE(cache::replPolicyName(policy));
+        hier::HierarchyParams p =
+            hier::HierarchyParams::baseMachine();
+        p.l1i.geometry.assoc = 2;
+        p.l1d.geometry.assoc = 2;
+        p.l1i.replPolicy = policy;
+        p.l1d.replPolicy = policy;
+        p.levels[0].geometry.assoc = 4;
+        p.levels[0].replPolicy = policy;
+        expectSweepMatchesStraightLine(l2SizeFamily(p), options(),
+                                       true, 0);
+    }
+}
+
+/** Three-level machines varying only the L3: the L2 is part of the
+ *  shared prefix, so the snapshot boundary sits *below* it. */
+TEST(CheckpointSweep, SharedL2VaryingL3UsesDeeperBoundary)
+{
+    hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+    cache::CacheParams l3 = base.levels.back();
+    l3.name = "l3";
+    l3.geometry.blockBytes = 64;
+    l3.cycleNs = 60.0;
+    base.levels.push_back(l3);
+    base.busWidthWords.push_back(base.busWidthWords.back());
+
+    std::vector<hier::HierarchyParams> configs;
+    for (const std::uint64_t mb : {1u, 2u, 4u}) {
+        configs.push_back(base);
+        configs.back().levels[1].geometry.sizeBytes = mb << 20;
+    }
+    expectSweepMatchesStraightLine(configs, options(), true, 1);
+}
+
+/** Configurations differing only in timing (L2 cycle time) share
+ *  the *whole* functional hierarchy: the boundary is main memory
+ *  and the snapshot covers every level. */
+TEST(CheckpointSweep, TimingOnlySweepSharesWholeHierarchy)
+{
+    std::vector<hier::HierarchyParams> configs;
+    for (const std::uint32_t cycles : {2u, 3u, 5u, 8u})
+        configs.push_back(
+            hier::HierarchyParams::baseMachine().withL2(512 * 1024,
+                                                        cycles));
+    expectSweepMatchesStraightLine(configs, options(), true, 1);
+}
+
+TEST(CheckpointSweep, JobsCountInvariant)
+{
+    const auto configs =
+        l2SizeFamily(hier::HierarchyParams::baseMachine());
+    const SweepResult serial =
+        runSweepCheckpointed(configs, span(), options(), 1);
+    const SweepResult parallel =
+        runSweepCheckpointed(configs, span(), options(), 4);
+    ASSERT_EQ(serial.perConfig.size(), parallel.perConfig.size());
+    for (std::size_t c = 0; c < serial.perConfig.size(); ++c) {
+        SCOPED_TRACE("config " + std::to_string(c));
+        expectBitIdentical(serial.perConfig[c],
+                           parallel.perConfig[c]);
+    }
+}
+
+/** A solo co-simulation cannot be checkpointed (it replays the raw
+ *  CPU stream); the sweep must fall back, not panic, and still
+ *  match straight-line runs. */
+TEST(CheckpointSweep, SoloConfigFallsBackAndStillMatches)
+{
+    auto configs = l2SizeFamily(hier::HierarchyParams::baseMachine());
+    configs[1].measureSolo = true;
+    expectSweepMatchesStraightLine(configs, options(), false);
+}
+
+/** Different L1 organizations share nothing; fall back. */
+TEST(CheckpointSweep, DifferentL1FallsBack)
+{
+    auto configs = l2SizeFamily(hier::HierarchyParams::baseMachine());
+    configs.back() = configs.back().withL1Total(32 * 1024);
+    expectSweepMatchesStraightLine(configs, options(), false);
+}
+
+/** Adaptive stopping retires configurations independently and each
+ *  still matches its straight-line twin (same stop window, same
+ *  accounting of the untouched tail). */
+TEST(CheckpointSweep, AdaptiveStopParity)
+{
+    SampledOptions o = options();
+    o.targetRelHalfWidth = 0.08;
+    o.minWindows = 4;
+    expectSweepMatchesStraightLine(
+        l2SizeFamily(hier::HierarchyParams::baseMachine()), o, true,
+        0);
+}
+
+TEST(CheckpointSweep, GridMatchesPerCellStraightLine)
+{
+    std::vector<expt::TraceSpec> specs;
+    expt::TraceSpec s;
+    s.name = "g";
+    s.variant = 1;
+    s.processes = 3;
+    s.warmupRefs = 0;
+    s.measureRefs = 300'000;
+    specs.push_back(s);
+    const auto store =
+        expt::TraceStore::materialize(std::move(specs));
+
+    SampledOptions o;
+    o.period = 10'000;
+    o.measureRefs = 1'000;
+    o.detailWarmRefs = 500;
+    o.functionalWarmRefs = 6'000;
+    const std::vector<std::uint64_t> sizes = {64 * 1024,
+                                              512 * 1024};
+    const std::vector<std::uint32_t> cycles = {2, 6};
+    const hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+
+    const auto grid =
+        buildGridCheckpointed(base, sizes, cycles, store, o, 2);
+    for (std::size_t si = 0; si < sizes.size(); ++si)
+        for (std::size_t ci = 0; ci < cycles.size(); ++ci) {
+            const double direct =
+                runSampled(base.withL2(sizes[si], cycles[ci]),
+                           store.span(0), o)
+                    .estRelExecTime;
+            EXPECT_EQ(grid.at(si, ci), direct);
+        }
+}
+
+TEST(CheckpointSweep, PairedDeltaIntervalNarrowerThanAbsolute)
+{
+    const hier::HierarchyParams a =
+        hier::HierarchyParams::baseMachine();
+    const hier::HierarchyParams b = a.withL2(128 * 1024, 5);
+    const PairedResult r = runPaired(a, b, span(), options());
+
+    EXPECT_EQ(r.windowsPaired, r.a.windowCpiValues.size());
+    EXPECT_EQ(r.windowsPaired, r.b.windowCpiValues.size());
+    EXPECT_GE(r.windowsPaired, 5u);
+
+    // The smaller, slower L2 must cost cycles; the paired interval
+    // must resolve that difference more tightly than either
+    // absolute interval (the windows' shared workload variance
+    // cancels in the difference).
+    EXPECT_GT(r.deltaInterval.mean, 0.0);
+    EXPECT_LT(r.deltaInterval.halfWidth, r.a.cpiInterval.halfWidth);
+    EXPECT_LT(r.deltaInterval.halfWidth, r.b.cpiInterval.halfWidth);
+    EXPECT_GT(r.pairs.correlation(), 0.5);
+}
+
+TEST(CheckpointSweep, PairedJobsInvariantAndDeterministic)
+{
+    const hier::HierarchyParams a =
+        hier::HierarchyParams::baseMachine();
+    const hier::HierarchyParams b = a.withL2(128 * 1024, 5);
+    const PairedResult serial = runPaired(a, b, span(), options(), 1);
+    const PairedResult parallel =
+        runPaired(a, b, span(), options(), 2);
+    EXPECT_EQ(serial.deltaInterval.mean, parallel.deltaInterval.mean);
+    EXPECT_EQ(serial.deltaInterval.halfWidth,
+              parallel.deltaInterval.halfWidth);
+    expectBitIdentical(serial.a, parallel.a);
+    expectBitIdentical(serial.b, parallel.b);
+}
+
+/** Adaptive warming: the derived warm length respects its clamps,
+ *  grows with the deepest cache, and is recorded in the result. */
+TEST(CheckpointSweep, AdaptiveWarmDerivation)
+{
+    const hier::HierarchyParams small =
+        hier::HierarchyParams::baseMachine().withL2(64 * 1024, 3);
+    const hier::HierarchyParams big =
+        hier::HierarchyParams::baseMachine().withL2(1024 * 1024, 3);
+    SampledOptions o = options();
+    o.adaptiveWarm = true;
+    o.adaptiveWarmProbeRefs = 200'000;
+
+    const std::uint64_t w_small =
+        deriveFunctionalWarmRefs(span(), small, o);
+    const std::uint64_t w_big =
+        deriveFunctionalWarmRefs(span(), big, o);
+    const std::uint64_t hi = span().size / 2;
+    EXPECT_GE(w_small, std::min(o.measureRefs, hi));
+    EXPECT_LE(w_small, hi);
+    EXPECT_LE(w_big, hi);
+    EXPECT_GE(w_big, w_small);
+
+    const SampledResult r = runSampled(small, span(), o);
+    EXPECT_TRUE(r.adaptiveWarmUsed);
+    EXPECT_GT(r.warmRefsPerWindow, 0u);
+
+    // The sweep resolves one warm length for the whole family (the
+    // largest machine's) and must still match straight-line runs at
+    // that same resolved length.
+    const SweepResult sweep =
+        runSweepCheckpointed({small, big}, span(), o);
+    EXPECT_TRUE(sweep.checkpointed);
+    SampledOptions fixed = o;
+    fixed.adaptiveWarm = false;
+    fixed.functionalWarmRefs = w_big;
+    for (std::size_t c = 0; c < 2; ++c) {
+        SCOPED_TRACE("config " + std::to_string(c));
+        SampledResult straight = runSampled(
+            c == 0 ? small : big, span(), fixed);
+        straight.adaptiveWarmUsed = true; // sweep reports the mode
+        EXPECT_TRUE(sweep.perConfig[c].adaptiveWarmUsed);
+        expectBitIdentical(sweep.perConfig[c], straight);
+    }
+}
+
+TEST(CheckpointSweepDeath, RestoreIntoIncompatibleConfigPanics)
+{
+    hier::HierarchySimulator donor(
+        hier::HierarchyParams::baseMachine());
+    donor.runFunctional(span().first(50'000));
+    SnapshotArena arena;
+    hier::WarmSnapshot snap;
+    donor.captureWarmState(arena, snap, 0);
+
+    // Different L1 geometry: TagArray's fingerprint check fires.
+    hier::HierarchySimulator other(
+        hier::HierarchyParams::baseMachine().withL1Total(32 * 1024));
+    EXPECT_DEATH(other.restoreWarmState(arena, snap),
+                 "geometry mismatch");
+
+    // Unified-L1 machine: the shape check fires first.
+    hier::HierarchyParams unified =
+        hier::HierarchyParams::baseMachine();
+    unified.splitL1 = false;
+    unified.l1d.geometry.sizeBytes = 4096;
+    hier::HierarchySimulator uni(unified);
+    EXPECT_DEATH(uni.restoreWarmState(arena, snap),
+                 "split-L1 mismatch");
+}
+
+} // namespace
+} // namespace sample
+} // namespace mlc

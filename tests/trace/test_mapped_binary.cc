@@ -167,6 +167,79 @@ TEST(MappedBinary, MissingFileIsFatal)
                 testing::ExitedWithCode(1), "");
 }
 
+TEST(MappedBinary, LazyValidationSkipsTheConstructionScan)
+{
+    setLogQuiet(true);
+    TempTrace file("lazy");
+    file.write(sampleRefs());
+    std::string data = file.bytes();
+    data[16 + 10 * 16 + 8] = 0x7f; // corrupt record 10's type
+    file.writeBytes(data);
+
+    // Eager truncates at the bad record; lazy keeps the whole file
+    // (no page was scanned) and only complains when a replayed
+    // range actually covers the corruption.
+    MappedBinaryTrace eager(file.path());
+    EXPECT_FALSE(eager.isLazy());
+    EXPECT_EQ(eager.size(), 10u);
+
+    MappedBinaryTrace lazy(file.path(),
+                           MappedBinaryTrace::Backing::Auto,
+                           MappedBinaryTrace::Validation::Lazy);
+    EXPECT_TRUE(lazy.isLazy());
+    EXPECT_EQ(lazy.size(), sampleRefs().size());
+    lazy.validateRange(0, 10);  // clean prefix passes
+    lazy.validateRange(11, 50); // clean interior passes
+    setLogQuiet(false);
+    EXPECT_EXIT(lazy.validateRange(0, 11),
+                testing::ExitedWithCode(1), "bad record type");
+    EXPECT_EXIT(lazy.validateRange(10, 1),
+                testing::ExitedWithCode(1), "bad record type");
+}
+
+TEST(MappedBinary, LazyValidateRangeBoundsChecked)
+{
+    TempTrace file("lazybounds");
+    file.write(sampleRefs());
+    MappedBinaryTrace lazy(file.path(),
+                           MappedBinaryTrace::Backing::Auto,
+                           MappedBinaryTrace::Validation::Lazy);
+    lazy.validateRange(0, lazy.size()); // whole trace is fine
+    EXPECT_EXIT(lazy.validateRange(0, lazy.size() + 1),
+                testing::ExitedWithCode(1), "outside trace");
+    EXPECT_EXIT(lazy.validateRange(lazy.size() + 1, 0),
+                testing::ExitedWithCode(1), "outside trace");
+}
+
+TEST(MappedBinary, EagerValidateRangeIsANoOp)
+{
+    setLogQuiet(true);
+    TempTrace file("eagernoop");
+    file.write(sampleRefs());
+    std::string data = file.bytes();
+    data[16 + 10 * 16 + 8] = 0x7f;
+    file.writeBytes(data);
+
+    // After eager truncation every surviving record is valid, so
+    // validateRange never fires no matter what it is asked.
+    MappedBinaryTrace eager(file.path());
+    eager.validateRange(0, eager.size());
+    setLogQuiet(false);
+}
+
+TEST(MappedBinary, MoveCarriesLazyFlag)
+{
+    TempTrace file("lazymove");
+    file.write(sampleRefs());
+    MappedBinaryTrace lazy(file.path(),
+                           MappedBinaryTrace::Backing::Buffer,
+                           MappedBinaryTrace::Validation::Lazy);
+    MappedBinaryTrace moved(std::move(lazy));
+    EXPECT_TRUE(moved.isLazy());
+    EXPECT_EQ(moved.size(), sampleRefs().size());
+    moved.validateRange(0, moved.size());
+}
+
 } // namespace
 } // namespace trace
 } // namespace mlc
