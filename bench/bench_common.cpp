@@ -75,6 +75,32 @@ jobsFromArgs(int argc, char **argv)
     return defaultJobs();
 }
 
+std::size_t
+shardsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        std::string value;
+        if (startsWith(arg, "--shards="))
+            value = std::string(arg.substr(9));
+        else if (arg == "--shards" && i + 1 < argc)
+            value = argv[i + 1];
+        else
+            continue;
+        unsigned long long shards = 0;
+        if (!parseUnsigned(value, shards) || shards < 1)
+            mlc_fatal("bad --shards value '", value, "'");
+        return static_cast<std::size_t>(shards);
+    }
+    if (const char *env = std::getenv("MLC_SHARDS");
+        env && env[0] != '\0') {
+        unsigned long long shards = 0;
+        if (parseUnsigned(env, shards) && shards >= 1)
+            return static_cast<std::size_t>(shards);
+    }
+    return 1;
+}
+
 Engine
 engineFromArgs(int argc, char **argv)
 {
@@ -171,7 +197,8 @@ buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
                  const std::vector<std::uint64_t> &sizes,
                  const std::vector<std::uint32_t> &cycles,
                  const expt::TraceStore &store, std::size_t jobs,
-                 const sample::SampledOptions &sampled_opts)
+                 const sample::SampledOptions &sampled_opts,
+                 std::size_t shards)
 {
     // Engine choice goes to stderr: stdout must stay byte-identical
     // between a default run and an explicit --engine=timing run.
@@ -179,7 +206,8 @@ buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
               << cycles.size() << " grid (" << engineName(engine)
               << " engine)...\n";
     if (engine == Engine::OnePass)
-        return onepass::buildGrid(base, sizes, cycles, store, jobs);
+        return onepass::buildGrid(base, sizes, cycles, store, jobs,
+                                  shards);
     if (engine == Engine::Sampled)
         // Checkpointed: all cells of a trace share each window's
         // warming pass (bit-identical to sample::buildGrid, which

@@ -34,6 +34,15 @@ void printHeader(const std::string &figure,
 std::size_t jobsFromArgs(int argc, char **argv);
 
 /**
+ * Shard count for the one-pass engine's set-partitioned sweep:
+ * `--shards=N` (or `--shards N`) wins, then the MLC_SHARDS
+ * environment variable, then 1 (the scalar in-line path). Results
+ * are bit-identical for every N (ProfileOptions::shards); only the
+ * timing engine ignores it.
+ */
+std::size_t shardsFromArgs(int argc, char **argv);
+
+/**
  * How a grid gets its relative execution times.
  *
  * Timing simulates every grid cell in full (write buffers, bus
@@ -100,6 +109,8 @@ std::string maxRssJson();
  * expt::parallelBuildGrid / onepass::buildGrid / sample::buildGrid).
  * @p sampled_opts is consulted by Engine::Sampled only; the default
  * (auto period, ~200 windows) suits the bench-suite traces.
+ * @p shards set-partitions the one-pass forest sweep within each
+ * trace (Engine::OnePass only; see shardsFromArgs).
  */
 expt::DesignSpaceGrid
 buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
@@ -107,7 +118,8 @@ buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
                  const std::vector<std::uint32_t> &cycles,
                  const expt::TraceStore &store,
                  std::size_t jobs = 1,
-                 const sample::SampledOptions &sampled_opts = {});
+                 const sample::SampledOptions &sampled_opts = {},
+                 std::size_t shards = 1);
 
 /** Print the grid the way Figure 4-1 plots it: one column per L2
  *  cycle time, one row per L2 size. */

@@ -21,6 +21,7 @@ main(int argc, char **argv)
 {
     const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const bench::Engine engine = bench::engineFromArgs(argc, argv);
+    const std::size_t shards = bench::shardsFromArgs(argc, argv);
     const hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine();
     bench::printHeader(
@@ -32,7 +33,7 @@ main(int argc, char **argv)
         bench::materializeAll(expt::gridSuite(), jobs);
     const expt::DesignSpaceGrid grid = bench::buildRelExecGrid(
         engine, base, expt::paperSizes(), expt::paperCycles(),
-        store, jobs);
+        store, jobs, {}, shards);
 
     bench::printRelExecGrid(grid);
     bench::maybeDumpCsv(grid, "fig4_1");

@@ -17,6 +17,7 @@ main(int argc, char **argv)
 {
     const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const bench::Engine engine = bench::engineFromArgs(argc, argv);
+    const std::size_t shards = bench::shardsFromArgs(argc, argv);
     const hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine();
     bench::printHeader("Figure 4-2",
@@ -27,7 +28,7 @@ main(int argc, char **argv)
         bench::materializeAll(expt::gridSuite(), jobs);
     const expt::DesignSpaceGrid grid = bench::buildRelExecGrid(
         engine, base, expt::paperSizes(), expt::paperCycles(),
-        store, jobs);
+        store, jobs, {}, shards);
 
     bench::printConstantPerformance(grid);
     bench::maybeDumpCsv(grid, "fig4_2");

@@ -22,6 +22,7 @@ main(int argc, char **argv)
 {
     const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const bench::Engine engine = bench::engineFromArgs(argc, argv);
+    const std::size_t shards = bench::shardsFromArgs(argc, argv);
     const hier::HierarchyParams base4k =
         hier::HierarchyParams::baseMachine();
     const hier::HierarchyParams base32k =
@@ -36,11 +37,11 @@ main(int argc, char **argv)
     std::cerr << "grid with 4KB L1 (reference)...\n";
     const expt::DesignSpaceGrid grid4k = bench::buildRelExecGrid(
         engine, base4k, expt::paperSizes(), expt::paperCycles(),
-        store, jobs);
+        store, jobs, {}, shards);
     std::cerr << "grid with 32KB L1...\n";
     const expt::DesignSpaceGrid grid32k = bench::buildRelExecGrid(
         engine, base32k, expt::paperSizes(), expt::paperCycles(),
-        store, jobs);
+        store, jobs, {}, shards);
 
     bench::printConstantPerformance(grid32k);
     bench::maybeDumpCsv(grid4k, "fig4_3_l1_4k");

@@ -22,6 +22,7 @@ main(int argc, char **argv)
 {
     const std::size_t jobs = bench::jobsFromArgs(argc, argv);
     const bench::Engine engine = bench::engineFromArgs(argc, argv);
+    const std::size_t shards = bench::shardsFromArgs(argc, argv);
     hier::HierarchyParams slow =
         hier::HierarchyParams::baseMachine();
     slow.memory = mem::MainMemoryParams::slow();
@@ -36,11 +37,12 @@ main(int argc, char **argv)
     std::cerr << "grid with base memory (reference)...\n";
     const expt::DesignSpaceGrid base_grid = bench::buildRelExecGrid(
         engine, hier::HierarchyParams::baseMachine(),
-        expt::paperSizes(), expt::paperCycles(), store, jobs);
+        expt::paperSizes(), expt::paperCycles(), store, jobs, {},
+        shards);
     std::cerr << "grid with slow memory...\n";
     const expt::DesignSpaceGrid slow_grid = bench::buildRelExecGrid(
         engine, slow, expt::paperSizes(), expt::paperCycles(),
-        store, jobs);
+        store, jobs, {}, shards);
 
     bench::printConstantPerformance(slow_grid);
     bench::maybeDumpCsv(base_grid, "fig4_4_base_memory");

@@ -5,7 +5,7 @@
  * the best configuration under a simple technology rule — the
  * paper's Section 4 methodology as a reusable tool.
  *
- *   $ ./design_space [l1_total_bytes] [--jobs=N]
+ *   $ ./design_space [l1_total_bytes] [--jobs=N] [--shards=N]
  *                    [--engine=timing|onepass|sampled]
  *
  * Pass a different L1 budget (e.g. 32768) to watch the optimal L2
@@ -63,6 +63,7 @@ main(int argc, char **argv)
 {
     std::uint64_t l1_total = 4096;
     std::size_t jobs = defaultJobs();
+    std::size_t shards = 1;
     bool use_onepass = false;
     bool use_sampled = false;
     std::uint64_t paired_a = 0, paired_b = 0;
@@ -73,6 +74,11 @@ main(int argc, char **argv)
             if (!parseUnsigned(arg.substr(7), j) || j < 1)
                 mlc_fatal("bad --jobs value in '", argv[i], "'");
             jobs = static_cast<std::size_t>(j);
+        } else if (startsWith(arg, "--shards=")) {
+            unsigned long long s = 0;
+            if (!parseUnsigned(arg.substr(9), s) || s < 1)
+                mlc_fatal("bad --shards value in '", argv[i], "'");
+            shards = static_cast<std::size_t>(s);
         } else if (startsWith(arg, "--paired=")) {
             const std::string value(arg.substr(9));
             const std::size_t comma = value.find(',');
@@ -135,6 +141,7 @@ main(int argc, char **argv)
         // solo miss curve comes from the same pass.
         onepass::ProfileOptions popts;
         popts.solo = true;
+        popts.shards = shards;
         const onepass::FamilySpec family =
             onepass::FamilySpec::l2Grid(base, sizes);
         const auto profiles =

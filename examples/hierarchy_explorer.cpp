@@ -5,7 +5,7 @@
  * configuration of each cache."
  *
  *   $ ./hierarchy_explorer <config.cfg>... [trace-file] [refs]
- *                          [--jobs=N]
+ *                          [--jobs=N] [--shards=N]
  *                          [--engine=timing|onepass|sampled]
  *
  * Arguments ending in .cfg are hierarchy descriptions; passing
@@ -98,6 +98,7 @@ main(int argc, char **argv)
     std::string trace_path;
     std::uint64_t refs = 1'500'000;
     std::size_t jobs = defaultJobs();
+    std::size_t shards = 1;
     bool refs_given = false;
     bool use_onepass = false;
     bool use_sampled = false;
@@ -112,6 +113,11 @@ main(int argc, char **argv)
             if (!parseUnsigned(arg.substr(7), j) || j < 1)
                 mlc_fatal("bad --jobs value in '", argv[i], "'");
             jobs = static_cast<std::size_t>(j);
+        } else if (startsWith(arg, "--shards=")) {
+            unsigned long long s = 0;
+            if (!parseUnsigned(arg.substr(9), s) || s < 1)
+                mlc_fatal("bad --shards value in '", argv[i], "'");
+            shards = static_cast<std::size_t>(s);
         } else if (arg == "--paired") {
             paired = true;
         } else if (startsWith(arg, "--warm=")) {
@@ -144,7 +150,7 @@ main(int argc, char **argv)
 
     if (config_paths.empty()) {
         std::cerr << "usage: hierarchy_explorer <config.cfg>... "
-                     "[trace] [refs] [--jobs=N]\n";
+                     "[trace] [refs] [--jobs=N] [--shards=N]\n";
         return 1;
     }
     if (paired && (!use_sampled || config_paths.size() != 2))
@@ -238,6 +244,7 @@ main(int argc, char **argv)
                     {params[i].levels[0].geometry.sizeBytes});
             onepass::ProfileOptions popts;
             popts.solo = params[i].measureSolo;
+            popts.shards = shards;
             const onepass::TraceProfile prof = onepass::profileTrace(
                 params[i], family, replay_all, warmup, popts);
             const onepass::EqTimingModel model =

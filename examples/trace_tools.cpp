@@ -165,8 +165,11 @@ cmdSynth(int argc, char **argv)
             for (std::size_t i = 0;
                  i < got && head.size() < check; ++i)
                 head.push_back(batch[i]);
-            for (std::size_t i = 0; i < got; ++i)
-                writer.put(batch[i]);
+            if constexpr (requires { writer.putSpan(RefSpan{}); })
+                writer.putSpan({batch.data(), got});
+            else
+                for (std::size_t i = 0; i < got; ++i)
+                    writer.put(batch[i]);
             total += got;
         }
         return total;
@@ -278,16 +281,25 @@ cmdStat(int argc, char **argv)
             distances.access(ref.addr);
     }
 
+    // An ifetch-free or data-free trace is legal input (a
+    // data-only conversion, a store-only kernel); print 0 for the
+    // undefined ratio instead of a NaN that breaks downstream
+    // parsing.
+    const std::uint64_t data_refs = counts.loads + counts.stores;
+    const double per_instr =
+        counts.ifetches == 0
+            ? 0.0
+            : static_cast<double>(data_refs) /
+                  static_cast<double>(counts.ifetches);
+    const double store_frac =
+        data_refs == 0 ? 0.0
+                       : static_cast<double>(counts.stores) /
+                             static_cast<double>(data_refs);
     std::cout << "references: " << counts.total() << " ("
               << counts.ifetches << " ifetch, " << counts.loads
               << " load, " << counts.stores << " store)\n"
-              << "data refs per instruction: "
-              << static_cast<double>(counts.loads + counts.stores) /
-                     static_cast<double>(counts.ifetches)
-              << "\nstore fraction of data refs: "
-              << static_cast<double>(counts.stores) /
-                     static_cast<double>(counts.loads +
-                                         counts.stores)
+              << "data refs per instruction: " << per_instr
+              << "\nstore fraction of data refs: " << store_frac
               << "\nread footprint: "
               << formatSize(distances.distinctGranules() * 16)
               << " (16B granules)\n";

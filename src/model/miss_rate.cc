@@ -1,5 +1,6 @@
 #include "model/miss_rate.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -64,7 +65,14 @@ MissRateModel::fit(
         mlc_panic("MissRateModel::fit needs at least two valid "
                   "points, got ", n);
     const double dn = static_cast<double>(n);
-    const double slope = (dn * sxy - sx * sy) / (dn * sxx - sx * sx);
+    // All valid points at one size leaves the regression with no
+    // size axis: the denominator vanishes and the slope would be
+    // NaN, silently poisoning every downstream ratio.
+    const double denom = dn * sxx - sx * sx;
+    if (denom <= 1e-12 * std::max(1.0, dn * sxx))
+        mlc_panic("MissRateModel::fit needs at least two distinct "
+                  "sizes; all ", n, " valid points share one size");
+    const double slope = (dn * sxy - sx * sy) / denom;
     const double intercept = (sy - slope * sx) / dn;
 
     // Anchor the fitted law at the first valid point's size.

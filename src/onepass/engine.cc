@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "onepass/l1_filter.hh"
+#include "onepass/sharded.hh"
 #include "trace/stack_distance.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -121,6 +122,9 @@ profileTrace(const hier::HierarchyParams &base,
              const FamilySpec &family, trace::RefSpan refs,
              std::uint64_t warmup_refs, const ProfileOptions &opts)
 {
+    if (opts.shards > 1)
+        return profileTraceSharded(base, family, refs, warmup_refs,
+                                   opts);
     if (family.configs.empty())
         mlc_panic("profileTrace: empty cache family");
 

@@ -74,6 +74,16 @@ struct ProfileOptions
      * at the warm-up boundary.
      */
     bool faBound = false;
+    /**
+     * Partition the ghost-forest sweep by set index across this
+     * many ThreadPool workers (1 = the scalar in-line path).
+     * Results are bit-identical for every value — sets are
+     * independent, each is owned by exactly one shard, and the
+     * per-shard counts merge in fixed order (DESIGN.md §5f).
+     * Composes with profileSuite's jobs: shards parallelize
+     * *within* one trace, jobs across traces.
+     */
+    std::size_t shards = 1;
 };
 
 /** Per-config results of one profiled trace. */

@@ -49,49 +49,84 @@ GhostTagArray::GhostTagArray(const GhostCacheSpec &spec)
     const std::uint64_t sets = spec.sizeBytes / way_bytes;
     setMask_ = sets - 1;
     ways_ = spec.assoc;
-    lines_.resize(sets * ways_);
+    tags_.resize(sets * ways_, 0);
+    stamps_.resize(sets * ways_, 0);
 }
 
-bool
-GhostTagArray::touchOrInstall(std::uint64_t block)
+GhostTagArray::GhostTagArray(std::uint64_t sets, std::uint32_t ways)
+    : ways_(ways)
 {
-    Line *set = &lines_[(block & setMask_) * ways_];
-    Line *victim = set;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (set[w].stamp != 0 && set[w].tag == block) {
-            set[w].stamp = ++stamp_;
-            return true;
-        }
-        // Strict < keeps the lowest-index minimum, and stamp 0
-        // (invalid) always loses to any valid stamp — the same
-        // victim TagArray::chooseVictim picks.
-        if (set[w].stamp < victim->stamp)
-            victim = &set[w];
+    if (sets == 0 || ways == 0)
+        mlc_panic("ghost slice: ", sets, " sets x ", ways,
+                  " ways has no lines");
+    tags_.resize(sets * ways_, 0);
+    stamps_.resize(sets * ways_, 0);
+}
+
+namespace {
+
+/**
+ * Branch-free hit scan over one SoA set row: 1 + the matching way,
+ * or 0 on a miss. A tag lives in at most one valid way (installs
+ * only happen on misses), so the sum over ways of
+ * match * (way + 1) *is* the answer, and a plain sum reduction of
+ * loads is the form the auto-vectorizer handles on every x86-64
+ * level with 64-bit lane compares (v2 and up) — unlike a bitmask
+ * build, whose per-way variable shift needs AVX2.
+ */
+inline std::uint64_t
+hitWayPlusOne(const std::uint64_t *tags, const std::uint64_t *stamps,
+              std::uint32_t ways, std::uint64_t tag)
+{
+    std::uint64_t hit = 0;
+    for (std::uint32_t w = 0; w < ways; ++w)
+        hit += static_cast<std::uint64_t>(
+                   (stamps[w] != 0) & (tags[w] == tag)) *
+               (w + 1);
+    return hit;
+}
+
+} // namespace
+
+bool
+GhostTagArray::touchOrInstallAt(std::uint64_t set, std::uint64_t tag)
+{
+    std::uint64_t *tags = tags_.data() + set * ways_;
+    std::uint64_t *stamps = stamps_.data() + set * ways_;
+    const std::uint64_t hit = hitWayPlusOne(tags, stamps, ways_, tag);
+    if (hit != 0) {
+        stamps[hit - 1] = ++stamp_;
+        return true;
     }
-    victim->tag = block;
-    victim->stamp = ++stamp_;
+    // Strict < keeps the lowest-index minimum, and stamp 0
+    // (invalid) always loses to any valid stamp — the same victim
+    // TagArray::chooseVictim picks.
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < ways_; ++w)
+        victim = stamps[w] < stamps[victim] ? w : victim;
+    tags[victim] = tag;
+    stamps[victim] = ++stamp_;
     return false;
 }
 
 bool
-GhostTagArray::touchOnly(std::uint64_t block)
+GhostTagArray::touchOnlyAt(std::uint64_t set, std::uint64_t tag)
 {
-    Line *set = &lines_[(block & setMask_) * ways_];
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (set[w].stamp != 0 && set[w].tag == block) {
-            set[w].stamp = ++stamp_;
-            return true;
-        }
-    }
-    return false;
+    std::uint64_t *tags = tags_.data() + set * ways_;
+    std::uint64_t *stamps = stamps_.data() + set * ways_;
+    const std::uint64_t hit = hitWayPlusOne(tags, stamps, ways_, tag);
+    if (hit == 0)
+        return false;
+    stamps[hit - 1] = ++stamp_;
+    return true;
 }
 
 std::uint64_t
 GhostTagArray::validCount() const
 {
     std::uint64_t n = 0;
-    for (const Line &l : lines_)
-        if (l.stamp != 0)
+    for (const std::uint64_t s : stamps_)
+        if (s != 0)
             ++n;
     return n;
 }

@@ -79,38 +79,66 @@ struct GhostCounts
 
 /** Tags + LRU stamps of one ghost cache. Addresses are *block
  *  numbers* (byte address >> log2(blockBytes)); the forest does
- *  that shift once per block-size group. */
+ *  that shift once per block-size group.
+ *
+ *  Storage is structure-of-arrays (tags_ and stamps_ as separate
+ *  vectors, the layout cache::TagArray proved out) so the per-way
+ *  compare loop reduces to a branch-free sum reduction the
+ *  compiler auto-vectorizes on targets with 64-bit lane compares
+ *  (x86-64-v2 and up; see the MLC_MARCH CMake option). Build with
+ *  -DMLC_VEC_REPORT=ON to see the vectorizer's verdict. */
 class GhostTagArray
 {
   public:
     explicit GhostTagArray(const GhostCacheSpec &spec);
 
+    /**
+     * A shard-local slice: @p sets rows (any count — a shard's
+     * share of a set-partitioned array need not be a power of two)
+     * of @p ways ways each. Only the *At() entry points are
+     * meaningful on a slice; the block-indexed wrappers assume the
+     * full power-of-two set count and are not usable.
+     */
+    GhostTagArray(std::uint64_t sets, std::uint32_t ways);
+
     /** Access with allocation (a read, or a write-allocate store):
      *  touch on hit, install-evicting-LRU on miss.
      *  @return true on hit. */
-    bool touchOrInstall(std::uint64_t block);
+    bool
+    touchOrInstall(std::uint64_t block)
+    {
+        return touchOrInstallAt(block & setMask_, block);
+    }
 
     /** Access without allocation (an absorbed downstream write
      *  under write-around): touch on hit, no change on miss.
      *  @return true on hit. */
-    bool touchOnly(std::uint64_t block);
+    bool
+    touchOnly(std::uint64_t block)
+    {
+        return touchOnlyAt(block & setMask_, block);
+    }
+
+    /** As touchOrInstall, with the set row chosen by the caller
+     *  (shard-local indexing); @p tag is the full block number. */
+    bool touchOrInstallAt(std::uint64_t set, std::uint64_t tag);
+
+    /** As touchOnly, with the set row chosen by the caller. */
+    bool touchOnlyAt(std::uint64_t set, std::uint64_t tag);
 
     std::uint64_t validCount() const;
 
   private:
-    struct Line
-    {
-        std::uint64_t tag = 0;
-        /** 0 = invalid; valid lines carry distinct stamps, so the
-         *  victim scan's strict-min naturally prefers the lowest
-         *  invalid way, exactly as TagArray::chooseVictim does. */
-        std::uint64_t stamp = 0;
-    };
-
-    std::uint64_t setMask_;
+    std::uint64_t setMask_ = 0;
     std::uint32_t ways_;
     std::uint64_t stamp_ = 0;
-    std::vector<Line> lines_;
+    /** SoA against stamps_: tags_[set*ways_+w] pairs with
+     *  stamps_[set*ways_+w]. */
+    std::vector<std::uint64_t> tags_;
+    /** 0 = invalid; valid lines carry distinct stamps, so the
+     *  victim scan's strict-min naturally prefers the lowest
+     *  invalid way, exactly as TagArray::chooseVictim does. */
+    std::vector<std::uint64_t> stamps_;
 };
 
 /** How the family treats state-changing events, mirrored from the

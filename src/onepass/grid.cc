@@ -44,11 +44,14 @@ expt::DesignSpaceGrid
 buildGrid(const hier::HierarchyParams &base,
           const std::vector<std::uint64_t> &sizes,
           const std::vector<std::uint32_t> &cycles,
-          const expt::TraceStore &store, std::size_t jobs)
+          const expt::TraceStore &store, std::size_t jobs,
+          std::size_t shards)
 {
     const FamilySpec family = FamilySpec::l2Grid(base, sizes);
+    ProfileOptions opts;
+    opts.shards = shards;
     const std::vector<TraceProfile> profiles =
-        profileSuite(base, family, store, jobs);
+        profileSuite(base, family, store, jobs, opts);
     return gridFromProfiles(base, sizes, cycles, profiles);
 }
 

@@ -29,13 +29,17 @@ namespace onepass {
  * Profile the L2 family of @p sizes once over @p store, then fill
  * every (size, cycle) cell with the suite-mean relative execution
  * time of base.withL2(size, cycle) under EqTimingModel. The result
- * is bit-identical for any @p jobs.
+ * is bit-identical for any @p jobs and any @p shards: jobs
+ * parallelizes across (trace x block-size group) tasks, shards
+ * set-partitions the forest sweep within each task
+ * (ProfileOptions::shards).
  */
 expt::DesignSpaceGrid
 buildGrid(const hier::HierarchyParams &base,
           const std::vector<std::uint64_t> &sizes,
           const std::vector<std::uint32_t> &cycles,
-          const expt::TraceStore &store, std::size_t jobs = 1);
+          const expt::TraceStore &store, std::size_t jobs = 1,
+          std::size_t shards = 1);
 
 /**
  * The same grid from profiles already computed (parallel to

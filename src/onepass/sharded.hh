@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Set-partitioned (sharded) execution of the one-pass profile.
+ *
+ * The scalar profileTrace() interleaves the L1 replay with the
+ * ghost-forest updates. The sharded path splits them: one serial
+ * replay of the L1s records the departing event stream into a
+ * compact log (8 bytes per event), then S workers sweep that log
+ * in parallel, each owning the sets `set % S == shard` of every
+ * family member. Sets of a physically-indexed cache are
+ * independent — an access to set A never reads or writes the tags,
+ * stamps or victim choice of set B — so partitioning by set index
+ * touches disjoint state, and LRU order inside a set depends only
+ * on the *relative* order of that set's accesses, which each shard
+ * preserves by scanning the log in order. Per-shard integer counts
+ * summed in fixed shard order therefore reproduce the scalar
+ * counts bit for bit, for every shard count (DESIGN.md §5f).
+ *
+ * Members with fewer sets than shards are clamped: member m is
+ * split S_m = min(S, sets_m) ways, so the degenerate one-set cache
+ * is processed entirely by shard 0 and still merges exactly.
+ */
+
+#ifndef MLC_ONEPASS_SHARDED_HH
+#define MLC_ONEPASS_SHARDED_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "onepass/engine.hh"
+#include "trace/mem_ref.hh"
+
+namespace mlc {
+namespace onepass {
+
+/**
+ * The post-L1 event stream, one 64-bit word per event: the kind in
+ * the low two bits of the address. Every emitted address is at
+ * least 4-byte aligned (fills and write-backs are block/sector
+ * bases, forwarded stores are word-aligned by L1Filter), and every
+ * consumer shifts by a block size of >= 4 bytes, so the packed
+ * bits are recovered exactly and never leak into a block number.
+ */
+struct FilteredEventLog
+{
+    enum Kind : std::uint64_t
+    {
+        ReadCounted = 0,   //!< demand read of read origin
+        ReadUncounted = 1, //!< store-origin or fetch-group fill
+        Write = 2,         //!< victim write-back / forwarded store
+    };
+    static constexpr std::uint64_t kKindMask = 3;
+
+    std::vector<std::uint64_t> events;
+    /** Events recorded before the warm-up boundary: each shard
+     *  zeroes its counters when its sweep reaches this index. */
+    std::size_t warmEvents = 0;
+
+    /** @{ @name L1Filter sink interface */
+    void
+    onRead(Addr addr, bool counted)
+    {
+        events.push_back((addr & ~kKindMask) |
+                         (counted ? ReadCounted : ReadUncounted));
+    }
+    void
+    onWrite(Addr addr)
+    {
+        events.push_back((addr & ~kKindMask) | Write);
+    }
+    /** @} */
+};
+
+/**
+ * The sharded equivalent of profileTrace(): identical results
+ * (bit for bit, including solo and FA-bound outputs) for any
+ * @p opts.shards >= 1, with the forest sweep partitioned across
+ * min(shards, hardware) ThreadPool workers. profileTrace()
+ * dispatches here when opts.shards > 1; call it rather than this.
+ */
+TraceProfile profileTraceSharded(const hier::HierarchyParams &base,
+                                 const FamilySpec &family,
+                                 trace::RefSpan refs,
+                                 std::uint64_t warmup_refs,
+                                 const ProfileOptions &opts);
+
+} // namespace onepass
+} // namespace mlc
+
+#endif // MLC_ONEPASS_SHARDED_HH

@@ -1,5 +1,6 @@
 #include "trace/binary.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <utility>
@@ -251,6 +252,32 @@ BinaryWriter::put(const MemRef &ref)
     rec.reserved = 0;
     os_.write(reinterpret_cast<const char *>(&rec), sizeof(rec));
     ++written_;
+}
+
+void
+BinaryWriter::putSpan(RefSpan refs)
+{
+    if (finished_)
+        mlc_panic("BinaryWriter::putSpan after finish");
+    constexpr std::size_t kChunk = 4096; // 64KB of records
+    std::vector<BinaryRecord> buf(std::min(kChunk, refs.size));
+    std::size_t done = 0;
+    while (done < refs.size) {
+        const std::size_t n = std::min(kChunk, refs.size - done);
+        for (std::size_t i = 0; i < n; ++i) {
+            const MemRef &ref = refs[done + i];
+            buf[i].addr = ref.addr;
+            buf[i].type = static_cast<std::uint8_t>(ref.type);
+            buf[i].size = ref.size;
+            buf[i].pid = ref.pid;
+            buf[i].reserved = 0;
+        }
+        os_.write(reinterpret_cast<const char *>(buf.data()),
+                  static_cast<std::streamsize>(n *
+                                               sizeof(BinaryRecord)));
+        done += n;
+    }
+    written_ += refs.size;
 }
 
 void

@@ -185,6 +185,14 @@ class BinaryWriter : public TraceSink
 
     void put(const MemRef &ref) override;
 
+    /**
+     * Bulk write: one stream write per 64KB chunk instead of one
+     * per record. Byte-identical output to put() in a loop — the
+     * reserved word is still zeroed explicitly, never copied from
+     * MemRef tail padding.
+     */
+    void putSpan(RefSpan refs);
+
     /** Finalize the header; further put() calls are an error. */
     void finish();
 

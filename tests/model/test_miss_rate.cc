@@ -92,6 +92,20 @@ TEST(MissRateModel, RejectsBadParameters)
     EXPECT_DEATH(MissRateModel::fit({{4096, 0.1}}), "two valid");
 }
 
+TEST(MissRateModel, FitRejectsSingleDistinctSize)
+{
+    // Two valid points at one size have no size axis to regress
+    // on: without the guard the slope is 0/0 and the model is NaN.
+    EXPECT_DEATH(
+        MissRateModel::fit({{4096, 0.10}, {4096, 0.12}}),
+        "two distinct sizes");
+    // Invalid points must not rescue the regression either.
+    EXPECT_DEATH(MissRateModel::fit({{4096, 0.10},
+                                     {4096, 0.12},
+                                     {8192, 0.0}}),
+                 "two distinct sizes");
+}
+
 } // namespace
 } // namespace model
 } // namespace mlc

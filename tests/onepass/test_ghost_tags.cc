@@ -216,6 +216,21 @@ TEST(GhostTagForest, FillAndStoreOriginReadsStayOutOfTheRatio)
     EXPECT_DOUBLE_EQ(c.globalMissRatio(10), 0.1);
 }
 
+TEST(GhostCounts, ZeroDenominatorRatiosAreZeroNotNaN)
+{
+    // A warm-up-only or store-only window records no counted
+    // reads; the ratios must stay finite (0), never NaN.
+    GhostCounts c;
+    EXPECT_EQ(c.localMissRatio(), 0.0);
+    EXPECT_EQ(c.globalMissRatio(0), 0.0);
+    c.readMisses = 5;
+    EXPECT_EQ(c.localMissRatio(), 0.0);
+    EXPECT_EQ(c.globalMissRatio(0), 0.0);
+    c.reads = 10;
+    EXPECT_DOUBLE_EQ(c.localMissRatio(), 0.5);
+    EXPECT_DOUBLE_EQ(c.globalMissRatio(20), 0.25);
+}
+
 TEST(GhostTagDeathTest, RejectsBrokenGeometry)
 {
     EXPECT_DEATH(GhostTagArray(GhostCacheSpec{3000, 1, 32}),

@@ -39,6 +39,57 @@ TEST(Binary, RoundTrip)
     EXPECT_EQ(reader.deliveredCount(), 3ULL);
 }
 
+TEST(Binary, PutSpanIsByteIdenticalToPutLoop)
+{
+    // Cross the 4096-record chunk boundary so the bulk path
+    // exercises a full chunk plus a remainder.
+    std::vector<MemRef> refs;
+    for (std::uint64_t i = 0; i < 4096 + 513; ++i) {
+        refs.push_back(makeLoad(0x1000 + 16 * i,
+                                static_cast<std::uint16_t>(i % 7)));
+        refs.push_back(makeStore(0x9000'0000 + 4 * i,
+                                 static_cast<std::uint16_t>(i % 5)));
+    }
+
+    std::stringstream looped(std::ios::in | std::ios::out |
+                             std::ios::binary);
+    {
+        BinaryWriter writer(looped);
+        for (const auto &r : refs)
+            writer.put(r);
+        writer.finish();
+    }
+
+    std::stringstream bulk(std::ios::in | std::ios::out |
+                           std::ios::binary);
+    {
+        BinaryWriter writer(bulk);
+        writer.putSpan({refs.data(), refs.size()});
+        writer.finish();
+        EXPECT_EQ(writer.written(), refs.size());
+    }
+    EXPECT_EQ(looped.str(), bulk.str());
+
+    BinaryReader reader(bulk);
+    MemRef ref;
+    for (const auto &expected : refs) {
+        ASSERT_TRUE(reader.next(ref));
+        EXPECT_EQ(ref, expected);
+    }
+    EXPECT_FALSE(reader.next(ref));
+}
+
+TEST(Binary, PutSpanAfterFinishDies)
+{
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    BinaryWriter writer(ss);
+    writer.finish();
+    const std::vector<MemRef> refs = sampleRefs();
+    EXPECT_DEATH(writer.putSpan({refs.data(), refs.size()}),
+                 "after finish");
+}
+
 TEST(Binary, RecordIs16Bytes)
 {
     std::stringstream ss(std::ios::in | std::ios::out |

@@ -98,6 +98,50 @@ TEST(ThreadPool, SerialExceptionReportsLowestFailingIndex)
     }
 }
 
+TEST(ThreadPool, EveryTaskThrowingReportsIndexZero)
+{
+    // Stress the multi-thrower path: whichever worker fetches
+    // index 0 does so before any failure can be recorded (it is
+    // the first fetch of the batch), so its exception must win the
+    // lowest-index race every time, on every pool width.
+    for (const std::size_t workers : {2u, 4u, 8u}) {
+        ThreadPool pool(workers);
+        for (int round = 0; round < 20; ++round) {
+            try {
+                pool.parallelFor(64, [&](std::size_t i) {
+                    throw std::runtime_error(
+                        "cell " + std::to_string(i));
+                });
+                FAIL() << "expected an exception";
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "cell 0");
+            }
+        }
+    }
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFreeFunction)
+{
+    // The sharded profile and suite sweeps use the free
+    // parallelFor; a worker panic-adjacent throw must surface to
+    // the caller for jobs > 1, not vanish on the worker thread.
+    EXPECT_THROW(parallelFor(4, 100,
+                             [&](std::size_t i) {
+                                 if (i == 63)
+                                     throw std::runtime_error(
+                                         "cell 63");
+                             }),
+                 std::runtime_error);
+    // And the inline jobs=1 path must behave identically.
+    EXPECT_THROW(parallelFor(1, 100,
+                             [&](std::size_t i) {
+                                 if (i == 63)
+                                     throw std::runtime_error(
+                                         "cell 63");
+                             }),
+                 std::runtime_error);
+}
+
 TEST(ThreadPool, FreeFunctionMatchesPoolResults)
 {
     std::vector<int> serial(256, 0), parallel(256, 0);
