@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The what-if query daemon: keep traces, ghost profiles and
+ * completed results resident, answer hierarchy queries over a
+ * unix-domain socket (newline-delimited JSON; see
+ * serve/protocol.hh for the grammar).
+ *
+ *   $ ./mlc_serve --socket=/tmp/mlc.sock &
+ *   $ echo '{"op":"query","engine":"onepass","workload":"grid",
+ *            "l2_size":1048576,"l2_cycles":4}' | ./mlc_client \
+ *            --socket=/tmp/mlc.sock
+ *
+ * SIGINT/SIGTERM or a {"op":"shutdown"} request drain in-flight
+ * work, reject new queries with a structured error, and exit 0.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+#include "serve/server.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+#include "util/thread_pool.hh"
+
+using namespace mlc;
+
+namespace {
+
+void
+usage()
+{
+    std::cerr
+        << "usage: mlc_serve --socket=PATH [--jobs=N] [--shards=N]\n"
+        << "                 [--memo=N] [--profiles=N]\n"
+        << "                 [--trace=FILE]...\n"
+        << "  --socket=PATH   unix-domain socket to listen on\n"
+        << "  --jobs=N        engine worker threads (default: "
+           "hardware)\n"
+        << "  --shards=N      one-pass set-partition shards\n"
+        << "  --memo=N        result-memo capacity in entries\n"
+        << "  --profiles=N    resident ghost-profile slots\n"
+        << "  --trace=FILE    register FILE (.mlct/.mlcz/.din) as "
+           "a workload;\n"
+        << "                  a FILE.warm.json sidecar (trace_tools "
+           "warm) sets\n"
+        << "                  its warm-up split\n";
+}
+
+std::size_t
+parseCount(std::string_view arg, std::string_view prefix)
+{
+    unsigned long long v = 0;
+    if (!parseUnsigned(arg.substr(prefix.size()), v) || v == 0)
+        mlc_fatal("mlc_serve: bad value in '", std::string(arg),
+                  "'");
+    return static_cast<std::size_t>(v);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServerOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (startsWith(arg, "--socket="))
+            opts.socketPath = std::string(arg.substr(9));
+        else if (startsWith(arg, "--jobs="))
+            opts.jobs = parseCount(arg, "--jobs=");
+        else if (startsWith(arg, "--shards="))
+            opts.shards = parseCount(arg, "--shards=");
+        else if (startsWith(arg, "--memo="))
+            opts.memoCapacity = parseCount(arg, "--memo=");
+        else if (startsWith(arg, "--profiles="))
+            opts.profileCapacity = parseCount(arg, "--profiles=");
+        else if (startsWith(arg, "--trace="))
+            opts.traceFiles.push_back(std::string(arg.substr(8)));
+        else {
+            usage();
+            return arg == "--help" || arg == "-h" ? 0 : 1;
+        }
+    }
+    if (opts.socketPath.empty()) {
+        usage();
+        return 1;
+    }
+    return serve::runServer(opts);
+}

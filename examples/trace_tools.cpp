@@ -18,6 +18,13 @@
  *   analyze a trace:    trace_tools stat <in>
  *                       (reference mix, footprint, LRU stack-
  *                       distance profile, implied miss ratios)
+ *   warm a trace:       trace_tools warm <in> [l2_size]
+ *                       (pre-materialize the full stream, derive
+ *                       the measured warm-up recommendation for
+ *                       the deepest cache, and write it to the
+ *                       <in>.warm.json sidecar the query server
+ *                       loads at startup — separating cold-load
+ *                       profiling from steady-state serving)
  */
 
 #include <algorithm>
@@ -25,9 +32,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <vector>
 
+#include "expt/design_space.hh"
+#include "hier/hierarchy_config.hh"
+#include "sample/engine.hh"
+#include "serve/json.hh"
 #include "trace/binary.hh"
 #include "trace/compressed.hh"
 #include "trace/dinero.hh"
@@ -317,13 +329,73 @@ cmdStat(int argc, char **argv)
     return 0;
 }
 
+int
+cmdWarm(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::cerr << "usage: trace_tools warm <in> [l2_size]\n";
+        return 1;
+    }
+    const std::string path = argv[2];
+    std::uint64_t l2_size = 0;
+    if (argc > 3) {
+        l2_size = std::strtoull(argv[3], nullptr, 0);
+    } else {
+        // Default to the largest candidate the server will ever be
+        // asked about: a warm length derived for the deepest
+        // hierarchy is sufficient for every smaller one.
+        for (const std::uint64_t s : expt::paperSizes())
+            l2_size = std::max(l2_size, s);
+    }
+
+    std::ifstream in_file;
+    auto src = openTrace(path, in_file);
+    // Pre-materialize the entire stream — this is the cold-load
+    // cost the sidecar lets the server skip re-measuring.
+    const std::vector<MemRef> refs = collect(
+        *src, std::numeric_limits<std::uint64_t>::max());
+    if (refs.empty()) {
+        std::cerr << "warm: " << path << " holds no references\n";
+        return 1;
+    }
+    const RefSpan span{refs.data(), refs.size()};
+
+    const hier::HierarchyParams params =
+        hier::HierarchyParams::baseMachine().withL2(l2_size, 3);
+    sample::SampledOptions opts;
+    const std::uint64_t warm =
+        sample::deriveFunctionalWarmRefs(span, params, opts);
+
+    serve::Json side = serve::Json::object();
+    side.set("trace", serve::Json(path));
+    side.set("refs", serve::Json(
+                         static_cast<std::uint64_t>(refs.size())));
+    side.set("l2_size", serve::Json(l2_size));
+    side.set("warmup_refs", serve::Json(warm));
+    const std::string side_path = path + ".warm.json";
+    std::ofstream out(side_path);
+    if (!out) {
+        std::cerr << "warm: cannot create " << side_path << "\n";
+        return 1;
+    }
+    out << side.dump() << "\n";
+    out.close();
+
+    std::cout << "profiled " << refs.size() << " refs against "
+              << formatSize(l2_size)
+              << " deepest cache: warmup_refs = " << warm << "\n"
+              << "wrote " << side_path << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cerr << "usage: trace_tools gen|synth|conv|stat ...\n";
+        std::cerr
+            << "usage: trace_tools gen|synth|conv|stat|warm ...\n";
         return 1;
     }
     if (std::strcmp(argv[1], "gen") == 0)
@@ -334,6 +406,8 @@ main(int argc, char **argv)
         return cmdConvert(argc, argv);
     if (std::strcmp(argv[1], "stat") == 0)
         return cmdStat(argc, argv);
+    if (std::strcmp(argv[1], "warm") == 0)
+        return cmdWarm(argc, argv);
     std::cerr << "unknown command '" << argv[1] << "'\n";
     return 1;
 }

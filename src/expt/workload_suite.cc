@@ -82,6 +82,21 @@ materialize(const TraceSpec &spec)
     return trace::collect(*source, total);
 }
 
+TraceStore::TraceStore(std::vector<TraceSpec> specs,
+                       std::vector<std::vector<trace::MemRef>> traces)
+    : specs_(std::move(specs)), traces_(std::move(traces))
+{
+}
+
+TraceStore::TraceStore(std::vector<TraceSpec> specs, Materializer m)
+    : specs_(std::move(specs)), traces_(specs_.size()),
+      materializer_(std::move(m))
+{
+    latches_.reserve(specs_.size());
+    for (std::size_t i = 0; i < specs_.size(); ++i)
+        latches_.push_back(std::make_unique<Latch>());
+}
+
 TraceStore
 TraceStore::materialize(std::vector<TraceSpec> specs,
                         std::size_t jobs)
@@ -91,6 +106,64 @@ TraceStore::materialize(std::vector<TraceSpec> specs,
         traces[i] = expt::materialize(specs[i]);
     });
     return TraceStore(std::move(specs), std::move(traces));
+}
+
+TraceStore
+TraceStore::deferred(std::vector<TraceSpec> specs, Materializer m)
+{
+    if (!m)
+        m = [](const TraceSpec &spec) {
+            return expt::materialize(spec);
+        };
+    return TraceStore(std::move(specs), std::move(m));
+}
+
+void
+TraceStore::ensure(std::size_t i) const
+{
+    if (latches_.empty())
+        return; // eager store: everything resident at construction
+    if (i >= latches_.size())
+        mlc_panic("TraceStore::ensure: trace ", i, " of ",
+                  latches_.size());
+    Latch &latch = *latches_[i];
+    // call_once is the race arbiter: exactly one caller runs the
+    // materializer, everyone else blocks until the stream is
+    // resident, and the write to traces_[i] happens-before every
+    // post-latch read.
+    std::call_once(latch.once, [&] {
+        traces_[i] = materializer_(specs_[i]);
+        latch.ready.store(true, std::memory_order_release);
+    });
+}
+
+bool
+TraceStore::resident(std::size_t i) const
+{
+    if (latches_.empty())
+        return true;
+    return latches_[i]->ready.load(std::memory_order_acquire);
+}
+
+std::size_t
+TraceStore::residentCount() const
+{
+    if (latches_.empty())
+        return specs_.size();
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < latches_.size(); ++i)
+        if (resident(i))
+            ++n;
+    return n;
+}
+
+void
+TraceStore::ensureAll(std::size_t jobs) const
+{
+    if (latches_.empty())
+        return;
+    parallelFor(jobs, specs_.size(),
+                [this](std::size_t i) { ensure(i); });
 }
 
 } // namespace expt

@@ -20,7 +20,11 @@
 #ifndef MLC_EXPT_WORKLOAD_SUITE_HH
 #define MLC_EXPT_WORKLOAD_SUITE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,39 +67,94 @@ std::vector<trace::MemRef> materialize(const TraceSpec &spec);
  * one up-front pass (optionally parallel across traces) and hands
  * out const references, which is also what makes concurrent sweep
  * workers safe: they replay the same immutable streams.
+ *
+ * Deferred mode (deferred()) postpones materialization to first
+ * use: span(i) materializes trace i on demand behind a
+ * once-per-trace latch, so two queries racing to load the same
+ * trace produce exactly one generation pass and every concurrent
+ * reader blocks until the stream is resident. This is what a
+ * long-running query server wants — startup touches nothing, the
+ * first query for a workload pays its load, and everything after
+ * replays resident state. Once a trace is resident its storage
+ * never moves (the outer vector is pre-sized, elements are written
+ * exactly once under the latch), so spans handed out stay valid
+ * for the store's lifetime.
  */
 class TraceStore
 {
   public:
-    /** Materialize every spec, @p jobs traces at a time. */
+    /** Produces the full reference stream for one spec. The default
+     *  is expt::materialize(); a server loading file-backed traces
+     *  substitutes its own reader. Must be safe to call from any
+     *  thread (each spec is materialized at most once). */
+    using Materializer =
+        std::function<std::vector<trace::MemRef>(const TraceSpec &)>;
+
+    /** Materialize every spec eagerly, @p jobs traces at a time. */
     static TraceStore materialize(std::vector<TraceSpec> specs,
                                   std::size_t jobs = 1);
 
+    /** Defer every spec to first use (see class comment). An empty
+     *  @p m uses expt::materialize(). */
+    static TraceStore deferred(std::vector<TraceSpec> specs,
+                               Materializer m = {});
+
     const std::vector<TraceSpec> &specs() const { return specs_; }
+
+    /** Whole-suite access; in deferred mode this materializes every
+     *  still-pending trace first (callers iterate all of them). */
     const std::vector<std::vector<trace::MemRef>> &traces() const
     {
+        ensureAll();
         return traces_;
     }
     std::size_t size() const { return specs_.size(); }
 
     /** Trace @p i as a contiguous zero-copy view — the form every
      *  replay consumer (timing simulator, one-pass engine, benches)
-     *  should iterate. */
+     *  should iterate. Materializes on first use in deferred mode;
+     *  concurrent callers for the same trace block on the latch and
+     *  observe the identical stream. */
     trace::RefSpan
     span(std::size_t i) const
     {
+        ensure(i);
         return {traces_[i].data(), traces_[i].size()};
     }
 
+    /** True when trace @p i is resident (always, for an eager
+     *  store). Never triggers materialization. */
+    bool resident(std::size_t i) const;
+
+    /** Resident trace count (== size() for an eager store). */
+    std::size_t residentCount() const;
+
+    /** Materialize every pending trace now, @p jobs at a time —
+     *  what a server's explicit warm-up request calls. */
+    void ensureAll(std::size_t jobs = 1) const;
+
   private:
-    TraceStore(std::vector<TraceSpec> specs,
-               std::vector<std::vector<trace::MemRef>> traces)
-        : specs_(std::move(specs)), traces_(std::move(traces))
+    /** Once-per-trace materialization latch. ready mirrors the
+     *  once_flag for wait-free resident() queries. */
+    struct Latch
     {
-    }
+        std::once_flag once;
+        std::atomic<bool> ready{false};
+    };
+
+    TraceStore(std::vector<TraceSpec> specs,
+               std::vector<std::vector<trace::MemRef>> traces);
+    TraceStore(std::vector<TraceSpec> specs, Materializer m);
+
+    void ensure(std::size_t i) const;
 
     std::vector<TraceSpec> specs_;
-    std::vector<std::vector<trace::MemRef>> traces_;
+    /** Pre-sized to specs_.size(); element i written exactly once,
+     *  under latches_[i] in deferred mode. */
+    mutable std::vector<std::vector<trace::MemRef>> traces_;
+    /** Empty for an eager store (everything resident). */
+    std::vector<std::unique_ptr<Latch>> latches_;
+    Materializer materializer_;
 };
 
 /** warmupRefs scaled by suiteScale(). */

@@ -68,6 +68,18 @@ blockGroups(const std::vector<GhostCacheSpec> &configs)
 
 } // namespace
 
+std::string
+FamilySpec::key() const
+{
+    std::string k;
+    for (const GhostCacheSpec &spec : configs) {
+        if (!k.empty())
+            k += "|";
+        k += spec.toString();
+    }
+    return k;
+}
+
 FamilySpec
 FamilySpec::l2Grid(const hier::HierarchyParams &base,
                    const std::vector<std::uint64_t> &sizes)

@@ -58,6 +58,15 @@ struct FamilySpec
     crossProduct(const std::vector<std::uint64_t> &sizes,
                  const std::vector<std::uint32_t> &assocs,
                  const std::vector<std::uint32_t> &blocks);
+
+    /**
+     * Canonical identity string ("512KB/1-way/32B|1MB/1-way/32B").
+     * Two equal keys mean member-for-member equal families, so a
+     * cached profile of one prices the other — what the query
+     * server's resident profile cache (serve::ProfileCache) keys
+     * on.
+     */
+    std::string key() const;
 };
 
 /** What to compute beyond the filtered-stream counts. */

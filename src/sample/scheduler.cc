@@ -8,6 +8,24 @@
 namespace mlc {
 namespace sample {
 
+std::string
+SampledOptions::key() const
+{
+    std::string k = "mode=";
+    k += mode == SampleMode::Systematic ? "sys" : "rand";
+    k += ";seed=" + std::to_string(seed);
+    k += ";period=" + std::to_string(period);
+    k += ";measure=" + std::to_string(measureRefs);
+    k += ";detail=" + std::to_string(detailWarmRefs);
+    k += ";warm=" + std::to_string(functionalWarmRefs);
+    k += ";adaptive=" + std::to_string(adaptiveWarm ? 1 : 0);
+    k += ";probe=" + std::to_string(adaptiveWarmProbeRefs);
+    k += ";minwin=" + std::to_string(minWindows);
+    k += ";target=" + std::to_string(targetRelHalfWidth);
+    k += ";conf=" + std::to_string(confidence);
+    return k;
+}
+
 SampleScheduler::SampleScheduler(std::uint64_t total_refs,
                                  const SampledOptions &opts)
 {

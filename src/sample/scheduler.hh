@@ -29,6 +29,7 @@
 #define MLC_SAMPLE_SCHEDULER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace mlc {
@@ -83,6 +84,15 @@ struct SampledOptions
 
     /** Auto-period target window count. */
     static constexpr std::uint64_t kAutoWindows = 200;
+
+    /**
+     * Canonical identity string over every result-affecting knob.
+     * Two option sets with equal keys produce bit-identical
+     * schedules and therefore bit-identical sampled results on the
+     * same trace — the memo-key contract the query server relies
+     * on (serve::Server includes this in its result-cache key).
+     */
+    std::string key() const;
 };
 
 /** One contiguous piece of the schedule. */

@@ -1,0 +1,324 @@
+#include "serve/loadgen.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "expt/design_space.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MLC_SERVE_HAVE_SOCKETS 1
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#else
+#define MLC_SERVE_HAVE_SOCKETS 0
+#endif
+
+namespace mlc {
+namespace serve {
+
+namespace {
+
+/** One (size, cycles) design point of the request universe. */
+struct Point
+{
+    std::uint64_t size;
+    std::uint32_t cycles;
+};
+
+/** The paper's (size x cycle) points in a seed-shuffled order;
+ *  shared by every client of a run so "which config is hot" is a
+ *  property of the run, not of the client. */
+std::vector<Point>
+shuffledUniverse(std::uint64_t seed)
+{
+    std::vector<Point> points;
+    for (const std::uint64_t s : expt::paperSizes())
+        for (const std::uint32_t c : expt::paperCycles())
+            points.push_back(Point{s, c});
+    Rng rng(seed);
+    for (std::size_t i = points.size(); i > 1; --i)
+        std::swap(points[i - 1],
+                  points[rng.nextBounded(i)]);
+    return points;
+}
+
+/** The stream generator for client @p client: decorrelated splits
+ *  of the base seed, one per client index. */
+Rng
+clientRng(std::uint64_t seed, std::size_t client)
+{
+    Rng base(seed);
+    Rng rng = base.split();
+    for (std::size_t c = 0; c < client; ++c)
+        rng = base.split();
+    return rng;
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+std::vector<std::string>
+queryStream(const LoadGenOptions &opts, std::size_t client,
+            std::size_t n)
+{
+    const std::vector<Point> universe =
+        shuffledUniverse(opts.seed);
+    // Zipf over shuffled rank: weight(r) = (r+1)^-theta. theta=0
+    // degenerates to uniform.
+    std::vector<double> weights(universe.size());
+    for (std::size_t r = 0; r < universe.size(); ++r)
+        weights[r] = std::pow(static_cast<double>(r + 1),
+                              -opts.zipfTheta);
+    const DiscreteSampler sampler(weights);
+    Rng rng = clientRng(opts.seed, client);
+
+    std::vector<std::string> lines;
+    lines.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Point &pt = universe[sampler.sample(rng)];
+        std::string line = "{\"op\":\"query\",\"engine\":\"" +
+                           opts.engine + "\",\"workload\":\"" +
+                           opts.workload + "\",\"l2_size\":" +
+                           std::to_string(pt.size) +
+                           ",\"l2_cycles\":" +
+                           std::to_string(pt.cycles) +
+                           ",\"id\":\"c" + std::to_string(client) +
+                           "-" + std::to_string(i) + "\"}";
+        lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+std::string
+stripVolatile(const std::string &response)
+{
+    // okResponse() appends `,"cached":..,"compute_us":..` last, so
+    // everything from the "cached" key to the closing brace is the
+    // volatile tail. Error responses carry neither field.
+    const std::size_t at = response.rfind(",\"cached\":");
+    if (at == std::string::npos)
+        return response;
+    return response.substr(0, at) + "}";
+}
+
+#if MLC_SERVE_HAVE_SOCKETS
+
+LineClient::LineClient(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        mlc_fatal("loadgen: socket path too long: ", socket_path);
+    fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        mlc_fatal("loadgen: socket(): ", std::strerror(errno));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                sizeof(addr)) != 0)
+        mlc_fatal("loadgen: connect(", socket_path,
+                  "): ", std::strerror(errno));
+}
+
+LineClient::~LineClient()
+{
+    if (fd_ != -1)
+        close(fd_);
+}
+
+bool
+LineClient::sendLine(const std::string &line)
+{
+    std::string out = line;
+    out += '\n';
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t w =
+            send(fd_, out.data() + sent, out.size() - sent,
+#ifdef MSG_NOSIGNAL
+                 MSG_NOSIGNAL
+#else
+                 0
+#endif
+            );
+        if (w <= 0)
+            return false;
+        sent += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+LineClient::recvLine(std::string &out)
+{
+    for (;;) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            out = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return true;
+        }
+        char chunk[65536];
+        const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            return false;
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+LoadGenStats
+runLoadGen(const LoadGenOptions &opts)
+{
+    std::mutex mu;
+    LoadGenStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+
+    const auto clientBody = [&](std::size_t client) {
+        LineClient conn(opts.socketPath);
+        const std::vector<std::string> lines =
+            queryStream(opts, client, opts.requests);
+        std::uint64_t sent = 0, ok = 0, errs = 0, cached = 0;
+        std::vector<double> lat;
+
+        const auto classify = [&](const std::string &resp) {
+            if (resp.find("\"ok\":true") != std::string::npos)
+                ++ok;
+            else
+                ++errs;
+            if (resp.find("\"cached\":true") != std::string::npos)
+                ++cached;
+        };
+        const auto usSince =
+            [](std::chrono::steady_clock::time_point from) {
+                return static_cast<double>(
+                           std::chrono::duration_cast<
+                               std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() -
+                               from)
+                               .count()) /
+                       1e3;
+            };
+
+        std::string resp;
+        if (opts.closedLoop) {
+            for (const std::string &line : lines) {
+                const auto r0 = std::chrono::steady_clock::now();
+                if (!conn.sendLine(line))
+                    break;
+                ++sent;
+                if (!conn.recvLine(resp))
+                    break;
+                lat.push_back(usSince(r0));
+                classify(resp);
+            }
+        } else {
+            const std::size_t depth =
+                std::max<std::size_t>(1, opts.pipelineDepth);
+            std::size_t next = 0, done = 0;
+            bool dead = false;
+            while (done < lines.size() && !dead) {
+                const auto w0 = std::chrono::steady_clock::now();
+                const std::size_t window_end =
+                    std::min(next + depth, lines.size());
+                for (; next < window_end; ++next) {
+                    if (!conn.sendLine(lines[next])) {
+                        dead = true;
+                        break;
+                    }
+                    ++sent;
+                }
+                while (done < sent) {
+                    if (!conn.recvLine(resp)) {
+                        dead = true;
+                        break;
+                    }
+                    classify(resp);
+                    ++done;
+                }
+                lat.push_back(usSince(w0));
+            }
+        }
+
+        std::lock_guard<std::mutex> lk(mu);
+        stats.sent += sent;
+        stats.okResponses += ok;
+        stats.errorResponses += errs;
+        stats.cachedResponses += cached;
+        stats.latenciesUs.insert(stats.latenciesUs.end(),
+                                 lat.begin(), lat.end());
+    };
+
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < opts.clients; ++c)
+        threads.emplace_back(clientBody, c);
+    for (std::thread &t : threads)
+        t.join();
+
+    stats.elapsedSec =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()) /
+        1e6;
+    const std::uint64_t answered =
+        stats.okResponses + stats.errorResponses;
+    stats.queriesPerSec =
+        stats.elapsedSec > 0.0
+            ? static_cast<double>(answered) / stats.elapsedSec
+            : 0.0;
+    std::vector<double> sorted = stats.latenciesUs;
+    std::sort(sorted.begin(), sorted.end());
+    stats.p50Us = percentile(sorted, 0.50);
+    stats.p99Us = percentile(sorted, 0.99);
+    stats.maxUs = sorted.empty() ? 0.0 : sorted.back();
+    return stats;
+}
+
+#else // !MLC_SERVE_HAVE_SOCKETS
+
+LineClient::LineClient(const std::string &)
+{
+    mlc_fatal("loadgen: sockets unsupported on this platform");
+}
+
+LineClient::~LineClient() = default;
+
+bool
+LineClient::sendLine(const std::string &)
+{
+    return false;
+}
+
+bool
+LineClient::recvLine(std::string &)
+{
+    return false;
+}
+
+LoadGenStats
+runLoadGen(const LoadGenOptions &)
+{
+    mlc_fatal("loadgen: sockets unsupported on this platform");
+}
+
+#endif // MLC_SERVE_HAVE_SOCKETS
+
+} // namespace serve
+} // namespace mlc

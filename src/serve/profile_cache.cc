@@ -1,0 +1,52 @@
+#include "serve/profile_cache.hh"
+
+namespace mlc {
+namespace serve {
+
+ProfileCache::ProfileCache(std::size_t capacity)
+    : capacity_(capacity >= 1 ? capacity : 1)
+{
+}
+
+ProfileCache::Profiles
+ProfileCache::get(const std::string &key)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        if (it->first == key) {
+            lru_.splice(lru_.begin(), lru_, it);
+            ++hits_;
+            return it->second;
+        }
+    }
+    ++misses_;
+    return nullptr;
+}
+
+void
+ProfileCache::put(const std::string &key, Profiles profiles)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        if (it->first == key) {
+            it->second = std::move(profiles);
+            lru_.splice(lru_.begin(), lru_, it);
+            return;
+        }
+    }
+    lru_.emplace_front(key, std::move(profiles));
+    while (lru_.size() > capacity_) {
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+ProfileCache::Stats
+ProfileCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return {hits_, misses_, evictions_, lru_.size()};
+}
+
+} // namespace serve
+} // namespace mlc

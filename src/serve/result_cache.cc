@@ -1,0 +1,169 @@
+#include "serve/result_cache.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mlc {
+namespace serve {
+
+namespace {
+
+std::size_t
+defaultHash(const MemoKey &key)
+{
+    // FNV-1a over the three fields with separators; any decent mix
+    // works — correctness never depends on it (full-key compare).
+    std::size_t h = 1469598103934665603ULL;
+    const auto mix = [&h](const std::string &s) {
+        for (const char c : s) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 1099511628211ULL;
+        }
+        h ^= 0x1f;
+        h *= 1099511628211ULL;
+    };
+    mix(key.tag);
+    mix(key.engine);
+    mix(key.detail);
+    return h;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::size_t capacity, HashFn hash)
+    : capacity_(capacity >= 1 ? capacity : 1),
+      hash_(hash ? std::move(hash) : defaultHash)
+{
+}
+
+ResultCache::Payload
+ResultCache::get(const MemoKey &key)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    const auto bucket = index_.find(hash_(key));
+    if (bucket != index_.end()) {
+        for (const auto &it : bucket->second) {
+            if (it->key == key) {
+                // Bump to MRU within the owning tag.
+                auto &lru = tags_[key.tag].lru;
+                lru.splice(lru.begin(), lru, it);
+                ++hits_;
+                return it->payload;
+            }
+        }
+    }
+    ++misses_;
+    return nullptr;
+}
+
+void
+ResultCache::put(const MemoKey &key, Payload payload)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    const std::size_t h = hash_(key);
+    auto &bucket = index_[h];
+    for (const auto &it : bucket) {
+        if (it->key == key) {
+            it->payload = std::move(payload);
+            auto &lru = tags_[key.tag].lru;
+            lru.splice(lru.begin(), lru, it);
+            return;
+        }
+    }
+    auto &lru = tags_[key.tag].lru;
+    lru.push_front(Entry{key, std::move(payload)});
+    bucket.push_back(lru.begin());
+    ++entries_;
+    ++insertions_;
+    while (entries_ > capacity_)
+        evictOne(key.tag);
+}
+
+std::string
+ResultCache::victimTag(const std::string &inserting) const
+{
+    // Fair share of the pool per active tag. The inserting tag pays
+    // for its own overflow once it holds its share; only a tag
+    // genuinely below share may push the cost onto the largest
+    // other tenant — which, with the pool full, is necessarily at
+    // or above share itself.
+    const std::size_t active = tags_.size();
+    const std::size_t share =
+        active == 0 ? capacity_
+                    : std::max<std::size_t>(1, capacity_ / active);
+    const auto ins = tags_.find(inserting);
+    if (ins != tags_.end() && ins->second.lru.size() >= share &&
+        !ins->second.lru.empty())
+        return inserting;
+    std::string best;
+    std::size_t best_size = 0;
+    for (const auto &[name, tag] : tags_) {
+        const std::size_t n = tag.lru.size();
+        if (n > best_size ||
+            (n == best_size && n > 0 &&
+             (best.empty() || name < best))) {
+            best = name;
+            best_size = n;
+        }
+    }
+    if (best.empty())
+        mlc_panic("ResultCache::victimTag: no resident entries");
+    return best;
+}
+
+void
+ResultCache::evictOne(const std::string &inserting)
+{
+    const std::string victim = victimTag(inserting);
+    auto &lru = tags_[victim].lru;
+    const Entry &entry = lru.back();
+    // Unhook from the hash index (full-key match inside the
+    // colliding bucket).
+    const std::size_t h = hash_(entry.key);
+    auto bucket = index_.find(h);
+    if (bucket == index_.end())
+        mlc_panic("ResultCache: evicting unindexed entry");
+    auto &vec = bucket->second;
+    const auto pos = std::find_if(
+        vec.begin(), vec.end(),
+        [&](const auto &it) { return it->key == entry.key; });
+    if (pos == vec.end())
+        mlc_panic("ResultCache: evicting unindexed entry");
+    vec.erase(pos);
+    if (vec.empty())
+        index_.erase(bucket);
+    lru.pop_back();
+    if (lru.empty())
+        tags_.erase(victim);
+    --entries_;
+    ++evictions_;
+}
+
+std::size_t
+ResultCache::tagEntries(const std::string &tag) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    const auto it = tags_.find(tag);
+    return it == tags_.end() ? 0 : it->second.lru.size();
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.insertions = insertions_;
+    s.evictions = evictions_;
+    s.entries = entries_;
+    s.capacity = capacity_;
+    for (const auto &[name, tag] : tags_)
+        s.tags.emplace_back(name, tag.lru.size());
+    std::sort(s.tags.begin(), s.tags.end());
+    return s;
+}
+
+} // namespace serve
+} // namespace mlc

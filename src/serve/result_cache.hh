@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Multi-tenant memo table for completed query results.
+ *
+ * The server answers most traffic out of this cache: a completed
+ * query or sweep is stored as its serialized result payload keyed
+ * by (workload tag, engine kind, canonical request detail), and a
+ * later identical request replays the byte-identical payload
+ * without touching an engine. Shape follows gcache's SharedCache
+ * (ROADMAP): one capacity-bounded pool shared by many tenants
+ * (workload tags), LRU ordering *within* each tag, and an eviction
+ * policy that charges overflow to the tag holding the most entries
+ * relative to its fair share — so one hot workload hammering the
+ * server recycles its own entries instead of wiping out another
+ * tenant's tag (per-tag isolation, tested in
+ * tests/serve/test_result_cache.cc).
+ *
+ * Key discipline: lookups compare the *full* key (tag, engine and
+ * detail strings), never just a hash — two requests whose keys
+ * collide under the hash function must not alias, in particular
+ * the same config string under different engine kinds. The hash
+ * only picks the bucket; the test suite injects a
+ * constant-collision hash to prove aliasing is impossible.
+ *
+ * Thread safety: all public methods lock one internal mutex; the
+ * payloads are shared_ptr<const string>, so a reader holds its
+ * result safely even if the entry is evicted mid-reply.
+ */
+
+#ifndef MLC_SERVE_RESULT_CACHE_HH
+#define MLC_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mlc {
+namespace serve {
+
+/** Full memo identity of one completed result. */
+struct MemoKey
+{
+    std::string tag;    //!< workload/tenant, e.g. "grid"
+    std::string engine; //!< engine kind, e.g. "onepass"
+    std::string detail; //!< canonical request descriptor
+
+    bool
+    operator==(const MemoKey &o) const
+    {
+        return tag == o.tag && engine == o.engine &&
+               detail == o.detail;
+    }
+};
+
+/** Capacity-bounded multi-tenant LRU described above. */
+class ResultCache
+{
+  public:
+    using Payload = std::shared_ptr<const std::string>;
+    /** Injectable for collision testing; the default hashes all
+     *  three key fields. */
+    using HashFn = std::function<std::size_t(const MemoKey &)>;
+
+    /** @param capacity maximum resident entries (>= 1). */
+    explicit ResultCache(std::size_t capacity, HashFn hash = {});
+
+    /** Payload for @p key, bumping it to MRU within its tag;
+     *  nullptr on miss. */
+    Payload get(const MemoKey &key);
+
+    /** Insert or replace @p key. Eviction (when over capacity)
+     *  removes the LRU entry of the most over-share tag — the
+     *  inserting tag first when it is at or above its fair share. */
+    void put(const MemoKey &key, Payload payload);
+
+    /** Resident entries for one tag (0 when absent). */
+    std::size_t tagEntries(const std::string &tag) const;
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+        std::size_t capacity = 0;
+        /** (tag, resident entries), sorted by tag for determinism. */
+        std::vector<std::pair<std::string, std::size_t>> tags;
+    };
+
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        MemoKey key;
+        Payload payload;
+    };
+    /** Per-tag LRU list, most recent at front. */
+    struct Tag
+    {
+        std::list<Entry> lru;
+    };
+
+    /** Pick the victim tag per the over-share rule; assumes at
+     *  least one entry is resident. Caller holds m_. */
+    std::string victimTag(const std::string &inserting) const;
+    void evictOne(const std::string &inserting);
+
+    mutable std::mutex m_;
+    std::size_t capacity_;
+    HashFn hash_;
+    std::unordered_map<std::string, Tag> tags_;
+    /** bucket = hash(key); values point into the tag LRU lists
+     *  (std::list iterators are stable). Collisions chain in the
+     *  vector and are resolved by full key comparison. */
+    std::unordered_map<std::size_t,
+                       std::vector<std::list<Entry>::iterator>>
+        index_;
+    std::size_t entries_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t insertions_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace serve
+} // namespace mlc
+
+#endif // MLC_SERVE_RESULT_CACHE_HH

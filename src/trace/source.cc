@@ -1,5 +1,7 @@
 #include "trace/source.hh"
 
+#include <algorithm>
+
 namespace mlc {
 namespace trace {
 
@@ -19,7 +21,10 @@ std::vector<MemRef>
 collect(TraceSource &source, std::uint64_t limit)
 {
     std::vector<MemRef> out;
-    out.reserve(static_cast<std::size_t>(limit));
+    // The limit is a cap, not a size hint — callers pass
+    // uint64_max to mean "everything", which must not be reserved.
+    out.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(limit, 1u << 20)));
     MemRef ref;
     while (out.size() < limit && source.next(ref))
         out.push_back(ref);
