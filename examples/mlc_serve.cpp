@@ -33,13 +33,28 @@ usage()
     std::cerr
         << "usage: mlc_serve --socket=PATH [--jobs=N] [--shards=N]\n"
         << "                 [--memo=N] [--profiles=N]\n"
-        << "                 [--trace=FILE]...\n"
+        << "                 [--ckpt-dir=DIR] [--memo-tag-quota=N]\n"
+        << "                 [--tenant-quota=N] [--trace=FILE]...\n"
         << "  --socket=PATH   unix-domain socket to listen on\n"
         << "  --jobs=N        engine worker threads (default: "
            "hardware)\n"
         << "  --shards=N      one-pass set-partition shards\n"
         << "  --memo=N        result-memo capacity in entries\n"
         << "  --profiles=N    resident ghost-profile slots\n"
+        << "  --ckpt-dir=DIR  checkpoint-farm root: sampled sweeps "
+           "load\n"
+        << "                  persisted live-points instead of "
+           "warming, and\n"
+        << "                  tee new entries on miss (trace_tools "
+           "ckpt build\n"
+        << "                  populates farms offline)\n"
+        << "  --memo-tag-quota=N  max memo entries per workload "
+           "tag\n"
+        << "  --tenant-quota=N    max uncached engine evaluations "
+           "per\n"
+        << "                  workload per pipelined batch "
+           "(beyond ->\n"
+        << "                  quota_exceeded error)\n"
         << "  --trace=FILE    register FILE (.mlct/.mlcz/.din) as "
            "a workload;\n"
         << "                  a FILE.warm.json sidecar (trace_tools "
@@ -75,6 +90,14 @@ main(int argc, char **argv)
             opts.memoCapacity = parseCount(arg, "--memo=");
         else if (startsWith(arg, "--profiles="))
             opts.profileCapacity = parseCount(arg, "--profiles=");
+        else if (startsWith(arg, "--ckpt-dir="))
+            opts.checkpointDir = std::string(arg.substr(11));
+        else if (startsWith(arg, "--memo-tag-quota="))
+            opts.memoTagQuota =
+                parseCount(arg, "--memo-tag-quota=");
+        else if (startsWith(arg, "--tenant-quota="))
+            opts.tenantAdmitQuota =
+                parseCount(arg, "--tenant-quota=");
         else if (startsWith(arg, "--trace="))
             opts.traceFiles.push_back(std::string(arg.substr(8)));
         else {

@@ -25,20 +25,35 @@
  *                       <in>.warm.json sidecar the query server
  *                       loads at startup — separating cold-load
  *                       profiling from steady-state serving)
+ *   checkpoint farms:   trace_tools ckpt build <farm> <trace>
+ *                       [--seed=N] [--id=ID] [--sizes=a,b,...]
+ *                       trace_tools ckpt ls <farm> [traceId]
+ *                       trace_tools ckpt verify <farm>
+ *                       (manage persistent live-point farms: build
+ *                       runs the shared functional warmer over the
+ *                       full sample schedule and publishes the
+ *                       .mlcp file sampled sweeps load instead of
+ *                       re-warming; ls prints verified headers;
+ *                       verify deep-decodes every window of every
+ *                       entry)
  */
 
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <vector>
 
+#include "ckpt/store.hh"
 #include "expt/design_space.hh"
 #include "hier/hierarchy_config.hh"
 #include "sample/engine.hh"
+#include "sample/sweep.hh"
 #include "serve/json.hh"
 #include "trace/binary.hh"
 #include "trace/compressed.hh"
@@ -388,14 +403,179 @@ cmdWarm(int argc, char **argv)
     return 0;
 }
 
+/** File stem ("/a/b/t0.mlct" -> "t0") — must match the query
+ *  server's workload tag for file-backed traces, so farms built
+ *  here are the farms mlc_serve finds. */
+std::string
+fileStem(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    std::string name =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::size_t dot = name.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        name = name.substr(0, dot);
+    return name;
+}
+
+void
+printFarmEntry(const ckpt::FarmEntry &e)
+{
+    if (!e.ok) {
+        std::cout << "  BAD  " << e.path << "\n       " << e.error
+                  << "\n";
+        return;
+    }
+    std::cout << "  ok   " << e.path << "\n       "
+              << e.meta.windows << " windows, "
+              << formatSize(e.meta.fileBytes) << ", "
+              << e.meta.totalRefs << " refs\n       schedule "
+              << e.meta.key.scheduleKey << "\n       config   "
+              << e.meta.key.configHash << "\n";
+}
+
+int
+cmdCkpt(int argc, char **argv)
+{
+    const auto usage = [] {
+        std::cerr
+            << "usage: trace_tools ckpt build <farm> <trace> "
+               "[--seed=N] [--id=ID] [--sizes=a,b,...]\n"
+            << "       trace_tools ckpt ls <farm> [traceId]\n"
+            << "       trace_tools ckpt verify <farm>\n";
+        return 1;
+    };
+    if (argc < 4)
+        return usage();
+    const std::string verb = argv[2];
+    if ((verb == "ls" || verb == "verify") &&
+        !std::filesystem::is_directory(argv[3])) {
+        std::cerr << "ckpt " << verb
+                  << ": no such farm directory: " << argv[3]
+                  << "\n";
+        return 1;
+    }
+    ckpt::CheckpointStore store(argv[3]);
+
+    if (verb == "ls") {
+        std::vector<std::string> ids;
+        if (argc > 4)
+            ids.push_back(argv[4]);
+        else
+            ids = store.traceIds();
+        for (const std::string &id : ids) {
+            std::cout << id << ":\n";
+            for (const ckpt::FarmEntry &e : store.list(id))
+                printFarmEntry(e);
+        }
+        return 0;
+    }
+
+    if (verb == "verify") {
+        std::size_t bad = 0, total = 0;
+        for (const std::string &id : store.traceIds()) {
+            std::cout << id << ":\n";
+            for (const ckpt::FarmEntry &shallow : store.list(id)) {
+                const ckpt::FarmEntry e =
+                    ckpt::CheckpointStore::verifyFile(
+                        shallow.path);
+                printFarmEntry(e);
+                ++total;
+                if (!e.ok)
+                    ++bad;
+            }
+        }
+        std::cout << total - bad << "/" << total
+                  << " entries verified clean\n";
+        return bad == 0 ? 0 : 1;
+    }
+
+    if (verb != "build" || argc < 5)
+        return usage();
+    const std::string trace_path = argv[4];
+    std::uint64_t seed = 1; // the query server's default seed
+    std::string trace_id;
+    std::vector<std::uint64_t> sizes;
+    for (int i = 5; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (startsWith(arg, "--seed=")) {
+            seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+        } else if (startsWith(arg, "--id=")) {
+            trace_id = arg.substr(5);
+        } else if (startsWith(arg, "--sizes=")) {
+            std::string list = arg.substr(8);
+            for (char &c : list)
+                if (c == ',')
+                    c = ' ';
+            std::istringstream in(list);
+            std::uint64_t s;
+            while (in >> s)
+                sizes.push_back(s);
+            // A trailing non-number (or an empty list) must not
+            // silently fall back to the default family.
+            if (!in.eof() || sizes.empty()) {
+                std::cerr << "ckpt build: bad --sizes value: "
+                          << arg.substr(8) << "\n";
+                return 1;
+            }
+        } else {
+            return usage();
+        }
+    }
+    if (trace_id.empty()) {
+        // Mirror mlc_serve's farm addressing for file workloads:
+        // workload tag and trace name are both the file stem.
+        const std::string stem = fileStem(trace_path);
+        trace_id = stem + "/" + stem;
+    }
+    if (sizes.empty())
+        sizes = expt::paperSizes();
+
+    std::ifstream in_file;
+    auto src = openTrace(trace_path, in_file);
+    const std::vector<MemRef> refs = collect(
+        *src, std::numeric_limits<std::uint64_t>::max());
+    if (refs.empty()) {
+        std::cerr << "ckpt build: " << trace_path
+                  << " holds no references\n";
+        return 1;
+    }
+
+    // The canonical L2-size family: the warmer prefix (and so the
+    // farm key) covers the shared L1s only, which is the same key
+    // any L2 size/cycle sweep from the base machine resolves to —
+    // cycle values are timing-only and never reach the key.
+    const hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+    std::vector<hier::HierarchyParams> configs;
+    configs.reserve(sizes.size());
+    for (const std::uint64_t s : sizes)
+        configs.push_back(base.withL2(s, 3));
+
+    sample::SampledOptions opts;
+    opts.seed = seed;
+    const sample::FarmBuildResult r = sample::buildCheckpointFarm(
+        configs, {refs.data(), refs.size()}, opts, store,
+        trace_id);
+    if (!r.built) {
+        std::cout << "farm entry already valid: " << r.path << " ("
+                  << formatSize(r.fileBytes) << ")\n";
+        return 0;
+    }
+    std::cout << "built " << r.path << ": " << r.windows
+              << " windows, " << formatSize(r.fileBytes) << " ("
+              << refs.size() << " refs, seed " << seed << ")\n";
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cerr
-            << "usage: trace_tools gen|synth|conv|stat|warm ...\n";
+        std::cerr << "usage: trace_tools "
+                     "gen|synth|conv|stat|warm|ckpt ...\n";
         return 1;
     }
     if (std::strcmp(argv[1], "gen") == 0)
@@ -408,6 +588,8 @@ main(int argc, char **argv)
         return cmdStat(argc, argv);
     if (std::strcmp(argv[1], "warm") == 0)
         return cmdWarm(argc, argv);
+    if (std::strcmp(argv[1], "ckpt") == 0)
+        return cmdCkpt(argc, argv);
     std::cerr << "unknown command '" << argv[1] << "'\n";
     return 1;
 }

@@ -1,0 +1,90 @@
+#include "ckpt/codec.hh"
+
+namespace mlc {
+namespace ckpt {
+
+namespace {
+
+void
+putVarintTo(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void
+flushLiteral(std::vector<std::uint8_t> &out,
+             const std::uint8_t *data, std::size_t begin,
+             std::size_t end)
+{
+    while (begin < end) {
+        const std::size_t len = end - begin;
+        putVarintTo(out, static_cast<std::uint64_t>(len) << 1);
+        out.insert(out.end(), data + begin, data + end);
+        begin = end;
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+rleCompress(const std::uint8_t *data, std::size_t n)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(n / 2 + 16);
+    std::size_t lit_begin = 0;
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t run = 1;
+        while (i + run < n && data[i + run] == data[i])
+            ++run;
+        if (run >= 4) {
+            flushLiteral(out, data, lit_begin, i);
+            putVarintTo(out,
+                        (static_cast<std::uint64_t>(run) << 1) | 1);
+            out.push_back(data[i]);
+            i += run;
+            lit_begin = i;
+        } else {
+            i += run;
+        }
+    }
+    flushLiteral(out, data, lit_begin, n);
+    return out;
+}
+
+bool
+rleDecompress(const std::uint8_t *data, std::size_t n,
+              std::uint8_t *out, std::size_t raw_size)
+{
+    ByteReader in(data, n);
+    std::size_t produced = 0;
+    while (produced < raw_size) {
+        const std::uint64_t token = in.getVarint();
+        if (in.failed())
+            return false;
+        const std::uint64_t len = token >> 1;
+        if (len == 0 || len > raw_size - produced)
+            return false;
+        if (token & 1) {
+            const std::uint8_t byte = in.getU8();
+            if (in.failed())
+                return false;
+            std::memset(out + produced, byte,
+                        static_cast<std::size_t>(len));
+        } else {
+            if (!in.getBytes(out + produced,
+                             static_cast<std::size_t>(len)))
+                return false;
+        }
+        produced += static_cast<std::size_t>(len);
+    }
+    // Exact-fit contract: trailing bytes mean the stored size lied.
+    return in.exhausted();
+}
+
+} // namespace ckpt
+} // namespace mlc

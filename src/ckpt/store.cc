@@ -1,0 +1,560 @@
+#include "ckpt/store.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MLC_CKPT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "util/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace mlc {
+namespace ckpt {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'L', 'P', 'T'};
+/** magic + version + totalRefs + fingerprint + keyHash + keyBytes
+ *  + windows + indexOffset + fileBytes, before the checksum. */
+constexpr std::size_t kHeaderBody = 4 + 4 + 8 + 8 + 8 + 4 + 4 + 8 + 8;
+constexpr std::size_t kHeaderBytes = kHeaderBody + 8;
+/** Per-window index entry: offset + bytes + checksum. */
+constexpr std::size_t kIndexEntry = 24;
+
+void
+putString(ByteWriter &w, const std::string &s)
+{
+    w.putVarint(s.size());
+    w.putBytes(reinterpret_cast<const std::uint8_t *>(s.data()),
+               s.size());
+}
+
+bool
+getString(ByteReader &r, std::string &out)
+{
+    const std::uint64_t n = r.getVarint();
+    if (r.failed() || n > r.remaining())
+        return false;
+    const std::uint8_t *p = r.view(static_cast<std::size_t>(n));
+    if (p == nullptr && n != 0)
+        return false;
+    out.assign(reinterpret_cast<const char *>(p),
+               static_cast<std::size_t>(n));
+    return true;
+}
+
+std::vector<std::uint8_t>
+encodeKeyBlock(const CheckpointKey &key)
+{
+    ByteWriter w;
+    putString(w, key.traceId);
+    putString(w, key.scheduleKey);
+    putString(w, key.configHash);
+    return w.take();
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+checkpointFileName(const CheckpointKey &key)
+{
+    const std::string blob = key.scheduleKey + "|" + key.configHash;
+    return hex16(fnv64(reinterpret_cast<const std::uint8_t *>(
+                           blob.data()),
+                       blob.size())) +
+           ".mlcp";
+}
+
+std::uint64_t
+traceFingerprint(const trace::MemRef *refs, std::uint64_t n)
+{
+    constexpr std::uint64_t kPrime = 1099511628211ULL;
+    std::uint64_t h = 1469598103934665603ULL;
+    const std::uint64_t scan = std::min<std::uint64_t>(n, 65536);
+    for (std::uint64_t i = 0; i < scan; ++i) {
+        const trace::MemRef &r = refs[i];
+        h ^= static_cast<std::uint64_t>(r.addr);
+        h *= kPrime;
+        h ^= static_cast<std::uint64_t>(r.type) |
+             (static_cast<std::uint64_t>(r.size) << 8) |
+             (static_cast<std::uint64_t>(r.pid) << 16);
+        h *= kPrime;
+    }
+    h ^= n;
+    h *= kPrime;
+    return h;
+}
+
+const char *
+missReasonName(MissReason r)
+{
+    switch (r) {
+      case MissReason::None: return "none";
+      case MissReason::NoFarm: return "no-farm";
+      case MissReason::NoFile: return "no-file";
+      case MissReason::ScheduleMismatch: return "schedule-mismatch";
+      case MissReason::ConfigMismatch: return "config-hash-mismatch";
+      case MissReason::TraceMismatch: return "trace-mismatch";
+      case MissReason::Corrupt: return "corrupt";
+    }
+    return "unknown";
+}
+
+// --- CheckpointWriter ---------------------------------------------
+
+CheckpointWriter::CheckpointWriter(CheckpointKey key,
+                                   std::uint64_t total_refs,
+                                   std::uint64_t trace_fingerprint)
+    : key_(std::move(key)), totalRefs_(total_refs),
+      fingerprint_(trace_fingerprint)
+{
+}
+
+void
+CheckpointWriter::addWindow(const std::vector<hier::BoundaryOp> &ops,
+                            const hier::WarmSnapshot &snap,
+                            const SnapshotArena &arena)
+{
+    ByteWriter w;
+    encodeWindow(w, ops, snap, arena);
+    const std::vector<std::uint8_t> &rec = w.bytes();
+    IndexEntry entry;
+    entry.offset = records_.size();
+    entry.bytes = rec.size();
+    entry.checksum = fnv64(rec);
+    index_.push_back(entry);
+    records_.insert(records_.end(), rec.begin(), rec.end());
+}
+
+std::uint64_t
+CheckpointWriter::finalize(const std::string &path, std::string *err)
+{
+    const std::vector<std::uint8_t> key_block = encodeKeyBlock(key_);
+    const std::uint64_t records_at = kHeaderBytes + key_block.size();
+    const std::uint64_t index_at = records_at + records_.size();
+    const std::uint64_t file_bytes =
+        index_at + index_.size() * kIndexEntry + 8;
+
+    ByteWriter header;
+    header.putBytes(reinterpret_cast<const std::uint8_t *>(kMagic),
+                    4);
+    header.putU32(kCheckpointVersion);
+    header.putU64(totalRefs_);
+    header.putU64(fingerprint_);
+    header.putU64(fnv64(key_block));
+    header.putU32(static_cast<std::uint32_t>(key_block.size()));
+    header.putU32(static_cast<std::uint32_t>(index_.size()));
+    header.putU64(index_at);
+    header.putU64(file_bytes);
+    header.putU64(fnv64(header.bytes()));
+
+    ByteWriter index;
+    for (const IndexEntry &e : index_) {
+        index.putU64(records_at + e.offset);
+        index.putU64(e.bytes);
+        index.putU64(e.checksum);
+    }
+    index.putU64(fnv64(index.bytes()));
+
+    // Write-once, temp-then-rename: a crashed or concurrent
+    // builder never leaves a partial file at the final path.
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(static_cast<unsigned long long>(
+#if MLC_CKPT_HAVE_MMAP
+            ::getpid()
+#else
+            0
+#endif
+            ));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            if (err)
+                *err = tmp + ": cannot open for writing";
+            return 0;
+        }
+        const auto put = [&os](const std::vector<std::uint8_t> &b) {
+            os.write(reinterpret_cast<const char *>(b.data()),
+                     static_cast<std::streamsize>(b.size()));
+        };
+        put(header.bytes());
+        put(key_block);
+        put(records_);
+        put(index.bytes());
+        os.flush();
+        if (!os) {
+            if (err)
+                *err = tmp + ": short write";
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            return 0;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        if (err)
+            *err = path + ": rename failed: " + ec.message();
+        fs::remove(tmp, ec);
+        return 0;
+    }
+    return file_bytes;
+}
+
+// --- CheckpointReader ---------------------------------------------
+
+CheckpointReader::~CheckpointReader()
+{
+#if MLC_CKPT_HAVE_MMAP
+    if (mapBase_ != nullptr)
+        ::munmap(mapBase_, mapBytes_);
+#endif
+}
+
+bool
+CheckpointReader::open(const std::string &path, std::string *err)
+{
+    const auto fail = [&](const std::string &why) {
+        if (err)
+            *err = path + ": " + why;
+        return false;
+    };
+
+#if MLC_CKPT_HAVE_MMAP
+    {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            return fail("cannot open");
+        struct stat st{};
+        if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+            ::close(fd);
+            return fail("cannot stat");
+        }
+        const std::size_t bytes =
+            static_cast<std::size_t>(st.st_size);
+        if (bytes != 0) {
+            void *base = ::mmap(nullptr, bytes, PROT_READ,
+                                MAP_PRIVATE, fd, 0);
+            ::close(fd);
+            if (base != MAP_FAILED) {
+                mapBase_ = base;
+                mapBytes_ = bytes;
+                data_ = static_cast<const std::uint8_t *>(base);
+                bytes_ = bytes;
+            }
+        } else {
+            ::close(fd);
+        }
+    }
+#endif
+    if (data_ == nullptr) {
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            return fail("cannot open");
+        buffer_.assign(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+        data_ = buffer_.data();
+        bytes_ = buffer_.size();
+    }
+
+    // --- header ---
+    if (bytes_ < kHeaderBytes)
+        return fail("truncated header (" +
+                    std::to_string(bytes_) + " bytes)");
+    ByteReader h(data_, kHeaderBytes);
+    char magic[4];
+    h.getBytes(reinterpret_cast<std::uint8_t *>(magic), 4);
+    if (std::memcmp(magic, kMagic, 4) != 0)
+        return fail("bad magic (not an MLPT checkpoint)");
+    meta_.version = h.getU32();
+    if (meta_.version != kCheckpointVersion)
+        return fail("unsupported checkpoint version " +
+                    std::to_string(meta_.version) + " (have " +
+                    std::to_string(kCheckpointVersion) + ")");
+    meta_.totalRefs = h.getU64();
+    meta_.traceFingerprint = h.getU64();
+    const std::uint64_t key_hash = h.getU64();
+    const std::uint32_t key_bytes = h.getU32();
+    meta_.windows = h.getU32();
+    const std::uint64_t index_at = h.getU64();
+    meta_.fileBytes = h.getU64();
+    const std::uint64_t header_check = h.getU64();
+    if (fnv64(data_, kHeaderBody) != header_check)
+        return fail("header checksum mismatch");
+    if (meta_.fileBytes != bytes_)
+        return fail("size mismatch (declares " +
+                    std::to_string(meta_.fileBytes) + ", actual " +
+                    std::to_string(bytes_) + ")");
+
+    // --- key block ---
+    if (kHeaderBytes + static_cast<std::uint64_t>(key_bytes) >
+        bytes_)
+        return fail("key block past end of file");
+    if (fnv64(data_ + kHeaderBytes, key_bytes) != key_hash)
+        return fail("key block checksum mismatch");
+    ByteReader k(data_ + kHeaderBytes, key_bytes);
+    if (!getString(k, meta_.key.traceId) ||
+        !getString(k, meta_.key.scheduleKey) ||
+        !getString(k, meta_.key.configHash) || !k.exhausted())
+        return fail("malformed key block");
+
+    // --- index ---
+    const std::uint64_t records_at = kHeaderBytes + key_bytes;
+    const std::uint64_t index_bytes =
+        static_cast<std::uint64_t>(meta_.windows) * kIndexEntry;
+    if (index_at < records_at || index_at > bytes_ ||
+        index_bytes + 8 != bytes_ - index_at)
+        return fail("index location inconsistent with window "
+                    "count");
+    {
+        ByteReader tail(data_ + index_at + index_bytes, 8);
+        if (fnv64(data_ + index_at, index_bytes) != tail.getU64())
+            return fail("index checksum mismatch");
+    }
+    ByteReader ix(data_ + index_at,
+                  static_cast<std::size_t>(index_bytes));
+    index_.resize(meta_.windows);
+    for (IndexEntry &e : index_) {
+        e.offset = ix.getU64();
+        e.bytes = ix.getU64();
+        const std::uint64_t want = ix.getU64();
+        if (e.offset < records_at || e.bytes > index_at ||
+            e.offset > index_at - e.bytes)
+            return fail("window record outside record region");
+        if (fnv64(data_ + e.offset,
+                  static_cast<std::size_t>(e.bytes)) != want)
+            return fail("window record checksum mismatch");
+    }
+    return true;
+}
+
+bool
+CheckpointReader::loadWindow(std::size_t i,
+                             std::vector<hier::BoundaryOp> &ops,
+                             hier::WarmSnapshot &snap,
+                             SnapshotArena &arena) const
+{
+    if (i >= index_.size())
+        return false;
+    ByteReader r(data_ + index_[i].offset,
+                 static_cast<std::size_t>(index_[i].bytes));
+    return decodeWindow(r, ops, snap, arena) && r.exhausted();
+}
+
+// --- CheckpointStore ----------------------------------------------
+
+CheckpointStore::CheckpointStore(std::string root)
+    : root_(std::move(root))
+{
+}
+
+std::string
+CheckpointStore::pathFor(const CheckpointKey &key) const
+{
+    return (fs::path(root_) / key.traceId /
+            checkpointFileName(key))
+        .string();
+}
+
+std::unique_ptr<CheckpointReader>
+CheckpointStore::tryOpen(const CheckpointKey &key,
+                         std::uint64_t total_refs,
+                         std::uint64_t fingerprint,
+                         MissReason *reason,
+                         std::string *detail) const
+{
+    const auto miss = [&](MissReason r, const std::string &d) {
+        if (reason)
+            *reason = r;
+        if (detail)
+            *detail = d;
+        return std::unique_ptr<CheckpointReader>();
+    };
+
+    const std::string path = pathFor(key);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        const fs::path farm = fs::path(root_) / key.traceId;
+        if (!fs::is_directory(farm, ec))
+            return miss(MissReason::NoFarm,
+                        "no farm directory " + farm.string());
+        // The farm exists but not this key: scan siblings to say
+        // whether the schedule or the config family diverged.
+        bool sched_match = false;
+        bool config_match = false;
+        std::size_t entries = 0;
+        for (const FarmEntry &e : list(key.traceId)) {
+            if (!e.ok)
+                continue;
+            ++entries;
+            if (e.meta.key.scheduleKey == key.scheduleKey)
+                sched_match = true;
+            if (e.meta.key.configHash == key.configHash)
+                config_match = true;
+        }
+        if (entries == 0)
+            return miss(MissReason::NoFile,
+                        "farm has no valid entries");
+        if (sched_match && !config_match)
+            return miss(MissReason::ConfigMismatch,
+                        "farm has this schedule under a different "
+                        "warmer config hash");
+        if (config_match && !sched_match)
+            return miss(MissReason::ScheduleMismatch,
+                        "farm has this warmer config under a "
+                        "different sample schedule");
+        return miss(MissReason::NoFile,
+                    "farm has " + std::to_string(entries) +
+                        " entries, none matching schedule or "
+                        "config");
+    }
+
+    auto reader = std::make_unique<CheckpointReader>();
+    std::string err;
+    if (!reader->open(path, &err))
+        return miss(MissReason::Corrupt, err);
+    const CheckpointMeta &m = reader->meta();
+    if (!(m.key == key))
+        return miss(MissReason::Corrupt,
+                    path + ": key block does not match its file "
+                           "name (farm corruption)");
+    if (m.totalRefs != total_refs ||
+        m.traceFingerprint != fingerprint)
+        return miss(MissReason::TraceMismatch,
+                    path + ": built for a different trace (refs " +
+                        std::to_string(m.totalRefs) + " vs " +
+                        std::to_string(total_refs) + ")");
+    if (reason)
+        *reason = MissReason::None;
+    if (detail)
+        detail->clear();
+    return reader;
+}
+
+std::uint64_t
+CheckpointStore::publish(CheckpointWriter &writer,
+                         const CheckpointKey &key,
+                         std::string *err) const
+{
+    const fs::path farm = fs::path(root_) / key.traceId;
+    std::error_code ec;
+    fs::create_directories(farm, ec);
+    if (ec) {
+        if (err)
+            *err = farm.string() +
+                   ": cannot create farm directory: " +
+                   ec.message();
+        return 0;
+    }
+    return writer.finalize(pathFor(key), err);
+}
+
+std::vector<FarmEntry>
+CheckpointStore::list(const std::string &trace_id) const
+{
+    std::vector<FarmEntry> out;
+    const fs::path farm = fs::path(root_) / trace_id;
+    std::error_code ec;
+    if (!fs::is_directory(farm, ec))
+        return out;
+    std::vector<std::string> paths;
+    for (const auto &entry : fs::directory_iterator(farm, ec)) {
+        if (entry.path().extension() == ".mlcp")
+            paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const std::string &p : paths) {
+        FarmEntry e;
+        e.path = p;
+        CheckpointReader reader;
+        std::string why;
+        if (reader.open(p, &why)) {
+            e.ok = true;
+            e.meta = reader.meta();
+        } else {
+            e.error = why;
+        }
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+std::vector<std::string>
+CheckpointStore::traceIds() const
+{
+    std::vector<std::string> out;
+    std::error_code ec;
+    if (!fs::is_directory(root_, ec))
+        return out;
+    for (const auto &entry :
+         fs::recursive_directory_iterator(root_, ec)) {
+        if (!entry.is_directory(ec))
+            continue;
+        // A trace farm is any directory that directly holds .mlcp
+        // files (trace ids may contain '/', e.g. "suite/name").
+        bool has = false;
+        std::error_code ec2;
+        for (const auto &f :
+             fs::directory_iterator(entry.path(), ec2))
+            if (f.path().extension() == ".mlcp") {
+                has = true;
+                break;
+            }
+        if (has)
+            out.push_back(fs::relative(entry.path(), root_, ec)
+                              .generic_string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+FarmEntry
+CheckpointStore::verifyFile(const std::string &path)
+{
+    FarmEntry e;
+    e.path = path;
+    auto reader = std::make_unique<CheckpointReader>();
+    std::string why;
+    if (!reader->open(path, &why)) {
+        e.error = why;
+        return e;
+    }
+    std::vector<hier::BoundaryOp> ops;
+    hier::WarmSnapshot snap;
+    SnapshotArena arena;
+    for (std::size_t i = 0; i < reader->meta().windows; ++i) {
+        if (!reader->loadWindow(i, ops, snap, arena)) {
+            e.error = path + ": window " + std::to_string(i) +
+                      " fails structural decode";
+            return e;
+        }
+    }
+    e.ok = true;
+    e.meta = reader->meta();
+    return e;
+}
+
+} // namespace ckpt
+} // namespace mlc

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Persistent live-point checkpoint store.
+ *
+ * A checkpoint file (".mlcp", magic "MLPT") persists every sample
+ * window of one (trace, schedule, warmer-config) triple so a later
+ * sweep — in a fresh process, with a different branch family that
+ * shares the same functional prefix — loads warm state instead of
+ * re-running functional warming. The store manages a directory-per-
+ * trace "checkpoint farm":
+ *
+ *     <root>/<traceId>/<hex16(fnv(scheduleKey|configHash))>.mlcp
+ *
+ * File layout (all integers little-endian via ckpt::ByteWriter):
+ *
+ *     header   "MLPT" u32 version  u64 totalRefs
+ *              u64 traceFingerprint u64 keyHash u32 keyBytes
+ *              u32 windows u64 indexOffset u64 fileBytes
+ *              u64 headerCheck            (fnv over all prior bytes)
+ *     key      traceId, scheduleKey, configHash
+ *              (varint length + bytes each; keyHash = fnv of block)
+ *     records  window 0 .. window N-1     (ckpt::encodeWindow)
+ *     index    N x { u64 offset, u64 bytes, u64 checksum }
+ *              u64 indexCheck             (fnv over index entries)
+ *
+ * Integrity contract: open() verifies the magic, version, header
+ * checksum, declared-vs-actual file size, key block, index checksum
+ * and every window record's checksum up front — so a reader that
+ * opened successfully can treat later decode failures as format
+ * bugs, and a file that is truncated, bit-flipped or from another
+ * version is rejected with a reason string, never half-loaded.
+ * Writes go to a ".tmp.<pid>" sibling and rename() into place, so
+ * a crashed builder never publishes a partial farm entry and
+ * concurrent builders race benignly (last rename wins, files for
+ * one key are byte-identical by construction).
+ */
+
+#ifndef MLC_CKPT_STORE_HH
+#define MLC_CKPT_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/codec.hh"
+#include "ckpt/livepoint.hh"
+#include "trace/mem_ref.hh"
+
+namespace mlc {
+namespace ckpt {
+
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/** Identity of one checkpoint file inside a farm. */
+struct CheckpointKey
+{
+    /** Farm directory, usually "<suite>/<trace name>". */
+    std::string traceId;
+    /** Canonical resolved sample plan (mode/seed/period/...). */
+    std::string scheduleKey;
+    /** Canonical functional config of the shared warmer prefix. */
+    std::string configHash;
+
+    bool
+    operator==(const CheckpointKey &o) const
+    {
+        return traceId == o.traceId &&
+               scheduleKey == o.scheduleKey &&
+               configHash == o.configHash;
+    }
+};
+
+/** Everything a header + key block declares (for ls/verify). */
+struct CheckpointMeta
+{
+    std::uint32_t version = 0;
+    std::uint64_t totalRefs = 0;
+    std::uint64_t traceFingerprint = 0;
+    CheckpointKey key;
+    std::uint32_t windows = 0;
+    std::uint64_t fileBytes = 0;
+};
+
+/**
+ * Accumulates window records in memory, then publishes the file
+ * atomically. One writer per (key, trace) — the sweep tees every
+ * captured window in schedule order into addWindow().
+ */
+class CheckpointWriter
+{
+  public:
+    CheckpointWriter(CheckpointKey key, std::uint64_t total_refs,
+                     std::uint64_t trace_fingerprint);
+
+    /** Serialize one window's (ops, snapshot, arena) triple. */
+    void addWindow(const std::vector<hier::BoundaryOp> &ops,
+                   const hier::WarmSnapshot &snap,
+                   const SnapshotArena &arena);
+
+    std::size_t windows() const { return index_.size(); }
+    /** Payload bytes accumulated so far (records only). */
+    std::size_t recordBytes() const { return records_.size(); }
+
+    /**
+     * Assemble header+key+records+index and write to @p path via
+     * temp-then-rename. Returns the final file size, or 0 with
+     * @p err set. The writer is spent afterwards.
+     */
+    std::uint64_t finalize(const std::string &path,
+                           std::string *err);
+
+  private:
+    struct IndexEntry
+    {
+        std::uint64_t offset;
+        std::uint64_t bytes;
+        std::uint64_t checksum;
+    };
+
+    CheckpointKey key_;
+    std::uint64_t totalRefs_;
+    std::uint64_t fingerprint_;
+    std::vector<std::uint8_t> records_;
+    std::vector<IndexEntry> index_;
+};
+
+/**
+ * Read-only view of one verified checkpoint file. mmap-backed when
+ * the platform allows (the farm then costs page-cache, not heap,
+ * across concurrent sweeps), buffered otherwise.
+ */
+class CheckpointReader
+{
+  public:
+    CheckpointReader() = default;
+    ~CheckpointReader();
+    CheckpointReader(const CheckpointReader &) = delete;
+    CheckpointReader &operator=(const CheckpointReader &) = delete;
+
+    /**
+     * Map @p path and run the full integrity check (header, key,
+     * index, every window checksum). False + @p err on any defect;
+     * the reader is unusable then.
+     */
+    bool open(const std::string &path, std::string *err);
+
+    const CheckpointMeta &meta() const { return meta_; }
+
+    /**
+     * Decode window @p i into the caller's (ops, snap, arena).
+     * Only structural self-consistency can fail here (checksums
+     * were verified at open); false means the file lied about its
+     * own layout and the caller must fall back.
+     */
+    bool loadWindow(std::size_t i,
+                    std::vector<hier::BoundaryOp> &ops,
+                    hier::WarmSnapshot &snap,
+                    SnapshotArena &arena) const;
+
+  private:
+    struct IndexEntry
+    {
+        std::uint64_t offset;
+        std::uint64_t bytes;
+    };
+
+    const std::uint8_t *data_ = nullptr;
+    std::size_t bytes_ = 0;
+    void *mapBase_ = nullptr;   //!< non-null when mmap-backed
+    std::size_t mapBytes_ = 0;
+    std::vector<std::uint8_t> buffer_; //!< fallback backing
+    CheckpointMeta meta_;
+    std::vector<IndexEntry> index_;
+};
+
+/** Outcome classification for tryOpen() (fallback diagnostics). */
+enum class MissReason
+{
+    None,           //!< hit
+    NoFarm,         //!< trace has no farm directory at all
+    NoFile,         //!< farm exists but no file for this key
+    ScheduleMismatch, //!< same config, different sample schedule
+    ConfigMismatch, //!< same schedule, different warmer config
+    TraceMismatch,  //!< key file exists but trace refs/bytes differ
+    Corrupt,        //!< key file exists but failed integrity checks
+};
+
+const char *missReasonName(MissReason r);
+
+/** One farm entry as seen by ls/verify. */
+struct FarmEntry
+{
+    std::string path;
+    bool ok = false;
+    CheckpointMeta meta;  //!< valid when ok
+    std::string error;    //!< set when !ok
+};
+
+/**
+ * Directory-per-trace checkpoint farm rooted at one path. All
+ * methods are const and thread-compatible: the store holds no
+ * mutable state, so concurrent sweeps may share one instance.
+ */
+class CheckpointStore
+{
+  public:
+    explicit CheckpointStore(std::string root);
+
+    const std::string &root() const { return root_; }
+
+    /** Final on-disk path for @p key (file need not exist). */
+    std::string pathFor(const CheckpointKey &key) const;
+
+    /**
+     * Open the checkpoint for @p key, verifying that the stored
+     * trace identity matches (@p total_refs, @p fingerprint).
+     * On a miss, @p reason and @p detail (both optional) say why —
+     * including a scan of sibling farm entries to distinguish
+     * "schedule mismatch" from "config-hash mismatch".
+     */
+    std::unique_ptr<CheckpointReader>
+    tryOpen(const CheckpointKey &key, std::uint64_t total_refs,
+            std::uint64_t fingerprint, MissReason *reason,
+            std::string *detail) const;
+
+    /**
+     * Publish @p writer's accumulated windows for @p key. Returns
+     * the file size, or 0 with @p err. Creates the farm directory
+     * as needed.
+     */
+    std::uint64_t publish(CheckpointWriter &writer,
+                          const CheckpointKey &key,
+                          std::string *err) const;
+
+    /** All entries under one trace's farm (verified headers). */
+    std::vector<FarmEntry> list(const std::string &trace_id) const;
+
+    /** All trace ids that have a farm directory. */
+    std::vector<std::string> traceIds() const;
+
+    /**
+     * Deep-verify one file: full open() plus a decode of every
+     * window. Returns a FarmEntry with ok/error filled in.
+     */
+    static FarmEntry verifyFile(const std::string &path);
+
+  private:
+    std::string root_;
+};
+
+/** "<hex16 of fnv(scheduleKey | configHash)>.mlcp". */
+std::string checkpointFileName(const CheckpointKey &key);
+
+/**
+ * Fingerprint a trace for key verification: an FNV-style fold over
+ * the fields of the first min(n, 65536) references plus the total
+ * count. Cheap (first pages only) yet catches "same name,
+ * different trace" farm reuse. Field-walked, not memcpy'd — MemRef
+ * has padding bytes whose values are indeterminate.
+ */
+std::uint64_t traceFingerprint(const trace::MemRef *refs,
+                               std::uint64_t n);
+
+} // namespace ckpt
+} // namespace mlc
+
+#endif // MLC_CKPT_STORE_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
 #include "trace/binary.hh"
 #include "util/logging.hh"
@@ -54,13 +55,75 @@ spanOf(trace::RefSpan refs, const Segment &seg)
     return refs.dropFirst(seg.begin).first(seg.len);
 }
 
+/** The functionallyEqual() field set of one cache, canonicalized. */
+std::string
+cacheKeyPart(const cache::CacheParams &p)
+{
+    std::string s = std::to_string(p.geometry.sizeBytes);
+    s += "." + std::to_string(p.geometry.blockBytes);
+    s += "." + std::to_string(p.geometry.assoc);
+    s += "." + std::to_string(p.fetchBytes);
+    s += "." + std::to_string(static_cast<int>(p.writePolicy));
+    s += std::to_string(static_cast<int>(p.allocPolicy));
+    s += std::to_string(static_cast<int>(p.replPolicy));
+    s += std::to_string(static_cast<int>(p.downstreamWriteMiss));
+    s += p.prefetchNextBlock ? "p" : "n";
+    return s;
+}
+
+/** The warmer machine: configs[0] cut to the shared prefix. Its
+ *  "main memory" boundary is then exactly the entry into the first
+ *  divergent level of every full configuration, and the per-level
+ *  tag seeds (positional) line up with the prefix. */
+hier::HierarchyParams
+warmerParamsFor(const hier::HierarchyParams &first,
+                std::size_t prefix)
+{
+    hier::HierarchyParams warmer = first;
+    warmer.levels.resize(prefix);
+    warmer.busWidthWords.resize(prefix + 1);
+    warmer.measureSolo = false;
+    return warmer;
+}
+
 } // namespace
+
+std::string
+scheduleKeyFor(const SamplePlan &plan, SampleMode mode,
+               std::uint64_t seed)
+{
+    std::string k = "v1;mode=";
+    k += mode == SampleMode::Systematic ? "sys" : "rand";
+    k += ";seed=" + std::to_string(seed);
+    k += ";refs=" + std::to_string(plan.totalRefs);
+    k += ";period=" + std::to_string(plan.period);
+    k += ";measure=" + std::to_string(plan.measureRefs);
+    k += ";detail=" + std::to_string(plan.detailWarmRefs);
+    k += ";warm=" + std::to_string(plan.functionalWarmRefs);
+    k += ";windows=" + std::to_string(plan.windows);
+    return k;
+}
+
+std::string
+warmerConfigKey(const hier::HierarchyParams &params,
+                std::size_t prefix_levels)
+{
+    std::string s = params.splitL1 ? "split" : "unified";
+    if (params.splitL1)
+        s += ";i=" + cacheKeyPart(params.l1i);
+    s += ";d=" + cacheKeyPart(params.l1d);
+    for (std::size_t i = 0; i < prefix_levels; ++i)
+        s += ";L" + std::to_string(i + 2) + "=" +
+             cacheKeyPart(params.levels[i]);
+    return s;
+}
 
 SweepResult
 runSweepCheckpointed(const std::vector<hier::HierarchyParams> &configs,
                      trace::RefSpan refs, const SampledOptions &opts,
                      std::size_t jobs,
-                     const trace::MappedBinaryTrace *mapped)
+                     const trace::MappedBinaryTrace *mapped,
+                     const CheckpointPolicy &policy)
 {
     if (configs.empty())
         mlc_panic("runSweepCheckpointed: no configurations");
@@ -70,11 +133,37 @@ runSweepCheckpointed(const std::vector<hier::HierarchyParams> &configs,
 
     SweepResult sweep;
 
-    bool compatible = configs.size() > 1;
-    for (std::size_t c = 1; compatible && c < configs.size(); ++c)
-        compatible = hier::warmCompatible(configs[0], configs[c]);
+    // Compatibility: a multi-config family must be pairwise warm-
+    // compatible; a lone configuration has nothing to share in-
+    // process, so it only takes the checkpointed path when a store
+    // makes the warm pass worth persisting.
+    bool compatible;
+    std::size_t first_incompatible = 0;
+    if (configs.size() > 1) {
+        compatible = true;
+        for (std::size_t c = 1; c < configs.size(); ++c)
+            if (!hier::warmCompatible(configs[0], configs[c])) {
+                compatible = false;
+                first_incompatible = c;
+                break;
+            }
+    } else {
+        compatible = policy.store != nullptr &&
+                     hier::warmCompatible(configs[0], configs[0]);
+    }
 
     if (!compatible) {
+        if (configs.size() > 1) {
+            // Once-per-sweep diagnosis: a sweep the caller expected
+            // to share warming is silently N times slower otherwise.
+            sweep.checkpointFallback = "incompatible-geometry";
+            warn("runSweepCheckpointed: straight-line fallback: "
+                 "config ",
+                 first_incompatible,
+                 " is not warm-compatible with config 0 "
+                 "(split-L1 shape, L1 organization or solo "
+                 "co-simulation differ)");
+        }
         // Straight-line fallback: nothing shared, so just run every
         // configuration independently (still slot-indexed for
         // jobs-count determinism).
@@ -95,17 +184,60 @@ runSweepCheckpointed(const std::vector<hier::HierarchyParams> &configs,
     sweep.checkpointed = true;
     sweep.prefixLevels = prefix;
 
-    // The warmer: configs[0] cut down to the shared prefix. Its
-    // "main memory" boundary is then exactly the entry into the
-    // first divergent level of every full configuration, and the
-    // per-level tag seeds (positional) line up with the prefix.
-    hier::HierarchyParams warmer_params = configs[0];
-    warmer_params.levels.resize(prefix);
-    warmer_params.busWidthWords.resize(prefix + 1);
-    warmer_params.measureSolo = false;
-    hier::HierarchySimulator warmer(warmer_params);
+    const hier::HierarchyParams warmer_params =
+        warmerParamsFor(configs[0], prefix);
 
     SampleScheduler sched(refs.size, resolved);
+
+    // Probe the checkpoint farm. A hit replaces the warmer machine
+    // entirely; a miss (with buildIfMissing) tees the windows this
+    // sweep warms anyway into a new farm entry.
+    std::unique_ptr<ckpt::CheckpointReader> reader;
+    std::unique_ptr<ckpt::CheckpointWriter> writer;
+    ckpt::CheckpointKey key;
+    if (policy.store) {
+        key.traceId = policy.traceId;
+        key.scheduleKey =
+            scheduleKeyFor(sched.plan(), resolved.mode,
+                           resolved.seed);
+        key.configHash = warmerConfigKey(warmer_params, prefix);
+        const std::uint64_t fingerprint =
+            ckpt::traceFingerprint(refs.data, refs.size);
+        ckpt::MissReason reason = ckpt::MissReason::None;
+        std::string miss_detail;
+        reader = policy.store->tryOpen(key, refs.size, fingerprint,
+                                       &reason, &miss_detail);
+        if (reader &&
+            reader->meta().windows != sched.plan().windows) {
+            // scheduleKey encodes the window count, so a verified
+            // file disagreeing with its own key is farm corruption.
+            reason = ckpt::MissReason::Corrupt;
+            miss_detail = policy.store->pathFor(key) +
+                          ": window count disagrees with its "
+                          "schedule key";
+            reader.reset();
+        }
+        if (reader) {
+            sweep.fromCheckpointFile = true;
+        } else {
+            sweep.checkpointFallback = ckpt::missReasonName(reason);
+            inform("runSweepCheckpointed: checkpoint farm miss "
+                   "for '",
+                   policy.traceId, "' (",
+                   ckpt::missReasonName(reason), "): ", miss_detail,
+                   policy.buildIfMissing
+                       ? "; re-warming and building a farm entry"
+                       : "; re-warming");
+            if (policy.buildIfMissing)
+                writer = std::make_unique<ckpt::CheckpointWriter>(
+                    key, refs.size, fingerprint);
+        }
+    }
+
+    std::unique_ptr<hier::HierarchySimulator> warmer;
+    if (!reader)
+        warmer = std::make_unique<hier::HierarchySimulator>(
+            warmer_params);
 
     std::vector<std::unique_ptr<hier::HierarchySimulator>> sims;
     sims.reserve(configs.size());
@@ -131,6 +263,7 @@ runSweepCheckpointed(const std::vector<hier::HierarchyParams> &configs,
     SnapshotArena arena;
     hier::WarmSnapshot snap;
     std::vector<hier::BoundaryOp> ops;
+    std::size_t window_idx = 0;
 
     Window win;
     for (const Segment &seg : sched.segments()) {
@@ -148,9 +281,186 @@ runSweepCheckpointed(const std::vector<hier::HierarchyParams> &configs,
             break;
         }
 
+        // Adaptive stopping retired everyone: a teeing sweep keeps
+        // warming so the published file covers the full schedule
+        // (a farm entry must serve any stopping rule), everyone
+        // else is done.
+        const bool branching = anyActive();
+        if (!branching && !writer)
+            break;
+
         if (mapped) {
             // Validate exactly what this window replays, just
-            // before replaying it (lazy traces only).
+            // before replaying it (lazy traces only). With a
+            // checkpoint reader the warm segment is never replayed
+            // by anything, so its pages are never validated — or
+            // touched — at all.
+            if (!reader && win.warm.len)
+                mapped->validateRange(win.warm.begin, win.warm.len);
+            if (branching || !reader) {
+                if (win.detail.len)
+                    mapped->validateRange(win.detail.begin,
+                                          win.detail.len);
+                mapped->validateRange(win.measure.begin,
+                                      win.measure.len);
+            }
+        }
+
+        const trace::RefSpan warm_span = spanOf(refs, win.warm);
+        const trace::RefSpan detail_span = spanOf(refs, win.detail);
+        const trace::RefSpan measure_span =
+            spanOf(refs, win.measure);
+
+        if (reader) {
+            // Load this window's live-point instead of warming.
+            // open() already checksum-verified every record, so a
+            // structural decode failure here is a format bug, not
+            // bit rot — fail the run, don't risk silent drift.
+            if (!reader->loadWindow(window_idx, ops, snap, arena))
+                mlc_panic("checkpoint window ", window_idx, " of ",
+                          policy.store->pathFor(key),
+                          " failed structural decode after "
+                          "verification");
+            if (snap.prefixLevels != prefix)
+                mlc_panic("checkpoint window ", window_idx,
+                          " snapshot covers ", snap.prefixLevels,
+                          " levels, sweep expects ", prefix);
+        } else {
+            // One warming pass for everyone: replay the warm
+            // segment on the truncated machine, recording the
+            // traffic that crosses its memory boundary.
+            ops.clear();
+            warmer->setBoundaryRecorder(&ops);
+            warmer->runFunctional(warm_span);
+            warmer->setBoundaryRecorder(nullptr);
+            arena.reset();
+            warmer->captureWarmState(arena, snap, prefix);
+            if (writer)
+                writer->addWindow(ops, snap, arena);
+        }
+        ++window_idx;
+
+        // Branch: each configuration rebuilds this window's warm
+        // state (boundary replay first — it touches only the
+        // divergent levels — then the prefix restore) and runs its
+        // own timed Detail+Measure. Slot-indexed per-config state
+        // keeps any jobs count bit-identical.
+        if (branching) {
+            parallelFor(jobs, configs.size(), [&](std::size_t c) {
+                if (!active[c])
+                    return;
+                hier::HierarchySimulator &sim = *sims[c];
+                SampledResult &out = sweep.perConfig[c];
+                sim.replayBoundary(prefix, ops);
+                sim.restoreWarmState(arena, snap);
+                out.refsFunctionalWarmed += win.warm.len;
+                if (win.detail.len) {
+                    sim.run(detail_span);
+                    out.refsDetailWarmed += win.detail.len;
+                }
+                detail::measureWindow(sim, measure_span, resolved,
+                                      out);
+                if (out.stoppedEarly)
+                    active[c] = 0;
+            });
+        }
+
+        if (!anyActive() && !writer)
+            break;
+
+        // Keep the warmer functionally in step with a straight-line
+        // run: the references the configurations just replayed
+        // timed must evolve the warmer's tags too, or the next
+        // window's shared warm state would drift.
+        if (!reader) {
+            warmer->runFunctional(detail_span);
+            warmer->runFunctional(measure_span);
+        }
+        win = Window{};
+    }
+
+    if (writer) {
+        std::string err;
+        if (policy.store->publish(*writer, key, &err) != 0)
+            sweep.builtCheckpointFile = true;
+        else
+            warn("runSweepCheckpointed: could not publish "
+                 "checkpoint: ",
+                 err);
+    }
+
+    for (std::size_t c = 0; c < configs.size(); ++c)
+        detail::finishSampled(*sims[c], resolved,
+                              sweep.perConfig[c]);
+    return sweep;
+}
+
+FarmBuildResult
+buildCheckpointFarm(const std::vector<hier::HierarchyParams> &configs,
+                    trace::RefSpan refs, const SampledOptions &opts,
+                    ckpt::CheckpointStore &store,
+                    const std::string &trace_id,
+                    const trace::MappedBinaryTrace *mapped)
+{
+    if (configs.empty())
+        mlc_panic("buildCheckpointFarm: no configurations");
+
+    const SampledOptions resolved =
+        resolveSweepOptions(configs, refs, opts);
+    for (const hier::HierarchyParams &p : configs)
+        if (!hier::warmCompatible(configs[0], p))
+            mlc_panic("buildCheckpointFarm: configurations are "
+                      "not warm-compatible; nothing to persist");
+
+    std::size_t prefix = configs[0].levels.size();
+    for (std::size_t c = 1; c < configs.size(); ++c)
+        prefix = std::min(
+            prefix, hier::sharedFunctionalPrefix(configs[0],
+                                                 configs[c]));
+    const hier::HierarchyParams warmer_params =
+        warmerParamsFor(configs[0], prefix);
+
+    SampleScheduler sched(refs.size, resolved);
+    ckpt::CheckpointKey key;
+    key.traceId = trace_id;
+    key.scheduleKey =
+        scheduleKeyFor(sched.plan(), resolved.mode, resolved.seed);
+    key.configHash = warmerConfigKey(warmer_params, prefix);
+    const std::uint64_t fingerprint =
+        ckpt::traceFingerprint(refs.data, refs.size);
+
+    FarmBuildResult out;
+    out.path = store.pathFor(key);
+    out.windows = sched.plan().windows;
+    if (auto existing = store.tryOpen(key, refs.size, fingerprint,
+                                      nullptr, nullptr)) {
+        out.fileBytes = existing->meta().fileBytes;
+        return out;
+    }
+
+    ckpt::CheckpointWriter writer(key, refs.size, fingerprint);
+    hier::HierarchySimulator warmer(warmer_params);
+    SnapshotArena arena;
+    hier::WarmSnapshot snap;
+    std::vector<hier::BoundaryOp> ops;
+
+    Window win;
+    for (const Segment &seg : sched.segments()) {
+        switch (seg.kind) {
+        case SegmentKind::Skip:
+            continue;
+        case SegmentKind::Warm:
+            win.warm = seg;
+            continue;
+        case SegmentKind::Detail:
+            win.detail = seg;
+            continue;
+        case SegmentKind::Measure:
+            win.measure = seg;
+            break;
+        }
+
+        if (mapped) {
             if (win.warm.len)
                 mapped->validateRange(win.warm.begin, win.warm.len);
             if (win.detail.len)
@@ -160,59 +470,28 @@ runSweepCheckpointed(const std::vector<hier::HierarchyParams> &configs,
                                   win.measure.len);
         }
 
-        const trace::RefSpan warm_span = spanOf(refs, win.warm);
-        const trace::RefSpan detail_span = spanOf(refs, win.detail);
-        const trace::RefSpan measure_span =
-            spanOf(refs, win.measure);
-
-        // One warming pass for everyone: replay the warm segment on
-        // the truncated machine, recording the traffic that crosses
-        // its memory boundary.
         ops.clear();
         warmer.setBoundaryRecorder(&ops);
-        warmer.runFunctional(warm_span);
+        warmer.runFunctional(spanOf(refs, win.warm));
         warmer.setBoundaryRecorder(nullptr);
         arena.reset();
         warmer.captureWarmState(arena, snap, prefix);
+        writer.addWindow(ops, snap, arena);
 
-        // Branch: each configuration rebuilds this window's warm
-        // state (boundary replay first — it touches only the
-        // divergent levels — then the prefix restore) and runs its
-        // own timed Detail+Measure. Slot-indexed per-config state
-        // keeps any jobs count bit-identical.
-        parallelFor(jobs, configs.size(), [&](std::size_t c) {
-            if (!active[c])
-                return;
-            hier::HierarchySimulator &sim = *sims[c];
-            SampledResult &out = sweep.perConfig[c];
-            sim.replayBoundary(prefix, ops);
-            sim.restoreWarmState(arena, snap);
-            out.refsFunctionalWarmed += win.warm.len;
-            if (win.detail.len) {
-                sim.run(detail_span);
-                out.refsDetailWarmed += win.detail.len;
-            }
-            detail::measureWindow(sim, measure_span, resolved, out);
-            if (out.stoppedEarly)
-                active[c] = 0;
-        });
-
-        if (!anyActive())
-            break;
-
-        // Keep the warmer functionally in step with a straight-line
-        // run: the references the configurations just replayed
-        // timed must evolve the warmer's tags too, or the next
-        // window's shared warm state would drift.
-        warmer.runFunctional(detail_span);
-        warmer.runFunctional(measure_span);
+        // The branch configurations replay Detail+Measure timed;
+        // the offline builder only needs the warmer to see the
+        // same references untimed so successive windows line up.
+        warmer.runFunctional(spanOf(refs, win.detail));
+        warmer.runFunctional(spanOf(refs, win.measure));
         win = Window{};
     }
 
-    for (std::size_t c = 0; c < configs.size(); ++c)
-        detail::finishSampled(*sims[c], resolved,
-                              sweep.perConfig[c]);
-    return sweep;
+    std::string err;
+    out.fileBytes = store.publish(writer, key, &err);
+    if (out.fileBytes == 0)
+        mlc_fatal("buildCheckpointFarm: ", err);
+    out.built = true;
+    return out;
 }
 
 PairedResult
@@ -255,7 +534,9 @@ buildGridCheckpointed(const hier::HierarchyParams &base,
                       const std::vector<std::uint64_t> &sizes,
                       const std::vector<std::uint32_t> &cycles,
                       const expt::TraceStore &store,
-                      const SampledOptions &opts, std::size_t jobs)
+                      const SampledOptions &opts, std::size_t jobs,
+                      ckpt::CheckpointStore *ckpt_store,
+                      const std::string &farm_tag)
 {
     if (store.size() == 0)
         mlc_panic("buildGridCheckpointed: empty trace store");
@@ -273,8 +554,15 @@ buildGridCheckpointed(const hier::HierarchyParams &base,
     // fixed, so the grid is bit-identical for any jobs count.
     std::vector<double> acc(configs.size(), 0.0);
     for (std::size_t t = 0; t < store.size(); ++t) {
+        CheckpointPolicy policy;
+        if (ckpt_store) {
+            policy.store = ckpt_store;
+            const std::string &name = store.specs()[t].name;
+            policy.traceId =
+                farm_tag.empty() ? name : farm_tag + "/" + name;
+        }
         const SweepResult sweep = runSweepCheckpointed(
-            configs, store.span(t), opts, jobs);
+            configs, store.span(t), opts, jobs, nullptr, policy);
         for (std::size_t c = 0; c < configs.size(); ++c)
             acc[c] += sweep.perConfig[c].estRelExecTime;
     }

@@ -72,12 +72,36 @@ ResultCache::put(const MemoKey &key, Payload payload)
         }
     }
     auto &lru = tags_[key.tag].lru;
+    // Admission quota: a tag at its cap recycles its own LRU entry
+    // so admission can never grow it, no matter how empty the rest
+    // of the pool is.
+    if (tagQuota_ != 0 && lru.size() >= tagQuota_) {
+        evictTagLru(key.tag);
+        ++quotaEvictions_;
+    }
     lru.push_front(Entry{key, std::move(payload)});
     bucket.push_back(lru.begin());
     ++entries_;
     ++insertions_;
     while (entries_ > capacity_)
         evictOne(key.tag);
+}
+
+void
+ResultCache::setTagQuota(std::size_t quota)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    tagQuota_ = quota;
+}
+
+bool
+ResultCache::tagAtQuota(const std::string &tag) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    if (tagQuota_ == 0)
+        return false;
+    const auto it = tags_.find(tag);
+    return it != tags_.end() && it->second.lru.size() >= tagQuota_;
 }
 
 std::string
@@ -113,10 +137,9 @@ ResultCache::victimTag(const std::string &inserting) const
 }
 
 void
-ResultCache::evictOne(const std::string &inserting)
+ResultCache::evictTagLru(const std::string &tag)
 {
-    const std::string victim = victimTag(inserting);
-    auto &lru = tags_[victim].lru;
+    auto &lru = tags_[tag].lru;
     const Entry &entry = lru.back();
     // Unhook from the hash index (full-key match inside the
     // colliding bucket).
@@ -134,9 +157,19 @@ ResultCache::evictOne(const std::string &inserting)
     if (vec.empty())
         index_.erase(bucket);
     lru.pop_back();
-    if (lru.empty())
-        tags_.erase(victim);
+    // The (possibly now empty) tag stays resident: the quota path
+    // pushes a replacement entry into the same list right after,
+    // and erasing it would dangle the caller's reference.
     --entries_;
+}
+
+void
+ResultCache::evictOne(const std::string &inserting)
+{
+    const std::string victim = victimTag(inserting);
+    evictTagLru(victim);
+    if (tags_[victim].lru.empty())
+        tags_.erase(victim);
     ++evictions_;
 }
 
@@ -157,8 +190,10 @@ ResultCache::stats() const
     s.misses = misses_;
     s.insertions = insertions_;
     s.evictions = evictions_;
+    s.quotaEvictions = quotaEvictions_;
     s.entries = entries_;
     s.capacity = capacity_;
+    s.tagQuota = tagQuota_;
     for (const auto &[name, tag] : tags_)
         s.tags.emplace_back(name, tag.lru.size());
     std::sort(s.tags.begin(), s.tags.end());

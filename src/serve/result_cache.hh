@@ -69,6 +69,23 @@ class ResultCache
     /** @param capacity maximum resident entries (>= 1). */
     explicit ResultCache(std::size_t capacity, HashFn hash = {});
 
+    /**
+     * Per-tenant admission quota: no tag may hold more than
+     * @p quota resident entries (0 = unlimited). A put that would
+     * exceed the quota evicts the inserting tag's own LRU entry
+     * first — a tenant at quota recycles itself and can never
+     * grow, regardless of how far below global capacity the pool
+     * is. Complements fair-share eviction (which only engages when
+     * the *pool* overflows). Takes effect for subsequent puts;
+     * existing entries are not trimmed retroactively.
+     */
+    void setTagQuota(std::size_t quota);
+
+    /** True when @p tag holds at least the quota (always false
+     *  with no quota set) — the admission check the server turns
+     *  into a structured quota_exceeded error. */
+    bool tagAtQuota(const std::string &tag) const;
+
     /** Payload for @p key, bumping it to MRU within its tag;
      *  nullptr on miss. */
     Payload get(const MemoKey &key);
@@ -87,8 +104,11 @@ class ResultCache
         std::uint64_t misses = 0;
         std::uint64_t insertions = 0;
         std::uint64_t evictions = 0;
+        /** Self-evictions charged to a tag at its quota. */
+        std::uint64_t quotaEvictions = 0;
         std::size_t entries = 0;
         std::size_t capacity = 0;
+        std::size_t tagQuota = 0; //!< 0 = unlimited
         /** (tag, resident entries), sorted by tag for determinism. */
         std::vector<std::pair<std::string, std::size_t>> tags;
     };
@@ -112,8 +132,13 @@ class ResultCache
     std::string victimTag(const std::string &inserting) const;
     void evictOne(const std::string &inserting);
 
+    /** Remove @p tag's LRU entry (quota self-eviction). Caller
+     *  holds m_. */
+    void evictTagLru(const std::string &tag);
+
     mutable std::mutex m_;
     std::size_t capacity_;
+    std::size_t tagQuota_ = 0;
     HashFn hash_;
     std::unordered_map<std::string, Tag> tags_;
     /** bucket = hash(key); values point into the tag LRU lists
@@ -127,6 +152,7 @@ class ResultCache
     std::uint64_t misses_ = 0;
     std::uint64_t insertions_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t quotaEvictions_ = 0;
 };
 
 } // namespace serve

@@ -147,9 +147,29 @@ Server::Server(ServerOptions opts)
       jobs_(opts_.jobs == 0 ? defaultJobs() : opts_.jobs),
       memo_(opts_.memoCapacity), profiles_(opts_.profileCapacity)
 {
+    memo_.setTagQuota(opts_.memoTagQuota);
+    if (!opts_.checkpointDir.empty())
+        ckptStore_ = std::make_unique<ckpt::CheckpointStore>(
+            opts_.checkpointDir);
     registerBuiltinWorkloads();
     for (const std::string &path : opts_.traceFiles)
         registerTraceFile(path);
+    if (ckptStore_) {
+        // Surface what the farm already holds per workload, so an
+        // operator can tell resident live-points from cold traces
+        // at startup instead of from the first slow sweep.
+        for (const auto &wl : workloads_) {
+            std::size_t entries = 0;
+            for (const expt::TraceSpec &spec : wl->store.specs())
+                entries +=
+                    ckptStore_->list(wl->tag + "/" + spec.name)
+                        .size();
+            inform("serve: workload '", wl->tag, "': ", entries,
+                   " checkpoint farm ",
+                   entries == 1 ? "entry" : "entries", " under ",
+                   opts_.checkpointDir);
+        }
+    }
 }
 
 Server::~Server()
@@ -270,9 +290,30 @@ Server::evaluateCells(const Request &req,
             for (const std::uint32_t c : cycles)
                 configs.push_back(base.withL2(s, c));
         for (std::size_t t = 0; t < wl.store.size(); ++t) {
+            // With a farm attached, the warming pass for this
+            // (workload, schedule, family) is loaded from disk when
+            // a matching live-point file exists and teed to one
+            // when it does not — the values are bit-identical
+            // either way (the persistence contract).
+            sample::CheckpointPolicy policy;
+            policy.store = ckptStore_.get();
+            policy.traceId =
+                wl.tag + "/" + wl.store.specs()[t].name;
             const sample::SweepResult sweep =
-                sample::runSweepCheckpointed(
-                    configs, wl.store.span(t), so, jobs_);
+                sample::runSweepCheckpointed(configs,
+                                             wl.store.span(t), so,
+                                             jobs_, nullptr,
+                                             policy);
+            if (ckptStore_) {
+                std::lock_guard<std::mutex> clk(countersMu_);
+                if (sweep.fromCheckpointFile)
+                    ++counters_.ckptLoads;
+                if (sweep.builtCheckpointFile)
+                    ++counters_.ckptBuilds;
+                if (!sweep.fromCheckpointFile &&
+                    !sweep.checkpointFallback.empty())
+                    ++counters_.ckptFallbacks;
+            }
             for (std::size_t i = 0; i < cells.size(); ++i)
                 cells[i] += sweep.perConfig[i].estRelExecTime;
         }
@@ -373,6 +414,23 @@ Server::handleBatch(const std::vector<std::string> &lines)
     // Phase 1: parse everything, answer what needs no engine —
     // malformed lines, drain rejections, memo hits, admin verbs —
     // and collect the one-pass query misses into batch groups.
+    //
+    // Admission control: each uncached engine evaluation charges
+    // its workload's per-batch quota (tenantAdmitQuota; 0 =
+    // unlimited). Memo hits and admin verbs are free, and one-pass
+    // queries joining an already-admitted group piggyback on its
+    // engine call. Beyond the quota the request gets a structured
+    // quota_exceeded error instead of queueing engine work.
+    std::map<std::string, std::size_t> admitted;
+    const auto admitEngine = [&](const std::string &tag) {
+        if (opts_.tenantAdmitQuota == 0)
+            return true;
+        std::size_t &n = admitted[tag];
+        if (n >= opts_.tenantAdmitQuota)
+            return false;
+        ++n;
+        return true;
+    };
     std::vector<QueryGroup> groups;
     for (std::size_t i = 0; i < lines.size(); ++i) {
         parsed[i] = parseRequest(lines[i]);
@@ -467,7 +525,25 @@ Server::handleBatch(const std::vector<std::string> &lines)
             continue;
         }
 
+        const auto quotaError = [&](const Request &r) {
+            {
+                std::lock_guard<std::mutex> clk(countersMu_);
+                ++counters_.rejectedQuota;
+                ++counters_.errors;
+            }
+            return errorResponse(
+                r.id, "quota_exceeded",
+                "workload '" + r.workload +
+                    "' exceeded its per-batch engine admission "
+                    "quota (" +
+                    std::to_string(opts_.tenantAdmitQuota) + ")");
+        };
+
         if (req.op == Op::Sweep) {
+            if (!admitEngine(req.workload)) {
+                responses[i] = quotaError(req);
+                continue;
+            }
             const auto t0 = std::chrono::steady_clock::now();
             const std::vector<double> cells = evaluateCells(
                 req, req.sizes, req.cycles,
@@ -512,12 +588,20 @@ Server::handleBatch(const std::vector<std::string> &lines)
                     g.batchKey == req.batchKey())
                     group = &g;
             if (!group) {
+                if (!admitEngine(req.workload)) {
+                    responses[i] = quotaError(req);
+                    continue;
+                }
                 groups.push_back(QueryGroup{
                     req.engine, req.workload, req.batchKey(), {}});
                 group = &groups.back();
             }
             group->members.push_back(i);
         } else {
+            if (!admitEngine(req.workload)) {
+                responses[i] = quotaError(req);
+                continue;
+            }
             const auto t0 = std::chrono::steady_clock::now();
             const std::vector<double> cells = evaluateCells(
                 req, {req.l2Size}, {req.l2Cycles},
@@ -592,9 +676,13 @@ Server::handleStats(const Request &req)
         c.set("errors", Json(counters_.errors));
         c.set("rejected_draining",
               Json(counters_.rejectedDraining));
+        c.set("rejected_quota", Json(counters_.rejectedQuota));
         c.set("batched_queries", Json(counters_.batchedQueries));
         c.set("engine_runs", Json(counters_.engineRuns));
         c.set("connections", Json(counters_.connectionsAccepted));
+        c.set("ckpt_loads", Json(counters_.ckptLoads));
+        c.set("ckpt_builds", Json(counters_.ckptBuilds));
+        c.set("ckpt_fallbacks", Json(counters_.ckptFallbacks));
         body.set("counters", std::move(c));
     }
     {
@@ -604,10 +692,13 @@ Server::handleStats(const Request &req)
         m.set("misses", Json(ms.misses));
         m.set("insertions", Json(ms.insertions));
         m.set("evictions", Json(ms.evictions));
+        m.set("quota_evictions", Json(ms.quotaEvictions));
         m.set("entries", Json(static_cast<std::uint64_t>(
                              ms.entries)));
         m.set("capacity", Json(static_cast<std::uint64_t>(
                               ms.capacity)));
+        m.set("tag_quota", Json(static_cast<std::uint64_t>(
+                               ms.tagQuota)));
         Json tags = Json::object();
         for (const auto &[tag, n] : ms.tags)
             tags.set(tag, Json(static_cast<std::uint64_t>(n)));
@@ -638,10 +729,25 @@ Server::handleStats(const Request &req)
         }
         body.set("workloads", std::move(wls));
     }
+    if (ckptStore_) {
+        Json ck = Json::object();
+        ck.set("dir", Json(opts_.checkpointDir));
+        std::uint64_t entries = 0;
+        for (const auto &wl : workloads_)
+            for (const expt::TraceSpec &spec : wl->store.specs())
+                entries += ckptStore_
+                               ->list(wl->tag + "/" + spec.name)
+                               .size();
+        ck.set("entries", Json(entries));
+        body.set("checkpoints", std::move(ck));
+    }
     body.set("jobs", Json(static_cast<std::uint64_t>(jobs_)));
     body.set("shards",
              Json(static_cast<std::uint64_t>(opts_.shards)));
     body.set("draining", Json(draining()));
+    body.set("tenant_admit_quota",
+             Json(static_cast<std::uint64_t>(
+                 opts_.tenantAdmitQuota)));
 
     return okResponse(req.id, "\"stats\":" + body.dump(), false,
                       0);

@@ -48,6 +48,7 @@
 #include <thread>
 #include <vector>
 
+#include "ckpt/store.hh"
 #include "expt/design_space.hh"
 #include "expt/workload_suite.hh"
 #include "hier/hierarchy_config.hh"
@@ -82,6 +83,31 @@ struct ServerOptions
     std::vector<std::string> traceFiles;
     /** Sampled-engine defaults (seed comes per-request). */
     sample::SampledOptions sampled;
+    /**
+     * Checkpoint-farm root directory (empty = no persistence).
+     * With a farm attached, sampled sweeps load live-points from
+     * disk instead of functional warming when a matching entry
+     * exists, and tee new entries when one does not — so the first
+     * sampled request per (workload, schedule, family) pays the
+     * warm, and every later one (including after a restart)
+     * replays. Farms are built offline with `trace_tools ckpt
+     * build` or implicitly by the tee.
+     */
+    std::string checkpointDir;
+    /** Per-tenant memo admission quota: max resident ResultCache
+     *  entries per workload tag (0 = unlimited; see
+     *  ResultCache::setTagQuota). */
+    std::size_t memoTagQuota = 0;
+    /**
+     * Per-tenant engine admission quota: max uncached engine
+     * evaluations one workload may be granted within a single
+     * pipelined batch (0 = unlimited). Requests beyond the quota
+     * get a structured `quota_exceeded` error instead of queueing
+     * engine work — admission control, so one tenant's pipelined
+     * burst cannot monopolize the engine mutex. Memo hits and
+     * admin verbs are never charged.
+     */
+    std::size_t tenantAdmitQuota = 0;
 };
 
 /** Monotonic counters reported by the stats verb. */
@@ -92,9 +118,15 @@ struct ServerCounters
     std::uint64_t sweeps = 0;
     std::uint64_t errors = 0;
     std::uint64_t rejectedDraining = 0;
+    std::uint64_t rejectedQuota = 0; //!< quota_exceeded errors
     std::uint64_t batchedQueries = 0; //!< answered via a grouped call
     std::uint64_t engineRuns = 0;
     std::uint64_t connectionsAccepted = 0;
+    /** @{ @name Checkpoint-farm traffic (sampled sweeps) */
+    std::uint64_t ckptLoads = 0;     //!< sweeps served from a farm
+    std::uint64_t ckptBuilds = 0;    //!< farm entries published
+    std::uint64_t ckptFallbacks = 0; //!< misses that re-warmed
+    /** @} */
 };
 
 class Server
@@ -208,6 +240,9 @@ class Server
     std::vector<std::unique_ptr<Workload>> workloads_;
     ResultCache memo_;
     ProfileCache profiles_;
+    /** Non-null when opts_.checkpointDir is set. Const-thread-safe;
+     *  sampled evaluateCells threads farm policies through it. */
+    std::unique_ptr<ckpt::CheckpointStore> ckptStore_;
 
     /** Serializes engine executions (see file comment). */
     std::mutex engineMu_;

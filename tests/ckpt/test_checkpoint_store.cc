@@ -1,0 +1,419 @@
+/** @file Integrity and corruption tests for the persistent
+ *  live-point store (ckpt/store.hh).
+ *
+ *  The loader's contract is "fail loudly and fall back to
+ *  re-warming, never load garbage state": a checkpoint file that is
+ *  truncated, bit-flipped, version-stale or keyed for a different
+ *  (schedule, config, trace) must be rejected at open/tryOpen time
+ *  with a classified reason, and a sweep pointed at the damaged
+ *  farm must produce results bit-identical to a sweep with no farm
+ *  at all. These tests build a real farm with the production
+ *  builder, then damage copies of it in every way the format
+ *  defends against. */
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/store.hh"
+#include "hier/hierarchy.hh"
+#include "sample/sweep.hh"
+#include "trace/synthetic_source.hh"
+
+namespace mlc {
+namespace ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::vector<trace::MemRef> &
+workload()
+{
+    static const std::vector<trace::MemRef> refs = [] {
+        trace::SyntheticTraceParams p;
+        p.totalRefs = 400'000;
+        p.processes = 4;
+        p.switchInterval = 8'000;
+        p.profile =
+            trace::StackDepthProfile::pareto(0.60, 4.0, 1u << 12);
+        trace::SyntheticTraceSource src(p, 7);
+        std::vector<trace::MemRef> out(p.totalRefs);
+        src.nextBatch(out.data(), out.size());
+        return out;
+    }();
+    return refs;
+}
+
+trace::RefSpan
+span()
+{
+    return {workload().data(), workload().size()};
+}
+
+sample::SampledOptions
+options()
+{
+    sample::SampledOptions o;
+    o.period = 50'000;
+    o.measureRefs = 4'000;
+    o.detailWarmRefs = 1'000;
+    o.functionalWarmRefs = 15'000;
+    return o;
+}
+
+std::vector<hier::HierarchyParams>
+family()
+{
+    std::vector<hier::HierarchyParams> configs;
+    for (const std::uint64_t kb : {64u, 256u})
+        configs.push_back(
+            hier::HierarchyParams::baseMachine().withL2(kb * 1024,
+                                                        3));
+    return configs;
+}
+
+/** Fresh farm root per test (gtest's per-test temp area). */
+std::string
+freshRoot(const char *name)
+{
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "mlc_ckpt_tests" / name;
+    fs::remove_all(root);
+    fs::create_directories(root);
+    return root.string();
+}
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+writeFile(const std::string &path,
+          const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good()) << path;
+}
+
+/** Build the canonical farm entry and return its file path. */
+std::string
+buildFarm(CheckpointStore &store, const std::string &trace_id)
+{
+    const sample::FarmBuildResult r = sample::buildCheckpointFarm(
+        family(), span(), options(), store, trace_id);
+    EXPECT_TRUE(r.built);
+    EXPECT_GT(r.windows, 0u);
+    EXPECT_GT(r.fileBytes, 0u);
+    return r.path;
+}
+
+void
+expectBitIdentical(const sample::SampledResult &a,
+                   const sample::SampledResult &b)
+{
+    EXPECT_EQ(a.estCpi, b.estCpi);
+    EXPECT_EQ(a.estRelExecTime, b.estRelExecTime);
+    EXPECT_EQ(a.windowCpiValues, b.windowCpiValues);
+    EXPECT_EQ(a.cyclesMeasured, b.cyclesMeasured);
+    EXPECT_EQ(a.instructionsMeasured, b.instructionsMeasured);
+    EXPECT_EQ(a.functional.totalCycles, b.functional.totalCycles);
+    EXPECT_EQ(a.functional.references, b.functional.references);
+}
+
+/** A sweep over the damaged farm must fall back and match the
+ *  no-store sweep bit for bit. */
+void
+expectSweepFallsBack(CheckpointStore &store,
+                     const std::string &trace_id,
+                     const std::string &expect_reason)
+{
+    sample::CheckpointPolicy policy;
+    policy.store = &store;
+    policy.traceId = trace_id;
+    policy.buildIfMissing = false;
+    const sample::SweepResult damaged =
+        sample::runSweepCheckpointed(family(), span(), options(), 1,
+                                     nullptr, policy);
+    EXPECT_FALSE(damaged.fromCheckpointFile);
+    EXPECT_EQ(damaged.checkpointFallback, expect_reason);
+
+    const sample::SweepResult plain =
+        sample::runSweepCheckpointed(family(), span(), options());
+    ASSERT_EQ(damaged.perConfig.size(), plain.perConfig.size());
+    for (std::size_t c = 0; c < plain.perConfig.size(); ++c) {
+        SCOPED_TRACE("config " + std::to_string(c));
+        expectBitIdentical(damaged.perConfig[c],
+                           plain.perConfig[c]);
+    }
+}
+
+TEST(CheckpointStore, BuildListVerifyRoundTrip)
+{
+    CheckpointStore store(freshRoot("roundtrip"));
+    const std::string path = buildFarm(store, "suite/t0");
+
+    const std::vector<FarmEntry> entries = store.list("suite/t0");
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_TRUE(entries[0].ok) << entries[0].error;
+    EXPECT_EQ(entries[0].path, path);
+    EXPECT_EQ(entries[0].meta.version, kCheckpointVersion);
+    EXPECT_EQ(entries[0].meta.totalRefs, span().size);
+    EXPECT_EQ(entries[0].meta.key.traceId, "suite/t0");
+    EXPECT_EQ(entries[0].meta.traceFingerprint,
+              traceFingerprint(span().data, span().size));
+
+    const FarmEntry deep = CheckpointStore::verifyFile(path);
+    EXPECT_TRUE(deep.ok) << deep.error;
+    EXPECT_EQ(store.traceIds(),
+              std::vector<std::string>{"suite/t0"});
+
+    // A second build of the same key finds the entry valid and does
+    // no work.
+    const sample::FarmBuildResult again =
+        sample::buildCheckpointFarm(family(), span(), options(),
+                                    store, "suite/t0");
+    EXPECT_FALSE(again.built);
+    EXPECT_EQ(again.path, path);
+}
+
+TEST(CheckpointStore, TruncatedFileIsRejected)
+{
+    CheckpointStore store(freshRoot("truncate"));
+    const std::string path = buildFarm(store, "t");
+    std::vector<std::uint8_t> bytes = readFile(path);
+
+    // Cut mid-records and mid-header: both must fail open, not
+    // produce a partial load.
+    for (const std::size_t keep :
+         {bytes.size() - 1, bytes.size() / 2, std::size_t{40},
+          std::size_t{3}, std::size_t{0}}) {
+        SCOPED_TRACE("keep " + std::to_string(keep));
+        writeFile(path, std::vector<std::uint8_t>(
+                            bytes.begin(),
+                            bytes.begin() +
+                                static_cast<std::ptrdiff_t>(keep)));
+        CheckpointReader reader;
+        std::string err;
+        EXPECT_FALSE(reader.open(path, &err));
+        EXPECT_FALSE(err.empty());
+    }
+    expectSweepFallsBack(store, "t", "corrupt");
+}
+
+TEST(CheckpointStore, FlippedHeaderByteIsRejected)
+{
+    CheckpointStore store(freshRoot("flip_header"));
+    const std::string path = buildFarm(store, "t");
+    const std::vector<std::uint8_t> good = readFile(path);
+
+    // Every byte of the header region matters: magic, version,
+    // counts, offsets, checksum itself.
+    for (const std::size_t at : {std::size_t{0}, std::size_t{5},
+                                 std::size_t{13}, std::size_t{38},
+                                 std::size_t{60}}) {
+        SCOPED_TRACE("byte " + std::to_string(at));
+        std::vector<std::uint8_t> bad = good;
+        bad[at] ^= 0x40;
+        writeFile(path, bad);
+        CheckpointReader reader;
+        std::string err;
+        EXPECT_FALSE(reader.open(path, &err));
+        EXPECT_FALSE(err.empty());
+    }
+    expectSweepFallsBack(store, "t", "corrupt");
+}
+
+TEST(CheckpointStore, FlippedRecordByteIsRejected)
+{
+    CheckpointStore store(freshRoot("flip_record"));
+    const std::string path = buildFarm(store, "t");
+    std::vector<std::uint8_t> bytes = readFile(path);
+
+    // Flip one bit in the middle of the window records: the
+    // per-record checksum sweep at open() must catch it.
+    bytes[bytes.size() / 2] ^= 0x01;
+    writeFile(path, bytes);
+    CheckpointReader reader;
+    std::string err;
+    EXPECT_FALSE(reader.open(path, &err));
+    EXPECT_NE(err.find("checksum"), std::string::npos) << err;
+    expectSweepFallsBack(store, "t", "corrupt");
+}
+
+TEST(CheckpointStore, StaleVersionIsRejected)
+{
+    CheckpointStore store(freshRoot("version"));
+    const std::string path = buildFarm(store, "t");
+    std::vector<std::uint8_t> bytes = readFile(path);
+
+    // The version field sits right after the 4-byte magic; a file
+    // from a future (or ancient) format version must be refused
+    // before anything else is believed.
+    ASSERT_EQ(bytes[4], kCheckpointVersion);
+    bytes[4] = static_cast<std::uint8_t>(kCheckpointVersion + 1);
+    writeFile(path, bytes);
+    CheckpointReader reader;
+    std::string err;
+    EXPECT_FALSE(reader.open(path, &err));
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+    expectSweepFallsBack(store, "t", "corrupt");
+}
+
+TEST(CheckpointStore, WrongConfigHashMissesWithReason)
+{
+    CheckpointStore store(freshRoot("config_mismatch"));
+    buildFarm(store, "t");
+
+    // Same schedule, different L1 organization: the farm holds an
+    // entry for this trace but keyed to another warmer config. The
+    // probe must classify the miss instead of loading it.
+    std::vector<hier::HierarchyParams> other;
+    for (const std::uint64_t kb : {64u, 256u})
+        other.push_back(hier::HierarchyParams::baseMachine()
+                            .withL1Total(32 * 1024)
+                            .withL2(kb * 1024, 3));
+    sample::CheckpointPolicy policy;
+    policy.store = &store;
+    policy.traceId = "t";
+    policy.buildIfMissing = false;
+    const sample::SweepResult sweep = sample::runSweepCheckpointed(
+        other, span(), options(), 1, nullptr, policy);
+    EXPECT_FALSE(sweep.fromCheckpointFile);
+    EXPECT_EQ(sweep.checkpointFallback, "config-hash-mismatch");
+}
+
+TEST(CheckpointStore, WrongScheduleMissesWithReason)
+{
+    CheckpointStore store(freshRoot("schedule_mismatch"));
+    buildFarm(store, "t");
+
+    sample::SampledOptions other = options();
+    other.period = 40'000; // different resolved plan
+    sample::CheckpointPolicy policy;
+    policy.store = &store;
+    policy.traceId = "t";
+    policy.buildIfMissing = false;
+    const sample::SweepResult sweep = sample::runSweepCheckpointed(
+        family(), span(), other, 1, nullptr, policy);
+    EXPECT_FALSE(sweep.fromCheckpointFile);
+    EXPECT_EQ(sweep.checkpointFallback, "schedule-mismatch");
+}
+
+TEST(CheckpointStore, DifferentTraceContentMisses)
+{
+    CheckpointStore store(freshRoot("trace_mismatch"));
+    buildFarm(store, "t");
+
+    // Same length, same schedule, different reference stream: the
+    // stored fingerprint must refuse the reuse ("same name,
+    // different trace" is exactly the farm-poisoning case).
+    trace::SyntheticTraceParams p;
+    p.totalRefs = span().size;
+    p.processes = 4;
+    p.switchInterval = 8'000;
+    p.profile =
+        trace::StackDepthProfile::pareto(0.60, 4.0, 1u << 12);
+    trace::SyntheticTraceSource src(p, 99); // different seed
+    std::vector<trace::MemRef> other(p.totalRefs);
+    src.nextBatch(other.data(), other.size());
+
+    sample::CheckpointPolicy policy;
+    policy.store = &store;
+    policy.traceId = "t";
+    policy.buildIfMissing = false;
+    const sample::SweepResult sweep = sample::runSweepCheckpointed(
+        family(), {other.data(), other.size()}, options(), 1,
+        nullptr, policy);
+    EXPECT_FALSE(sweep.fromCheckpointFile);
+    EXPECT_EQ(sweep.checkpointFallback, "trace-mismatch");
+}
+
+TEST(CheckpointStore, MissingFileAndFarmClassified)
+{
+    CheckpointStore store(freshRoot("missing"));
+    sample::CheckpointPolicy policy;
+    policy.store = &store;
+    policy.traceId = "nobody";
+    policy.buildIfMissing = false;
+    const sample::SweepResult no_farm =
+        sample::runSweepCheckpointed(family(), span(), options(), 1,
+                                     nullptr, policy);
+    EXPECT_FALSE(no_farm.fromCheckpointFile);
+    EXPECT_EQ(no_farm.checkpointFallback, "no-farm");
+}
+
+TEST(CheckpointStore, CorruptEntryIsRebuiltWhenBuildAllowed)
+{
+    CheckpointStore store(freshRoot("rebuild"));
+    const std::string path = buildFarm(store, "t");
+    std::vector<std::uint8_t> bytes = readFile(path);
+    bytes[bytes.size() - 5] ^= 0xff;
+    writeFile(path, bytes);
+
+    // With the tee enabled the sweep re-warms (bit-identically) and
+    // republishes a valid file over the damaged one.
+    sample::CheckpointPolicy policy;
+    policy.store = &store;
+    policy.traceId = "t";
+    policy.buildIfMissing = true;
+    const sample::SweepResult sweep = sample::runSweepCheckpointed(
+        family(), span(), options(), 1, nullptr, policy);
+    EXPECT_FALSE(sweep.fromCheckpointFile);
+    EXPECT_TRUE(sweep.builtCheckpointFile);
+    EXPECT_EQ(sweep.checkpointFallback, "corrupt");
+    EXPECT_TRUE(CheckpointStore::verifyFile(path).ok);
+}
+
+TEST(CheckpointStore, VerifyFileReportsDamage)
+{
+    CheckpointStore store(freshRoot("verify"));
+    const std::string path = buildFarm(store, "t");
+    EXPECT_TRUE(CheckpointStore::verifyFile(path).ok);
+    std::vector<std::uint8_t> bytes = readFile(path);
+    bytes[70] ^= 0x08; // inside the key/records region
+    writeFile(path, bytes);
+    const FarmEntry damaged = CheckpointStore::verifyFile(path);
+    EXPECT_FALSE(damaged.ok);
+    EXPECT_FALSE(damaged.error.empty());
+}
+
+TEST(CheckpointStore, TraceFingerprintSensitivity)
+{
+    std::vector<trace::MemRef> refs(1000);
+    for (std::size_t i = 0; i < refs.size(); ++i) {
+        refs[i].addr = 0x1000 + i * 16;
+        refs[i].type = trace::RefType::Load;
+        refs[i].size = 4;
+        refs[i].pid = 0;
+    }
+    const std::uint64_t base =
+        traceFingerprint(refs.data(), refs.size());
+    EXPECT_EQ(traceFingerprint(refs.data(), refs.size()), base);
+
+    std::vector<trace::MemRef> tweaked = refs;
+    tweaked[500].addr ^= 0x40;
+    EXPECT_NE(traceFingerprint(tweaked.data(), tweaked.size()),
+              base);
+    tweaked = refs;
+    tweaked[500].type = trace::RefType::Store;
+    EXPECT_NE(traceFingerprint(tweaked.data(), tweaked.size()),
+              base);
+    // Length matters even when the prefix matches.
+    EXPECT_NE(traceFingerprint(refs.data(), refs.size() - 1), base);
+}
+
+} // namespace
+} // namespace ckpt
+} // namespace mlc

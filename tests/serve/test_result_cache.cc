@@ -163,6 +163,67 @@ TEST(ResultCache, PayloadSurvivesEviction)
     EXPECT_EQ(*held, "kept");
 }
 
+TEST(ResultCache, TagQuotaSelfEvictsBelowCapacity)
+{
+    // Quota engages even when the pool is nowhere near capacity:
+    // a tag at quota recycles its own LRU entry on the next put.
+    ResultCache cache(16);
+    cache.setTagQuota(2);
+    fill(cache, "hot", 3);
+    EXPECT_EQ(cache.tagEntries("hot"), 2u);
+    EXPECT_EQ(cache.get(key("hot", "d0")), nullptr) << "own LRU";
+    EXPECT_NE(cache.get(key("hot", "d1")), nullptr);
+    EXPECT_NE(cache.get(key("hot", "d2")), nullptr);
+
+    const ResultCache::Stats s = cache.stats();
+    EXPECT_EQ(s.quotaEvictions, 1u);
+    EXPECT_EQ(s.tagQuota, 2u);
+    EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(ResultCache, TagQuotaIsolatesOtherTenants)
+{
+    // One tag hammering its quota never touches a neighbour, and
+    // the neighbour is free to grow to its own quota.
+    ResultCache cache(16);
+    cache.setTagQuota(2);
+    fill(cache, "cold", 1);
+    fill(cache, "hot", 5);
+    EXPECT_EQ(cache.tagEntries("hot"), 2u);
+    EXPECT_EQ(cache.tagEntries("cold"), 1u);
+    EXPECT_NE(cache.get(key("cold", "d0")), nullptr);
+    EXPECT_EQ(cache.stats().quotaEvictions, 3u);
+}
+
+TEST(ResultCache, TagAtQuotaTracksAdmission)
+{
+    ResultCache cache(16);
+    EXPECT_FALSE(cache.tagAtQuota("t")) << "no quota set";
+    cache.setTagQuota(2);
+    EXPECT_FALSE(cache.tagAtQuota("t")) << "tag not present yet";
+    fill(cache, "t", 1);
+    EXPECT_FALSE(cache.tagAtQuota("t"));
+    fill(cache, "t", 2);
+    EXPECT_TRUE(cache.tagAtQuota("t"));
+    // Lifting the quota reopens admission without trimming.
+    cache.setTagQuota(0);
+    EXPECT_FALSE(cache.tagAtQuota("t"));
+    EXPECT_EQ(cache.tagEntries("t"), 2u);
+}
+
+TEST(ResultCache, TagQuotaReplaceInPlaceIsFree)
+{
+    // Replacing an existing key is not an admission; a tag at
+    // quota can still refresh its resident entries.
+    ResultCache cache(16);
+    cache.setTagQuota(2);
+    fill(cache, "t", 2);
+    cache.put(key("t", "d1"), payload("fresh"));
+    EXPECT_EQ(cache.tagEntries("t"), 2u);
+    EXPECT_EQ(*cache.get(key("t", "d1")), "fresh");
+    EXPECT_EQ(cache.stats().quotaEvictions, 0u);
+}
+
 TEST(ResultCache, StatsTagsAreSortedAndComplete)
 {
     ResultCache cache(8);

@@ -4,6 +4,7 @@
  */
 
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -272,6 +273,146 @@ TEST(Server, DrainingRejectsWorkButAnswersAdminVerbs)
                   .find("\"draining\":true"),
               std::string::npos);
     EXPECT_EQ(server.counters().rejectedDraining, 3u);
+}
+
+TEST(Server, TenantQuotaBoundsEngineAdmissionsPerBatch)
+{
+    quickEnv();
+    ServerOptions opts;
+    opts.tenantAdmitQuota = 1;
+    Server server(opts);
+    // Two incompatible one-pass queries (different l2_assoc =>
+    // different machine => separate engine groups): the second
+    // admission exceeds the quota and gets a structured error
+    // instead of queueing engine work.
+    const std::vector<std::string> responses = server.handleBatch({
+        "{\"op\":\"query\",\"l2_size\":4096,\"l2_cycles\":2,"
+        "\"id\":\"a\"}",
+        "{\"op\":\"query\",\"l2_size\":4096,\"l2_cycles\":2,"
+        "\"l2_assoc\":2,\"id\":\"b\"}",
+    });
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_NE(responses[0].find("\"ok\":true"), std::string::npos)
+        << responses[0];
+    EXPECT_NE(responses[1].find("quota_exceeded"),
+              std::string::npos)
+        << responses[1];
+    EXPECT_NE(responses[1].find("'grid'"), std::string::npos)
+        << "error must name the offending workload";
+    EXPECT_EQ(server.counters().rejectedQuota, 1u);
+    EXPECT_EQ(server.counters().engineRuns, 1u);
+
+    // The quota is per batch, not a lifetime ban: the refused cell
+    // sails through on its own.
+    const std::string retry = server.handleLine(
+        "{\"op\":\"query\",\"l2_size\":4096,\"l2_cycles\":2,"
+        "\"l2_assoc\":2,\"id\":\"b\"}");
+    EXPECT_NE(retry.find("\"ok\":true"), std::string::npos)
+        << retry;
+}
+
+TEST(Server, QuotaSparesGroupJoinersAndMemoHits)
+{
+    quickEnv();
+    ServerOptions opts;
+    opts.tenantAdmitQuota = 1;
+    Server server(opts);
+    // Compatible one-pass queries share one admission: the group
+    // creator pays, joiners piggyback on its engine call.
+    const std::vector<std::string> grouped = server.handleBatch({
+        "{\"op\":\"query\",\"l2_size\":4096,\"l2_cycles\":2,"
+        "\"id\":\"a\"}",
+        "{\"op\":\"query\",\"l2_size\":16384,\"l2_cycles\":2,"
+        "\"id\":\"b\"}",
+        "{\"op\":\"query\",\"l2_size\":4096,\"l2_cycles\":5,"
+        "\"id\":\"c\"}",
+    });
+    for (const std::string &r : grouped)
+        EXPECT_NE(r.find("\"ok\":true"), std::string::npos) << r;
+    EXPECT_EQ(server.counters().engineRuns, 1u);
+    EXPECT_EQ(server.counters().rejectedQuota, 0u);
+
+    // Memo hits are free: a replayed query leaves the whole quota
+    // for fresh work in the same batch.
+    const std::vector<std::string> second = server.handleBatch({
+        "{\"op\":\"query\",\"l2_size\":4096,\"l2_cycles\":2,"
+        "\"id\":\"hit\"}",
+        "{\"op\":\"query\",\"l2_size\":4096,\"l2_cycles\":2,"
+        "\"l2_assoc\":2,\"id\":\"fresh\"}",
+    });
+    ASSERT_EQ(second.size(), 2u);
+    EXPECT_NE(second[0].find("\"cached\":true"), std::string::npos)
+        << second[0];
+    EXPECT_NE(second[1].find("\"ok\":true"), std::string::npos)
+        << second[1];
+    EXPECT_EQ(server.counters().rejectedQuota, 0u);
+}
+
+TEST(Server, StatsExposeQuotaKnobsAndMemoSelfEviction)
+{
+    quickEnv();
+    ServerOptions opts;
+    opts.tenantAdmitQuota = 2;
+    opts.memoTagQuota = 1;
+    Server server(opts);
+    // Two distinct queries under a one-entry memo quota: the
+    // second insertion recycles the tag's own first entry.
+    server.handleLine(
+        "{\"op\":\"query\",\"l2_size\":4096,\"l2_cycles\":2}");
+    server.handleLine(
+        "{\"op\":\"query\",\"l2_size\":4096,\"l2_cycles\":5}");
+    const Json doc = parseResponse(
+        server.handleLine("{\"op\":\"stats\"}"));
+    const Json *stats = doc.find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->find("tenant_admit_quota")->asU64(), 2u);
+    EXPECT_EQ(stats->find("counters")
+                  ->find("rejected_quota")
+                  ->asU64(),
+              0u);
+    const Json *memo = stats->find("memo");
+    ASSERT_NE(memo, nullptr);
+    EXPECT_EQ(memo->find("tag_quota")->asU64(), 1u);
+    EXPECT_EQ(memo->find("quota_evictions")->asU64(), 1u);
+    EXPECT_EQ(memo->find("entries")->asU64(), 1u);
+}
+
+TEST(Server, CheckpointFarmServesSampledQueriesAcrossRestarts)
+{
+    quickEnv();
+    const std::string dir = std::string(::testing::TempDir()) +
+                            "mlc_serve_ckpt_farm";
+    std::filesystem::remove_all(dir);
+    ServerOptions opts;
+    opts.checkpointDir = dir;
+    Server first(opts);
+    const std::string q =
+        "{\"op\":\"query\",\"engine\":\"sampled\","
+        "\"l2_size\":262144,\"l2_cycles\":3,\"id\":\"s\"}";
+    const std::string cold = first.handleLine(q);
+    EXPECT_NE(cold.find("\"ok\":true"), std::string::npos) << cold;
+    const ServerCounters c1 = first.counters();
+    EXPECT_GT(c1.ckptBuilds, 0u)
+        << "first sampled ask must tee live-point files";
+    EXPECT_EQ(c1.ckptLoads, 0u);
+
+    // A restart (modeled by a second server over the same farm
+    // directory) answers the identical query from disk — same
+    // bytes, warming loaded instead of recomputed.
+    Server second(opts);
+    const std::string warm = second.handleLine(q);
+    EXPECT_EQ(stripVolatile(warm), stripVolatile(cold));
+    const ServerCounters c2 = second.counters();
+    EXPECT_GT(c2.ckptLoads, 0u) << "reload must hit the farm";
+    EXPECT_EQ(c2.ckptBuilds, 0u);
+    EXPECT_EQ(c2.engineRuns, 1u);
+
+    const Json stats = parseResponse(
+        second.handleLine("{\"op\":\"stats\"}"));
+    const Json *ck = stats.find("stats")->find("checkpoints");
+    ASSERT_NE(ck, nullptr) << "farm-backed server must report it";
+    EXPECT_EQ(ck->find("dir")->asString(), dir);
+    EXPECT_GT(ck->find("entries")->asU64(), 0u);
 }
 
 #if MLC_TEST_HAVE_SOCKETS
