@@ -12,6 +12,7 @@
 #include <sys/resource.h>
 #endif
 
+#include "mrc/engine.hh"
 #include "onepass/grid.hh"
 #include "sample/engine.hh"
 #include "sample/sweep.hh"
@@ -119,10 +120,42 @@ engineFromArgs(int argc, char **argv)
             return Engine::OnePass;
         if (value == "sampled")
             return Engine::Sampled;
+        if (value == "mrc")
+            return Engine::Mrc;
         mlc_fatal("bad --engine value '", value,
-                  "' (expected 'timing', 'onepass' or 'sampled')");
+                  "' (expected 'timing', 'onepass', 'sampled' or "
+                  "'mrc')");
     }
     return Engine::Timing;
+}
+
+mrc::SamplerConfig
+samplerFromArgs(int argc, char **argv)
+{
+    mrc::SamplerConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (startsWith(arg, "--sample-rate=")) {
+            const std::string value(arg.substr(14));
+            try {
+                cfg.rate = std::stod(value);
+            } catch (const std::exception &) {
+                mlc_fatal("bad --sample-rate value '", value, "'");
+            }
+            if (!(cfg.rate > 0.0) || cfg.rate > 1.0)
+                mlc_fatal("--sample-rate must be in (0, 1], got ",
+                          cfg.rate);
+        } else if (startsWith(arg, "--sample-budget=")) {
+            const std::string value(arg.substr(16));
+            try {
+                cfg.budget = std::stoull(value);
+            } catch (const std::exception &) {
+                mlc_fatal("bad --sample-budget value '", value,
+                          "'");
+            }
+        }
+    }
+    return cfg;
 }
 
 const char *
@@ -135,6 +168,8 @@ engineName(Engine engine)
         return "onepass";
     case Engine::Sampled:
         return "sampled";
+    case Engine::Mrc:
+        return "mrc";
     }
     return "?";
 }
@@ -198,7 +233,7 @@ buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
                  const std::vector<std::uint32_t> &cycles,
                  const expt::TraceStore &store, std::size_t jobs,
                  const sample::SampledOptions &sampled_opts,
-                 std::size_t shards)
+                 std::size_t shards, const mrc::SamplerConfig &sampler)
 {
     // Engine choice goes to stderr: stdout must stay byte-identical
     // between a default run and an explicit --engine=timing run.
@@ -208,6 +243,9 @@ buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
     if (engine == Engine::OnePass)
         return onepass::buildGrid(base, sizes, cycles, store, jobs,
                                   shards);
+    if (engine == Engine::Mrc)
+        return mrc::buildGrid(base, sizes, cycles, store, jobs,
+                              sampler);
     if (engine == Engine::Sampled)
         // Checkpointed: all cells of a trace share each window's
         // warming pass (bit-identical to sample::buildGrid, which

@@ -15,6 +15,7 @@
 #include "expt/runner.hh"
 #include "expt/workload_suite.hh"
 #include "hier/hierarchy_config.hh"
+#include "mrc/sampler.hh"
 #include "sample/scheduler.hh"
 
 namespace mlc {
@@ -60,12 +61,23 @@ enum class Engine
     Timing,
     OnePass,
     Sampled,
+    /** The one-pass pipeline over a spatially-sampled reference
+     *  subset (mrc::buildGrid): O(sample) cache state, streaming
+     *  replay, exact at --sample-rate=1.0. */
+    Mrc,
 };
 
-/** `--engine=onepass|timing|sampled` (default Timing). */
+/** `--engine=onepass|timing|sampled|mrc` (default Timing). */
 Engine engineFromArgs(int argc, char **argv);
 
 const char *engineName(Engine engine);
+
+/**
+ * Sampling knobs for Engine::Mrc: `--sample-rate=P` (0 < P <= 1,
+ * default 0.01) and `--sample-budget=N` (adaptive live-block
+ * budget, default 0 = fixed-rate). Other engines ignore both.
+ */
+mrc::SamplerConfig samplerFromArgs(int argc, char **argv);
 
 /**
  * Build-provenance fields for bench JSON records, as a fragment to
@@ -111,6 +123,7 @@ std::string maxRssJson();
  * (auto period, ~200 windows) suits the bench-suite traces.
  * @p shards set-partitions the one-pass forest sweep within each
  * trace (Engine::OnePass only; see shardsFromArgs).
+ * @p sampler is consulted by Engine::Mrc only (see samplerFromArgs).
  */
 expt::DesignSpaceGrid
 buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
@@ -119,7 +132,8 @@ buildRelExecGrid(Engine engine, const hier::HierarchyParams &base,
                  const expt::TraceStore &store,
                  std::size_t jobs = 1,
                  const sample::SampledOptions &sampled_opts = {},
-                 std::size_t shards = 1);
+                 std::size_t shards = 1,
+                 const mrc::SamplerConfig &sampler = {});
 
 /** Print the grid the way Figure 4-1 plots it: one column per L2
  *  cycle time, one row per L2 size. */

@@ -6,7 +6,8 @@
  * paper's Section 4 methodology as a reusable tool.
  *
  *   $ ./design_space [l1_total_bytes] [--jobs=N] [--shards=N]
- *                    [--engine=timing|onepass|sampled]
+ *                    [--engine=timing|onepass|sampled|mrc]
+ *                    [--sample-rate=P] [--sample-budget=N]
  *
  * Pass a different L1 budget (e.g. 32768) to watch the optimal L2
  * design point move toward larger-and-slower, the paper's central
@@ -30,6 +31,14 @@
  * interactive trace it exists to demonstrate the plumbing; the
  * speedup case is long traces (see bench/checkpoint_sweep).
  *
+ * --engine=mrc is the one-pass pipeline over a spatially-sampled
+ * subset of each cache's sets (DESIGN.md §5i): same table shape,
+ * approximate miss ratios at a fraction of the tag state, exact at
+ * --sample-rate=1.0. --sample-budget=N additionally bounds live
+ * sampled lines (adaptive mode). Built for traces too big to
+ * profile exactly; on this interactive trace it demonstrates the
+ * plumbing.
+ *
  * --paired=SIZEA,SIZEB (sampled engine only) additionally compares
  * the two L2 sizes (in bytes, at the 3-cycle row) with the
  * matched-pair estimator: both machines measure the same windows
@@ -45,6 +54,7 @@
 #include "expt/design_space.hh"
 #include "expt/runner.hh"
 #include "model/miss_rate.hh"
+#include "mrc/engine.hh"
 #include "onepass/engine.hh"
 #include "onepass/model_timing.hh"
 #include "model/tradeoff.hh"
@@ -66,6 +76,8 @@ main(int argc, char **argv)
     std::size_t shards = 1;
     bool use_onepass = false;
     bool use_sampled = false;
+    bool use_mrc = false;
+    mrc::SamplerConfig sampler;
     std::uint64_t paired_a = 0, paired_b = 0;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
@@ -98,10 +110,25 @@ main(int argc, char **argv)
                 use_onepass = true;
             else if (engine == "sampled")
                 use_sampled = true;
+            else if (engine == "mrc")
+                use_mrc = true;
             else if (engine != "timing")
                 mlc_fatal("bad --engine value in '", argv[i],
-                          "' (expected 'timing', 'onepass' or "
-                          "'sampled')");
+                          "' (expected 'timing', 'onepass', "
+                          "'sampled' or 'mrc')");
+        } else if (startsWith(arg, "--sample-rate=")) {
+            sampler.rate =
+                std::strtod(std::string(arg.substr(14)).c_str(),
+                            nullptr);
+            if (!(sampler.rate > 0.0) || sampler.rate > 1.0)
+                mlc_fatal("bad --sample-rate value in '", argv[i],
+                          "' (expected a rate in (0, 1])");
+        } else if (startsWith(arg, "--sample-budget=")) {
+            unsigned long long b = 0;
+            if (!parseUnsigned(arg.substr(16), b))
+                mlc_fatal("bad --sample-budget value in '",
+                          argv[i], "'");
+            sampler.budget = b;
         } else {
             l1_total = std::strtoull(argv[i], nullptr, 0);
         }
@@ -146,6 +173,34 @@ main(int argc, char **argv)
             onepass::FamilySpec::l2Grid(base, sizes);
         const auto profiles =
             onepass::profileSuite(base, family, store, jobs, popts);
+        const double n = static_cast<double>(profiles.size());
+        for (std::size_t c = 0; c < cols; ++c) {
+            const onepass::EqTimingModel model =
+                onepass::EqTimingModel::forMachine(
+                    base.withL2(sizes[0], cycles[c]));
+            for (std::size_t s = 0; s < sizes.size(); ++s) {
+                Cell &cell = slots[s * cols + c];
+                for (const onepass::TraceProfile &prof : profiles) {
+                    cell.rel += model.relExec(prof, s) / n;
+                    if (c == 0)
+                        cell.solo += prof.configs[s]
+                                         .solo.localMissRatio() /
+                                     n;
+                }
+            }
+        }
+    } else if (use_mrc) {
+        // Same shape as the onepass branch, but the single
+        // profiling pass runs over a sampled subset of each
+        // member's sets (exact at --sample-rate=1.0); cells are
+        // priced from the rescaled estimates.
+        mrc::MrcOptions mopts;
+        mopts.sampler = sampler;
+        mopts.solo = true;
+        const onepass::FamilySpec family =
+            onepass::FamilySpec::l2Grid(base, sizes);
+        const auto profiles =
+            mrc::profileSuite(base, family, store, jobs, mopts);
         const double n = static_cast<double>(profiles.size());
         for (std::size_t c = 0; c < cols; ++c) {
             const onepass::EqTimingModel model =

@@ -6,7 +6,8 @@
  *
  *   $ ./hierarchy_explorer <config.cfg>... [trace-file] [refs]
  *                          [--jobs=N] [--shards=N]
- *                          [--engine=timing|onepass|sampled]
+ *                          [--engine=timing|onepass|sampled|mrc]
+ *                          [--sample-rate=P] [--sample-budget=N]
  *
  * Arguments ending in .cfg are hierarchy descriptions; passing
  * several compares the machines over the same reference stream,
@@ -34,6 +35,15 @@
  * trace's measured stack-depth tail by default (each report logs
  * which path was taken); --warm=N forces a fixed length instead.
  *
+ * --engine=mrc is the one-pass report over a spatially-sampled
+ * subset of each cache's sets (DESIGN.md §5i): the same report
+ * shape as --engine=onepass with approximate miss ratios at a
+ * fraction of the tag state (exact at --sample-rate=1.0, the
+ * default here). --sample-budget=N bounds live sampled lines
+ * (adaptive mode). MLCT binary traces are streamed through the
+ * profiler in fixed-size chunks with lazy validation, so the
+ * trace never needs to fit in RAM. Two-level configurations only.
+ *
  * --engine=sampled --paired (exactly two .cfg files) additionally
  * runs the matched-pair comparison: both machines measure the same
  * windows from checkpointed warm state (DESIGN.md §5e), and the
@@ -53,6 +63,7 @@
 #include "hier/config_file.hh"
 #include "hier/hierarchy.hh"
 #include "hier/sim_stats.hh"
+#include "mrc/engine.hh"
 #include "onepass/engine.hh"
 #include "onepass/model_timing.hh"
 #include "sample/engine.hh"
@@ -102,6 +113,9 @@ main(int argc, char **argv)
     bool refs_given = false;
     bool use_onepass = false;
     bool use_sampled = false;
+    bool use_mrc = false;
+    mrc::SamplerConfig sampler;
+    sampler.rate = 1.0;
     bool paired = false;
     std::uint64_t fixed_warm = 0;
     bool warm_given = false;
@@ -132,10 +146,25 @@ main(int argc, char **argv)
                 use_onepass = true;
             else if (engine == "sampled")
                 use_sampled = true;
+            else if (engine == "mrc")
+                use_mrc = true;
             else if (engine != "timing")
                 mlc_fatal("bad --engine value in '", argv[i],
-                          "' (expected 'timing', 'onepass' or "
-                          "'sampled')");
+                          "' (expected 'timing', 'onepass', "
+                          "'sampled' or 'mrc')");
+        } else if (startsWith(arg, "--sample-rate=")) {
+            sampler.rate =
+                std::strtod(std::string(arg.substr(14)).c_str(),
+                            nullptr);
+            if (!(sampler.rate > 0.0) || sampler.rate > 1.0)
+                mlc_fatal("bad --sample-rate value in '", argv[i],
+                          "' (expected a rate in (0, 1])");
+        } else if (startsWith(arg, "--sample-budget=")) {
+            unsigned long long b = 0;
+            if (!parseUnsigned(arg.substr(16), b))
+                mlc_fatal("bad --sample-budget value in '",
+                          argv[i], "'");
+            sampler.budget = b;
         } else if (endsWith(arg, ".cfg")) {
             config_paths.emplace_back(arg);
         } else if (trace_path.empty() && !refs_given &&
@@ -162,12 +191,12 @@ main(int argc, char **argv)
     for (const auto &path : config_paths)
         params.push_back(hier::parseConfigFile(path));
 
-    if (use_onepass) {
+    if (use_onepass || use_mrc) {
         for (std::size_t i = 0; i < params.size(); ++i) {
             if (params[i].levels.size() != 1)
-                mlc_fatal("--engine=onepass prices two-level "
-                          "(L1 + one downstream cache) hierarchies "
-                          "only; ",
+                mlc_fatal("--engine=", use_mrc ? "mrc" : "onepass",
+                          " prices two-level (L1 + one downstream "
+                          "cache) hierarchies only; ",
                           config_paths[i], " has ",
                           params[i].levels.size(),
                           " downstream levels — use the timing "
@@ -194,7 +223,7 @@ main(int argc, char **argv)
             // eager construction-time scan.
             mapped = std::make_unique<trace::MappedBinaryTrace>(
                 trace_path, trace::MappedBinaryTrace::Backing::Auto,
-                use_sampled
+                use_sampled || use_mrc
                     ? trace::MappedBinaryTrace::Validation::Lazy
                     : trace::MappedBinaryTrace::Validation::Eager);
             replay_all = mapped->span().first(warmup + refs);
@@ -272,6 +301,49 @@ main(int argc, char **argv)
                << " cyc, write extra " << model.writeExtra()
                << " cyc\n"
                << "  modelled CPI        " << model.cpi(prof, 0)
+               << "\n"
+               << "  modelled rel exec   " << model.relExec(prof, 0)
+               << "\n";
+        } else if (use_mrc) {
+            const onepass::FamilySpec family =
+                onepass::FamilySpec::l2Grid(
+                    params[i],
+                    {params[i].levels[0].geometry.sizeBytes});
+            mrc::MrcOptions mopts;
+            mopts.sampler = sampler;
+            mopts.solo = params[i].measureSolo;
+            // A mapped MLCT trace streams whole through the
+            // profiler — chunked validation, pages released as
+            // consumed — so the file never needs to fit in RAM.
+            // Other sources replay the materialized prefix.
+            const onepass::TraceProfile prof =
+                mapped ? mrc::profileMapped(params[i], family,
+                                            *mapped, warmup, mopts)
+                       : mrc::profileTrace(params[i], family,
+                                           replay_all, warmup,
+                                           mopts);
+            const onepass::EqTimingModel model =
+                onepass::EqTimingModel::forMachine(params[i]);
+            const onepass::ConfigProfile &cfg = prof.configs[0];
+            os << "mrc engine: sampled miss ratios (rate "
+               << sampler.rate << "); timing from the Equation 1-3 "
+                  "model\n"
+               << "  instructions        " << prof.instructions
+               << "\n"
+               << "  reads / writes      " << prof.cpuReads()
+               << " / " << prof.stores << "\n"
+               << "  L1 read misses      " << prof.l1ReadMisses
+               << " of " << prof.l1ReadRequests << " (ratio "
+               << prof.l1GlobalMissRatio() << ")\n"
+               << "  L2 read misses      " << cfg.filtered.readMisses
+               << " of " << cfg.filtered.reads << " (local "
+               << cfg.filtered.localMissRatio() << ", global "
+               << cfg.filtered.globalMissRatio(prof.cpuReads())
+               << ")\n";
+            if (params[i].measureSolo)
+                os << "  L2 solo miss ratio  "
+                   << cfg.solo.localMissRatio() << "\n";
+            os << "  modelled CPI        " << model.cpi(prof, 0)
                << "\n"
                << "  modelled rel exec   " << model.relExec(prof, 0)
                << "\n";

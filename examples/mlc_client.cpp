@@ -2,7 +2,7 @@
  * @file
  * Client for the what-if query daemon (mlc_serve).
  *
- * Two modes:
+ * Three modes:
  *
  *  - line mode (default): each line on stdin is sent as one
  *    request, each response printed to stdout — the composable
@@ -10,6 +10,11 @@
  *      $ echo '{"op":"stats"}' | ./mlc_client --socket=/tmp/mlc.sock
  *    Lines are sent as fast as stdin yields them (pipelined), so a
  *    here-doc of N queries exercises the server's batch collapsing.
+ *
+ *  - metrics mode (positional `metrics`): one `{"op":"metrics"}`
+ *    round trip, the exposition text printed unescaped — the shim
+ *    that turns a scrape config into one exec line:
+ *      $ ./mlc_client --socket=/tmp/mlc.sock metrics
  *
  *  - load mode (--load): the seeded Zipf load generator the
  *    serve_throughput bench uses, printing a one-line JSON summary:
@@ -34,9 +39,11 @@ void
 usage()
 {
     std::cerr
-        << "usage: mlc_client --socket=PATH [--load ...]\n"
+        << "usage: mlc_client --socket=PATH [metrics] [--load ...]\n"
         << "  line mode (default): requests on stdin, responses on "
            "stdout\n"
+        << "  metrics           print the server's Prometheus-style "
+           "exposition text\n"
         << "  --load            run the seeded load generator\n"
         << "    --clients=N     concurrent connections (default "
            "1)\n"
@@ -84,6 +91,42 @@ lineMode(const std::string &socket_path)
 }
 
 int
+metricsMode(const std::string &socket_path)
+{
+    serve::LineClient client(socket_path);
+    if (!client.sendLine(R"({"op":"metrics","id":"m"})")) {
+        std::cerr << "mlc_client: server hung up\n";
+        return 1;
+    }
+    std::string resp;
+    if (!client.recvLine(resp)) {
+        std::cerr << "mlc_client: connection closed before the "
+                     "metrics response\n";
+        return 1;
+    }
+    serve::Json doc;
+    std::string err;
+    if (!serve::Json::parse(resp, doc, err))
+        mlc_fatal("mlc_client: unparseable metrics response (",
+                  err, "): ", resp);
+    const serve::Json *ok = doc.find("ok");
+    if (!ok || !ok->isBool() || !ok->asBool()) {
+        std::cerr << "mlc_client: metrics request failed: " << resp
+                  << "\n";
+        return 2;
+    }
+    const serve::Json *text = doc.find("metrics");
+    if (!text || !text->isString())
+        mlc_fatal("mlc_client: metrics response carries no "
+                  "'metrics' string: ",
+                  resp);
+    // renderMetrics() ends in a newline already; print verbatim so
+    // a scraper sees exactly the exposition bytes.
+    std::cout << text->asString();
+    return 0;
+}
+
+int
 loadMode(const serve::LoadGenOptions &opts)
 {
     const serve::LoadGenStats stats = serve::runLoadGen(opts);
@@ -114,6 +157,7 @@ main(int argc, char **argv)
 {
     std::string socket_path;
     bool load = false;
+    bool metrics = false;
     serve::LoadGenOptions opts;
 
     const auto count = [](std::string_view arg,
@@ -129,6 +173,8 @@ main(int argc, char **argv)
         const std::string_view arg = argv[i];
         if (startsWith(arg, "--socket="))
             socket_path = std::string(arg.substr(9));
+        else if (arg == "metrics")
+            metrics = true;
         else if (arg == "--load")
             load = true;
         else if (startsWith(arg, "--clients="))
@@ -162,6 +208,11 @@ main(int argc, char **argv)
         usage();
         return 1;
     }
+    if (metrics && load)
+        mlc_fatal("mlc_client: 'metrics' and --load are mutually "
+                  "exclusive");
+    if (metrics)
+        return metricsMode(socket_path);
     if (load) {
         opts.socketPath = socket_path;
         if (opts.clients == 0 || opts.requests == 0)

@@ -25,17 +25,31 @@
  *                       <in>.warm.json sidecar the query server
  *                       loads at startup — separating cold-load
  *                       profiling from steady-state serving)
+ *   sampled miss curves: trace_tools mrc <in.mlct> [--rate=P]
+ *                       [--budget=N] [--sizes=a,b,...] [--warmup=N]
+ *                       [--chunk=N]
+ *                       (stream the trace mmap'd through the
+ *                       sampled-MRC engine — DESIGN.md §5i — and
+ *                       print the miss-ratio curve over the L2
+ *                       family; the file is validated and released
+ *                       chunk by chunk, so it never needs to fit
+ *                       in RAM)
  *   checkpoint farms:   trace_tools ckpt build <farm> <trace>
  *                       [--seed=N] [--id=ID] [--sizes=a,b,...]
  *                       trace_tools ckpt ls <farm> [traceId]
  *                       trace_tools ckpt verify <farm>
+ *                       trace_tools ckpt gc <farm> [--max-bytes=N]
+ *                       [--max-age-days=D] [--dry-run]
  *                       (manage persistent live-point farms: build
  *                       runs the shared functional warmer over the
  *                       full sample schedule and publishes the
  *                       .mlcp file sampled sweeps load instead of
  *                       re-warming; ls prints verified headers;
  *                       verify deep-decodes every window of every
- *                       entry)
+ *                       entry; gc retires entries over an age or
+ *                       total-size limit, oldest first —
+ *                       checkpoints are pure caches, so retirement
+ *                       is always safe)
  */
 
 #include <algorithm>
@@ -52,6 +66,7 @@
 #include "ckpt/store.hh"
 #include "expt/design_space.hh"
 #include "hier/hierarchy_config.hh"
+#include "mrc/engine.hh"
 #include "sample/engine.hh"
 #include "sample/sweep.hh"
 #include "serve/json.hh"
@@ -403,6 +418,111 @@ cmdWarm(int argc, char **argv)
     return 0;
 }
 
+int
+cmdMrc(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::cerr << "usage: trace_tools mrc <in.mlct> [--rate=P] "
+                     "[--budget=N] [--sizes=a,b,...] [--warmup=N] "
+                     "[--chunk=N]\n";
+        return 1;
+    }
+    const std::string path = argv[2];
+    if (isDinero(path) || isCompressed(path)) {
+        std::cerr << "mrc: streams MLCT binary traces only (got "
+                  << path << "); use 'conv' first\n";
+        return 1;
+    }
+
+    mrc::MrcOptions opts;
+    std::vector<std::uint64_t> sizes;
+    std::uint64_t warmup = 0;
+    bool warmup_given = false;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (startsWith(arg, "--rate=")) {
+            opts.sampler.rate =
+                std::strtod(arg.c_str() + 7, nullptr);
+            if (!(opts.sampler.rate > 0.0) ||
+                opts.sampler.rate > 1.0) {
+                std::cerr << "mrc: bad --rate value (expected a "
+                             "rate in (0, 1])\n";
+                return 1;
+            }
+        } else if (startsWith(arg, "--budget=")) {
+            opts.sampler.budget =
+                std::strtoull(arg.c_str() + 9, nullptr, 0);
+        } else if (startsWith(arg, "--warmup=")) {
+            warmup = std::strtoull(arg.c_str() + 9, nullptr, 0);
+            warmup_given = true;
+        } else if (startsWith(arg, "--chunk=")) {
+            opts.streamChunkRefs =
+                std::strtoull(arg.c_str() + 8, nullptr, 0);
+        } else if (startsWith(arg, "--sizes=")) {
+            std::string list = arg.substr(8);
+            for (char &c : list)
+                if (c == ',')
+                    c = ' ';
+            std::istringstream in(list);
+            std::uint64_t s;
+            while (in >> s)
+                sizes.push_back(s);
+            if (!in.eof() || sizes.empty()) {
+                std::cerr << "mrc: bad --sizes value: "
+                          << arg.substr(8) << "\n";
+                return 1;
+            }
+        } else {
+            std::cerr << "mrc: unknown argument '" << arg << "'\n";
+            return 1;
+        }
+    }
+    if (sizes.empty())
+        sizes = expt::paperSizes();
+
+    // Lazy validation: profileMapped() vets each chunk just before
+    // replaying it and releases its pages after, so peak RSS is one
+    // chunk plus the sampled state no matter the file size.
+    const MappedBinaryTrace mapped(
+        path, MappedBinaryTrace::Backing::Auto,
+        MappedBinaryTrace::Validation::Lazy);
+    if (mapped.span().size == 0) {
+        std::cerr << "mrc: " << path << " holds no references\n";
+        return 1;
+    }
+    if (!warmup_given)
+        warmup = mapped.span().size / 4;
+
+    const hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+    const onepass::FamilySpec family =
+        onepass::FamilySpec::l2Grid(base, sizes);
+    opts.solo = true;
+    const onepass::TraceProfile prof =
+        mrc::profileMapped(base, family, mapped, warmup, opts);
+
+    std::cout << "profiled " << mapped.span().size << " refs ("
+              << warmup << " warm-up) at rate " << opts.sampler.rate
+              << (opts.sampler.budget != 0 ? " (adaptive)" : "")
+              << "\nL1 read miss ratio: " << prof.l1GlobalMissRatio()
+              << "\n\n";
+    Table t;
+    t.addColumn("L2 size", Align::Left);
+    t.addColumn("local miss");
+    t.addColumn("global miss");
+    t.addColumn("solo miss");
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        const onepass::ConfigProfile &cfg = prof.configs[s];
+        t.newRow()
+            .cell(formatSize(sizes[s]))
+            .cell(cfg.filtered.localMissRatio(), 4)
+            .cell(cfg.filtered.globalMissRatio(prof.cpuReads()), 4)
+            .cell(cfg.solo.localMissRatio(), 4);
+    }
+    t.print(std::cout);
+    return 0;
+}
+
 /** File stem ("/a/b/t0.mlct" -> "t0") — must match the query
  *  server's workload tag for file-backed traces, so farms built
  *  here are the farms mlc_serve finds. */
@@ -442,13 +562,15 @@ cmdCkpt(int argc, char **argv)
             << "usage: trace_tools ckpt build <farm> <trace> "
                "[--seed=N] [--id=ID] [--sizes=a,b,...]\n"
             << "       trace_tools ckpt ls <farm> [traceId]\n"
-            << "       trace_tools ckpt verify <farm>\n";
+            << "       trace_tools ckpt verify <farm>\n"
+            << "       trace_tools ckpt gc <farm> [--max-bytes=N] "
+               "[--max-age-days=D] [--dry-run]\n";
         return 1;
     };
     if (argc < 4)
         return usage();
     const std::string verb = argv[2];
-    if ((verb == "ls" || verb == "verify") &&
+    if ((verb == "ls" || verb == "verify" || verb == "gc") &&
         !std::filesystem::is_directory(argv[3])) {
         std::cerr << "ckpt " << verb
                   << ": no such farm directory: " << argv[3]
@@ -488,6 +610,46 @@ cmdCkpt(int argc, char **argv)
         std::cout << total - bad << "/" << total
                   << " entries verified clean\n";
         return bad == 0 ? 0 : 1;
+    }
+
+    if (verb == "gc") {
+        ckpt::CheckpointStore::GcOptions gopts;
+        for (int i = 4; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (startsWith(arg, "--max-bytes=")) {
+                gopts.maxBytes =
+                    std::strtoull(arg.c_str() + 12, nullptr, 0);
+            } else if (startsWith(arg, "--max-age-days=")) {
+                gopts.maxAgeDays =
+                    std::strtod(arg.c_str() + 15, nullptr);
+                if (gopts.maxAgeDays <= 0.0) {
+                    std::cerr << "ckpt gc: bad --max-age-days "
+                                 "value: "
+                              << arg.substr(15) << "\n";
+                    return 1;
+                }
+            } else if (arg == "--dry-run") {
+                gopts.dryRun = true;
+            } else {
+                return usage();
+            }
+        }
+        const ckpt::CheckpointStore::GcResult r = store.gc(gopts);
+        const char *would = gopts.dryRun ? "would retire" : "retired";
+        for (const ckpt::CheckpointStore::GcAction &a : r.retired)
+            std::cout << "  " << would << " (" << a.reason << ") "
+                      << a.path << " (" << formatSize(a.bytes)
+                      << ")\n";
+        std::cout << "scanned " << r.scanned << " entries ("
+                  << formatSize(r.scannedBytes) << "), " << would
+                  << " " << r.retired.size() << " ("
+                  << formatSize(r.retiredBytes) << "), kept "
+                  << formatSize(r.keptBytes);
+        if (r.removedDirs > 0)
+            std::cout << ", pruned " << r.removedDirs
+                      << " empty farm dirs";
+        std::cout << "\n";
+        return 0;
     }
 
     if (verb != "build" || argc < 5)
@@ -575,7 +737,7 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::cerr << "usage: trace_tools "
-                     "gen|synth|conv|stat|warm|ckpt ...\n";
+                     "gen|synth|conv|stat|warm|mrc|ckpt ...\n";
         return 1;
     }
     if (std::strcmp(argv[1], "gen") == 0)
@@ -588,6 +750,8 @@ main(int argc, char **argv)
         return cmdStat(argc, argv);
     if (std::strcmp(argv[1], "warm") == 0)
         return cmdWarm(argc, argv);
+    if (std::strcmp(argv[1], "mrc") == 0)
+        return cmdMrc(argc, argv);
     if (std::strcmp(argv[1], "ckpt") == 0)
         return cmdCkpt(argc, argv);
     std::cerr << "unknown command '" << argv[1] << "'\n";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -554,6 +555,124 @@ CheckpointStore::verifyFile(const std::string &path)
     e.ok = true;
     e.meta = reader->meta();
     return e;
+}
+
+CheckpointStore::GcResult
+CheckpointStore::gc(const GcOptions &opts) const
+{
+    struct Candidate
+    {
+        fs::file_time_type mtime;
+        std::string path;
+        std::string traceId;
+        std::uint64_t bytes;
+        const char *reason = nullptr; //!< non-null = condemned
+    };
+
+    GcResult res;
+    std::error_code ec;
+    if (!fs::is_directory(root_, ec))
+        return res;
+
+    std::vector<Candidate> files;
+    for (const std::string &id : traceIds()) {
+        const fs::path farm = fs::path(root_) / id;
+        std::error_code fec;
+        for (const auto &f : fs::directory_iterator(farm, fec)) {
+            if (f.path().extension() != ".mlcp")
+                continue;
+            std::error_code se, te;
+            const std::uint64_t bytes = f.file_size(se);
+            const fs::file_time_type mtime =
+                fs::last_write_time(f.path(), te);
+            if (se || te)
+                continue; // raced with a concurrent retirement
+            files.push_back({mtime, f.path().generic_string(), id,
+                             bytes, nullptr});
+        }
+    }
+
+    // Oldest first, path as the tie-break: the retirement set is a
+    // pure function of the farm's (mtime, path, size) listing.
+    std::sort(files.begin(), files.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+
+    res.scanned = files.size();
+    for (const Candidate &f : files)
+        res.scannedBytes += f.bytes;
+    std::uint64_t kept_bytes = res.scannedBytes;
+
+    if (opts.maxAgeDays > 0.0) {
+        const auto age_limit =
+            std::chrono::duration_cast<fs::file_time_type::duration>(
+                std::chrono::duration<double, std::ratio<86400>>(
+                    opts.maxAgeDays));
+        const fs::file_time_type cutoff =
+            fs::file_time_type::clock::now() - age_limit;
+        for (Candidate &f : files)
+            if (f.mtime < cutoff) {
+                f.reason = "age";
+                kept_bytes -= f.bytes;
+            }
+    }
+
+    if (opts.maxBytes > 0)
+        for (Candidate &f : files) {
+            if (kept_bytes <= opts.maxBytes)
+                break;
+            if (f.reason)
+                continue;
+            f.reason = "size";
+            kept_bytes -= f.bytes;
+        }
+
+    std::vector<fs::path> touched_farms;
+    for (const Candidate &f : files) {
+        if (!f.reason)
+            continue;
+        res.retired.push_back({f.path, f.traceId, f.bytes,
+                               f.reason});
+        res.retiredBytes += f.bytes;
+        if (opts.dryRun)
+            continue;
+        std::error_code re;
+        fs::remove(f.path, re);
+        // A failed removal (already gone, permissions) is not
+        // fatal: the entry stays listed as retired intent; a
+        // re-run will pick it up again.
+        touched_farms.push_back(fs::path(f.path).parent_path());
+    }
+    res.keptBytes = kept_bytes;
+
+    if (!opts.dryRun) {
+        // Prune emptied farm directories, walking up to (but never
+        // including) the root — trace ids may nest ("suite/name").
+        std::sort(touched_farms.begin(), touched_farms.end());
+        touched_farms.erase(std::unique(touched_farms.begin(),
+                                        touched_farms.end()),
+                            touched_farms.end());
+        const fs::path root_canon =
+            fs::weakly_canonical(root_, ec);
+        for (fs::path dir : touched_farms) {
+            while (true) {
+                std::error_code de;
+                if (fs::weakly_canonical(dir, de) == root_canon)
+                    break;
+                if (!fs::is_directory(dir, de) ||
+                    !fs::is_empty(dir, de) || de)
+                    break;
+                if (!fs::remove(dir, de) || de)
+                    break;
+                ++res.removedDirs;
+                dir = dir.parent_path();
+            }
+        }
+    }
+    return res;
 }
 
 } // namespace ckpt

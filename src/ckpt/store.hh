@@ -245,6 +245,56 @@ class CheckpointStore
      */
     static FarmEntry verifyFile(const std::string &path);
 
+    /** @{ @name Farm retirement (gc) */
+
+    /** What gc() retires. Zero means "no limit" for both knobs;
+     *  with both zero gc() only scans. */
+    struct GcOptions
+    {
+        /** Retire oldest-first until the farm holds at most this
+         *  many bytes of .mlcp files. */
+        std::uint64_t maxBytes = 0;
+        /** Retire every entry whose mtime is older than this many
+         *  days (fractional days allowed). */
+        double maxAgeDays = 0.0;
+        /** Report what would be retired without deleting. */
+        bool dryRun = false;
+    };
+
+    /** One entry gc retired (or would retire, under dryRun). */
+    struct GcAction
+    {
+        std::string path;
+        std::string traceId;
+        std::uint64_t bytes = 0;
+        /** "age" or "size" — which limit condemned it. */
+        const char *reason = "";
+    };
+
+    struct GcResult
+    {
+        std::uint64_t scanned = 0;
+        std::uint64_t scannedBytes = 0;
+        std::vector<GcAction> retired;
+        std::uint64_t retiredBytes = 0;
+        std::uint64_t keptBytes = 0;
+        /** Emptied farm directories pruned (0 under dryRun). */
+        std::uint64_t removedDirs = 0;
+    };
+
+    /**
+     * Retire checkpoint files across every farm: first everything
+     * over the age limit, then — if the remainder still exceeds
+     * maxBytes — oldest-first (path as the tie-break, so the
+     * selection is deterministic) until it fits. Farm directories
+     * left empty are pruned. Checkpoints are pure caches, so
+     * retirement is always safe: the next sweep that misses simply
+     * re-warms and republishes.
+     */
+    GcResult gc(const GcOptions &opts) const;
+
+    /** @} */
+
   private:
     std::string root_;
 };

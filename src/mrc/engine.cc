@@ -1,0 +1,213 @@
+#include "mrc/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "onepass/grid.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace mlc {
+namespace mrc {
+
+namespace {
+
+std::uint32_t
+maxAssoc(const std::vector<onepass::GhostCacheSpec> &configs)
+{
+    std::uint32_t m = 1;
+    for (const onepass::GhostCacheSpec &spec : configs)
+        m = std::max(m, spec.assoc);
+    return m;
+}
+
+} // namespace
+
+StreamingProfiler::StreamingProfiler(
+    const hier::HierarchyParams &base,
+    const onepass::FamilySpec &family, std::uint64_t warmup_refs,
+    const MrcOptions &opts)
+    : family_([&] {
+          if (family.configs.empty())
+              mlc_panic("mrc::StreamingProfiler: empty cache "
+                        "family");
+          return family;
+      }()),
+      opts_(opts), warmup_(warmup_refs), filter_(base),
+      filtered_(family_.configs,
+                onepass::GhostPolicies::fromLevel(
+                    [&]() -> const cache::CacheParams & {
+                        const hier::HierarchyParams &p =
+                            filter_.params();
+                        if (p.levels.empty())
+                            mlc_panic(
+                                "mrc::StreamingProfiler: the base "
+                                "machine has no downstream level "
+                                "for the family to stand in for");
+                        return p.levels[0];
+                    }(),
+                    maxAssoc(family_.configs)),
+                opts.sampler)
+{
+    const hier::HierarchyParams &params = filter_.params();
+    const std::uint32_t l1_block = std::max(
+        params.l1d.geometry.blockBytes,
+        params.splitL1 ? params.l1i.geometry.blockBytes : 0u);
+    for (const onepass::GhostCacheSpec &spec : family_.configs)
+        if (spec.blockBytes < l1_block)
+            mlc_panic("mrc::StreamingProfiler: family member ",
+                      spec.toString(),
+                      " has a smaller block than the ", l1_block,
+                      "B first-level block, which the hierarchy "
+                      "disallows");
+
+    const onepass::GhostPolicies policies =
+        onepass::GhostPolicies::fromLevel(
+            params.levels[0], maxAssoc(family_.configs));
+    if (opts_.solo)
+        solo_ = std::make_unique<SampledGhostForest>(
+            family_.configs, policies, opts_.sampler);
+
+    if (opts_.faBound) {
+        const std::vector<onepass::BlockGroup> groups =
+            onepass::blockGroups(family_.configs);
+        faOfConfig_.resize(family_.configs.size());
+        fa_.reserve(groups.size());
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            fa_.emplace_back(groups[g].blockBytes, opts_.sampler);
+            for (std::size_t m : groups[g].members)
+                faOfConfig_[m] = g;
+        }
+    }
+}
+
+void
+StreamingProfiler::step(const trace::MemRef &ref)
+{
+    if (steps_ == warmup_) {
+        filter_.resetCounts();
+        filtered_.resetCounts();
+        if (solo_)
+            solo_->resetCounts();
+        // FA analyzers span the whole stream, as in the exact
+        // engine: a stack-distance profile has no tag state to
+        // warm.
+    }
+    ++steps_;
+    Sink sink{filtered_};
+    filter_.step(ref, sink);
+    if (solo_)
+        solo_->soloAccess(ref);
+    for (SampledStackDistance &a : fa_)
+        a.access(ref.addr);
+}
+
+onepass::TraceProfile
+StreamingProfiler::finish()
+{
+    onepass::TraceProfile out;
+    out.instructions = filter_.instructions();
+    out.ifetches = filter_.ifetches();
+    out.loads = filter_.loads();
+    out.stores = filter_.stores();
+    out.l1ReadRequests = filter_.l1ReadRequests();
+    out.l1ReadMisses = filter_.l1ReadMisses();
+    out.configs.resize(family_.configs.size());
+    for (std::size_t i = 0; i < family_.configs.size(); ++i) {
+        onepass::ConfigProfile &cp = out.configs[i];
+        cp.spec = family_.configs[i];
+        cp.filtered = filtered_.counts(i);
+        if (solo_)
+            cp.solo = solo_->counts(i);
+        if (opts_.faBound) {
+            const SampledStackDistance &a = fa_[faOfConfig_[i]];
+            cp.faMissRatio = a.missRatio(cp.spec.sizeBytes /
+                                         cp.spec.blockBytes);
+            cp.faCompulsory = static_cast<std::uint64_t>(
+                std::llround(a.infiniteWeight()));
+        }
+    }
+    return out;
+}
+
+onepass::TraceProfile
+profileTrace(const hier::HierarchyParams &base,
+             const onepass::FamilySpec &family, trace::RefSpan refs,
+             std::uint64_t warmup_refs, const MrcOptions &opts)
+{
+    StreamingProfiler prof(base, family, warmup_refs, opts);
+    for (std::size_t i = 0; i < refs.size; ++i)
+        prof.step(refs[i]);
+    return prof.finish();
+}
+
+onepass::TraceProfile
+profileTrace(const hier::HierarchyParams &base,
+             const onepass::FamilySpec &family,
+             const std::vector<trace::MemRef> &refs,
+             std::uint64_t warmup_refs, const MrcOptions &opts)
+{
+    return profileTrace(base, family,
+                        trace::RefSpan{refs.data(), refs.size()},
+                        warmup_refs, opts);
+}
+
+onepass::TraceProfile
+profileMapped(const hier::HierarchyParams &base,
+              const onepass::FamilySpec &family,
+              const trace::MappedBinaryTrace &mapped,
+              std::uint64_t warmup_refs, const MrcOptions &opts)
+{
+    mapped.adviseSequential();
+    StreamingProfiler prof(base, family, warmup_refs, opts);
+    const trace::RefSpan all = mapped.span();
+    const std::size_t chunk =
+        opts.streamChunkRefs == 0
+            ? (all.size == 0 ? 1 : all.size)
+            : static_cast<std::size_t>(opts.streamChunkRefs);
+    for (std::size_t begin = 0; begin < all.size; begin += chunk) {
+        const std::size_t n = std::min(chunk, all.size - begin);
+        mapped.validateRange(begin, n);
+        for (std::size_t j = 0; j < n; ++j)
+            prof.step(all[begin + j]);
+        mapped.releaseConsumed(begin + n);
+    }
+    return prof.finish();
+}
+
+std::vector<onepass::TraceProfile>
+profileSuite(const hier::HierarchyParams &base,
+             const onepass::FamilySpec &family,
+             const expt::TraceStore &store, std::size_t jobs,
+             const MrcOptions &opts)
+{
+    if (family.configs.empty())
+        mlc_panic("mrc::profileSuite: empty cache family");
+    std::vector<onepass::TraceProfile> out(store.size());
+    parallelFor(jobs, out.size(), [&](std::size_t t) {
+        out[t] = profileTrace(base, family, store.traces()[t],
+                              expt::scaledWarmup(store.specs()[t]),
+                              opts);
+        out[t].traceName = store.specs()[t].name;
+    });
+    return out;
+}
+
+expt::DesignSpaceGrid
+buildGrid(const hier::HierarchyParams &base,
+          const std::vector<std::uint64_t> &sizes,
+          const std::vector<std::uint32_t> &cycles,
+          const expt::TraceStore &store, std::size_t jobs,
+          const SamplerConfig &sampler)
+{
+    const onepass::FamilySpec family =
+        onepass::FamilySpec::l2Grid(base, sizes);
+    MrcOptions opts;
+    opts.sampler = sampler;
+    const std::vector<onepass::TraceProfile> profiles =
+        profileSuite(base, family, store, jobs, opts);
+    return onepass::gridFromProfiles(base, sizes, cycles, profiles);
+}
+
+} // namespace mrc
+} // namespace mlc

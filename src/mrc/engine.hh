@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Streaming sampled-MRC engine: the one-pass profiling pipeline
+ * with spatial sampling underneath, shaped for traces that do not
+ * fit in RAM.
+ *
+ * Two things change relative to onepass::profileTrace, and nothing
+ * else does:
+ *
+ *  1. The ghost forest and FA analyzers are the sampled miniatures
+ *     (SampledGhostForest, SampledStackDistance), so cache state is
+ *     O(p * footprint) — or O(budget) in adaptive mode — instead of
+ *     O(family size * footprint).
+ *  2. The replay is *streaming*: StreamingProfiler exposes a
+ *     per-reference step(), so the trace never needs to be
+ *     materialized. profileMapped() drives it straight off an
+ *     mmap'd binary trace in fixed-size chunks, releasing each
+ *     chunk's pages (MADV_DONTNEED) as it goes — peak RSS is one
+ *     chunk plus the sampled state, independent of trace length.
+ *
+ * Everything downstream is shared with the exact engine: the
+ * L1Filter replay is exact (its state is the L1's, bounded by the
+ * L1's size), profiles come out as onepass::TraceProfile, and
+ * onepass::gridFromProfiles / EqTimingModel price them unchanged.
+ * At rate 1.0 the output is bit-identical to onepass::profileTrace
+ * — the sampled engine *is* the exact engine with a filter whose
+ * pass rate happens to be 1.
+ */
+
+#ifndef MLC_MRC_ENGINE_HH
+#define MLC_MRC_ENGINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "expt/design_space.hh"
+#include "expt/workload_suite.hh"
+#include "hier/hierarchy_config.hh"
+#include "mrc/sampled_ghost.hh"
+#include "mrc/sampled_stack.hh"
+#include "onepass/engine.hh"
+#include "onepass/l1_filter.hh"
+#include "trace/binary.hh"
+
+namespace mlc {
+namespace mrc {
+
+/** What and how the sampled engine profiles. */
+struct MrcOptions
+{
+    /** Sampling rate / adaptive budget, shared by the forest and
+     *  the FA analyzers. */
+    SamplerConfig sampler;
+    /** Co-profile a solo forest on the raw CPU stream. */
+    bool solo = false;
+    /** Sampled FA-LRU bound per distinct block size. */
+    bool faBound = false;
+    /** profileMapped validates/releases in chunks of this many
+     *  records (1M refs = 16MB of trace); 0 = one chunk. */
+    std::uint64_t streamChunkRefs = std::uint64_t{1} << 20;
+};
+
+/**
+ * The engine's heart, exposed for streaming callers: construct,
+ * feed every reference in order through step(), then finish().
+ * step() handles the warm-up boundary internally (counts reset
+ * after warmup_refs references, tag state kept — the same contract
+ * as onepass::profileTrace). Chunking upstream cannot change the
+ * result: the profiler is a pure state machine over the reference
+ * sequence.
+ */
+class StreamingProfiler
+{
+  public:
+    StreamingProfiler(const hier::HierarchyParams &base,
+                      const onepass::FamilySpec &family,
+                      std::uint64_t warmup_refs,
+                      const MrcOptions &opts);
+
+    void step(const trace::MemRef &ref);
+
+    /** References fed so far. */
+    std::uint64_t steps() const { return steps_; }
+
+    /** Assemble the profile (callable once; the profiler keeps no
+     *  use after it). */
+    onepass::TraceProfile finish();
+
+  private:
+    struct Sink
+    {
+        SampledGhostForest &forest;
+        void
+        onRead(Addr addr, bool counted)
+        {
+            forest.read(addr, counted);
+        }
+        void
+        onWrite(Addr addr)
+        {
+            forest.write(addr);
+        }
+    };
+
+    onepass::FamilySpec family_;
+    MrcOptions opts_;
+    std::uint64_t warmup_;
+    std::uint64_t steps_ = 0;
+    onepass::L1Filter filter_;
+    SampledGhostForest filtered_;
+    std::unique_ptr<SampledGhostForest> solo_;
+    std::vector<SampledStackDistance> fa_;
+    std::vector<std::size_t> faOfConfig_;
+};
+
+/** Sampled counterpart of onepass::profileTrace (materialized or
+ *  spanned refs). */
+onepass::TraceProfile
+profileTrace(const hier::HierarchyParams &base,
+             const onepass::FamilySpec &family, trace::RefSpan refs,
+             std::uint64_t warmup_refs, const MrcOptions &opts = {});
+
+onepass::TraceProfile
+profileTrace(const hier::HierarchyParams &base,
+             const onepass::FamilySpec &family,
+             const std::vector<trace::MemRef> &refs,
+             std::uint64_t warmup_refs, const MrcOptions &opts = {});
+
+/**
+ * Stream an mmap'd binary trace through the profiler in
+ * streamChunkRefs-sized windows, validating each window before
+ * replay (lazy traces) and releasing its pages after. Bit-identical
+ * to profileTrace over the same records for any chunk size.
+ */
+onepass::TraceProfile
+profileMapped(const hier::HierarchyParams &base,
+              const onepass::FamilySpec &family,
+              const trace::MappedBinaryTrace &mapped,
+              std::uint64_t warmup_refs, const MrcOptions &opts = {});
+
+/** Sampled counterpart of onepass::profileSuite: parallel across
+ *  traces, output order fixed — bit-identical for any @p jobs. */
+std::vector<onepass::TraceProfile>
+profileSuite(const hier::HierarchyParams &base,
+             const onepass::FamilySpec &family,
+             const expt::TraceStore &store, std::size_t jobs = 1,
+             const MrcOptions &opts = {});
+
+/** Sampled counterpart of onepass::buildGrid: profile the L2 family
+ *  once per trace at the sampled rate, then price every (size,
+ *  cycle) cell analytically via onepass::gridFromProfiles. */
+expt::DesignSpaceGrid
+buildGrid(const hier::HierarchyParams &base,
+          const std::vector<std::uint64_t> &sizes,
+          const std::vector<std::uint32_t> &cycles,
+          const expt::TraceStore &store, std::size_t jobs = 1,
+          const SamplerConfig &sampler = {});
+
+} // namespace mrc
+} // namespace mlc
+
+#endif // MLC_MRC_ENGINE_HH

@@ -1,0 +1,162 @@
+#include "mrc/sampled_stack.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace mlc {
+namespace mrc {
+
+SampledStackDistance::SampledStackDistance(
+    std::uint64_t granule_bytes, const SamplerConfig &sampler)
+    : sampler_(sampler)
+{
+    if (granule_bytes == 0 || !isPowerOfTwo(granule_bytes))
+        mlc_panic("SampledStackDistance: granule size must be a "
+                  "power of two, got ",
+                  granule_bytes, " bytes");
+    granuleShift_ = exactLog2(granule_bytes);
+    fenwick_.assign(1, 0);
+}
+
+void
+SampledStackDistance::fenwickAdd(std::size_t pos,
+                                 std::int64_t delta)
+{
+    for (std::size_t i = pos; i < fenwick_.size();
+         i += i & (~i + 1))
+        fenwick_[i] += delta;
+}
+
+std::int64_t
+SampledStackDistance::fenwickPrefix(std::size_t pos) const
+{
+    std::int64_t sum = 0;
+    for (std::size_t i = pos; i > 0; i -= i & (~i + 1))
+        sum += fenwick_[i];
+    return sum;
+}
+
+void
+SampledStackDistance::compact()
+{
+    std::vector<std::pair<std::size_t, Addr>> order;
+    order.reserve(last_.size());
+    for (const auto &[granule, entry] : last_)
+        order.emplace_back(entry.when, granule);
+    std::sort(order.begin(), order.end());
+
+    now_ = order.size();
+    fenwick_.assign(2 * now_ + 2, 0);
+    std::size_t t = 1;
+    for (auto &[when, granule] : order) {
+        (void)when;
+        last_[granule].when = t;
+        fenwickAdd(t, 1);
+        ++t;
+    }
+}
+
+void
+SampledStackDistance::recordDistance(std::uint64_t scaled,
+                                     double weight)
+{
+    if (scaled < kExactLimit) {
+        if (scaled >= exactW_.size())
+            exactW_.resize(static_cast<std::size_t>(scaled) + 1, 0);
+        exactW_[static_cast<std::size_t>(scaled)] += weight;
+    } else {
+        overLimitW_ += weight;
+    }
+}
+
+std::uint64_t
+SampledStackDistance::access(Addr addr)
+{
+    const Addr granule = addr >> granuleShift_;
+    ++references_;
+
+    const std::uint64_t h = hashBlock(granule);
+    if (!sampler_.keep(h))
+        return kNotSampled;
+    ++sampledReferences_;
+    const double rate = sampler_.rate();
+    const double weight = 1.0 / rate;
+    totalW_ += weight;
+
+    ++now_;
+    if (now_ >= fenwick_.size()) {
+        if (fenwick_.size() > 4 * (last_.size() + 1)) {
+            compact();
+            ++now_;
+        } else {
+            fenwick_.assign(2 * fenwick_.size() + 2, 0);
+            for (const auto &[live_granule, entry] : last_) {
+                (void)live_granule;
+                fenwickAdd(entry.when, 1);
+            }
+        }
+    }
+
+    auto it = last_.find(granule);
+    std::uint64_t distance;
+    if (it == last_.end()) {
+        distance = kInfinite;
+        infiniteW_ += weight;
+    } else {
+        const std::int64_t between =
+            fenwickPrefix(now_ - 1) - fenwickPrefix(it->second.when);
+        // Distinct *sampled* granules in between; each stands for
+        // 1/p distinct full-stream granules.
+        distance = static_cast<std::uint64_t>(std::llround(
+            static_cast<double>(between) / rate));
+        fenwickAdd(it->second.when, -1);
+        recordDistance(distance, weight);
+    }
+
+    fenwickAdd(now_, 1);
+    last_[granule] = Entry{now_, h};
+
+    if (sampler_.adaptive() && last_.size() > sampler_.budget())
+        enforceBudget();
+    return distance;
+}
+
+void
+SampledStackDistance::enforceBudget()
+{
+    while (last_.size() > sampler_.budget() &&
+           sampler_.threshold() > 1) {
+        sampler_.lower();
+        for (auto it = last_.begin(); it != last_.end();) {
+            if (!sampler_.keep(it->second.hash)) {
+                fenwickAdd(it->second.when, -1);
+                it = last_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+double
+SampledStackDistance::missRatio(
+    std::uint64_t capacity_granules) const
+{
+    if (capacity_granules >= kExactLimit)
+        mlc_panic("SampledStackDistance::missRatio beyond exact "
+                  "tracking limit");
+    if (totalW_ == 0.0)
+        return 0.0;
+    double misses = infiniteW_ + overLimitW_;
+    for (std::size_t d =
+             static_cast<std::size_t>(capacity_granules);
+         d < exactW_.size(); ++d)
+        misses += exactW_[d];
+    return misses / totalW_;
+}
+
+} // namespace mrc
+} // namespace mlc

@@ -40,13 +40,7 @@ maxAssoc(const std::vector<GhostCacheSpec> &configs)
     return m;
 }
 
-/** Distinct block sizes in first-appearance order, with the member
- *  indices using each. */
-struct BlockGroup
-{
-    std::uint32_t blockBytes;
-    std::vector<std::size_t> members;
-};
+} // namespace
 
 std::vector<BlockGroup>
 blockGroups(const std::vector<GhostCacheSpec> &configs)
@@ -65,8 +59,6 @@ blockGroups(const std::vector<GhostCacheSpec> &configs)
     }
     return groups;
 }
-
-} // namespace
 
 std::string
 FamilySpec::key() const

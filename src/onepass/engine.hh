@@ -69,6 +69,19 @@ struct FamilySpec
     std::string key() const;
 };
 
+/** Distinct block sizes in first-appearance order, with the member
+ *  indices using each — the parallel grain of profileSuite and the
+ *  decode-sharing unit both the exact and the sampled (mrc)
+ *  engines split families by. */
+struct BlockGroup
+{
+    std::uint32_t blockBytes;
+    std::vector<std::size_t> members;
+};
+
+std::vector<BlockGroup>
+blockGroups(const std::vector<GhostCacheSpec> &configs);
+
 /** What to compute beyond the filtered-stream counts. */
 struct ProfileOptions
 {

@@ -1,5 +1,6 @@
 #include "onepass/ghost_tags.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/bits.hh"
@@ -63,37 +64,12 @@ GhostTagArray::GhostTagArray(std::uint64_t sets, std::uint32_t ways)
     stamps_.resize(sets * ways_, 0);
 }
 
-namespace {
-
-/**
- * Branch-free hit scan over one SoA set row: 1 + the matching way,
- * or 0 on a miss. A tag lives in at most one valid way (installs
- * only happen on misses), so the sum over ways of
- * match * (way + 1) *is* the answer, and a plain sum reduction of
- * loads is the form the auto-vectorizer handles on every x86-64
- * level with 64-bit lane compares (v2 and up) — unlike a bitmask
- * build, whose per-way variable shift needs AVX2.
- */
-inline std::uint64_t
-hitWayPlusOne(const std::uint64_t *tags, const std::uint64_t *stamps,
-              std::uint32_t ways, std::uint64_t tag)
-{
-    std::uint64_t hit = 0;
-    for (std::uint32_t w = 0; w < ways; ++w)
-        hit += static_cast<std::uint64_t>(
-                   (stamps[w] != 0) & (tags[w] == tag)) *
-               (w + 1);
-    return hit;
-}
-
-} // namespace
-
 bool
 GhostTagArray::touchOrInstallAt(std::uint64_t set, std::uint64_t tag)
 {
     std::uint64_t *tags = tags_.data() + set * ways_;
     std::uint64_t *stamps = stamps_.data() + set * ways_;
-    const std::uint64_t hit = hitWayPlusOne(tags, stamps, ways_, tag);
+    const std::uint64_t hit = ghostHitScan(tags, stamps, ways_, tag);
     if (hit != 0) {
         stamps[hit - 1] = ++stamp_;
         return true;
@@ -114,7 +90,7 @@ GhostTagArray::touchOnlyAt(std::uint64_t set, std::uint64_t tag)
 {
     std::uint64_t *tags = tags_.data() + set * ways_;
     std::uint64_t *stamps = stamps_.data() + set * ways_;
-    const std::uint64_t hit = hitWayPlusOne(tags, stamps, ways_, tag);
+    const std::uint64_t hit = ghostHitScan(tags, stamps, ways_, tag);
     if (hit == 0)
         return false;
     stamps[hit - 1] = ++stamp_;
@@ -129,6 +105,21 @@ GhostTagArray::validCount() const
         if (s != 0)
             ++n;
     return n;
+}
+
+std::vector<GhostLine>
+GhostTagArray::validLines() const
+{
+    std::vector<GhostLine> lines;
+    lines.reserve(validCount());
+    for (std::size_t i = 0; i < stamps_.size(); ++i)
+        if (stamps_[i] != 0)
+            lines.push_back({i / ways_, tags_[i], stamps_[i]});
+    std::sort(lines.begin(), lines.end(),
+              [](const GhostLine &a, const GhostLine &b) {
+                  return a.stamp < b.stamp;
+              });
+    return lines;
 }
 
 GhostPolicies

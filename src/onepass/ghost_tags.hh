@@ -77,6 +77,39 @@ struct GhostCounts
     double globalMissRatio(std::uint64_t cpu_reads) const;
 };
 
+/**
+ * Branch-free hit scan over one SoA set row: 1 + the matching way,
+ * or 0 on a miss. A tag lives in at most one valid way (installs
+ * only happen on misses), so the sum over ways of
+ * match * (way + 1) *is* the answer, and a plain sum reduction of
+ * loads is the form the auto-vectorizer handles on every x86-64
+ * level with 64-bit lane compares (v2 and up) — unlike a bitmask
+ * build, whose per-way variable shift needs AVX2.
+ *
+ * Shared between the exact GhostTagArray and the sampled miniature
+ * arrays of mrc::SampledGhostForest, so both engines scan tags with
+ * the same code and the same vectorization story.
+ */
+inline std::uint64_t
+ghostHitScan(const std::uint64_t *tags, const std::uint64_t *stamps,
+             std::uint32_t ways, std::uint64_t tag)
+{
+    std::uint64_t hit = 0;
+    for (std::uint32_t w = 0; w < ways; ++w)
+        hit += static_cast<std::uint64_t>(
+                   (stamps[w] != 0) & (tags[w] == tag)) *
+               (w + 1);
+    return hit;
+}
+
+/** One valid line of a ghost array, as reported by validLines(). */
+struct GhostLine
+{
+    std::uint64_t set;
+    std::uint64_t tag;
+    std::uint64_t stamp;
+};
+
 /** Tags + LRU stamps of one ghost cache. Addresses are *block
  *  numbers* (byte address >> log2(blockBytes)); the forest does
  *  that shift once per block-size group.
@@ -127,6 +160,17 @@ class GhostTagArray
     bool touchOnlyAt(std::uint64_t set, std::uint64_t tag);
 
     std::uint64_t validCount() const;
+
+    /**
+     * Every valid line, sorted by ascending stamp (LRU first, MRU
+     * last) — the order a caller must re-insert them in to rebuild
+     * an equivalent recency state in another array (what the
+     * sampled forest's adaptive shrink does).
+     */
+    std::vector<GhostLine> validLines() const;
+
+    std::uint64_t sets() const { return tags_.size() / ways_; }
+    std::uint32_t ways() const { return ways_; }
 
   private:
     std::uint64_t setMask_ = 0;

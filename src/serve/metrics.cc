@@ -1,0 +1,136 @@
+#include "serve/metrics.hh"
+
+namespace mlc {
+namespace serve {
+
+namespace {
+
+void
+series(std::string &out, const char *name, const char *type,
+       std::uint64_t value)
+{
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+}
+
+void
+counter(std::string &out, const char *name, std::uint64_t value)
+{
+    series(out, name, "counter", value);
+}
+
+void
+gauge(std::string &out, const char *name, std::uint64_t value)
+{
+    series(out, name, "gauge", value);
+}
+
+void
+labeled(std::string &out, const char *name, const char *label,
+        const std::string &value, std::uint64_t n)
+{
+    out += name;
+    out += '{';
+    out += label;
+    out += "=\"";
+    out += escapeLabelValue(value);
+    out += "\"} ";
+    out += std::to_string(n);
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+renderMetrics(const MetricsSnapshot &s)
+{
+    std::string out;
+    out.reserve(2048);
+
+    counter(out, "mlc_requests_total", s.counters.requests);
+    counter(out, "mlc_queries_total", s.counters.queries);
+    counter(out, "mlc_sweeps_total", s.counters.sweeps);
+    counter(out, "mlc_errors_total", s.counters.errors);
+    counter(out, "mlc_rejected_draining_total",
+            s.counters.rejectedDraining);
+    counter(out, "mlc_rejected_quota_total",
+            s.counters.rejectedQuota);
+    counter(out, "mlc_batched_queries_total",
+            s.counters.batchedQueries);
+    counter(out, "mlc_engine_runs_total", s.counters.engineRuns);
+    counter(out, "mlc_connections_total",
+            s.counters.connectionsAccepted);
+    counter(out, "mlc_ckpt_loads_total", s.counters.ckptLoads);
+    counter(out, "mlc_ckpt_builds_total", s.counters.ckptBuilds);
+    counter(out, "mlc_ckpt_fallbacks_total",
+            s.counters.ckptFallbacks);
+
+    counter(out, "mlc_memo_hits_total", s.memo.hits);
+    counter(out, "mlc_memo_misses_total", s.memo.misses);
+    counter(out, "mlc_memo_insertions_total", s.memo.insertions);
+    counter(out, "mlc_memo_evictions_total", s.memo.evictions);
+    counter(out, "mlc_memo_quota_evictions_total",
+            s.memo.quotaEvictions);
+    gauge(out, "mlc_memo_entries", s.memo.entries);
+    gauge(out, "mlc_memo_capacity", s.memo.capacity);
+    gauge(out, "mlc_memo_tag_quota", s.memo.tagQuota);
+    if (!s.memo.tags.empty()) {
+        out += "# TYPE mlc_memo_tag_entries gauge\n";
+        // Stats::tags is sorted by tag, so the series order is
+        // deterministic for free.
+        for (const auto &[tag, n] : s.memo.tags)
+            labeled(out, "mlc_memo_tag_entries", "tag", tag, n);
+    }
+
+    counter(out, "mlc_profile_hits_total", s.profiles.hits);
+    counter(out, "mlc_profile_misses_total", s.profiles.misses);
+    counter(out, "mlc_profile_evictions_total",
+            s.profiles.evictions);
+    gauge(out, "mlc_profile_entries", s.profiles.entries);
+
+    if (!s.workloads.empty()) {
+        out += "# TYPE mlc_workload_traces gauge\n";
+        for (const MetricsWorkload &w : s.workloads)
+            labeled(out, "mlc_workload_traces", "workload", w.tag,
+                    w.traces);
+        out += "# TYPE mlc_workload_resident gauge\n";
+        for (const MetricsWorkload &w : s.workloads)
+            labeled(out, "mlc_workload_resident", "workload",
+                    w.tag, w.resident);
+    }
+
+    gauge(out, "mlc_jobs", s.jobs);
+    gauge(out, "mlc_shards", s.shards);
+    gauge(out, "mlc_draining", s.draining ? 1 : 0);
+    gauge(out, "mlc_tenant_admit_quota", s.tenantAdmitQuota);
+    if (s.haveCheckpoints)
+        gauge(out, "mlc_checkpoint_entries", s.checkpointEntries);
+
+    return out;
+}
+
+} // namespace serve
+} // namespace mlc

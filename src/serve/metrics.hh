@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Prometheus-style text rendering of the query server's stats.
+ *
+ * The `stats` verb answers in the protocol's own JSON shape; the
+ * `metrics` verb renders the *same* snapshot in the text exposition
+ * format scrapers already speak (`# TYPE` header, one
+ * `name{labels} value` line per series), so pointing a collector at
+ * a long-running mlc_serve needs a dozen lines of shell, not a JSON
+ * adapter. Rendering is split from the Server so the format is
+ * golden-testable from a plain snapshot (tests/serve/
+ * test_metrics.cc): series order is fixed, label values are
+ * escaped per the exposition rules, and counters end in `_total`.
+ */
+
+#ifndef MLC_SERVE_METRICS_HH
+#define MLC_SERVE_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/profile_cache.hh"
+#include "serve/result_cache.hh"
+#include "serve/server.hh"
+
+namespace mlc {
+namespace serve {
+
+/** One workload's residency gauge values. */
+struct MetricsWorkload
+{
+    std::string tag;
+    std::uint64_t traces = 0;
+    std::uint64_t resident = 0;
+};
+
+/** Everything the metrics page shows, captured at one instant. */
+struct MetricsSnapshot
+{
+    ServerCounters counters;
+    ResultCache::Stats memo;
+    ProfileCache::Stats profiles;
+    std::vector<MetricsWorkload> workloads;
+    std::uint64_t jobs = 0;
+    std::uint64_t shards = 0;
+    bool draining = false;
+    std::uint64_t tenantAdmitQuota = 0;
+    /** Checkpoint farm attached (the entries gauge renders only
+     *  then, mirroring the stats verb's optional block). */
+    bool haveCheckpoints = false;
+    std::uint64_t checkpointEntries = 0;
+};
+
+/** Escape a label value per the exposition format: backslash,
+ *  double quote and newline get backslash escapes. */
+std::string escapeLabelValue(const std::string &value);
+
+/** Render the snapshot as exposition text (trailing newline
+ *  included). Deterministic: equal snapshots render equal bytes. */
+std::string renderMetrics(const MetricsSnapshot &snapshot);
+
+} // namespace serve
+} // namespace mlc
+
+#endif // MLC_SERVE_METRICS_HH

@@ -14,6 +14,7 @@ opName(Op op)
     case Op::Query: return "query";
     case Op::Sweep: return "sweep";
     case Op::Stats: return "stats";
+    case Op::Metrics: return "metrics";
     case Op::Warm: return "warm";
     case Op::Ping: return "ping";
     case Op::Shutdown: return "shutdown";
@@ -94,6 +95,8 @@ parseRequest(const std::string &line)
         req.op = Op::Sweep;
     else if (op == "stats")
         req.op = Op::Stats;
+    else if (op == "metrics")
+        req.op = Op::Metrics;
     else if (op == "warm")
         req.op = Op::Warm;
     else if (op == "ping")

@@ -20,6 +20,9 @@
  *
  *   {"op":"stats"}     -> resident traces, memo/profile cache
  *                         counters, per-tag entries, query counts
+ *   {"op":"metrics"}   -> the same snapshot rendered as
+ *                         Prometheus-style exposition text in
+ *                         {"metrics":"..."} (serve/metrics.hh)
  *   {"op":"warm",["workload":...]} -> eagerly materialize traces
  *   {"op":"ping"}      -> liveness probe
  *   {"op":"shutdown"}  -> drain in-flight work, then exit 0
@@ -56,6 +59,7 @@ enum class Op
     Query,
     Sweep,
     Stats,
+    Metrics,
     Warm,
     Ping,
     Shutdown

@@ -13,6 +13,7 @@
 #include "onepass/grid.hh"
 #include "onepass/model_timing.hh"
 #include "sample/sweep.hh"
+#include "serve/metrics.hh"
 #include "util/thread_pool.hh"
 #include "trace/binary.hh"
 #include "trace/compressed.hh"
@@ -465,6 +466,9 @@ Server::handleBatch(const std::vector<std::string> &lines)
         case Op::Stats:
             responses[i] = handleStats(req);
             continue;
+        case Op::Metrics:
+            responses[i] = handleMetrics(req);
+            continue;
         case Op::Warm:
             responses[i] = handleWarm(req);
             continue;
@@ -751,6 +755,40 @@ Server::handleStats(const Request &req)
 
     return okResponse(req.id, "\"stats\":" + body.dump(), false,
                       0);
+}
+
+std::string
+Server::handleMetrics(const Request &req)
+{
+    MetricsSnapshot snap;
+    {
+        std::lock_guard<std::mutex> clk(countersMu_);
+        snap.counters = counters_;
+    }
+    snap.memo = memo_.stats();
+    snap.profiles = profiles_.stats();
+    for (const auto &wl : workloads_)
+        snap.workloads.push_back(
+            {wl->tag, static_cast<std::uint64_t>(wl->store.size()),
+             static_cast<std::uint64_t>(
+                 wl->store.residentCount())});
+    snap.jobs = static_cast<std::uint64_t>(jobs_);
+    snap.shards = static_cast<std::uint64_t>(opts_.shards);
+    snap.draining = draining();
+    snap.tenantAdmitQuota =
+        static_cast<std::uint64_t>(opts_.tenantAdmitQuota);
+    if (ckptStore_) {
+        snap.haveCheckpoints = true;
+        for (const auto &wl : workloads_)
+            for (const expt::TraceSpec &spec : wl->store.specs())
+                snap.checkpointEntries +=
+                    ckptStore_->list(wl->tag + "/" + spec.name)
+                        .size();
+    }
+    return okResponse(req.id,
+                      "\"metrics\":" +
+                          Json(renderMetrics(snap)).dump(),
+                      false, 0);
 }
 
 std::string

@@ -227,6 +227,7 @@ class Server
     MemoKey memoKeyFor(const Request &req) const;
 
     std::string handleStats(const Request &req);
+    std::string handleMetrics(const Request &req);
     std::string handleWarm(const Request &req);
 
     /** The accept loop (own thread once start() ran). */

@@ -229,6 +229,40 @@ MappedBinaryTrace::~MappedBinaryTrace()
 #endif
 }
 
+void
+MappedBinaryTrace::adviseSequential() const
+{
+#if MLC_HAVE_MMAP
+    if (mapBase_)
+        // Advisory only: a refusal (e.g. on an exotic filesystem)
+        // costs correctness nothing, so the result is ignored.
+        (void)::madvise(mapBase_, mapBytes_, MADV_SEQUENTIAL);
+#endif
+}
+
+void
+MappedBinaryTrace::releaseConsumed(std::size_t upTo) const
+{
+#if MLC_HAVE_MMAP
+    if (!mapBase_)
+        return;
+    upTo = std::min(upTo, count_);
+    const long page = ::sysconf(_SC_PAGESIZE);
+    if (page <= 0)
+        return;
+    // Round DOWN to a page boundary: the tail page may still hold
+    // the first records of the next chunk.
+    const std::size_t consumed_end =
+        sizeof(Header) + upTo * sizeof(MemRef);
+    const std::size_t aligned =
+        consumed_end & ~(static_cast<std::size_t>(page) - 1);
+    if (aligned == 0)
+        return;
+    (void)::madvise(mapBase_, aligned, MADV_DONTNEED);
+#endif
+    (void)upTo;
+}
+
 BinaryWriter::BinaryWriter(std::ostream &os) : os_(os)
 {
     Header header{};

@@ -158,6 +158,25 @@ class MappedBinaryTrace
      */
     void validateRange(std::size_t begin, std::size_t n) const;
 
+    /**
+     * Tell the kernel the mapping will be read front to back
+     * (MADV_SEQUENTIAL: aggressive read-ahead, early reclaim of
+     * pages behind the cursor). No-op when buffered or where
+     * madvise is unavailable.
+     */
+    void adviseSequential() const;
+
+    /**
+     * Drop the mapped pages backing records [0, upTo) from resident
+     * memory (MADV_DONTNEED on a read-only file mapping: the pages
+     * are clean, so this is a pure RSS release — re-touching them
+     * would fault from the page cache or disk). Streaming consumers
+     * (mrc::profileMapped) call this per chunk so peak RSS stays at
+     * one chunk no matter how far the trace outgrows RAM. No-op
+     * when buffered.
+     */
+    void releaseConsumed(std::size_t upTo) const;
+
   private:
     void loadBuffered(const std::string &path);
     /** Truncate count_ at the first malformed record. */

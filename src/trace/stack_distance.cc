@@ -8,12 +8,17 @@
 namespace mlc {
 namespace trace {
 
-StackDistanceAnalyzer::StackDistanceAnalyzer(std::uint64_t granule_bytes)
+StackDistanceAnalyzer::StackDistanceAnalyzer(
+    std::uint64_t granule_bytes, std::uint64_t max_granules)
+    : maxGranules_(max_granules)
 {
     if (granule_bytes == 0 || !isPowerOfTwo(granule_bytes))
         mlc_panic("StackDistanceAnalyzer: granule size must be a "
                   "power of two, got ",
                   granule_bytes, " bytes");
+    if (max_granules == 0)
+        mlc_panic("StackDistanceAnalyzer: max_granules must be "
+                  "nonzero");
     granuleShift_ = exactLog2(granule_bytes);
     fenwick_.assign(1, 0);
 }
@@ -100,6 +105,16 @@ StackDistanceAnalyzer::access(Addr addr)
     auto it = last_.find(granule);
     std::uint64_t distance;
     if (it == last_.end()) {
+        if (last_.size() >= maxGranules_)
+            mlc_panic(
+                "StackDistanceAnalyzer: trace footprint exceeds ",
+                maxGranules_,
+                " distinct granules; exact stack-distance state "
+                "grows with the footprint and would keep growing. "
+                "Use the sampled engine (--engine=mrc / "
+                "mrc::SampledStackDistance) for traces this large, "
+                "or raise the cap explicitly if the memory is "
+                "truly available.");
         distance = kInfinite;
         ++infiniteCount_;
     } else {

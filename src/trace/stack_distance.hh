@@ -15,6 +15,16 @@
  * are O(log T). The time axis is compacted when it grows far beyond
  * the number of live granules, keeping memory proportional to the
  * footprint rather than the trace length.
+ *
+ * Memory model — read before pointing this at a big trace: granules
+ * are never forgotten, so memory grows with the *footprint* (one
+ * hash-map entry plus one Fenwick slot per distinct granule, ~100
+ * bytes each), not with the trace length. A trace touching 1G
+ * distinct 16-byte granules wants ~100GB. The analyzer panics when
+ * the footprint exceeds a configurable cap rather than driving the
+ * machine into swap; for larger-than-RAM traces use the sampled
+ * engine (--engine=mrc / mrc::SampledStackDistance), which holds
+ * the same curve in O(sample-budget) memory.
  */
 
 #ifndef MLC_TRACE_STACK_DISTANCE_HH
@@ -38,11 +48,22 @@ class StackDistanceAnalyzer
     static constexpr std::uint64_t kInfinite =
         std::numeric_limits<std::uint64_t>::max();
 
+    /** Default footprint cap: 2^28 granules is ~25GB of tracking
+     *  state — past any plausible deliberate use of the exact
+     *  analyzer, hit well before the OOM killer would be. */
+    static constexpr std::uint64_t kDefaultMaxGranules = 1u << 28;
+
     /**
      * @param granule_bytes addresses are collapsed to granules of
      *        this (power-of-two) size before analysis.
+     * @param max_granules panic (loudly, with a pointer at the
+     *        sampled engine) when the distinct-granule footprint
+     *        exceeds this; the exact analyzer's memory is
+     *        proportional to it and unbounded otherwise.
      */
-    explicit StackDistanceAnalyzer(std::uint64_t granule_bytes = 16);
+    explicit StackDistanceAnalyzer(
+        std::uint64_t granule_bytes = 16,
+        std::uint64_t max_granules = kDefaultMaxGranules);
 
     /**
      * Record one reference.
@@ -88,6 +109,7 @@ class StackDistanceAnalyzer
     void recordDistance(std::uint64_t distance);
 
     std::uint64_t granuleShift_;
+    std::uint64_t maxGranules_;
     std::uint64_t references_ = 0;
     std::uint64_t infiniteCount_ = 0;
 

@@ -1,0 +1,211 @@
+/** @file Farm retirement (gc) over synthetic farms: age and size
+ *  limits, oldest-first determinism, dry-run, and empty-directory
+ *  pruning. Entries are plain files with backdated mtimes — gc
+ *  retires by listing metadata only, so no real checkpoints are
+ *  needed. */
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/store.hh"
+
+namespace mlc {
+namespace ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+class GcFarm : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        root_ = fs::temp_directory_path() /
+                ("mlc_gc_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + std::string(::testing::UnitTest::GetInstance()
+                                       ->current_test_info()
+                                       ->name()));
+        fs::remove_all(root_);
+        fs::create_directories(root_);
+    }
+
+    void TearDown() override { fs::remove_all(root_); }
+
+    /** Create <root>/<farm>/<name>.mlcp of @p bytes, with its mtime
+     *  moved @p age_days into the past. */
+    std::string
+    addEntry(const std::string &farm, const std::string &name,
+             std::size_t bytes, double age_days)
+    {
+        const fs::path dir = root_ / farm;
+        fs::create_directories(dir);
+        const fs::path path = dir / (name + ".mlcp");
+        std::ofstream out(path, std::ios::binary);
+        out << std::string(bytes, 'x');
+        out.close();
+        const auto age = std::chrono::duration_cast<
+            fs::file_time_type::duration>(
+            std::chrono::duration<double, std::ratio<86400>>(
+                age_days));
+        fs::last_write_time(path, fs::last_write_time(path) - age);
+        return path.generic_string();
+    }
+
+    fs::path root_;
+};
+
+TEST_F(GcFarm, NoLimitsOnlyScans)
+{
+    addEntry("t0/t0", "a", 100, 0.0);
+    addEntry("t1/t1", "b", 200, 10.0);
+    const CheckpointStore store(root_.string());
+    const auto r = store.gc({});
+    EXPECT_EQ(r.scanned, 2u);
+    EXPECT_EQ(r.scannedBytes, 300u);
+    EXPECT_TRUE(r.retired.empty());
+    EXPECT_EQ(r.keptBytes, 300u);
+    EXPECT_EQ(r.removedDirs, 0u);
+}
+
+TEST_F(GcFarm, AgeLimitRetiresOldEntries)
+{
+    const std::string old_path = addEntry("t0/t0", "old", 100, 9.0);
+    addEntry("t0/t0", "new", 100, 0.0);
+    const CheckpointStore store(root_.string());
+    CheckpointStore::GcOptions opts;
+    opts.maxAgeDays = 7.0;
+    const auto r = store.gc(opts);
+    ASSERT_EQ(r.retired.size(), 1u);
+    EXPECT_EQ(r.retired[0].path, old_path);
+    EXPECT_STREQ(r.retired[0].reason, "age");
+    EXPECT_EQ(r.retiredBytes, 100u);
+    EXPECT_EQ(r.keptBytes, 100u);
+    EXPECT_FALSE(fs::exists(old_path));
+    EXPECT_TRUE(fs::exists(root_ / "t0/t0/new.mlcp"));
+}
+
+TEST_F(GcFarm, SizeLimitRetiresOldestFirstUntilItFits)
+{
+    const std::string oldest =
+        addEntry("t0/t0", "oldest", 400, 3.0);
+    const std::string middle =
+        addEntry("t1/t1", "middle", 400, 2.0);
+    addEntry("t2/t2", "newest", 400, 1.0);
+    const CheckpointStore store(root_.string());
+    CheckpointStore::GcOptions opts;
+    opts.maxBytes = 500;
+    const auto r = store.gc(opts);
+    // 1200 bytes total; dropping the two oldest reaches 400 <= 500.
+    ASSERT_EQ(r.retired.size(), 2u);
+    EXPECT_EQ(r.retired[0].path, oldest);
+    EXPECT_EQ(r.retired[1].path, middle);
+    EXPECT_STREQ(r.retired[0].reason, "size");
+    EXPECT_EQ(r.keptBytes, 400u);
+    EXPECT_TRUE(fs::exists(root_ / "t2/t2/newest.mlcp"));
+}
+
+TEST_F(GcFarm, AgeRetirementCountsTowardTheSizeLimit)
+{
+    addEntry("t0/t0", "ancient", 600, 30.0);
+    addEntry("t1/t1", "recent", 300, 1.0);
+    const CheckpointStore store(root_.string());
+    CheckpointStore::GcOptions opts;
+    opts.maxAgeDays = 7.0;
+    opts.maxBytes = 400;
+    const auto r = store.gc(opts);
+    // The age pass already brings 900 down to 300 <= 400, so the
+    // size pass must not condemn the recent entry too.
+    ASSERT_EQ(r.retired.size(), 1u);
+    EXPECT_STREQ(r.retired[0].reason, "age");
+    EXPECT_TRUE(fs::exists(root_ / "t1/t1/recent.mlcp"));
+}
+
+TEST_F(GcFarm, DryRunDeletesNothing)
+{
+    const std::string a = addEntry("t0/t0", "a", 100, 9.0);
+    const CheckpointStore store(root_.string());
+    CheckpointStore::GcOptions opts;
+    opts.maxAgeDays = 7.0;
+    opts.dryRun = true;
+    const auto r = store.gc(opts);
+    ASSERT_EQ(r.retired.size(), 1u);
+    EXPECT_EQ(r.retired[0].path, a);
+    EXPECT_EQ(r.removedDirs, 0u);
+    EXPECT_TRUE(fs::exists(a));
+    // The real run then retires exactly what the dry run promised.
+    opts.dryRun = false;
+    const auto r2 = store.gc(opts);
+    ASSERT_EQ(r2.retired.size(), 1u);
+    EXPECT_EQ(r2.retired[0].path, a);
+    EXPECT_FALSE(fs::exists(a));
+}
+
+TEST_F(GcFarm, EmptiedFarmDirectoriesArePruned)
+{
+    addEntry("suite/t0", "only", 100, 9.0);
+    addEntry("suite/t1", "kept", 100, 0.0);
+    const CheckpointStore store(root_.string());
+    CheckpointStore::GcOptions opts;
+    opts.maxAgeDays = 7.0;
+    const auto r = store.gc(opts);
+    ASSERT_EQ(r.retired.size(), 1u);
+    EXPECT_GE(r.removedDirs, 1u);
+    EXPECT_FALSE(fs::exists(root_ / "suite/t0"));
+    // Sibling farm (and so the shared parent) survives.
+    EXPECT_TRUE(fs::exists(root_ / "suite/t1/kept.mlcp"));
+}
+
+TEST_F(GcFarm, SelectionIsDeterministicAcrossRuns)
+{
+    // Equal mtimes: the path tie-break decides, so two dry runs
+    // must promise the same retirement set in the same order.
+    addEntry("t0/t0", "b", 100, 5.0);
+    addEntry("t0/t0", "a", 100, 5.0);
+    addEntry("t1/t1", "c", 100, 5.0);
+    const CheckpointStore store(root_.string());
+    CheckpointStore::GcOptions opts;
+    opts.maxBytes = 100;
+    opts.dryRun = true;
+    const auto r1 = store.gc(opts);
+    const auto r2 = store.gc(opts);
+    ASSERT_EQ(r1.retired.size(), r2.retired.size());
+    for (std::size_t i = 0; i < r1.retired.size(); ++i)
+        EXPECT_EQ(r1.retired[i].path, r2.retired[i].path);
+}
+
+TEST_F(GcFarm, IgnoresForeignFiles)
+{
+    addEntry("t0/t0", "real", 100, 9.0);
+    std::ofstream(root_ / "t0/t0/notes.txt") << "keep me";
+    const CheckpointStore store(root_.string());
+    CheckpointStore::GcOptions opts;
+    opts.maxAgeDays = 7.0;
+    const auto r = store.gc(opts);
+    EXPECT_EQ(r.scanned, 1u);
+    ASSERT_EQ(r.retired.size(), 1u);
+    // The farm dir still holds notes.txt, so it must not be pruned.
+    EXPECT_EQ(r.removedDirs, 0u);
+    EXPECT_TRUE(fs::exists(root_ / "t0/t0/notes.txt"));
+}
+
+TEST_F(GcFarm, MissingRootIsANoOp)
+{
+    const CheckpointStore store(
+        (root_ / "does_not_exist").string());
+    const auto r = store.gc({});
+    EXPECT_EQ(r.scanned, 0u);
+    EXPECT_TRUE(r.retired.empty());
+}
+
+} // namespace
+} // namespace ckpt
+} // namespace mlc

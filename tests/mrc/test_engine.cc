@@ -1,0 +1,221 @@
+/** @file End-to-end contracts of the streaming sampled-MRC engine:
+ *  at rate 1.0 the full pipeline (profileTrace, profileSuite,
+ *  buildGrid) is bit-identical to the exact one-pass engine, and
+ *  profileMapped is chunking-invariant — any streamChunkRefs
+ *  produces the same profile as the in-memory replay. */
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "expt/workload_suite.hh"
+#include "mrc/engine.hh"
+#include "onepass/engine.hh"
+#include "onepass/grid.hh"
+#include "trace/binary.hh"
+#include "trace/interleave.hh"
+#include "trace/source.hh"
+
+namespace mlc {
+namespace mrc {
+namespace {
+
+/** Pins MLC_QUICK off for one test. The statistical-tolerance test
+ *  below is calibrated at smallStore()'s 60k-ref scale, which is
+ *  already smoke-sized; letting quick mode divide it further (down
+ *  to the 1000/2000-ref floors) inflates cross-set variance past
+ *  any meaningful band. */
+class ScopedFullScale
+{
+  public:
+    ScopedFullScale()
+    {
+        const char *v = std::getenv("MLC_QUICK");
+        if (v != nullptr) {
+            saved_ = v;
+            had_ = true;
+            ::unsetenv("MLC_QUICK");
+        }
+    }
+    ~ScopedFullScale()
+    {
+        if (had_)
+            ::setenv("MLC_QUICK", saved_.c_str(), 1);
+    }
+
+  private:
+    std::string saved_;
+    bool had_ = false;
+};
+
+expt::TraceStore
+smallStore()
+{
+    std::vector<expt::TraceSpec> specs = {expt::paperSuite()[0],
+                                          expt::paperSuite()[1]};
+    for (expt::TraceSpec &s : specs) {
+        s.warmupRefs = 20'000;
+        s.measureRefs = 40'000;
+    }
+    return expt::TraceStore::materialize(specs, 1);
+}
+
+TEST(MrcEngine, UnitRateGridMatchesOnepassBitForBit)
+{
+    const hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+    const std::vector<std::uint64_t> sizes = {
+        16 << 10, 64 << 10, 256 << 10};
+    const std::vector<std::uint32_t> cycles = {1, 3, 5};
+    const expt::TraceStore store = smallStore();
+
+    const expt::DesignSpaceGrid exact =
+        onepass::buildGrid(base, sizes, cycles, store, 2);
+    SamplerConfig unit;
+    unit.rate = 1.0;
+    const expt::DesignSpaceGrid sampled =
+        mrc::buildGrid(base, sizes, cycles, store, 2, unit);
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        for (std::size_t c = 0; c < cycles.size(); ++c)
+            EXPECT_EQ(sampled.at(s, c), exact.at(s, c))
+                << "cell (" << s << ", " << c << ")";
+}
+
+TEST(MrcEngine, SampledGridStaysCloseToExact)
+{
+    const ScopedFullScale full_scale;
+    const hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+    const std::vector<std::uint64_t> sizes = {64 << 10,
+                                              256 << 10};
+    const std::vector<std::uint32_t> cycles = {1, 3};
+    const expt::TraceStore store = smallStore();
+
+    const expt::DesignSpaceGrid exact =
+        onepass::buildGrid(base, sizes, cycles, store, 1);
+    SamplerConfig cfg;
+    cfg.rate = 0.1;
+    cfg.minSets = 64;
+    const expt::DesignSpaceGrid sampled =
+        mrc::buildGrid(base, sizes, cycles, store, 1, cfg);
+    for (std::size_t s = 0; s < sizes.size(); ++s)
+        for (std::size_t c = 0; c < cycles.size(); ++c)
+            EXPECT_NEAR(sampled.at(s, c), exact.at(s, c), 0.15)
+                << "cell (" << s << ", " << c << ")";
+}
+
+TEST(MrcEngine, ProfileSuiteDeterministicAcrossJobs)
+{
+    const hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+    const onepass::FamilySpec family = onepass::FamilySpec::l2Grid(
+        base, {32 << 10, 128 << 10});
+    const expt::TraceStore store = smallStore();
+    MrcOptions opts;
+    opts.sampler.rate = 0.1;
+    opts.sampler.minSets = 64;
+    opts.solo = true;
+    const auto one = mrc::profileSuite(base, family, store, 1,
+                                       opts);
+    const auto four = mrc::profileSuite(base, family, store, 4,
+                                        opts);
+    ASSERT_EQ(one.size(), four.size());
+    for (std::size_t t = 0; t < one.size(); ++t) {
+        ASSERT_EQ(one[t].configs.size(), four[t].configs.size());
+        EXPECT_EQ(one[t].l1ReadMisses, four[t].l1ReadMisses);
+        for (std::size_t i = 0; i < one[t].configs.size(); ++i) {
+            EXPECT_EQ(one[t].configs[i].filtered.reads,
+                      four[t].configs[i].filtered.reads);
+            EXPECT_EQ(one[t].configs[i].filtered.readMisses,
+                      four[t].configs[i].filtered.readMisses);
+        }
+    }
+}
+
+class MrcEngineMapped : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 "mlc_mrc_engine_test.mlct")
+                    .string();
+        auto gen = trace::makeMultiprogrammedWorkload(4, 6000, 9);
+        refs_ = trace::collect(*gen, 80'000);
+        std::ofstream out(path_, std::ios::binary);
+        trace::BinaryWriter writer(out);
+        writer.putSpan({refs_.data(), refs_.size()});
+        writer.finish();
+    }
+
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    std::string path_;
+    std::vector<trace::MemRef> refs_;
+};
+
+TEST_F(MrcEngineMapped, ChunkingNeverChangesTheProfile)
+{
+    const hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+    const onepass::FamilySpec family = onepass::FamilySpec::l2Grid(
+        base, {32 << 10, 256 << 10});
+    const std::uint64_t warmup = refs_.size() / 4;
+
+    MrcOptions opts;
+    opts.sampler.rate = 0.1;
+    opts.sampler.minSets = 64;
+    opts.solo = true;
+    const onepass::TraceProfile in_memory = mrc::profileTrace(
+        base, family, refs_, warmup, opts);
+
+    const trace::MappedBinaryTrace mapped(
+        path_, trace::MappedBinaryTrace::Backing::Auto,
+        trace::MappedBinaryTrace::Validation::Lazy);
+    ASSERT_EQ(mapped.span().size, refs_.size());
+
+    // 0 = one chunk; 1000 leaves a partial tail; 4096 divides the
+    // warm-up boundary; 1M exceeds the trace.
+    for (const std::uint64_t chunk :
+         {std::uint64_t{0}, std::uint64_t{1000},
+          std::uint64_t{4096}, std::uint64_t{1} << 20}) {
+        SCOPED_TRACE(chunk);
+        MrcOptions copts = opts;
+        copts.streamChunkRefs = chunk;
+        const onepass::TraceProfile streamed = mrc::profileMapped(
+            base, family, mapped, warmup, copts);
+        EXPECT_EQ(streamed.instructions, in_memory.instructions);
+        EXPECT_EQ(streamed.l1ReadRequests,
+                  in_memory.l1ReadRequests);
+        EXPECT_EQ(streamed.l1ReadMisses, in_memory.l1ReadMisses);
+        ASSERT_EQ(streamed.configs.size(),
+                  in_memory.configs.size());
+        for (std::size_t i = 0; i < streamed.configs.size(); ++i) {
+            const onepass::ConfigProfile &x = streamed.configs[i];
+            const onepass::ConfigProfile &y =
+                in_memory.configs[i];
+            EXPECT_EQ(x.filtered.reads, y.filtered.reads) << i;
+            EXPECT_EQ(x.filtered.readMisses,
+                      y.filtered.readMisses)
+                << i;
+            EXPECT_EQ(x.filtered.extraAccesses,
+                      y.filtered.extraAccesses)
+                << i;
+            EXPECT_EQ(x.filtered.extraMisses,
+                      y.filtered.extraMisses)
+                << i;
+            EXPECT_EQ(x.solo.reads, y.solo.reads) << i;
+            EXPECT_EQ(x.solo.readMisses, y.solo.readMisses) << i;
+        }
+    }
+}
+
+} // namespace
+} // namespace mrc
+} // namespace mlc

@@ -1,0 +1,355 @@
+/** @file SampledGhostForest property coverage.
+ *
+ *  The load-bearing contract is exactness at p = 1.0: every member
+ *  is natural (real set indexing, keep-all, weight 1.0), so the
+ *  sampled forest must reproduce onepass::GhostTagForest bit for
+ *  bit — per counter, on arbitrary event streams, and end-to-end
+ *  through mrc::profileTrace across the golden machine variants
+ *  and warm-up boundary edges. Below 1.0 the estimate is checked
+ *  statistically: set sampling keeps per-set behaviour exact, so
+ *  the rescaled ratios must land within a small absolute band of
+ *  the exact ones. */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mrc/engine.hh"
+#include "mrc/sampled_ghost.hh"
+#include "onepass/engine.hh"
+#include "onepass/ghost_tags.hh"
+#include "trace/interleave.hh"
+#include "trace/source.hh"
+#include "util/random.hh"
+
+namespace mlc {
+namespace mrc {
+namespace {
+
+std::vector<trace::MemRef>
+workload(std::uint64_t refs, std::uint64_t seed = 0)
+{
+    auto gen = trace::makeMultiprogrammedWorkload(4, 6000, seed);
+    return trace::collect(*gen, refs);
+}
+
+void
+expectCountsEqual(const onepass::GhostTagForest &exact,
+                  const SampledGhostForest &sampled,
+                  const std::string &label)
+{
+    ASSERT_EQ(exact.specs().size(), sampled.specs().size());
+    for (std::size_t i = 0; i < exact.specs().size(); ++i) {
+        const onepass::GhostCounts &e = exact.counts(i);
+        const onepass::GhostCounts s = sampled.counts(i);
+        const std::string who =
+            label + " " + exact.specs()[i].toString();
+        EXPECT_EQ(e.reads, s.reads) << who;
+        EXPECT_EQ(e.readMisses, s.readMisses) << who;
+        EXPECT_EQ(e.extraAccesses, s.extraAccesses) << who;
+        EXPECT_EQ(e.extraMisses, s.extraMisses) << who;
+    }
+}
+
+/** Drive both forests through an identical randomized event
+ *  stream — all four verbs, counted and uncounted reads, a
+ *  mid-stream resetCounts — and require bit-equal counters. */
+void
+runRandomEventStream(const std::vector<onepass::GhostCacheSpec>
+                         &specs,
+                     onepass::GhostPolicies policies,
+                     std::uint64_t seed)
+{
+    onepass::GhostTagForest exact(specs, policies);
+    SamplerConfig unit;
+    unit.rate = 1.0;
+    SampledGhostForest sampled(specs, policies, unit);
+
+    Rng rng(seed);
+    constexpr std::uint64_t kEvents = 40'000;
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+        // A few hot pages plus a long tail, so hits and misses,
+        // conflicts and evictions all occur.
+        const Addr addr = rng.nextBounded(1u << 20);
+        switch (rng.nextBounded(5)) {
+        case 0:
+            exact.read(addr, true);
+            sampled.read(addr, true);
+            break;
+        case 1:
+            exact.read(addr, false);
+            sampled.read(addr, false);
+            break;
+        case 2:
+            exact.fill(addr);
+            sampled.fill(addr);
+            break;
+        case 3:
+            exact.write(addr);
+            sampled.write(addr);
+            break;
+        default: {
+            trace::MemRef ref;
+            ref.addr = addr;
+            ref.type = rng.nextBounded(2) == 0
+                           ? trace::RefType::Load
+                           : trace::RefType::Store;
+            exact.soloAccess(ref);
+            sampled.soloAccess(ref);
+            break;
+        }
+        }
+        if (i == kEvents / 2) {
+            // The warm-up boundary: counters clear, tags persist.
+            expectCountsEqual(exact, sampled, "pre-reset");
+            exact.resetCounts();
+            sampled.resetCounts();
+        }
+    }
+    expectCountsEqual(exact, sampled, "final");
+    EXPECT_EQ(sampled.generation(), 0u);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_DOUBLE_EQ(sampled.effectiveRate(i), 1.0);
+}
+
+TEST(SampledGhost, UnitRateBitIdenticalOnRandomEvents)
+{
+    // Mixed sizes, ways and block sizes, including a one-set
+    // member; both downstream-write policies.
+    const std::vector<onepass::GhostCacheSpec> specs = {
+        {4 << 10, 1, 32},  {32 << 10, 2, 32}, {32 << 10, 2, 64},
+        {256 << 10, 4, 32}, {64, 2, 32},
+    };
+    for (const auto downstream :
+         {cache::DownstreamWriteMissPolicy::Around,
+          cache::DownstreamWriteMissPolicy::Allocate}) {
+        onepass::GhostPolicies policies;
+        policies.downstreamWriteMiss = downstream;
+        runRandomEventStream(specs, policies, 42);
+    }
+    for (const auto alloc : {cache::AllocPolicy::WriteAllocate,
+                             cache::AllocPolicy::NoWriteAllocate}) {
+        onepass::GhostPolicies policies;
+        policies.alloc = alloc;
+        runRandomEventStream(specs, policies, 7);
+    }
+}
+
+/** The ghost-modellable golden machine variants
+ *  (tests/onepass/test_sharded.cc keeps the same list). */
+std::vector<std::pair<std::string, hier::HierarchyParams>>
+goldenMachines()
+{
+    namespace h = hier;
+    std::vector<std::pair<std::string, h::HierarchyParams>> out;
+    out.emplace_back("base", h::HierarchyParams::baseMachine());
+    {
+        h::HierarchyParams p = h::HierarchyParams::baseMachine();
+        p.l1i.writePolicy = cache::WritePolicy::WriteThrough;
+        p.l1d.writePolicy = cache::WritePolicy::WriteThrough;
+        out.emplace_back("write-through L1", p);
+    }
+    {
+        h::HierarchyParams p = h::HierarchyParams::baseMachine();
+        p.l1d.writePolicy = cache::WritePolicy::WriteThrough;
+        p.l1d.allocPolicy = cache::AllocPolicy::NoWriteAllocate;
+        out.emplace_back("write-through no-allocate L1", p);
+    }
+    {
+        h::HierarchyParams p = h::HierarchyParams::baseMachine();
+        p.l1i.fetchBytes = 4;
+        p.l1d.fetchBytes = 4;
+        out.emplace_back("sub-blocked L1", p);
+    }
+    {
+        h::HierarchyParams p = h::HierarchyParams::baseMachine();
+        cache::CacheParams l3 = p.levels.back();
+        l3.name = "l3";
+        l3.geometry.sizeBytes = 4u << 20;
+        l3.geometry.blockBytes = 64;
+        l3.cycleNs = 60.0;
+        p.levels.push_back(l3);
+        p.busWidthWords.push_back(p.busWidthWords.back());
+        out.emplace_back("three-level", p);
+    }
+    {
+        h::HierarchyParams p = h::HierarchyParams::baseMachine();
+        p.splitL1 = false;
+        p.l1d.geometry.sizeBytes = 4096;
+        out.emplace_back("unified L1", p);
+    }
+    {
+        h::HierarchyParams p = h::HierarchyParams::baseMachine();
+        p.l1i.geometry.assoc = 2;
+        p.l1d.geometry.assoc = 2;
+        p.l1i.replPolicy = cache::ReplPolicy::LRU;
+        p.l1d.replPolicy = cache::ReplPolicy::LRU;
+        p.levels[0].geometry.assoc = 4;
+        p.levels[0].replPolicy = cache::ReplPolicy::LRU;
+        out.emplace_back("2-way L1 / 4-way LRU L2", p);
+    }
+    return out;
+}
+
+void
+expectProfilesIdentical(const onepass::TraceProfile &a,
+                        const onepass::TraceProfile &b,
+                        const std::string &label)
+{
+    EXPECT_EQ(a.instructions, b.instructions) << label;
+    EXPECT_EQ(a.ifetches, b.ifetches) << label;
+    EXPECT_EQ(a.loads, b.loads) << label;
+    EXPECT_EQ(a.stores, b.stores) << label;
+    EXPECT_EQ(a.l1ReadRequests, b.l1ReadRequests) << label;
+    EXPECT_EQ(a.l1ReadMisses, b.l1ReadMisses) << label;
+    ASSERT_EQ(a.configs.size(), b.configs.size()) << label;
+    for (std::size_t i = 0; i < a.configs.size(); ++i) {
+        const onepass::ConfigProfile &x = a.configs[i];
+        const onepass::ConfigProfile &y = b.configs[i];
+        const std::string who = label + " " + x.spec.toString();
+        EXPECT_TRUE(x.spec == y.spec) << who;
+        EXPECT_EQ(x.filtered.reads, y.filtered.reads) << who;
+        EXPECT_EQ(x.filtered.readMisses, y.filtered.readMisses)
+            << who;
+        EXPECT_EQ(x.filtered.extraAccesses,
+                  y.filtered.extraAccesses)
+            << who;
+        EXPECT_EQ(x.filtered.extraMisses, y.filtered.extraMisses)
+            << who;
+        EXPECT_EQ(x.solo.reads, y.solo.reads) << who;
+        EXPECT_EQ(x.solo.readMisses, y.solo.readMisses) << who;
+        EXPECT_EQ(x.solo.extraAccesses, y.solo.extraAccesses)
+            << who;
+        EXPECT_EQ(x.solo.extraMisses, y.solo.extraMisses) << who;
+    }
+}
+
+TEST(SampledGhost, UnitRateGoldenMachinesAndWarmBoundaries)
+{
+    const auto refs = workload(60'000, 1);
+    for (const auto &[name, machine] : goldenMachines()) {
+        SCOPED_TRACE(name);
+        const onepass::FamilySpec family = onepass::FamilySpec::
+            l2Grid(machine, {16 << 10, 64 << 10, 256 << 10});
+        // Warm boundary edges: never warm, mid-stream, everything
+        // warm (zero measured references).
+        for (const std::uint64_t warmup :
+             {std::uint64_t{0}, std::uint64_t{refs.size() / 2},
+              std::uint64_t{refs.size()}}) {
+            onepass::ProfileOptions popts;
+            popts.solo = true;
+            const onepass::TraceProfile exact =
+                onepass::profileTrace(machine, family, refs,
+                                      warmup, popts);
+            MrcOptions mopts;
+            mopts.sampler.rate = 1.0;
+            mopts.solo = true;
+            const onepass::TraceProfile sampled = mrc::profileTrace(
+                machine, family, refs, warmup, mopts);
+            expectProfilesIdentical(
+                exact, sampled,
+                "warmup=" + std::to_string(warmup));
+        }
+    }
+}
+
+TEST(SampledGhost, SampledRatesTrackExactRatiosWithinTolerance)
+{
+    const auto refs = workload(150'000, 2);
+    const hier::HierarchyParams base =
+        hier::HierarchyParams::baseMachine();
+    const std::vector<std::uint64_t> sizes = {
+        32 << 10, 128 << 10, 512 << 10};
+    const onepass::FamilySpec family =
+        onepass::FamilySpec::l2Grid(base, sizes);
+    const std::uint64_t warmup = refs.size() / 4;
+
+    onepass::ProfileOptions popts;
+    popts.solo = true;
+    const onepass::TraceProfile exact =
+        onepass::profileTrace(base, family, refs, warmup, popts);
+
+    for (const double rate : {0.1, 0.01}) {
+        SCOPED_TRACE(rate);
+        MrcOptions mopts;
+        mopts.sampler.rate = rate;
+        // A lowered floor so even this interactive-scale family
+        // actually samples (the 512KB member runs at 1/32 of its
+        // sets); the tolerance below absorbs the extra cross-set
+        // variance a floor this small buys.
+        mopts.sampler.minSets = 512;
+        mopts.solo = true;
+        const onepass::TraceProfile sampled = mrc::profileTrace(
+            base, family, refs, warmup, mopts);
+        ASSERT_EQ(sampled.configs.size(), exact.configs.size());
+        // The L1 replay is exact regardless of rate.
+        EXPECT_EQ(sampled.l1ReadMisses, exact.l1ReadMisses);
+        for (std::size_t i = 0; i < exact.configs.size(); ++i) {
+            const double d_local =
+                sampled.configs[i].filtered.localMissRatio() -
+                exact.configs[i].filtered.localMissRatio();
+            const double d_solo =
+                sampled.configs[i].solo.localMissRatio() -
+                exact.configs[i].solo.localMissRatio();
+            EXPECT_LT(std::abs(d_local), 0.08)
+                << exact.configs[i].spec.toString();
+            EXPECT_LT(std::abs(d_solo), 0.08)
+                << exact.configs[i].spec.toString();
+        }
+    }
+}
+
+TEST(SampledGhost, AdaptiveBudgetShrinksMembersAndBoundsLines)
+{
+    const std::vector<onepass::GhostCacheSpec> specs = {
+        {64 << 10, 1, 32}, {256 << 10, 2, 32}};
+    SamplerConfig cfg;
+    cfg.rate = 1.0;
+    cfg.budget = 512;
+    cfg.minSets = 1; // let the budget drive all the way down
+    SampledGhostForest forest(specs, onepass::GhostPolicies{},
+                              cfg);
+
+    Rng rng(11);
+    for (std::uint64_t i = 0; i < 200'000; ++i)
+        forest.read(rng.nextBounded(1u << 24), true);
+
+    EXPECT_GT(forest.generation(), 0u);
+    // The budget check runs every 4096 events and each event can
+    // install one line per member, so the bound holds up to one
+    // check interval of installs of slack.
+    EXPECT_LE(forest.liveLines(),
+              cfg.budget + 4096 * specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_LT(forest.effectiveRate(i), 1.0) << i;
+        const onepass::GhostCounts c = forest.counts(i);
+        EXPECT_GT(c.reads, 0u);
+        EXPECT_LE(c.readMisses, c.reads);
+    }
+}
+
+TEST(SampledGhost, RejectsBadGeometryAndRate)
+{
+    const std::vector<onepass::GhostCacheSpec> ok = {
+        {4 << 10, 1, 32}};
+    SamplerConfig bad;
+    bad.rate = 0.0;
+    EXPECT_DEATH(SampledGhostForest(ok, onepass::GhostPolicies{},
+                                    bad),
+                 "rate");
+    SamplerConfig unit;
+    EXPECT_DEATH(SampledGhostForest({}, onepass::GhostPolicies{},
+                                    unit),
+                 "at least one");
+    const std::vector<onepass::GhostCacheSpec> odd = {
+        {3000, 1, 32}};
+    EXPECT_DEATH(SampledGhostForest(odd, onepass::GhostPolicies{},
+                                    unit),
+                 "powers of two");
+}
+
+} // namespace
+} // namespace mrc
+} // namespace mlc

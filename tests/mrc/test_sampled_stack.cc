@@ -1,0 +1,139 @@
+/** @file SampledStackDistance coverage: bit-identity with the
+ *  exact trace::StackDistanceAnalyzer at p = 1.0, unbiasedness of
+ *  the scaled estimate at real rates, and the adaptive budget
+ *  bounding the live sampled footprint. */
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mrc/sampled_stack.hh"
+#include "trace/stack_distance.hh"
+#include "util/random.hh"
+
+namespace mlc {
+namespace mrc {
+namespace {
+
+/** A stream with hot reuse and a cold tail, the shape real
+ *  reference streams have. */
+std::vector<Addr>
+stream(std::uint64_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Addr> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (rng.nextBounded(4) != 0)
+            out.push_back(rng.nextBounded(1u << 12) * 16); // hot
+        else
+            out.push_back(rng.nextBounded(1u << 20) * 16); // tail
+    }
+    return out;
+}
+
+TEST(SampledStack, UnitRateBitIdenticalToExactAnalyzer)
+{
+    trace::StackDistanceAnalyzer exact(16);
+    SamplerConfig unit;
+    unit.rate = 1.0;
+    SampledStackDistance sampled(16, unit);
+
+    for (const Addr a : stream(60'000, 3)) {
+        const std::uint64_t de = exact.access(a);
+        const std::uint64_t ds = sampled.access(a);
+        if (de == trace::StackDistanceAnalyzer::kInfinite)
+            EXPECT_EQ(ds, SampledStackDistance::kInfinite);
+        else
+            EXPECT_EQ(ds, de);
+    }
+    EXPECT_EQ(sampled.references(), exact.references());
+    EXPECT_EQ(sampled.sampledReferences(), exact.references());
+    EXPECT_EQ(sampled.distinctSampled(), exact.distinctGranules());
+    EXPECT_DOUBLE_EQ(sampled.infiniteWeight(),
+                     static_cast<double>(exact.distinctGranules()));
+    for (const std::uint64_t cap :
+         {std::uint64_t{16}, std::uint64_t{256},
+          std::uint64_t{4096}, std::uint64_t{1} << 16})
+        EXPECT_DOUBLE_EQ(sampled.missRatio(cap),
+                         exact.missRatio(cap))
+            << cap;
+}
+
+TEST(SampledStack, SampledRateTracksExactCurveWithinTolerance)
+{
+    trace::StackDistanceAnalyzer exact(16);
+    SamplerConfig cfg;
+    cfg.rate = 0.1;
+    SampledStackDistance sampled(16, cfg);
+
+    for (const Addr a : stream(200'000, 5)) {
+        exact.access(a);
+        sampled.access(a);
+    }
+    // Roughly a tenth of the references pass the spatial filter.
+    EXPECT_NEAR(static_cast<double>(sampled.sampledReferences()) /
+                    static_cast<double>(sampled.references()),
+                0.1, 0.03);
+    // The scaled footprint estimate tracks the exact one.
+    EXPECT_NEAR(sampled.infiniteWeight() /
+                    static_cast<double>(exact.distinctGranules()),
+                1.0, 0.1);
+    for (const std::uint64_t cap :
+         {std::uint64_t{256}, std::uint64_t{4096},
+          std::uint64_t{1} << 16})
+        EXPECT_NEAR(sampled.missRatio(cap), exact.missRatio(cap),
+                    0.05)
+            << cap;
+}
+
+TEST(SampledStack, NotSampledReferencesAreFlagged)
+{
+    SamplerConfig cfg;
+    cfg.rate = 0.01;
+    SampledStackDistance sampled(16, cfg);
+    std::uint64_t flagged = 0;
+    constexpr std::uint64_t kRefs = 20'000;
+    for (std::uint64_t i = 0; i < kRefs; ++i)
+        if (sampled.access(i * 16) ==
+            SampledStackDistance::kNotSampled)
+            ++flagged;
+    // Nearly everything misses a 1% filter on distinct granules.
+    EXPECT_GT(flagged, kRefs * 95 / 100);
+    EXPECT_EQ(sampled.sampledReferences(), kRefs - flagged);
+}
+
+TEST(SampledStack, AdaptiveBudgetBoundsLiveFootprint)
+{
+    SamplerConfig cfg;
+    cfg.rate = 1.0;
+    cfg.budget = 1000;
+    SampledStackDistance sampled(16, cfg);
+
+    // A pure cold stream: footprint grows without the budget.
+    for (std::uint64_t i = 0; i < 100'000; ++i) {
+        sampled.access(i * 16);
+        EXPECT_LE(sampled.distinctSampled(), cfg.budget);
+    }
+    EXPECT_LT(sampled.rate(), 1.0);
+    // The scaled footprint estimate still tracks the true 100k
+    // granules despite holding at most 1000 live entries.
+    EXPECT_NEAR(sampled.infiniteWeight() / 100'000.0, 1.0, 0.2);
+}
+
+TEST(SampledStack, EmptyAndDegenerateQueries)
+{
+    SamplerConfig unit;
+    unit.rate = 1.0;
+    SampledStackDistance sampled(16, unit);
+    EXPECT_DOUBLE_EQ(sampled.missRatio(64), 0.0);
+    sampled.access(0);
+    // A single first touch is a compulsory miss at any capacity.
+    EXPECT_DOUBLE_EQ(sampled.missRatio(64), 1.0);
+}
+
+} // namespace
+} // namespace mrc
+} // namespace mlc

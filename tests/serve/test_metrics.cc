@@ -1,0 +1,177 @@
+/** @file Golden coverage for the Prometheus-style exposition
+ *  rendering: the format is a wire contract with external
+ *  scrapers, so the exact bytes — series order, `# TYPE` headers,
+ *  label escaping, the `_total` counter suffix — are pinned here
+ *  from hand-built snapshots, independent of any live Server. */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "serve/metrics.hh"
+
+namespace mlc {
+namespace serve {
+namespace {
+
+MetricsSnapshot
+sampleSnapshot()
+{
+    MetricsSnapshot s;
+    s.counters.requests = 12;
+    s.counters.queries = 7;
+    s.counters.sweeps = 2;
+    s.counters.errors = 1;
+    s.counters.rejectedDraining = 0;
+    s.counters.rejectedQuota = 3;
+    s.counters.batchedQueries = 4;
+    s.counters.engineRuns = 5;
+    s.counters.connectionsAccepted = 6;
+    s.counters.ckptLoads = 8;
+    s.counters.ckptBuilds = 1;
+    s.counters.ckptFallbacks = 2;
+    s.memo.hits = 30;
+    s.memo.misses = 11;
+    s.memo.insertions = 11;
+    s.memo.evictions = 2;
+    s.memo.quotaEvictions = 1;
+    s.memo.entries = 9;
+    s.memo.capacity = 256;
+    s.memo.tagQuota = 64;
+    s.memo.tags = {{"alpha", 5}, {"beta", 4}};
+    s.profiles.hits = 20;
+    s.profiles.misses = 3;
+    s.profiles.evictions = 1;
+    s.profiles.entries = 2;
+    s.workloads = {{"grid", 1, 1}, {"paper", 4, 3}};
+    s.jobs = 4;
+    s.shards = 2;
+    s.draining = false;
+    s.tenantAdmitQuota = 16;
+    s.haveCheckpoints = true;
+    s.checkpointEntries = 7;
+    return s;
+}
+
+TEST(ServeMetrics, GoldenExpositionFormat)
+{
+    const std::string text = renderMetrics(sampleSnapshot());
+    const std::string expected =
+        "# TYPE mlc_requests_total counter\n"
+        "mlc_requests_total 12\n"
+        "# TYPE mlc_queries_total counter\n"
+        "mlc_queries_total 7\n"
+        "# TYPE mlc_sweeps_total counter\n"
+        "mlc_sweeps_total 2\n"
+        "# TYPE mlc_errors_total counter\n"
+        "mlc_errors_total 1\n"
+        "# TYPE mlc_rejected_draining_total counter\n"
+        "mlc_rejected_draining_total 0\n"
+        "# TYPE mlc_rejected_quota_total counter\n"
+        "mlc_rejected_quota_total 3\n"
+        "# TYPE mlc_batched_queries_total counter\n"
+        "mlc_batched_queries_total 4\n"
+        "# TYPE mlc_engine_runs_total counter\n"
+        "mlc_engine_runs_total 5\n"
+        "# TYPE mlc_connections_total counter\n"
+        "mlc_connections_total 6\n"
+        "# TYPE mlc_ckpt_loads_total counter\n"
+        "mlc_ckpt_loads_total 8\n"
+        "# TYPE mlc_ckpt_builds_total counter\n"
+        "mlc_ckpt_builds_total 1\n"
+        "# TYPE mlc_ckpt_fallbacks_total counter\n"
+        "mlc_ckpt_fallbacks_total 2\n"
+        "# TYPE mlc_memo_hits_total counter\n"
+        "mlc_memo_hits_total 30\n"
+        "# TYPE mlc_memo_misses_total counter\n"
+        "mlc_memo_misses_total 11\n"
+        "# TYPE mlc_memo_insertions_total counter\n"
+        "mlc_memo_insertions_total 11\n"
+        "# TYPE mlc_memo_evictions_total counter\n"
+        "mlc_memo_evictions_total 2\n"
+        "# TYPE mlc_memo_quota_evictions_total counter\n"
+        "mlc_memo_quota_evictions_total 1\n"
+        "# TYPE mlc_memo_entries gauge\n"
+        "mlc_memo_entries 9\n"
+        "# TYPE mlc_memo_capacity gauge\n"
+        "mlc_memo_capacity 256\n"
+        "# TYPE mlc_memo_tag_quota gauge\n"
+        "mlc_memo_tag_quota 64\n"
+        "# TYPE mlc_memo_tag_entries gauge\n"
+        "mlc_memo_tag_entries{tag=\"alpha\"} 5\n"
+        "mlc_memo_tag_entries{tag=\"beta\"} 4\n"
+        "# TYPE mlc_profile_hits_total counter\n"
+        "mlc_profile_hits_total 20\n"
+        "# TYPE mlc_profile_misses_total counter\n"
+        "mlc_profile_misses_total 3\n"
+        "# TYPE mlc_profile_evictions_total counter\n"
+        "mlc_profile_evictions_total 1\n"
+        "# TYPE mlc_profile_entries gauge\n"
+        "mlc_profile_entries 2\n"
+        "# TYPE mlc_workload_traces gauge\n"
+        "mlc_workload_traces{workload=\"grid\"} 1\n"
+        "mlc_workload_traces{workload=\"paper\"} 4\n"
+        "# TYPE mlc_workload_resident gauge\n"
+        "mlc_workload_resident{workload=\"grid\"} 1\n"
+        "mlc_workload_resident{workload=\"paper\"} 3\n"
+        "# TYPE mlc_jobs gauge\n"
+        "mlc_jobs 4\n"
+        "# TYPE mlc_shards gauge\n"
+        "mlc_shards 2\n"
+        "# TYPE mlc_draining gauge\n"
+        "mlc_draining 0\n"
+        "# TYPE mlc_tenant_admit_quota gauge\n"
+        "mlc_tenant_admit_quota 16\n"
+        "# TYPE mlc_checkpoint_entries gauge\n"
+        "mlc_checkpoint_entries 7\n";
+    EXPECT_EQ(text, expected);
+}
+
+TEST(ServeMetrics, OptionalBlocksRenderOnlyWhenPresent)
+{
+    MetricsSnapshot s;
+    const std::string text = renderMetrics(s);
+    // No tags, no workloads, no checkpoint farm: the optional
+    // series vanish rather than rendering empty families.
+    EXPECT_EQ(text.find("mlc_memo_tag_entries"), std::string::npos);
+    EXPECT_EQ(text.find("mlc_workload_traces"), std::string::npos);
+    EXPECT_EQ(text.find("mlc_checkpoint_entries"),
+              std::string::npos);
+    // The unconditional series render even when zero.
+    EXPECT_NE(text.find("mlc_requests_total 0\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("mlc_draining 0\n"), std::string::npos);
+    // A draining server flips the gauge.
+    s.draining = true;
+    EXPECT_NE(renderMetrics(s).find("mlc_draining 1\n"),
+              std::string::npos);
+}
+
+TEST(ServeMetrics, DeterministicRendering)
+{
+    const MetricsSnapshot s = sampleSnapshot();
+    EXPECT_EQ(renderMetrics(s), renderMetrics(s));
+}
+
+TEST(ServeMetrics, EscapeLabelValue)
+{
+    EXPECT_EQ(escapeLabelValue("plain"), "plain");
+    EXPECT_EQ(escapeLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(escapeLabelValue("two\nlines"), "two\\nlines");
+    EXPECT_EQ(escapeLabelValue(""), "");
+}
+
+TEST(ServeMetrics, LabelValuesAreEscapedInSeries)
+{
+    MetricsSnapshot s;
+    s.memo.tags = {{"we\"ird\n", 1}};
+    const std::string text = renderMetrics(s);
+    EXPECT_NE(
+        text.find("mlc_memo_tag_entries{tag=\"we\\\"ird\\n\"} 1\n"),
+        std::string::npos);
+}
+
+} // namespace
+} // namespace serve
+} // namespace mlc

@@ -163,6 +163,26 @@ TEST(StackDistanceDeathTest, RejectsNonPowerOfTwoGranule)
     EXPECT_DEATH(StackDistanceAnalyzer(0), "power of two");
 }
 
+TEST(StackDistance, FootprintCapPanicsPointingAtSampledEngine)
+{
+    StackDistanceAnalyzer an(16, /*max_granules=*/4);
+    for (int i = 0; i < 4; ++i)
+        an.access(static_cast<Addr>(i) * 16);
+    // Reuse below the cap stays legal.
+    EXPECT_EQ(an.access(0), 3ULL);
+    // The fifth distinct granule trips the loud panic, which must
+    // name the escape hatch (the sampled engine).
+    EXPECT_DEATH(an.access(4 * 16), "engine=mrc");
+    StackDistanceAnalyzer none(16, 1);
+    none.access(0);
+    EXPECT_DEATH(none.access(16), "footprint exceeds 1");
+}
+
+TEST(StackDistance, ZeroCapIsRejected)
+{
+    EXPECT_DEATH(StackDistanceAnalyzer(16, 0), "max_granules");
+}
+
 TEST(StackDistance, Log2ProfileBucketsDistances)
 {
     StackDistanceAnalyzer an(16);
