@@ -8,6 +8,7 @@
  *   $ ./design_space [l1_total_bytes] [--jobs=N] [--shards=N]
  *                    [--engine=timing|onepass|sampled|mrc]
  *                    [--sample-rate=P] [--sample-budget=N]
+ *                    [--l3=SIZE[,CYCLES[,ASSOC]]]
  *
  * Pass a different L1 budget (e.g. 32768) to watch the optimal L2
  * design point move toward larger-and-slower, the paper's central
@@ -38,6 +39,18 @@
  * sampled lines (adaptive mode). Built for traces too big to
  * profile exactly; on this interactive trace it demonstrates the
  * plumbing.
+ *
+ * --l3=SIZE[,CYCLES[,ASSOC]] appends a fixed third cache level
+ * (size in bytes, access time in CPU cycles — default 6 cycles,
+ * 2-way) below the swept L2 axis. The timing engine simulates the
+ * three-level machine cell by cell; --engine=onepass and
+ * --engine=mrc switch to the cascade engine (DESIGN.md §5j): the
+ * swept L2 sizes become the exactly-replayed pivots, the fixed L3
+ * is the ghost-swept member, and every cell is priced from one
+ * trace pass with the depth-3 Equation 1-3 model. The solo column
+ * reports the pivot's (L2's) solo miss ratio, so the Equation-2
+ * slope analysis below the table keeps its meaning. Not supported
+ * with --engine=sampled.
  *
  * --paired=SIZEA,SIZEB (sampled engine only) additionally compares
  * the two L2 sizes (in bytes, at the 3-cycle row) with the
@@ -79,6 +92,8 @@ main(int argc, char **argv)
     bool use_mrc = false;
     mrc::SamplerConfig sampler;
     std::uint64_t paired_a = 0, paired_b = 0;
+    std::uint64_t l3_size = 0;
+    std::uint32_t l3_cycles = 6, l3_assoc = 2;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (startsWith(arg, "--jobs=")) {
@@ -104,6 +119,23 @@ main(int argc, char **argv)
                           "--paired=65536,131072)");
             paired_a = a;
             paired_b = b;
+        } else if (startsWith(arg, "--l3=")) {
+            const std::vector<std::string> parts =
+                split(arg.substr(5), ',');
+            std::uint64_t size = 0;
+            unsigned long long cyc = 6, assoc = 2;
+            if (parts.empty() || parts.size() > 3 ||
+                !parseSize(parts[0], size) || size == 0 ||
+                (parts.size() > 1 &&
+                 (!parseUnsigned(parts[1], cyc) || cyc == 0)) ||
+                (parts.size() > 2 &&
+                 (!parseUnsigned(parts[2], assoc) || assoc == 0)))
+                mlc_fatal("bad --l3 value in '", argv[i],
+                          "' (expected SIZE[,CYCLES[,ASSOC]], "
+                          "e.g. --l3=1M,6,4)");
+            l3_size = size;
+            l3_cycles = static_cast<std::uint32_t>(cyc);
+            l3_assoc = static_cast<std::uint32_t>(assoc);
         } else if (startsWith(arg, "--engine=")) {
             const std::string_view engine = arg.substr(9);
             if (engine == "onepass")
@@ -136,6 +168,20 @@ main(int argc, char **argv)
 
     hier::HierarchyParams base =
         hier::HierarchyParams::baseMachine().withL1Total(l1_total);
+    if (l3_size != 0) {
+        if (use_sampled)
+            mlc_fatal("--l3 requires --engine=timing, onepass or "
+                      "mrc (the sampled engine sweeps two-level "
+                      "machines only)");
+        cache::CacheParams l3;
+        l3.name = "l3";
+        l3.geometry.sizeBytes = l3_size;
+        l3.geometry.blockBytes = base.levels[0].geometry.blockBytes;
+        l3.geometry.assoc = l3_assoc;
+        l3.cycleNs = base.cpuCycleNs * l3_cycles;
+        base.levels.push_back(l3);
+        base.busWidthWords.push_back(base.busWidthWords.back());
+    }
     std::cout << "machine: " << base.summary() << "\n";
 
     // A compact sweep (one trace, reduced axes) to stay
@@ -162,7 +208,53 @@ main(int argc, char **argv)
     };
     const std::size_t cols = cycles.size();
     std::vector<Cell> slots(sizes.size() * cols);
-    if (use_onepass) {
+    if ((use_onepass || use_mrc) && l3_size != 0) {
+        // Cascade: the swept L2 sizes are the exactly-replayed
+        // pivots, the fixed L3 the single ghost-swept member. One
+        // pass yields profiles[pivot][trace]; each cell is priced
+        // by the depth-3 Equation 1-3 model (member index 0), and
+        // the solo column is the pivot's own solo curve.
+        onepass::CascadeFamilySpec family;
+        for (const std::uint64_t s : sizes)
+            family.pivots.push_back(
+                {s, base.levels[0].geometry.assoc,
+                 base.levels[0].geometry.blockBytes});
+        family.l3.configs.push_back(
+            {l3_size, l3_assoc,
+             base.levels[1].geometry.blockBytes});
+        std::vector<std::vector<onepass::TraceProfile>> profiles;
+        if (use_onepass) {
+            onepass::ProfileOptions popts;
+            popts.solo = true;
+            popts.shards = shards;
+            profiles = onepass::profileCascadeSuite(
+                base, family, store, jobs, popts);
+        } else {
+            mrc::MrcOptions mopts;
+            mopts.sampler = sampler;
+            mopts.solo = true;
+            profiles = mrc::profileCascadeSuite(base, family,
+                                                store, jobs, mopts);
+        }
+        const double n =
+            static_cast<double>(profiles.front().size());
+        for (std::size_t c = 0; c < cols; ++c) {
+            const onepass::EqTimingModel model =
+                onepass::EqTimingModel::forMachine(
+                    base.withL2(sizes[0], cycles[c]));
+            for (std::size_t s = 0; s < sizes.size(); ++s) {
+                Cell &cell = slots[s * cols + c];
+                for (const onepass::TraceProfile &prof :
+                     profiles[s]) {
+                    cell.rel += model.relExec(prof, 0) / n;
+                    if (c == 0)
+                        cell.solo += prof.pivotChain[0]
+                                         .solo.localMissRatio() /
+                                     n;
+                }
+            }
+        }
+    } else if (use_onepass) {
         // One profiling pass covers every size (the cycle axis is
         // timing-only); cells are then priced analytically and the
         // solo miss curve comes from the same pass.

@@ -193,12 +193,13 @@ main(int argc, char **argv)
 
     if (use_onepass || use_mrc) {
         for (std::size_t i = 0; i < params.size(); ++i) {
-            if (params[i].levels.size() != 1)
+            if (params[i].levels.size() < 1 ||
+                params[i].levels.size() > 2)
                 mlc_fatal("--engine=", use_mrc ? "mrc" : "onepass",
                           " prices two-level (L1 + one downstream "
-                          "cache) hierarchies only; ",
-                          config_paths[i], " has ",
-                          params[i].levels.size(),
+                          "cache) and three-level (cascade) "
+                          "hierarchies; ", config_paths[i],
+                          " has ", params[i].levels.size(),
                           " downstream levels — use the timing "
                           "engine for deeper machines");
         }
@@ -266,7 +267,85 @@ main(int argc, char **argv)
         std::ostringstream os;
         os << "machine: " << params[i].summary() << "\n"
            << "trace: " << stream_name << "\n\n";
-        if (use_onepass) {
+        if ((use_onepass || use_mrc) &&
+            params[i].levels.size() == 2) {
+            // Three-level machine: cascade profile — the L2 is the
+            // (single) pivot, replayed exactly; the L3 is the
+            // (single) member, exact under onepass, sampled under
+            // mrc.
+            const cache::CacheParams &l2p = params[i].levels[0];
+            const cache::CacheParams &l3p = params[i].levels[1];
+            onepass::CascadeFamilySpec cf;
+            cf.pivots.push_back({l2p.geometry.sizeBytes,
+                                 l2p.geometry.assoc,
+                                 l2p.geometry.blockBytes});
+            cf.l3.configs.push_back({l3p.geometry.sizeBytes,
+                                     l3p.geometry.assoc,
+                                     l3p.geometry.blockBytes});
+            onepass::TraceProfile prof;
+            if (use_onepass) {
+                onepass::ProfileOptions popts;
+                popts.solo = params[i].measureSolo;
+                popts.shards = shards;
+                prof = std::move(onepass::profileCascadeTrace(
+                    params[i], cf, replay_all, warmup, popts)[0]);
+            } else {
+                mrc::MrcOptions mopts;
+                mopts.sampler = sampler;
+                mopts.solo = params[i].measureSolo;
+                // The cascade profiler replays the span in place:
+                // vet the mapped records first (the streaming
+                // chunk-validation path does not apply here).
+                if (mapped)
+                    mapped->validateRange(0, replay_all.size);
+                prof = std::move(mrc::profileCascadeTrace(
+                    params[i], cf, replay_all, warmup, mopts)[0]);
+            }
+            const onepass::EqTimingModel model =
+                onepass::EqTimingModel::forMachine(params[i]);
+            const onepass::PivotLink &l2 = prof.pivotChain[0];
+            const onepass::ConfigProfile &l3 = prof.configs[0];
+            if (use_onepass)
+                os << "one-pass cascade engine: exact miss ratios "
+                      "at every level; timing from the Equation "
+                      "1-3 model\n";
+            else
+                os << "mrc cascade engine: exact L1/L2 replay, "
+                      "sampled L3 (rate " << sampler.rate
+                   << "); timing from the Equation 1-3 model\n";
+            os << "  instructions        " << prof.instructions
+               << "\n"
+               << "  reads / writes      " << prof.cpuReads()
+               << " / " << prof.stores << "\n"
+               << "  L1 read misses      " << prof.l1ReadMisses
+               << " of " << prof.l1ReadRequests << " (ratio "
+               << prof.l1GlobalMissRatio() << ")\n"
+               << "  L2 read misses      " << l2.counts.readMisses
+               << " of " << l2.counts.reads << " (local "
+               << l2.counts.localMissRatio() << ", global "
+               << l2.counts.globalMissRatio(prof.cpuReads())
+               << ")\n"
+               << "  L3 read misses      "
+               << l3.filtered.readMisses << " of "
+               << l3.filtered.reads << " (local "
+               << l3.filtered.localMissRatio() << ", global "
+               << l3.filtered.globalMissRatio(prof.cpuReads())
+               << ")\n";
+            if (params[i].measureSolo)
+                os << "  L2 solo miss ratio  "
+                   << l2.solo.localMissRatio() << "\n"
+                   << "  L3 solo miss ratio  "
+                   << l3.solo.localMissRatio() << "\n";
+            os << "  model latencies     nL2 " << model.nL2()
+               << " cyc, nL3 " << model.levelCycles(1)
+               << " cyc, nMMread " << model.nMMread()
+               << " cyc, write extra " << model.writeExtra()
+               << " cyc\n"
+               << "  modelled CPI        " << model.cpi(prof, 0)
+               << "\n"
+               << "  modelled rel exec   " << model.relExec(prof, 0)
+               << "\n";
+        } else if (use_onepass) {
             const onepass::FamilySpec family =
                 onepass::FamilySpec::l2Grid(
                     params[i],

@@ -21,6 +21,37 @@ maxAssoc(const std::vector<onepass::GhostCacheSpec> &configs)
     return m;
 }
 
+/** Replay a filtered event log into a sampled forest, resetting the
+ *  counts at the log's warm boundary — the sampled twin of
+ *  onepass::sweepEventLog's in-loop reset, including the
+ *  past-the-end case (post-warm stream absorbed upstream). */
+void
+replayLog(const onepass::FilteredEventLog &log,
+          SampledGhostForest &forest)
+{
+    for (std::size_t i = 0; i < log.events.size(); ++i) {
+        if (i == log.warmEvents)
+            forest.resetCounts();
+        const std::uint64_t word = log.events[i];
+        const Addr addr =
+            word & ~onepass::FilteredEventLog::kKindMask;
+        switch (word & onepass::FilteredEventLog::kKindMask) {
+          case onepass::FilteredEventLog::ReadCounted:
+            forest.read(addr, true);
+            break;
+          case onepass::FilteredEventLog::ReadUncounted:
+            forest.read(addr, false);
+            break;
+          default:
+            forest.write(addr);
+            break;
+        }
+    }
+    if (log.warmEvents != onepass::FilteredEventLog::kNoBoundary &&
+        log.warmEvents >= log.events.size())
+        forest.resetCounts();
+}
+
 } // namespace
 
 StreamingProfiler::StreamingProfiler(
@@ -189,6 +220,178 @@ profileSuite(const hier::HierarchyParams &base,
                               expt::scaledWarmup(store.specs()[t]),
                               opts);
         out[t].traceName = store.specs()[t].name;
+    });
+    return out;
+}
+
+std::vector<onepass::TraceProfile>
+profileCascadeTrace(const hier::HierarchyParams &base,
+                    const onepass::CascadeFamilySpec &family,
+                    trace::RefSpan refs, std::uint64_t warmup_refs,
+                    const MrcOptions &opts)
+{
+    if (family.pivots.empty())
+        mlc_panic("mrc::profileCascadeTrace: empty pivot family");
+    if (family.l3.configs.empty())
+        mlc_panic("mrc::profileCascadeTrace: empty downstream "
+                  "family");
+
+    onepass::L1Filter filter(base);
+    const hier::HierarchyParams &params = filter.params();
+    if (params.levels.size() < 2)
+        mlc_panic("mrc::profileCascadeTrace: the base machine needs "
+                  "at least two downstream levels (a pivot position "
+                  "and the profiled family's position); it has ",
+                  params.levels.size());
+
+    const std::uint32_t l1_block = std::max(
+        params.l1d.geometry.blockBytes,
+        params.splitL1 ? params.l1i.geometry.blockBytes : 0u);
+    std::uint32_t max_pivot_block = 4;
+    for (const onepass::GhostCacheSpec &pivot : family.pivots) {
+        if (pivot.blockBytes < l1_block || pivot.blockBytes < 4)
+            mlc_panic("mrc::profileCascadeTrace: pivot ",
+                      pivot.toString(), " has a smaller block than "
+                      "the hierarchy allows");
+        max_pivot_block =
+            std::max(max_pivot_block, pivot.blockBytes);
+    }
+    for (const onepass::GhostCacheSpec &spec : family.l3.configs)
+        if (spec.blockBytes < max_pivot_block)
+            mlc_panic("mrc::profileCascadeTrace: downstream member ",
+                      spec.toString(),
+                      " has a smaller block than the widest ",
+                      max_pivot_block, "B pivot block, which the "
+                      "hierarchy disallows");
+
+    const onepass::GhostPolicies pivot_pol =
+        onepass::GhostPolicies::fromLevel(params.levels[0],
+                                          maxAssoc(family.pivots));
+    const onepass::GhostPolicies l3_pol =
+        onepass::GhostPolicies::fromLevel(
+            params.levels[1], maxAssoc(family.l3.configs));
+
+    const std::size_t n3 = family.l3.configs.size();
+    std::vector<SampledStackDistance> fa;
+    std::vector<std::size_t> fa_of_config;
+    if (opts.faBound) {
+        const std::vector<onepass::BlockGroup> groups =
+            onepass::blockGroups(family.l3.configs);
+        fa_of_config.resize(n3);
+        fa.reserve(groups.size());
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            fa.emplace_back(groups[g].blockBytes, opts.sampler);
+            for (std::size_t m : groups[g].members)
+                fa_of_config[m] = g;
+        }
+    }
+    std::unique_ptr<SampledGhostForest> pivot_solo, member_solo;
+    if (opts.solo) {
+        pivot_solo = std::make_unique<SampledGhostForest>(
+            family.pivots, pivot_pol, opts.sampler);
+        member_solo = std::make_unique<SampledGhostForest>(
+            family.l3.configs, l3_pol, opts.sampler);
+    }
+
+    // Phase 1: one exact serial L1 replay into the shared log; the
+    // sampled solo forests and FA analyzers ride the same loop (FA
+    // spans the whole stream, as everywhere else).
+    onepass::FilteredEventLog l1log;
+    l1log.warmEvents = onepass::FilteredEventLog::kNoBoundary;
+    l1log.events.reserve(refs.size / 8);
+    for (std::size_t i = 0; i < refs.size; ++i) {
+        if (i == warmup_refs) {
+            filter.resetCounts();
+            if (opts.solo) {
+                pivot_solo->resetCounts();
+                member_solo->resetCounts();
+            }
+            l1log.warmEvents = l1log.events.size();
+        }
+        filter.step(refs[i], l1log);
+        if (opts.solo) {
+            pivot_solo->soloAccess(refs[i]);
+            member_solo->soloAccess(refs[i]);
+        }
+        for (SampledStackDistance &a : fa)
+            a.access(refs[i].addr);
+    }
+
+    // Phase 2: per pivot, one exact CascadeFilter replay of the L1
+    // log (the pivot's own counts need no sampling — its state is
+    // one real L2's), then a sampled forest over the much smaller
+    // L2-filtered log for the member family.
+    std::vector<onepass::TraceProfile> out(family.pivots.size());
+    onepass::FilteredEventLog l2log;
+    for (std::size_t p = 0; p < family.pivots.size(); ++p) {
+        onepass::CascadeFilter cascade(params, family.pivots[p]);
+        onepass::filterEventLog(l1log, cascade, l2log);
+
+        SampledGhostForest forest(family.l3.configs, l3_pol,
+                                  opts.sampler);
+        replayLog(l2log, forest);
+
+        onepass::TraceProfile &tp = out[p];
+        tp.instructions = filter.instructions();
+        tp.ifetches = filter.ifetches();
+        tp.loads = filter.loads();
+        tp.stores = filter.stores();
+        tp.l1ReadRequests = filter.l1ReadRequests();
+        tp.l1ReadMisses = filter.l1ReadMisses();
+        tp.pivotChain.push_back(
+            {family.pivots[p], cascade.counts(),
+             opts.solo ? pivot_solo->counts(p)
+                       : onepass::GhostCounts{}});
+        tp.configs.resize(n3);
+        for (std::size_t m = 0; m < n3; ++m) {
+            onepass::ConfigProfile &cp = tp.configs[m];
+            cp.spec = family.l3.configs[m];
+            cp.filtered = forest.counts(m);
+            if (opts.solo)
+                cp.solo = member_solo->counts(m);
+            if (opts.faBound) {
+                const SampledStackDistance &a =
+                    fa[fa_of_config[m]];
+                cp.faMissRatio = a.missRatio(cp.spec.sizeBytes /
+                                             cp.spec.blockBytes);
+                cp.faCompulsory = static_cast<std::uint64_t>(
+                    std::llround(a.infiniteWeight()));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<onepass::TraceProfile>
+profileCascadeTrace(const hier::HierarchyParams &base,
+                    const onepass::CascadeFamilySpec &family,
+                    const std::vector<trace::MemRef> &refs,
+                    std::uint64_t warmup_refs, const MrcOptions &opts)
+{
+    return profileCascadeTrace(
+        base, family, trace::RefSpan{refs.data(), refs.size()},
+        warmup_refs, opts);
+}
+
+std::vector<std::vector<onepass::TraceProfile>>
+profileCascadeSuite(const hier::HierarchyParams &base,
+                    const onepass::CascadeFamilySpec &family,
+                    const expt::TraceStore &store, std::size_t jobs,
+                    const MrcOptions &opts)
+{
+    const std::size_t n_traces = store.size();
+    std::vector<std::vector<onepass::TraceProfile>> out(
+        family.pivots.size(),
+        std::vector<onepass::TraceProfile>(n_traces));
+    parallelFor(jobs, n_traces, [&](std::size_t t) {
+        std::vector<onepass::TraceProfile> per_pivot =
+            profileCascadeTrace(
+                base, family, store.traces()[t],
+                expt::scaledWarmup(store.specs()[t]), opts);
+        for (std::size_t p = 0; p < per_pivot.size(); ++p) {
+            per_pivot[p].traceName = store.specs()[t].name;
+            out[p][t] = std::move(per_pivot[p]);
+        }
     });
     return out;
 }

@@ -39,6 +39,7 @@
 #include "hier/hierarchy_config.hh"
 #include "mrc/sampled_ghost.hh"
 #include "mrc/sampled_stack.hh"
+#include "onepass/cascade.hh"
 #include "onepass/engine.hh"
 #include "onepass/l1_filter.hh"
 #include "trace/binary.hh"
@@ -146,6 +147,38 @@ profileSuite(const hier::HierarchyParams &base,
              const onepass::FamilySpec &family,
              const expt::TraceStore &store, std::size_t jobs = 1,
              const MrcOptions &opts = {});
+
+/**
+ * Sampled counterpart of onepass::profileCascadeTrace: the L1
+ * replay and each pivot's CascadeFilter replay stay *exact* (their
+ * state is bounded by the machine's own L1/L2 sizes, so sampling
+ * them buys nothing), while the L3 member sweeps, the solo
+ * forests, and the FA bounds are the sampled miniatures. The pivot
+ * links in each returned profile therefore carry exact counts; the
+ * member counts are unbiased estimates, bit-identical to the exact
+ * cascade engine when every member is natural (p = 1.0).
+ */
+std::vector<onepass::TraceProfile>
+profileCascadeTrace(const hier::HierarchyParams &base,
+                    const onepass::CascadeFamilySpec &family,
+                    trace::RefSpan refs, std::uint64_t warmup_refs,
+                    const MrcOptions &opts = {});
+
+std::vector<onepass::TraceProfile>
+profileCascadeTrace(const hier::HierarchyParams &base,
+                    const onepass::CascadeFamilySpec &family,
+                    const std::vector<trace::MemRef> &refs,
+                    std::uint64_t warmup_refs,
+                    const MrcOptions &opts = {});
+
+/** Sampled counterpart of onepass::profileCascadeSuite: parallel
+ *  across traces, output [pivot][trace], bit-identical for any
+ *  @p jobs. */
+std::vector<std::vector<onepass::TraceProfile>>
+profileCascadeSuite(const hier::HierarchyParams &base,
+                    const onepass::CascadeFamilySpec &family,
+                    const expt::TraceStore &store,
+                    std::size_t jobs = 1, const MrcOptions &opts = {});
 
 /** Sampled counterpart of onepass::buildGrid: profile the L2 family
  *  once per trace at the sampled rate, then price every (size,

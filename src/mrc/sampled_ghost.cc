@@ -48,8 +48,10 @@ scatterSet(std::uint64_t set, std::uint64_t set_mask,
 
 SampledGhostForest::Member
 SampledGhostForest::makeMember(const onepass::GhostCacheSpec &spec,
-                               double rate, std::uint64_t min_sets)
+                               const SamplerConfig &sampler)
 {
+    const double rate = sampler.rate;
+    const std::uint64_t min_sets = sampler.minSets;
     const std::uint64_t way_bytes =
         static_cast<std::uint64_t>(spec.assoc) * spec.blockBytes;
     if (!isPowerOfTwo(spec.sizeBytes) ||
@@ -82,11 +84,16 @@ SampledGhostForest::makeMember(const onepass::GhostCacheSpec &spec,
              static_cast<double>(std::uint64_t{1} << j),
              j == 0,
              full_sets - 1,
+             // The per-member phase, optionally re-drawn by the
+             // caller's saltSeed (scattered first so small seeds
+             // flip high hash-input bits too); seed 0 reproduces
+             // the canonical subsets bit for bit.
              hashBlock(spec.sizeBytes ^
                        (static_cast<std::uint64_t>(spec.assoc)
                         << 40) ^
                        (static_cast<std::uint64_t>(spec.blockBytes)
-                        << 20)),
+                        << 20) ^
+                       (sampler.saltSeed * kSetScatter)),
              onepass::GhostTagArray(full_sets >> j, spec.assoc)};
     return m;
 }
@@ -105,8 +112,7 @@ SampledGhostForest::SampledGhostForest(
     members_.reserve(specs_.size());
     counts_.resize(specs_.size());
     for (std::size_t i = 0; i < specs_.size(); ++i) {
-        members_.push_back(
-            makeMember(specs_[i], sampler.rate, sampler.minSets));
+        members_.push_back(makeMember(specs_[i], sampler));
         const unsigned shift = exactLog2(specs_[i].blockBytes);
         Group *group = nullptr;
         for (Group &g : groups_)

@@ -158,7 +158,7 @@ class SampledGhostForest
     void maybeShrink();
     void shrinkMember(Member &mem) const;
     static Member makeMember(const onepass::GhostCacheSpec &spec,
-                             double rate, std::uint64_t min_sets);
+                             const SamplerConfig &sampler);
 
     std::vector<onepass::GhostCacheSpec> specs_;
     onepass::GhostPolicies policies_;

@@ -91,6 +91,17 @@ struct SamplerConfig
      * to the O(trace) state the engine exists to avoid.
      */
     std::uint64_t minSets = 4096;
+    /**
+     * Extra salt folded into every forest member's kept-set phase.
+     * 0 (the default) keeps the canonical per-member subsets, so
+     * existing results are bit-stable; distinct seeds re-draw which
+     * sets each member keeps, giving independent estimates of the
+     * same curve whose spread *measures* the cross-set variance —
+     * bench/mrc_streaming's multi-salt error bars. Natural members
+     * (p = 1.0 or at the minSets floor) keep every set under any
+     * seed, so the exactness contract is seed-independent.
+     */
+    std::uint64_t saltSeed = 0;
 };
 
 /** The hash filter itself: threshold + adaptive bookkeeping. */

@@ -125,6 +125,24 @@ struct ConfigProfile
     std::uint64_t faCompulsory = 0;
 };
 
+/**
+ * One exactly-replayed intermediate level of a cascade profile
+ * (cascade.hh): the pivot configuration and its demand traffic at
+ * that level. A depth-3 profile carries one link (the L2 pivot);
+ * the chain generalizes to deeper hierarchies.
+ */
+struct PivotLink
+{
+    GhostCacheSpec spec;
+    /** Demand traffic arriving at the pivot: reads/readMisses are
+     *  the level's counted read requests/misses, extra* the
+     *  uncounted (store-origin / fetch-group) traffic. */
+    GhostCounts counts;
+    /** Raw-CPU-stream stand-alone counts for the pivot (zero unless
+     *  ProfileOptions::solo). */
+    GhostCounts solo;
+};
+
 /** Everything one pass learns about one trace. */
 struct TraceProfile
 {
@@ -146,6 +164,15 @@ struct TraceProfile
 
     /** Parallel to the FamilySpec that produced this profile. */
     std::vector<ConfigProfile> configs;
+
+    /**
+     * Exactly-replayed intermediate levels between the L1s and the
+     * profiled family, outermost first. Empty for the classic
+     * two-level profile; a cascade profile (profileCascadeTrace)
+     * carries one link per pivot level, and EqTimingModel composes
+     * the chain's miss ratios into the deeper Eq. 1-3 model.
+     */
+    std::vector<PivotLink> pivotChain;
 };
 
 /**

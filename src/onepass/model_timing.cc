@@ -18,39 +18,41 @@ EqTimingModel::forMachine(hier::HierarchyParams params)
     params.finalize();
     if (params.levels.empty())
         mlc_panic("EqTimingModel: no downstream cache level");
-    if (params.levels.size() > 1)
-        mlc_panic("EqTimingModel prices a two-level hierarchy; ",
-                  params.levels.size(),
-                  " downstream levels need the timing engine");
 
-    const cache::CacheParams &l2 = params.levels[0];
-
-    // n_L2: the L2 array read plus the fill transfer back to L1.
-    // The CPU-L2 bus cycles at the L2 rate and the first beat
-    // overlaps the array read, so only the residual beats add time.
-    const std::uint32_t l1_fill = std::max(
+    // n_k for each downstream cache level: the level's array read
+    // plus the fill transfer back to the level above. Each bus
+    // cycles at its level's rate and the first beat overlaps the
+    // array read, so only the residual beats add time. Level 0's
+    // upstream fill is the (widest) L1's; level k's is level k-1's.
+    EqTimingModel m;
+    std::uint64_t up_fill = std::max(
         params.l1d.fillRequestBytes(),
         params.splitL1 ? params.l1i.fillRequestBytes() : 0u);
-    const std::uint64_t fill_beats =
-        divCeil(l1_fill, params.busWidthWords[0] * 4u);
-    const double l2_read_ns =
-        l2.readCycles * l2.cycleNs +
-        static_cast<double>(fill_beats - 1) * l2.cycleNs;
+    for (std::size_t k = 0; k < params.levels.size(); ++k) {
+        const cache::CacheParams &level = params.levels[k];
+        const std::uint64_t fill_beats =
+            divCeil(up_fill, std::uint64_t{
+                                 params.busWidthWords[k]} * 4u);
+        m.levelCycles_.push_back(
+            (level.readCycles * level.cycleNs +
+             static_cast<double>(fill_beats - 1) * level.cycleNs) /
+            params.cpuCycleNs);
+        up_fill = level.fillRequestBytes();
+    }
 
-    // n_MMread: the DRAM read service including backplane beats.
-    // The Section 4 sweeps hold this constant while the L2 cycle
-    // time varies, hence the independent backplane clock.
+    // n_MMread: the DRAM read service including backplane beats,
+    // fetching the deepest cache's fill. The Section 4 sweeps hold
+    // this constant while the L2 cycle time varies, hence the
+    // independent backplane clock.
     const double backplane_ns = params.backplaneCycleNs > 0.0
                                     ? params.backplaneCycleNs
                                     : params.levels.back().cycleNs;
     const mem::Bus backplane(params.busWidthWords.back(),
                              nsToTicks(backplane_ns));
     const mem::MainMemory memory(params.memory);
-    const double mm_read_ns = ticksToNs(
-        memory.readService(backplane, l2.fillRequestBytes()));
+    const double mm_read_ns = ticksToNs(memory.readService(
+        backplane, params.levels.back().fillRequestBytes()));
 
-    EqTimingModel m;
-    m.nL2_ = l2_read_ns / params.cpuCycleNs;
     m.nMMread_ = mm_read_ns / params.cpuCycleNs;
     m.writeExtra_ = (params.l1d.writeCycles - 1) *
                     params.l1d.cycleNs / params.cpuCycleNs;
@@ -84,6 +86,16 @@ EqTimingModel::modelFor(const TraceProfile &t,
     if (reads == 0.0)
         mlc_panic("EqTimingModel: profile has no reads");
 
+    // A profile's pivot chain supplies the intermediate levels'
+    // miss counts: the machine's depth and the chain length must
+    // describe the same hierarchy shape.
+    if (t.pivotChain.size() + 1 != levelCycles_.size())
+        mlc_panic("EqTimingModel: machine has ",
+                  levelCycles_.size(),
+                  " downstream cache levels but the profile "
+                  "carries ", t.pivotChain.size(),
+                  " pivot links (need depth - 1)");
+
     // Reads ride the pipeline at one cycle per *instruction*, so
     // per-read the base cost is instructions/reads; with the mix's
     // reads-per-instruction this contributes exactly 1 cycle per
@@ -92,11 +104,26 @@ EqTimingModel::modelFor(const TraceProfile &t,
         static_cast<double>(t.instructions) / reads;
     const double m_l1 =
         static_cast<double>(t.l1ReadMisses) / reads;
-    const double m_l2 =
-        static_cast<double>(t.configs[config].filtered.readMisses) /
-        reads;
-    return model::MultiLevelModel(
-        n_l1, writeExtra_, {{m_l1, nL2_}, {m_l2, nMMread_}});
+
+    // Layer k is fed by the global miss ratio of the layer above:
+    // L1 feeds the first downstream level, each pivot feeds the
+    // next, and the profiled member feeds main memory.
+    std::vector<model::MultiLevelModel::Layer> layers;
+    layers.reserve(levelCycles_.size() + 1);
+    layers.push_back({m_l1, levelCycles_[0]});
+    for (std::size_t k = 0; k < t.pivotChain.size(); ++k)
+        layers.push_back(
+            {static_cast<double>(
+                 t.pivotChain[k].counts.readMisses) /
+                 reads,
+             levelCycles_[k + 1]});
+    layers.push_back(
+        {static_cast<double>(
+             t.configs[config].filtered.readMisses) /
+             reads,
+         nMMread_});
+    return model::MultiLevelModel(n_l1, writeExtra_,
+                                  std::move(layers));
 }
 
 double

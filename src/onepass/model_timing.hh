@@ -3,12 +3,14 @@
  * Analytical execution time from one-pass miss ratios.
  *
  * EqTimingModel derives the per-layer read costs of Equation 1
- * (n_L2, n_MMread, w_L1) from a HierarchyParams the way the paper's
- * Section 2 machine description implies — L2 array read plus the
- * residual fill-transfer beats for n_L2, the DRAM read service
- * including backplane beats for n_MMread — and combines them with a
- * TraceProfile's *measured* mix and *exact* miss counts through
- * model::MultiLevelModel.
+ * (n_L2, n_L3, ..., n_MMread, w_L1) from a HierarchyParams the way
+ * the paper's Section 2 machine description implies — each level's
+ * array read plus the residual fill-transfer beats from the level
+ * above, the DRAM read service including backplane beats for
+ * n_MMread — and combines them with a TraceProfile's *measured*
+ * mix, *exact* family miss counts, and (for three-level cascade
+ * profiles) the pivot chain's exact intermediate miss counts
+ * through model::MultiLevelModel.
  *
  * Scope: this is the modelled half of the one-pass engine. The miss
  * ratios feeding it are bit-exact versus the timing simulator; the
@@ -22,6 +24,7 @@
 #define MLC_ONEPASS_MODEL_TIMING_HH
 
 #include <cstddef>
+#include <vector>
 
 #include "hier/hierarchy_config.hh"
 #include "model/exec_time.hh"
@@ -35,15 +38,26 @@ class EqTimingModel
 {
   public:
     /**
-     * Derive the costs from @p params (finalized internally).
-     * Panics on hierarchies deeper than two cache levels: Equation
-     * 1 as instantiated here prices exactly one level between the
-     * L1 and main memory.
+     * Derive the costs from @p params (finalized internally), for
+     * any hierarchy depth: one layer cost per downstream cache
+     * level plus the memory read. A profile priced by relExec/cpi
+     * must carry levels-1 pivot links (TraceProfile::pivotChain) —
+     * zero for the classic two-level case, one per exactly-replayed
+     * intermediate level for cascade profiles.
      */
     static EqTimingModel forMachine(hier::HierarchyParams params);
 
     /** @{ @name Layer costs in CPU cycles */
-    double nL2() const { return nL2_; }
+    /** Read cost of the first downstream level (Equation 1's
+     *  n_L2). */
+    double nL2() const { return levelCycles_[0]; }
+    /** Read cost of downstream cache level @p k (0 = the L2). */
+    double levelCycles(std::size_t k) const
+    {
+        return levelCycles_[k];
+    }
+    /** Downstream cache levels the machine has. */
+    std::size_t depth() const { return levelCycles_.size(); }
     double nMMread() const { return nMMread_; }
     /** Extra cycles per store beyond the 1-cycle pipeline slot. */
     double writeExtra() const { return writeExtra_; }
@@ -64,7 +78,8 @@ class EqTimingModel
                                     std::size_t config) const;
     static model::RefMix mixOf(const TraceProfile &t);
 
-    double nL2_ = 0.0;
+    /** Per-downstream-level read costs, outermost (L2) first. */
+    std::vector<double> levelCycles_;
     double nMMread_ = 0.0;
     double writeExtra_ = 0.0;
 };

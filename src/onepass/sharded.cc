@@ -56,13 +56,6 @@ shardGroups(const std::vector<GhostCacheSpec> &configs)
     return groups;
 }
 
-/** One shard's private tag state and counters, in member order. */
-struct ShardResult
-{
-    std::vector<GhostCounts> filtered;
-    std::vector<GhostCounts> solo;
-};
-
 void
 addCounts(GhostCounts &into, const GhostCounts &from)
 {
@@ -72,7 +65,180 @@ addCounts(GhostCounts &into, const GhostCounts &from)
     into.extraMisses += from.extraMisses;
 }
 
+std::vector<MemberGeom>
+memberGeoms(const std::vector<GhostCacheSpec> &configs,
+            std::size_t shards)
+{
+    std::vector<MemberGeom> geoms(configs.size());
+    for (std::size_t m = 0; m < configs.size(); ++m) {
+        const GhostCacheSpec &spec = configs[m];
+        const std::uint64_t sets =
+            spec.sizeBytes /
+            (static_cast<std::uint64_t>(spec.assoc) *
+             spec.blockBytes);
+        MemberGeom &g = geoms[m];
+        g.setMask = sets - 1;
+        g.shardCount = std::min<std::uint64_t>(shards, sets);
+        g.localSets = divCeil(sets, g.shardCount);
+        g.ways = spec.assoc;
+        g.bySm = FixedDivisor(g.shardCount);
+    }
+    return geoms;
+}
+
+std::vector<GhostCounts>
+mergeShardCounts(const std::vector<std::vector<GhostCounts>> &per,
+                 std::size_t n)
+{
+    // Fixed (member-major, shard-minor) order: the shards partition
+    // every scalar count, so the integer sums are bit-identical to
+    // the scalar forest for any shard count.
+    std::vector<GhostCounts> out(n);
+    for (std::size_t m = 0; m < n; ++m)
+        for (const std::vector<GhostCounts> &shard : per)
+            addCounts(out[m], shard[m]);
+    return out;
+}
+
 } // namespace
+
+std::vector<GhostCounts>
+sweepEventLog(const FilteredEventLog &log,
+              const std::vector<GhostCacheSpec> &configs,
+              const GhostPolicies &policies, std::size_t shards)
+{
+    const std::size_t n = configs.size();
+    shards = std::max<std::size_t>(1, shards);
+    const std::vector<MemberGeom> geoms =
+        memberGeoms(configs, shards);
+    const std::vector<ShardGroup> groups = shardGroups(configs);
+    const bool write_allocates =
+        policies.downstreamWriteMiss ==
+        cache::DownstreamWriteMissPolicy::Allocate;
+
+    std::vector<std::vector<GhostCounts>> results(shards);
+    parallelFor(shards, shards, [&](std::size_t s) {
+        std::vector<GhostCounts> &counts = results[s];
+        std::vector<GhostTagArray> arrays;
+        arrays.reserve(n);
+        for (const MemberGeom &g : geoms)
+            arrays.emplace_back(g.localSets, g.ways);
+        counts.assign(n, GhostCounts{});
+
+        for (std::size_t idx = 0; idx < log.events.size(); ++idx) {
+            if (idx == log.warmEvents)
+                counts.assign(n, GhostCounts{});
+            const std::uint64_t word = log.events[idx];
+            const std::uint64_t kind =
+                word & FilteredEventLog::kKindMask;
+            const Addr addr = word & ~FilteredEventLog::kKindMask;
+            for (const ShardGroup &grp : groups) {
+                const std::uint64_t block = addr >> grp.blockShift;
+                for (std::size_t m : grp.members) {
+                    const MemberGeom &g = geoms[m];
+                    const std::uint64_t set = block & g.setMask;
+                    const std::uint64_t q = g.bySm.div(set);
+                    if (set - q * g.shardCount != s)
+                        continue;
+                    GhostCounts &c = counts[m];
+                    switch (kind) {
+                      case FilteredEventLog::ReadCounted: {
+                        const bool hit =
+                            arrays[m].touchOrInstallAt(q, block);
+                        ++c.reads;
+                        if (!hit)
+                            ++c.readMisses;
+                        break;
+                      }
+                      case FilteredEventLog::ReadUncounted: {
+                        const bool hit =
+                            arrays[m].touchOrInstallAt(q, block);
+                        ++c.extraAccesses;
+                        if (!hit)
+                            ++c.extraMisses;
+                        break;
+                      }
+                      default: // Write
+                        if (write_allocates)
+                            arrays[m].touchOrInstallAt(q, block);
+                        else
+                            arrays[m].touchOnlyAt(q, block);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // The boundary may lie past the last event (short streams).
+        if (log.warmEvents != kNoBoundary &&
+            log.warmEvents >= log.events.size())
+            counts.assign(n, GhostCounts{});
+    });
+    return mergeShardCounts(results, n);
+}
+
+std::vector<GhostCounts>
+sweepSoloStream(trace::RefSpan refs, std::uint64_t warmup_refs,
+                const std::vector<GhostCacheSpec> &configs,
+                const GhostPolicies &policies, std::size_t shards)
+{
+    const std::size_t n = configs.size();
+    shards = std::max<std::size_t>(1, shards);
+    const std::vector<MemberGeom> geoms =
+        memberGeoms(configs, shards);
+    const std::vector<ShardGroup> groups = shardGroups(configs);
+    const bool store_allocates =
+        policies.alloc == cache::AllocPolicy::WriteAllocate;
+
+    std::vector<std::vector<GhostCounts>> results(shards);
+    parallelFor(shards, shards, [&](std::size_t s) {
+        std::vector<GhostCounts> &counts = results[s];
+        std::vector<GhostTagArray> solo_arrays;
+        solo_arrays.reserve(n);
+        for (const MemberGeom &g : geoms)
+            solo_arrays.emplace_back(g.localSets, g.ways);
+        counts.assign(n, GhostCounts{});
+        for (std::size_t i = 0; i < refs.size; ++i) {
+            if (i == warmup_refs)
+                counts.assign(n, GhostCounts{});
+            const trace::MemRef &ref = refs[i];
+            for (const ShardGroup &grp : groups) {
+                const std::uint64_t block =
+                    ref.addr >> grp.blockShift;
+                for (std::size_t m : grp.members) {
+                    const MemberGeom &g = geoms[m];
+                    const std::uint64_t set = block & g.setMask;
+                    const std::uint64_t q = g.bySm.div(set);
+                    if (set - q * g.shardCount != s)
+                        continue;
+                    GhostCounts &c = counts[m];
+                    if (ref.isRead()) {
+                        const bool hit =
+                            solo_arrays[m].touchOrInstallAt(q,
+                                                            block);
+                        ++c.reads;
+                        if (!hit)
+                            ++c.readMisses;
+                    } else {
+                        // Mirrors GhostTagForest::soloAccess: a
+                        // store miss allocates only under
+                        // write-allocate.
+                        const bool hit =
+                            store_allocates
+                                ? solo_arrays[m].touchOrInstallAt(
+                                      q, block)
+                                : solo_arrays[m].touchOnlyAt(q,
+                                                             block);
+                        ++c.extraAccesses;
+                        if (!hit)
+                            ++c.extraMisses;
+                    }
+                }
+            }
+        }
+    });
+    return mergeShardCounts(results, n);
+}
 
 TraceProfile
 profileTraceSharded(const hier::HierarchyParams &base,
@@ -117,24 +283,7 @@ profileTraceSharded(const hier::HierarchyParams &base,
             return m;
         }());
 
-    // Per-member sharding geometry.
     const std::size_t n = family.configs.size();
-    std::vector<MemberGeom> geoms(n);
-    for (std::size_t m = 0; m < n; ++m) {
-        const GhostCacheSpec &spec = family.configs[m];
-        const std::uint64_t sets =
-            spec.sizeBytes /
-            (static_cast<std::uint64_t>(spec.assoc) *
-             spec.blockBytes);
-        MemberGeom &g = geoms[m];
-        g.setMask = sets - 1;
-        g.shardCount = std::min<std::uint64_t>(shards, sets);
-        g.localSets = divCeil(sets, g.shardCount);
-        g.ways = spec.assoc;
-        g.bySm = FixedDivisor(g.shardCount);
-    }
-    const std::vector<ShardGroup> groups =
-        shardGroups(family.configs);
 
     // FA-bound analyzers span the whole stream (see profileTrace).
     struct FaState
@@ -176,120 +325,13 @@ profileTraceSharded(const hier::HierarchyParams &base,
     // --- Phase 2: every shard sweeps the log (and, for solo, the
     // raw stream), touching only the sets it owns. State is
     // disjoint by construction; no locks, no atomics.
-    const bool write_allocates =
-        policies.downstreamWriteMiss ==
-        cache::DownstreamWriteMissPolicy::Allocate;
-    const bool store_allocates =
-        policies.alloc == cache::AllocPolicy::WriteAllocate;
+    const std::vector<GhostCounts> filtered =
+        sweepEventLog(log, family.configs, policies, shards);
+    const std::vector<GhostCounts> solo =
+        opts.solo ? sweepSoloStream(refs, warmup_refs,
+                                    family.configs, policies, shards)
+                  : std::vector<GhostCounts>();
 
-    std::vector<ShardResult> results(shards);
-    parallelFor(shards, shards, [&](std::size_t s) {
-        ShardResult &res = results[s];
-        std::vector<GhostTagArray> arrays;
-        arrays.reserve(n);
-        for (const MemberGeom &g : geoms)
-            arrays.emplace_back(g.localSets, g.ways);
-        res.filtered.assign(n, GhostCounts{});
-
-        for (std::size_t idx = 0; idx < log.events.size(); ++idx) {
-            if (idx == log.warmEvents)
-                res.filtered.assign(n, GhostCounts{});
-            const std::uint64_t word = log.events[idx];
-            const std::uint64_t kind =
-                word & FilteredEventLog::kKindMask;
-            const Addr addr = word & ~FilteredEventLog::kKindMask;
-            for (const ShardGroup &grp : groups) {
-                const std::uint64_t block = addr >> grp.blockShift;
-                for (std::size_t m : grp.members) {
-                    const MemberGeom &g = geoms[m];
-                    const std::uint64_t set = block & g.setMask;
-                    const std::uint64_t q = g.bySm.div(set);
-                    if (set - q * g.shardCount != s)
-                        continue;
-                    GhostCounts &c = res.filtered[m];
-                    switch (kind) {
-                      case FilteredEventLog::ReadCounted: {
-                        const bool hit =
-                            arrays[m].touchOrInstallAt(q, block);
-                        ++c.reads;
-                        if (!hit)
-                            ++c.readMisses;
-                        break;
-                      }
-                      case FilteredEventLog::ReadUncounted: {
-                        const bool hit =
-                            arrays[m].touchOrInstallAt(q, block);
-                        ++c.extraAccesses;
-                        if (!hit)
-                            ++c.extraMisses;
-                        break;
-                      }
-                      default: // Write
-                        if (write_allocates)
-                            arrays[m].touchOrInstallAt(q, block);
-                        else
-                            arrays[m].touchOnlyAt(q, block);
-                        break;
-                    }
-                }
-            }
-        }
-
-        // The boundary may lie past the last event (short streams).
-        if (log.warmEvents != kNoBoundary &&
-            log.warmEvents >= log.events.size())
-            res.filtered.assign(n, GhostCounts{});
-
-        if (!opts.solo)
-            return;
-        std::vector<GhostTagArray> solo_arrays;
-        solo_arrays.reserve(n);
-        for (const MemberGeom &g : geoms)
-            solo_arrays.emplace_back(g.localSets, g.ways);
-        res.solo.assign(n, GhostCounts{});
-        for (std::size_t i = 0; i < refs.size; ++i) {
-            if (i == warmup_refs)
-                res.solo.assign(n, GhostCounts{});
-            const trace::MemRef &ref = refs[i];
-            for (const ShardGroup &grp : groups) {
-                const std::uint64_t block =
-                    ref.addr >> grp.blockShift;
-                for (std::size_t m : grp.members) {
-                    const MemberGeom &g = geoms[m];
-                    const std::uint64_t set = block & g.setMask;
-                    const std::uint64_t q = g.bySm.div(set);
-                    if (set - q * g.shardCount != s)
-                        continue;
-                    GhostCounts &c = res.solo[m];
-                    if (ref.isRead()) {
-                        const bool hit =
-                            solo_arrays[m].touchOrInstallAt(q,
-                                                            block);
-                        ++c.reads;
-                        if (!hit)
-                            ++c.readMisses;
-                    } else {
-                        // Mirrors GhostTagForest::soloAccess: a
-                        // store miss allocates only under
-                        // write-allocate.
-                        const bool hit =
-                            store_allocates
-                                ? solo_arrays[m].touchOrInstallAt(
-                                      q, block)
-                                : solo_arrays[m].touchOnlyAt(q,
-                                                             block);
-                        ++c.extraAccesses;
-                        if (!hit)
-                            ++c.extraMisses;
-                    }
-                }
-            }
-        }
-    });
-
-    // --- Merge in fixed (member-major, shard-minor) order. The
-    // shards partition every scalar count, so the integer sums are
-    // bit-identical to the scalar forest for any shard count.
     TraceProfile out;
     out.instructions = filter.instructions();
     out.ifetches = filter.ifetches();
@@ -301,11 +343,9 @@ profileTraceSharded(const hier::HierarchyParams &base,
     for (std::size_t m = 0; m < n; ++m) {
         ConfigProfile &cp = out.configs[m];
         cp.spec = family.configs[m];
-        for (std::size_t s = 0; s < shards; ++s) {
-            addCounts(cp.filtered, results[s].filtered[m]);
-            if (opts.solo)
-                addCounts(cp.solo, results[s].solo[m]);
-        }
+        cp.filtered = filtered[m];
+        if (opts.solo)
+            cp.solo = solo[m];
         if (opts.faBound) {
             const trace::StackDistanceAnalyzer &a =
                 fa[fa_of_config[m]].analyzer;

@@ -51,10 +51,16 @@ struct FilteredEventLog
         Write = 2,         //!< victim write-back / forwarded store
     };
     static constexpr std::uint64_t kKindMask = 3;
+    /** warmEvents value meaning "no warm boundary recorded". */
+    static constexpr std::size_t kNoBoundary =
+        static_cast<std::size_t>(-1);
 
     std::vector<std::uint64_t> events;
     /** Events recorded before the warm-up boundary: each shard
-     *  zeroes its counters when its sweep reaches this index. */
+     *  zeroes its counters when its sweep reaches this index. A
+     *  boundary at or past events.size() (the warm point fell after
+     *  the last departing event) zeroes the final counts; kNoBoundary
+     *  disables the reset entirely. */
     std::size_t warmEvents = 0;
 
     /** @{ @name L1Filter sink interface */
@@ -84,6 +90,36 @@ TraceProfile profileTraceSharded(const hier::HierarchyParams &base,
                                  trace::RefSpan refs,
                                  std::uint64_t warmup_refs,
                                  const ProfileOptions &opts);
+
+/**
+ * Sweep one recorded event log over a whole family: the
+ * set-partitioned ghost-forest pass of profileTraceSharded(),
+ * reusable for any FilteredEventLog — the L1-filtered stream or a
+ * CascadeFilter's L2-filtered stream (cascade.hh). Counts are
+ * merged in fixed (member-major, shard-minor) order and are
+ * bit-identical for every @p shards >= 1. ReadCounted events land
+ * in reads/readMisses, ReadUncounted in extraAccesses/extraMisses,
+ * Write events update recency (allocating only when @p policies
+ * says downstream write misses allocate) and count nothing.
+ */
+std::vector<GhostCounts>
+sweepEventLog(const FilteredEventLog &log,
+              const std::vector<GhostCacheSpec> &configs,
+              const GhostPolicies &policies, std::size_t shards = 1);
+
+/**
+ * The solo half of the sharded sweep: every family member replays
+ * the raw CPU reference stream stand-alone (no upstream filter),
+ * set-partitioned exactly like sweepEventLog(). Reads land in
+ * reads/readMisses, stores in extraAccesses/extraMisses (a store
+ * miss allocates only under @p policies write-allocate), matching
+ * GhostTagForest::soloAccess. Counters reset at @p warmup_refs.
+ */
+std::vector<GhostCounts>
+sweepSoloStream(trace::RefSpan refs, std::uint64_t warmup_refs,
+                const std::vector<GhostCacheSpec> &configs,
+                const GhostPolicies &policies,
+                std::size_t shards = 1);
 
 } // namespace onepass
 } // namespace mlc

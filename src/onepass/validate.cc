@@ -44,6 +44,8 @@ CrossCheckReport::print(std::ostream &os) const
                << row.timingSolo;
         if (!row.l1Match)
             os << " (L1 counts differ)";
+        if (!row.pivotMatch)
+            os << " (pivot counts differ)";
         os << "\n";
     }
     os << "cross-check: " << mismatchCount() << " of "
@@ -103,6 +105,80 @@ crossCheck(const hier::HierarchyParams &base,
             // doubles compare bitwise-equal when the counts agree.
             row.onepassSolo = cp.solo.localMissRatio();
             row.timingSolo = r.levels[1].soloMissRatio;
+        }
+        report.rows[i] = row;
+    });
+    return report;
+}
+
+CrossCheckReport
+crossCheckCascade(const hier::HierarchyParams &base,
+                  const CascadeFamilySpec &family,
+                  const expt::TraceStore &store, std::size_t jobs,
+                  bool solo)
+{
+    ProfileOptions opts;
+    opts.solo = solo;
+    const std::vector<std::vector<TraceProfile>> profiles =
+        profileCascadeSuite(base, family, store, jobs, opts);
+
+    const std::size_t n_pivots = family.pivots.size();
+    const std::size_t n_configs = family.l3.configs.size();
+    const std::size_t n_rows =
+        store.size() * n_pivots * n_configs;
+    CrossCheckReport report;
+    report.rows.resize(n_rows);
+
+    parallelFor(jobs, n_rows, [&](std::size_t i) {
+        const std::size_t t = i / (n_pivots * n_configs);
+        const std::size_t p = (i / n_configs) % n_pivots;
+        const std::size_t c = i % n_configs;
+        const GhostCacheSpec &pivot = family.pivots[p];
+        const GhostCacheSpec &spec = family.l3.configs[c];
+
+        hier::HierarchyParams params = base;
+        if (params.levels.size() < 2)
+            mlc_panic("crossCheckCascade: base machine has fewer "
+                      "than two downstream levels");
+        params.levels[0].geometry.sizeBytes = pivot.sizeBytes;
+        params.levels[0].geometry.assoc = pivot.assoc;
+        params.levels[0].geometry.blockBytes = pivot.blockBytes;
+        params.levels[0].fetchBytes = pivot.blockBytes;
+        params.levels[1].geometry.sizeBytes = spec.sizeBytes;
+        params.levels[1].geometry.assoc = spec.assoc;
+        params.levels[1].geometry.blockBytes = spec.blockBytes;
+        params.levels[1].fetchBytes = spec.blockBytes;
+        params.measureSolo = solo;
+
+        const hier::SimResults r = expt::runOnTrace(
+            params, store.traces()[t],
+            expt::scaledWarmup(store.specs()[t]));
+
+        const TraceProfile &prof = profiles[p][t];
+        const ConfigProfile &cp = prof.configs[c];
+        const PivotLink &link = prof.pivotChain[0];
+        CrossCheckRow row;
+        row.traceName = store.specs()[t].name;
+        row.spec = spec;
+        row.onepassReads = cp.filtered.reads;
+        row.onepassMisses = cp.filtered.readMisses;
+        row.timingReads = r.levels[2].readRequests;
+        row.timingMisses = r.levels[2].readMisses;
+        row.l1Match =
+            r.levels[0].readRequests == prof.l1ReadRequests &&
+            r.levels[0].readMisses == prof.l1ReadMisses;
+        row.pivotMatch =
+            r.levels[1].readRequests == link.counts.reads &&
+            r.levels[1].readMisses == link.counts.readMisses;
+        if (solo) {
+            // Identical integer divisions on both sides, so the
+            // doubles compare bitwise-equal when the counts agree.
+            row.onepassSolo = cp.solo.localMissRatio();
+            row.timingSolo = r.levels[2].soloMissRatio;
+            row.pivotMatch =
+                row.pivotMatch &&
+                r.levels[1].soloMissRatio ==
+                    link.solo.localMissRatio();
         }
         report.rows[i] = row;
     });

@@ -28,6 +28,7 @@
 
 #include "expt/workload_suite.hh"
 #include "hier/hierarchy_config.hh"
+#include "onepass/cascade.hh"
 #include "onepass/engine.hh"
 
 namespace mlc {
@@ -52,11 +53,15 @@ struct CrossCheckRow
     /** @} */
 
     bool l1Match = true; //!< L1 requests/misses agreed too
+    /** Pivot-level requests/misses (and solo, when compared)
+     *  agreed; always true for two-level rows. */
+    bool pivotMatch = true;
 
     bool
     match() const
     {
-        return l1Match && onepassReads == timingReads &&
+        return l1Match && pivotMatch &&
+               onepassReads == timingReads &&
                onepassMisses == timingMisses &&
                onepassSolo == timingSolo;
     }
@@ -85,6 +90,20 @@ CrossCheckReport crossCheck(const hier::HierarchyParams &base,
                             const FamilySpec &family,
                             const expt::TraceStore &store,
                             std::size_t jobs = 1, bool solo = false);
+
+/**
+ * The three-level equivalent: cascade-profile the joint family
+ * once, then simulate every (trace, pivot, member) triple on base
+ * with levels[0] reshaped to the pivot and levels[1] to the member,
+ * comparing the member's L3 counts (the row's reads/misses), the
+ * pivot's L2 counts and solo ratio (folded into pivotMatch), and
+ * the L1 counts — all integer-exact, solo ratios bitwise.
+ */
+CrossCheckReport
+crossCheckCascade(const hier::HierarchyParams &base,
+                  const CascadeFamilySpec &family,
+                  const expt::TraceStore &store,
+                  std::size_t jobs = 1, bool solo = false);
 
 } // namespace onepass
 } // namespace mlc

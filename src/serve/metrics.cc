@@ -110,6 +110,27 @@ renderMetrics(const MetricsSnapshot &s)
     counter(out, "mlc_profile_evictions_total",
             s.profiles.evictions);
     gauge(out, "mlc_profile_entries", s.profiles.entries);
+    if (!s.profiles.kinds.empty()) {
+        // Per-engine-kind traffic (Stats::kinds is sorted by kind,
+        // so series order is deterministic). The unlabeled series
+        // above stay as the totals.
+        out += "# TYPE mlc_profile_kind_hits_total counter\n";
+        for (const auto &[kind, k] : s.profiles.kinds)
+            labeled(out, "mlc_profile_kind_hits_total", "engine",
+                    kind, k.hits);
+        out += "# TYPE mlc_profile_kind_misses_total counter\n";
+        for (const auto &[kind, k] : s.profiles.kinds)
+            labeled(out, "mlc_profile_kind_misses_total", "engine",
+                    kind, k.misses);
+        out += "# TYPE mlc_profile_kind_evictions_total counter\n";
+        for (const auto &[kind, k] : s.profiles.kinds)
+            labeled(out, "mlc_profile_kind_evictions_total",
+                    "engine", kind, k.evictions);
+        out += "# TYPE mlc_profile_kind_entries gauge\n";
+        for (const auto &[kind, k] : s.profiles.kinds)
+            labeled(out, "mlc_profile_kind_entries", "engine",
+                    kind, k.entries);
+    }
 
     if (!s.workloads.empty()) {
         out += "# TYPE mlc_workload_traces gauge\n";

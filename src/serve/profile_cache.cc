@@ -9,35 +9,39 @@ ProfileCache::ProfileCache(std::size_t capacity)
 }
 
 ProfileCache::Profiles
-ProfileCache::get(const std::string &key)
+ProfileCache::get(const std::string &key, const std::string &kind)
 {
     std::lock_guard<std::mutex> lk(m_);
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-        if (it->first == key) {
+        if (it->key == key) {
             lru_.splice(lru_.begin(), lru_, it);
-            ++hits_;
-            return it->second;
+            ++kinds_[kind].hits;
+            return it->profiles;
         }
     }
-    ++misses_;
+    ++kinds_[kind].misses;
     return nullptr;
 }
 
 void
-ProfileCache::put(const std::string &key, Profiles profiles)
+ProfileCache::put(const std::string &key, Profiles profiles,
+                  const std::string &kind)
 {
     std::lock_guard<std::mutex> lk(m_);
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-        if (it->first == key) {
-            it->second = std::move(profiles);
+        if (it->key == key) {
+            it->kind = kind;
+            it->profiles = std::move(profiles);
             lru_.splice(lru_.begin(), lru_, it);
             return;
         }
     }
-    lru_.emplace_front(key, std::move(profiles));
+    lru_.push_front(Entry{key, kind, std::move(profiles)});
     while (lru_.size() > capacity_) {
+        // Evictions charge the *evicted* entry's kind: what got
+        // pushed out is what the operator wants attributed.
+        ++kinds_[lru_.back().kind].evictions;
         lru_.pop_back();
-        ++evictions_;
     }
 }
 
@@ -45,7 +49,18 @@ ProfileCache::Stats
 ProfileCache::stats() const
 {
     std::lock_guard<std::mutex> lk(m_);
-    return {hits_, misses_, evictions_, lru_.size()};
+    std::map<std::string, KindStats> kinds = kinds_;
+    for (const Entry &e : lru_)
+        ++kinds[e.kind].entries;
+    Stats s;
+    s.entries = lru_.size();
+    for (const auto &[kind, k] : kinds) {
+        s.hits += k.hits;
+        s.misses += k.misses;
+        s.evictions += k.evictions;
+        s.kinds.emplace_back(kind, k);
+    }
+    return s;
 }
 
 } // namespace serve

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -36,7 +37,14 @@
 namespace mlc {
 namespace serve {
 
-/** LRU map: canonical (workload, base, family) key -> profiles. */
+/** LRU map: canonical (workload, base, family) key -> profiles.
+ *
+ *  Entries carry an *engine kind* tag ("onepass" for two-level
+ *  ghost families, "cascade" for joint L2xL3 families, whose keys
+ *  fold in the pivot-family hash via CascadeFamilySpec::key()).
+ *  Hit/miss/eviction traffic is accounted per kind so the metrics
+ *  page can tell whether the expensive cascade passes are actually
+ *  being reused. */
 class ProfileCache
 {
   public:
@@ -45,29 +53,52 @@ class ProfileCache
 
     explicit ProfileCache(std::size_t capacity);
 
-    /** nullptr on miss; bumps to MRU on hit. */
-    Profiles get(const std::string &key);
+    /** nullptr on miss; bumps to MRU on hit. @p kind tags the
+     *  traffic bucket charged (it is not part of the key — callers
+     *  already namespace keys by family shape). */
+    Profiles get(const std::string &key,
+                 const std::string &kind = "onepass");
 
-    void put(const std::string &key, Profiles profiles);
+    void put(const std::string &key, Profiles profiles,
+             const std::string &kind = "onepass");
 
-    struct Stats
+    /** One engine kind's traffic. */
+    struct KindStats
     {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
         std::size_t entries = 0;
     };
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+        /** Per-kind buckets, sorted by kind name (deterministic
+         *  series order for the metrics renderer). Totals above
+         *  are the sums. */
+        std::vector<std::pair<std::string, KindStats>> kinds;
+    };
     Stats stats() const;
 
   private:
+    struct Entry
+    {
+        std::string key;
+        std::string kind;
+        Profiles profiles;
+    };
+
     mutable std::mutex m_;
     std::size_t capacity_;
     /** MRU at front. Linear scan: the cache holds a handful of
      *  families, never thousands. */
-    std::list<std::pair<std::string, Profiles>> lru_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
+    std::list<Entry> lru_;
+    /** Kind -> cumulative counters (entries recomputed in
+     *  stats()). Ordered map: sorted output for free. */
+    std::map<std::string, KindStats> kinds_;
 };
 
 } // namespace serve

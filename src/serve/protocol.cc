@@ -127,14 +127,26 @@ parseRequest(const std::string &line)
 
     std::string err;
     std::uint64_t cycles64 = 0, assoc64 = 0;
+    std::uint64_t l3_cycles64 = 0, l3_assoc64 = 0;
     if (!fetchU64(doc, "l2_size", req.l2Size, err) ||
         !fetchU64(doc, "l2_cycles", cycles64, err) ||
         !fetchU64(doc, "l2_assoc", assoc64, err) ||
         !fetchU64(doc, "l1_total", req.l1Total, err) ||
-        !fetchU64(doc, "seed", req.seed, err))
+        !fetchU64(doc, "seed", req.seed, err) ||
+        !fetchU64(doc, "l3_size", req.l3Size, err) ||
+        !fetchU64(doc, "l3_cycles", l3_cycles64, err) ||
+        !fetchU64(doc, "l3_assoc", l3_assoc64, err))
         return reject("bad_request", err, id);
     req.l2Cycles = static_cast<std::uint32_t>(cycles64);
     req.l2Assoc = static_cast<std::uint32_t>(assoc64);
+    req.l3Cycles = static_cast<std::uint32_t>(l3_cycles64);
+    req.l3Assoc = static_cast<std::uint32_t>(l3_assoc64);
+    if (req.l3Size != 0 && req.l3Cycles == 0)
+        return reject("bad_request",
+                      "l3_size needs l3_cycles >= 1", id);
+    if (req.l3Size == 0 && (req.l3Cycles != 0 || req.l3Assoc != 0))
+        return reject("bad_request",
+                      "l3_cycles/l3_assoc need l3_size", id);
 
     const auto fetchArray =
         [&](const char *key, auto &out) -> bool {
@@ -198,6 +210,13 @@ Request::batchKey() const
                     ";l1=" + std::to_string(l1Total);
     if (engine == "sampled")
         k += ";seed=" + std::to_string(seed);
+    // Depth-3 requests never batch (or share profiles) with
+    // depth-2 ones, and the l3 cycle time prices cells, so it must
+    // split groups too.
+    if (l3Size != 0)
+        k += ";l3=" + std::to_string(l3Size) + "," +
+             std::to_string(l3Cycles) + "," +
+             std::to_string(l3Assoc);
     return k;
 }
 

@@ -9,7 +9,8 @@
  *   {"op":"query","engine":"onepass|timing|sampled",
  *    "workload":"grid|paper|<trace tag>",
  *    "l2_size":262144,"l2_cycles":3,
- *    ["l2_assoc":2,"l1_total":8192,"seed":7,"id":"..."]}
+ *    ["l2_assoc":2,"l1_total":8192,"seed":7,"id":"...",
+ *     "l3_size":2097152,"l3_cycles":6,"l3_assoc":4]}
  *     -> {"id":...,"ok":true,"rel_exec_time":...,"cpi":...,
  *         "cached":bool,"compute_us":N}
  *
@@ -86,6 +87,19 @@ struct Request
     std::uint64_t l1Total = 0;
     /** Sampled-engine schedule seed. */
     std::uint64_t seed = 1;
+    /** @} */
+
+    /** @{ @name Optional third level (depth-3 configs)
+     * A non-zero l3_size appends a fixed L3 below the swept L2
+     * axis: the timing engine simulates the three-level machine,
+     * and the onepass engine switches to the cascade pass (the
+     * swept L2 points become exactly-replayed pivots, the L3 the
+     * ghost-swept member). Requires l3_cycles >= 1; rejected by
+     * the sampled engine. */
+    std::uint64_t l3Size = 0;
+    std::uint32_t l3Cycles = 0;
+    /** 0 = direct-mapped. */
+    std::uint32_t l3Assoc = 0;
     /** @} */
 
     /** @{ @name sweep */

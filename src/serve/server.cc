@@ -10,6 +10,7 @@
 
 #include "expt/design_space.hh"
 #include "expt/runner.hh"
+#include "onepass/cascade.hh"
 #include "onepass/grid.hh"
 #include "onepass/model_timing.hh"
 #include "sample/sweep.hh"
@@ -109,20 +110,21 @@ sidecarWarmup(const std::string &path)
  *  panic on, as a structured error instead of a dead server. */
 bool
 validPoint(std::uint64_t size, std::uint32_t assoc,
-           std::string &why)
+           std::string &why, const char *lvl = "l2")
 {
     constexpr std::uint32_t kBlockBytes = 32; // base machine L2
     const std::uint32_t eff_assoc = assoc == 0 ? 1 : assoc;
     if (!isPowerOfTwo(size)) {
-        why = "l2 sizes must be powers of two";
+        why = std::string(lvl) + " sizes must be powers of two";
         return false;
     }
     if (assoc != 0 && !isPowerOfTwo(assoc)) {
-        why = "l2_assoc must be a power of two";
+        why = std::string(lvl) + "_assoc must be a power of two";
         return false;
     }
     if (size < static_cast<std::uint64_t>(eff_assoc) * kBlockBytes) {
-        why = "l2 size below one set (assoc x 32B block)";
+        why = std::string(lvl) +
+              " size below one set (assoc x 32B block)";
         return false;
     }
     return true;
@@ -240,6 +242,17 @@ Server::baseFor(const Request &req)
         p = p.withL2(p.levels[0].geometry.sizeBytes, cyc,
                      req.l2Assoc);
     }
+    if (req.l3Size != 0) {
+        cache::CacheParams l3;
+        l3.name = "l3";
+        l3.geometry.sizeBytes = req.l3Size;
+        l3.geometry.blockBytes = p.levels[0].geometry.blockBytes;
+        l3.geometry.assoc = req.l3Assoc == 0 ? 1 : req.l3Assoc;
+        l3.cycleNs =
+            p.cpuCycleNs * static_cast<double>(req.l3Cycles);
+        p.levels.push_back(l3);
+        p.busWidthWords.push_back(p.busWidthWords.back());
+    }
     return p;
 }
 
@@ -321,6 +334,63 @@ Server::evaluateCells(const Request &req,
         const double n = static_cast<double>(wl.store.size());
         for (double &v : cells)
             v /= n;
+        return cells;
+    }
+
+    if (req.l3Size != 0) {
+        // Depth-3 one-pass: the cascade engine. The swept L2 sizes
+        // become the exactly-replayed pivots, the request's L3 the
+        // single ghost-swept member, and the resident entry is the
+        // pivot-major flattened profile matrix keyed by the joint
+        // family identity (CascadeFamilySpec::key() folds the
+        // pivot-family hash in, so unequal pivot sets never
+        // collide). No canonical-family widening here: every pivot
+        // costs an exact filtered replay, so the family is exactly
+        // what the batch asked for.
+        onepass::CascadeFamilySpec family;
+        for (const std::uint64_t s : sizes)
+            family.pivots.push_back(
+                {s, base.levels[0].geometry.assoc,
+                 base.levels[0].geometry.blockBytes});
+        family.l3.configs.push_back(
+            {req.l3Size, base.levels[1].geometry.assoc,
+             base.levels[1].geometry.blockBytes});
+        const std::string fam_key =
+            wl.tag + "#" + req.batchKey() + "#" + family.key();
+
+        ProfileCache::Profiles profiles =
+            profiles_.get(fam_key, "cascade");
+        if (!profiles) {
+            onepass::ProfileOptions popts;
+            popts.shards = opts_.shards;
+            auto nested = onepass::profileCascadeSuite(
+                base, family, wl.store, jobs_, popts);
+            std::vector<onepass::TraceProfile> flat;
+            flat.reserve(nested.size() * wl.store.size());
+            for (auto &per_pivot : nested)
+                for (auto &prof : per_pivot)
+                    flat.push_back(std::move(prof));
+            profiles = std::make_shared<
+                const std::vector<onepass::TraceProfile>>(
+                std::move(flat));
+            profiles_.put(fam_key, profiles, "cascade");
+        }
+
+        const std::size_t traces = wl.store.size();
+        for (std::size_t c = 0; c < cols; ++c) {
+            const onepass::EqTimingModel model =
+                onepass::EqTimingModel::forMachine(base.withL2(
+                    sizes[0], cycles[c],
+                    base.levels[0].geometry.assoc));
+            for (std::size_t s = 0; s < sizes.size(); ++s) {
+                double sum = 0.0;
+                for (std::size_t t = 0; t < traces; ++t)
+                    sum += model.relExec(
+                        (*profiles)[s * traces + t], 0);
+                cells[s * cols + c] =
+                    sum / static_cast<double>(traces);
+            }
+        }
         return cells;
     }
 
@@ -497,6 +567,11 @@ Server::handleBatch(const std::vector<std::string> &lines)
         else if (req.engine == "sampled" && req.l2Assoc != 0)
             why = "l2_assoc is not supported by the sampled "
                   "engine";
+        else if (req.engine == "sampled" && req.l3Size != 0)
+            why = "l3 levels are not supported by the sampled "
+                  "engine (use onepass or timing)";
+        if (why.empty() && req.l3Size != 0)
+            validPoint(req.l3Size, req.l3Assoc, why, "l3");
         if (why.empty()) {
             if (req.op == Op::Query) {
                 validPoint(req.l2Size, req.l2Assoc, why);
@@ -717,6 +792,17 @@ Server::handleStats(const Request &req)
         p.set("evictions", Json(ps.evictions));
         p.set("entries", Json(static_cast<std::uint64_t>(
                              ps.entries)));
+        Json kinds = Json::object();
+        for (const auto &[kind, k] : ps.kinds) {
+            Json kj = Json::object();
+            kj.set("hits", Json(k.hits));
+            kj.set("misses", Json(k.misses));
+            kj.set("evictions", Json(k.evictions));
+            kj.set("entries", Json(static_cast<std::uint64_t>(
+                                  k.entries)));
+            kinds.set(kind, std::move(kj));
+        }
+        p.set("kinds", std::move(kinds));
         body.set("profiles", std::move(p));
     }
     {

@@ -1,0 +1,224 @@
+/** @file Sampled cascade engine contracts: at rate 1.0 (any salt
+ *  seed) the joint L2xL3 profiles are bit-identical to the exact
+ *  cascade engine; at real rates the member estimates stay close,
+ *  runs are deterministic, and salt seeds re-draw the kept sets. */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "expt/workload_suite.hh"
+#include "mrc/engine.hh"
+#include "onepass/cascade.hh"
+
+namespace mlc {
+namespace mrc {
+namespace {
+
+expt::TraceStore
+smallStore()
+{
+    std::vector<expt::TraceSpec> specs = {expt::paperSuite()[0],
+                                          expt::paperSuite()[1]};
+    for (expt::TraceSpec &s : specs) {
+        s.warmupRefs = 20'000;
+        s.measureRefs = 40'000;
+    }
+    return expt::TraceStore::materialize(specs, 1);
+}
+
+hier::HierarchyParams
+threeLevelBase()
+{
+    hier::HierarchyParams p = hier::HierarchyParams::baseMachine();
+    p.levels[0].geometry.sizeBytes = 64 << 10;
+    p.levels[0].cycleNs = 20.0;
+    cache::CacheParams l3;
+    l3.name = "l3";
+    l3.geometry.sizeBytes = 1 << 20;
+    l3.geometry.blockBytes = 32;
+    l3.geometry.assoc = 2;
+    l3.cycleNs = 50.0;
+    p.levels.push_back(l3);
+    p.busWidthWords = {4, 4, 4};
+    p.backplaneCycleNs = 50.0;
+    return p;
+}
+
+onepass::CascadeFamilySpec
+jointFamily()
+{
+    onepass::CascadeFamilySpec family;
+    family.pivots.push_back({32 << 10, 1, 32});
+    family.pivots.push_back({64 << 10, 1, 32});
+    family.l3.configs.push_back({512 << 10, 2, 32});
+    family.l3.configs.push_back({1 << 20, 2, 32});
+    return family;
+}
+
+void
+expectSameProfiles(const onepass::TraceProfile &a,
+                   const onepass::TraceProfile &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.l1ReadRequests, b.l1ReadRequests);
+    EXPECT_EQ(a.l1ReadMisses, b.l1ReadMisses);
+    ASSERT_EQ(a.pivotChain.size(), b.pivotChain.size());
+    for (std::size_t k = 0; k < a.pivotChain.size(); ++k) {
+        EXPECT_EQ(a.pivotChain[k].counts.reads,
+                  b.pivotChain[k].counts.reads);
+        EXPECT_EQ(a.pivotChain[k].counts.readMisses,
+                  b.pivotChain[k].counts.readMisses);
+        EXPECT_EQ(a.pivotChain[k].solo.reads,
+                  b.pivotChain[k].solo.reads);
+        EXPECT_EQ(a.pivotChain[k].solo.readMisses,
+                  b.pivotChain[k].solo.readMisses);
+    }
+    ASSERT_EQ(a.configs.size(), b.configs.size());
+    for (std::size_t m = 0; m < a.configs.size(); ++m) {
+        const onepass::ConfigProfile &x = a.configs[m];
+        const onepass::ConfigProfile &y = b.configs[m];
+        EXPECT_EQ(x.filtered.reads, y.filtered.reads) << m;
+        EXPECT_EQ(x.filtered.readMisses, y.filtered.readMisses)
+            << m;
+        EXPECT_EQ(x.filtered.extraAccesses,
+                  y.filtered.extraAccesses)
+            << m;
+        EXPECT_EQ(x.filtered.extraMisses, y.filtered.extraMisses)
+            << m;
+        EXPECT_EQ(x.solo.reads, y.solo.reads) << m;
+        EXPECT_EQ(x.solo.readMisses, y.solo.readMisses) << m;
+        EXPECT_EQ(x.faCompulsory, y.faCompulsory) << m;
+        EXPECT_DOUBLE_EQ(x.faMissRatio, y.faMissRatio) << m;
+    }
+}
+
+TEST(MrcCascade, UnitRateBitIdenticalToExactCascade)
+{
+    const expt::TraceStore store = smallStore();
+    const hier::HierarchyParams base = threeLevelBase();
+    const onepass::CascadeFamilySpec family = jointFamily();
+
+    onepass::ProfileOptions exact_opts;
+    exact_opts.solo = true;
+    exact_opts.faBound = true;
+    const auto exact = onepass::profileCascadeSuite(
+        base, family, store, 2, exact_opts);
+
+    // Any salt seed: naturals keep every set regardless.
+    for (const std::uint64_t seed :
+         {std::uint64_t{0}, std::uint64_t{7777}}) {
+        SCOPED_TRACE(seed);
+        MrcOptions opts;
+        opts.sampler.rate = 1.0;
+        opts.sampler.saltSeed = seed;
+        opts.solo = true;
+        opts.faBound = true;
+        const auto sampled =
+            profileCascadeSuite(base, family, store, 2, opts);
+        ASSERT_EQ(sampled.size(), exact.size());
+        for (std::size_t p = 0; p < exact.size(); ++p) {
+            ASSERT_EQ(sampled[p].size(), exact[p].size());
+            for (std::size_t t = 0; t < exact[p].size(); ++t)
+                expectSameProfiles(sampled[p][t], exact[p][t]);
+        }
+    }
+}
+
+TEST(MrcCascade, SampledMemberRatiosStayClose)
+{
+    const expt::TraceStore store = smallStore();
+    const hier::HierarchyParams base = threeLevelBase();
+    const onepass::CascadeFamilySpec family = jointFamily();
+
+    onepass::ProfileOptions exact_opts;
+    const auto exact = onepass::profileCascadeSuite(
+        base, family, store, 1, exact_opts);
+
+    MrcOptions opts;
+    opts.sampler.rate = 0.25;
+    opts.sampler.minSets = 64;
+    const auto sampled =
+        profileCascadeSuite(base, family, store, 1, opts);
+    for (std::size_t p = 0; p < exact.size(); ++p)
+        for (std::size_t t = 0; t < exact[p].size(); ++t) {
+            // Pivot counts are exact by construction, never
+            // estimates.
+            EXPECT_EQ(
+                sampled[p][t].pivotChain[0].counts.readMisses,
+                exact[p][t].pivotChain[0].counts.readMisses);
+            for (std::size_t m = 0;
+                 m < exact[p][t].configs.size(); ++m) {
+                const double got = sampled[p][t]
+                                       .configs[m]
+                                       .filtered.localMissRatio();
+                const double want =
+                    exact[p][t].configs[m].filtered.localMissRatio();
+                EXPECT_NEAR(got, want, 0.15)
+                    << "pivot " << p << " trace " << t
+                    << " member " << m;
+            }
+        }
+}
+
+TEST(MrcCascade, DeterministicAcrossJobsAndRepeatRuns)
+{
+    const expt::TraceStore store = smallStore();
+    const hier::HierarchyParams base = threeLevelBase();
+    const onepass::CascadeFamilySpec family = jointFamily();
+
+    MrcOptions opts;
+    opts.sampler.rate = 0.25;
+    opts.sampler.minSets = 64;
+    opts.solo = true;
+    const auto one = profileCascadeSuite(base, family, store, 1,
+                                         opts);
+    const auto four = profileCascadeSuite(base, family, store, 4,
+                                          opts);
+    ASSERT_EQ(one.size(), four.size());
+    for (std::size_t p = 0; p < one.size(); ++p)
+        for (std::size_t t = 0; t < one[p].size(); ++t)
+            expectSameProfiles(one[p][t], four[p][t]);
+}
+
+TEST(MrcCascade, SaltSeedRedrawsKeptSetsDeterministically)
+{
+    const expt::TraceStore store = smallStore();
+    const hier::HierarchyParams base = threeLevelBase();
+    const onepass::CascadeFamilySpec family = jointFamily();
+
+    MrcOptions a;
+    a.sampler.rate = 0.25;
+    a.sampler.minSets = 64;
+    MrcOptions b = a;
+    b.sampler.saltSeed = 1;
+
+    const auto run_a = profileCascadeTrace(
+        base, family, store.traces()[0], 20'000, a);
+    const auto run_a2 = profileCascadeTrace(
+        base, family, store.traces()[0], 20'000, a);
+    const auto run_b = profileCascadeTrace(
+        base, family, store.traces()[0], 20'000, b);
+
+    // Same seed: same subsets, same integers. Different seed:
+    // different kept sets, so at least one member count moves
+    // (pivot counts stay exact either way).
+    bool any_diff = false;
+    for (std::size_t p = 0; p < run_a.size(); ++p) {
+        expectSameProfiles(run_a[p], run_a2[p]);
+        EXPECT_EQ(run_a[p].pivotChain[0].counts.readMisses,
+                  run_b[p].pivotChain[0].counts.readMisses);
+        for (std::size_t m = 0; m < run_a[p].configs.size(); ++m)
+            any_diff =
+                any_diff ||
+                run_a[p].configs[m].filtered.readMisses !=
+                    run_b[p].configs[m].filtered.readMisses;
+    }
+    EXPECT_TRUE(any_diff)
+        << "seed 1 sampled the exact same sets as seed 0";
+}
+
+} // namespace
+} // namespace mrc
+} // namespace mlc

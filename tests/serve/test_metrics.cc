@@ -43,6 +43,8 @@ sampleSnapshot()
     s.profiles.misses = 3;
     s.profiles.evictions = 1;
     s.profiles.entries = 2;
+    s.profiles.kinds = {{"cascade", {4, 1, 0, 1}},
+                        {"onepass", {16, 2, 1, 1}}};
     s.workloads = {{"grid", 1, 1}, {"paper", 4, 3}};
     s.jobs = 4;
     s.shards = 2;
@@ -108,6 +110,18 @@ TEST(ServeMetrics, GoldenExpositionFormat)
         "mlc_profile_evictions_total 1\n"
         "# TYPE mlc_profile_entries gauge\n"
         "mlc_profile_entries 2\n"
+        "# TYPE mlc_profile_kind_hits_total counter\n"
+        "mlc_profile_kind_hits_total{engine=\"cascade\"} 4\n"
+        "mlc_profile_kind_hits_total{engine=\"onepass\"} 16\n"
+        "# TYPE mlc_profile_kind_misses_total counter\n"
+        "mlc_profile_kind_misses_total{engine=\"cascade\"} 1\n"
+        "mlc_profile_kind_misses_total{engine=\"onepass\"} 2\n"
+        "# TYPE mlc_profile_kind_evictions_total counter\n"
+        "mlc_profile_kind_evictions_total{engine=\"cascade\"} 0\n"
+        "mlc_profile_kind_evictions_total{engine=\"onepass\"} 1\n"
+        "# TYPE mlc_profile_kind_entries gauge\n"
+        "mlc_profile_kind_entries{engine=\"cascade\"} 1\n"
+        "mlc_profile_kind_entries{engine=\"onepass\"} 1\n"
         "# TYPE mlc_workload_traces gauge\n"
         "mlc_workload_traces{workload=\"grid\"} 1\n"
         "mlc_workload_traces{workload=\"paper\"} 4\n"
@@ -136,6 +150,8 @@ TEST(ServeMetrics, OptionalBlocksRenderOnlyWhenPresent)
     EXPECT_EQ(text.find("mlc_memo_tag_entries"), std::string::npos);
     EXPECT_EQ(text.find("mlc_workload_traces"), std::string::npos);
     EXPECT_EQ(text.find("mlc_checkpoint_entries"),
+              std::string::npos);
+    EXPECT_EQ(text.find("mlc_profile_kind_hits_total"),
               std::string::npos);
     // The unconditional series render even when zero.
     EXPECT_NE(text.find("mlc_requests_total 0\n"),

@@ -126,6 +126,46 @@ TEST(Protocol, BatchKeyGroupsCompatibleQueries)
     EXPECT_EQ(e1.batchKey(), e2.batchKey());
 }
 
+TEST(Protocol, ThreeLevelKnobsParseAndSplitBatches)
+{
+    const ParsedRequest p = parseRequest(
+        "{\"op\":\"query\",\"l2_size\":65536,\"l2_cycles\":2,"
+        "\"l3_size\":2097152,\"l3_cycles\":6,\"l3_assoc\":4}");
+    ASSERT_TRUE(p.ok) << p.errorMessage;
+    EXPECT_EQ(p.request.l3Size, 2097152u);
+    EXPECT_EQ(p.request.l3Cycles, 6u);
+    EXPECT_EQ(p.request.l3Assoc, 4u);
+
+    // l3_cycles is mandatory alongside l3_size, and l3 knobs are
+    // meaningless without it.
+    EXPECT_FALSE(parseRequest("{\"op\":\"query\",\"l2_size\":4096,"
+                              "\"l2_cycles\":1,\"l3_size\":65536}")
+                     .ok);
+    EXPECT_FALSE(parseRequest("{\"op\":\"query\",\"l2_size\":4096,"
+                              "\"l2_cycles\":1,\"l3_cycles\":6}")
+                     .ok);
+
+    // Depth-3 queries must never share an engine call — or a memo
+    // or profile identity — with depth-2 ones, and the l3 cycle
+    // time prices cells, so it splits batches too.
+    const ParsedRequest d2 = parseRequest(
+        "{\"op\":\"query\",\"l2_size\":65536,\"l2_cycles\":2}");
+    const ParsedRequest p2 = parseRequest(
+        "{\"op\":\"query\",\"l2_size\":65536,\"l2_cycles\":2,"
+        "\"l3_size\":2097152,\"l3_cycles\":8,\"l3_assoc\":4}");
+    ASSERT_TRUE(d2.ok && p2.ok);
+    EXPECT_NE(p.request.batchKey(), d2.request.batchKey());
+    EXPECT_NE(p.request.batchKey(), p2.request.batchKey());
+    EXPECT_NE(p.request.detailKey(), d2.request.detailKey());
+
+    // Same l3 knobs: still groupable across grid points.
+    const ParsedRequest p3 = parseRequest(
+        "{\"op\":\"query\",\"l2_size\":262144,\"l2_cycles\":5,"
+        "\"l3_size\":2097152,\"l3_cycles\":6,\"l3_assoc\":4}");
+    ASSERT_TRUE(p3.ok);
+    EXPECT_EQ(p.request.batchKey(), p3.request.batchKey());
+}
+
 TEST(Protocol, DetailKeySeparatesQueryFromSweep)
 {
     const ParsedRequest q = parseRequest(

@@ -203,6 +203,101 @@ TEST(Server, BatchKeepsIncompatibleQueriesApart)
         << "associativity must change the answer";
 }
 
+TEST(Server, ThreeLevelQueriesUseTheCascadeEngine)
+{
+    quickEnv();
+    Server server(ServerOptions{});
+    const std::string l3 =
+        ",\"l3_size\":2097152,\"l3_cycles\":6,\"l3_assoc\":4";
+
+    // Depth-3 onepass queries sharing their l3 knobs collapse
+    // into one cascade pass, like depth-2 ones do.
+    const std::vector<std::string> queries = {
+        "{\"op\":\"query\",\"l2_size\":65536,\"l2_cycles\":2" +
+            l3 + "}",
+        "{\"op\":\"query\",\"l2_size\":262144,\"l2_cycles\":5" +
+            l3 + "}",
+    };
+    const std::vector<std::string> batch =
+        server.handleBatch(queries);
+    ASSERT_EQ(batch.size(), 2u);
+    for (const std::string &r : batch) {
+        EXPECT_GT(relExecOf(r), 0.0) << r;
+        EXPECT_NE(r.find("\"cached\":false"), std::string::npos);
+    }
+    EXPECT_EQ(server.counters().engineRuns, 1u)
+        << "compatible depth-3 queries must share one cascade run";
+
+    // Replays are memo hits; a sweep over the same pivots is a
+    // profile-cache hit (no new pass) and must agree cell for
+    // cell with the queries.
+    EXPECT_NE(server.handleLine(queries[0])
+                  .find("\"cached\":true"),
+              std::string::npos);
+    const std::string sweep = server.handleLine(
+        "{\"op\":\"sweep\",\"sizes\":[65536,262144],"
+        "\"cycles\":[2,5]" + l3 + "}");
+    const Json doc = parseResponse(sweep);
+    ASSERT_NE(doc.find("grid"), nullptr) << sweep;
+    const auto &grid = doc.find("grid")->asArray();
+    EXPECT_EQ(grid[0].asArray()[0].asNumber(),
+              relExecOf(batch[0]));
+    EXPECT_EQ(grid[1].asArray()[1].asNumber(),
+              relExecOf(batch[1]));
+
+    // The cascade traffic lands in its own profile-cache bucket.
+    const Json stats =
+        parseResponse(server.handleLine("{\"op\":\"stats\"}"));
+    const Json *kinds =
+        stats.find("stats")->find("profiles")->find("kinds");
+    ASSERT_NE(kinds, nullptr);
+    const Json *cascade = kinds->find("cascade");
+    ASSERT_NE(cascade, nullptr);
+    EXPECT_EQ(cascade->find("misses")->asU64(), 1u);
+    EXPECT_GE(cascade->find("hits")->asU64(), 1u);
+    EXPECT_EQ(cascade->find("entries")->asU64(), 1u);
+
+    // A depth-2 query must neither alias the depth-3 memo nor its
+    // profile bucket.
+    const std::string flat = server.handleLine(
+        "{\"op\":\"query\",\"l2_size\":65536,\"l2_cycles\":2}");
+    EXPECT_NE(flat.find("\"cached\":false"), std::string::npos);
+    EXPECT_NE(relExecOf(flat), relExecOf(batch[0]))
+        << "the L3 must change the modelled time";
+}
+
+TEST(Server, ThreeLevelTimingAndValidation)
+{
+    quickEnv();
+    Server server(ServerOptions{});
+    const std::string l3 =
+        ",\"l3_size\":1048576,\"l3_cycles\":5,\"l3_assoc\":2";
+    const std::string timing = server.handleLine(
+        "{\"op\":\"query\",\"engine\":\"timing\","
+        "\"l2_size\":65536,\"l2_cycles\":3" + l3 + "}");
+    const double rel = relExecOf(timing);
+    EXPECT_GT(rel, 0.0);
+    EXPECT_LT(rel, 10.0);
+
+    const auto expectBad = [&](const std::string &line,
+                               const char *needle) {
+        const std::string resp = server.handleLine(line);
+        EXPECT_NE(resp.find("\"ok\":false"), std::string::npos)
+            << resp;
+        EXPECT_NE(resp.find(needle), std::string::npos) << resp;
+    };
+    expectBad("{\"op\":\"query\",\"engine\":\"sampled\","
+              "\"l2_size\":4096,\"l2_cycles\":1" + l3 + "}",
+              "not supported");
+    expectBad("{\"op\":\"query\",\"l2_size\":4096,"
+              "\"l2_cycles\":1,\"l3_size\":3000,"
+              "\"l3_cycles\":5}",
+              "l3 sizes must be powers of two");
+    expectBad("{\"op\":\"query\",\"l2_size\":4096,"
+              "\"l2_cycles\":1,\"l3_size\":65536}",
+              "l3_cycles");
+}
+
 TEST(Server, TimingEngineAnswersQueries)
 {
     quickEnv();
